@@ -1,0 +1,205 @@
+//! Criterion micro-benchmarks for the analysis building blocks:
+//! FastTrack metadata operations, Bloom-filter context checks, the
+//! interpreter's instrumentation dispatch, the Andersen solver and the
+//! static slicer, plus the end-to-end dynamic-tool comparison on one
+//! benchmark input (the per-tool costs behind Figures 5 and 6).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use oha_core::Pipeline;
+use oha_dataflow::BitSet;
+use oha_fasttrack::{Detector, FastTrackTool};
+use oha_interp::{Addr, Machine, MachineConfig, NoopTracer, ObjId, ThreadId};
+use oha_invariants::Bloom;
+use oha_ir::InstId;
+use oha_pointsto::{analyze, PointsToConfig, Sensitivity};
+use oha_races::detect;
+use oha_slicing::{slice, SliceConfig};
+use oha_workloads::{c_suite, java_suite, WorkloadParams};
+
+fn bench_fasttrack_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fasttrack");
+    g.bench_function("same_epoch_write_fast_path", |b| {
+        let mut d = Detector::new();
+        let x = Addr::new(ObjId(0), 0);
+        d.write(ThreadId(0), x, InstId::new(1));
+        b.iter(|| d.write(ThreadId(0), black_box(x), InstId::new(1)));
+    });
+    g.bench_function("cross_thread_write_check", |b| {
+        b.iter_batched(
+            || {
+                let mut d = Detector::new();
+                d.fork(ThreadId(0), ThreadId(1));
+                d
+            },
+            |mut d| {
+                for i in 0..64u32 {
+                    let x = Addr::new(ObjId(i), 0);
+                    d.write(ThreadId(0), x, InstId::new(1));
+                    d.write(ThreadId(1), x, InstId::new(2));
+                }
+                d
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("lock_handoff", |b| {
+        let mut d = Detector::new();
+        d.fork(ThreadId(0), ThreadId(1));
+        let m = Addr::new(ObjId(9), 0);
+        b.iter(|| {
+            d.acquire(ThreadId(0), black_box(m));
+            d.release(ThreadId(0), m);
+            d.acquire(ThreadId(1), m);
+            d.release(ThreadId(1), m);
+        });
+    });
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    let mut bloom = Bloom::for_elements(4096);
+    let mut state = Bloom::seed();
+    for i in 0..64u32 {
+        state = Bloom::extend(state, i);
+        bloom.insert_hash(state);
+    }
+    g.bench_function("extend_and_check", |b| {
+        b.iter(|| {
+            let s = Bloom::extend(black_box(state), black_box(17));
+            bloom.maybe_contains_hash(s)
+        });
+    });
+    // The naive alternative the paper found too slow: hash a whole chain.
+    let chain: Vec<u32> = (0..64).collect();
+    g.bench_function("naive_whole_chain_check", |b| {
+        b.iter(|| bloom.maybe_contains(black_box(&chain)));
+    });
+    g.finish();
+}
+
+fn bench_bitset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitset");
+    let a: BitSet = (0..4096).step_by(3).collect();
+    let d: BitSet = (0..4096).step_by(5).collect();
+    g.bench_function("union_4k", |b| {
+        b.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.union_with(black_box(&d));
+                x
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("intersects_4k", |b| {
+        b.iter(|| black_box(&a).intersects(black_box(&d)));
+    });
+    g.finish();
+}
+
+fn bench_interpreter_dispatch(c: &mut Criterion) {
+    let params = WorkloadParams::small();
+    let w = c_suite::zlib(&params);
+    let machine = Machine::new(&w.program, MachineConfig::default());
+    let input = &w.testing_inputs[0];
+    let mut g = c.benchmark_group("interpreter");
+    g.bench_function("zlib_baseline", |b| {
+        b.iter(|| machine.run(black_box(input), &mut NoopTracer));
+    });
+    g.bench_function("zlib_full_fasttrack", |b| {
+        b.iter(|| {
+            let mut tool = FastTrackTool::full();
+            machine.run(black_box(input), &mut tool)
+        });
+    });
+    g.finish();
+}
+
+fn bench_static_analyses(c: &mut Criterion) {
+    let params = WorkloadParams::small();
+    let w = c_suite::vim(&params);
+    let mut g = c.benchmark_group("static");
+    g.bench_function("andersen_ci_vim", |b| {
+        b.iter(|| analyze(&w.program, &PointsToConfig::default()).unwrap());
+    });
+    let pipeline = Pipeline::new(w.program.clone());
+    let (inv, _) = pipeline.profile(&w.profiling_inputs);
+    g.bench_function("andersen_cs_predicated_vim", |b| {
+        b.iter(|| {
+            analyze(
+                &w.program,
+                &PointsToConfig {
+                    sensitivity: Sensitivity::ContextSensitive,
+                    invariants: Some(&inv),
+                    ..PointsToConfig::default()
+                },
+            )
+            .unwrap()
+        });
+    });
+    let pt = analyze(&w.program, &PointsToConfig::default()).unwrap();
+    g.bench_function("slice_ci_vim", |b| {
+        b.iter(|| slice(&w.program, &pt, &w.endpoints, &SliceConfig::default()).unwrap());
+    });
+    g.bench_function("race_detect_lusearch", |b| {
+        let wj = java_suite::lusearch(&params);
+        let ptj = analyze(&wj.program, &PointsToConfig::default()).unwrap();
+        b.iter(|| detect(&wj.program, &ptj, None));
+    });
+    g.finish();
+}
+
+fn bench_end_to_end_tools(c: &mut Criterion) {
+    let params = WorkloadParams::small();
+    let w = java_suite::lusearch(&params);
+    let pt = analyze(&w.program, &PointsToConfig::default()).unwrap();
+    let races_sound = detect(&w.program, &pt, None);
+    let pipeline = Pipeline::new(w.program.clone());
+    let (inv, _) = pipeline.profile(&w.profiling_inputs);
+    let pt_pred = analyze(
+        &w.program,
+        &PointsToConfig {
+            invariants: Some(&inv),
+            ..PointsToConfig::default()
+        },
+    )
+    .unwrap();
+    let races_pred = detect(&w.program, &pt_pred, Some(&inv));
+    let machine = Machine::new(&w.program, MachineConfig::default());
+    let input = &w.testing_inputs[0];
+
+    let mut g = c.benchmark_group("tools_lusearch");
+    g.bench_function("baseline", |b| {
+        b.iter(|| machine.run(black_box(input), &mut NoopTracer));
+    });
+    g.bench_function("full_fasttrack", |b| {
+        b.iter(|| {
+            let mut t = FastTrackTool::full();
+            machine.run(black_box(input), &mut t)
+        });
+    });
+    g.bench_function("hybrid_fasttrack", |b| {
+        b.iter(|| {
+            let mut t = FastTrackTool::hybrid(races_sound.racy_sites());
+            machine.run(black_box(input), &mut t)
+        });
+    });
+    g.bench_function("optimistic_fasttrack", |b| {
+        let elidable = Default::default();
+        b.iter(|| {
+            let mut t = FastTrackTool::optimistic(races_pred.racy_sites(), &elidable);
+            machine.run(black_box(input), &mut t)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fasttrack_ops, bench_bloom, bench_bitset, bench_interpreter_dispatch, bench_static_analyses, bench_end_to_end_tools
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Extension experiment (paper §2.1's untaken trade-off): *aggressive*
+//! likely invariants that assume away behaviour seen in only a small
+//! fraction of profiling runs. "This stronger, but less stable invariant
+//! may result in significant reduction in dynamic checks, but increase the
+//! chance of invariant violations."
+//!
+//! For each support threshold we report the predicated static slice size
+//! (strength) and the testing-corpus mis-speculation rate (stability).
+
+use oha_bench::{optslice_config, params, render_table};
+use oha_interp::Machine;
+use oha_invariants::{ChecksEnabled, InvariantChecker, InvariantSet, ProfileTracer};
+use oha_pointsto::{analyze, PointsToConfig, Sensitivity};
+use oha_slicing::{slice, SliceConfig};
+use oha_workloads::{c_suite, WorkloadParams};
+
+fn main() {
+    let params = WorkloadParams {
+        num_profiling: 32,
+        ..params()
+    };
+    let cfg = optslice_config();
+    let thresholds = [0.0, 0.1, 0.25, 0.5];
+    let mut rows = Vec::new();
+    for w in c_suite::all(&params) {
+        let machine = Machine::new(&w.program, cfg.machine);
+        let profiles: Vec<_> = w
+            .profiling_inputs
+            .iter()
+            .map(|input| {
+                let mut t = ProfileTracer::new(&w.program);
+                machine.run(input, &mut t);
+                t.into_profile()
+            })
+            .collect();
+        let mut row = vec![w.name.to_string()];
+        for &th in &thresholds {
+            let inv = InvariantSet::from_profiles_with_threshold(&profiles, th);
+            let pt = analyze(
+                &w.program,
+                &PointsToConfig {
+                    sensitivity: Sensitivity::ContextInsensitive,
+                    invariants: Some(&inv),
+                    clone_budget: cfg.ctx_budget,
+                    solver_budget: cfg.solver_budget,
+                },
+            )
+            .expect("CI completes");
+            let sl = slice(
+                &w.program,
+                &pt,
+                &w.endpoints,
+                &SliceConfig {
+                    sensitivity: Sensitivity::ContextInsensitive,
+                    invariants: Some(&inv),
+                    ctx_budget: cfg.ctx_budget,
+                    visit_budget: cfg.visit_budget,
+                },
+            )
+            .expect("CI completes");
+            let missed = w
+                .testing_inputs
+                .iter()
+                .filter(|input| {
+                    let mut checker = InvariantChecker::new(
+                        &w.program,
+                        &inv,
+                        ChecksEnabled::for_optslice(),
+                    );
+                    machine.run(input, &mut checker);
+                    checker.is_violated()
+                })
+                .count();
+            let rate = 100.0 * missed as f64 / w.testing_inputs.len() as f64;
+            let reachable = w
+                .program
+                .inst_ids()
+                .filter(|&i| inv.is_visited(w.program.loc(i).block))
+                .count();
+            row.push(format!("{reachable} / {} / {rate:.0}%", sl.len()));
+        }
+        rows.push(row);
+    }
+    println!("Extension — aggressive invariants: slice size / mis-speculation rate per support threshold\n");
+    let headers: Vec<String> = std::iter::once("bench".to_string())
+        .chain(thresholds.iter().map(|t| format!("support>{t}")))
+        .collect();
+    let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("{}", render_table(&href, &rows));
+    println!("(cells: assumed-reachable insts / predicated slice size / mis-speculation rate)");
+    println!("Strength grows (reachable insts shrink) with the threshold; stability decays.");
+}

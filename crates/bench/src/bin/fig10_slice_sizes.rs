@@ -1,0 +1,33 @@
+//! Figure 10: static slice sizes (in instructions), sound versus
+//! predicated slicer — the paper reports one to two orders of magnitude of
+//! reduction.
+
+use oha_bench::{optslice_config, params, pipeline, render_table};
+use oha_workloads::c_suite;
+
+fn main() {
+    let params = params();
+    let mut rows = Vec::new();
+    for w in c_suite::all(&params) {
+        let outcome =
+            pipeline(&w, optslice_config()).run_optslice(&w.profiling_inputs, &[], &w.endpoints);
+        rows.push(vec![
+            w.name.to_string(),
+            w.program.num_insts().to_string(),
+            outcome.sound.slice_size.to_string(),
+            outcome.pred.slice_size.to_string(),
+            format!(
+                "{:.1}x",
+                outcome.sound.slice_size as f64 / (outcome.pred.slice_size.max(1)) as f64
+            ),
+        ]);
+    }
+    println!("Figure 10 — static slice sizes (instructions)\n");
+    println!(
+        "{}",
+        render_table(
+            &["bench", "program", "base static", "optimistic static", "reduction"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 1 (quantified): the state-space containment O ⊆ P ⊆ S.
+//!
+//! The paper's figure is conceptual; here we measure the analysis state
+//! space (points-to constraint nodes/edges, constraint-bearing
+//! instructions) for the sound analysis (S) and the predicated analysis
+//! (O), plus the dynamically exercised instruction count across the whole
+//! testing corpus as the proxy for P.
+
+use oha_bench::{params, render_table};
+use oha_core::{state_space, Pipeline};
+use oha_interp::{EventCtx, Machine, MachineConfig, Tracer};
+use oha_workloads::c_suite;
+
+#[derive(Default)]
+struct TouchedInsts(std::collections::HashSet<u32>);
+
+impl Tracer for TouchedInsts {
+    fn on_compute(&mut self, ctx: EventCtx) {
+        self.0.insert(ctx.inst.raw());
+    }
+    fn on_load(&mut self, ctx: EventCtx, _a: oha_interp::Addr, _v: oha_interp::Value) {
+        self.0.insert(ctx.inst.raw());
+    }
+    fn on_store(&mut self, ctx: EventCtx, _a: oha_interp::Addr, _v: oha_interp::Value) {
+        self.0.insert(ctx.inst.raw());
+    }
+    fn on_call(&mut self, ctx: EventCtx, _f: oha_ir::FuncId, _fr: oha_interp::FrameId) {
+        self.0.insert(ctx.inst.raw());
+    }
+}
+
+fn main() {
+    let params = params();
+    let mut rows = Vec::new();
+    for w in c_suite::all(&params) {
+        let pipeline = Pipeline::new(w.program.clone());
+        let (inv, _) = pipeline.profile(&w.profiling_inputs);
+        let sound = state_space(&w.program, None);
+        let pred = state_space(&w.program, Some(&inv));
+        // P-proxy: instructions exercised anywhere in the testing corpus.
+        let mut touched = TouchedInsts::default();
+        for input in &w.testing_inputs {
+            Machine::new(&w.program, MachineConfig::default()).run(input, &mut touched);
+        }
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{} nodes / {} edges", sound.nodes, sound.edges),
+            format!("{} insts", w.program.num_insts()),
+            format!("{} insts", touched.0.len()),
+            format!("{} nodes / {} edges", pred.nodes, pred.edges),
+            format!("{} insts", pred.reachable_insts),
+        ]);
+    }
+    println!("Figure 1 — analysis state spaces: S (sound) ⊇ P (observed) ⊇ O (predicated)\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "bench",
+                "S: constraint graph",
+                "S: insts",
+                "P: exercised insts",
+                "O: constraint graph",
+                "O: insts",
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 7: mis-speculation rate as a function of profiling effort.
+//!
+//! For growing prefixes of the profiling corpus, merge the likely
+//! invariants, then check every testing execution against them; a run with
+//! any violation would roll back. Most benchmarks converge to ~0% quickly;
+//! `go` (long-tailed move distribution) and `vim` converge slowly — the
+//! paper's observation.
+
+use oha_bench::{optslice_config, params, render_table};
+use oha_core::Pipeline;
+use oha_interp::Machine;
+use oha_invariants::{ChecksEnabled, InvariantChecker};
+use oha_workloads::{c_suite, WorkloadParams};
+
+fn main() {
+    let params = WorkloadParams {
+        num_profiling: 32,
+        ..params()
+    };
+    let ks = [1usize, 2, 4, 8, 16, 32];
+    let mut rows = Vec::new();
+    for w in c_suite::all(&params) {
+        let pipeline = Pipeline::new(w.program.clone()).with_config(optslice_config());
+        let machine = Machine::new(&w.program, optslice_config().machine);
+        let mut row = vec![w.name.to_string()];
+        for &k in &ks {
+            let (inv, ptime) = pipeline.profile(&w.profiling_inputs[..k]);
+            let missed = w
+                .testing_inputs
+                .iter()
+                .filter(|input| {
+                    let mut checker = InvariantChecker::new(
+                        &w.program,
+                        &inv,
+                        ChecksEnabled::for_optslice(),
+                    );
+                    machine.run(input, &mut checker);
+                    checker.is_violated()
+                })
+                .count();
+            let rate = missed as f64 / w.testing_inputs.len() as f64;
+            row.push(format!("{:.0}% ({:.0}ms)", rate * 100.0, ptime.as_secs_f64() * 1e3));
+        }
+        rows.push(row);
+    }
+    println!("Figure 7 — mis-speculation rate vs profiling runs (profiling time in parens)\n");
+    let headers: Vec<String> = std::iter::once("bench".to_string())
+        .chain(ks.iter().map(|k| format!("{k} runs")))
+        .collect();
+    let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("{}", render_table(&href, &rows));
+}

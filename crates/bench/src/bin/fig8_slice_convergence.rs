@@ -1,0 +1,82 @@
+//! Figure 8: predicated static slice size as a function of the number of
+//! profiling runs. Sizes grow (more behaviour observed ⇒ fewer assumptions)
+//! and flatten once the invariants stabilize; `go`'s long-tailed inputs
+//! keep growing longest.
+
+use oha_bench::{optslice_config, params, render_table};
+use oha_core::Pipeline;
+use oha_pointsto::{analyze, PointsToConfig, Sensitivity};
+use oha_slicing::{slice, SliceConfig};
+use oha_workloads::{c_suite, WorkloadParams};
+
+fn main() {
+    let params = WorkloadParams {
+        num_profiling: 32,
+        ..params()
+    };
+    let cfg = optslice_config();
+    let ks = [1usize, 2, 4, 8, 16, 32];
+    let mut rows = Vec::new();
+    for w in c_suite::all(&params) {
+        let pipeline = Pipeline::new(w.program.clone()).with_config(cfg);
+        let mut row = vec![w.name.to_string()];
+        for &k in &ks {
+            let (inv, _) = pipeline.profile(&w.profiling_inputs[..k]);
+            // Best-completing predicated analyses, as in the pipeline.
+            let pt = analyze(
+                &w.program,
+                &PointsToConfig {
+                    sensitivity: Sensitivity::ContextSensitive,
+                    invariants: Some(&inv),
+                    clone_budget: cfg.ctx_budget,
+                    solver_budget: cfg.solver_budget,
+                },
+            )
+            .or_else(|_| {
+                analyze(
+                    &w.program,
+                    &PointsToConfig {
+                        sensitivity: Sensitivity::ContextInsensitive,
+                        invariants: Some(&inv),
+                        clone_budget: cfg.ctx_budget,
+                        solver_budget: cfg.solver_budget,
+                    },
+                )
+            })
+            .expect("CI points-to completes");
+            let sl = slice(
+                &w.program,
+                &pt,
+                &w.endpoints,
+                &SliceConfig {
+                    sensitivity: Sensitivity::ContextSensitive,
+                    invariants: Some(&inv),
+                    ctx_budget: cfg.ctx_budget,
+                    visit_budget: cfg.visit_budget,
+                },
+            )
+            .or_else(|_| {
+                slice(
+                    &w.program,
+                    &pt,
+                    &w.endpoints,
+                    &SliceConfig {
+                        sensitivity: Sensitivity::ContextInsensitive,
+                        invariants: Some(&inv),
+                        ctx_budget: cfg.ctx_budget,
+                        visit_budget: cfg.visit_budget,
+                    },
+                )
+            })
+            .expect("CI slicing completes");
+            row.push(sl.len().to_string());
+        }
+        rows.push(row);
+    }
+    println!("Figure 8 — predicated static slice size vs profiling runs\n");
+    let headers: Vec<String> = std::iter::once("bench".to_string())
+        .chain(ks.iter().map(|k| format!("{k} runs")))
+        .collect();
+    let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("{}", render_table(&href, &rows));
+}

@@ -1,0 +1,41 @@
+//! Why the paper "does not compare to purely dynamic Giri": its trace grows
+//! with every register-level event. This probe runs the fully-dynamic
+//! slicer under a fixed trace budget on each C benchmark and reports how
+//! little of each execution fits, versus what the hybrid tools trace.
+
+use oha_bench::{params, render_table};
+use oha_giri::GiriTool;
+use oha_interp::{Machine, MachineConfig};
+use oha_workloads::c_suite;
+
+fn main() {
+    let params = params();
+    const BUDGET: u64 = 10_000;
+    let mut rows = Vec::new();
+    for w in c_suite::all(&params) {
+        let machine = Machine::new(&w.program, MachineConfig::default());
+        let input = &w.testing_inputs[0];
+        let mut unbounded = GiriTool::full(&w.program);
+        let r = machine.run(input, &mut unbounded);
+        let mut bounded = GiriTool::full(&w.program).with_event_budget(BUDGET);
+        machine.run(input, &mut bounded);
+        rows.push(vec![
+            w.name.to_string(),
+            r.steps.to_string(),
+            unbounded.trace_len().to_string(),
+            if bounded.is_exhausted() {
+                format!("exhausted at {BUDGET}")
+            } else {
+                "fits".to_string()
+            },
+        ]);
+    }
+    println!("Pure dynamic Giri: trace events per execution (one testing input each)\n");
+    println!(
+        "{}",
+        render_table(&["bench", "steps", "trace events (unbounded)", "10k-event budget"], &rows)
+    );
+    println!("\nThe trace grows linearly with execution length — at the paper's");
+    println!("weeks-of-computation scale this is the \"exhausts system resources\"");
+    println!("baseline; the hybrid tools bound tracing by the static slice instead.");
+}

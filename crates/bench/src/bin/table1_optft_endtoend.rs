@@ -1,0 +1,60 @@
+//! Table 1: OptFT end-to-end analysis costs — static/profiling times,
+//! break-even baseline-time versus hybrid and traditional FastTrack, and
+//! dynamic speedups. Benchmarks the sound detector proves race-free are
+//! skipped, as in the paper.
+
+use std::time::Duration;
+
+use oha_bench::{fmt_break_even, fmt_dur, optft_config, params, pipeline, render_table};
+use oha_core::{break_even_seconds, CostModel};
+use oha_workloads::java_suite;
+
+fn main() {
+    let params = params();
+    let mut rows = Vec::new();
+    for w in java_suite::all(&params) {
+        let outcome =
+            pipeline(&w, optft_config()).run_optft(&w.profiling_inputs, &w.testing_inputs);
+        if outcome.statically_race_free {
+            continue;
+        }
+        let sum = |f: &dyn Fn(&oha_core::OptFtRun) -> Duration| -> Duration {
+            outcome.runs.iter().map(f).sum()
+        };
+        let baseline = sum(&|r| r.baseline);
+        let trad = CostModel::new(Duration::ZERO, sum(&|r| r.full), baseline);
+        let hybrid = CostModel::new(outcome.sound_static_time, sum(&|r| r.hybrid), baseline);
+        let opt = CostModel::new(
+            outcome.profile_time + outcome.pred_static_time,
+            sum(&|r| r.optimistic + r.rollback),
+            baseline,
+        );
+        rows.push(vec![
+            w.name.to_string(),
+            fmt_dur(outcome.sound_static_time),
+            fmt_dur(outcome.profile_time),
+            fmt_dur(outcome.pred_static_time),
+            fmt_break_even(break_even_seconds(&opt, &hybrid)),
+            fmt_break_even(break_even_seconds(&opt, &trad)),
+            format!("{:.1}x", outcome.speedup_vs_hybrid()),
+            format!("{:.1}x", outcome.speedup_vs_full()),
+        ]);
+    }
+    println!("Table 1 — OptFT end-to-end analysis times\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "bench",
+                "trad static",
+                "profile",
+                "opt static",
+                "break-even/hybrid",
+                "break-even/trad",
+                "speedup/hybrid",
+                "speedup/trad",
+            ],
+            &rows,
+        )
+    );
+}

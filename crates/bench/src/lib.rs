@@ -1,0 +1,162 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! Each `src/bin/figN_*.rs` / `src/bin/tableN_*.rs` binary reproduces one
+//! table or figure; see DESIGN.md's experiment index. This library holds
+//! the pieces they share: suite configuration, duration formatting and
+//! plain-text table rendering.
+
+use std::time::Duration;
+
+use oha_core::{Pipeline, PipelineConfig};
+use oha_interp::MachineConfig;
+use oha_workloads::WorkloadParams;
+
+/// The workload scale used by every figure/table binary.
+pub fn params() -> WorkloadParams {
+    WorkloadParams::benchmark()
+}
+
+/// The pipeline configuration used by the OptFT experiments.
+pub fn optft_config() -> PipelineConfig {
+    PipelineConfig {
+        machine: MachineConfig::default(),
+        ..PipelineConfig::default()
+    }
+}
+
+/// The pipeline configuration used by the OptSlice experiments.
+///
+/// The context budget models the paper's fixed memory/time limit: analyses
+/// whose clone count exceeds it "fail to complete" and fall back to the
+/// context-insensitive variant. It is sized between the predicated and
+/// sound context-space sizes of the `vim`/`nginx`-class benchmarks (see
+/// `probe_contexts`).
+pub fn optslice_config() -> PipelineConfig {
+    PipelineConfig {
+        machine: MachineConfig::default(),
+        ctx_budget: optslice_ctx_budget(),
+        ..PipelineConfig::default()
+    }
+}
+
+/// The OptSlice context budget (kept visible for the probe binary).
+///
+/// Calibrated by `probe_contexts`: sound CS analyses of nginx/redis/perl/
+/// vim/go materialize 750–4200 contexts, their predicated counterparts
+/// 5–280 — except `go`, whose realized context space (~380) is nearly as
+/// wide as its static one, so even the predicated analysis falls back to
+/// CI (Table 2's go row).
+pub fn optslice_ctx_budget() -> u32 {
+    320
+}
+
+/// Builds a [`Pipeline`] for a workload with the given config.
+pub fn pipeline(w: &oha_workloads::Workload, config: PipelineConfig) -> Pipeline {
+    Pipeline::new(w.program.clone()).with_config(config)
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+/// Formats an optional break-even time (`None` = the paper's "–").
+pub fn fmt_break_even(t: Option<f64>) -> String {
+    match t {
+        None => "–".to_string(),
+        Some(t) if t <= 0.0 => "0s".to_string(),
+        Some(t) => format!("{t:.2}s"),
+    }
+}
+
+/// Renders rows as a fixed-width text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(ncols) {
+            widths[c] = widths[c].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (c, cell) in cells.iter().enumerate() {
+            if c > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            for _ in cell.chars().count()..widths[c] {
+                line.push(' ');
+            }
+        }
+        line.trim_end().to_string()
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Mean of an iterator of f64 (0.0 when empty).
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_dur(Duration::from_millis(5)), "5.00ms");
+        assert_eq!(fmt_dur(Duration::from_micros(7)), "7µs");
+        assert_eq!(fmt_break_even(None), "–");
+        assert_eq!(fmt_break_even(Some(0.0)), "0s");
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean([]), 0.0);
+        assert_eq!(mean([2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! The end-to-end cost model behind Tables 1 and 2.
+//!
+//! The paper defines break-even time as "the minimum amount of baseline
+//! execution time where an optimistic analysis uses less total computational
+//! resources (profiling + static + dynamic) than a traditional [hybrid]
+//! analysis". Both sides are linear in the amount of baseline time analyzed:
+//!
+//! ```text
+//! cost(T) = one_time + overhead_ratio · T
+//! ```
+//!
+//! where `overhead_ratio` is the tool's runtime per second of baseline
+//! execution, measured on the testing corpus.
+
+use std::time::Duration;
+
+/// One analysis's cost line: a fixed setup cost plus a per-baseline-second
+/// runtime ratio.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// One-time setup cost (profiling and/or static analysis), seconds.
+    pub one_time: f64,
+    /// Tool runtime per second of baseline execution (≥ 0; 1.0 would mean
+    /// "as fast as uninstrumented").
+    pub overhead_ratio: f64,
+}
+
+impl CostModel {
+    /// Builds a model from measured durations.
+    pub fn new(one_time: Duration, tool_time: Duration, baseline_time: Duration) -> Self {
+        let b = baseline_time.as_secs_f64().max(1e-9);
+        Self {
+            one_time: one_time.as_secs_f64(),
+            overhead_ratio: tool_time.as_secs_f64() / b,
+        }
+    }
+
+    /// Total cost of analyzing `t` seconds of baseline execution.
+    pub fn cost(&self, t: f64) -> f64 {
+        self.one_time + self.overhead_ratio * t
+    }
+}
+
+/// The baseline-seconds at which `optimistic` becomes cheaper than
+/// `traditional`, or `None` if it never does (the Table 1/2 "–" entries).
+///
+/// # Examples
+///
+/// ```
+/// use oha_core::{break_even_seconds, CostModel};
+///
+/// let hybrid = CostModel { one_time: 10.0, overhead_ratio: 5.0 };
+/// let optimistic = CostModel { one_time: 60.0, overhead_ratio: 2.0 };
+/// // 60 + 2t < 10 + 5t  ⇔  t > 50/3.
+/// let t = break_even_seconds(&optimistic, &hybrid).unwrap();
+/// assert!((t - 50.0 / 3.0).abs() < 1e-9);
+///
+/// let slower = CostModel { one_time: 60.0, overhead_ratio: 9.0 };
+/// assert!(break_even_seconds(&slower, &hybrid).is_none());
+/// ```
+pub fn break_even_seconds(optimistic: &CostModel, traditional: &CostModel) -> Option<f64> {
+    let setup_gap = optimistic.one_time - traditional.one_time;
+    let rate_gain = traditional.overhead_ratio - optimistic.overhead_ratio;
+    if setup_gap <= 0.0 {
+        // Cheaper setup and (at worst equal) never-worse slope: immediate.
+        if rate_gain >= 0.0 {
+            return Some(0.0);
+        }
+        // Cheaper setup but slower per-second: optimistic wins only below
+        // a crossover, i.e. there is no break-even in the paper's sense.
+        return None;
+    }
+    if rate_gain <= 0.0 {
+        return None;
+    }
+    Some(setup_gap / rate_gain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_from_durations() {
+        let m = CostModel::new(
+            Duration::from_secs(3),
+            Duration::from_millis(1500),
+            Duration::from_millis(500),
+        );
+        assert!((m.one_time - 3.0).abs() < 1e-9);
+        assert!((m.overhead_ratio - 3.0).abs() < 1e-9);
+        assert!((m.cost(10.0) - 33.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn break_even_crossover() {
+        let trad = CostModel {
+            one_time: 75.0,
+            overhead_ratio: 12.6,
+        };
+        let opt = CostModel {
+            one_time: 179.0,
+            overhead_ratio: 3.5,
+        };
+        let t = break_even_seconds(&opt, &trad).unwrap();
+        assert!((t - (179.0 - 75.0) / (12.6 - 3.5)).abs() < 1e-9);
+        // Sanity: just below, traditional is cheaper; just above, opt is.
+        assert!(trad.cost(t - 1.0) < opt.cost(t - 1.0));
+        assert!(trad.cost(t + 1.0) > opt.cost(t + 1.0));
+    }
+
+    #[test]
+    fn no_break_even_when_not_faster() {
+        let trad = CostModel {
+            one_time: 10.0,
+            overhead_ratio: 2.0,
+        };
+        let opt = CostModel {
+            one_time: 50.0,
+            overhead_ratio: 2.0,
+        };
+        assert_eq!(break_even_seconds(&opt, &trad), None);
+    }
+
+    #[test]
+    fn immediate_break_even_when_strictly_better() {
+        let trad = CostModel {
+            one_time: 10.0,
+            overhead_ratio: 5.0,
+        };
+        let opt = CostModel {
+            one_time: 5.0,
+            overhead_ratio: 2.0,
+        };
+        assert_eq!(break_even_seconds(&opt, &trad), Some(0.0));
+    }
+}

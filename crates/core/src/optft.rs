@@ -1,0 +1,505 @@
+//! OptFT: optimistic FastTrack data-race detection (paper §4).
+
+use std::collections::{BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+
+use oha_dataflow::BitSet;
+use oha_fasttrack::FastTrackTool;
+use oha_interp::{Machine, MultiTracer, NoopTracer};
+use oha_invariants::{ChecksEnabled, InvariantChecker, InvariantSet};
+use oha_ir::{InstId, InstKind, Program};
+use oha_pointsto::{analyze, PointsTo, PointsToConfig, Sensitivity};
+use oha_races::{detect, MustLocksets, StaticRaces};
+
+use crate::pipeline::Pipeline;
+
+/// One testing-input execution of OptFT and its baselines.
+#[derive(Clone, Debug)]
+pub struct OptFtRun {
+    /// Uninstrumented execution time (the normalization baseline).
+    pub baseline: Duration,
+    /// Full FastTrack.
+    pub full: Duration,
+    /// Traditional hybrid FastTrack (sound static racy set).
+    pub hybrid: Duration,
+    /// OptFT's speculative run (includes invariant checking, excludes any
+    /// rollback).
+    pub optimistic: Duration,
+    /// A run with only the invariant checker attached — isolates the
+    /// invariant-check component of the Figure 5 stack.
+    pub checker_only: Duration,
+    /// Whether the speculative run had to roll back.
+    pub rolled_back: bool,
+    /// Time spent in the rollback re-execution (zero when none).
+    pub rollback: Duration,
+    /// Races from full FastTrack.
+    pub races_full: BTreeSet<(InstId, InstId)>,
+    /// Races from hybrid FastTrack.
+    pub races_hybrid: BTreeSet<(InstId, InstId)>,
+    /// OptFT's final answer (speculative result, or the rollback's).
+    pub races_opt: BTreeSet<(InstId, InstId)>,
+    /// Invariant violations observed by the checker.
+    pub violations: usize,
+}
+
+/// The result of the whole OptFT pipeline on one benchmark.
+#[derive(Clone, Debug)]
+pub struct OptFtOutcome {
+    /// Merged likely invariants (with the elidable-lock set filled in).
+    pub invariants: InvariantSet,
+    /// Time to run the profiling corpus (including the lock-elision
+    /// validation loop).
+    pub profile_time: Duration,
+    /// Sound static analysis (points-to + race detection) time.
+    pub sound_static_time: Duration,
+    /// Predicated static analysis time.
+    pub pred_static_time: Duration,
+    /// Loads/stores the sound detector left racy.
+    pub racy_sites_sound: usize,
+    /// Loads/stores the predicated detector left racy.
+    pub racy_sites_pred: usize,
+    /// Whether the program is statically provably race-free (sound): no
+    /// dynamic analysis is needed at all (the right side of Figure 5).
+    pub statically_race_free: bool,
+    /// Lock/unlock sites elided under no-custom-synchronization.
+    pub elidable_lock_sites: usize,
+    /// Profiling runs consumed before the invariant set stabilized.
+    pub profiling_runs_used: usize,
+    /// Per-testing-input measurements.
+    pub runs: Vec<OptFtRun>,
+    /// Union of full-FastTrack races over the testing corpus.
+    pub baseline_races: BTreeSet<(InstId, InstId)>,
+    /// Union of OptFT final races over the testing corpus. Soundness means
+    /// this equals [`OptFtOutcome::baseline_races`].
+    pub optimistic_races: BTreeSet<(InstId, InstId)>,
+}
+
+impl OptFtOutcome {
+    /// Speedup of OptFT (incl. rollbacks) over full FastTrack, measured on
+    /// total analysis overhead (time above baseline) across the corpus.
+    pub fn speedup_vs_full(&self) -> f64 {
+        ratio_of_sums(self.runs.iter().map(|r| {
+            (
+                sub(r.full, r.baseline),
+                sub(r.optimistic + r.rollback, r.baseline),
+            )
+        }))
+    }
+
+    /// Speedup of OptFT over hybrid FastTrack.
+    pub fn speedup_vs_hybrid(&self) -> f64 {
+        ratio_of_sums(self.runs.iter().map(|r| {
+            (
+                sub(r.hybrid, r.baseline),
+                sub(r.optimistic + r.rollback, r.baseline),
+            )
+        }))
+    }
+
+    /// Fraction of testing runs that rolled back.
+    pub fn misspeculation_rate(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().filter(|r| r.rolled_back).count() as f64 / self.runs.len() as f64
+    }
+}
+
+fn sub(a: Duration, b: Duration) -> Duration {
+    a.checked_sub(b).unwrap_or(Duration::from_nanos(1))
+}
+
+/// Corpus-level overhead ratio: total numerator overhead over total
+/// denominator overhead (robust against near-zero per-run denominators).
+fn ratio_of_sums(pairs: impl Iterator<Item = (Duration, Duration)>) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (a, b) in pairs {
+        num += a.as_secs_f64();
+        den += b.as_secs_f64();
+    }
+    if den <= 0.0 {
+        1.0
+    } else {
+        num / den
+    }
+}
+
+/// The OptFT driver. Use [`Pipeline::run_optft`].
+pub struct OptFt<'a> {
+    pipeline: &'a Pipeline,
+}
+
+impl<'a> OptFt<'a> {
+    pub(crate) fn new(pipeline: &'a Pipeline) -> Self {
+        Self { pipeline }
+    }
+
+    pub(crate) fn run(self, profiling: &[Vec<i64>], testing: &[Vec<i64>]) -> OptFtOutcome {
+        let program = self.pipeline.program();
+        let machine = Machine::new(program, self.pipeline.config().machine);
+
+        // Phase 1: profile until the invariant set stabilizes (§6.1).
+        let (mut invariants, mut profile_time, profiling_used) =
+            self.pipeline.profile_until_stable(profiling, 6);
+
+        // Phase 2a: sound static analysis (traditional hybrid's input).
+        let t = Instant::now();
+        let pt_sound = analyze(program, &self.pt_config(None))
+            .expect("context-insensitive points-to always completes");
+        let races_sound = detect(program, &pt_sound, None);
+        let sound_static_time = t.elapsed();
+
+        // Phase 2b: predicated static analysis.
+        let t = Instant::now();
+        let pt_pred = analyze(program, &self.pt_config(Some(&invariants)))
+            .expect("context-insensitive points-to always completes");
+        let races_pred = detect(program, &pt_pred, Some(&invariants));
+        let pred_static_time = t.elapsed();
+
+        // No-custom-synchronization: propose elidable lock/unlock sites and
+        // validate them on the profiling corpus (§4.2.4): any race the
+        // elided detector reports that the sound detector does not is a
+        // false race caused by a custom synchronization through an elided
+        // lock — put that lock's instrumentation back and retry.
+        let t = Instant::now();
+        let elidable = validate_elidable_locks(
+            program,
+            &machine,
+            &pt_pred,
+            &races_pred,
+            races_sound.racy_sites(),
+            profiling,
+        );
+        invariants.elidable_locks = elidable;
+        profile_time += t.elapsed();
+
+        // Phase 3: speculative dynamic analysis over the testing corpus.
+        let mut runs = Vec::with_capacity(testing.len());
+        let mut baseline_races = BTreeSet::new();
+        let mut optimistic_races = BTreeSet::new();
+        for input in testing {
+            let run = self.dynamic_run(
+                input,
+                &machine,
+                &races_sound,
+                &races_pred,
+                &invariants,
+            );
+            baseline_races.extend(run.races_full.iter().copied());
+            optimistic_races.extend(run.races_opt.iter().copied());
+            runs.push(run);
+        }
+
+        OptFtOutcome {
+            profiling_runs_used: profiling_used,
+            profile_time,
+            sound_static_time,
+            pred_static_time,
+            racy_sites_sound: races_sound.stats().racy_accesses,
+            racy_sites_pred: races_pred.stats().racy_accesses,
+            statically_race_free: races_sound.stats().racy_accesses == 0,
+            elidable_lock_sites: invariants.elidable_locks.len(),
+            invariants,
+            runs,
+            baseline_races,
+            optimistic_races,
+        }
+    }
+
+    fn pt_config<'i>(&self, invariants: Option<&'i InvariantSet>) -> PointsToConfig<'i> {
+        PointsToConfig {
+            sensitivity: Sensitivity::ContextInsensitive,
+            invariants,
+            clone_budget: self.pipeline.config().ctx_budget,
+            solver_budget: self.pipeline.config().solver_budget,
+        }
+    }
+
+    fn dynamic_run(
+        &self,
+        input: &[i64],
+        machine: &Machine<'_>,
+        races_sound: &StaticRaces,
+        races_pred: &StaticRaces,
+        invariants: &InvariantSet,
+    ) -> OptFtRun {
+        let program = self.pipeline.program();
+
+        let t = Instant::now();
+        machine.run(input, &mut NoopTracer);
+        let baseline = t.elapsed();
+
+        let t = Instant::now();
+        let mut full = FastTrackTool::full();
+        machine.run(input, &mut full);
+        let full_time = t.elapsed();
+
+        let t = Instant::now();
+        let mut hybrid = FastTrackTool::hybrid(races_sound.racy_sites());
+        machine.run(input, &mut hybrid);
+        let hybrid_time = t.elapsed();
+
+        let t = Instant::now();
+        let mut checker_only = InvariantChecker::new(program, invariants, ChecksEnabled::for_optft());
+        machine.run(input, &mut checker_only);
+        let checker_only_time = t.elapsed();
+
+        // The speculative run: optimistic FastTrack + invariant checks,
+        // with the schedule recorded so a mis-speculation can replay the
+        // identical interleaving (the paper's record/replay rollback).
+        let t = Instant::now();
+        let opt_tool = FastTrackTool::optimistic(
+            races_pred.racy_sites(),
+            &invariants.elidable_locks,
+        );
+        let checker = InvariantChecker::new(program, invariants, ChecksEnabled::for_optft());
+        let mut combined = MultiTracer::new(opt_tool, checker);
+        let (_, schedule) = machine.run_recording(input, &mut combined);
+        let optimistic_time = t.elapsed();
+
+        let opt_races = combined.first.race_pairs();
+        let violations = combined.second.violations().count();
+        // Rollback policy: invariant violations always roll back; race
+        // reports are potential mis-speculations only when lock
+        // instrumentation was elided (§4.2.4).
+        let rolled_back = combined.second.is_violated()
+            || (!invariants.elidable_locks.is_empty() && !opt_races.is_empty());
+
+        let (races_opt, rollback) = if rolled_back {
+            // Roll back: replay the recorded schedule under the traditional
+            // hybrid analysis, which observes the same execution the failed
+            // speculation did.
+            let t = Instant::now();
+            let mut redo = FastTrackTool::hybrid(races_sound.racy_sites());
+            machine.run_replay(input, &schedule, &mut redo);
+            (redo.race_pairs(), t.elapsed())
+        } else {
+            (opt_races, Duration::ZERO)
+        };
+
+        OptFtRun {
+            baseline,
+            full: full_time,
+            hybrid: hybrid_time,
+            optimistic: optimistic_time,
+            checker_only: checker_only_time,
+            rolled_back,
+            rollback,
+            races_full: full.race_pairs(),
+            races_hybrid: hybrid.race_pairs(),
+            races_opt,
+            violations,
+        }
+    }
+}
+
+/// Proposes and validates lock/unlock sites whose instrumentation can be
+/// elided (no-custom-synchronization, §4.2.4).
+fn validate_elidable_locks(
+    program: &Program,
+    machine: &Machine<'_>,
+    pt_pred: &PointsTo,
+    races_pred: &StaticRaces,
+    sound_racy: &BitSet,
+    profiling: &[Vec<i64>],
+) -> BTreeSet<InstId> {
+    // Group lock/unlock sites into alias classes (shared lock cells).
+    let sites: Vec<InstId> = program
+        .insts()
+        .filter(|i| matches!(i.kind, InstKind::Lock { .. } | InstKind::Unlock { .. }))
+        .map(|i| i.id)
+        .collect();
+    if sites.is_empty() {
+        return BTreeSet::new();
+    }
+    let mut class_of: HashMap<InstId, usize> = HashMap::new();
+    let mut classes: Vec<Vec<InstId>> = Vec::new();
+    let mut class_cells: Vec<BitSet> = Vec::new();
+    for &s in &sites {
+        let cells = pt_pred.lock_cells(s);
+        let found = class_cells.iter().position(|c| c.intersects(cells));
+        match found {
+            Some(k) => {
+                classes[k].push(s);
+                class_cells[k].union_with(cells);
+                class_of.insert(s, k);
+            }
+            None => {
+                class_of.insert(s, classes.len());
+                classes.push(vec![s]);
+                class_cells.push(cells.clone());
+            }
+        }
+    }
+
+    // A class is a candidate when no access it guards needs instrumentation.
+    let locksets = MustLocksets::new(program, pt_pred);
+    let mut candidate = vec![true; classes.len()];
+    for inst in program.insts() {
+        if !inst.kind.is_memory_access() {
+            continue;
+        }
+        if races_pred.is_racy(inst.id) {
+            for &l in locksets.held_at(inst.id) {
+                if let Some(&k) = class_of.get(&l) {
+                    candidate[k] = false;
+                }
+            }
+        }
+    }
+
+    // Validation loop: run the elided detector on the profiling corpus and
+    // compare against the sound hybrid detector; a false race de-elides the
+    // involved lock classes.
+    loop {
+        let elided: BTreeSet<InstId> = classes
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| candidate[k])
+            .flat_map(|(_, c)| c.iter().copied())
+            .collect();
+        if elided.is_empty() {
+            return elided;
+        }
+        let mut false_race = false;
+        for input in profiling {
+            let mut sound = FastTrackTool::hybrid(sound_racy);
+            machine.run(input, &mut sound);
+            let mut opt = FastTrackTool::optimistic(races_pred.racy_sites(), &elided);
+            machine.run(input, &mut opt);
+            if !opt.race_pairs().is_subset(&sound.race_pairs()) {
+                false_race = true;
+                break;
+            }
+        }
+        if !false_race {
+            return elided;
+        }
+        // Give up elision entirely on a false race: simple and sound. A
+        // finer policy would de-elide only the offending class; the paper's
+        // "return the lock/unlock instrumentation to the offending locks"
+        // iterates similarly until the false races disappear.
+        for c in candidate.iter_mut() {
+            *c = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_ir::{Operand, ProgramBuilder};
+    use Operand::{Const, Reg as R};
+
+    /// Two workers increment a shared counter under a lock.
+    fn locked_counter() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("shared", 1);
+        let w = pb.declare("worker", 1);
+        let mut m = pb.function("main", 0);
+        let n1 = m.input();
+        let t1 = m.spawn(w, R(n1));
+        let t2 = m.spawn(w, R(n1));
+        m.join(R(t1));
+        m.join(R(t2));
+        let ga = m.addr_global(g);
+        let v = m.load(R(ga), 0);
+        m.output(R(v));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut wf = pb.function("worker", 1);
+        let iters = wf.param(0);
+        let head = wf.block();
+        let body = wf.block();
+        let exit = wf.block();
+        let ga = wf.addr_global(g);
+        let i = wf.copy(Const(0));
+        wf.jump(head);
+        wf.select(head);
+        let c = wf.cmp(oha_ir::CmpOp::Lt, R(i), R(iters));
+        wf.branch(R(c), body, exit);
+        wf.select(body);
+        wf.lock(R(ga));
+        let v = wf.load(R(ga), 0);
+        let v1 = wf.bin(oha_ir::BinOp::Add, R(v), Const(1));
+        wf.store(R(ga), 0, R(v1));
+        wf.unlock(R(ga));
+        let i1 = wf.bin(oha_ir::BinOp::Add, R(i), Const(1));
+        wf.copy_to(i, R(i1));
+        wf.jump(head);
+        wf.select(exit);
+        wf.ret(None);
+        pb.finish_function(wf);
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn optft_is_race_equivalent_and_elides_work() {
+        let pipeline = Pipeline::new(locked_counter());
+        let profiling: Vec<Vec<i64>> = (1..5).map(|n| vec![n * 10]).collect();
+        let testing: Vec<Vec<i64>> = (1..6).map(|n| vec![n * 7]).collect();
+        let outcome = pipeline.run_optft(&profiling, &testing);
+
+        assert_eq!(outcome.optimistic_races, outcome.baseline_races);
+        assert!(outcome.baseline_races.is_empty(), "the counter is race-free");
+        assert!(
+            outcome.racy_sites_pred < outcome.racy_sites_sound,
+            "guarding locks prune candidates ({} !< {})",
+            outcome.racy_sites_pred,
+            outcome.racy_sites_sound
+        );
+        assert_eq!(outcome.racy_sites_pred, 0);
+        assert!(outcome.elidable_lock_sites > 0, "locks elided");
+        assert_eq!(outcome.misspeculation_rate(), 0.0);
+    }
+
+    /// An input-dependent cold path makes the LUC invariant fail on a
+    /// testing input outside the profiled distribution — OptFT must roll
+    /// back and still produce the sound answer.
+    #[test]
+    fn optft_rolls_back_on_invariant_violation() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("shared", 1);
+        let w = pb.declare("worker", 1);
+        let mut m = pb.function("main", 0);
+        let sel = m.input();
+        let cold = m.block();
+        let spawn_b = m.block();
+        m.branch(R(sel), cold, spawn_b);
+        m.select(cold);
+        // The cold path writes the shared global unlocked, racing with the
+        // workers.
+        let ga = m.addr_global(g);
+        let t1 = m.spawn(w, Const(5));
+        m.store(R(ga), 0, Const(-1));
+        m.join(R(t1));
+        m.ret(None);
+        m.select(spawn_b);
+        let t1 = m.spawn(w, Const(5));
+        m.join(R(t1));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut wf = pb.function("worker", 1);
+        let ga = wf.addr_global(g);
+        let v = wf.load(R(ga), 0);
+        wf.store(R(ga), 0, R(v));
+        wf.ret(None);
+        pb.finish_function(wf);
+        let p = pb.finish(main).unwrap();
+
+        let pipeline = Pipeline::new(p);
+        // Profile only the hot path (sel == 0).
+        let profiling = vec![vec![0], vec![0]];
+        // Test includes the cold path (sel == 1).
+        let testing = vec![vec![0], vec![1]];
+        let outcome = pipeline.run_optft(&profiling, &testing);
+
+        assert!(outcome.runs[1].rolled_back, "cold path must mis-speculate");
+        assert!(!outcome.runs[0].rolled_back);
+        assert_eq!(
+            outcome.optimistic_races, outcome.baseline_races,
+            "rollback restores soundness"
+        );
+    }
+}

@@ -1,0 +1,424 @@
+//! OptSlice: optimistic dynamic backward slicing (paper §5).
+
+use std::time::{Duration, Instant};
+
+use oha_giri::{DynamicSlice, GiriTool};
+use oha_interp::{Machine, MultiTracer, NoopTracer};
+use oha_invariants::{ChecksEnabled, InvariantChecker, InvariantSet};
+use oha_ir::InstId;
+use oha_pointsto::{analyze, PointsTo, PointsToConfig, Sensitivity};
+use oha_slicing::{slice, SliceConfig, StaticSlice};
+
+use crate::pipeline::Pipeline;
+
+/// One static-analysis side (sound or predicated) of Table 2.
+#[derive(Clone, Debug)]
+pub struct StaticSideReport {
+    /// The most accurate points-to analysis that completed.
+    pub points_to_at: Sensitivity,
+    /// Points-to analysis time.
+    pub points_to_time: Duration,
+    /// The most accurate slicer that completed.
+    pub slice_at: Sensitivity,
+    /// Slicing time.
+    pub slice_time: Duration,
+    /// Static slice size in instructions (Figure 10's metric).
+    pub slice_size: usize,
+    /// Load/store alias rate (Figure 9's metric). On the sound side this
+    /// is restricted to the accesses the predicated analysis considers —
+    /// the paper's fairness rule (§6.3).
+    pub alias_rate: f64,
+}
+
+/// One testing-input execution of OptSlice and its baselines.
+#[derive(Clone, Debug)]
+pub struct OptSliceRun {
+    /// Uninstrumented execution time.
+    pub baseline: Duration,
+    /// Traditional hybrid slicer (traces the sound static slice).
+    pub hybrid: Duration,
+    /// OptSlice's speculative run (includes invariant checking, excludes
+    /// rollback).
+    pub optimistic: Duration,
+    /// Invariant-checker-only run (the Figure 6 invariant-check component).
+    pub checker_only: Duration,
+    /// Whether the speculative run rolled back.
+    pub rolled_back: bool,
+    /// Rollback re-execution time (zero when none).
+    pub rollback: Duration,
+    /// Dynamic slice from the hybrid slicer.
+    pub hybrid_slice_len: usize,
+    /// OptSlice's final dynamic slice (speculative or rollback result).
+    pub opt_slice_len: usize,
+    /// Soundness check: the final optimistic slice equals the hybrid one.
+    pub slices_equal: bool,
+}
+
+/// The result of the whole OptSlice pipeline on one benchmark.
+#[derive(Clone, Debug)]
+pub struct OptSliceOutcome {
+    /// Merged likely invariants.
+    pub invariants: InvariantSet,
+    /// Profiling corpus time.
+    pub profile_time: Duration,
+    /// Profiling runs consumed before the invariant set stabilized.
+    pub profiling_runs_used: usize,
+    /// The sound static side (feeds the traditional hybrid slicer).
+    pub sound: StaticSideReport,
+    /// The predicated static side (feeds OptSlice).
+    pub pred: StaticSideReport,
+    /// Per-testing-input measurements.
+    pub runs: Vec<OptSliceRun>,
+}
+
+impl OptSliceOutcome {
+    /// Dynamic speedup of OptSlice (incl. rollbacks) over the hybrid
+    /// slicer: total analysis overhead above baseline across the corpus
+    /// (robust against near-zero per-run denominators).
+    pub fn speedup_vs_hybrid(&self) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for r in &self.runs {
+            den += (r.optimistic + r.rollback)
+                .checked_sub(r.baseline)
+                .unwrap_or(Duration::from_nanos(1))
+                .as_secs_f64();
+            num += r
+                .hybrid
+                .checked_sub(r.baseline)
+                .unwrap_or(Duration::from_nanos(1))
+                .as_secs_f64();
+        }
+        if den <= 0.0 {
+            1.0
+        } else {
+            num / den
+        }
+    }
+
+    /// Fraction of testing runs that rolled back.
+    pub fn misspeculation_rate(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().filter(|r| r.rolled_back).count() as f64 / self.runs.len() as f64
+    }
+
+    /// Whether every final optimistic slice matched the hybrid slicer's.
+    pub fn all_slices_equal(&self) -> bool {
+        self.runs.iter().all(|r| r.slices_equal)
+    }
+}
+
+/// The OptSlice driver. Use [`Pipeline::run_optslice`].
+pub struct OptSlice<'a> {
+    pipeline: &'a Pipeline,
+    endpoints: Vec<InstId>,
+}
+
+struct StaticSide {
+    report: StaticSideReport,
+    slice: StaticSlice,
+    pt: PointsTo,
+}
+
+impl<'a> OptSlice<'a> {
+    pub(crate) fn new(pipeline: &'a Pipeline, endpoints: Vec<InstId>) -> Self {
+        Self {
+            pipeline,
+            endpoints,
+        }
+    }
+
+    /// Runs the most accurate analyses that complete within budget: CS
+    /// first, CI as the fallback — the paper's "most accurate static
+    /// analysis that will complete on that benchmark without exhausting
+    /// available computational resources" (§6.1.2).
+    fn static_side(&self, invariants: Option<&InvariantSet>) -> StaticSide {
+        let program = self.pipeline.program();
+        let cfg = self.pipeline.config();
+
+        let t = Instant::now();
+        let (pt, pt_at): (PointsTo, Sensitivity) = {
+            let cs = analyze(
+                program,
+                &PointsToConfig {
+                    sensitivity: Sensitivity::ContextSensitive,
+                    invariants,
+                    clone_budget: cfg.ctx_budget,
+                    solver_budget: cfg.solver_budget,
+                },
+            );
+            match cs {
+                Ok(pt) => (pt, Sensitivity::ContextSensitive),
+                Err(_) => (
+                    analyze(
+                        program,
+                        &PointsToConfig {
+                            sensitivity: Sensitivity::ContextInsensitive,
+                            invariants,
+                            clone_budget: cfg.ctx_budget,
+                            solver_budget: cfg.solver_budget,
+                        },
+                    )
+                    .expect("context-insensitive points-to always completes"),
+                    Sensitivity::ContextInsensitive,
+                ),
+            }
+        };
+        let points_to_time = t.elapsed();
+
+        let t = Instant::now();
+        let (static_slice, slice_at) = {
+            let cs = slice(
+                program,
+                &pt,
+                &self.endpoints,
+                &SliceConfig {
+                    sensitivity: Sensitivity::ContextSensitive,
+                    invariants,
+                    ctx_budget: cfg.ctx_budget,
+                    visit_budget: cfg.visit_budget,
+                },
+            );
+            match cs {
+                Ok(s) => (s, Sensitivity::ContextSensitive),
+                Err(_) => (
+                    slice(
+                        program,
+                        &pt,
+                        &self.endpoints,
+                        &SliceConfig {
+                            sensitivity: Sensitivity::ContextInsensitive,
+                            invariants,
+                            ctx_budget: cfg.ctx_budget,
+                            visit_budget: cfg.visit_budget,
+                        },
+                    )
+                    .expect("context-insensitive slicing always completes"),
+                    Sensitivity::ContextInsensitive,
+                ),
+            }
+        };
+        let slice_time = t.elapsed();
+
+        StaticSide {
+            report: StaticSideReport {
+                points_to_at: pt_at,
+                points_to_time,
+                slice_at,
+                slice_time,
+                slice_size: static_slice.len(),
+                alias_rate: pt.alias_rate(),
+            },
+            slice: static_slice,
+            pt,
+        }
+    }
+
+    pub(crate) fn run(self, profiling: &[Vec<i64>], testing: &[Vec<i64>]) -> OptSliceOutcome {
+        let program = self.pipeline.program();
+        let machine = Machine::new(program, self.pipeline.config().machine);
+
+        let (invariants, profile_time, profiling_used) =
+            self.pipeline.profile_until_stable(profiling, 6);
+        let mut sound = self.static_side(None);
+        let pred = self.static_side(Some(&invariants));
+        // Figure 9's fairness rule: report the sound alias rate over the
+        // accesses the predicated analysis still considers.
+        sound.report.alias_rate = sound.pt.alias_rate_over(&pred.pt);
+
+        let mut runs = Vec::with_capacity(testing.len());
+        for input in testing {
+            let t = Instant::now();
+            machine.run(input, &mut NoopTracer);
+            let baseline = t.elapsed();
+
+            let t = Instant::now();
+            let mut hybrid = GiriTool::hybrid(program, sound.slice.sites());
+            machine.run(input, &mut hybrid);
+            let hybrid_time = t.elapsed();
+            let hybrid_slice = self.slice_endpoints(&hybrid);
+
+            let t = Instant::now();
+            let mut checker_only =
+                InvariantChecker::new(program, &invariants, ChecksEnabled::for_optslice());
+            machine.run(input, &mut checker_only);
+            let checker_only_time = t.elapsed();
+
+            // Speculative run with the schedule recorded for rollback.
+            let t = Instant::now();
+            let opt_tool = GiriTool::hybrid(program, pred.slice.sites());
+            let checker =
+                InvariantChecker::new(program, &invariants, ChecksEnabled::for_optslice());
+            let mut combined = MultiTracer::new(opt_tool, checker);
+            let (_, schedule) = machine.run_recording(input, &mut combined);
+            let optimistic_time = t.elapsed();
+
+            let rolled_back = combined.second.is_violated();
+            let (opt_slice, rollback) = if rolled_back {
+                // Replay the identical interleaving under the traditional
+                // hybrid slicer.
+                let t = Instant::now();
+                let mut redo = GiriTool::hybrid(program, sound.slice.sites());
+                machine.run_replay(input, &schedule, &mut redo);
+                (self.slice_endpoints(&redo), t.elapsed())
+            } else {
+                (self.slice_endpoints(&combined.first), Duration::ZERO)
+            };
+
+            runs.push(OptSliceRun {
+                baseline,
+                hybrid: hybrid_time,
+                optimistic: optimistic_time,
+                checker_only: checker_only_time,
+                rolled_back,
+                rollback,
+                hybrid_slice_len: hybrid_slice.len(),
+                opt_slice_len: opt_slice.len(),
+                slices_equal: hybrid_slice == opt_slice,
+            });
+        }
+
+        OptSliceOutcome {
+            invariants,
+            profile_time,
+            profiling_runs_used: profiling_used,
+            sound: sound.report,
+            pred: pred.report,
+            runs,
+        }
+    }
+
+    fn slice_endpoints(&self, tool: &GiriTool<'_>) -> DynamicSlice {
+        let mut acc = DynamicSlice::default();
+        for &e in &self.endpoints {
+            let s = tool.slice_of(e);
+            acc = merge(acc, s);
+        }
+        acc
+    }
+}
+
+fn merge(a: DynamicSlice, b: DynamicSlice) -> DynamicSlice {
+    // DynamicSlice does not expose a mutable union, so rebuild through the
+    // bit sets.
+    let mut bits = a.sites().clone();
+    bits.union_with(b.sites());
+    DynamicSlice::from_sites(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_ir::{InstKind, Operand, Program, ProgramBuilder};
+    use Operand::{Const, Reg as R};
+
+    /// An interpreter-style program: dispatch through function pointers on
+    /// input, with a cold error path.
+    fn dispatcher() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let op_add = pb.declare("op_add", 1);
+        let op_mul = pb.declare("op_mul", 1);
+        let op_err = pb.declare("op_err", 1);
+        let mut m = pb.function("main", 0);
+        let head = m.block();
+        let body = m.block();
+        let pick_mul = m.block();
+        let pick_err = m.block();
+        let do_call = m.block();
+        let exit = m.block();
+        let acc = m.copy(Const(0));
+        let fp = m.reg();
+        m.jump(head);
+        m.select(head);
+        let more = m.input();
+        m.branch(R(more), body, exit);
+        m.select(body);
+        let sel = m.input();
+        let fadd = m.addr_func(op_add);
+        m.copy_to(fp, R(fadd));
+        let is_mul = m.cmp(oha_ir::CmpOp::Eq, R(sel), Const(1));
+        let is_err = m.cmp(oha_ir::CmpOp::Eq, R(sel), Const(2));
+        let check_err = m.block();
+        m.branch(R(is_mul), pick_mul, check_err);
+        m.select(pick_mul);
+        let fmul = m.addr_func(op_mul);
+        m.copy_to(fp, R(fmul));
+        m.jump(do_call);
+        m.select(check_err);
+        m.branch(R(is_err), pick_err, do_call);
+        m.select(pick_err);
+        let ferr = m.addr_func(op_err);
+        m.copy_to(fp, R(ferr));
+        m.jump(do_call);
+        m.select(do_call);
+        let r = m.call_indirect(R(fp), vec![R(acc)]);
+        m.copy_to(acc, R(r));
+        m.jump(head);
+        m.select(exit);
+        m.output(R(acc));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        for (name, op) in [("op_add", oha_ir::BinOp::Add), ("op_mul", oha_ir::BinOp::Mul)] {
+            let mut f = pb.function(name, 1);
+            let v = f.bin(op, R(f.param(0)), Const(3));
+            f.ret(Some(R(v)));
+            pb.finish_function(f);
+        }
+        let mut f = pb.function("op_err", 1);
+        f.output(Const(-999));
+        f.ret(Some(Const(0)));
+        pb.finish_function(f);
+        pb.finish(main).unwrap()
+    }
+
+    fn endpoint(p: &Program) -> InstId {
+        p.inst_ids()
+            .find(|&i| {
+                matches!(p.inst(i).kind, InstKind::Output { .. })
+                    && p.function(p.func_of_inst(i)).name == "main"
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn optslice_matches_hybrid_and_shrinks_static_slice() {
+        let p = dispatcher();
+        let e = endpoint(&p);
+        let pipeline = Pipeline::new(p);
+        // Profile only add/mul operations (sel 0/1).
+        let profiling = vec![
+            vec![1, 0, 1, 1, 0],
+            vec![1, 1, 1, 0, 1, 1, 0, 0],
+            vec![0],
+        ];
+        let testing = vec![vec![1, 0, 1, 1, 1, 1, 0], vec![1, 1, 0], vec![0]];
+        let outcome = pipeline.run_optslice(&profiling, &testing, &[e]);
+
+        assert!(outcome.all_slices_equal(), "OptSlice must match hybrid");
+        assert_eq!(outcome.misspeculation_rate(), 0.0);
+        assert!(
+            outcome.pred.slice_size < outcome.sound.slice_size,
+            "predicated static slice smaller ({} !< {})",
+            outcome.pred.slice_size,
+            outcome.sound.slice_size
+        );
+        assert!(outcome.pred.alias_rate <= outcome.sound.alias_rate);
+    }
+
+    #[test]
+    fn optslice_rolls_back_on_new_callee() {
+        let p = dispatcher();
+        let e = endpoint(&p);
+        let pipeline = Pipeline::new(p);
+        let profiling = vec![vec![1, 0, 1, 1, 0], vec![0]];
+        // sel == 2 dispatches to op_err, a path (and callee) profiling
+        // never saw: LUC and callee-set invariants are both violated.
+        let testing = vec![vec![1, 2], vec![1, 0, 0]];
+        let outcome = pipeline.run_optslice(&profiling, &testing, &[e]);
+        assert!(outcome.runs[0].rolled_back, "unprofiled path rolls back");
+        assert!(!outcome.runs[1].rolled_back);
+        assert!(outcome.all_slices_equal(), "rollback restores the answer");
+    }
+}

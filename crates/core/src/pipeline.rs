@@ -1,0 +1,156 @@
+//! The shared pipeline scaffolding: configuration and the profiling phase.
+
+use std::time::{Duration, Instant};
+
+use oha_interp::{Machine, MachineConfig};
+use oha_invariants::{InvariantSet, ProfileTracer, RunProfile};
+use oha_ir::{InstId, Program};
+
+use crate::optft::OptFtOutcome;
+use crate::optslice::OptSliceOutcome;
+
+/// Knobs shared by both tools.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Interpreter configuration (seed, quantum, step budget). The same
+    /// seed is reused for a rollback re-execution, which is what makes the
+    /// rollback observe the identical interleaving.
+    pub machine: MachineConfig,
+    /// Context budget for context-sensitive static analyses; exceeding it
+    /// makes an analysis "fail to complete" and the pipeline falls back to
+    /// the context-insensitive variant (Table 2's AT columns).
+    pub ctx_budget: u32,
+    /// Iteration budget for the points-to solver.
+    pub solver_budget: u64,
+    /// Visit budget for the static slicer.
+    pub visit_budget: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            machine: MachineConfig::default(),
+            ctx_budget: 4096,
+            solver_budget: 20_000_000,
+            visit_budget: 5_000_000,
+        }
+    }
+}
+
+/// The three-phase optimistic hybrid analysis driver for one program.
+///
+/// # Examples
+///
+/// ```
+/// use oha_core::Pipeline;
+/// use oha_ir::{Operand, ProgramBuilder};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let mut f = pb.function("main", 0);
+/// let x = f.input();
+/// f.output(Operand::Reg(x));
+/// f.ret(None);
+/// let main = pb.finish_function(f);
+/// let program = pb.finish(main).unwrap();
+///
+/// let pipeline = Pipeline::new(program);
+/// let (invariants, _time) = pipeline.profile(&[vec![1], vec![2]]);
+/// assert_eq!(invariants.num_profiles, 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    program: Program,
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// A pipeline with default configuration.
+    pub fn new(program: Program) -> Self {
+        Self {
+            program,
+            config: PipelineConfig::default(),
+        }
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: PipelineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The program under analysis.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> PipelineConfig {
+        self.config
+    }
+
+    /// Phase 1: runs the profiling corpus and merges the likely invariants.
+    pub fn profile(&self, inputs: &[Vec<i64>]) -> (InvariantSet, Duration) {
+        let start = Instant::now();
+        let profiles: Vec<RunProfile> = inputs
+            .iter()
+            .map(|input| {
+                let mut tracer = ProfileTracer::new(&self.program);
+                Machine::new(&self.program, self.config.machine).run(input, &mut tracer);
+                tracer.into_profile()
+            })
+            .collect();
+        let set = InvariantSet::from_profiles(&profiles);
+        (set, start.elapsed())
+    }
+
+    /// Phase 1 with the paper's stopping rule: profile additional inputs
+    /// "until the number of dynamic invariants stabilizes" (§6.1) — i.e.
+    /// until `patience` consecutive runs add no new facts (or the corpus is
+    /// exhausted). Returns the merged set, the time spent, and how many
+    /// inputs were consumed.
+    pub fn profile_until_stable(
+        &self,
+        inputs: &[Vec<i64>],
+        patience: usize,
+    ) -> (InvariantSet, Duration, usize) {
+        let start = Instant::now();
+        let mut profiles: Vec<RunProfile> = Vec::new();
+        let mut last_count = usize::MAX;
+        let mut stable_for = 0usize;
+        let mut used = 0usize;
+        for input in inputs {
+            let mut tracer = ProfileTracer::new(&self.program);
+            Machine::new(&self.program, self.config.machine).run(input, &mut tracer);
+            profiles.push(tracer.into_profile());
+            used += 1;
+            let count = InvariantSet::from_profiles(&profiles).fact_count();
+            if count == last_count {
+                stable_for += 1;
+                if stable_for >= patience {
+                    break;
+                }
+            } else {
+                stable_for = 0;
+                last_count = count;
+            }
+        }
+        let set = InvariantSet::from_profiles(&profiles);
+        (set, start.elapsed(), used)
+    }
+
+    /// Runs the full OptFT pipeline (profile → predicated static race
+    /// detection → speculative FastTrack with rollback) and every baseline.
+    pub fn run_optft(&self, profiling: &[Vec<i64>], testing: &[Vec<i64>]) -> OptFtOutcome {
+        crate::optft::OptFt::new(self).run(profiling, testing)
+    }
+
+    /// Runs the full OptSlice pipeline for the given slice endpoints.
+    pub fn run_optslice(
+        &self,
+        profiling: &[Vec<i64>],
+        testing: &[Vec<i64>],
+        endpoints: &[InstId],
+    ) -> OptSliceOutcome {
+        crate::optslice::OptSlice::new(self, endpoints.to_vec()).run(profiling, testing)
+    }
+}

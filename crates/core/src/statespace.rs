@@ -1,0 +1,99 @@
+//! Quantifying the Figure 1 state-space picture.
+//!
+//! Figure 1 is conceptual: sound static analysis explores S ⊇ P (all real
+//! program states), while predicated analysis explores O, which can be
+//! smaller than P itself. We quantify the *analysis* state space as the
+//! size of the data-flow machinery a points-to pass builds: constraint
+//! nodes, copy edges and reachable instructions.
+
+use oha_invariants::InvariantSet;
+use oha_ir::Program;
+use oha_pointsto::{analyze, PointsToConfig};
+
+/// Analysis state-space measures for one configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StateSpace {
+    /// Constraint-graph nodes.
+    pub nodes: usize,
+    /// Copy edges.
+    pub edges: usize,
+    /// Instructions contributing constraints (reachable, unpruned code).
+    pub reachable_insts: usize,
+    /// Solver iterations to fixpoint.
+    pub iterations: u64,
+}
+
+/// Measures the analysis state space with and without predication.
+pub fn state_space(program: &Program, invariants: Option<&InvariantSet>) -> StateSpace {
+    let pt = analyze(
+        program,
+        &PointsToConfig {
+            invariants,
+            ..PointsToConfig::default()
+        },
+    )
+    .expect("context-insensitive points-to always completes");
+    let reachable_insts = match invariants {
+        Some(inv) => program
+            .inst_ids()
+            .filter(|&i| inv.is_visited(program.loc(i).block))
+            .count(),
+        None => program.num_insts(),
+    };
+    let stats = pt.stats();
+    StateSpace {
+        nodes: stats.nodes,
+        edges: stats.copy_edges,
+        reachable_insts,
+        iterations: stats.solver_iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use oha_ir::{Operand, ProgramBuilder};
+    use Operand::{Const, Reg as R};
+
+    #[test]
+    fn predication_shrinks_the_state_space() {
+        // A program with a large cold region.
+        let mut pb = ProgramBuilder::new();
+        let cold_fn = pb.declare("cold", 1);
+        let mut m = pb.function("main", 0);
+        let hot = m.block();
+        let cold = m.block();
+        let end = m.block();
+        let c = m.input();
+        m.branch(R(c), hot, cold);
+        m.select(hot);
+        m.output(Const(1));
+        m.jump(end);
+        m.select(cold);
+        m.call_void(cold_fn, vec![Const(0)]);
+        m.jump(end);
+        m.select(end);
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut f = pb.function("cold", 1);
+        for _ in 0..10 {
+            let o = f.alloc(2);
+            f.store(R(o), 0, Const(1));
+            let l = f.load(R(o), 0);
+            f.store(R(o), 1, R(l));
+        }
+        f.ret(None);
+        pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+
+        let sound = state_space(&p, None);
+        let pipeline = Pipeline::new(p);
+        let (inv, _) = pipeline.profile(&[vec![1], vec![1]]);
+        let pred = state_space(pipeline.program(), Some(&inv));
+
+        assert!(pred.nodes < sound.nodes);
+        assert!(pred.reachable_insts < sound.reachable_insts);
+        assert!(pred.iterations <= sound.iterations);
+    }
+}

@@ -1,0 +1,270 @@
+//! Dense bit sets.
+//!
+//! The paper's implementation tracks visited-node and points-to sets with
+//! BDDs; this reproduction uses dense 64-bit-word bit sets, which give the
+//! same fixpoints with simpler code (see DESIGN.md substitutions).
+
+use std::fmt;
+
+/// A growable dense bit set over `usize` indices.
+///
+/// # Examples
+///
+/// ```
+/// use oha_dataflow::BitSet;
+///
+/// let mut a = BitSet::new();
+/// a.insert(3);
+/// a.insert(70);
+/// let mut b = BitSet::new();
+/// b.insert(70);
+/// assert!(a.union_with(&b) == false, "b added nothing new");
+/// assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 70]);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty set with capacity for indices `< bits`.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    fn ensure(&mut self, bit: usize) {
+        let word = bit / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+    }
+
+    /// Inserts `bit`; returns `true` if it was not already present.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        self.ensure(bit);
+        let (w, m) = (bit / 64, 1u64 << (bit % 64));
+        let novel = self.words[w] & m == 0;
+        self.words[w] |= m;
+        novel
+    }
+
+    /// Removes `bit`; returns `true` if it was present.
+    pub fn remove(&mut self, bit: usize) -> bool {
+        let (w, m) = (bit / 64, 1u64 << (bit % 64));
+        if w >= self.words.len() || self.words[w] & m == 0 {
+            return false;
+        }
+        self.words[w] &= !m;
+        true
+    }
+
+    /// Tests membership.
+    pub fn contains(&self, bit: usize) -> bool {
+        let (w, m) = (bit / 64, 1u64 << (bit % 64));
+        self.words.get(w).is_some_and(|&x| x & m != 0)
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Removes all bits.
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// Unions `other` into `self`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Intersects `self` with `other`; returns `true` if `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (i, a) in self.words.iter_mut().enumerate() {
+            let b = other.words.get(i).copied().unwrap_or(0);
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Removes every bit of `other` from `self`; returns `true` on change.
+    pub fn subtract(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            let next = *a & !b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Returns `true` if `self` and `other` share at least one bit.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Returns `true` if every bit of `self` is also in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| a & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Iterates over the set bits in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::new();
+        for b in iter {
+            s.insert(b);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for b in iter {
+            self.insert(b);
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over the bits of a [`BitSet`], produced by [`BitSet::iter`].
+#[derive(Clone, Debug)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let tz = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.word * 64 + tz);
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5), "second insert is a no-op");
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet = [1, 2, 64, 100].into_iter().collect();
+        let b: BitSet = [2, 3, 100, 200].into_iter().collect();
+
+        let mut u = a.clone();
+        assert!(u.union_with(&b));
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 64, 100, 200]);
+        assert!(!u.union_with(&b), "idempotent");
+
+        let mut i = a.clone();
+        assert!(i.intersect_with(&b));
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 100]);
+
+        let mut d = a.clone();
+        assert!(d.subtract(&b));
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 64]);
+
+        assert!(a.intersects(&b));
+        assert!(i.is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let s: BitSet = [0, 63, 64, 127, 128, 1000].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 1000]);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let s = BitSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(0));
+        assert!(s.is_subset(&BitSet::new()));
+        assert!(!s.intersects(&BitSet::new()));
+        assert_eq!(format!("{s:?}"), "{}");
+    }
+
+    #[test]
+    fn subset_handles_longer_self() {
+        let mut a = BitSet::new();
+        a.insert(500);
+        let b: BitSet = [1].into_iter().collect();
+        assert!(!a.is_subset(&b));
+        a.remove(500);
+        assert!(a.is_subset(&b), "trailing zero words are ignored");
+    }
+}

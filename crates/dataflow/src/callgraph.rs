@@ -1,0 +1,238 @@
+//! Call graphs parameterized over indirect-call resolution.
+//!
+//! Sound analyses must assume an indirect call can reach any address-taken
+//! function; predicated analyses plug in the likely-callee-sets invariant
+//! instead (paper §5.2.2). Both share this construction code by supplying a
+//! different [`IndirectResolver`].
+
+use std::collections::HashMap;
+
+use oha_ir::{Callee, FuncId, InstId, InstKind, Program};
+
+use crate::graph::DiGraph;
+
+/// Resolves the possible targets of an indirect call or spawn site.
+pub trait IndirectResolver {
+    /// The functions the indirect call at `site` may invoke.
+    fn resolve(&self, program: &Program, site: InstId) -> Vec<FuncId>;
+}
+
+/// The sound default: any function whose address is taken anywhere in the
+/// program may be the target of any indirect call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AddressTaken;
+
+impl IndirectResolver for AddressTaken {
+    fn resolve(&self, program: &Program, _site: InstId) -> Vec<FuncId> {
+        program
+            .insts()
+            .filter_map(|i| match i.kind {
+                InstKind::AddrFunc { func, .. } => Some(func),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl<F> IndirectResolver for F
+where
+    F: Fn(&Program, InstId) -> Vec<FuncId>,
+{
+    fn resolve(&self, program: &Program, site: InstId) -> Vec<FuncId> {
+        self(program, site)
+    }
+}
+
+/// A whole-program call graph.
+///
+/// Nodes are functions; edges connect callers to possible callees, including
+/// through spawn sites (spawned code is reachable code). Per-site resolved
+/// target lists are retained for the analyses that need call-site precision
+/// (DUG construction, MHP).
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    graph: DiGraph,
+    site_targets: HashMap<InstId, Vec<FuncId>>,
+    spawn_sites: Vec<InstId>,
+    call_sites: Vec<InstId>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program`, resolving indirect sites with
+    /// `resolver`.
+    pub fn build(program: &Program, resolver: &dyn IndirectResolver) -> Self {
+        let mut graph = DiGraph::new(program.num_functions());
+        let mut site_targets = HashMap::new();
+        let mut spawn_sites = Vec::new();
+        let mut call_sites = Vec::new();
+
+        for inst in program.insts() {
+            let (callee, is_spawn) = match &inst.kind {
+                InstKind::Call { callee, .. } => (callee, false),
+                InstKind::Spawn { func, .. } => (func, true),
+                _ => continue,
+            };
+            let targets = match callee {
+                Callee::Direct(f) => vec![*f],
+                Callee::Indirect(_) => {
+                    let mut t = resolver.resolve(program, inst.id);
+                    t.sort_unstable_by_key(|f| f.index());
+                    t.dedup();
+                    if is_spawn {
+                        t.retain(|&f| program.function(f).arity() == 1);
+                    }
+                    t
+                }
+            };
+            let caller = program.func_of_inst(inst.id);
+            for &t in &targets {
+                graph.add_edge(caller.index(), t.index());
+            }
+            if is_spawn {
+                spawn_sites.push(inst.id);
+            } else {
+                call_sites.push(inst.id);
+            }
+            site_targets.insert(inst.id, targets);
+        }
+        Self {
+            graph,
+            site_targets,
+            spawn_sites,
+            call_sites,
+        }
+    }
+
+    /// The possible targets of a call or spawn site.
+    ///
+    /// Returns an empty slice for instructions that are not call/spawn
+    /// sites.
+    pub fn targets(&self, site: InstId) -> &[FuncId] {
+        self.site_targets
+            .get(&site)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All non-spawn call sites in the program.
+    pub fn call_sites(&self) -> &[InstId] {
+        &self.call_sites
+    }
+
+    /// All spawn sites in the program.
+    pub fn spawn_sites(&self) -> &[InstId] {
+        &self.spawn_sites
+    }
+
+    /// Functions directly callable from `f` (including spawn targets).
+    pub fn callees(&self, f: FuncId) -> Vec<FuncId> {
+        self.graph
+            .succs(f.index())
+            .map(|i| FuncId::new(i as u32))
+            .collect()
+    }
+
+    /// Functions that may (transitively) execute starting from `roots`,
+    /// roots included.
+    pub fn reachable_from(&self, roots: impl IntoIterator<Item = FuncId>) -> Vec<FuncId> {
+        self.graph
+            .reachable_from(roots.into_iter().map(|f| f.index()))
+            .iter()
+            .map(|i| FuncId::new(i as u32))
+            .collect()
+    }
+
+    /// The underlying function-level graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_ir::{Operand, ProgramBuilder};
+    use Operand::Reg as R;
+
+    /// main calls a directly; calls through a pointer that could be b or c;
+    /// spawns w.
+    fn program() -> (Program, Vec<FuncId>) {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.declare("a", 0);
+        let b = pb.declare("b", 0);
+        let c = pb.declare("c", 0);
+        let w = pb.declare("w", 1);
+
+        let mut m = pb.function("main", 0);
+        m.call_void(a, vec![]);
+        let fp = m.addr_func(b);
+        let fp2 = m.addr_func(c);
+        let sel = m.input();
+        // Pretend to select between fp and fp2; the call site is indirect.
+        m.copy_to(fp, R(fp2));
+        m.call_indirect_void(R(fp), vec![]);
+        m.spawn(w, R(sel));
+        m.ret(None);
+        let main = pb.finish_function(m);
+
+        for (name, arity) in [("a", 0), ("b", 0), ("c", 0)] {
+            let mut f = pb.function(name, arity);
+            f.ret(None);
+            pb.finish_function(f);
+        }
+        let mut f = pb.function("w", 1);
+        f.ret(None);
+        pb.finish_function(f);
+
+        let p = pb.finish(main).unwrap();
+        (p, vec![main, a, b, c, w])
+    }
+
+    #[test]
+    fn address_taken_resolution_is_sound() {
+        let (p, ids) = program();
+        let cg = CallGraph::build(&p, &AddressTaken);
+        let (main, a, b, c, w) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+        let mut callees = cg.callees(main);
+        callees.sort_unstable_by_key(|f| f.index());
+        assert_eq!(callees, vec![a, b, c, w]);
+        assert_eq!(cg.spawn_sites().len(), 1);
+        assert_eq!(cg.call_sites().len(), 2);
+        // Only b and c are address-taken, so the indirect call resolves to
+        // exactly those two.
+        let icall = cg
+            .call_sites()
+            .iter()
+            .copied()
+            .find(|&s| cg.targets(s).len() > 1)
+            .unwrap();
+        assert_eq!(cg.targets(icall), &[b, c]);
+    }
+
+    #[test]
+    fn closure_resolver_narrows_targets() {
+        let (p, ids) = program();
+        let b = ids[2];
+        let resolver = move |_: &Program, _: InstId| vec![b];
+        let cg = CallGraph::build(&p, &resolver);
+        let icall = cg
+            .call_sites()
+            .iter()
+            .copied()
+            .find(|&s| matches!(p.inst(s).kind, InstKind::Call { callee: Callee::Indirect(_), .. }))
+            .unwrap();
+        assert_eq!(cg.targets(icall), &[b]);
+        // c is no longer reachable.
+        let reach = cg.reachable_from([ids[0]]);
+        assert!(!reach.contains(&ids[3]));
+        assert!(reach.contains(&ids[4]), "spawned w is reachable code");
+    }
+
+    #[test]
+    fn reachability_includes_roots() {
+        let (p, ids) = program();
+        let cg = CallGraph::build(&p, &AddressTaken);
+        let reach = cg.reachable_from([ids[1]]);
+        assert_eq!(reach, vec![ids[1]]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-function control-flow graphs.
+
+use oha_ir::{BlockId, FuncId, Program};
+
+use crate::bitset::BitSet;
+use crate::graph::DiGraph;
+
+/// The control-flow graph of one function.
+///
+/// Wraps a [`DiGraph`] over the function's blocks (in function-local index
+/// space) and exposes block-id based queries plus the *may-precede* relation
+/// used by the flow-sensitive slicer: block `a` may precede block `b` iff
+/// some execution can visit `a` and later `b` (i.e. `b` is reachable from
+/// `a`, including `a == b` when `a` lies on a cycle or trivially within one
+/// block).
+///
+/// # Examples
+///
+/// ```
+/// use oha_dataflow::Cfg;
+/// use oha_ir::{Operand, ProgramBuilder};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let mut f = pb.function("main", 0);
+/// let exit = f.block();
+/// f.jump(exit);
+/// f.select(exit);
+/// f.ret(None);
+/// let main = pb.finish_function(f);
+/// let p = pb.finish(main).unwrap();
+///
+/// let cfg = Cfg::new(&p, main);
+/// assert_eq!(cfg.len(), 2);
+/// assert_eq!(cfg.succs(cfg.entry()).len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    func: FuncId,
+    base: u32,
+    graph: DiGraph,
+    rpo: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `func`.
+    pub fn new(program: &Program, func: FuncId) -> Self {
+        let f = program.function(func);
+        let base = f.entry.raw();
+        let mut graph = DiGraph::new(f.blocks.len());
+        for &bid in &f.blocks {
+            for succ in program.block(bid).successors() {
+                graph.add_edge((bid.raw() - base) as usize, (succ.raw() - base) as usize);
+            }
+        }
+        let rpo = graph
+            .reverse_post_order(0)
+            .into_iter()
+            .map(|i| BlockId::new(base + i as u32))
+            .collect();
+        Self {
+            func,
+            base,
+            graph,
+            rpo,
+        }
+    }
+
+    /// The function this CFG describes.
+    pub fn func(&self) -> FuncId {
+        self.func
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        BlockId::new(self.base)
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Returns `true` if the function has no blocks (never happens for
+    /// builder-produced programs).
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// The function-local index of a block (the index used by
+    /// [`Cfg::graph`] and [`Cfg::may_precede`]).
+    pub fn local(&self, b: BlockId) -> usize {
+        (b.raw() - self.base) as usize
+    }
+
+    /// The block id for a function-local index.
+    pub fn global(&self, i: usize) -> BlockId {
+        BlockId::new(self.base + i as u32)
+    }
+
+    /// Successor blocks of `b`.
+    pub fn succs(&self, b: BlockId) -> Vec<BlockId> {
+        self.graph.succs(self.local(b)).map(|i| self.global(i)).collect()
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn preds(&self, b: BlockId) -> Vec<BlockId> {
+        self.graph.preds(self.local(b)).map(|i| self.global(i)).collect()
+    }
+
+    /// Blocks in reverse post-order from the entry. Unreachable blocks are
+    /// not included.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Blocks reachable from the entry.
+    pub fn reachable(&self) -> Vec<BlockId> {
+        self.graph
+            .reachable_from([0])
+            .iter()
+            .map(|i| self.global(i))
+            .collect()
+    }
+
+    /// The underlying graph in local index space.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Computes the full may-precede relation.
+    ///
+    /// `result[local(a)].contains(local(b))` iff control can flow from `a`
+    /// to `b` through zero or more edges — i.e. a store in `a` may execute
+    /// before a load in `b`. A block always may-precede itself (intra-block
+    /// order is refined by instruction position at the use site).
+    pub fn may_precede(&self) -> Vec<BitSet> {
+        (0..self.graph.len())
+            .map(|i| self.graph.reachable_from([i]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_ir::{Operand, ProgramBuilder};
+
+    /// Builds: entry → loop_head → (body → loop_head | exit).
+    fn looped() -> (Program, FuncId) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let head = f.block();
+        let body = f.block();
+        let exit = f.block();
+        let c = f.input();
+        f.jump(head);
+        f.select(head);
+        f.branch(Operand::Reg(c), body, exit);
+        f.select(body);
+        f.jump(head);
+        f.select(exit);
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        (p, main)
+    }
+
+    use oha_ir::Program;
+
+    #[test]
+    fn succs_and_preds_match_terminators() {
+        let (p, main) = looped();
+        let cfg = Cfg::new(&p, main);
+        assert_eq!(cfg.len(), 4);
+        let entry = cfg.entry();
+        let head = cfg.succs(entry)[0];
+        assert_eq!(cfg.preds(head).len(), 2, "entry and body reach the head");
+        assert_eq!(cfg.succs(head).len(), 2);
+    }
+
+    #[test]
+    fn rpo_visits_entry_first() {
+        let (p, main) = looped();
+        let cfg = Cfg::new(&p, main);
+        assert_eq!(cfg.rpo()[0], cfg.entry());
+        assert_eq!(cfg.rpo().len(), 4);
+    }
+
+    #[test]
+    fn may_precede_includes_loop_back_edges() {
+        let (p, main) = looped();
+        let cfg = Cfg::new(&p, main);
+        let mp = cfg.may_precede();
+        let entry = cfg.local(cfg.entry());
+        let head = entry + 1; // blocks were created in order head, body, exit
+        let body = entry + 2;
+        let exit = entry + 3;
+        assert!(mp[entry].contains(exit));
+        assert!(mp[body].contains(head), "back edge makes body precede head");
+        assert!(mp[body].contains(body), "body lies on a cycle");
+        assert!(!mp[exit].contains(entry));
+    }
+}

@@ -1,0 +1,173 @@
+//! Dominator trees via the Cooper–Harvey–Kennedy algorithm.
+
+use oha_ir::BlockId;
+
+use crate::cfg::Cfg;
+
+/// The dominator tree of a function's CFG.
+///
+/// Used by the race detector's lockset phase to reason about which lock
+/// acquisitions dominate a memory access.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[local]` = immediate dominator (local index); entry points at
+    /// itself; unreachable blocks are `u32::MAX`.
+    idom: Vec<u32>,
+    base: u32,
+}
+
+const UNREACHABLE: u32 = u32::MAX;
+
+impl DomTree {
+    /// Computes the dominator tree of `cfg`.
+    pub fn new(cfg: &Cfg) -> Self {
+        let n = cfg.len();
+        let rpo: Vec<usize> = cfg.rpo().iter().map(|&b| cfg.local(b)).collect();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b] = i;
+        }
+        let mut idom = vec![UNREACHABLE; n];
+        let entry = 0usize;
+        idom[entry] = entry as u32;
+
+        let intersect = |idom: &[u32], rpo_pos: &[usize], mut a: usize, mut b: usize| -> usize {
+            while a != b {
+                while rpo_pos[a] > rpo_pos[b] {
+                    a = idom[a] as usize;
+                }
+                while rpo_pos[b] > rpo_pos[a] {
+                    b = idom[b] as usize;
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom = usize::MAX;
+                for p in cfg.graph().preds(b) {
+                    if idom[p] == UNREACHABLE {
+                        continue;
+                    }
+                    new_idom = if new_idom == usize::MAX {
+                        p
+                    } else {
+                        intersect(&idom, &rpo_pos, p, new_idom)
+                    };
+                }
+                if new_idom != usize::MAX && idom[b] != new_idom as u32 {
+                    idom[b] = new_idom as u32;
+                    changed = true;
+                }
+            }
+        }
+
+        Self {
+            idom,
+            base: cfg.entry().raw(),
+        }
+    }
+
+    fn local(&self, b: BlockId) -> usize {
+        (b.raw() - self.base) as usize
+    }
+
+    /// The immediate dominator of `b`, or `None` for the entry block and
+    /// unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        let l = self.local(b);
+        let d = self.idom[l];
+        if d == UNREACHABLE || d as usize == l {
+            None
+        } else {
+            Some(BlockId::new(self.base + d))
+        }
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let a = self.local(a);
+        let mut cur = self.local(b);
+        if self.idom[cur] == UNREACHABLE {
+            return false;
+        }
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = self.idom[cur] as usize;
+            if next == cur {
+                return false;
+            }
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_ir::{Operand, ProgramBuilder};
+
+    #[test]
+    fn diamond_dominators() {
+        // entry → {left, right} → merge
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let left = f.block();
+        let right = f.block();
+        let merge = f.block();
+        let c = f.input();
+        f.branch(Operand::Reg(c), left, right);
+        f.select(left);
+        f.jump(merge);
+        f.select(right);
+        f.jump(merge);
+        f.select(merge);
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        let cfg = Cfg::new(&p, main);
+        let dt = DomTree::new(&cfg);
+
+        let entry = cfg.entry();
+        let blocks = p.function(main).blocks.clone();
+        let (left, right, merge) = (blocks[1], blocks[2], blocks[3]);
+
+        assert_eq!(dt.idom(entry), None);
+        assert_eq!(dt.idom(left), Some(entry));
+        assert_eq!(dt.idom(right), Some(entry));
+        assert_eq!(dt.idom(merge), Some(entry), "merge's idom skips the arms");
+        assert!(dt.dominates(entry, merge));
+        assert!(dt.dominates(merge, merge), "dominance is reflexive");
+        assert!(!dt.dominates(left, merge));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let head = f.block();
+        let body = f.block();
+        let exit = f.block();
+        let c = f.input();
+        f.jump(head);
+        f.select(head);
+        f.branch(Operand::Reg(c), body, exit);
+        f.select(body);
+        f.jump(head);
+        f.select(exit);
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        let cfg = Cfg::new(&p, main);
+        let dt = DomTree::new(&cfg);
+        let blocks = p.function(main).blocks.clone();
+        assert!(dt.dominates(blocks[1], blocks[2]));
+        assert!(dt.dominates(blocks[1], blocks[3]));
+        assert!(!dt.dominates(blocks[2], blocks[3]));
+    }
+}

@@ -1,0 +1,295 @@
+//! A dense directed graph with the traversals the analyses need.
+
+use crate::bitset::BitSet;
+
+/// A directed graph over dense `usize` node ids.
+///
+/// Supports duplicate-free edge insertion, forward/backward adjacency,
+/// reachability closure, iterative Tarjan SCC computation and a
+/// reverse-post-order traversal. This is the workhorse under the call graph,
+/// the DUGs and the points-to constraint graph.
+///
+/// # Examples
+///
+/// ```
+/// use oha_dataflow::DiGraph;
+///
+/// let mut g = DiGraph::new(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// g.add_edge(2, 1); // cycle 1 ↔ 2
+/// assert!(g.reachable_from([0]).contains(2));
+/// let (comp, n) = g.sccs();
+/// assert_eq!(n, 2);
+/// assert_eq!(comp[1], comp[2]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph {
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Self {
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Number of distinct edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Appends a new node and returns its id.
+    pub fn add_node(&mut self) -> usize {
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        self.succs.len() - 1
+    }
+
+    /// Adds the edge `from → to`; returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize) -> bool {
+        assert!(from < self.len() && to < self.len(), "edge out of range");
+        if self.succs[from].contains(&(to as u32)) {
+            return false;
+        }
+        self.succs[from].push(to as u32);
+        self.preds[to].push(from as u32);
+        self.num_edges += 1;
+        true
+    }
+
+    /// Successors of a node.
+    pub fn succs(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
+        self.succs[n].iter().map(|&x| x as usize)
+    }
+
+    /// Predecessors of a node.
+    pub fn preds(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
+        self.preds[n].iter().map(|&x| x as usize)
+    }
+
+    /// The set of nodes reachable from `roots` (roots included), following
+    /// forward edges.
+    pub fn reachable_from(&self, roots: impl IntoIterator<Item = usize>) -> BitSet {
+        self.closure(roots, false)
+    }
+
+    /// The set of nodes that can reach `roots` (roots included), following
+    /// edges backwards.
+    pub fn reaching(&self, roots: impl IntoIterator<Item = usize>) -> BitSet {
+        self.closure(roots, true)
+    }
+
+    fn closure(&self, roots: impl IntoIterator<Item = usize>, backward: bool) -> BitSet {
+        let mut seen = BitSet::with_capacity(self.len());
+        let mut stack: Vec<usize> = roots.into_iter().collect();
+        for &r in &stack {
+            seen.insert(r);
+        }
+        while let Some(n) = stack.pop() {
+            let adj = if backward {
+                &self.preds[n]
+            } else {
+                &self.succs[n]
+            };
+            for &m in adj {
+                if seen.insert(m as usize) {
+                    stack.push(m as usize);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Computes strongly connected components with an iterative Tarjan
+    /// algorithm.
+    ///
+    /// Returns `(component_of, num_components)`; components are numbered in
+    /// reverse topological order (i.e. if SCC `a` has an edge to SCC `b`,
+    /// then `component_of[a] > component_of[b]`).
+    pub fn sccs(&self) -> (Vec<u32>, usize) {
+        const UNVISITED: u32 = u32::MAX;
+        let n = self.len();
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut comp = vec![UNVISITED; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut num_comps = 0usize;
+
+        // Explicit DFS state machine: (node, next-successor-position).
+        let mut call_stack: Vec<(u32, usize)> = Vec::new();
+        for start in 0..n {
+            if index[start] != UNVISITED {
+                continue;
+            }
+            call_stack.push((start as u32, 0));
+            index[start] = next_index;
+            lowlink[start] = next_index;
+            next_index += 1;
+            stack.push(start as u32);
+            on_stack[start] = true;
+
+            while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+                let v = v as usize;
+                if *pos < self.succs[v].len() {
+                    let w = self.succs[v][*pos] as usize;
+                    *pos += 1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w as u32);
+                        on_stack[w] = true;
+                        call_stack.push((w as u32, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    call_stack.pop();
+                    if let Some(&(parent, _)) = call_stack.last() {
+                        let p = parent as usize;
+                        lowlink[p] = lowlink[p].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        loop {
+                            let w = stack.pop().expect("SCC stack never empty here") as usize;
+                            on_stack[w] = false;
+                            comp[w] = num_comps as u32;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        num_comps += 1;
+                    }
+                }
+            }
+        }
+        (comp, num_comps)
+    }
+
+    /// Reverse post-order of the nodes reachable from `root`.
+    pub fn reverse_post_order(&self, root: usize) -> Vec<usize> {
+        let mut seen = BitSet::with_capacity(self.len());
+        let mut post = Vec::new();
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        seen.insert(root);
+        while let Some(&mut (v, ref mut pos)) = stack.last_mut() {
+            if *pos < self.succs[v].len() {
+                let w = self.succs[v][*pos] as usize;
+                *pos += 1;
+                if seen.insert(w) {
+                    stack.push((w, 0));
+                }
+            } else {
+                post.push(v);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 → 1 → 3, 0 → 2 → 3
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn edges_deduplicate() {
+        let mut g = DiGraph::new(2);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(0, 1));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.succs(0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(g.preds(1).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn reachability_forward_and_backward() {
+        let g = diamond();
+        assert_eq!(g.reachable_from([0]).len(), 4);
+        assert_eq!(g.reachable_from([1]).iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(g.reaching([3]).len(), 4);
+        assert_eq!(g.reaching([1]).iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn scc_finds_cycles() {
+        // 0 → 1 → 2 → 0 (one SCC), 2 → 3 (singleton).
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(2, 3);
+        let (comp, n) = g.sccs();
+        assert_eq!(n, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        // Reverse topological numbering: the cycle points at 3, so 3's
+        // component id is smaller.
+        assert!(comp[3] < comp[0]);
+    }
+
+    #[test]
+    fn scc_on_dag_is_identity_sized() {
+        let g = diamond();
+        let (_, n) = g.sccs();
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn rpo_starts_at_root_and_respects_order() {
+        let g = diamond();
+        let rpo = g.reverse_post_order(0);
+        assert_eq!(rpo[0], 0);
+        assert_eq!(*rpo.last().unwrap(), 3);
+        let pos = |x: usize| rpo.iter().position(|&v| v == x).unwrap();
+        assert!(pos(1) < pos(3) && pos(2) < pos(3));
+    }
+
+    #[test]
+    fn deep_graph_does_not_overflow_stack() {
+        // 100k-node chain; recursive Tarjan would blow the stack.
+        let n = 100_000;
+        let mut g = DiGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        let (_, comps) = g.sccs();
+        assert_eq!(comps, n);
+        assert_eq!(g.reverse_post_order(0).len(), n);
+    }
+}

@@ -1,0 +1,34 @@
+//! Data-flow analysis substrate for the OHA reproduction.
+//!
+//! The paper's static analyses (points-to, may-happen-in-parallel, lockset
+//! race detection, backward slicing) are all data-flow analyses over a
+//! definition-use graph (DUG, paper §3). This crate provides what they share:
+//!
+//! * [`BitSet`] — dense bit sets, the stand-in for the BDD-backed sets used
+//!   by the paper's implementation (§5.1.1/§5.1.2);
+//! * [`DiGraph`] — a generic dense directed graph with SCC computation
+//!   (cycle collapsing is how points-to analyses stay fast) and traversals;
+//! * [`Cfg`] — per-function control-flow graph with reverse post-order and
+//!   the *may-precede* relation the flow-sensitive slicer needs;
+//! * [`DomTree`] — dominator trees (Cooper–Harvey–Kennedy);
+//! * [`ReachingDefs`] — register definition-use chains for the non-SSA IR;
+//! * [`CallGraph`] — call graphs parameterized over an indirect-call
+//!   resolver, so sound ("any address-taken function") and predicated
+//!   ("profiled callee sets") variants share the construction code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod callgraph;
+mod cfg;
+mod domtree;
+mod graph;
+mod reachdefs;
+
+pub use bitset::BitSet;
+pub use callgraph::{AddressTaken, CallGraph, IndirectResolver};
+pub use cfg::Cfg;
+pub use domtree::DomTree;
+pub use graph::DiGraph;
+pub use reachdefs::{DefSite, ReachingDefs};

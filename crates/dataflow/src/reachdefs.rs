@@ -1,0 +1,312 @@
+//! Reaching definitions for virtual registers.
+//!
+//! The IR is not SSA: registers are mutable. The backward slicer therefore
+//! recovers definition-use chains with a classic bit-vector reaching
+//! definitions analysis, per function.
+
+use std::collections::HashMap;
+
+use oha_ir::{FuncId, InstId, Program, Reg};
+
+use crate::bitset::BitSet;
+use crate::cfg::Cfg;
+
+/// Where a register value may come from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DefSite {
+    /// The value of a function parameter on entry.
+    Param(Reg),
+    /// The instruction that wrote the register.
+    Inst(InstId),
+}
+
+/// Definition-use chains for one function's registers.
+///
+/// # Examples
+///
+/// ```
+/// use oha_ir::{ProgramBuilder, Operand, BinOp};
+/// use oha_dataflow::{Cfg, ReachingDefs, DefSite};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let mut f = pb.function("main", 0);
+/// let a = f.copy(Operand::Const(1));          // def of a
+/// let b = f.bin(BinOp::Add, Operand::Reg(a), Operand::Const(2)); // uses a
+/// f.output(Operand::Reg(b));
+/// f.ret(None);
+/// let main = pb.finish_function(f);
+/// let p = pb.finish(main).unwrap();
+/// let cfg = Cfg::new(&p, main);
+/// let rd = ReachingDefs::new(&p, main, &cfg);
+///
+/// let add = p.inst_ids().nth(1).unwrap();
+/// assert_eq!(rd.defs_for(add, a), &[DefSite::Inst(p.inst_ids().next().unwrap())]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReachingDefs {
+    per_use: HashMap<(InstId, Reg), Vec<DefSite>>,
+    ret_defs: HashMap<oha_ir::BlockId, Vec<DefSite>>,
+    empty: Vec<DefSite>,
+}
+
+impl ReachingDefs {
+    /// Computes reaching definitions for `func`.
+    pub fn new(program: &Program, func: FuncId, cfg: &Cfg) -> Self {
+        let f = program.function(func);
+
+        // Enumerate definition sites densely: params first, then defining
+        // instructions in block order.
+        let mut sites: Vec<DefSite> = Vec::new();
+        let mut defs_of_reg: HashMap<Reg, Vec<usize>> = HashMap::new();
+        for &p in &f.params {
+            defs_of_reg.entry(p).or_default().push(sites.len());
+            sites.push(DefSite::Param(p));
+        }
+        for &bid in &f.blocks {
+            for inst in &program.block(bid).insts {
+                if let Some(r) = inst.kind.def() {
+                    defs_of_reg.entry(r).or_default().push(sites.len());
+                    sites.push(DefSite::Inst(inst.id));
+                }
+            }
+        }
+        let num_sites = sites.len();
+
+        // Per-block GEN/KILL.
+        let nblocks = f.blocks.len();
+        let mut gen = vec![BitSet::with_capacity(num_sites); nblocks];
+        let mut kill = vec![BitSet::with_capacity(num_sites); nblocks];
+        // Map from InstId to its def-site index for quick lookup.
+        let mut site_of_inst: HashMap<InstId, usize> = HashMap::new();
+        for (i, s) in sites.iter().enumerate() {
+            if let DefSite::Inst(id) = s {
+                site_of_inst.insert(*id, i);
+            }
+        }
+        for (bi, &bid) in f.blocks.iter().enumerate() {
+            for inst in &program.block(bid).insts {
+                if let Some(r) = inst.kind.def() {
+                    let this = site_of_inst[&inst.id];
+                    for &other in &defs_of_reg[&r] {
+                        if other != this {
+                            kill[bi].insert(other);
+                        }
+                        gen[bi].remove(other);
+                    }
+                    gen[bi].insert(this);
+                    kill[bi].remove(this);
+                }
+            }
+        }
+
+        // Fixpoint on IN/OUT.
+        let mut r#in = vec![BitSet::with_capacity(num_sites); nblocks];
+        let mut out = vec![BitSet::with_capacity(num_sites); nblocks];
+        // Entry IN = parameter defs.
+        for i in 0..f.params.len() {
+            r#in[0].insert(i);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bid in cfg.rpo() {
+                let bi = cfg.local(bid);
+                let mut input = r#in[bi].clone();
+                for p in cfg.graph().preds(bi) {
+                    input.union_with(&out[p]);
+                }
+                r#in[bi] = input;
+                let mut o = r#in[bi].clone();
+                o.subtract(&kill[bi]);
+                o.union_with(&gen[bi]);
+                if o != out[bi] {
+                    out[bi] = o;
+                    changed = true;
+                }
+            }
+        }
+
+        // Walk blocks recording, for every use, the reaching def sites.
+        let mut per_use: HashMap<(InstId, Reg), Vec<DefSite>> = HashMap::new();
+        let mut ret_defs: HashMap<oha_ir::BlockId, Vec<DefSite>> = HashMap::new();
+        for (bi, &bid) in f.blocks.iter().enumerate() {
+            let mut live = r#in[bi].clone();
+            for inst in &program.block(bid).insts {
+                for r in inst.kind.uses() {
+                    let reaching: Vec<DefSite> = defs_of_reg
+                        .get(&r)
+                        .into_iter()
+                        .flatten()
+                        .filter(|&&s| live.contains(s))
+                        .map(|&s| sites[s])
+                        .collect();
+                    per_use.insert((inst.id, r), reaching);
+                }
+                if let Some(r) = inst.kind.def() {
+                    let this = site_of_inst[&inst.id];
+                    for &other in &defs_of_reg[&r] {
+                        live.remove(other);
+                    }
+                    live.insert(this);
+                }
+            }
+            if let oha_ir::Terminator::Return(Some(op)) = &program.block(bid).terminator {
+                if let Some(r) = op.as_reg() {
+                    let reaching: Vec<DefSite> = defs_of_reg
+                        .get(&r)
+                        .into_iter()
+                        .flatten()
+                        .filter(|&&s| live.contains(s))
+                        .map(|&s| sites[s])
+                        .collect();
+                    ret_defs.insert(bid, reaching);
+                }
+            }
+        }
+
+        Self {
+            per_use,
+            ret_defs,
+            empty: Vec::new(),
+        }
+    }
+
+    /// The definition sites that may reach the `return` operand of `block`
+    /// (empty for blocks without a value-returning terminator).
+    pub fn defs_for_return(&self, block: oha_ir::BlockId) -> &[DefSite] {
+        self.ret_defs
+            .get(&block)
+            .map(|v| v.as_slice())
+            .unwrap_or(&self.empty)
+    }
+
+    /// The definition sites that may reach the use of `reg` at `use_inst`.
+    ///
+    /// Returns an empty slice for registers the instruction does not use or
+    /// that are never defined (reads of such registers yield 0 at runtime).
+    pub fn defs_for(&self, use_inst: InstId, reg: Reg) -> &[DefSite] {
+        self.per_use
+            .get(&(use_inst, reg))
+            .map(|v| v.as_slice())
+            .unwrap_or(&self.empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_ir::{BinOp, Operand, ProgramBuilder};
+    use Operand::{Const, Reg as R};
+
+    #[test]
+    fn straight_line_chains() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let a = f.copy(Const(1)); // i0
+        f.copy_to(a, Const(2)); // i1 kills i0
+        let b = f.bin(BinOp::Add, R(a), Const(0)); // i2 uses a
+        f.output(R(b)); // i3
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        let cfg = Cfg::new(&p, main);
+        let rd = ReachingDefs::new(&p, main, &cfg);
+
+        let ids: Vec<InstId> = p.inst_ids().collect();
+        assert_eq!(rd.defs_for(ids[2], a), &[DefSite::Inst(ids[1])]);
+        assert_eq!(rd.defs_for(ids[3], b), &[DefSite::Inst(ids[2])]);
+    }
+
+    #[test]
+    fn merge_points_union_defs() {
+        // if (c) { x = 1 } else { x = 2 }; use x
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let x = f.reg();
+        let then_b = f.block();
+        let else_b = f.block();
+        let merge = f.block();
+        let c = f.input(); // i0
+        f.branch(R(c), then_b, else_b);
+        f.select(then_b);
+        f.copy_to(x, Const(1)); // i1
+        f.jump(merge);
+        f.select(else_b);
+        f.copy_to(x, Const(2)); // i2
+        f.jump(merge);
+        f.select(merge);
+        f.output(R(x)); // i3
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        let cfg = Cfg::new(&p, main);
+        let rd = ReachingDefs::new(&p, main, &cfg);
+
+        let ids: Vec<InstId> = p.inst_ids().collect();
+        let mut defs = rd.defs_for(ids[3], x).to_vec();
+        defs.sort_by_key(|d| match d {
+            DefSite::Inst(i) => i.raw(),
+            DefSite::Param(_) => u32::MAX,
+        });
+        assert_eq!(defs, vec![DefSite::Inst(ids[1]), DefSite::Inst(ids[2])]);
+    }
+
+    #[test]
+    fn loop_carried_defs_reach_uses() {
+        // x = 0; while (input) { use x; x = x + 1 }
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let head = f.block();
+        let body = f.block();
+        let exit = f.block();
+        let x = f.copy(Const(0)); // i0
+        f.jump(head);
+        f.select(head);
+        let c = f.input(); // i1
+        f.branch(R(c), body, exit);
+        f.select(body);
+        let x1 = f.bin(BinOp::Add, R(x), Const(1)); // i2 uses x
+        f.copy_to(x, R(x1)); // i3 defines x
+        f.jump(head);
+        f.select(exit);
+        f.output(R(x)); // i4
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        let cfg = Cfg::new(&p, main);
+        let rd = ReachingDefs::new(&p, main, &cfg);
+
+        let ids: Vec<InstId> = p.inst_ids().collect();
+        // The add's use of x sees both the initial def and the loop-carried
+        // def.
+        let defs: Vec<_> = rd.defs_for(ids[2], x).to_vec();
+        assert!(defs.contains(&DefSite::Inst(ids[0])));
+        assert!(defs.contains(&DefSite::Inst(ids[3])));
+        // The exit output also sees both.
+        let defs: Vec<_> = rd.defs_for(ids[4], x).to_vec();
+        assert_eq!(defs.len(), 2);
+    }
+
+    #[test]
+    fn params_are_definition_sites() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("callee", 1);
+        let mut f = pb.function("callee", 1);
+        let p0 = f.param(0);
+        f.output(R(p0)); // i0
+        f.ret(None);
+        pb.finish_function(f);
+        let mut m = pb.function("main", 0);
+        m.call_void(callee, vec![Const(3)]);
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let p = pb.finish(main).unwrap();
+        let cfg = Cfg::new(&p, callee);
+        let rd = ReachingDefs::new(&p, callee, &cfg);
+        let out = p
+            .inst_ids()
+            .find(|&i| p.func_of_inst(i) == callee)
+            .unwrap();
+        assert_eq!(rd.defs_for(out, p0), &[DefSite::Param(p0)]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the data-flow substrate: the bit set against a
+//! `BTreeSet` model, SCCs against mutual reachability, and dominators
+//! against the cut definition.
+
+use std::collections::BTreeSet;
+
+use oha_dataflow::{BitSet, Cfg, DiGraph, DomTree};
+use oha_ir::{Operand, ProgramBuilder};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum SetOp {
+    Insert(u16),
+    Remove(u16),
+    UnionRange(u16, u16),
+    SubtractRange(u16, u16),
+    IntersectRange(u16, u16),
+}
+
+fn set_op() -> impl Strategy<Value = SetOp> {
+    prop_oneof![
+        (0u16..500).prop_map(SetOp::Insert),
+        (0u16..500).prop_map(SetOp::Remove),
+        (0u16..400, 1u16..100).prop_map(|(a, n)| SetOp::UnionRange(a, n)),
+        (0u16..400, 1u16..100).prop_map(|(a, n)| SetOp::SubtractRange(a, n)),
+        (0u16..400, 1u16..100).prop_map(|(a, n)| SetOp::IntersectRange(a, n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BitSet behaves exactly like a BTreeSet<usize> model under a random
+    /// operation sequence.
+    #[test]
+    fn bitset_matches_model(ops in prop::collection::vec(set_op(), 0..60)) {
+        let mut bits = BitSet::new();
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for op in ops {
+            match op {
+                SetOp::Insert(x) => {
+                    let novel = bits.insert(x as usize);
+                    prop_assert_eq!(novel, model.insert(x as usize));
+                }
+                SetOp::Remove(x) => {
+                    let had = bits.remove(x as usize);
+                    prop_assert_eq!(had, model.remove(&(x as usize)));
+                }
+                SetOp::UnionRange(a, n) => {
+                    let other: BitSet = (a as usize..(a + n) as usize).collect();
+                    bits.union_with(&other);
+                    model.extend(a as usize..(a + n) as usize);
+                }
+                SetOp::SubtractRange(a, n) => {
+                    let other: BitSet = (a as usize..(a + n) as usize).collect();
+                    bits.subtract(&other);
+                    model.retain(|&x| !(a as usize..(a + n) as usize).contains(&x));
+                }
+                SetOp::IntersectRange(a, n) => {
+                    let other: BitSet = (a as usize..(a + n) as usize).collect();
+                    bits.intersect_with(&other);
+                    model.retain(|&x| (a as usize..(a + n) as usize).contains(&x));
+                }
+            }
+            prop_assert_eq!(bits.len(), model.len());
+            prop_assert_eq!(bits.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+        }
+    }
+
+    /// Two nodes share an SCC iff they are mutually reachable.
+    #[test]
+    fn sccs_match_mutual_reachability(
+        n in 2usize..14,
+        edges in prop::collection::vec((0usize..14, 0usize..14), 0..40),
+    ) {
+        let mut g = DiGraph::new(n);
+        for (a, b) in edges {
+            if a < n && b < n {
+                g.add_edge(a, b);
+            }
+        }
+        let (comp, _) = g.sccs();
+        for a in 0..n {
+            let from_a = g.reachable_from([a]);
+            for b in 0..n {
+                let from_b = g.reachable_from([b]);
+                let mutual = from_a.contains(b) && from_b.contains(a);
+                prop_assert_eq!(comp[a] == comp[b], mutual, "nodes {} {}", a, b);
+            }
+        }
+    }
+
+    /// `a` dominates `b` iff every entry→b path passes `a` — checked by
+    /// cutting `a` out of the graph and testing reachability.
+    #[test]
+    fn dominators_match_cut_definition(
+        nblocks in 2usize..8,
+        branches in prop::collection::vec((0usize..8, 0usize..8), 1..12),
+    ) {
+        // Build a random single-function CFG via the IR builder.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let blocks: Vec<_> = std::iter::once(f.entry_block())
+            .chain((1..nblocks).map(|_| f.block()))
+            .collect();
+        let c = f.input();
+        // Terminate every block with a branch derived from the spec.
+        for (i, &b) in blocks.iter().enumerate() {
+            if i > 0 {
+                f.select(b);
+            }
+            let (x, y) = branches[i % branches.len()];
+            let (tx, ty) = (blocks[x % nblocks], blocks[y % nblocks]);
+            if i == nblocks - 1 {
+                f.ret(None);
+            } else {
+                f.branch(Operand::Reg(c), tx, ty);
+            }
+        }
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        let cfg = Cfg::new(&p, main);
+        let dt = DomTree::new(&cfg);
+
+        let entry = cfg.local(cfg.entry());
+        let reachable = cfg.graph().reachable_from([entry]);
+        for a in 0..nblocks {
+            for b in 0..nblocks {
+                if !reachable.contains(a) || !reachable.contains(b) {
+                    continue;
+                }
+                // Reachability of b from entry avoiding a.
+                let avoiding = {
+                    let mut seen = vec![false; nblocks];
+                    let mut stack = vec![entry];
+                    if entry != a {
+                        seen[entry] = true;
+                    } else {
+                        stack.clear();
+                    }
+                    while let Some(x) = stack.pop() {
+                        for s in cfg.graph().succs(x) {
+                            if s != a && !seen[s] {
+                                seen[s] = true;
+                                stack.push(s);
+                            }
+                        }
+                    }
+                    seen[b]
+                };
+                let dominates = dt.dominates(cfg.global(a), cfg.global(b));
+                let expected = a == b || !avoiding;
+                prop_assert_eq!(dominates, expected, "a={} b={}", a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! FastTrack dynamic data-race detection (Flanagan & Freund, PLDI 2009),
+//! with the hybrid and optimistic variants the paper builds on it (§4).
+//!
+//! * [`VectorClock`] / [`Epoch`] — the FastTrack metadata. The common case
+//!   (same-epoch reads/writes, exclusive access) takes the O(1) epoch fast
+//!   path; genuinely shared reads fall back to full vector clocks.
+//! * [`Detector`] — the pure happens-before state machine, independent of
+//!   the execution substrate (unit-testable event by event).
+//! * [`FastTrackTool`] — a [`Tracer`](oha_interp::Tracer) wiring the
+//!   detector into the interpreter, with optional *instrumentation
+//!   elision*: a hybrid tool skips loads/stores the static race detector
+//!   proved race-free, and the optimistic tool additionally skips
+//!   lock/unlock instrumentation under the no-custom-synchronization
+//!   invariant (§4.2.4).
+//!
+//! Eliding a load/store's instrumentation is sound here for the same reason
+//! as in the paper: memory accesses never *create* happens-before edges, so
+//! removing a provably race-free access's metadata updates can only remove
+//! reports about that access — never mask a race between other accesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detector;
+mod tool;
+mod vc;
+
+pub use detector::{Detector, RaceKind, RaceReport};
+pub use tool::{FastTrackCounters, FastTrackTool, ToolMode};
+pub use vc::{Epoch, VectorClock};

@@ -1,0 +1,155 @@
+//! Vector clocks and epochs.
+
+use std::fmt;
+
+use oha_interp::ThreadId;
+
+/// A vector clock: one logical clock per thread, absent entries are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    clocks: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The clock of `t`.
+    pub fn get(&self, t: ThreadId) -> u32 {
+        self.clocks.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// Sets the clock of `t`.
+    pub fn set(&mut self, t: ThreadId, value: u32) {
+        if self.clocks.len() <= t.index() {
+            self.clocks.resize(t.index() + 1, 0);
+        }
+        self.clocks[t.index()] = value;
+    }
+
+    /// Increments the clock of `t`.
+    pub fn tick(&mut self, t: ThreadId) {
+        let v = self.get(t);
+        self.set(t, v + 1);
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.clocks.len() < other.clocks.len() {
+            self.clocks.resize(other.clocks.len(), 0);
+        }
+        for (a, &b) in self.clocks.iter_mut().zip(other.clocks.iter()) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// `self ⊑ other`: every component is ≤.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.clocks
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.clocks.get(i).copied().unwrap_or(0))
+    }
+
+    /// The epoch of thread `t` in this clock.
+    pub fn epoch(&self, t: ThreadId) -> Epoch {
+        Epoch {
+            tid: t,
+            clock: self.get(t),
+        }
+    }
+
+    /// Threads with a nonzero clock.
+    pub fn nonzero(&self) -> impl Iterator<Item = (ThreadId, u32)> + '_ {
+        self.clocks
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0)
+            .map(|(i, &v)| (ThreadId(i as u32), v))
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.clocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// An epoch `c@t`: thread `t` at clock `c`. FastTrack's O(1) stand-in for a
+/// full vector clock when an access history is totally ordered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Epoch {
+    /// The thread.
+    pub tid: ThreadId,
+    /// Its clock value.
+    pub clock: u32,
+}
+
+impl Epoch {
+    /// The bottom epoch (`0@t0`), ⊑ every clock.
+    pub const BOTTOM: Epoch = Epoch {
+        tid: ThreadId(0),
+        clock: 0,
+    };
+
+    /// `self ⊑ vc`: the epoch happened before (or at) the clock.
+    pub fn leq(self, vc: &VectorClock) -> bool {
+        self.clock <= vc.get(self.tid)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.clock, self.tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_leq() {
+        let mut a = VectorClock::new();
+        a.set(ThreadId(0), 3);
+        a.set(ThreadId(2), 1);
+        let mut b = VectorClock::new();
+        b.set(ThreadId(0), 1);
+        b.set(ThreadId(1), 5);
+        a.join(&b);
+        assert_eq!(a.get(ThreadId(0)), 3);
+        assert_eq!(a.get(ThreadId(1)), 5);
+        assert_eq!(a.get(ThreadId(2)), 1);
+        assert!(b.leq(&a));
+        assert!(!a.leq(&b));
+        assert!(a.leq(&a), "reflexive");
+    }
+
+    #[test]
+    fn epochs_compare_against_clocks() {
+        let mut vc = VectorClock::new();
+        vc.set(ThreadId(1), 4);
+        assert!(Epoch { tid: ThreadId(1), clock: 4 }.leq(&vc));
+        assert!(!Epoch { tid: ThreadId(1), clock: 5 }.leq(&vc));
+        assert!(Epoch::BOTTOM.leq(&VectorClock::new()));
+    }
+
+    #[test]
+    fn tick_advances_only_one_thread() {
+        let mut vc = VectorClock::new();
+        vc.tick(ThreadId(3));
+        vc.tick(ThreadId(3));
+        assert_eq!(vc.get(ThreadId(3)), 2);
+        assert_eq!(vc.get(ThreadId(0)), 0);
+        assert_eq!(vc.nonzero().collect::<Vec<_>>(), vec![(ThreadId(3), 2)]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Algebraic property tests for vector clocks and epochs.
+
+use oha_fasttrack::{Epoch, VectorClock};
+use oha_interp::ThreadId;
+use proptest::prelude::*;
+
+fn vc() -> impl Strategy<Value = VectorClock> {
+    prop::collection::vec(0u32..50, 0..6).prop_map(|v| {
+        let mut c = VectorClock::new();
+        for (i, x) in v.into_iter().enumerate() {
+            c.set(ThreadId(i as u32), x);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Join is the least upper bound: commutative, associative, idempotent,
+    /// and an upper bound of both operands.
+    #[test]
+    fn join_is_a_least_upper_bound(a in vc(), b in vc(), c in vc()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        prop_assert!(ab.leq(&ba) && ba.leq(&ab), "commutative");
+
+        let mut ab_c = ab.clone();
+        ab_c.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut a_bc = a.clone();
+        a_bc.join(&bc);
+        prop_assert!(ab_c.leq(&a_bc) && a_bc.leq(&ab_c), "associative");
+
+        let mut aa = a.clone();
+        aa.join(&a);
+        prop_assert!(aa.leq(&a) && a.leq(&aa), "idempotent");
+
+        prop_assert!(a.leq(&ab) && b.leq(&ab), "upper bound");
+        // Least: any other upper bound dominates the join.
+        let mut ub = a.clone();
+        ub.join(&b);
+        ub.join(&c); // c makes it at least as large
+        prop_assert!(ab.leq(&ub));
+    }
+
+    /// `leq` is a partial order: reflexive, transitive, antisymmetric
+    /// (modulo trailing zeros, which `leq` treats as absent).
+    #[test]
+    fn leq_is_a_partial_order(a in vc(), b in vc(), c in vc()) {
+        prop_assert!(a.leq(&a));
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+        if a.leq(&b) && b.leq(&a) {
+            for t in 0..8u32 {
+                prop_assert_eq!(a.get(ThreadId(t)), b.get(ThreadId(t)));
+            }
+        }
+    }
+
+    /// Epoch comparison agrees with the single-entry vector clock it
+    /// abbreviates.
+    #[test]
+    fn epochs_abbreviate_single_entry_clocks(t in 0u32..6, clock in 0u32..50, other in vc()) {
+        let e = Epoch { tid: ThreadId(t), clock };
+        let mut as_vc = VectorClock::new();
+        as_vc.set(ThreadId(t), clock);
+        prop_assert_eq!(e.leq(&other), as_vc.leq(&other));
+    }
+
+    /// Ticking advances exactly one component.
+    #[test]
+    fn tick_is_local(a in vc(), t in 0u32..6) {
+        let mut b = a.clone();
+        b.tick(ThreadId(t));
+        prop_assert_eq!(b.get(ThreadId(t)), a.get(ThreadId(t)) + 1);
+        for u in 0..8u32 {
+            if u != t {
+                prop_assert_eq!(b.get(ThreadId(u)), a.get(ThreadId(u)));
+            }
+        }
+        prop_assert!(a.leq(&b) && !b.leq(&a));
+    }
+}

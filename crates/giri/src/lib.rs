@@ -1,0 +1,27 @@
+//! Giri-style dynamic backward slicing (paper §5).
+//!
+//! The tool traces the dynamic definition-use relation during execution —
+//! each traced event records *resolved* producer links (which trace event
+//! defined each register value it consumed, which store produced the value
+//! a load read) — and computes backward slices over the trace afterwards.
+//!
+//! The **hybrid** variant (the paper's Giri baseline) instruments only
+//! instructions inside a static slice of the endpoints; the **optimistic**
+//! variant uses the (much smaller) predicated static slice. Eliding an
+//! instruction's tracing is safe whenever the static slice over-approximates
+//! the true dynamic slice: every event on a contributing chain then has all
+//! of its producers traced, so chains never pass through untraced events.
+//! When the static slice was predicated on invariants that an execution
+//! violates, that guarantee evaporates — which is exactly why OptSlice runs
+//! speculatively and rolls back on violation.
+//!
+//! The fully-dynamic variant (everything traced) is the paper's "pure Giri"
+//! baseline that "exhausts system resources even on modest executions": its
+//! trace records every register-level event.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod tool;
+
+pub use tool::{DynamicSlice, GiriCounters, GiriTool};

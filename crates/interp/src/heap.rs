@@ -1,0 +1,135 @@
+//! The simulated memory: globals plus heap objects.
+
+use oha_ir::{InstId, Program};
+
+use crate::value::{Addr, ObjId, Value};
+
+#[derive(Clone, Debug)]
+struct Object {
+    fields: Vec<Value>,
+    /// The allocation site, `None` for globals.
+    alloc_site: Option<InstId>,
+}
+
+/// The memory of one execution.
+///
+/// Globals are materialized up front (object ids `0..num_globals`); heap
+/// objects are appended by [`Heap::alloc`]. All fields start as `Int(0)`.
+#[derive(Clone, Debug)]
+pub struct Heap {
+    objects: Vec<Object>,
+    num_globals: usize,
+}
+
+impl Heap {
+    /// Creates the heap for a program, materializing its globals.
+    pub fn new(program: &Program) -> Self {
+        let objects = program
+            .globals()
+            .iter()
+            .map(|g| Object {
+                fields: vec![Value::default(); g.fields as usize],
+                alloc_site: None,
+            })
+            .collect::<Vec<_>>();
+        let num_globals = objects.len();
+        Self {
+            objects,
+            num_globals,
+        }
+    }
+
+    /// Allocates a fresh object with `fields` zeroed fields at `site`.
+    pub fn alloc(&mut self, fields: u32, site: InstId) -> ObjId {
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(Object {
+            fields: vec![Value::default(); fields as usize],
+            alloc_site: Some(site),
+        });
+        id
+    }
+
+    /// Reads the value at `addr`, or `None` if the address is out of range.
+    pub fn load(&self, addr: Addr) -> Option<Value> {
+        self.objects
+            .get(addr.obj.0 as usize)?
+            .fields
+            .get(addr.field as usize)
+            .copied()
+    }
+
+    /// Writes `value` at `addr`; returns `false` if the address is out of
+    /// range.
+    pub fn store(&mut self, addr: Addr, value: Value) -> bool {
+        match self
+            .objects
+            .get_mut(addr.obj.0 as usize)
+            .and_then(|o| o.fields.get_mut(addr.field as usize))
+        {
+            Some(slot) => {
+                *slot = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The allocation site of an object (`None` for globals and unknown
+    /// ids).
+    pub fn alloc_site(&self, obj: ObjId) -> Option<InstId> {
+        self.objects.get(obj.0 as usize)?.alloc_site
+    }
+
+    /// Whether `obj` is a global.
+    pub fn is_global(&self, obj: ObjId) -> bool {
+        (obj.0 as usize) < self.num_globals
+    }
+
+    /// Total number of objects (globals + heap allocations).
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_ir::ProgramBuilder;
+
+    fn tiny_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.global("a", 2);
+        pb.global("b", 1);
+        let mut f = pb.function("main", 0);
+        f.ret(None);
+        let main = pb.finish_function(f);
+        pb.finish(main).unwrap()
+    }
+
+    use oha_ir::Program;
+
+    #[test]
+    fn globals_materialized_first() {
+        let p = tiny_program();
+        let h = Heap::new(&p);
+        assert_eq!(h.num_objects(), 2);
+        assert!(h.is_global(ObjId(0)));
+        assert!(h.is_global(ObjId(1)));
+        assert_eq!(h.load(Addr::new(ObjId(0), 1)), Some(Value::Int(0)));
+        assert_eq!(h.load(Addr::new(ObjId(0), 2)), None, "out of range field");
+    }
+
+    #[test]
+    fn alloc_load_store_round_trip() {
+        let p = tiny_program();
+        let mut h = Heap::new(&p);
+        let o = h.alloc(3, InstId::new(0));
+        assert!(!h.is_global(o));
+        assert_eq!(h.alloc_site(o), Some(InstId::new(0)));
+        let a = Addr::new(o, 2);
+        assert!(h.store(a, Value::Int(99)));
+        assert_eq!(h.load(a), Some(Value::Int(99)));
+        assert!(!h.store(Addr::new(o, 3), Value::Int(1)));
+        assert_eq!(h.load(Addr::new(ObjId(77), 0)), None);
+    }
+}

@@ -1,0 +1,1240 @@
+//! The interpreter proper: green threads, a seeded scheduler, and the
+//! instruction execution loop.
+
+use std::collections::HashMap;
+
+use oha_ir::{
+    BlockId, Callee, CmpOp, FuncId, InstId, InstKind, Operand, Program, Reg, Terminator,
+};
+
+use crate::heap::Heap;
+use crate::tracer::{EventCtx, Tracer};
+use crate::value::{Addr, FrameId, ObjId, ThreadId, Value};
+
+/// Configuration of a [`Machine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Scheduler seed; two runs with equal program, input and seed are
+    /// bit-for-bit identical (the record/replay property).
+    pub seed: u64,
+    /// Abort the run after this many executed steps.
+    pub max_steps: u64,
+    /// Maximum instructions a thread runs before the scheduler may preempt
+    /// it. Actual slot lengths are drawn uniformly from `1..=quantum`.
+    pub quantum: u32,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5eed_0a11,
+            max_steps: 50_000_000,
+            quantum: 40,
+        }
+    }
+}
+
+/// Why an execution stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Termination {
+    /// Every thread ran to completion.
+    Exited,
+    /// No thread is runnable but some are blocked.
+    Deadlock,
+    /// The configured step budget was exhausted.
+    StepLimit,
+    /// The program performed an illegal operation.
+    Error(RuntimeError),
+}
+
+/// Illegal operations an interpreted program can perform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A load/store/gep/lock address operand was not a pointer.
+    NotAPointer {
+        /// The faulting instruction.
+        inst: InstId,
+    },
+    /// A memory access fell outside its object.
+    OutOfBounds {
+        /// The faulting instruction.
+        inst: InstId,
+        /// The address accessed.
+        addr: Addr,
+    },
+    /// An indirect call/spawn target was not a function pointer.
+    NotAFunction {
+        /// The faulting instruction.
+        inst: InstId,
+    },
+    /// An indirect call passed the wrong number of arguments.
+    BadArity {
+        /// The faulting instruction.
+        inst: InstId,
+    },
+    /// A join operand was not a thread handle.
+    NotAThread {
+        /// The faulting instruction.
+        inst: InstId,
+    },
+    /// An unlock of a mutex the thread does not hold.
+    UnlockNotHeld {
+        /// The faulting instruction.
+        inst: InstId,
+        /// The mutex address.
+        addr: Addr,
+    },
+    /// A lock of a mutex the thread already holds (locks are not
+    /// reentrant).
+    RelockHeld {
+        /// The faulting instruction.
+        inst: InstId,
+        /// The mutex address.
+        addr: Addr,
+    },
+    /// Arithmetic on a non-integer value.
+    NotAnInt {
+        /// The faulting instruction.
+        inst: InstId,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::NotAPointer { inst } => write!(f, "{inst}: address is not a pointer"),
+            RuntimeError::OutOfBounds { inst, addr } => {
+                write!(f, "{inst}: access to {addr} is out of bounds")
+            }
+            RuntimeError::NotAFunction { inst } => {
+                write!(f, "{inst}: call target is not a function")
+            }
+            RuntimeError::BadArity { inst } => write!(f, "{inst}: wrong argument count"),
+            RuntimeError::NotAThread { inst } => write!(f, "{inst}: join target is not a thread"),
+            RuntimeError::UnlockNotHeld { inst, addr } => {
+                write!(f, "{inst}: unlock of {addr} not held")
+            }
+            RuntimeError::RelockHeld { inst, addr } => {
+                write!(f, "{inst}: relock of held mutex {addr}")
+            }
+            RuntimeError::NotAnInt { inst } => write!(f, "{inst}: arithmetic on non-integer"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// The outcome of one execution.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Why the run stopped.
+    pub status: Termination,
+    /// Every value produced by `output`, with its producing site.
+    pub outputs: Vec<(InstId, Value)>,
+    /// Steps (instructions + terminators) executed.
+    pub steps: u64,
+    /// Number of threads ever created (including main).
+    pub num_threads: u32,
+    /// Number of objects at the end of the run (globals + allocations).
+    pub num_objects: usize,
+}
+
+impl RunResult {
+    /// The output stream as integers (see [`Value::to_i64_lossy`]).
+    pub fn output_values(&self) -> Vec<i64> {
+        self.outputs.iter().map(|(_, v)| v.to_i64_lossy()).collect()
+    }
+}
+
+/// A recorded schedule: the scheduler's decisions, one `(thread, slot)`
+/// pair per scheduling quantum. Replaying a trace reproduces the exact
+/// interleaving independently of the seed that produced it — the explicit
+/// record/replay artifact the paper's rollback assumes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScheduleTrace {
+    decisions: Vec<(u32, u32)>,
+}
+
+impl ScheduleTrace {
+    /// Number of scheduling decisions recorded.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+}
+
+enum Scheduler {
+    Random(SplitMix64),
+    Recording(SplitMix64, ScheduleTrace),
+    Replaying(ScheduleTrace, usize),
+}
+
+impl Scheduler {
+    /// Picks the next thread (from `runnable`) and its slot length.
+    fn pick(&mut self, runnable: &[u32], quantum: u32) -> (ThreadId, u64) {
+        match self {
+            Scheduler::Random(rng) => {
+                let tid = runnable[rng.below(runnable.len() as u64) as usize];
+                (ThreadId(tid), 1 + rng.below(u64::from(quantum)))
+            }
+            Scheduler::Recording(rng, trace) => {
+                let tid = runnable[rng.below(runnable.len() as u64) as usize];
+                let slot = 1 + rng.below(u64::from(quantum));
+                trace.decisions.push((tid, slot as u32));
+                (ThreadId(tid), slot)
+            }
+            Scheduler::Replaying(trace, pos) => {
+                let decision = trace.decisions.get(*pos).copied();
+                *pos += 1;
+                match decision {
+                    // If the recorded thread is not runnable (possible only
+                    // if the program under replay diverged), fall back to
+                    // the first runnable thread.
+                    Some((tid, slot)) if runnable.contains(&tid) => {
+                        (ThreadId(tid), u64::from(slot.max(1)))
+                    }
+                    _ => (ThreadId(runnable[0]), 1),
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic scheduler randomness (SplitMix64). Implemented inline so
+/// schedules are stable across platforms and `rand` versions.
+#[derive(Clone, Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next() % n
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    BlockedLock(Addr),
+    BlockedJoin(ThreadId),
+    Done,
+}
+
+#[derive(Debug)]
+struct Frame {
+    func: FuncId,
+    frame_id: FrameId,
+    block: BlockId,
+    pc: usize,
+    regs: Vec<Value>,
+    /// Where the return value goes in the caller, and the caller's call
+    /// site. `None` for thread entry frames.
+    ret_to: Option<(Option<Reg>, InstId)>,
+}
+
+#[derive(Debug)]
+struct ThreadCtx {
+    state: ThreadState,
+    stack: Vec<Frame>,
+    join_waiters: Vec<ThreadId>,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: Option<ThreadId>,
+    waiters: Vec<ThreadId>,
+}
+
+/// A reusable interpreter for one program.
+///
+/// `Machine` is immutable; every [`Machine::run`] creates fresh execution
+/// state, so the same machine can replay an execution (same input and seed)
+/// or explore schedules (different seeds).
+#[derive(Clone, Debug)]
+pub struct Machine<'p> {
+    program: &'p Program,
+    config: MachineConfig,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine for `program`.
+    pub fn new(program: &'p Program, config: MachineConfig) -> Self {
+        Self { program, config }
+    }
+
+    /// The program this machine executes.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> MachineConfig {
+        self.config
+    }
+
+    /// Executes the program on `input`, reporting events to `tracer`.
+    pub fn run<T: Tracer>(&self, input: &[i64], tracer: &mut T) -> RunResult {
+        let sched = Scheduler::Random(SplitMix64(self.config.seed));
+        Execution::new(self.program, self.config, input, sched)
+            .run(tracer)
+            .0
+    }
+
+    /// Executes the program while recording every scheduling decision;
+    /// feed the returned trace to [`Machine::run_replay`] to reproduce the
+    /// identical interleaving.
+    pub fn run_recording<T: Tracer>(
+        &self,
+        input: &[i64],
+        tracer: &mut T,
+    ) -> (RunResult, ScheduleTrace) {
+        let sched = Scheduler::Recording(SplitMix64(self.config.seed), ScheduleTrace::default());
+        let (result, sched) = Execution::new(self.program, self.config, input, sched).run(tracer);
+        match sched {
+            Scheduler::Recording(_, trace) => (result, trace),
+            _ => unreachable!("recording scheduler preserved"),
+        }
+    }
+
+    /// Re-executes the program following a recorded schedule. With the same
+    /// program and input this reproduces the recorded run exactly — the
+    /// re-execution primitive speculation rollback uses.
+    pub fn run_replay<T: Tracer>(
+        &self,
+        input: &[i64],
+        trace: &ScheduleTrace,
+        tracer: &mut T,
+    ) -> RunResult {
+        let sched = Scheduler::Replaying(trace.clone(), 0);
+        Execution::new(self.program, self.config, input, sched)
+            .run(tracer)
+            .0
+    }
+}
+
+struct Execution<'p, 'i> {
+    program: &'p Program,
+    config: MachineConfig,
+    input: &'i [i64],
+    input_pos: usize,
+    heap: Heap,
+    threads: Vec<ThreadCtx>,
+    locks: HashMap<Addr, LockState>,
+    scheduler: Scheduler,
+    next_frame: u64,
+    steps: u64,
+    outputs: Vec<(InstId, Value)>,
+}
+
+enum StepOutcome {
+    Continue,
+    /// The thread blocked or finished; end its scheduling slot.
+    Yield,
+    Fault(RuntimeError),
+}
+
+impl<'p, 'i> Execution<'p, 'i> {
+    fn new(
+        program: &'p Program,
+        config: MachineConfig,
+        input: &'i [i64],
+        scheduler: Scheduler,
+    ) -> Self {
+        let mut exec = Self {
+            program,
+            config,
+            input,
+            input_pos: 0,
+            heap: Heap::new(program),
+            threads: Vec::new(),
+            locks: HashMap::new(),
+            scheduler,
+            next_frame: 0,
+            steps: 0,
+            outputs: Vec::new(),
+        };
+        let entry = program.entry();
+        let frame = exec.make_frame(entry, Vec::new(), None);
+        exec.threads.push(ThreadCtx {
+            state: ThreadState::Runnable,
+            stack: vec![frame],
+            join_waiters: Vec::new(),
+        });
+        exec
+    }
+
+    fn make_frame(
+        &mut self,
+        func: FuncId,
+        args: Vec<Value>,
+        ret_to: Option<(Option<Reg>, InstId)>,
+    ) -> Frame {
+        let f = self.program.function(func);
+        let mut regs = vec![Value::default(); f.num_regs as usize];
+        regs[..args.len()].copy_from_slice(&args);
+        let frame_id = FrameId(self.next_frame);
+        self.next_frame += 1;
+        Frame {
+            func,
+            frame_id,
+            block: f.entry,
+            pc: 0,
+            regs,
+            ret_to,
+        }
+    }
+
+    fn run<T: Tracer>(mut self, tracer: &mut T) -> (RunResult, Scheduler) {
+        // The main thread enters its entry block.
+        {
+            let frame = &self.threads[0].stack[0];
+            tracer.on_block_enter(ThreadId::MAIN, frame.frame_id, frame.block);
+        }
+
+        let status = loop {
+            // Collect runnable threads.
+            let runnable: Vec<u32> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.state == ThreadState::Runnable)
+                .map(|(i, _)| i as u32)
+                .collect();
+            if runnable.is_empty() {
+                if self.threads.iter().all(|t| t.state == ThreadState::Done) {
+                    break Termination::Exited;
+                }
+                break Termination::Deadlock;
+            }
+            let (tid, slot) = self.scheduler.pick(&runnable, self.config.quantum);
+
+            let mut fault = None;
+            for _ in 0..slot {
+                if self.steps >= self.config.max_steps {
+                    fault = Some(Termination::StepLimit);
+                    break;
+                }
+                match self.step(tid, tracer) {
+                    StepOutcome::Continue => {}
+                    StepOutcome::Yield => break,
+                    StepOutcome::Fault(e) => {
+                        fault = Some(Termination::Error(e));
+                        break;
+                    }
+                }
+            }
+            if let Some(status) = fault {
+                break status;
+            }
+        };
+
+        (
+            RunResult {
+                status,
+                outputs: self.outputs,
+                steps: self.steps,
+                num_threads: self.threads.len() as u32,
+                num_objects: self.heap.num_objects(),
+            },
+            self.scheduler,
+        )
+    }
+
+    fn eval(&self, tid: ThreadId, op: Operand) -> Value {
+        match op {
+            Operand::Const(c) => Value::Int(c),
+            Operand::Reg(r) => {
+                let frame = self.threads[tid.index()]
+                    .stack
+                    .last()
+                    .expect("running thread has a frame");
+                frame.regs[r.index()]
+            }
+        }
+    }
+
+    fn set_reg(&mut self, tid: ThreadId, r: Reg, v: Value) {
+        let frame = self.threads[tid.index()]
+            .stack
+            .last_mut()
+            .expect("running thread has a frame");
+        frame.regs[r.index()] = v;
+    }
+
+    fn advance_pc(&mut self, tid: ThreadId) {
+        let frame = self.threads[tid.index()]
+            .stack
+            .last_mut()
+            .expect("running thread has a frame");
+        frame.pc += 1;
+    }
+
+    fn ptr_operand(&self, tid: ThreadId, inst: InstId, op: Operand) -> Result<Addr, RuntimeError> {
+        match self.eval(tid, op) {
+            Value::Ptr(a) => Ok(a),
+            _ => Err(RuntimeError::NotAPointer { inst }),
+        }
+    }
+
+    /// Executes one instruction or terminator of thread `tid`.
+    fn step<T: Tracer>(&mut self, tid: ThreadId, tracer: &mut T) -> StepOutcome {
+        self.steps += 1;
+        let (_func, frame_id, block, pc) = {
+            let frame = self.threads[tid.index()]
+                .stack
+                .last()
+                .expect("running thread has a frame");
+            (frame.func, frame.frame_id, frame.block, frame.pc)
+        };
+        // Borrow the instruction from the program reference itself (not
+        // through `self`), so the hot loop never clones instruction data.
+        let program: &'p Program = self.program;
+        let block_data = program.block(block);
+
+        if pc >= block_data.insts.len() {
+            return self.step_terminator(tid, frame_id, block, tracer);
+        }
+
+        let inst_id = block_data.insts[pc].id;
+        let kind: &'p InstKind = &block_data.insts[pc].kind;
+        let ctx = EventCtx {
+            thread: tid,
+            frame: frame_id,
+            inst: inst_id,
+        };
+
+        match *kind {
+            InstKind::Copy { dst, src } => {
+                let v = self.eval(tid, src);
+                self.set_reg(tid, dst, v);
+                tracer.on_compute(ctx);
+            }
+            InstKind::BinOp { dst, op, lhs, rhs } => {
+                let a = self.eval(tid, lhs);
+                let b = self.eval(tid, rhs);
+                let v = match (a, b) {
+                    (Value::Int(x), Value::Int(y)) => Value::Int(op.eval(x, y)),
+                    _ => match op {
+                        oha_ir::BinOp::Cmp(CmpOp::Eq) => Value::Int(i64::from(a == b)),
+                        oha_ir::BinOp::Cmp(CmpOp::Ne) => Value::Int(i64::from(a != b)),
+                        _ => return StepOutcome::Fault(RuntimeError::NotAnInt { inst: inst_id }),
+                    },
+                };
+                self.set_reg(tid, dst, v);
+                tracer.on_compute(ctx);
+            }
+            InstKind::Alloc { dst, fields } => {
+                let obj = self.heap.alloc(fields, inst_id);
+                self.set_reg(tid, dst, Value::Ptr(Addr::new(obj, 0)));
+                tracer.on_compute(ctx);
+            }
+            InstKind::AddrGlobal { dst, global } => {
+                self.set_reg(
+                    tid,
+                    dst,
+                    Value::Ptr(Addr::new(ObjId(global.raw()), 0)),
+                );
+                tracer.on_compute(ctx);
+            }
+            InstKind::AddrFunc { dst, func } => {
+                self.set_reg(tid, dst, Value::Func(func));
+                tracer.on_compute(ctx);
+            }
+            InstKind::Gep { dst, base, field } => {
+                let a = match self.ptr_operand(tid, inst_id, base) {
+                    Ok(a) => a,
+                    Err(e) => return StepOutcome::Fault(e),
+                };
+                self.set_reg(tid, dst, Value::Ptr(a.offset(field)));
+                tracer.on_compute(ctx);
+            }
+            InstKind::Load { dst, addr, field } => {
+                let a = match self.ptr_operand(tid, inst_id, addr) {
+                    Ok(a) => a.offset(field),
+                    Err(e) => return StepOutcome::Fault(e),
+                };
+                let v = match self.heap.load(a) {
+                    Some(v) => v,
+                    None => {
+                        return StepOutcome::Fault(RuntimeError::OutOfBounds {
+                            inst: inst_id,
+                            addr: a,
+                        })
+                    }
+                };
+                self.set_reg(tid, dst, v);
+                tracer.on_load(ctx, a, v);
+            }
+            InstKind::Store { addr, field, value } => {
+                let a = match self.ptr_operand(tid, inst_id, addr) {
+                    Ok(a) => a.offset(field),
+                    Err(e) => return StepOutcome::Fault(e),
+                };
+                let v = self.eval(tid, value);
+                if !self.heap.store(a, v) {
+                    return StepOutcome::Fault(RuntimeError::OutOfBounds {
+                        inst: inst_id,
+                        addr: a,
+                    });
+                }
+                tracer.on_store(ctx, a, v);
+            }
+            InstKind::Call { dst, ref callee, ref args } => {
+                let target = match self.resolve_callee(tid, inst_id, *callee) {
+                    Ok(t) => t,
+                    Err(e) => return StepOutcome::Fault(e),
+                };
+                if self.program.function(target).arity() != args.len() {
+                    return StepOutcome::Fault(RuntimeError::BadArity { inst: inst_id });
+                }
+                let argv: Vec<Value> = args.iter().map(|&a| self.eval(tid, a)).collect();
+                // Resume after the call on return.
+                self.advance_pc(tid);
+                let frame = self.make_frame(target, argv, Some((dst, inst_id)));
+                let callee_frame = frame.frame_id;
+                let entry = frame.block;
+                self.threads[tid.index()].stack.push(frame);
+                tracer.on_call(ctx, target, callee_frame);
+                tracer.on_block_enter(tid, callee_frame, entry);
+                return StepOutcome::Continue;
+            }
+            InstKind::Lock { addr } => {
+                let a = match self.ptr_operand(tid, inst_id, addr) {
+                    Ok(a) => a,
+                    Err(e) => return StepOutcome::Fault(e),
+                };
+                let lock = self.locks.entry(a).or_default();
+                match lock.holder {
+                    None => {
+                        lock.holder = Some(tid);
+                        tracer.on_lock(ctx, a);
+                    }
+                    Some(h) if h == tid => {
+                        return StepOutcome::Fault(RuntimeError::RelockHeld {
+                            inst: inst_id,
+                            addr: a,
+                        })
+                    }
+                    Some(_) => {
+                        if !lock.waiters.contains(&tid) {
+                            lock.waiters.push(tid);
+                        }
+                        self.threads[tid.index()].state = ThreadState::BlockedLock(a);
+                        // Do not advance the pc: the lock is retried on wake.
+                        return StepOutcome::Yield;
+                    }
+                }
+            }
+            InstKind::Unlock { addr } => {
+                let a = match self.ptr_operand(tid, inst_id, addr) {
+                    Ok(a) => a,
+                    Err(e) => return StepOutcome::Fault(e),
+                };
+                let lock = self.locks.entry(a).or_default();
+                if lock.holder != Some(tid) {
+                    return StepOutcome::Fault(RuntimeError::UnlockNotHeld {
+                        inst: inst_id,
+                        addr: a,
+                    });
+                }
+                tracer.on_unlock(ctx, a);
+                lock.holder = None;
+                let waiters = std::mem::take(&mut lock.waiters);
+                for w in waiters {
+                    if self.threads[w.index()].state == ThreadState::BlockedLock(a) {
+                        self.threads[w.index()].state = ThreadState::Runnable;
+                    }
+                }
+            }
+            InstKind::Spawn { dst, ref func, arg } => {
+                let target = match self.resolve_callee(tid, inst_id, *func) {
+                    Ok(t) => t,
+                    Err(e) => return StepOutcome::Fault(e),
+                };
+                if self.program.function(target).arity() != 1 {
+                    return StepOutcome::Fault(RuntimeError::BadArity { inst: inst_id });
+                }
+                let argv = vec![self.eval(tid, arg)];
+                let child = ThreadId(self.threads.len() as u32);
+                let frame = self.make_frame(target, argv, None);
+                let child_frame = frame.frame_id;
+                let entry = frame.block;
+                self.threads.push(ThreadCtx {
+                    state: ThreadState::Runnable,
+                    stack: vec![frame],
+                    join_waiters: Vec::new(),
+                });
+                self.set_reg(tid, dst, Value::Thread(child));
+                tracer.on_spawn(ctx, child, target);
+                tracer.on_block_enter(child, child_frame, entry);
+            }
+            InstKind::Join { thread } => {
+                let t = match self.eval(tid, thread) {
+                    Value::Thread(t) => t,
+                    _ => return StepOutcome::Fault(RuntimeError::NotAThread { inst: inst_id }),
+                };
+                if self.threads[t.index()].state == ThreadState::Done {
+                    tracer.on_join(ctx, t);
+                } else {
+                    if !self.threads[t.index()].join_waiters.contains(&tid) {
+                        self.threads[t.index()].join_waiters.push(tid);
+                    }
+                    self.threads[tid.index()].state = ThreadState::BlockedJoin(t);
+                    // Do not advance the pc: the join is retried on wake.
+                    return StepOutcome::Yield;
+                }
+            }
+            InstKind::Input { dst } => {
+                let v = Value::Int(self.input.get(self.input_pos).copied().unwrap_or(0));
+                self.input_pos += 1;
+                self.set_reg(tid, dst, v);
+                tracer.on_input(ctx, v);
+            }
+            InstKind::Output { value } => {
+                let v = self.eval(tid, value);
+                self.outputs.push((inst_id, v));
+                tracer.on_output(ctx, v);
+            }
+        }
+        self.advance_pc(tid);
+        StepOutcome::Continue
+    }
+
+    fn resolve_callee(
+        &self,
+        tid: ThreadId,
+        inst: InstId,
+        callee: Callee,
+    ) -> Result<FuncId, RuntimeError> {
+        match callee {
+            Callee::Direct(f) => Ok(f),
+            Callee::Indirect(op) => match self.eval(tid, op) {
+                Value::Func(f) => Ok(f),
+                _ => Err(RuntimeError::NotAFunction { inst }),
+            },
+        }
+    }
+
+    fn step_terminator<T: Tracer>(
+        &mut self,
+        tid: ThreadId,
+        frame_id: FrameId,
+        block: BlockId,
+        tracer: &mut T,
+    ) -> StepOutcome {
+        let program: &'p Program = self.program;
+        let terminator = &program.block(block).terminator;
+        match *terminator {
+            Terminator::Jump(b) => {
+                self.goto(tid, b);
+                tracer.on_block_enter(tid, frame_id, b);
+                StepOutcome::Continue
+            }
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let b = if self.eval(tid, cond).truthy() {
+                    then_bb
+                } else {
+                    else_bb
+                };
+                self.goto(tid, b);
+                tracer.on_block_enter(tid, frame_id, b);
+                StepOutcome::Continue
+            }
+            Terminator::Return(op) => {
+                let value = op.map(|o| self.eval(tid, o));
+                let operand = op;
+                let frame = self.threads[tid.index()]
+                    .stack
+                    .pop()
+                    .expect("running thread has a frame");
+                match frame.ret_to {
+                    Some((dst, call_inst)) => {
+                        let caller_frame = self.threads[tid.index()]
+                            .stack
+                            .last()
+                            .expect("caller frame exists")
+                            .frame_id;
+                        if let (Some(d), Some(v)) = (dst, value) {
+                            self.set_reg(tid, d, v);
+                        }
+                        tracer.on_return(
+                            tid,
+                            frame.frame_id,
+                            frame.func,
+                            value,
+                            operand,
+                            caller_frame,
+                            call_inst,
+                        );
+                        StepOutcome::Continue
+                    }
+                    None => {
+                        // Thread entry frame: the thread is done.
+                        self.threads[tid.index()].state = ThreadState::Done;
+                        tracer.on_thread_exit(tid);
+                        let waiters = std::mem::take(&mut self.threads[tid.index()].join_waiters);
+                        for w in waiters {
+                            if self.threads[w.index()].state == ThreadState::BlockedJoin(tid) {
+                                self.threads[w.index()].state = ThreadState::Runnable;
+                            }
+                        }
+                        StepOutcome::Yield
+                    }
+                }
+            }
+        }
+    }
+
+    fn goto(&mut self, tid: ThreadId, b: BlockId) {
+        let frame = self.threads[tid.index()]
+            .stack
+            .last_mut()
+            .expect("running thread has a frame");
+        frame.block = b;
+        frame.pc = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::NoopTracer;
+    use oha_ir::{BinOp, Operand, ProgramBuilder};
+    use Operand::{Const, Reg as R};
+
+    fn run(program: &Program, input: &[i64]) -> RunResult {
+        Machine::new(program, MachineConfig::default()).run(input, &mut NoopTracer)
+    }
+
+    #[test]
+    fn arithmetic_and_io() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let a = f.input();
+        let b = f.input();
+        let s = f.bin(BinOp::Mul, R(a), R(b));
+        f.output(R(s));
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        let r = run(&p, &[6, 7]);
+        assert_eq!(r.status, Termination::Exited);
+        assert_eq!(r.output_values(), vec![42]);
+        assert_eq!(r.num_threads, 1);
+    }
+
+    #[test]
+    fn exhausted_input_reads_zero() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let a = f.input();
+        f.output(R(a));
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        assert_eq!(run(&p, &[]).output_values(), vec![0]);
+    }
+
+    #[test]
+    fn heap_programs_and_recursion() {
+        // fib(n) via recursion with memory traffic.
+        let mut pb = ProgramBuilder::new();
+        let fib = pb.declare("fib", 1);
+        let mut m = pb.function("main", 0);
+        let n = m.input();
+        let r = m.call(fib, vec![R(n)]);
+        m.output(R(r));
+        m.ret(None);
+        let main = pb.finish_function(m);
+
+        let mut f = pb.function("fib", 1);
+        let n = f.param(0);
+        let base = f.block();
+        let rec = f.block();
+        let c = f.cmp(oha_ir::CmpOp::Lt, R(n), Const(2));
+        f.branch(R(c), base, rec);
+        f.select(base);
+        f.ret(Some(R(n)));
+        f.select(rec);
+        let n1 = f.bin(BinOp::Sub, R(n), Const(1));
+        let n2 = f.bin(BinOp::Sub, R(n), Const(2));
+        let a = f.call(fib, vec![R(n1)]);
+        let b = f.call(fib, vec![R(n2)]);
+        let s = f.bin(BinOp::Add, R(a), R(b));
+        f.ret(Some(R(s)));
+        pb.finish_function(f);
+
+        let p = pb.finish(main).unwrap();
+        assert_eq!(run(&p, &[10]).output_values(), vec![55]);
+    }
+
+    /// Two threads increment a shared counter under a lock; with mutual
+    /// exclusion the final value is always 2 * iterations.
+    fn counter_program(iterations: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("shared", 2); // field 0 = counter, field 1 = lock word
+        let worker = pb.declare("worker", 1);
+
+        let mut m = pb.function("main", 0);
+        let t1 = m.spawn(worker, Const(iterations));
+        let t2 = m.spawn(worker, Const(iterations));
+        m.join(R(t1));
+        m.join(R(t2));
+        let ga = m.addr_global(g);
+        let v = m.load(R(ga), 0);
+        m.output(R(v));
+        m.ret(None);
+        let main = pb.finish_function(m);
+
+        let mut w = pb.function("worker", 1);
+        let iters = w.param(0);
+        let head = w.block();
+        let body = w.block();
+        let exit = w.block();
+        let ga = w.addr_global(g);
+        let i = w.copy(Const(0));
+        w.jump(head);
+        w.select(head);
+        let c = w.cmp(oha_ir::CmpOp::Lt, R(i), R(iters));
+        w.branch(R(c), body, exit);
+        w.select(body);
+        w.lock(R(ga));
+        let v = w.load(R(ga), 0);
+        let v1 = w.bin(BinOp::Add, R(v), Const(1));
+        w.store(R(ga), 0, R(v1));
+        w.unlock(R(ga));
+        let i1 = w.bin(BinOp::Add, R(i), Const(1));
+        w.copy_to(i, R(i1));
+        w.jump(head);
+        w.select(exit);
+        w.ret(None);
+        pb.finish_function(w);
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn locks_provide_mutual_exclusion() {
+        let p = counter_program(200);
+        for seed in 0..10 {
+            let cfg = MachineConfig {
+                seed,
+                quantum: 3,
+                ..MachineConfig::default()
+            };
+            let r = Machine::new(&p, cfg).run(&[], &mut NoopTracer);
+            assert_eq!(r.status, Termination::Exited, "seed {seed}");
+            assert_eq!(r.output_values(), vec![400], "seed {seed}");
+            assert_eq!(r.num_threads, 3);
+        }
+    }
+
+    /// The same program *without* the lock loses updates under some
+    /// schedule — evidence the scheduler really interleaves.
+    #[test]
+    fn unlocked_counter_races() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("shared", 1);
+        let worker = pb.declare("worker", 1);
+        let mut m = pb.function("main", 0);
+        let t1 = m.spawn(worker, Const(300));
+        let t2 = m.spawn(worker, Const(300));
+        m.join(R(t1));
+        m.join(R(t2));
+        let ga = m.addr_global(g);
+        let v = m.load(R(ga), 0);
+        m.output(R(v));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut w = pb.function("worker", 1);
+        let iters = w.param(0);
+        let head = w.block();
+        let body = w.block();
+        let exit = w.block();
+        let ga = w.addr_global(g);
+        let i = w.copy(Const(0));
+        w.jump(head);
+        w.select(head);
+        let c = w.cmp(oha_ir::CmpOp::Lt, R(i), R(iters));
+        w.branch(R(c), body, exit);
+        w.select(body);
+        let v = w.load(R(ga), 0);
+        let v1 = w.bin(BinOp::Add, R(v), Const(1));
+        w.store(R(ga), 0, R(v1));
+        let i1 = w.bin(BinOp::Add, R(i), Const(1));
+        w.copy_to(i, R(i1));
+        w.jump(head);
+        w.select(exit);
+        w.ret(None);
+        pb.finish_function(w);
+        let p = pb.finish(main).unwrap();
+
+        let lost_updates = (0..10).any(|seed| {
+            let cfg = MachineConfig {
+                seed,
+                quantum: 3,
+                ..MachineConfig::default()
+            };
+            let r = Machine::new(&p, cfg).run(&[], &mut NoopTracer);
+            r.output_values()[0] < 600
+        });
+        assert!(lost_updates, "expected at least one lost update across seeds");
+    }
+
+    #[test]
+    fn recorded_schedules_replay_exactly() {
+        let p = counter_program(40);
+        for seed in [3u64, 99] {
+            let cfg = MachineConfig {
+                seed,
+                quantum: 4,
+                ..MachineConfig::default()
+            };
+            let machine = Machine::new(&p, cfg);
+            let (original, trace) = machine.run_recording(&[], &mut NoopTracer);
+            assert!(!trace.is_empty());
+            // Replay with a *different* seed in the config: the trace, not
+            // the seed, dictates the interleaving.
+            let other = MachineConfig {
+                seed: seed ^ 0xffff,
+                ..cfg
+            };
+            let replayed = Machine::new(&p, other).run_replay(&[], &trace, &mut NoopTracer);
+            assert_eq!(original.steps, replayed.steps);
+            assert_eq!(original.outputs, replayed.outputs);
+            assert_eq!(original.status, replayed.status);
+        }
+    }
+
+    #[test]
+    fn recording_matches_plain_run() {
+        let p = counter_program(25);
+        let cfg = MachineConfig::default();
+        let plain = Machine::new(&p, cfg).run(&[], &mut NoopTracer);
+        let (recorded, _) = Machine::new(&p, cfg).run_recording(&[], &mut NoopTracer);
+        assert_eq!(plain.outputs, recorded.outputs);
+        assert_eq!(plain.steps, recorded.steps);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_run() {
+        let p = counter_program(50);
+        let cfg = MachineConfig {
+            seed: 42,
+            quantum: 5,
+            ..MachineConfig::default()
+        };
+        let a = Machine::new(&p, cfg).run(&[], &mut NoopTracer);
+        let b = Machine::new(&p, cfg).run(&[], &mut NoopTracer);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // main locks a then b; worker locks b then a; tight loop to force
+        // the overlap under most schedules — run several seeds and require
+        // at least one deadlock.
+        let mut pb = ProgramBuilder::new();
+        let ga = pb.global("a", 1);
+        let gb = pb.global("b", 1);
+        let worker = pb.declare("worker", 1);
+        let mut m = pb.function("main", 0);
+        let t = m.spawn(worker, Const(0));
+        let a = m.addr_global(ga);
+        let b = m.addr_global(gb);
+        m.lock(R(a));
+        m.lock(R(b));
+        m.unlock(R(b));
+        m.unlock(R(a));
+        m.join(R(t));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut w = pb.function("worker", 1);
+        let a = w.addr_global(ga);
+        let b = w.addr_global(gb);
+        w.lock(R(b));
+        w.lock(R(a));
+        w.unlock(R(a));
+        w.unlock(R(b));
+        w.ret(None);
+        pb.finish_function(w);
+        let p = pb.finish(main).unwrap();
+
+        let mut saw_deadlock = false;
+        let mut saw_exit = false;
+        for seed in 0..40 {
+            let cfg = MachineConfig {
+                seed,
+                quantum: 1,
+                ..MachineConfig::default()
+            };
+            match Machine::new(&p, cfg).run(&[], &mut NoopTracer).status {
+                Termination::Deadlock => saw_deadlock = true,
+                Termination::Exited => saw_exit = true,
+                s => panic!("unexpected status {s:?}"),
+            }
+        }
+        assert!(saw_deadlock, "no deadlock observed in 40 schedules");
+        assert!(saw_exit, "no clean exit observed in 40 schedules");
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let head = f.block();
+        f.jump(head);
+        f.select(head);
+        f.jump(head);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        let cfg = MachineConfig {
+            max_steps: 1000,
+            ..MachineConfig::default()
+        };
+        let r = Machine::new(&p, cfg).run(&[], &mut NoopTracer);
+        assert_eq!(r.status, Termination::StepLimit);
+        assert!(r.steps >= 1000);
+    }
+
+    #[test]
+    fn runtime_errors_reported() {
+        // Unlock of a lock never taken.
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("g", 1);
+        let mut f = pb.function("main", 0);
+        let a = f.addr_global(g);
+        f.unlock(R(a));
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        match run(&p, &[]).status {
+            Termination::Error(RuntimeError::UnlockNotHeld { .. }) => {}
+            s => panic!("unexpected status {s:?}"),
+        }
+    }
+
+    #[test]
+    fn indirect_calls_dispatch_at_runtime() {
+        let mut pb = ProgramBuilder::new();
+        let double = pb.declare("double", 1);
+        let square = pb.declare("square", 1);
+        let mut m = pb.function("main", 0);
+        let sel = m.input();
+        let fp = m.addr_func(double);
+        let fp2 = m.addr_func(square);
+        let then_b = m.block();
+        let else_b = m.block();
+        let call_b = m.block();
+        let target = m.reg();
+        m.branch(R(sel), then_b, else_b);
+        m.select(then_b);
+        m.copy_to(target, R(fp));
+        m.jump(call_b);
+        m.select(else_b);
+        m.copy_to(target, R(fp2));
+        m.jump(call_b);
+        m.select(call_b);
+        let r = m.call_indirect(R(target), vec![Const(5)]);
+        m.output(R(r));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut d = pb.function("double", 1);
+        let x = d.bin(BinOp::Add, R(d.param(0)), R(d.param(0)));
+        d.ret(Some(R(x)));
+        pb.finish_function(d);
+        let mut s = pb.function("square", 1);
+        let x = s.bin(BinOp::Mul, R(s.param(0)), R(s.param(0)));
+        s.ret(Some(R(x)));
+        pb.finish_function(s);
+        let p = pb.finish(main).unwrap();
+        assert_eq!(run(&p, &[1]).output_values(), vec![10]);
+        assert_eq!(run(&p, &[0]).output_values(), vec![25]);
+    }
+
+    #[test]
+    fn tracer_sees_sync_events_in_order() {
+        #[derive(Default)]
+        struct Log(Vec<String>);
+        impl Tracer for Log {
+            fn on_lock(&mut self, ctx: EventCtx, _a: Addr) {
+                self.0.push(format!("lock:{}", ctx.thread));
+            }
+            fn on_unlock(&mut self, ctx: EventCtx, _a: Addr) {
+                self.0.push(format!("unlock:{}", ctx.thread));
+            }
+            fn on_spawn(&mut self, _ctx: EventCtx, child: ThreadId, _e: FuncId) {
+                self.0.push(format!("spawn:{child}"));
+            }
+            fn on_join(&mut self, _ctx: EventCtx, child: ThreadId) {
+                self.0.push(format!("join:{child}"));
+            }
+            fn on_thread_exit(&mut self, t: ThreadId) {
+                self.0.push(format!("exit:{t}"));
+            }
+        }
+        let p = counter_program(2);
+        let mut log = Log::default();
+        let r = Machine::new(&p, MachineConfig::default()).run(&[], &mut log);
+        assert_eq!(r.status, Termination::Exited);
+        // Lock/unlock strictly alternate because the lock is exclusive.
+        let mut held = false;
+        let mut lock_events = 0;
+        for e in &log.0 {
+            if e.starts_with("lock:") {
+                assert!(!held, "lock acquired while held: {:?}", log.0);
+                held = true;
+                lock_events += 1;
+            } else if e.starts_with("unlock:") {
+                assert!(held, "unlock without lock");
+                held = false;
+            }
+        }
+        assert_eq!(lock_events, 4, "2 threads x 2 iterations");
+        assert!(log.0.contains(&"spawn:t1".to_string()));
+        assert!(log.0.contains(&"exit:t1".to_string()));
+        assert!(log.0.contains(&"join:t2".to_string()));
+    }
+
+    #[test]
+    fn frame_ids_distinguish_activations() {
+        #[derive(Default)]
+        struct Frames(Vec<u64>);
+        impl Tracer for Frames {
+            fn on_call(&mut self, _ctx: EventCtx, _f: FuncId, callee_frame: FrameId) {
+                self.0.push(callee_frame.0);
+            }
+        }
+        let mut pb = ProgramBuilder::new();
+        let id = pb.declare("id", 1);
+        let mut m = pb.function("main", 0);
+        m.call_void(id, vec![Const(1)]);
+        m.call_void(id, vec![Const(2)]);
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut f = pb.function("id", 1);
+        f.ret(Some(R(f.param(0))));
+        pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        let mut frames = Frames::default();
+        Machine::new(&p, MachineConfig::default()).run(&[], &mut frames);
+        assert_eq!(frames.0.len(), 2);
+        assert_ne!(frames.0[0], frames.0[1]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Instrumentation hooks.
+//!
+//! A [`Tracer`] observes an execution. The interpreter invokes hooks
+//! synchronously, in execution order; per-thread event order matches the
+//! thread's program order. Dynamic analyses, likely-invariant profilers and
+//! invariant checkers are all tracers; [`MultiTracer`] composes two of them.
+
+use oha_ir::{BlockId, FuncId, InstId};
+
+use crate::value::{Addr, FrameId, ThreadId, Value};
+
+/// Context common to instruction-level events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventCtx {
+    /// The executing thread.
+    pub thread: ThreadId,
+    /// The activation (stack frame instance) executing the instruction.
+    pub frame: FrameId,
+    /// The instruction (instrumentation site).
+    pub inst: InstId,
+}
+
+/// Observer of an execution. All hooks default to no-ops so tracers
+/// implement only what they need.
+#[allow(unused_variables)]
+pub trait Tracer {
+    /// A value was loaded from `addr`.
+    fn on_load(&mut self, ctx: EventCtx, addr: Addr, value: Value) {}
+
+    /// `value` was stored to `addr`.
+    fn on_store(&mut self, ctx: EventCtx, addr: Addr, value: Value) {}
+
+    /// The mutex identified by `addr` was acquired.
+    fn on_lock(&mut self, ctx: EventCtx, addr: Addr) {}
+
+    /// The mutex identified by `addr` is about to be released.
+    fn on_unlock(&mut self, ctx: EventCtx, addr: Addr) {}
+
+    /// A thread was spawned at this site (`ctx` is the parent's context).
+    fn on_spawn(&mut self, ctx: EventCtx, child: ThreadId, entry: FuncId) {}
+
+    /// A join on `child` completed (`ctx` is the joining thread's context).
+    fn on_join(&mut self, ctx: EventCtx, child: ThreadId) {}
+
+    /// A thread finished executing.
+    fn on_thread_exit(&mut self, thread: ThreadId) {}
+
+    /// Control entered a basic block.
+    fn on_block_enter(&mut self, thread: ThreadId, frame: FrameId, block: BlockId) {}
+
+    /// A call at `ctx.inst` resolved to `callee`; the callee executes in
+    /// activation `callee_frame`. Fired for both direct and indirect calls.
+    fn on_call(&mut self, ctx: EventCtx, callee: FuncId, callee_frame: FrameId) {}
+
+    /// The activation `frame` of `func` returned `value` to the activation
+    /// `caller_frame`, whose call site was `call_inst`. `operand` is the
+    /// `return` terminator's operand (so tracers can resolve which register
+    /// carried the value).
+    #[allow(clippy::too_many_arguments)]
+    fn on_return(
+        &mut self,
+        thread: ThreadId,
+        frame: FrameId,
+        func: FuncId,
+        value: Option<Value>,
+        operand: Option<oha_ir::Operand>,
+        caller_frame: FrameId,
+        call_inst: InstId,
+    ) {
+    }
+
+    /// An input value was consumed.
+    fn on_input(&mut self, ctx: EventCtx, value: Value) {}
+
+    /// An output value was produced.
+    fn on_output(&mut self, ctx: EventCtx, value: Value) {}
+
+    /// A register-only instruction (copy, binop, alloc, address-of, gep)
+    /// executed. Only the dynamic slicer needs this firehose; other tracers
+    /// leave it as a no-op.
+    fn on_compute(&mut self, ctx: EventCtx) {}
+}
+
+/// A tracer that observes nothing. Running under `NoopTracer` measures the
+/// baseline (framework-only) execution cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {}
+
+/// Composes two tracers; `first` sees every event before `second`.
+///
+/// # Examples
+///
+/// ```
+/// use oha_interp::{MultiTracer, NoopTracer};
+/// let mut t = MultiTracer::new(NoopTracer, NoopTracer);
+/// # let _ = &mut t;
+/// ```
+#[derive(Debug)]
+pub struct MultiTracer<A, B> {
+    /// The tracer that receives each event first.
+    pub first: A,
+    /// The tracer that receives each event second.
+    pub second: B,
+}
+
+impl<A: Tracer, B: Tracer> MultiTracer<A, B> {
+    /// Composes `first` and `second`.
+    pub fn new(first: A, second: B) -> Self {
+        Self { first, second }
+    }
+}
+
+macro_rules! forward_both {
+    ($self:ident, $method:ident($($arg:expr),*)) => {{
+        $self.first.$method($($arg),*);
+        $self.second.$method($($arg),*);
+    }};
+}
+
+impl<A: Tracer, B: Tracer> Tracer for MultiTracer<A, B> {
+    fn on_load(&mut self, ctx: EventCtx, addr: Addr, value: Value) {
+        forward_both!(self, on_load(ctx, addr, value));
+    }
+    fn on_store(&mut self, ctx: EventCtx, addr: Addr, value: Value) {
+        forward_both!(self, on_store(ctx, addr, value));
+    }
+    fn on_lock(&mut self, ctx: EventCtx, addr: Addr) {
+        forward_both!(self, on_lock(ctx, addr));
+    }
+    fn on_unlock(&mut self, ctx: EventCtx, addr: Addr) {
+        forward_both!(self, on_unlock(ctx, addr));
+    }
+    fn on_spawn(&mut self, ctx: EventCtx, child: ThreadId, entry: FuncId) {
+        forward_both!(self, on_spawn(ctx, child, entry));
+    }
+    fn on_join(&mut self, ctx: EventCtx, child: ThreadId) {
+        forward_both!(self, on_join(ctx, child));
+    }
+    fn on_thread_exit(&mut self, thread: ThreadId) {
+        forward_both!(self, on_thread_exit(thread));
+    }
+    fn on_block_enter(&mut self, thread: ThreadId, frame: FrameId, block: BlockId) {
+        forward_both!(self, on_block_enter(thread, frame, block));
+    }
+    fn on_call(&mut self, ctx: EventCtx, callee: FuncId, callee_frame: FrameId) {
+        forward_both!(self, on_call(ctx, callee, callee_frame));
+    }
+    fn on_return(
+        &mut self,
+        thread: ThreadId,
+        frame: FrameId,
+        func: FuncId,
+        value: Option<Value>,
+        operand: Option<oha_ir::Operand>,
+        caller_frame: FrameId,
+        call_inst: InstId,
+    ) {
+        forward_both!(
+            self,
+            on_return(thread, frame, func, value, operand, caller_frame, call_inst)
+        );
+    }
+    fn on_input(&mut self, ctx: EventCtx, value: Value) {
+        forward_both!(self, on_input(ctx, value));
+    }
+    fn on_output(&mut self, ctx: EventCtx, value: Value) {
+        forward_both!(self, on_output(ctx, value));
+    }
+    fn on_compute(&mut self, ctx: EventCtx) {
+        forward_both!(self, on_compute(ctx));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        loads: usize,
+    }
+
+    impl Tracer for Counter {
+        fn on_load(&mut self, _ctx: EventCtx, _addr: Addr, _value: Value) {
+            self.loads += 1;
+        }
+    }
+
+    #[test]
+    fn multi_tracer_forwards_to_both() {
+        let mut t = MultiTracer::new(Counter::default(), Counter::default());
+        let ctx = EventCtx {
+            thread: ThreadId::MAIN,
+            frame: FrameId(0),
+            inst: InstId::new(0),
+        };
+        t.on_load(ctx, Addr::default(), Value::Int(1));
+        t.on_store(ctx, Addr::default(), Value::Int(1));
+        assert_eq!(t.first.loads, 1);
+        assert_eq!(t.second.loads, 1);
+    }
+}

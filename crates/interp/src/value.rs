@@ -1,0 +1,182 @@
+//! Runtime values, addresses and thread/frame identifiers.
+
+use std::fmt;
+
+use oha_ir::FuncId;
+
+/// Identifier of a runtime object (global or heap-allocated).
+///
+/// Globals occupy object ids `0..num_globals`; heap objects are numbered
+/// upwards from there in allocation order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ObjId(pub u32);
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// A memory address: an object plus a field offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr {
+    /// The object.
+    pub obj: ObjId,
+    /// The field within the object.
+    pub field: u32,
+}
+
+impl Addr {
+    /// Creates an address.
+    pub fn new(obj: ObjId, field: u32) -> Self {
+        Self { obj, field }
+    }
+
+    /// Returns this address shifted by `field` more fields.
+    pub fn offset(self, field: u32) -> Self {
+        Self {
+            obj: self.obj,
+            field: self.field + field,
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.obj, self.field)
+    }
+}
+
+/// Identifier of a simulated thread; the main thread is `ThreadId(0)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The main thread.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// The dense index of this thread id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of a function activation (stack frame instance), unique across
+/// the whole execution. Used by the dynamic slicer to distinguish registers
+/// of different activations of the same function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FrameId(pub u64);
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fr{}", self.0)
+    }
+}
+
+/// A runtime value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A 64-bit integer.
+    Int(i64),
+    /// A pointer to an object field.
+    Ptr(Addr),
+    /// A function pointer.
+    Func(FuncId),
+    /// A thread handle.
+    Thread(ThreadId),
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Int(0)
+    }
+}
+
+impl Value {
+    /// Nonzero integers and all non-integer values are truthy.
+    pub fn truthy(self) -> bool {
+        match self {
+            Value::Int(v) => v != 0,
+            _ => true,
+        }
+    }
+
+    /// A lossy integer rendering used for program outputs: integers map to
+    /// themselves, pointers to their object id, function pointers and
+    /// thread handles to their raw index.
+    pub fn to_i64_lossy(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Ptr(a) => i64::from(a.obj.0),
+            Value::Func(f) => i64::from(f.raw()),
+            Value::Thread(t) => i64::from(t.0),
+        }
+    }
+
+    /// Returns the integer if this is an [`Value::Int`].
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the address if this is a [`Value::Ptr`].
+    pub fn as_ptr(self) -> Option<Addr> {
+        match self {
+            Value::Ptr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Ptr(a) => write!(f, "&{a}"),
+            Value::Func(func) => write!(f, "{func}"),
+            Value::Thread(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(Value::Ptr(Addr::default()).truthy());
+        assert!(Value::Func(FuncId::new(0)).truthy());
+    }
+
+    #[test]
+    fn addr_offset_accumulates() {
+        let a = Addr::new(ObjId(3), 1).offset(2);
+        assert_eq!(a, Addr::new(ObjId(3), 3));
+        assert_eq!(a.to_string(), "o3.3");
+    }
+
+    #[test]
+    fn lossy_conversion() {
+        assert_eq!(Value::Int(-7).to_i64_lossy(), -7);
+        assert_eq!(Value::Ptr(Addr::new(ObjId(9), 5)).to_i64_lossy(), 9);
+        assert_eq!(Value::Thread(ThreadId(2)).to_i64_lossy(), 2);
+    }
+
+    #[test]
+    fn default_value_is_zero() {
+        assert_eq!(Value::default(), Value::Int(0));
+        assert_eq!(Value::default().as_int(), Some(0));
+        assert_eq!(Value::default().as_ptr(), None);
+    }
+}

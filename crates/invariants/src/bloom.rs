@@ -1,0 +1,156 @@
+//! A Bloom filter for call-context membership checks.
+//!
+//! The paper (§5.2.3) found the naive call-stack set-inclusion check too
+//! expensive and added a Bloom filter so the common case (context was
+//! profiled) usually skips the exact check. Bloom filters have no false
+//! negatives, so a *miss* proves the context was never profiled — a definite
+//! invariant violation.
+
+/// A fixed-size double-hashing Bloom filter over `u32` sequences.
+///
+/// # Examples
+///
+/// ```
+/// use oha_invariants::Bloom;
+///
+/// let mut b = Bloom::new(1024, 3);
+/// b.insert(&[1, 2, 3]);
+/// assert!(b.maybe_contains(&[1, 2, 3]));
+/// // No false negatives, ever:
+/// assert!(!b.maybe_contains(&[9, 9, 9]) || true);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bloom {
+    bits: Vec<u64>,
+    num_bits: u64,
+    hashes: u32,
+}
+
+impl Bloom {
+    /// Creates a filter with `num_bits` bits (rounded up to a multiple of
+    /// 64) and `hashes` probes per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bits` or `hashes` is zero.
+    pub fn new(num_bits: usize, hashes: u32) -> Self {
+        assert!(num_bits > 0 && hashes > 0, "degenerate Bloom filter");
+        let words = num_bits.div_ceil(64);
+        Self {
+            bits: vec![0; words],
+            num_bits: (words * 64) as u64,
+            hashes,
+        }
+    }
+
+    /// Creates a filter sized for `n` elements at roughly 1% false-positive
+    /// rate (≈ 10 bits per element, 3 hashes).
+    pub fn for_elements(n: usize) -> Self {
+        Self::new((n.max(1)) * 10, 3)
+    }
+
+    /// The hash state of the empty sequence.
+    ///
+    /// Sequence hashes are built *incrementally* with [`Bloom::extend`]: the
+    /// runtime context check keeps a stack of hash states in parallel with
+    /// the call stack, so each call costs O(1) instead of re-hashing the
+    /// whole chain — the probabilistic-calling-context technique the paper
+    /// cites for cheap context checks (§5.2.3, [Bond & McKinley]).
+    pub fn seed() -> (u64, u64) {
+        (0xcbf2_9ce4_8422_2325, 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Extends a sequence hash state by one element (FNV-1a in two widths
+    /// for double hashing; deterministic across platforms).
+    pub fn extend(state: (u64, u64), elem: u32) -> (u64, u64) {
+        let (mut h1, mut h2) = state;
+        for b in elem.to_le_bytes() {
+            h1 = (h1 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            h2 = (h2 ^ u64::from(b)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        }
+        (h1, h2)
+    }
+
+    fn hash_pair(key: &[u32]) -> (u64, u64) {
+        key.iter().fold(Self::seed(), |s, &k| Self::extend(s, k))
+    }
+
+    /// Inserts a key given as a full sequence.
+    pub fn insert(&mut self, key: &[u32]) {
+        self.insert_hash(Self::hash_pair(key));
+    }
+
+    /// Inserts a key given as an incremental hash state.
+    pub fn insert_hash(&mut self, state: (u64, u64)) {
+        let (h1, h2) = (state.0, state.1 | 1);
+        for i in 0..self.hashes {
+            let bit = h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % self.num_bits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Returns `false` only if the key was definitely never inserted.
+    pub fn maybe_contains(&self, key: &[u32]) -> bool {
+        self.maybe_contains_hash(Self::hash_pair(key))
+    }
+
+    /// Hash-state variant of [`Bloom::maybe_contains`].
+    pub fn maybe_contains_hash(&self, state: (u64, u64)) -> bool {
+        let (h1, h2) = (state.0, state.1 | 1);
+        (0..self.hashes).all(|i| {
+            let bit = h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % self.num_bits;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = Bloom::for_elements(1000);
+        let keys: Vec<Vec<u32>> = (0..1000u32).map(|i| vec![i, i * 7, i ^ 0xabcd]).collect();
+        for k in &keys {
+            b.insert(k);
+        }
+        for k in &keys {
+            assert!(b.maybe_contains(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut b = Bloom::for_elements(1000);
+        for i in 0..1000u32 {
+            b.insert(&[i]);
+        }
+        let fps = (100_000..110_000u32).filter(|&i| b.maybe_contains(&[i])).count();
+        assert!(fps < 500, "false positive rate {} > 5%", fps as f64 / 10_000.0);
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let b = Bloom::new(64, 2);
+        assert!(!b.maybe_contains(&[0]));
+        assert!(!b.maybe_contains(&[1, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_bits_panics() {
+        let _ = Bloom::new(0, 1);
+    }
+
+    #[test]
+    fn incremental_hash_matches_slice_hash() {
+        let mut b = Bloom::for_elements(16);
+        let state = Bloom::extend(Bloom::extend(Bloom::seed(), 10), 20);
+        b.insert_hash(state);
+        assert!(b.maybe_contains(&[10, 20]));
+        let mut c = Bloom::for_elements(16);
+        c.insert(&[10, 20]);
+        assert!(c.maybe_contains_hash(state));
+    }
+}

@@ -1,0 +1,35 @@
+//! Likely invariants: profiling, merging, storage and runtime checking.
+//!
+//! Optimistic hybrid analysis (paper §2.1) learns *likely invariants* from a
+//! set of profiled executions and assumes them during predicated static
+//! analysis. This crate implements the six invariants used by OptFT and
+//! OptSlice:
+//!
+//! | Invariant | Paper | Profiled as |
+//! |---|---|---|
+//! | Likely unreachable code | §4.2.1/§5.2.1 | visited basic blocks (complemented) |
+//! | Likely guarding locks | §4.2.2 | per-lock-site locked-object sets → must-alias pairs |
+//! | Likely singleton threads | §4.2.3 | per-spawn-site thread counts |
+//! | No custom synchronization | §4.2.4 | tool-level (OptFT) race-report comparison |
+//! | Likely callee sets | §5.2.2 | per-indirect-call-site target sets |
+//! | Likely unused call contexts | §5.2.3 | observed call-site chains |
+//!
+//! [`ProfileTracer`] gathers a [`RunProfile`] per execution; [`InvariantSet`]
+//! merges profiles using the paper's rule (union for *reachable*-style facts,
+//! whose complements are therefore intersected); [`InvariantChecker`]
+//! verifies the assumptions during an analyzed execution and records
+//! [`Violation`]s, with the call-context check accelerated by a [`Bloom`]
+//! filter exactly as in §5.2.3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bloom;
+mod checker;
+mod profile;
+mod set;
+
+pub use bloom::Bloom;
+pub use checker::{ChecksEnabled, InvariantChecker, Violation};
+pub use profile::{ProfileTracer, RunProfile};
+pub use set::{InvariantSet, ParseInvariantsError, MAX_CONTEXT_DEPTH};

@@ -1,0 +1,528 @@
+//! Merged likely-invariant sets and their text-file representation.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+use oha_ir::{BlockId, FuncId, InstId, Program};
+
+use crate::profile::RunProfile;
+
+/// Call-site chains longer than this are not recorded or assumed; deeper
+/// contexts therefore conservatively count as invariant violations.
+pub const MAX_CONTEXT_DEPTH: usize = 64;
+
+/// The merged likely invariants of a set of profiling runs (paper §4.2,
+/// §5.2).
+///
+/// Merge rule: *reachable*-style observations (visited blocks, callee sets,
+/// call contexts) are unioned across runs — their complements (the assumed
+/// unreachable/unused sets) are thereby intersected. Must-alias lock pairs
+/// and singleton-spawn facts must hold in every run that exercised them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InvariantSet {
+    /// Blocks executed by at least one profiling run. The complement is the
+    /// likely-unreachable-code (LUC) set.
+    pub visited_blocks: BTreeSet<BlockId>,
+    /// Observed targets per indirect call/spawn site (likely callee sets).
+    pub callee_sets: BTreeMap<InstId, BTreeSet<FuncId>>,
+    /// Observed call-site chains (likely *used* call contexts; the unused
+    /// ones are the complement).
+    pub contexts: BTreeSet<Vec<InstId>>,
+    /// Lock-site pairs assumed to always lock the same dynamic object
+    /// (likely guarding locks).
+    pub must_alias_locks: BTreeSet<(InstId, InstId)>,
+    /// Lock sites assumed to lock a *single* dynamic object per execution,
+    /// so two threads passing the same site must hold the same lock. This
+    /// is the same profiling data as [`must_alias_locks`] applied to one
+    /// site (`InvariantSet::must_alias_locks` links two sites).
+    ///
+    /// [`must_alias_locks`]: InvariantSet::must_alias_locks
+    pub self_alias_locks: BTreeSet<InstId>,
+    /// Spawn sites assumed to create at most one thread per execution
+    /// (likely singleton threads).
+    pub singleton_spawns: BTreeSet<InstId>,
+    /// Lock/unlock sites whose instrumentation the race detector may elide
+    /// (no-custom-synchronization invariant). Filled in by the OptFT
+    /// profiling loop, not by [`InvariantSet::from_profiles`].
+    pub elidable_locks: BTreeSet<InstId>,
+    /// Number of profiling runs merged into this set.
+    pub num_profiles: usize,
+}
+
+impl InvariantSet {
+    /// Merges per-run profiles with the §2.1 *aggressive* trade-off: a
+    /// reachable-style fact (visited block, callee, call context) is kept
+    /// only if it was observed in **more than** `min_support` of the runs.
+    ///
+    /// `min_support == 0.0` reproduces [`InvariantSet::from_profiles`]
+    /// exactly (any single observation keeps the fact). Larger values make
+    /// the assumed-unreachable sets *stronger* — rare-but-real behaviour is
+    /// assumed away, enabling more static pruning — at the price of
+    /// *stability*: executions exercising the discarded tail now
+    /// mis-speculate. The paper: "this stronger, but less stable invariant
+    /// may result in significant reduction in dynamic checks, but increase
+    /// the chance of invariant violations".
+    ///
+    /// Must-alias, self-alias and singleton facts keep their strict
+    /// all-runs rule: weakening them does not increase strength, only risk.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= min_support < 1.0`.
+    pub fn from_profiles_with_threshold(profiles: &[RunProfile], min_support: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&min_support),
+            "min_support must be in [0, 1)"
+        );
+        let mut set = Self::from_profiles(profiles);
+        if min_support == 0.0 || profiles.is_empty() {
+            return set;
+        }
+        let n = profiles.len() as f64;
+        let keep = |count: usize| count as f64 / n > min_support;
+
+        let mut block_support: BTreeMap<BlockId, usize> = BTreeMap::new();
+        let mut callee_support: BTreeMap<(InstId, FuncId), usize> = BTreeMap::new();
+        let mut context_support: BTreeMap<&Vec<InstId>, usize> = BTreeMap::new();
+        for p in profiles {
+            for &b in p.block_counts.keys() {
+                *block_support.entry(b).or_insert(0) += 1;
+            }
+            for (&site, targets) in &p.callee_obs {
+                for &t in targets {
+                    *callee_support.entry((site, t)).or_insert(0) += 1;
+                }
+            }
+            for chain in &p.contexts {
+                *context_support.entry(chain).or_insert(0) += 1;
+            }
+        }
+        set.visited_blocks
+            .retain(|b| keep(block_support.get(b).copied().unwrap_or(0)));
+        set.contexts
+            .retain(|c| keep(context_support.get(c).copied().unwrap_or(0)));
+        for (site, targets) in set.callee_sets.iter_mut() {
+            targets.retain(|t| {
+                keep(callee_support.get(&(*site, *t)).copied().unwrap_or(0))
+            });
+        }
+        set.callee_sets.retain(|_, targets| !targets.is_empty());
+        set
+    }
+
+    /// Merges per-run profiles into one invariant set.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oha_invariants::{InvariantSet, RunProfile};
+    /// use oha_ir::BlockId;
+    ///
+    /// let mut a = RunProfile::default();
+    /// a.block_counts.insert(BlockId::new(0), 4);
+    /// let mut b = RunProfile::default();
+    /// b.block_counts.insert(BlockId::new(1), 1);
+    /// let set = InvariantSet::from_profiles(&[a, b]);
+    /// // Visited blocks union across runs.
+    /// assert!(set.is_visited(BlockId::new(0)) && set.is_visited(BlockId::new(1)));
+    /// ```
+    pub fn from_profiles(profiles: &[RunProfile]) -> Self {
+        let mut set = InvariantSet {
+            num_profiles: profiles.len(),
+            ..InvariantSet::default()
+        };
+
+        // Reachable-style facts: union.
+        for p in profiles {
+            set.visited_blocks.extend(p.block_counts.keys().copied());
+            for (&site, targets) in &p.callee_obs {
+                set.callee_sets.entry(site).or_default().extend(targets);
+            }
+            set.contexts.extend(p.contexts.iter().cloned());
+        }
+
+        // Must-alias lock pairs: a pair survives iff it holds in every run
+        // where either site executed.
+        let mut candidates: BTreeSet<(InstId, InstId)> = BTreeSet::new();
+        for p in profiles {
+            candidates.extend(p.must_alias_pairs());
+        }
+        for p in profiles {
+            let executed = p.executed_lock_sites();
+            let run_pairs = p.must_alias_pairs();
+            candidates.retain(|pair| {
+                run_pairs.contains(pair)
+                    || (!executed.contains(&pair.0) && !executed.contains(&pair.1))
+            });
+        }
+        set.must_alias_locks = candidates;
+
+        // Self-aliasing sites: the locked-object set is a singleton in
+        // every run that exercised the site.
+        let mut self_candidates: BTreeSet<InstId> = BTreeSet::new();
+        for p in profiles {
+            self_candidates.extend(
+                p.lock_objs
+                    .iter()
+                    .filter(|(_, objs)| objs.len() == 1)
+                    .map(|(&s, _)| s),
+            );
+        }
+        for p in profiles {
+            self_candidates
+                .retain(|s| p.lock_objs.get(s).map_or(true, |objs| objs.len() == 1));
+        }
+        set.self_alias_locks = self_candidates;
+
+        // Singleton spawns: the max observed count over all runs is 1.
+        let mut max_counts: BTreeMap<InstId, u64> = BTreeMap::new();
+        for p in profiles {
+            for (&site, &count) in &p.spawn_counts {
+                let e = max_counts.entry(site).or_insert(0);
+                *e = (*e).max(count);
+            }
+        }
+        set.singleton_spawns = max_counts
+            .into_iter()
+            .filter(|&(_, c)| c == 1)
+            .map(|(s, _)| s)
+            .collect();
+
+        set
+    }
+
+    /// The likely-unreachable blocks of `program` under this set.
+    pub fn assumed_unreachable(&self, program: &Program) -> Vec<BlockId> {
+        program
+            .block_ids()
+            .filter(|b| !self.visited_blocks.contains(b))
+            .collect()
+    }
+
+    /// Whether a block was seen by profiling (assumed reachable).
+    pub fn is_visited(&self, block: BlockId) -> bool {
+        self.visited_blocks.contains(&block)
+    }
+
+    /// Total count of individual invariant facts (used to decide when
+    /// profiling has stabilized, §6.1).
+    pub fn fact_count(&self) -> usize {
+        self.visited_blocks.len()
+            + self.callee_sets.values().map(|s| s.len()).sum::<usize>()
+            + self.contexts.len()
+            + self.must_alias_locks.len()
+            + self.self_alias_locks.len()
+            + self.singleton_spawns.len()
+            + self.elidable_locks.len()
+    }
+
+    /// Serializes the set in the plain-text format the paper describes
+    /// ("stores the invariant set … in a text file", §4.2).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "profiles {}", self.num_profiles);
+        for b in &self.visited_blocks {
+            let _ = writeln!(out, "block {}", b.raw());
+        }
+        for (site, targets) in &self.callee_sets {
+            let _ = write!(out, "callee {}", site.raw());
+            for t in targets {
+                let _ = write!(out, " {}", t.raw());
+            }
+            let _ = writeln!(out);
+        }
+        for chain in &self.contexts {
+            let _ = write!(out, "context");
+            for c in chain {
+                let _ = write!(out, " {}", c.raw());
+            }
+            let _ = writeln!(out);
+        }
+        for (a, b) in &self.must_alias_locks {
+            let _ = writeln!(out, "mustalias {} {}", a.raw(), b.raw());
+        }
+        for s in &self.self_alias_locks {
+            let _ = writeln!(out, "selfalias {}", s.raw());
+        }
+        for s in &self.singleton_spawns {
+            let _ = writeln!(out, "singleton {}", s.raw());
+        }
+        for s in &self.elidable_locks {
+            let _ = writeln!(out, "elidable {}", s.raw());
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`InvariantSet::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseInvariantsError`] on unknown directives or malformed
+    /// numbers.
+    pub fn from_text(text: &str) -> Result<Self, ParseInvariantsError> {
+        let mut set = InvariantSet::default();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut toks = line.split_whitespace();
+            let head = toks.next().expect("non-empty line");
+            let nums: Result<Vec<u32>, _> = toks.map(|t| t.parse::<u32>()).collect();
+            let nums = nums.map_err(|_| ParseInvariantsError {
+                line: ln + 1,
+                message: "malformed number".to_string(),
+            })?;
+            let need = |n: usize| -> Result<(), ParseInvariantsError> {
+                if nums.len() < n {
+                    Err(ParseInvariantsError {
+                        line: ln + 1,
+                        message: format!("expected at least {n} operands"),
+                    })
+                } else {
+                    Ok(())
+                }
+            };
+            match head {
+                "profiles" => {
+                    need(1)?;
+                    set.num_profiles = nums[0] as usize;
+                }
+                "block" => {
+                    need(1)?;
+                    set.visited_blocks.insert(BlockId::new(nums[0]));
+                }
+                "callee" => {
+                    need(1)?;
+                    set.callee_sets
+                        .entry(InstId::new(nums[0]))
+                        .or_default()
+                        .extend(nums[1..].iter().map(|&n| FuncId::new(n)));
+                }
+                "context" => {
+                    need(1)?;
+                    set.contexts
+                        .insert(nums.iter().map(|&n| InstId::new(n)).collect());
+                }
+                "mustalias" => {
+                    need(2)?;
+                    set.must_alias_locks
+                        .insert((InstId::new(nums[0]), InstId::new(nums[1])));
+                }
+                "selfalias" => {
+                    need(1)?;
+                    set.self_alias_locks.insert(InstId::new(nums[0]));
+                }
+                "singleton" => {
+                    need(1)?;
+                    set.singleton_spawns.insert(InstId::new(nums[0]));
+                }
+                "elidable" => {
+                    need(1)?;
+                    set.elidable_locks.insert(InstId::new(nums[0]));
+                }
+                other => {
+                    return Err(ParseInvariantsError {
+                        line: ln + 1,
+                        message: format!("unknown directive {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(set)
+    }
+}
+
+/// Error parsing the invariant text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseInvariantsError {
+    line: usize,
+    message: String,
+}
+
+impl ParseInvariantsError {
+    /// 1-based line of the failure.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseInvariantsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseInvariantsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_interp::{Addr, ObjId};
+
+    fn site(n: u32) -> InstId {
+        InstId::new(n)
+    }
+
+    #[test]
+    fn union_merge_for_reachable_facts() {
+        let mut a = RunProfile::default();
+        a.block_counts.insert(BlockId::new(0), 3);
+        a.callee_obs
+            .insert(site(5), [FuncId::new(1)].into_iter().collect());
+        a.contexts.insert(vec![site(5)]);
+        let mut b = RunProfile::default();
+        b.block_counts.insert(BlockId::new(1), 1);
+        b.callee_obs
+            .insert(site(5), [FuncId::new(2)].into_iter().collect());
+        b.contexts.insert(vec![site(9)]);
+
+        let set = InvariantSet::from_profiles(&[a, b]);
+        assert_eq!(set.visited_blocks.len(), 2);
+        assert_eq!(set.callee_sets[&site(5)].len(), 2, "callee sets union");
+        assert_eq!(set.contexts.len(), 2);
+        assert_eq!(set.num_profiles, 2);
+    }
+
+    #[test]
+    fn must_alias_pairs_intersect_across_runs() {
+        let addr = |o| Addr::new(ObjId(o), 0);
+        // Run A: sites 1,2 lock the same object; site 3 idle.
+        let mut a = RunProfile::default();
+        a.lock_objs.insert(site(1), [addr(7)].into_iter().collect());
+        a.lock_objs.insert(site(2), [addr(7)].into_iter().collect());
+        // Run B: sites 1,2 lock different objects; 1,3 alias.
+        let mut b = RunProfile::default();
+        b.lock_objs.insert(site(1), [addr(8)].into_iter().collect());
+        b.lock_objs.insert(site(2), [addr(9)].into_iter().collect());
+        b.lock_objs.insert(site(3), [addr(8)].into_iter().collect());
+
+        let set = InvariantSet::from_profiles(&[a.clone(), b.clone()]);
+        assert!(set.must_alias_locks.is_empty(), "(1,2) broken by B; (1,3) broken by A because 1 executed with a different partner object");
+
+        // If site 3 never runs in A, (1,3) still fails because in run A
+        // site 1 executed but the pair did not hold... unless site 3 was
+        // idle, in which case the pair is only checked in B. Verify the
+        // "either executed" rule: pair (2,3) never co-held, absent.
+        let set_b_only = InvariantSet::from_profiles(&[b]);
+        assert!(set_b_only.must_alias_locks.contains(&(site(1), site(3))));
+    }
+
+    #[test]
+    fn must_alias_survives_idle_runs() {
+        let addr = |o| Addr::new(ObjId(o), 0);
+        let mut a = RunProfile::default();
+        a.lock_objs.insert(site(1), [addr(7)].into_iter().collect());
+        a.lock_objs.insert(site(2), [addr(7)].into_iter().collect());
+        // Run B never locks anything.
+        let b = RunProfile::default();
+        let set = InvariantSet::from_profiles(&[a, b]);
+        assert!(set.must_alias_locks.contains(&(site(1), site(2))));
+    }
+
+    #[test]
+    fn singleton_spawns_require_count_one_everywhere() {
+        let mut a = RunProfile::default();
+        a.spawn_counts.insert(site(1), 1);
+        a.spawn_counts.insert(site(2), 1);
+        let mut b = RunProfile::default();
+        b.spawn_counts.insert(site(2), 4);
+        let set = InvariantSet::from_profiles(&[a, b]);
+        assert!(set.singleton_spawns.contains(&site(1)));
+        assert!(!set.singleton_spawns.contains(&site(2)));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut a = RunProfile::default();
+        a.block_counts.insert(BlockId::new(3), 2);
+        a.callee_obs.insert(
+            site(4),
+            [FuncId::new(0), FuncId::new(2)].into_iter().collect(),
+        );
+        a.contexts.insert(vec![site(4), site(6)]);
+        a.spawn_counts.insert(site(9), 1);
+        a.lock_objs
+            .insert(site(10), [Addr::new(ObjId(1), 0)].into_iter().collect());
+        a.lock_objs
+            .insert(site(11), [Addr::new(ObjId(1), 0)].into_iter().collect());
+        let mut set = InvariantSet::from_profiles(&[a]);
+        set.elidable_locks.insert(site(10));
+
+        let text = set.to_text();
+        let parsed = InvariantSet::from_text(&text).unwrap();
+        assert_eq!(parsed, set);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(InvariantSet::from_text("frobnicate 1").is_err());
+        assert!(InvariantSet::from_text("block x").is_err());
+        let err = InvariantSet::from_text("profiles 1\nmustalias 3").unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn aggressive_threshold_drops_rare_facts() {
+        // Block b0 visited in every run; b1 in only one of four.
+        let mk = |blocks: &[u32]| {
+            let mut p = RunProfile::default();
+            for &b in blocks {
+                p.block_counts.insert(BlockId::new(b), 1);
+            }
+            p.contexts.insert(vec![site(9)]);
+            p
+        };
+        let profiles = vec![mk(&[0, 1]), mk(&[0]), mk(&[0]), mk(&[0])];
+
+        let standard = InvariantSet::from_profiles_with_threshold(&profiles, 0.0);
+        assert!(standard.visited_blocks.contains(&BlockId::new(1)));
+
+        let aggressive = InvariantSet::from_profiles_with_threshold(&profiles, 0.5);
+        assert!(aggressive.visited_blocks.contains(&BlockId::new(0)));
+        assert!(
+            !aggressive.visited_blocks.contains(&BlockId::new(1)),
+            "25% support < 50% threshold"
+        );
+        assert!(
+            aggressive.contexts.contains(&vec![site(9)]),
+            "full-support contexts survive"
+        );
+        // The aggressive set is always a subset of the standard one.
+        assert!(aggressive.visited_blocks.is_subset(&standard.visited_blocks));
+    }
+
+    #[test]
+    fn aggressive_threshold_prunes_callee_entries() {
+        let mut a = RunProfile::default();
+        a.callee_obs
+            .insert(site(4), [FuncId::new(0), FuncId::new(1)].into_iter().collect());
+        let mut b = RunProfile::default();
+        b.callee_obs
+            .insert(site(4), [FuncId::new(0)].into_iter().collect());
+        let profiles = vec![a, b];
+        let aggressive = InvariantSet::from_profiles_with_threshold(&profiles, 0.6);
+        assert_eq!(
+            aggressive.callee_sets[&site(4)],
+            [FuncId::new(0)].into_iter().collect(),
+            "half-support callee dropped at 60%"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "min_support")]
+    fn aggressive_threshold_validates_range() {
+        let _ = InvariantSet::from_profiles_with_threshold(&[], 1.0);
+    }
+
+    #[test]
+    fn fact_count_sums_everything() {
+        let mut set = InvariantSet::default();
+        set.visited_blocks.insert(BlockId::new(0));
+        set.contexts.insert(vec![site(1)]);
+        set.singleton_spawns.insert(site(2));
+        assert_eq!(set.fact_count(), 3);
+    }
+}

@@ -1,0 +1,604 @@
+//! Builders for constructing programs.
+//!
+//! [`ProgramBuilder`] owns the program-level namespaces (functions, globals);
+//! [`FunctionBuilder`] builds one function's blocks and instructions. Block
+//! and instruction ids are local while building and are renumbered into the
+//! program-wide dense id spaces by [`ProgramBuilder::finish`].
+
+use std::collections::HashMap;
+
+use crate::error::IrError;
+use crate::function::{BasicBlock, Function, Global};
+use crate::ids::{BlockId, FuncId, GlobalId, InstId, Reg};
+use crate::inst::{BinOp, Callee, CmpOp, Inst, InstKind, Operand, Terminator};
+use crate::program::Program;
+use crate::validate::validate;
+
+#[derive(Debug)]
+struct LocalBlock {
+    insts: Vec<InstKind>,
+    terminator: Option<Terminator>,
+}
+
+#[derive(Debug)]
+struct PendingFunction {
+    name: String,
+    arity: usize,
+    body: Option<BuiltBody>,
+}
+
+#[derive(Debug)]
+struct BuiltBody {
+    num_regs: u32,
+    blocks: Vec<LocalBlock>,
+}
+
+/// Builds a [`Program`].
+///
+/// Functions may be declared before their bodies exist (enabling forward and
+/// mutually recursive references); every declared function must have a body
+/// by the time [`ProgramBuilder::finish`] is called.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    functions: Vec<PendingFunction>,
+    by_name: HashMap<String, FuncId>,
+    globals: Vec<Global>,
+    globals_by_name: HashMap<String, GlobalId>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty program builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a function without providing its body yet.
+    ///
+    /// Returns the existing id if `name` was already declared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function was declared before with a different arity.
+    pub fn declare(&mut self, name: &str, arity: usize) -> FuncId {
+        if let Some(&id) = self.by_name.get(name) {
+            assert_eq!(
+                self.functions[id.index()].arity, arity,
+                "function {name} redeclared with different arity"
+            );
+            return id;
+        }
+        let id = FuncId::new(self.functions.len() as u32);
+        self.functions.push(PendingFunction {
+            name: name.to_string(),
+            arity,
+            body: None,
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Starts building the body of a function with `arity` parameters.
+    ///
+    /// The parameters occupy registers `r0..r{arity}`. The entry block is
+    /// created and selected automatically.
+    pub fn function(&mut self, name: &str, arity: usize) -> FunctionBuilder {
+        let id = self.declare(name, arity);
+        FunctionBuilder::new(id, arity)
+    }
+
+    /// Installs a finished function body and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a body was already installed for this function.
+    pub fn finish_function(&mut self, fb: FunctionBuilder) -> FuncId {
+        let id = fb.id;
+        let slot = &mut self.functions[id.index()];
+        assert!(
+            slot.body.is_none(),
+            "function {} already has a body",
+            slot.name
+        );
+        slot.body = Some(BuiltBody {
+            num_regs: fb.num_regs,
+            blocks: fb.blocks,
+        });
+        id
+    }
+
+    /// Declares a global object with the given number of fields.
+    ///
+    /// Returns the existing id if `name` was already declared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global was declared before with a different field count.
+    pub fn global(&mut self, name: &str, fields: u32) -> GlobalId {
+        if let Some(&id) = self.globals_by_name.get(name) {
+            assert_eq!(
+                self.globals[id.index()].fields, fields,
+                "global {name} redeclared with different size"
+            );
+            return id;
+        }
+        let id = GlobalId::new(self.globals.len() as u32);
+        self.globals.push(Global {
+            name: name.to_string(),
+            fields,
+        });
+        self.globals_by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Finalizes the program: renumbers blocks and instructions into the
+    /// dense program-wide id spaces and validates the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IrError`] if any declared function has no body, a block
+    /// lacks a terminator, or validation fails (bad register, block or
+    /// callee references, arity mismatches, …).
+    pub fn finish(self, entry: FuncId) -> Result<Program, IrError> {
+        let mut functions = Vec::with_capacity(self.functions.len());
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut next_inst = 0u32;
+
+        for (fi, pf) in self.functions.into_iter().enumerate() {
+            let fid = FuncId::new(fi as u32);
+            let body = pf.body.ok_or_else(|| IrError::MissingBody {
+                function: pf.name.clone(),
+            })?;
+            let offset = blocks.len() as u32;
+            let mut block_ids = Vec::with_capacity(body.blocks.len());
+            for (bi, lb) in body.blocks.into_iter().enumerate() {
+                let terminator = lb.terminator.ok_or(IrError::MissingTerminator {
+                    function: fid,
+                    block: BlockId::new(offset + bi as u32),
+                })?;
+                let terminator = remap_terminator(terminator, offset);
+                let insts = lb
+                    .insts
+                    .into_iter()
+                    .map(|kind| {
+                        let id = InstId::new(next_inst);
+                        next_inst += 1;
+                        Inst { id, kind }
+                    })
+                    .collect();
+                block_ids.push(BlockId::new(offset + bi as u32));
+                blocks.push(BasicBlock {
+                    func: fid,
+                    insts,
+                    terminator,
+                });
+            }
+            functions.push(Function {
+                name: pf.name,
+                params: (0..pf.arity as u32).map(Reg::new).collect(),
+                num_regs: body.num_regs,
+                entry: BlockId::new(offset),
+                blocks: block_ids,
+            });
+        }
+
+        let program = Program::from_parts(functions, blocks, self.globals, entry);
+        validate(&program)?;
+        Ok(program)
+    }
+}
+
+fn remap_terminator(t: Terminator, offset: u32) -> Terminator {
+    let remap = |b: BlockId| BlockId::new(b.raw() + offset);
+    match t {
+        Terminator::Jump(b) => Terminator::Jump(remap(b)),
+        Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => Terminator::Branch {
+            cond,
+            then_bb: remap(then_bb),
+            else_bb: remap(else_bb),
+        },
+        Terminator::Return(op) => Terminator::Return(op),
+    }
+}
+
+/// Builds one function's body.
+///
+/// Instructions are appended to the *current* block; [`FunctionBuilder::block`]
+/// creates additional blocks and [`FunctionBuilder::select`] switches between
+/// them. Block ids returned here are local to the function until the program
+/// is finished.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    id: FuncId,
+    arity: u32,
+    num_regs: u32,
+    blocks: Vec<LocalBlock>,
+    current: usize,
+}
+
+impl FunctionBuilder {
+    fn new(id: FuncId, arity: usize) -> Self {
+        Self {
+            id,
+            arity: arity as u32,
+            num_regs: arity as u32,
+            blocks: vec![LocalBlock {
+                insts: Vec::new(),
+                terminator: None,
+            }],
+            current: 0,
+        }
+    }
+
+    /// The id of the function being built.
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// The parameter registers of this function (always the first registers).
+    pub fn params(&self) -> Vec<Reg> {
+        (0..self.arity).map(Reg::new).collect()
+    }
+
+    /// The `i`-th parameter register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not less than the function's arity.
+    pub fn param(&self, i: usize) -> Reg {
+        assert!((i as u32) < self.arity, "parameter index out of range");
+        Reg::new(i as u32)
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg::new(self.num_regs);
+        self.num_regs += 1;
+        r
+    }
+
+    /// The entry block of this function (always the first block).
+    pub fn entry_block(&self) -> BlockId {
+        BlockId::new(0)
+    }
+
+    /// Creates a new (empty, unterminated) block and returns its local id.
+    pub fn block(&mut self) -> BlockId {
+        let id = BlockId::new(self.blocks.len() as u32);
+        self.blocks.push(LocalBlock {
+            insts: Vec::new(),
+            terminator: None,
+        });
+        id
+    }
+
+    /// Selects the block that subsequent instructions are appended to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not a block of this function.
+    pub fn select(&mut self, b: BlockId) {
+        assert!(
+            b.index() < self.blocks.len(),
+            "block {b} does not belong to this function"
+        );
+        self.current = b.index();
+    }
+
+    /// The currently selected block.
+    pub fn current_block(&self) -> BlockId {
+        BlockId::new(self.current as u32)
+    }
+
+    fn push(&mut self, kind: InstKind) {
+        let cur = self.current;
+        assert!(
+            self.blocks[cur].terminator.is_none(),
+            "cannot append to terminated block b{cur}"
+        );
+        self.blocks[cur].insts.push(kind);
+    }
+
+    fn terminate(&mut self, t: Terminator) {
+        let cur = self.current;
+        assert!(
+            self.blocks[cur].terminator.is_none(),
+            "block b{cur} already terminated"
+        );
+        self.blocks[cur].terminator = Some(t);
+    }
+
+    /// Emits `dst = src` into a fresh register.
+    pub fn copy(&mut self, src: Operand) -> Reg {
+        let dst = self.reg();
+        self.push(InstKind::Copy { dst, src });
+        dst
+    }
+
+    /// Emits `dst = src` into an existing register (register mutation).
+    pub fn copy_to(&mut self, dst: Reg, src: Operand) {
+        self.push(InstKind::Copy { dst, src });
+    }
+
+    /// Emits a binary operation into a fresh register.
+    pub fn bin(&mut self, op: BinOp, lhs: Operand, rhs: Operand) -> Reg {
+        let dst = self.reg();
+        self.push(InstKind::BinOp { dst, op, lhs, rhs });
+        dst
+    }
+
+    /// Emits a binary operation into an existing register.
+    pub fn bin_to(&mut self, dst: Reg, op: BinOp, lhs: Operand, rhs: Operand) {
+        self.push(InstKind::BinOp { dst, op, lhs, rhs });
+    }
+
+    /// Emits a comparison producing 0/1 into a fresh register.
+    pub fn cmp(&mut self, op: CmpOp, lhs: Operand, rhs: Operand) -> Reg {
+        self.bin(BinOp::Cmp(op), lhs, rhs)
+    }
+
+    /// Emits a heap allocation of an object with `fields` fields.
+    pub fn alloc(&mut self, fields: u32) -> Reg {
+        let dst = self.reg();
+        self.push(InstKind::Alloc { dst, fields });
+        dst
+    }
+
+    /// Emits `dst = &global`.
+    pub fn addr_global(&mut self, global: GlobalId) -> Reg {
+        let dst = self.reg();
+        self.push(InstKind::AddrGlobal { dst, global });
+        dst
+    }
+
+    /// Emits `dst = &func` (function pointer).
+    pub fn addr_func(&mut self, func: FuncId) -> Reg {
+        let dst = self.reg();
+        self.push(InstKind::AddrFunc { dst, func });
+        dst
+    }
+
+    /// Emits `dst = base + field` (field address computation).
+    pub fn gep(&mut self, base: Operand, field: u32) -> Reg {
+        let dst = self.reg();
+        self.push(InstKind::Gep { dst, base, field });
+        dst
+    }
+
+    /// Emits `dst = *(addr + field)`.
+    pub fn load(&mut self, addr: Operand, field: u32) -> Reg {
+        let dst = self.reg();
+        self.push(InstKind::Load { dst, addr, field });
+        dst
+    }
+
+    /// Emits `dst = *(addr + field)` into an existing register.
+    pub fn load_to(&mut self, dst: Reg, addr: Operand, field: u32) {
+        self.push(InstKind::Load { dst, addr, field });
+    }
+
+    /// Emits `*(addr + field) = value`.
+    pub fn store(&mut self, addr: Operand, field: u32, value: Operand) {
+        self.push(InstKind::Store { addr, field, value });
+    }
+
+    /// Emits a direct call whose result is captured in a fresh register.
+    pub fn call(&mut self, func: FuncId, args: Vec<Operand>) -> Reg {
+        let dst = self.reg();
+        self.push(InstKind::Call {
+            dst: Some(dst),
+            callee: Callee::Direct(func),
+            args,
+        });
+        dst
+    }
+
+    /// Emits a direct call whose result is discarded.
+    pub fn call_void(&mut self, func: FuncId, args: Vec<Operand>) {
+        self.push(InstKind::Call {
+            dst: None,
+            callee: Callee::Direct(func),
+            args,
+        });
+    }
+
+    /// Emits an indirect call through a function-pointer operand.
+    pub fn call_indirect(&mut self, target: Operand, args: Vec<Operand>) -> Reg {
+        let dst = self.reg();
+        self.push(InstKind::Call {
+            dst: Some(dst),
+            callee: Callee::Indirect(target),
+            args,
+        });
+        dst
+    }
+
+    /// Emits an indirect call whose result is discarded.
+    pub fn call_indirect_void(&mut self, target: Operand, args: Vec<Operand>) {
+        self.push(InstKind::Call {
+            dst: None,
+            callee: Callee::Indirect(target),
+            args,
+        });
+    }
+
+    /// Emits a lock acquisition on the object `addr` points to.
+    pub fn lock(&mut self, addr: Operand) {
+        self.push(InstKind::Lock { addr });
+    }
+
+    /// Emits a lock release on the object `addr` points to.
+    pub fn unlock(&mut self, addr: Operand) {
+        self.push(InstKind::Unlock { addr });
+    }
+
+    /// Emits a thread spawn running `func(arg)`; returns the register
+    /// receiving the thread handle.
+    pub fn spawn(&mut self, func: FuncId, arg: Operand) -> Reg {
+        let dst = self.reg();
+        self.push(InstKind::Spawn {
+            dst,
+            func: Callee::Direct(func),
+            arg,
+        });
+        dst
+    }
+
+    /// Emits a thread spawn through a function pointer.
+    pub fn spawn_indirect(&mut self, target: Operand, arg: Operand) -> Reg {
+        let dst = self.reg();
+        self.push(InstKind::Spawn {
+            dst,
+            func: Callee::Indirect(target),
+            arg,
+        });
+        dst
+    }
+
+    /// Emits a join on a thread handle.
+    pub fn join(&mut self, thread: Operand) {
+        self.push(InstKind::Join { thread });
+    }
+
+    /// Emits an input read.
+    pub fn input(&mut self) -> Reg {
+        let dst = self.reg();
+        self.push(InstKind::Input { dst });
+        dst
+    }
+
+    /// Emits an output write.
+    pub fn output(&mut self, value: Operand) {
+        self.push(InstKind::Output { value });
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block is already terminated.
+    pub fn jump(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jump(target));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block is already terminated.
+    pub fn branch(&mut self, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Terminates the current block with a return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block is already terminated.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.terminate(Terminator::Return(value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Operand::{Const, Reg as R};
+
+    #[test]
+    fn builds_two_function_program() {
+        let mut pb = ProgramBuilder::new();
+        let helper = pb.declare("helper", 1);
+
+        let mut m = pb.function("main", 0);
+        let x = m.call(helper, vec![Const(5)]);
+        m.output(R(x));
+        m.ret(None);
+        let main = pb.finish_function(m);
+
+        let mut h = pb.function("helper", 1);
+        let p0 = Reg::new(0);
+        let doubled = h.bin(BinOp::Add, R(p0), R(p0));
+        h.ret(Some(R(doubled)));
+        pb.finish_function(h);
+
+        let p = pb.finish(main).unwrap();
+        assert_eq!(p.num_functions(), 2);
+        assert_eq!(p.entry(), main);
+        assert_eq!(p.function(helper).arity(), 1);
+    }
+
+    #[test]
+    fn block_ids_are_remapped_globally() {
+        let mut pb = ProgramBuilder::new();
+        let mut a = pb.function("a", 0);
+        let b1 = a.block();
+        a.jump(b1);
+        a.select(b1);
+        a.ret(None);
+        let fa = pb.finish_function(a);
+
+        let mut b = pb.function("b", 0);
+        let b1 = b.block();
+        b.jump(b1);
+        b.select(b1);
+        b.ret(None);
+        pb.finish_function(b);
+
+        let p = pb.finish(fa).unwrap();
+        assert_eq!(p.num_blocks(), 4);
+        // Function b's entry jump must target the global id of its own
+        // second block (index 3), not block 1.
+        let fb = p.function_by_name("b").unwrap();
+        let entry = p.function(fb).entry;
+        assert_eq!(p.block(entry).successors(), vec![BlockId::new(3)]);
+    }
+
+    #[test]
+    fn missing_body_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let _ = pb.declare("ghost", 0);
+        let mut m = pb.function("main", 0);
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let err = pb.finish(main).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn missing_terminator_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.function("main", 0);
+        let dangling = m.block();
+        m.jump(dangling);
+        // `dangling` never terminated.
+        let main = pb.finish_function(m);
+        let err = pb.finish(main).unwrap_err();
+        assert!(matches!(err, IrError::MissingTerminator { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_terminate_panics() {
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.function("main", 0);
+        m.ret(None);
+        m.ret(None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot append to terminated block")]
+    fn append_after_terminator_panics() {
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.function("main", 0);
+        m.ret(None);
+        m.output(Const(1));
+    }
+}

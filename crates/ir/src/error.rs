@@ -1,0 +1,156 @@
+//! Error types for program construction, validation and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{BlockId, FuncId, GlobalId, InstId, Reg};
+
+/// Errors produced while finishing or validating a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A declared function never received a body.
+    MissingBody {
+        /// Name of the body-less function.
+        function: String,
+    },
+    /// A block was left without a terminator.
+    MissingTerminator {
+        /// Function containing the block.
+        function: FuncId,
+        /// The unterminated block.
+        block: BlockId,
+    },
+    /// An instruction or terminator references a register `>= num_regs`.
+    BadRegister {
+        /// The instruction at fault (or the block's terminator when the
+        /// instruction id is the block's last instruction id + 1).
+        inst: InstId,
+        /// The out-of-range register.
+        reg: Reg,
+    },
+    /// A terminator targets a block outside its function.
+    BadBlockTarget {
+        /// The function whose terminator is at fault.
+        function: FuncId,
+        /// The bad target.
+        target: BlockId,
+    },
+    /// A direct call or spawn references an unknown function.
+    BadCallee {
+        /// The call instruction.
+        inst: InstId,
+        /// The unknown callee.
+        callee: FuncId,
+    },
+    /// A direct call passes the wrong number of arguments.
+    ArityMismatch {
+        /// The call instruction.
+        inst: InstId,
+        /// The called function.
+        callee: FuncId,
+        /// Number of arguments the function expects.
+        expected: usize,
+        /// Number of arguments supplied.
+        found: usize,
+    },
+    /// An instruction references an unknown global.
+    BadGlobal {
+        /// The instruction at fault.
+        inst: InstId,
+        /// The unknown global.
+        global: GlobalId,
+    },
+    /// The designated entry function does not exist or takes parameters.
+    BadEntry {
+        /// The offending entry id.
+        entry: FuncId,
+        /// Why it is unusable.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::MissingBody { function } => {
+                write!(f, "function {function} was declared but has no body")
+            }
+            IrError::MissingTerminator { function, block } => {
+                write!(f, "block {block} of function {function} has no terminator")
+            }
+            IrError::BadRegister { inst, reg } => {
+                write!(f, "instruction {inst} references out-of-range register {reg}")
+            }
+            IrError::BadBlockTarget { function, target } => {
+                write!(f, "terminator in function {function} targets foreign block {target}")
+            }
+            IrError::BadCallee { inst, callee } => {
+                write!(f, "instruction {inst} calls unknown function {callee}")
+            }
+            IrError::ArityMismatch {
+                inst,
+                callee,
+                expected,
+                found,
+            } => write!(
+                f,
+                "instruction {inst} calls {callee} with {found} arguments, expected {expected}"
+            ),
+            IrError::BadGlobal { inst, global } => {
+                write!(f, "instruction {inst} references unknown global {global}")
+            }
+            IrError::BadEntry { entry, reason } => {
+                write!(f, "entry function {entry} is unusable: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for IrError {}
+
+/// Errors produced while parsing the textual IR format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseProgramError {
+    pub(crate) line: usize,
+    pub(crate) message: String,
+}
+
+impl ParseProgramError {
+    /// The 1-based source line where parsing failed.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseProgramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = IrError::ArityMismatch {
+            inst: InstId::new(3),
+            callee: FuncId::new(1),
+            expected: 2,
+            found: 0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("i3") && s.contains("@f1") && s.contains("expected 2"));
+
+        let p = ParseProgramError {
+            line: 12,
+            message: "bad token".to_string(),
+        };
+        assert_eq!(p.line(), 12);
+        assert!(p.to_string().contains("line 12"));
+    }
+}

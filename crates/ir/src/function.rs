@@ -1,0 +1,90 @@
+//! Functions, basic blocks and globals.
+
+use crate::ids::{BlockId, FuncId, Reg};
+use crate::inst::{Inst, Terminator};
+
+/// A basic block: a straight-line sequence of instructions ending in a
+/// terminator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BasicBlock {
+    /// The function this block belongs to.
+    pub func: FuncId,
+    /// Straight-line instructions of the block.
+    pub insts: Vec<Inst>,
+    /// The block terminator.
+    pub terminator: Terminator,
+}
+
+impl BasicBlock {
+    /// Successor blocks (within the same function).
+    pub fn successors(&self) -> Vec<BlockId> {
+        self.terminator.successors()
+    }
+}
+
+/// A function: an entry block plus the set of blocks it owns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// Human-readable unique name, e.g. `"main"`.
+    pub name: String,
+    /// Parameter registers, in order. Parameters occupy the first registers.
+    pub params: Vec<Reg>,
+    /// Total number of virtual registers used by the function.
+    pub num_regs: u32,
+    /// The entry block.
+    pub entry: BlockId,
+    /// All blocks of this function, in creation order (entry first).
+    pub blocks: Vec<BlockId>,
+}
+
+impl Function {
+    /// Number of declared parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+/// A global object with a fixed number of fields.
+///
+/// Globals are storage roots: their address can be taken with
+/// [`InstKind::AddrGlobal`](crate::InstKind::AddrGlobal) and they exist for
+/// the whole execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Global {
+    /// Unique name, e.g. `"g_init"`.
+    pub name: String,
+    /// Number of fields.
+    pub fields: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Operand, Terminator};
+
+    #[test]
+    fn block_successors_follow_terminator() {
+        let b = BasicBlock {
+            func: FuncId::new(0),
+            insts: Vec::new(),
+            terminator: Terminator::Branch {
+                cond: Operand::Const(1),
+                then_bb: BlockId::new(1),
+                else_bb: BlockId::new(2),
+            },
+        };
+        assert_eq!(b.successors(), vec![BlockId::new(1), BlockId::new(2)]);
+    }
+
+    #[test]
+    fn function_arity_counts_params() {
+        let f = Function {
+            name: "f".to_string(),
+            params: vec![Reg::new(0), Reg::new(1)],
+            num_regs: 4,
+            entry: BlockId::new(0),
+            blocks: vec![BlockId::new(0)],
+        };
+        assert_eq!(f.arity(), 2);
+    }
+}

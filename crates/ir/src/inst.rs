@@ -1,0 +1,519 @@
+//! Instructions, operands and terminators.
+
+use std::fmt;
+
+use crate::ids::{BlockId, FuncId, GlobalId, InstId, Reg};
+
+/// An operand of an instruction: either a virtual register or an integer
+/// constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// The current value of a virtual register.
+    Reg(Reg),
+    /// An integer constant.
+    Const(i64),
+}
+
+impl Operand {
+    /// Returns the register read by this operand, if any.
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(c: i64) -> Self {
+        Operand::Const(c)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Binary arithmetic / logical operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division; division by zero yields zero.
+    Div,
+    /// Remainder; remainder by zero yields zero.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Integer comparison producing `0` or `1`.
+    Cmp(CmpOp),
+}
+
+/// Comparison predicates for [`BinOp::Cmp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Cmp(CmpOp::Eq) => "eq",
+            BinOp::Cmp(CmpOp::Ne) => "ne",
+            BinOp::Cmp(CmpOp::Lt) => "lt",
+            BinOp::Cmp(CmpOp::Le) => "le",
+            BinOp::Cmp(CmpOp::Gt) => "gt",
+            BinOp::Cmp(CmpOp::Ge) => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+impl BinOp {
+    /// Parses the textual name used by the IR printer.
+    pub fn from_name(name: &str) -> Option<BinOp> {
+        Some(match name {
+            "add" => BinOp::Add,
+            "sub" => BinOp::Sub,
+            "mul" => BinOp::Mul,
+            "div" => BinOp::Div,
+            "rem" => BinOp::Rem,
+            "and" => BinOp::And,
+            "or" => BinOp::Or,
+            "xor" => BinOp::Xor,
+            "eq" => BinOp::Cmp(CmpOp::Eq),
+            "ne" => BinOp::Cmp(CmpOp::Ne),
+            "lt" => BinOp::Cmp(CmpOp::Lt),
+            "le" => BinOp::Cmp(CmpOp::Le),
+            "gt" => BinOp::Cmp(CmpOp::Gt),
+            "ge" => BinOp::Cmp(CmpOp::Ge),
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the operation on two integers with the IR's semantics
+    /// (wrapping arithmetic, total division).
+    pub fn eval(self, lhs: i64, rhs: i64) -> i64 {
+        match self {
+            BinOp::Add => lhs.wrapping_add(rhs),
+            BinOp::Sub => lhs.wrapping_sub(rhs),
+            BinOp::Mul => lhs.wrapping_mul(rhs),
+            BinOp::Div => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs.wrapping_div(rhs)
+                }
+            }
+            BinOp::Rem => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs.wrapping_rem(rhs)
+                }
+            }
+            BinOp::And => lhs & rhs,
+            BinOp::Or => lhs | rhs,
+            BinOp::Xor => lhs ^ rhs,
+            BinOp::Cmp(op) => {
+                let b = match op {
+                    CmpOp::Eq => lhs == rhs,
+                    CmpOp::Ne => lhs != rhs,
+                    CmpOp::Lt => lhs < rhs,
+                    CmpOp::Le => lhs <= rhs,
+                    CmpOp::Gt => lhs > rhs,
+                    CmpOp::Ge => lhs >= rhs,
+                };
+                i64::from(b)
+            }
+        }
+    }
+}
+
+/// The target of a call or spawn: a known function or a function pointer in
+/// a register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// A direct call to a statically known function.
+    Direct(FuncId),
+    /// An indirect call through a function-pointer value.
+    Indirect(Operand),
+}
+
+/// A single IR instruction with its program-wide id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Inst {
+    /// Program-wide dense instruction id (the instrumentation site).
+    pub id: InstId,
+    /// The operation performed.
+    pub kind: InstKind,
+}
+
+/// The operation performed by an [`Inst`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum InstKind {
+    /// `dst = src`.
+    Copy {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = op(lhs, rhs)`.
+    BinOp {
+        /// Destination register.
+        dst: Reg,
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Allocates a fresh heap object with `fields` fields; `dst` receives a
+    /// pointer to field 0. This instruction is the allocation *site* for the
+    /// points-to analysis.
+    Alloc {
+        /// Destination register.
+        dst: Reg,
+        /// Number of fields in the allocated object.
+        fields: u32,
+    },
+    /// `dst = &global` (pointer to field 0 of a global object).
+    AddrGlobal {
+        /// Destination register.
+        dst: Reg,
+        /// The global whose address is taken.
+        global: GlobalId,
+    },
+    /// `dst = &func` (a function-pointer constant).
+    AddrFunc {
+        /// Destination register.
+        dst: Reg,
+        /// The function whose address is taken.
+        func: FuncId,
+    },
+    /// `dst = base + field` — pointer arithmetic selecting a field.
+    Gep {
+        /// Destination register.
+        dst: Reg,
+        /// Base pointer.
+        base: Operand,
+        /// Field offset added to the base pointer.
+        field: u32,
+    },
+    /// `dst = *(addr + field)`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Address operand (a pointer value).
+        addr: Operand,
+        /// Constant field offset added to `addr`.
+        field: u32,
+    },
+    /// `*(addr + field) = value`.
+    Store {
+        /// Address operand (a pointer value).
+        addr: Operand,
+        /// Constant field offset added to `addr`.
+        field: u32,
+        /// The value stored.
+        value: Operand,
+    },
+    /// Calls `callee(args…)`; the return value, if any, is written to `dst`.
+    Call {
+        /// Register receiving the return value, if used.
+        dst: Option<Reg>,
+        /// Call target.
+        callee: Callee,
+        /// Actual arguments.
+        args: Vec<Operand>,
+    },
+    /// Acquires the mutex identified by the address value of `addr`.
+    Lock {
+        /// Lock object address.
+        addr: Operand,
+    },
+    /// Releases the mutex identified by the address value of `addr`.
+    Unlock {
+        /// Lock object address.
+        addr: Operand,
+    },
+    /// Spawns a new thread running `func(arg)`; `dst` receives the thread
+    /// handle. This instruction is a thread-creation *site* for the
+    /// singleton-thread invariant and the MHP analysis.
+    Spawn {
+        /// Register receiving the thread handle.
+        dst: Reg,
+        /// Thread entry function.
+        func: Callee,
+        /// Single argument passed to the entry function.
+        arg: Operand,
+    },
+    /// Blocks until the thread with the given handle has finished.
+    Join {
+        /// Thread-handle value.
+        thread: Operand,
+    },
+    /// Reads the next value from the program input; yields 0 when exhausted.
+    Input {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Appends a value to the program output. Typical slice endpoint.
+    Output {
+        /// Value written.
+        value: Operand,
+    },
+}
+
+impl InstKind {
+    /// The register defined by this instruction, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match *self {
+            InstKind::Copy { dst, .. }
+            | InstKind::BinOp { dst, .. }
+            | InstKind::Alloc { dst, .. }
+            | InstKind::AddrGlobal { dst, .. }
+            | InstKind::AddrFunc { dst, .. }
+            | InstKind::Gep { dst, .. }
+            | InstKind::Load { dst, .. }
+            | InstKind::Input { dst } => Some(dst),
+            InstKind::Call { dst, .. } => dst,
+            InstKind::Spawn { dst, .. } => Some(dst),
+            InstKind::Store { .. }
+            | InstKind::Lock { .. }
+            | InstKind::Unlock { .. }
+            | InstKind::Join { .. }
+            | InstKind::Output { .. } => None,
+        }
+    }
+
+    /// Collects the registers read by this instruction.
+    pub fn uses(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        let mut push = |op: Operand| {
+            if let Operand::Reg(r) = op {
+                out.push(r);
+            }
+        };
+        match self {
+            InstKind::Copy { src, .. } => push(*src),
+            InstKind::BinOp { lhs, rhs, .. } => {
+                push(*lhs);
+                push(*rhs);
+            }
+            InstKind::Alloc { .. }
+            | InstKind::AddrGlobal { .. }
+            | InstKind::AddrFunc { .. }
+            | InstKind::Input { .. } => {}
+            InstKind::Gep { base, .. } => push(*base),
+            InstKind::Load { addr, .. } => push(*addr),
+            InstKind::Store { addr, value, .. } => {
+                push(*addr);
+                push(*value);
+            }
+            InstKind::Call { callee, args, .. } => {
+                if let Callee::Indirect(op) = callee {
+                    push(*op);
+                }
+                for a in args {
+                    push(*a);
+                }
+            }
+            InstKind::Lock { addr } | InstKind::Unlock { addr } => push(*addr),
+            InstKind::Spawn { func, arg, .. } => {
+                if let Callee::Indirect(op) = func {
+                    push(*op);
+                }
+                push(*arg);
+            }
+            InstKind::Join { thread } => push(*thread),
+            InstKind::Output { value } => push(*value),
+        }
+        out
+    }
+
+    /// Returns `true` for loads and stores (the memory-access
+    /// instrumentation sites of the race detector).
+    pub fn is_memory_access(&self) -> bool {
+        matches!(self, InstKind::Load { .. } | InstKind::Store { .. })
+    }
+
+    /// Returns `true` for direct or indirect calls.
+    pub fn is_call(&self) -> bool {
+        matches!(self, InstKind::Call { .. })
+    }
+}
+
+/// The terminator of a basic block.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch: nonzero condition takes `then_bb`.
+    Branch {
+        /// Condition operand; nonzero means taken.
+        cond: Operand,
+        /// Successor when the condition is nonzero.
+        then_bb: BlockId,
+        /// Successor when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// Returns from the current function.
+    Return(Option<Operand>),
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match *self {
+            Terminator::Jump(b) => vec![b],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![then_bb, else_bb],
+            Terminator::Return(_) => Vec::new(),
+        }
+    }
+
+    /// Registers read by this terminator.
+    pub fn uses(&self) -> Vec<Reg> {
+        match self {
+            Terminator::Branch { cond, .. } => cond.as_reg().into_iter().collect(),
+            Terminator::Return(Some(op)) => op.as_reg().into_iter().collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_matches_semantics() {
+        assert_eq!(BinOp::Add.eval(2, 3), 5);
+        assert_eq!(BinOp::Sub.eval(2, 3), -1);
+        assert_eq!(BinOp::Mul.eval(4, 3), 12);
+        assert_eq!(BinOp::Div.eval(7, 2), 3);
+        assert_eq!(BinOp::Div.eval(7, 0), 0, "division by zero is total");
+        assert_eq!(BinOp::Rem.eval(7, 0), 0);
+        assert_eq!(BinOp::Cmp(CmpOp::Lt).eval(1, 2), 1);
+        assert_eq!(BinOp::Cmp(CmpOp::Ge).eval(1, 2), 0);
+        assert_eq!(BinOp::Add.eval(i64::MAX, 1), i64::MIN, "wrapping add");
+    }
+
+    #[test]
+    fn binop_names_round_trip() {
+        for op in [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Rem,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Cmp(CmpOp::Eq),
+            BinOp::Cmp(CmpOp::Ne),
+            BinOp::Cmp(CmpOp::Lt),
+            BinOp::Cmp(CmpOp::Le),
+            BinOp::Cmp(CmpOp::Gt),
+            BinOp::Cmp(CmpOp::Ge),
+        ] {
+            assert_eq!(BinOp::from_name(&op.to_string()), Some(op));
+        }
+        assert_eq!(BinOp::from_name("frobnicate"), None);
+    }
+
+    #[test]
+    fn def_and_uses_are_consistent() {
+        let k = InstKind::BinOp {
+            dst: Reg::new(3),
+            op: BinOp::Add,
+            lhs: Operand::Reg(Reg::new(1)),
+            rhs: Operand::Const(5),
+        };
+        assert_eq!(k.def(), Some(Reg::new(3)));
+        assert_eq!(k.uses(), vec![Reg::new(1)]);
+
+        let s = InstKind::Store {
+            addr: Operand::Reg(Reg::new(0)),
+            field: 2,
+            value: Operand::Reg(Reg::new(1)),
+        };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![Reg::new(0), Reg::new(1)]);
+        assert!(s.is_memory_access());
+
+        let c = InstKind::Call {
+            dst: None,
+            callee: Callee::Indirect(Operand::Reg(Reg::new(7))),
+            args: vec![Operand::Reg(Reg::new(8)), Operand::Const(1)],
+        };
+        assert_eq!(c.uses(), vec![Reg::new(7), Reg::new(8)]);
+        assert!(c.is_call());
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(
+            Terminator::Jump(BlockId::new(4)).successors(),
+            vec![BlockId::new(4)]
+        );
+        let br = Terminator::Branch {
+            cond: Operand::Reg(Reg::new(0)),
+            then_bb: BlockId::new(1),
+            else_bb: BlockId::new(2),
+        };
+        assert_eq!(br.successors(), vec![BlockId::new(1), BlockId::new(2)]);
+        assert_eq!(br.uses(), vec![Reg::new(0)]);
+        assert!(Terminator::Return(None).successors().is_empty());
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg::new(2)), Operand::Reg(Reg::new(2)));
+        assert_eq!(Operand::from(9i64), Operand::Const(9));
+        assert_eq!(Operand::Reg(Reg::new(2)).as_reg(), Some(Reg::new(2)));
+        assert_eq!(Operand::Const(1).as_reg(), None);
+    }
+}

@@ -1,0 +1,57 @@
+//! A small program intermediate representation (IR) for the Optimistic
+//! Hybrid Analysis reproduction.
+//!
+//! The IR stands in for LLVM bitcode / Java bytecode from the paper. It keeps
+//! exactly the constructs the paper's analyses are defined over:
+//!
+//! * functions made of basic blocks with explicit terminators,
+//! * loads and stores against object+field addresses,
+//! * heap allocation sites and [`Gep`](InstKind::Gep)-style field addressing,
+//! * direct and **indirect** calls (through function pointers),
+//! * `lock`/`unlock`, `spawn`/`join` synchronization operations,
+//! * `input`/`output` for externally observable behaviour.
+//!
+//! Programs are built with [`ProgramBuilder`], which assigns densely numbered
+//! [`InstId`]s and [`BlockId`]s on [`ProgramBuilder::finish`] so analyses can
+//! use plain bit sets keyed by those ids. A textual format is provided by
+//! [`print_program`] and [`parse_program`], which round-trip.
+//!
+//! # Examples
+//!
+//! ```
+//! use oha_ir::{ProgramBuilder, Operand};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = pb.function("main", 0);
+//! let v = f.alloc(1);
+//! f.store(Operand::Reg(v), 0, Operand::Const(42));
+//! let r = f.load(Operand::Reg(v), 0);
+//! f.output(Operand::Reg(r));
+//! f.ret(None);
+//! let main = pb.finish_function(f);
+//! let program = pb.finish(main).expect("valid program");
+//! assert_eq!(program.num_functions(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod function;
+mod ids;
+mod inst;
+mod parser;
+mod printer;
+mod program;
+mod validate;
+
+pub use builder::{FunctionBuilder, ProgramBuilder};
+pub use error::{IrError, ParseProgramError};
+pub use function::{BasicBlock, Function, Global};
+pub use ids::{BlockId, FuncId, GlobalId, InstId, Reg};
+pub use inst::{BinOp, Callee, CmpOp, Inst, InstKind, Operand, Terminator};
+pub use parser::parse_program;
+pub use printer::print_program;
+pub use program::{InstLoc, Program};
+pub use validate::validate;

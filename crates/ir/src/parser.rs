@@ -1,0 +1,577 @@
+//! Parsing of the textual IR format produced by
+//! [`print_program`](crate::print_program).
+
+use std::collections::HashMap;
+
+use crate::error::ParseProgramError;
+use crate::function::{BasicBlock, Function, Global};
+use crate::ids::{BlockId, FuncId, GlobalId, InstId, Reg};
+use crate::inst::{BinOp, Callee, Inst, InstKind, Operand, Terminator};
+use crate::program::Program;
+use crate::validate::validate;
+
+type PResult<T> = Result<T, ParseProgramError>;
+
+fn err<T>(line: usize, message: impl Into<String>) -> PResult<T> {
+    Err(ParseProgramError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parses a program from the textual IR format.
+///
+/// The format is the one produced by [`print_program`](crate::print_program);
+/// `parse_program(&print_program(&p))` reproduces `p` exactly (ids included).
+///
+/// # Errors
+///
+/// Returns a [`ParseProgramError`] carrying the offending line on any
+/// syntactic or semantic (validation) failure.
+///
+/// # Examples
+///
+/// ```
+/// let text = "\
+/// entry @main
+///
+/// func @main(0) regs=1 {
+/// b0:
+///   r0 = input
+///   output r0
+///   ret
+/// }
+/// ";
+/// let p = oha_ir::parse_program(text)?;
+/// assert_eq!(p.num_functions(), 1);
+/// # Ok::<(), oha_ir::ParseProgramError>(())
+/// ```
+pub fn parse_program(text: &str) -> PResult<Program> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, strip_comment(l).trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+
+    // Pass 1: collect names.
+    let mut func_names: HashMap<String, FuncId> = HashMap::new();
+    let mut func_order: Vec<(String, usize)> = Vec::new(); // (name, arity)
+    let mut globals: Vec<Global> = Vec::new();
+    let mut global_names: HashMap<String, GlobalId> = HashMap::new();
+    let mut entry_name: Option<String> = None;
+
+    for &(ln, line) in &lines {
+        if let Some(rest) = line.strip_prefix("entry ") {
+            let name = parse_at_name(ln, rest.trim())?;
+            entry_name = Some(name);
+        } else if let Some(rest) = line.strip_prefix("global ") {
+            let (name, fields) = parse_global_decl(ln, rest)?;
+            let id = GlobalId::new(globals.len() as u32);
+            if global_names.insert(name.clone(), id).is_some() {
+                return err(ln, format!("duplicate global @{name}"));
+            }
+            globals.push(Global { name, fields });
+        } else if let Some(rest) = line.strip_prefix("func ") {
+            let (name, arity, _regs) = parse_func_header(ln, rest)?;
+            let id = FuncId::new(func_order.len() as u32);
+            if func_names.insert(name.clone(), id).is_some() {
+                return err(ln, format!("duplicate function @{name}"));
+            }
+            func_order.push((name, arity));
+        }
+    }
+    let entry_name = match entry_name {
+        Some(n) => n,
+        None => return err(1, "missing `entry @name` header"),
+    };
+    let entry = match func_names.get(&entry_name) {
+        Some(&id) => id,
+        None => return err(1, format!("entry function @{entry_name} not defined")),
+    };
+
+    // Pass 2: parse bodies.
+    let mut functions: Vec<Function> = Vec::new();
+    let mut blocks: Vec<BasicBlock> = Vec::new();
+    let mut next_inst = 0u32;
+    let mut i = 0;
+    while i < lines.len() {
+        let (ln, line) = lines[i];
+        i += 1;
+        if line.starts_with("entry ") || line.starts_with("global ") {
+            continue;
+        }
+        let rest = match line.strip_prefix("func ") {
+            Some(r) => r,
+            None => return err(ln, format!("unexpected top-level line: {line}")),
+        };
+        let (name, arity, num_regs) = parse_func_header(ln, rest)?;
+        let fid = func_names[&name];
+        let base = blocks.len() as u32;
+
+        // Collect this function's body lines up to the closing brace,
+        // splitting into blocks on `bN:` labels.
+        let mut local_blocks: Vec<(Vec<Inst>, Option<Terminator>)> = Vec::new();
+        let mut closed = false;
+        while i < lines.len() {
+            let (ln2, line2) = lines[i];
+            i += 1;
+            if line2 == "}" {
+                closed = true;
+                break;
+            }
+            if let Some(label) = line2.strip_suffix(':') {
+                let idx = parse_block_label(ln2, label)?;
+                if idx as usize != local_blocks.len() {
+                    return err(ln2, format!("block labels must be sequential, got b{idx}"));
+                }
+                local_blocks.push((Vec::new(), None));
+                continue;
+            }
+            let cur = match local_blocks.last_mut() {
+                Some(c) => c,
+                None => return err(ln2, "instruction before first block label"),
+            };
+            if cur.1.is_some() {
+                return err(ln2, "instruction after block terminator");
+            }
+            if let Some(t) = parse_terminator(ln2, line2, base)? {
+                cur.1 = Some(t);
+            } else {
+                let kind = parse_inst(ln2, line2, &func_names, &global_names)?;
+                let id = InstId::new(next_inst);
+                next_inst += 1;
+                cur.0.push(Inst { id, kind });
+            }
+        }
+        if !closed {
+            return err(ln, format!("function @{name} missing closing brace"));
+        }
+        if local_blocks.is_empty() {
+            return err(ln, format!("function @{name} has no blocks"));
+        }
+        let mut block_ids = Vec::with_capacity(local_blocks.len());
+        for (bi, (insts, term)) in local_blocks.into_iter().enumerate() {
+            let terminator = match term {
+                Some(t) => t,
+                None => return err(ln, format!("block b{bi} of @{name} has no terminator")),
+            };
+            block_ids.push(BlockId::new(base + bi as u32));
+            blocks.push(BasicBlock {
+                func: fid,
+                insts,
+                terminator,
+            });
+        }
+        functions.push(Function {
+            name,
+            params: (0..arity as u32).map(Reg::new).collect(),
+            num_regs,
+            entry: BlockId::new(base),
+            blocks: block_ids,
+        });
+    }
+
+    if functions.len() != func_order.len() {
+        return err(1, "internal error: function count mismatch");
+    }
+    let program = Program::from_parts(functions, blocks, globals, entry);
+    validate(&program).map_err(|e| ParseProgramError {
+        line: 0,
+        message: format!("validation failed: {e}"),
+    })?;
+    Ok(program)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(';') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn parse_at_name(line: usize, token: &str) -> PResult<String> {
+    match token.strip_prefix('@') {
+        Some(n) if !n.is_empty() => Ok(n.to_string()),
+        _ => err(line, format!("expected @name, got {token:?}")),
+    }
+}
+
+fn parse_global_decl(line: usize, rest: &str) -> PResult<(String, u32)> {
+    // "@name fields=N"
+    let mut parts = rest.split_whitespace();
+    let name = parse_at_name(line, parts.next().unwrap_or(""))?;
+    let fields = match parts.next().and_then(|t| t.strip_prefix("fields=")) {
+        Some(n) => n
+            .parse::<u32>()
+            .map_err(|_| ParseProgramError {
+                line,
+                message: format!("bad field count in global @{name}"),
+            })?,
+        None => return err(line, "expected fields=N"),
+    };
+    Ok((name, fields))
+}
+
+fn parse_func_header(line: usize, rest: &str) -> PResult<(String, usize, u32)> {
+    // "@name(arity) regs=N {"
+    let rest = rest.trim_end_matches('{').trim();
+    let open = rest
+        .find('(')
+        .ok_or_else(|| ParseProgramError {
+            line,
+            message: "expected ( in func header".to_string(),
+        })?;
+    let close = rest.find(')').ok_or_else(|| ParseProgramError {
+        line,
+        message: "expected ) in func header".to_string(),
+    })?;
+    let name = parse_at_name(line, &rest[..open])?;
+    let arity: usize = rest[open + 1..close].trim().parse().map_err(|_| {
+        ParseProgramError {
+            line,
+            message: "bad arity".to_string(),
+        }
+    })?;
+    let regs = rest[close + 1..]
+        .trim()
+        .strip_prefix("regs=")
+        .and_then(|t| t.parse::<u32>().ok())
+        .ok_or_else(|| ParseProgramError {
+            line,
+            message: "expected regs=N".to_string(),
+        })?;
+    Ok((name, arity, regs))
+}
+
+fn parse_block_label(line: usize, label: &str) -> PResult<u32> {
+    label
+        .strip_prefix('b')
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseProgramError {
+            line,
+            message: format!("bad block label {label:?}"),
+        })
+}
+
+fn parse_operand(line: usize, token: &str) -> PResult<Operand> {
+    let token = token.trim();
+    if let Some(r) = token.strip_prefix('r') {
+        if let Ok(n) = r.parse::<u32>() {
+            return Ok(Operand::Reg(Reg::new(n)));
+        }
+    }
+    token
+        .parse::<i64>()
+        .map(Operand::Const)
+        .map_err(|_| ParseProgramError {
+            line,
+            message: format!("bad operand {token:?}"),
+        })
+}
+
+fn parse_reg(line: usize, token: &str) -> PResult<Reg> {
+    match parse_operand(line, token)? {
+        Operand::Reg(r) => Ok(r),
+        Operand::Const(_) => err(line, format!("expected register, got {token:?}")),
+    }
+}
+
+fn parse_terminator(line: usize, text: &str, base: u32) -> PResult<Option<Terminator>> {
+    let blk = |line: usize, t: &str| -> PResult<BlockId> {
+        parse_block_label(line, t.trim()).map(|n| BlockId::new(base + n))
+    };
+    if let Some(rest) = text.strip_prefix("jmp ") {
+        return Ok(Some(Terminator::Jump(blk(line, rest)?)));
+    }
+    if let Some(rest) = text.strip_prefix("br ") {
+        let parts: Vec<&str> = rest.split(',').collect();
+        if parts.len() != 3 {
+            return err(line, "br expects cond, then, else");
+        }
+        return Ok(Some(Terminator::Branch {
+            cond: parse_operand(line, parts[0])?,
+            then_bb: blk(line, parts[1])?,
+            else_bb: blk(line, parts[2])?,
+        }));
+    }
+    if text == "ret" {
+        return Ok(Some(Terminator::Return(None)));
+    }
+    if let Some(rest) = text.strip_prefix("ret ") {
+        return Ok(Some(Terminator::Return(Some(parse_operand(line, rest)?))));
+    }
+    Ok(None)
+}
+
+/// Parses `target(arg1, arg2)` into a callee and args.
+fn parse_call_tail<'a>(
+    line: usize,
+    text: &'a str,
+    funcs: &HashMap<String, FuncId>,
+) -> PResult<(Callee, Vec<Operand>)> {
+    let open = text.find('(').ok_or_else(|| ParseProgramError {
+        line,
+        message: "expected ( in call".to_string(),
+    })?;
+    let close = text.rfind(')').ok_or_else(|| ParseProgramError {
+        line,
+        message: "expected ) in call".to_string(),
+    })?;
+    let target: &'a str = text[..open].trim();
+    let callee = if let Some(name) = target.strip_prefix('@') {
+        match funcs.get(name) {
+            Some(&f) => Callee::Direct(f),
+            None => return err(line, format!("unknown function @{name}")),
+        }
+    } else {
+        Callee::Indirect(parse_operand(line, target)?)
+    };
+    let inner = text[open + 1..close].trim();
+    let args = if inner.is_empty() {
+        Vec::new()
+    } else {
+        inner
+            .split(',')
+            .map(|a| parse_operand(line, a))
+            .collect::<PResult<Vec<_>>>()?
+    };
+    Ok((callee, args))
+}
+
+fn parse_addr_field(line: usize, text: &str) -> PResult<(Operand, u32)> {
+    // "addr + field"
+    let mut parts = text.splitn(2, '+');
+    let addr = parse_operand(line, parts.next().unwrap_or(""))?;
+    let field = parts
+        .next()
+        .map(|t| {
+            t.trim().parse::<u32>().map_err(|_| ParseProgramError {
+                line,
+                message: format!("bad field offset in {text:?}"),
+            })
+        })
+        .transpose()?
+        .unwrap_or(0);
+    Ok((addr, field))
+}
+
+fn parse_inst(
+    line: usize,
+    text: &str,
+    funcs: &HashMap<String, FuncId>,
+    globals: &HashMap<String, GlobalId>,
+) -> PResult<InstKind> {
+    // Forms without a destination.
+    if let Some(rest) = text.strip_prefix("store ") {
+        let parts: Vec<&str> = rest.rsplitn(2, ',').collect();
+        if parts.len() != 2 {
+            return err(line, "store expects addr + field, value");
+        }
+        let (addr, field) = parse_addr_field(line, parts[1])?;
+        let value = parse_operand(line, parts[0])?;
+        return Ok(InstKind::Store { addr, field, value });
+    }
+    if let Some(rest) = text.strip_prefix("lock ") {
+        return Ok(InstKind::Lock {
+            addr: parse_operand(line, rest)?,
+        });
+    }
+    if let Some(rest) = text.strip_prefix("unlock ") {
+        return Ok(InstKind::Unlock {
+            addr: parse_operand(line, rest)?,
+        });
+    }
+    if let Some(rest) = text.strip_prefix("join ") {
+        return Ok(InstKind::Join {
+            thread: parse_operand(line, rest)?,
+        });
+    }
+    if let Some(rest) = text.strip_prefix("output ") {
+        return Ok(InstKind::Output {
+            value: parse_operand(line, rest)?,
+        });
+    }
+    if let Some(rest) = text.strip_prefix("call ").or_else(|| text.strip_prefix("icall ")) {
+        let (callee, args) = parse_call_tail(line, rest, funcs)?;
+        return Ok(InstKind::Call {
+            dst: None,
+            callee,
+            args,
+        });
+    }
+
+    // Forms with a destination: "rN = op …".
+    let (dst_text, rhs) = match text.split_once('=') {
+        Some((d, r)) => (d.trim(), r.trim()),
+        None => return err(line, format!("unrecognized instruction: {text}")),
+    };
+    let dst = parse_reg(line, dst_text)?;
+
+    if let Some(rest) = rhs.strip_prefix("copy ") {
+        return Ok(InstKind::Copy {
+            dst,
+            src: parse_operand(line, rest)?,
+        });
+    }
+    if let Some(rest) = rhs.strip_prefix("alloc ") {
+        let fields = rest.trim().parse().map_err(|_| ParseProgramError {
+            line,
+            message: "bad alloc size".to_string(),
+        })?;
+        return Ok(InstKind::Alloc { dst, fields });
+    }
+    if let Some(rest) = rhs.strip_prefix("addrg ") {
+        let name = parse_at_name(line, rest.trim())?;
+        let global = *globals.get(&name).ok_or_else(|| ParseProgramError {
+            line,
+            message: format!("unknown global @{name}"),
+        })?;
+        return Ok(InstKind::AddrGlobal { dst, global });
+    }
+    if let Some(rest) = rhs.strip_prefix("addrf ") {
+        let name = parse_at_name(line, rest.trim())?;
+        let func = *funcs.get(&name).ok_or_else(|| ParseProgramError {
+            line,
+            message: format!("unknown function @{name}"),
+        })?;
+        return Ok(InstKind::AddrFunc { dst, func });
+    }
+    if let Some(rest) = rhs.strip_prefix("gep ") {
+        let (base, field) = parse_addr_field(line, rest)?;
+        return Ok(InstKind::Gep { dst, base, field });
+    }
+    if let Some(rest) = rhs.strip_prefix("load ") {
+        let (addr, field) = parse_addr_field(line, rest)?;
+        return Ok(InstKind::Load { dst, addr, field });
+    }
+    if rhs == "input" {
+        return Ok(InstKind::Input { dst });
+    }
+    if let Some(rest) = rhs.strip_prefix("call ").or_else(|| rhs.strip_prefix("icall ")) {
+        let (callee, args) = parse_call_tail(line, rest, funcs)?;
+        return Ok(InstKind::Call {
+            dst: Some(dst),
+            callee,
+            args,
+        });
+    }
+    if let Some(rest) = rhs
+        .strip_prefix("spawn ")
+        .or_else(|| rhs.strip_prefix("ispawn "))
+    {
+        let (func, mut args) = parse_call_tail(line, rest, funcs)?;
+        if args.len() != 1 {
+            return err(line, "spawn expects exactly one argument");
+        }
+        return Ok(InstKind::Spawn {
+            dst,
+            func,
+            arg: args.pop().expect("checked length"),
+        });
+    }
+    // Binary operation: "op lhs, rhs".
+    if let Some((op_name, operands)) = rhs.split_once(' ') {
+        if let Some(op) = BinOp::from_name(op_name) {
+            let parts: Vec<&str> = operands.split(',').collect();
+            if parts.len() != 2 {
+                return err(line, format!("{op_name} expects two operands"));
+            }
+            return Ok(InstKind::BinOp {
+                dst,
+                op,
+                lhs: parse_operand(line, parts[0])?,
+                rhs: parse_operand(line, parts[1])?,
+            });
+        }
+    }
+    err(line, format!("unrecognized instruction: {text}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::Operand::{Const, Reg as R};
+    use crate::inst::{BinOp, CmpOp};
+    use crate::printer::print_program;
+
+    fn rich_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("state", 3);
+        let worker = pb.declare("worker", 1);
+
+        let mut m = pb.function("main", 0);
+        let a = m.alloc(2);
+        let ga = m.addr_global(g);
+        let fp = m.addr_func(worker);
+        let gp = m.gep(R(a), 1);
+        let l = m.load(R(gp), 0);
+        m.store(R(a), 1, R(l));
+        let s = m.bin(BinOp::Cmp(CmpOp::Lt), R(l), Const(3));
+        let c = m.call(worker, vec![R(s)]);
+        m.call_void(worker, vec![R(c)]);
+        let ic = m.call_indirect(R(fp), vec![Const(1)]);
+        m.lock(R(ga));
+        m.unlock(R(ga));
+        let t = m.spawn(worker, R(ic));
+        m.join(R(t));
+        let i = m.input();
+        m.output(R(i));
+        let cp = m.copy(R(i));
+        let b1 = m.block();
+        let b2 = m.block();
+        m.branch(R(cp), b1, b2);
+        m.select(b1);
+        m.jump(b2);
+        m.select(b2);
+        m.ret(Some(R(cp)));
+        let main = pb.finish_function(m);
+
+        let mut w = pb.function("worker", 1);
+        let neg = w.bin(BinOp::Sub, Const(0), R(w.param(0)));
+        w.ret(Some(R(neg)));
+        pb.finish_function(w);
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn round_trips_rich_program() {
+        let p = rich_program();
+        let text = print_program(&p);
+        let q = parse_program(&text).expect("parse printed program");
+        assert_eq!(print_program(&q), text);
+        assert_eq!(p.num_insts(), q.num_insts());
+        assert_eq!(p.num_blocks(), q.num_blocks());
+        for id in p.inst_ids() {
+            assert_eq!(p.inst(id), q.inst(id), "instruction {id} differs");
+        }
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "entry @main\n\nfunc @main(0) regs=1 {\nb0:\n  r0 = frob 1, 2\n  ret\n}\n";
+        let e = parse_program(text).unwrap_err();
+        assert_eq!(e.line(), 5);
+    }
+
+    #[test]
+    fn rejects_unknown_callee() {
+        let text = "entry @main\nfunc @main(0) regs=1 {\nb0:\n  call @ghost()\n  ret\n}\n";
+        let e = parse_program(text).unwrap_err();
+        assert!(e.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn rejects_missing_entry() {
+        let text = "func @main(0) regs=0 {\nb0:\n  ret\n}\n";
+        assert!(parse_program(text).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "entry @main ; the entry\n\n; standalone comment\nfunc @main(0) regs=1 {\nb0:\n  r0 = input ; read\n  ret\n}\n";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.num_insts(), 1);
+    }
+}

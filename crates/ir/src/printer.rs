@@ -1,0 +1,195 @@
+//! Textual printing of programs.
+//!
+//! The format round-trips through [`parse_program`](crate::parse_program).
+//! Block labels are printed function-locally (`b0` is always the entry of
+//! the function being printed).
+
+use std::fmt::Write as _;
+
+use crate::ids::BlockId;
+use crate::inst::{Callee, InstKind, Operand, Terminator};
+use crate::program::Program;
+
+/// Renders a program in the textual IR format.
+///
+/// # Examples
+///
+/// ```
+/// use oha_ir::{ProgramBuilder, print_program, parse_program};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let mut f = pb.function("main", 0);
+/// f.output(oha_ir::Operand::Const(1));
+/// f.ret(None);
+/// let main = pb.finish_function(f);
+/// let p = pb.finish(main).unwrap();
+/// let text = print_program(&p);
+/// let reparsed = parse_program(&text).unwrap();
+/// assert_eq!(print_program(&reparsed), text);
+/// ```
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "entry @{}", program.function(program.entry()).name);
+    for gid in program.global_ids() {
+        let g = program.global(gid);
+        let _ = writeln!(out, "global @{} fields={}", g.name, g.fields);
+    }
+    for fid in program.func_ids() {
+        let f = program.function(fid);
+        let base = f.entry.raw();
+        let local = |b: BlockId| b.raw() - base;
+        let _ = writeln!(
+            out,
+            "\nfunc @{}({}) regs={} {{",
+            f.name,
+            f.arity(),
+            f.num_regs
+        );
+        for &bid in &f.blocks {
+            let _ = writeln!(out, "b{}:", local(bid));
+            let block = program.block(bid);
+            for inst in &block.insts {
+                let _ = writeln!(out, "  {}", render_inst(program, &inst.kind));
+            }
+            let term = match &block.terminator {
+                Terminator::Jump(b) => format!("jmp b{}", local(*b)),
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => format!("br {}, b{}, b{}", cond, local(*then_bb), local(*else_bb)),
+                Terminator::Return(Some(v)) => format!("ret {v}"),
+                Terminator::Return(None) => "ret".to_string(),
+            };
+            let _ = writeln!(out, "  {term}");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn render_callee(program: &Program, callee: &Callee) -> (String, bool) {
+    match callee {
+        Callee::Direct(f) => (format!("@{}", program.function(*f).name), true),
+        Callee::Indirect(op) => (op.to_string(), false),
+    }
+}
+
+fn render_args(args: &[Operand]) -> String {
+    args.iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn render_inst(program: &Program, kind: &InstKind) -> String {
+    match kind {
+        InstKind::Copy { dst, src } => format!("{dst} = copy {src}"),
+        InstKind::BinOp { dst, op, lhs, rhs } => format!("{dst} = {op} {lhs}, {rhs}"),
+        InstKind::Alloc { dst, fields } => format!("{dst} = alloc {fields}"),
+        InstKind::AddrGlobal { dst, global } => {
+            format!("{dst} = addrg @{}", program.global(*global).name)
+        }
+        InstKind::AddrFunc { dst, func } => {
+            format!("{dst} = addrf @{}", program.function(*func).name)
+        }
+        InstKind::Gep { dst, base, field } => format!("{dst} = gep {base} + {field}"),
+        InstKind::Load { dst, addr, field } => format!("{dst} = load {addr} + {field}"),
+        InstKind::Store { addr, field, value } => format!("store {addr} + {field}, {value}"),
+        InstKind::Call { dst, callee, args } => {
+            let (target, direct) = render_callee(program, callee);
+            let kw = if direct { "call" } else { "icall" };
+            match dst {
+                Some(d) => format!("{d} = {kw} {target}({})", render_args(args)),
+                None => format!("{kw} {target}({})", render_args(args)),
+            }
+        }
+        InstKind::Lock { addr } => format!("lock {addr}"),
+        InstKind::Unlock { addr } => format!("unlock {addr}"),
+        InstKind::Spawn { dst, func, arg } => {
+            let (target, direct) = render_callee(program, func);
+            let kw = if direct { "spawn" } else { "ispawn" };
+            format!("{dst} = {kw} {target}({arg})")
+        }
+        InstKind::Join { thread } => format!("join {thread}"),
+        InstKind::Input { dst } => format!("{dst} = input"),
+        InstKind::Output { value } => format!("output {value}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::Operand::{Const, Reg as R};
+    use crate::inst::{BinOp, CmpOp};
+
+    #[test]
+    fn prints_all_instruction_forms() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("flag", 1);
+        let worker = pb.declare("worker", 1);
+
+        let mut m = pb.function("main", 0);
+        let a = m.alloc(2);
+        let ga = m.addr_global(g);
+        let fp = m.addr_func(worker);
+        let gep = m.gep(R(a), 1);
+        let l = m.load(R(gep), 0);
+        m.store(R(a), 1, R(l));
+        let s = m.bin(BinOp::Cmp(CmpOp::Lt), R(l), Const(3));
+        let c = m.call(worker, vec![R(s)]);
+        m.call_void(worker, vec![R(c)]);
+        let ic = m.call_indirect(R(fp), vec![Const(1)]);
+        m.lock(R(ga));
+        m.unlock(R(ga));
+        let t = m.spawn(worker, R(ic));
+        let t2 = m.spawn_indirect(R(fp), Const(0));
+        m.join(R(t));
+        m.join(R(t2));
+        let i = m.input();
+        m.output(R(i));
+        let cp = m.copy(R(i));
+        let b1 = m.block();
+        let b2 = m.block();
+        m.branch(R(cp), b1, b2);
+        m.select(b1);
+        m.jump(b2);
+        m.select(b2);
+        m.ret(Some(R(cp)));
+        let main = pb.finish_function(m);
+
+        let mut w = pb.function("worker", 1);
+        w.ret(Some(Const(0)));
+        pb.finish_function(w);
+
+        let p = pb.finish(main).unwrap();
+        let text = print_program(&p);
+        for needle in [
+            "entry @main",
+            "global @flag fields=1",
+            "alloc 2",
+            "addrg @flag",
+            "addrf @worker",
+            "gep r",
+            "load r",
+            "store r",
+            "lt r",
+            "call @worker(",
+            "icall r",
+            "lock r",
+            "unlock r",
+            "spawn @worker(",
+            "ispawn r",
+            "join r",
+            "= input",
+            "output r",
+            "copy r",
+            "br r",
+            "jmp b",
+            "ret r",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The whole-program container and its index structures.
+
+use std::collections::HashMap;
+
+use crate::function::{BasicBlock, Function, Global};
+use crate::ids::{BlockId, FuncId, GlobalId, InstId};
+use crate::inst::Inst;
+
+/// Location of an instruction: which block it lives in and at what position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct InstLoc {
+    /// The containing block.
+    pub block: BlockId,
+    /// The instruction's index within the block.
+    pub index: usize,
+}
+
+/// A complete, validated program.
+///
+/// Programs are immutable once built (see
+/// [`ProgramBuilder`](crate::ProgramBuilder)); all ids are dense, and the
+/// program maintains an index from [`InstId`] to its location.
+#[derive(Clone, Debug)]
+pub struct Program {
+    functions: Vec<Function>,
+    blocks: Vec<BasicBlock>,
+    globals: Vec<Global>,
+    entry: FuncId,
+    inst_index: Vec<InstLoc>,
+    func_by_name: HashMap<String, FuncId>,
+}
+
+impl Program {
+    pub(crate) fn from_parts(
+        functions: Vec<Function>,
+        blocks: Vec<BasicBlock>,
+        globals: Vec<Global>,
+        entry: FuncId,
+    ) -> Self {
+        let mut inst_index = Vec::new();
+        for (bi, block) in blocks.iter().enumerate() {
+            for (ii, inst) in block.insts.iter().enumerate() {
+                let id = inst.id.index();
+                if inst_index.len() <= id {
+                    inst_index.resize(
+                        id + 1,
+                        InstLoc {
+                            block: BlockId::new(0),
+                            index: 0,
+                        },
+                    );
+                }
+                inst_index[id] = InstLoc {
+                    block: BlockId::new(bi as u32),
+                    index: ii,
+                };
+            }
+        }
+        let func_by_name = functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), FuncId::new(i as u32)))
+            .collect();
+        Self {
+            functions,
+            blocks,
+            globals,
+            entry,
+            inst_index,
+            func_by_name,
+        }
+    }
+
+    /// The program entry function (the `main` thread's body).
+    pub fn entry(&self) -> FuncId {
+        self.entry
+    }
+
+    /// Number of functions.
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Number of basic blocks in the whole program.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of instructions in the whole program (dense [`InstId`] space).
+    pub fn num_insts(&self) -> usize {
+        self.inst_index.len()
+    }
+
+    /// Number of global objects.
+    pub fn num_globals(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Looks up a function by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this program.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Looks up a function id by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.func_by_name.get(name).copied()
+    }
+
+    /// Looks up a block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this program.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Looks up a global by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this program.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.index()]
+    }
+
+    /// The location (block, index) of an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this program.
+    pub fn loc(&self, id: InstId) -> InstLoc {
+        self.inst_index[id.index()]
+    }
+
+    /// The instruction with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this program.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        let loc = self.loc(id);
+        &self.block(loc.block).insts[loc.index]
+    }
+
+    /// The function containing an instruction.
+    pub fn func_of_inst(&self, id: InstId) -> FuncId {
+        self.block(self.loc(id).block).func
+    }
+
+    /// Iterates over all function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> + '_ {
+        (0..self.functions.len() as u32).map(FuncId::new)
+    }
+
+    /// Iterates over all block ids.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId::new)
+    }
+
+    /// Iterates over all global ids.
+    pub fn global_ids(&self) -> impl Iterator<Item = GlobalId> + '_ {
+        (0..self.globals.len() as u32).map(GlobalId::new)
+    }
+
+    /// Iterates over all instruction ids.
+    pub fn inst_ids(&self) -> impl Iterator<Item = InstId> + '_ {
+        (0..self.inst_index.len() as u32).map(InstId::new)
+    }
+
+    /// Iterates over the instructions of the whole program in block order.
+    pub fn insts(&self) -> impl Iterator<Item = &Inst> + '_ {
+        self.blocks.iter().flat_map(|b| b.insts.iter())
+    }
+
+    /// All functions, indexable by [`FuncId::index`].
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// All blocks, indexable by [`BlockId::index`].
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// All globals, indexable by [`GlobalId::index`].
+    pub fn globals(&self) -> &[Global] {
+        &self.globals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::inst::{InstKind, Operand};
+
+    #[test]
+    fn index_locates_instructions() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let a = f.alloc(2);
+        f.store(Operand::Reg(a), 0, Operand::Const(1));
+        let l = f.load(Operand::Reg(a), 0);
+        f.output(Operand::Reg(l));
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+
+        assert_eq!(p.num_insts(), 4);
+        for id in p.inst_ids() {
+            assert_eq!(p.inst(id).id, id);
+        }
+        // The load is the third instruction of the entry block.
+        let load_id = p
+            .inst_ids()
+            .find(|&i| matches!(p.inst(i).kind, InstKind::Load { .. }))
+            .unwrap();
+        assert_eq!(p.loc(load_id).index, 2);
+        assert_eq!(p.func_of_inst(load_id), main);
+    }
+
+    #[test]
+    fn function_lookup_by_name() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        assert_eq!(p.function_by_name("main"), Some(main));
+        assert_eq!(p.function_by_name("nope"), None);
+        assert_eq!(p.function(main).name, "main");
+    }
+}

@@ -1,0 +1,207 @@
+//! Whole-program structural validation.
+
+use crate::error::IrError;
+use crate::ids::{FuncId, InstId, Reg};
+use crate::inst::{Callee, InstKind, Operand, Terminator};
+use crate::program::Program;
+
+/// Validates the structural invariants of a program.
+///
+/// Checked invariants:
+///
+/// * every register referenced by an instruction or terminator is within its
+///   function's register count;
+/// * every terminator targets blocks belonging to the same function;
+/// * every direct call/spawn target exists and direct calls pass the declared
+///   number of arguments (spawned entry functions must take exactly one);
+/// * every referenced global exists;
+/// * the entry function exists and takes no parameters.
+///
+/// # Errors
+///
+/// Returns the first violated invariant as an [`IrError`].
+pub fn validate(program: &Program) -> Result<(), IrError> {
+    let entry = program.entry();
+    if entry.index() >= program.num_functions() {
+        return Err(IrError::BadEntry {
+            entry,
+            reason: "function does not exist".to_string(),
+        });
+    }
+    if program.function(entry).arity() != 0 {
+        return Err(IrError::BadEntry {
+            entry,
+            reason: "entry must take no parameters".to_string(),
+        });
+    }
+
+    for fid in program.func_ids() {
+        let func = program.function(fid);
+        let check_reg = |inst: InstId, reg: Reg| {
+            if reg.raw() >= func.num_regs {
+                Err(IrError::BadRegister { inst, reg })
+            } else {
+                Ok(())
+            }
+        };
+
+        for &bid in &func.blocks {
+            let block = program.block(bid);
+            for inst in &block.insts {
+                if let Some(d) = inst.kind.def() {
+                    check_reg(inst.id, d)?;
+                }
+                for u in inst.kind.uses() {
+                    check_reg(inst.id, u)?;
+                }
+                validate_inst(program, fid, inst.id, &inst.kind)?;
+            }
+            for target in block.terminator.successors() {
+                if program.block(target).func != fid || !func.blocks.contains(&target) {
+                    return Err(IrError::BadBlockTarget {
+                        function: fid,
+                        target,
+                    });
+                }
+            }
+            if let Terminator::Branch { cond, .. } = &block.terminator {
+                if let Operand::Reg(r) = cond {
+                    let last = block
+                        .insts
+                        .last()
+                        .map(|i| InstId::new(i.id.raw() + 1))
+                        .unwrap_or(InstId::new(0));
+                    check_reg(last, *r)?;
+                }
+            }
+            if let Terminator::Return(Some(Operand::Reg(r))) = &block.terminator {
+                let last = block
+                    .insts
+                    .last()
+                    .map(|i| InstId::new(i.id.raw() + 1))
+                    .unwrap_or(InstId::new(0));
+                check_reg(last, *r)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_inst(
+    program: &Program,
+    _func: FuncId,
+    inst: InstId,
+    kind: &InstKind,
+) -> Result<(), IrError> {
+    let check_callee = |callee: FuncId| {
+        if callee.index() >= program.num_functions() {
+            Err(IrError::BadCallee { inst, callee })
+        } else {
+            Ok(())
+        }
+    };
+    match kind {
+        InstKind::Call { callee, args, .. } => {
+            if let Callee::Direct(fid) = callee {
+                check_callee(*fid)?;
+                let expected = program.function(*fid).arity();
+                if args.len() != expected {
+                    return Err(IrError::ArityMismatch {
+                        inst,
+                        callee: *fid,
+                        expected,
+                        found: args.len(),
+                    });
+                }
+            }
+        }
+        InstKind::Spawn { func, .. } => {
+            if let Callee::Direct(fid) = func {
+                check_callee(*fid)?;
+                let expected = program.function(*fid).arity();
+                if expected != 1 {
+                    return Err(IrError::ArityMismatch {
+                        inst,
+                        callee: *fid,
+                        expected,
+                        found: 1,
+                    });
+                }
+            }
+        }
+        InstKind::AddrFunc { func, .. } => check_callee(*func)?,
+        InstKind::AddrGlobal { global, .. } => {
+            if global.index() >= program.num_globals() {
+                return Err(IrError::BadGlobal {
+                    inst,
+                    global: *global,
+                });
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::error::IrError;
+    use crate::inst::Operand::Const;
+
+    #[test]
+    fn entry_with_params_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 1);
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let err = pb.finish(main).unwrap_err();
+        assert!(matches!(err, IrError::BadEntry { .. }));
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let mut pb = ProgramBuilder::new();
+        let two = pb.declare("two", 2);
+        let mut f = pb.function("main", 0);
+        f.call_void(two, vec![Const(1)]); // wrong arity
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let mut t = pb.function("two", 2);
+        t.ret(None);
+        pb.finish_function(t);
+        let err = pb.finish(main).unwrap_err();
+        assert!(matches!(err, IrError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn spawn_entry_must_take_one_arg() {
+        let mut pb = ProgramBuilder::new();
+        let zero = pb.declare("zero", 0);
+        let mut f = pb.function("main", 0);
+        f.spawn(zero, Const(0));
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let mut z = pb.function("zero", 0);
+        z.ret(None);
+        pb.finish_function(z);
+        let err = pb.finish(main).unwrap_err();
+        assert!(matches!(err, IrError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let mut pb = ProgramBuilder::new();
+        let worker = pb.declare("worker", 1);
+        let mut f = pb.function("main", 0);
+        let t = f.spawn(worker, Const(7));
+        f.join(crate::Operand::Reg(t));
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let mut w = pb.function("worker", 1);
+        w.output(crate::Operand::Reg(w.param(0)));
+        w.ret(None);
+        pb.finish_function(w);
+        assert!(pb.finish(main).is_ok());
+    }
+}

@@ -1,0 +1,80 @@
+//! Robustness property tests for the textual IR parser: arbitrary input
+//! never panics, and structured mutations of valid programs either parse
+//! to something that re-prints stably or fail with a line-accurate error.
+
+use oha_ir::{parse_program, print_program, Operand, ProgramBuilder};
+use proptest::prelude::*;
+
+fn valid_text() -> String {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.global("state", 2);
+    let helper = pb.declare("helper", 1);
+    let mut m = pb.function("main", 0);
+    let x = m.input();
+    let ga = m.addr_global(g);
+    m.store(Operand::Reg(ga), 0, Operand::Reg(x));
+    let r = m.call(helper, vec![Operand::Reg(x)]);
+    m.output(Operand::Reg(r));
+    m.ret(None);
+    let main = pb.finish_function(m);
+    let mut h = pb.function("helper", 1);
+    let v = h.load(Operand::Reg(h.param(0)), 0);
+    h.ret(Some(Operand::Reg(v)));
+    pb.finish_function(h);
+    let p = pb.finish(main).unwrap();
+    print_program(&p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup never panics the parser.
+    #[test]
+    fn arbitrary_text_never_panics(text in "\\PC{0,200}") {
+        let _ = parse_program(&text);
+    }
+
+    /// Line-noise injected into a valid program either still parses (and
+    /// then re-prints deterministically) or produces an error that points
+    /// at a real line.
+    #[test]
+    fn mutated_programs_fail_gracefully(
+        line_to_replace in 0usize..20,
+        junk in "[a-z0-9 =@,+()]{0,24}",
+    ) {
+        let base = valid_text();
+        let mut lines: Vec<&str> = base.lines().collect();
+        let idx = line_to_replace % lines.len();
+        lines[idx] = &junk;
+        let mutated = lines.join("\n");
+        match parse_program(&mutated) {
+            Ok(p) => {
+                let text = print_program(&p);
+                let q = parse_program(&text).expect("printer output parses");
+                prop_assert_eq!(print_program(&q), text);
+            }
+            Err(e) => {
+                prop_assert!(e.line() <= lines.len(), "error line {} beyond input", e.line());
+            }
+        }
+    }
+
+    /// Whitespace and comment injection never changes the parse.
+    #[test]
+    fn comments_and_whitespace_are_inert(extra_newlines in 0usize..5, comment in "[a-z ]{0,20}") {
+        let base = valid_text();
+        let mut noisy = String::new();
+        for line in base.lines() {
+            noisy.push_str(line);
+            noisy.push_str(" ; ");
+            noisy.push_str(&comment);
+            noisy.push('\n');
+            for _ in 0..extra_newlines {
+                noisy.push('\n');
+            }
+        }
+        let a = parse_program(&base).expect("base parses");
+        let b = parse_program(&noisy).expect("noisy parses");
+        prop_assert_eq!(print_program(&a), print_program(&b));
+    }
+}

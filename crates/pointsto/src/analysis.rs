@@ -1,0 +1,614 @@
+//! Constraint generation: context-insensitive and context-sensitive
+//! (bottom-up cloning) analysis construction, with optional predication.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+use oha_dataflow::BitSet;
+use oha_invariants::{InvariantSet, MAX_CONTEXT_DEPTH};
+use oha_ir::{Callee, FuncId, InstId, InstKind, Operand, Program, Reg, Terminator};
+
+use crate::model::{pointee_as_cell, pointee_of_cell, pointee_of_func, AbsObj, ObjRegistry};
+use crate::results::{PointsTo, PtStats};
+use crate::solver::{Complex, Solver};
+
+/// Context handling of the analysis (paper §3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sensitivity {
+    /// One abstract instance per function ("CI" in Table 2).
+    ContextInsensitive,
+    /// Bottom-up cloning per calling context ("CS" in Table 2).
+    ContextSensitive,
+}
+
+/// Configuration for [`analyze`].
+#[derive(Clone, Copy, Debug)]
+pub struct PointsToConfig<'a> {
+    /// Context sensitivity.
+    pub sensitivity: Sensitivity,
+    /// Likely invariants to predicate on; `None` gives the sound analysis.
+    pub invariants: Option<&'a InvariantSet>,
+    /// Maximum number of contexts the CS variant may clone before the
+    /// analysis reports resource exhaustion.
+    pub clone_budget: u32,
+    /// Maximum solver iterations before the analysis reports resource
+    /// exhaustion.
+    pub solver_budget: u64,
+}
+
+impl Default for PointsToConfig<'static> {
+    fn default() -> Self {
+        Self {
+            sensitivity: Sensitivity::ContextInsensitive,
+            invariants: None,
+            clone_budget: 4096,
+            solver_budget: 20_000_000,
+        }
+    }
+}
+
+/// The analysis exceeded its clone or solver budget — the reproduction of
+/// the paper's "cannot run without exhausting computational resources".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Exhausted {
+    /// What ran out.
+    pub reason: String,
+}
+
+impl fmt::Display for Exhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "analysis exhausted resources: {}", self.reason)
+    }
+}
+
+impl Error for Exhausted {}
+
+#[derive(Clone, Debug)]
+struct CtxInfo {
+    parent: u32,
+    func: FuncId,
+    chain: Vec<InstId>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AccessKind {
+    Load,
+    Store,
+    Lock,
+}
+
+#[derive(Clone, Debug)]
+struct AccessRec {
+    inst: InstId,
+    kind: AccessKind,
+    node: u32,
+    offset: u32,
+    ctx: u32,
+}
+
+#[derive(Clone, Debug)]
+struct SiteInstance {
+    inst: InstId,
+    ctx: u32,
+    /// Argument nodes (`None` for constant arguments).
+    args: Vec<Option<u32>>,
+    dst: Option<u32>,
+    is_spawn: bool,
+}
+
+/// Runs the points-to analysis.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the clone or solver budget is exceeded —
+/// sound context-sensitive analysis of large indirect-call-heavy programs
+/// does this by design (Table 2), while the predicated variant completes.
+///
+/// # Examples
+///
+/// ```
+/// use oha_ir::{Operand, ProgramBuilder};
+/// use oha_pointsto::{analyze, PointsToConfig};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let mut f = pb.function("main", 0);
+/// let a = f.alloc(1);
+/// f.store(Operand::Reg(a), 0, Operand::Const(1));
+/// let l = f.load(Operand::Reg(a), 0);
+/// f.output(Operand::Reg(l));
+/// f.ret(None);
+/// let main = pb.finish_function(f);
+/// let p = pb.finish(main).unwrap();
+///
+/// let pt = analyze(&p, &PointsToConfig::default())?;
+/// // The load and the store touch the same allocation: they may alias.
+/// let (store, load) = {
+///     let mut ids = p.inst_ids().skip(1);
+///     (ids.next().unwrap(), ids.next().unwrap())
+/// };
+/// assert!(pt.may_alias(store, load));
+/// # Ok::<(), oha_pointsto::Exhausted>(())
+/// ```
+pub fn analyze(program: &Program, config: &PointsToConfig<'_>) -> Result<PointsTo, Exhausted> {
+    Builder::new(program, config).run()
+}
+
+/// Stable hash of a calling context: the function instantiated plus the
+/// call-site chain that reached it. Both the points-to analysis and the
+/// context-sensitive slicer key their per-context facts with this, so the
+/// slicer can ask the points-to side "which cells does this access touch in
+/// *this* context" even though the two build their context tables
+/// independently (they follow the same construction policy).
+pub fn ctx_hash(func: FuncId, chain: &[InstId]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ u64::from(func.raw());
+    for s in chain {
+        for b in s.raw().to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+struct Builder<'p, 'c> {
+    program: &'p Program,
+    config: &'c PointsToConfig<'c>,
+    registry: ObjRegistry,
+    solver: Solver,
+    ctxs: Vec<CtxInfo>,
+    var_nodes: HashMap<(u32, u32, u32), u32>,
+    ret_nodes: HashMap<(u32, u32), u32>,
+    instantiated: HashSet<(u32, u32)>,
+    site_instances: Vec<SiteInstance>,
+    wired: HashSet<(u32, u32)>,
+    spawn_roots: HashMap<(InstId, u32), u32>,
+    accesses: Vec<AccessRec>,
+    callees_out: BTreeMap<InstId, BTreeSet<FuncId>>,
+    queue: Vec<(u32, FuncId)>,
+}
+
+impl<'p, 'c> Builder<'p, 'c> {
+    fn new(program: &'p Program, config: &'c PointsToConfig<'c>) -> Self {
+        let registry = ObjRegistry::new(program);
+        Self {
+            program,
+            config,
+            registry,
+            solver: Solver::new(),
+            ctxs: Vec::new(),
+            var_nodes: HashMap::new(),
+            ret_nodes: HashMap::new(),
+            instantiated: HashSet::new(),
+            site_instances: Vec::new(),
+            wired: HashSet::new(),
+            spawn_roots: HashMap::new(),
+            accesses: Vec::new(),
+            callees_out: BTreeMap::new(),
+            queue: Vec::new(),
+        }
+    }
+
+    fn cs(&self) -> bool {
+        self.config.sensitivity == Sensitivity::ContextSensitive
+    }
+
+    fn pruned(&self, block: oha_ir::BlockId) -> bool {
+        self.config
+            .invariants
+            .is_some_and(|inv| !inv.is_visited(block))
+    }
+
+    fn var(&mut self, ctx: u32, func: FuncId, reg: Reg) -> u32 {
+        *self
+            .var_nodes
+            .entry((ctx, func.raw(), reg.raw()))
+            .or_insert_with(|| self.solver.add_node())
+    }
+
+    fn ret(&mut self, ctx: u32, func: FuncId) -> u32 {
+        *self
+            .ret_nodes
+            .entry((ctx, func.raw()))
+            .or_insert_with(|| self.solver.add_node())
+    }
+
+    fn operand_node(&mut self, ctx: u32, func: FuncId, op: Operand) -> Option<u32> {
+        match op {
+            Operand::Reg(r) => Some(self.var(ctx, func, r)),
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// Resolves the context a call into `callee` should use, creating it if
+    /// needed. `None` means the call is assumed never to happen
+    /// (predicated-away context).
+    fn ctx_for_call(
+        &mut self,
+        caller_ctx: u32,
+        site: InstId,
+        callee: FuncId,
+    ) -> Result<Option<u32>, Exhausted> {
+        if !self.cs() {
+            return Ok(Some(0));
+        }
+        // Recursive call: reuse the existing clone on the context chain.
+        let mut cur = caller_ctx;
+        loop {
+            if self.ctxs[cur as usize].func == callee {
+                return Ok(Some(cur));
+            }
+            let parent = self.ctxs[cur as usize].parent;
+            if parent == cur {
+                break;
+            }
+            cur = parent;
+        }
+        // Predication: clone only likely-used call contexts (§5.2.3).
+        let mut chain = self.ctxs[caller_ctx as usize].chain.clone();
+        chain.push(site);
+        if let Some(inv) = self.config.invariants {
+            if chain.len() > MAX_CONTEXT_DEPTH || !inv.contexts.contains(&chain) {
+                return Ok(None);
+            }
+        }
+        self.new_ctx(caller_ctx, callee, chain).map(Some)
+    }
+
+    fn new_ctx(&mut self, parent: u32, func: FuncId, chain: Vec<InstId>) -> Result<u32, Exhausted> {
+        if self.ctxs.len() as u32 >= self.config.clone_budget {
+            return Err(Exhausted {
+                reason: format!("context clone budget {} exceeded", self.config.clone_budget),
+            });
+        }
+        let id = self.ctxs.len() as u32;
+        self.ctxs.push(CtxInfo {
+            parent: if self.ctxs.is_empty() { 0 } else { parent },
+            func,
+            chain,
+        });
+        Ok(id)
+    }
+
+    fn spawn_root(&mut self, site: InstId, entry: FuncId) -> Result<u32, Exhausted> {
+        if !self.cs() {
+            return Ok(0);
+        }
+        if let Some(&c) = self.spawn_roots.get(&(site, entry.raw())) {
+            return Ok(c);
+        }
+        let c = self.new_root(entry)?;
+        self.spawn_roots.insert((site, entry.raw()), c);
+        Ok(c)
+    }
+
+    fn new_root(&mut self, func: FuncId) -> Result<u32, Exhausted> {
+        let id = self.ctxs.len() as u32;
+        if id >= self.config.clone_budget {
+            return Err(Exhausted {
+                reason: format!("context clone budget {} exceeded", self.config.clone_budget),
+            });
+        }
+        self.ctxs.push(CtxInfo {
+            parent: id,
+            func,
+            chain: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    fn enqueue(&mut self, ctx: u32, func: FuncId) {
+        if self.instantiated.insert((ctx, func.raw())) {
+            self.queue.push((ctx, func));
+        }
+    }
+
+    fn run(mut self) -> Result<PointsTo, Exhausted> {
+        let main = self.program.entry();
+        let root = self.new_root(main)?;
+        self.enqueue(root, main);
+
+        loop {
+            // Drain the instantiation queue.
+            while let Some((ctx, func)) = self.queue.pop() {
+                self.instantiate(ctx, func)?;
+            }
+            // Solve; wire any newly discovered indirect targets.
+            let discovered = self
+                .solver
+                .solve(&self.registry, self.config.solver_budget)?;
+            if discovered.is_empty() && self.queue.is_empty() {
+                break;
+            }
+            for (site_key, func) in discovered {
+                self.wire_indirect(site_key, func)?;
+            }
+        }
+        self.extract()
+    }
+
+    fn instantiate(&mut self, ctx: u32, func: FuncId) -> Result<(), Exhausted> {
+        let f = self.program.function(func).clone();
+        for &bid in &f.blocks {
+            if self.pruned(bid) {
+                continue;
+            }
+            let block = self.program.block(bid).clone();
+            for inst in &block.insts {
+                self.gen_inst(ctx, func, inst.id, &inst.kind)?;
+            }
+            if let Terminator::Return(Some(op)) = block.terminator {
+                if let Some(n) = self.operand_node(ctx, func, op) {
+                    let r = self.ret(ctx, func);
+                    self.solver.add_copy(n, r);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn gen_inst(
+        &mut self,
+        ctx: u32,
+        func: FuncId,
+        inst: InstId,
+        kind: &InstKind,
+    ) -> Result<(), Exhausted> {
+        match kind {
+            InstKind::Copy { dst, src } => {
+                if let Some(s) = self.operand_node(ctx, func, *src) {
+                    let d = self.var(ctx, func, *dst);
+                    self.solver.add_copy(s, d);
+                }
+            }
+            InstKind::BinOp { .. } | InstKind::Input { .. } | InstKind::Output { .. } => {}
+            InstKind::Alloc { dst, fields } => {
+                let heap_ctx = if self.cs() { ctx } else { 0 };
+                let obj = self.registry.intern(
+                    AbsObj::Heap {
+                        site: inst,
+                        ctx: heap_ctx,
+                    },
+                    *fields,
+                );
+                let cell = self.registry.cell(obj, 0).expect("field 0 exists");
+                let d = self.var(ctx, func, *dst);
+                self.solver.add_pointee(d, pointee_of_cell(cell));
+            }
+            InstKind::AddrGlobal { dst, global } => {
+                let cell = self
+                    .registry
+                    .cell(global.raw(), 0)
+                    .expect("globals are interned first");
+                let d = self.var(ctx, func, *dst);
+                self.solver.add_pointee(d, pointee_of_cell(cell));
+            }
+            InstKind::AddrFunc { dst, func: target } => {
+                let d = self.var(ctx, func, *dst);
+                self.solver.add_pointee(d, pointee_of_func(*target));
+            }
+            InstKind::Gep { dst, base, field } => {
+                if let Some(b) = self.operand_node(ctx, func, *base) {
+                    let d = self.var(ctx, func, *dst);
+                    self.solver.add_complex(
+                        b,
+                        Complex::Offset {
+                            dst: d,
+                            offset: *field,
+                        },
+                    );
+                }
+            }
+            InstKind::Load { dst, addr, field } => {
+                if let Some(a) = self.operand_node(ctx, func, *addr) {
+                    let d = self.var(ctx, func, *dst);
+                    self.solver.add_complex(
+                        a,
+                        Complex::Load {
+                            dst: d,
+                            offset: *field,
+                        },
+                    );
+                    self.accesses.push(AccessRec {
+                        inst,
+                        kind: AccessKind::Load,
+                        node: a,
+                        offset: *field,
+                        ctx,
+                    });
+                }
+            }
+            InstKind::Store { addr, field, value } => {
+                if let Some(a) = self.operand_node(ctx, func, *addr) {
+                    if let Some(v) = self.operand_node(ctx, func, *value) {
+                        self.solver.add_complex(
+                            a,
+                            Complex::Store {
+                                src: v,
+                                offset: *field,
+                            },
+                        );
+                    }
+                    self.accesses.push(AccessRec {
+                        inst,
+                        kind: AccessKind::Store,
+                        node: a,
+                        offset: *field,
+                        ctx,
+                    });
+                }
+            }
+            InstKind::Lock { addr } | InstKind::Unlock { addr } => {
+                if let Some(a) = self.operand_node(ctx, func, *addr) {
+                    self.accesses.push(AccessRec {
+                        inst,
+                        kind: AccessKind::Lock,
+                        node: a,
+                        offset: 0,
+                        ctx,
+                    });
+                }
+            }
+            InstKind::Call { dst, callee, args } => {
+                let dst_node = dst.map(|d| self.var(ctx, func, d));
+                let arg_nodes: Vec<Option<u32>> = args
+                    .iter()
+                    .map(|&a| self.operand_node(ctx, func, a))
+                    .collect();
+                self.gen_call(ctx, func, inst, callee, arg_nodes, dst_node, false)?;
+            }
+            InstKind::Spawn { func: target, arg, .. } => {
+                let arg_node = self.operand_node(ctx, func, *arg);
+                self.gen_call(ctx, func, inst, target, vec![arg_node], None, true)?;
+            }
+            InstKind::Join { .. } => {}
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gen_call(
+        &mut self,
+        ctx: u32,
+        func: FuncId,
+        inst: InstId,
+        callee: &Callee,
+        args: Vec<Option<u32>>,
+        dst: Option<u32>,
+        is_spawn: bool,
+    ) -> Result<(), Exhausted> {
+        match callee {
+            Callee::Direct(target) => {
+                self.wire_call(ctx, inst, *target, &args, dst, is_spawn)?;
+            }
+            Callee::Indirect(op) => {
+                let targets: Option<Vec<FuncId>> = self.config.invariants.map(|inv| {
+                    inv.callee_sets
+                        .get(&inst)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default()
+                });
+                match targets {
+                    Some(targets) => {
+                        // Predicated: devirtualize to the likely callee set.
+                        for t in targets {
+                            if self.program.function(t).arity() == args.len() {
+                                self.wire_call(ctx, inst, t, &args, dst, is_spawn)?;
+                            }
+                        }
+                    }
+                    None => {
+                        // Sound: resolve on the fly from the points-to set
+                        // of the target operand.
+                        if let Some(n) = self.operand_node(ctx, func, *op) {
+                            let key = self.site_instances.len() as u32;
+                            self.site_instances.push(SiteInstance {
+                                inst,
+                                ctx,
+                                args,
+                                dst,
+                                is_spawn,
+                            });
+                            self.solver
+                                .add_complex(n, Complex::CallTarget { site_key: key });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn wire_indirect(&mut self, site_key: u32, target: FuncId) -> Result<(), Exhausted> {
+        if !self.wired.insert((site_key, target.raw())) {
+            return Ok(());
+        }
+        let si = self.site_instances[site_key as usize].clone();
+        if self.program.function(target).arity() != si.args.len() {
+            return Ok(());
+        }
+        self.wire_call(si.ctx, si.inst, target, &si.args, si.dst, si.is_spawn)
+    }
+
+    fn wire_call(
+        &mut self,
+        caller_ctx: u32,
+        site: InstId,
+        target: FuncId,
+        args: &[Option<u32>],
+        dst: Option<u32>,
+        is_spawn: bool,
+    ) -> Result<(), Exhausted> {
+        if self.program.function(target).arity() != args.len() {
+            return Ok(());
+        }
+        let callee_ctx = if is_spawn {
+            Some(self.spawn_root(site, target)?)
+        } else {
+            self.ctx_for_call(caller_ctx, site, target)?
+        };
+        let Some(cc) = callee_ctx else {
+            return Ok(()); // predicated away
+        };
+        self.callees_out.entry(site).or_default().insert(target);
+        for (i, arg) in args.iter().enumerate() {
+            if let Some(a) = arg {
+                let param = self.var(cc, target, Reg::new(i as u32));
+                self.solver.add_copy(*a, param);
+            }
+        }
+        if let Some(d) = dst {
+            let r = self.ret(cc, target);
+            self.solver.add_copy(r, d);
+        }
+        self.enqueue(cc, target);
+        Ok(())
+    }
+
+    fn extract(self) -> Result<PointsTo, Exhausted> {
+        let mut loads: HashMap<InstId, BitSet> = HashMap::new();
+        let mut stores: HashMap<InstId, BitSet> = HashMap::new();
+        let mut locks: HashMap<InstId, BitSet> = HashMap::new();
+        let mut per_ctx: HashMap<(InstId, u64), BitSet> = HashMap::new();
+        for rec in &self.accesses {
+            let map = match rec.kind {
+                AccessKind::Load => &mut loads,
+                AccessKind::Store => &mut stores,
+                AccessKind::Lock => &mut locks,
+            };
+            let cells: Vec<usize> = self
+                .solver
+                .pts(rec.node)
+                .iter()
+                .filter_map(pointee_as_cell)
+                .filter_map(|cell| self.registry.cell_offset(cell, rec.offset))
+                .map(|c| c as usize)
+                .collect();
+            let set = map.entry(rec.inst).or_default();
+            set.extend(cells.iter().copied());
+            if rec.kind != AccessKind::Lock {
+                let info = &self.ctxs[rec.ctx as usize];
+                let h = ctx_hash(info.func, &info.chain);
+                per_ctx
+                    .entry((rec.inst, h))
+                    .or_default()
+                    .extend(cells.iter().copied());
+            }
+        }
+        let stats = PtStats {
+            nodes: self.solver.num_nodes(),
+            contexts: self.ctxs.len(),
+            copy_edges: self.solver.num_copy_edges(),
+            solver_iterations: self.solver.iterations,
+            num_cells: self.registry.num_cells(),
+        };
+        Ok(PointsTo::new(
+            self.registry,
+            loads,
+            stores,
+            locks,
+            per_ctx,
+            self.callees_out,
+            stats,
+        ))
+    }
+}

@@ -1,0 +1,199 @@
+//! Abstract objects, cells and the pointee encoding.
+
+use std::collections::HashMap;
+
+use oha_ir::{FuncId, GlobalId, InstId, Program};
+
+/// An abstract object the analysis reasons about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbsObj {
+    /// A global object.
+    Global(GlobalId),
+    /// A heap object named by its allocation site and (in the
+    /// context-sensitive variant) the allocating context.
+    Heap {
+        /// The `alloc` instruction.
+        site: InstId,
+        /// The allocating context (`0` in context-insensitive mode).
+        ctx: u32,
+    },
+}
+
+/// Registry of abstract objects and their cells.
+///
+/// A *cell* is one field of one abstract object; cells are numbered densely
+/// in creation order. Pointee ids interleave cells and functions:
+/// `2 * cell` for cells, `2 * func + 1` for function pointees, so both
+/// spaces can grow during solving.
+#[derive(Clone, Debug, Default)]
+pub struct ObjRegistry {
+    /// (first cell id, number of fields) per object, in creation order.
+    objects: Vec<(u32, u32, AbsObj)>,
+    by_key: HashMap<AbsObj, u32>,
+    next_cell: u32,
+    /// Map from cell id back to its object index (dense).
+    cell_owner: Vec<u32>,
+}
+
+impl ObjRegistry {
+    /// Creates a registry with all of `program`'s globals materialized.
+    pub fn new(program: &Program) -> Self {
+        let mut reg = Self::default();
+        for gid in program.global_ids() {
+            reg.intern(AbsObj::Global(gid), program.global(gid).fields.max(1));
+        }
+        reg
+    }
+
+    /// Interns an abstract object with `fields` cells, returning its object
+    /// index.
+    pub fn intern(&mut self, obj: AbsObj, fields: u32) -> u32 {
+        if let Some(&idx) = self.by_key.get(&obj) {
+            return idx;
+        }
+        let idx = self.objects.len() as u32;
+        let fields = fields.max(1);
+        self.objects.push((self.next_cell, fields, obj));
+        self.by_key.insert(obj, idx);
+        for _ in 0..fields {
+            self.cell_owner.push(idx);
+        }
+        self.next_cell += fields;
+        idx
+    }
+
+    /// The cell id of `(obj_index, field)`, or `None` if out of range.
+    pub fn cell(&self, obj_index: u32, field: u32) -> Option<u32> {
+        let (base, fields, _) = self.objects[obj_index as usize];
+        (field < fields).then_some(base + field)
+    }
+
+    /// Resolves a cell id to `(object, field)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` was never allocated.
+    pub fn cell_info(&self, cell: u32) -> (AbsObj, u32) {
+        let owner = self.cell_owner[cell as usize];
+        let (base, _, obj) = self.objects[owner as usize];
+        (obj, cell - base)
+    }
+
+    /// The object index owning `cell`.
+    pub fn cell_object(&self, cell: u32) -> u32 {
+        self.cell_owner[cell as usize]
+    }
+
+    /// Shifts a cell id by `offset` fields within its object, or `None` if
+    /// that would escape the object.
+    pub fn cell_offset(&self, cell: u32, offset: u32) -> Option<u32> {
+        if offset == 0 {
+            return Some(cell);
+        }
+        let owner = self.cell_owner[cell as usize];
+        let (base, fields, _) = self.objects[owner as usize];
+        let field = cell - base + offset;
+        (field < fields).then_some(base + field)
+    }
+
+    /// Number of cells allocated so far.
+    pub fn num_cells(&self) -> u32 {
+        self.next_cell
+    }
+
+    /// Number of objects allocated so far.
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+}
+
+/// Pointee-id helpers (even = cell, odd = function).
+pub(crate) fn pointee_of_cell(cell: u32) -> usize {
+    (cell as usize) * 2
+}
+
+pub(crate) fn pointee_of_func(func: FuncId) -> usize {
+    (func.index() * 2) + 1
+}
+
+pub(crate) fn pointee_as_cell(pointee: usize) -> Option<u32> {
+    (pointee % 2 == 0).then_some((pointee / 2) as u32)
+}
+
+pub(crate) fn pointee_as_func(pointee: usize) -> Option<FuncId> {
+    (pointee % 2 == 1).then_some(FuncId::new((pointee / 2) as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_ir::ProgramBuilder;
+
+    #[test]
+    fn registry_interns_and_offsets() {
+        let mut pb = ProgramBuilder::new();
+        pb.global("g", 3);
+        let mut f = pb.function("main", 0);
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+
+        let mut reg = ObjRegistry::new(&p);
+        assert_eq!(reg.num_objects(), 1);
+        assert_eq!(reg.num_cells(), 3);
+        let g = 0;
+        assert_eq!(reg.cell(g, 0), Some(0));
+        assert_eq!(reg.cell(g, 2), Some(2));
+        assert_eq!(reg.cell(g, 3), None);
+        assert_eq!(reg.cell_offset(0, 2), Some(2));
+        assert_eq!(reg.cell_offset(1, 2), None);
+
+        let h = reg.intern(
+            AbsObj::Heap {
+                site: oha_ir::InstId::new(5),
+                ctx: 0,
+            },
+            2,
+        );
+        assert_eq!(reg.cell(h, 0), Some(3));
+        assert_eq!(reg.cell_info(4), (
+            AbsObj::Heap {
+                site: oha_ir::InstId::new(5),
+                ctx: 0
+            },
+            1
+        ));
+        // Re-interning returns the same index.
+        assert_eq!(
+            reg.intern(
+                AbsObj::Heap {
+                    site: oha_ir::InstId::new(5),
+                    ctx: 0
+                },
+                2
+            ),
+            h
+        );
+    }
+
+    #[test]
+    fn pointee_encoding_round_trips() {
+        assert_eq!(pointee_as_cell(pointee_of_cell(7)), Some(7));
+        assert_eq!(pointee_as_func(pointee_of_cell(7)), None);
+        let f = FuncId::new(3);
+        assert_eq!(pointee_as_func(pointee_of_func(f)), Some(f));
+        assert_eq!(pointee_as_cell(pointee_of_func(f)), None);
+    }
+
+    #[test]
+    fn zero_field_objects_get_one_cell() {
+        let mut pb = ProgramBuilder::new();
+        pb.global("empty", 0);
+        let mut f = pb.function("main", 0);
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        let reg = ObjRegistry::new(&p);
+        assert_eq!(reg.num_cells(), 1, "padded so locks on it still work");
+    }
+}

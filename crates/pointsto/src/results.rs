@@ -1,0 +1,404 @@
+//! Points-to analysis results and derived statistics.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use oha_dataflow::BitSet;
+use oha_ir::{FuncId, InstId};
+
+use crate::model::ObjRegistry;
+
+/// Size statistics of a solved analysis (reported in Table 2-style
+/// summaries and used to compare sound vs. predicated state-space size).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PtStats {
+    /// Solver nodes created.
+    pub nodes: usize,
+    /// Contexts materialized (1 for context-insensitive runs).
+    pub contexts: usize,
+    /// Copy edges in the constraint graph.
+    pub copy_edges: usize,
+    /// Worklist iterations performed.
+    pub solver_iterations: u64,
+    /// Memory cells tracked.
+    pub num_cells: u32,
+}
+
+/// The result of a points-to analysis (see
+/// [`analyze`](crate::analyze)).
+#[derive(Clone, Debug)]
+pub struct PointsTo {
+    registry: ObjRegistry,
+    loads: HashMap<InstId, BitSet>,
+    stores: HashMap<InstId, BitSet>,
+    locks: HashMap<InstId, BitSet>,
+    /// Per-(access, context-hash) cells; see
+    /// [`ctx_hash`](crate::ctx_hash).
+    per_ctx: HashMap<(InstId, u64), BitSet>,
+    callees: BTreeMap<InstId, BTreeSet<FuncId>>,
+    stats: PtStats,
+    empty: BitSet,
+    empty_funcs: BTreeSet<FuncId>,
+}
+
+impl PointsTo {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        registry: ObjRegistry,
+        loads: HashMap<InstId, BitSet>,
+        stores: HashMap<InstId, BitSet>,
+        locks: HashMap<InstId, BitSet>,
+        per_ctx: HashMap<(InstId, u64), BitSet>,
+        callees: BTreeMap<InstId, BTreeSet<FuncId>>,
+        stats: PtStats,
+    ) -> Self {
+        Self {
+            registry,
+            loads,
+            stores,
+            locks,
+            per_ctx,
+            callees,
+            stats,
+            empty: BitSet::new(),
+            empty_funcs: BTreeSet::new(),
+        }
+    }
+
+    /// The abstract-object registry backing the cell ids.
+    pub fn registry(&self) -> &ObjRegistry {
+        &self.registry
+    }
+
+    /// The cells a load may read (empty for non-loads and unreachable
+    /// code).
+    pub fn load_cells(&self, inst: InstId) -> &BitSet {
+        self.loads.get(&inst).unwrap_or(&self.empty)
+    }
+
+    /// The cells a store may write.
+    pub fn store_cells(&self, inst: InstId) -> &BitSet {
+        self.stores.get(&inst).unwrap_or(&self.empty)
+    }
+
+    /// The cells a memory access (load or store) may touch.
+    pub fn access_cells(&self, inst: InstId) -> &BitSet {
+        let l = self.load_cells(inst);
+        if l.is_empty() {
+            self.store_cells(inst)
+        } else {
+            l
+        }
+    }
+
+    /// The cells an access may touch when executing in the context with
+    /// the given [`ctx_hash`](crate::ctx_hash), or `None` if this analysis
+    /// has no record for that context (e.g. a context-insensitive analysis
+    /// asked about a specific chain) — callers fall back to the merged
+    /// sets, which is always sound.
+    pub fn access_cells_in(&self, inst: InstId, ctx: u64) -> Option<&BitSet> {
+        self.per_ctx.get(&(inst, ctx))
+    }
+
+    /// The cells a lock/unlock site may use as its mutex.
+    pub fn lock_cells(&self, inst: InstId) -> &BitSet {
+        self.locks.get(&inst).unwrap_or(&self.empty)
+    }
+
+    /// Whether two memory accesses may touch the same cell.
+    pub fn may_alias(&self, a: InstId, b: InstId) -> bool {
+        self.access_cells(a).intersects(self.access_cells(b))
+    }
+
+    /// The possible targets of a call or spawn site (direct sites report
+    /// their single target; predicated indirect sites report their likely
+    /// callee set).
+    pub fn callees(&self, site: InstId) -> &BTreeSet<FuncId> {
+        self.callees.get(&site).unwrap_or(&self.empty_funcs)
+    }
+
+    /// All call sites with at least one resolved target.
+    pub fn call_sites(&self) -> impl Iterator<Item = (InstId, &BTreeSet<FuncId>)> {
+        self.callees.iter().map(|(&i, s)| (i, s))
+    }
+
+    /// Load sites known to the analysis.
+    pub fn load_sites(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.loads.keys().copied()
+    }
+
+    /// Store sites known to the analysis.
+    pub fn store_sites(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.stores.keys().copied()
+    }
+
+    /// Analysis size statistics.
+    pub fn stats(&self) -> PtStats {
+        self.stats
+    }
+
+    /// The probability that a random (load, store) pair may alias —
+    /// Figure 9's metric. Returns 0 when there are no pairs.
+    pub fn alias_rate(&self) -> f64 {
+        self.alias_rate_filtered(|_| true)
+    }
+
+    /// [`PointsTo::alias_rate`] restricted to the load/store sites that are
+    /// also live in `other` — the paper's fairness rule for comparing a
+    /// sound analysis against a predicated one ("both … consider only the
+    /// set of loads and stores present in the optimistic analysis", §6.3).
+    pub fn alias_rate_over(&self, other: &PointsTo) -> f64 {
+        self.alias_rate_filtered(|site| !other.access_cells(site).is_empty())
+    }
+
+    fn alias_rate_filtered(&self, keep: impl Fn(InstId) -> bool) -> f64 {
+        let loads: Vec<&BitSet> = self
+            .loads
+            .iter()
+            .filter(|(&i, _)| keep(i))
+            .map(|(_, s)| s)
+            .collect();
+        let stores: Vec<&BitSet> = self
+            .stores
+            .iter()
+            .filter(|(&i, _)| keep(i))
+            .map(|(_, s)| s)
+            .collect();
+        let total = loads.len() as u64 * stores.len() as u64;
+        if total == 0 {
+            return 0.0;
+        }
+        let mut aliasing = 0u64;
+        for l in &loads {
+            for s in &stores {
+                if l.intersects(s) {
+                    aliasing += 1;
+                }
+            }
+        }
+        aliasing as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, PointsToConfig, Sensitivity};
+    use oha_ir::{InstKind, Operand, Program, ProgramBuilder};
+    use Operand::{Const, Reg as R};
+
+    fn find(p: &Program, pred: impl Fn(&InstKind) -> bool) -> Vec<InstId> {
+        p.inst_ids().filter(|&i| pred(&p.inst(i).kind)).collect()
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_alias() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let a = f.alloc(1);
+        let b = f.alloc(1);
+        f.store(R(a), 0, Const(1));
+        f.store(R(b), 0, Const(2));
+        let la = f.load(R(a), 0);
+        f.output(R(la));
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+
+        let stores = find(&p, |k| matches!(k, InstKind::Store { .. }));
+        let loads = find(&p, |k| matches!(k, InstKind::Load { .. }));
+        assert!(pt.may_alias(stores[0], loads[0]), "same allocation");
+        assert!(!pt.may_alias(stores[1], loads[0]), "different allocations");
+    }
+
+    #[test]
+    fn field_sensitivity_separates_fields() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let o = f.alloc(2);
+        f.store(R(o), 0, Const(1));
+        f.store(R(o), 1, Const(2));
+        let l0 = f.load(R(o), 0);
+        f.output(R(l0));
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let stores = find(&p, |k| matches!(k, InstKind::Store { .. }));
+        let loads = find(&p, |k| matches!(k, InstKind::Load { .. }));
+        assert!(pt.may_alias(stores[0], loads[0]));
+        assert!(!pt.may_alias(stores[1], loads[0]), "field 1 vs field 0");
+    }
+
+    #[test]
+    fn flow_through_the_heap() {
+        // box = alloc; *box = p (p -> obj); q = *box; store through q.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let obj = f.alloc(1);
+        let bx = f.alloc(1);
+        f.store(R(bx), 0, R(obj));
+        let q = f.load(R(bx), 0);
+        f.store(R(q), 0, Const(7));
+        let l = f.load(R(obj), 0);
+        f.output(R(l));
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let stores = find(&p, |k| matches!(k, InstKind::Store { .. }));
+        let loads = find(&p, |k| matches!(k, InstKind::Load { .. }));
+        // store *q=7 aliases load of obj.
+        assert!(pt.may_alias(stores[1], loads[1]));
+    }
+
+    /// The paper's Figure 3 example: a wrapper allocator called twice. A
+    /// context-insensitive analysis merges the two calls (one heap object
+    /// per site), so the two results alias; a context-sensitive analysis
+    /// with heap cloning distinguishes them.
+    fn my_malloc_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let my_malloc = pb.declare("my_malloc", 0);
+        let mut m = pb.function("main", 0);
+        let a = m.call(my_malloc, vec![]);
+        let b = m.call(my_malloc, vec![]);
+        m.store(R(a), 0, Const(1));
+        let lb = m.load(R(b), 0);
+        m.output(R(lb));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut mm = pb.function("my_malloc", 0);
+        let o = mm.alloc(1);
+        mm.ret(Some(R(o)));
+        pb.finish_function(mm);
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn context_sensitivity_separates_figure3_allocations() {
+        let p = my_malloc_program();
+        let stores = find(&p, |k| matches!(k, InstKind::Store { .. }));
+        let loads = find(&p, |k| matches!(k, InstKind::Load { .. }));
+
+        let ci = analyze(&p, &PointsToConfig::default()).unwrap();
+        assert!(
+            ci.may_alias(stores[0], loads[0]),
+            "CI merges the two my_malloc calls"
+        );
+        assert_eq!(ci.stats().contexts, 1);
+
+        let cs = analyze(
+            &p,
+            &PointsToConfig {
+                sensitivity: Sensitivity::ContextSensitive,
+                ..PointsToConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            !cs.may_alias(stores[0], loads[0]),
+            "CS + heap cloning separates them"
+        );
+        assert!(cs.stats().contexts > 1);
+    }
+
+    #[test]
+    fn recursion_reuses_clones() {
+        let mut pb = ProgramBuilder::new();
+        let rec = pb.declare("rec", 1);
+        let mut m = pb.function("main", 0);
+        let o = m.alloc(1);
+        m.call_void(rec, vec![R(o)]);
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut r = pb.function("rec", 1);
+        let p0 = r.param(0);
+        let stop = r.block();
+        let go = r.block();
+        let c = r.input();
+        r.branch(R(c), go, stop);
+        r.select(go);
+        r.store(R(p0), 0, Const(1));
+        r.call_void(rec, vec![R(p0)]);
+        r.ret(None);
+        r.select(stop);
+        r.ret(None);
+        pb.finish_function(r);
+        let p = pb.finish(main).unwrap();
+
+        let cs = analyze(
+            &p,
+            &PointsToConfig {
+                sensitivity: Sensitivity::ContextSensitive,
+                clone_budget: 16,
+                ..PointsToConfig::default()
+            },
+        )
+        .unwrap();
+        // main + one clone of rec; the recursive self-call reuses it.
+        assert_eq!(cs.stats().contexts, 2);
+        let stores = find(&p, |k| matches!(k, InstKind::Store { .. }));
+        assert!(!cs.store_cells(stores[0]).is_empty());
+    }
+
+    #[test]
+    fn indirect_calls_resolve_on_the_fly() {
+        let mut pb = ProgramBuilder::new();
+        let ret_a = pb.declare("ret_a", 0);
+        let ret_b = pb.declare("ret_b", 0);
+        let ga = pb.global("slot", 1);
+        let mut m = pb.function("main", 0);
+        let slot = m.addr_global(ga);
+        let fp = m.addr_func(ret_a);
+        m.store(R(slot), 0, R(fp));
+        let loaded = m.load(R(slot), 0);
+        let got = m.call_indirect(R(loaded), vec![]);
+        m.store(R(got), 0, Const(5));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        for (name, _) in [("ret_a", 0), ("ret_b", 0)] {
+            let mut f = pb.function(name, 0);
+            let o = f.alloc(1);
+            f.ret(Some(R(o)));
+            pb.finish_function(f);
+        }
+        let p = pb.finish(main).unwrap();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let icall = find(&p, |k| {
+            matches!(
+                k,
+                InstKind::Call {
+                    callee: oha_ir::Callee::Indirect(_),
+                    ..
+                }
+            )
+        })[0];
+        let callees = pt.callees(icall);
+        assert!(callees.contains(&ret_a), "reached through memory");
+        assert!(!callees.contains(&ret_b), "never stored anywhere");
+        // The store through the returned pointer hits ret_a's allocation.
+        let stores = find(&p, |k| matches!(k, InstKind::Store { .. }));
+        assert!(!pt.store_cells(stores[1]).is_empty());
+    }
+
+    #[test]
+    fn alias_rate_bounds() {
+        let p = my_malloc_program();
+        let ci = analyze(&p, &PointsToConfig::default()).unwrap();
+        let rate = ci.alias_rate();
+        assert!((0.0..=1.0).contains(&rate));
+        assert!(rate > 0.0);
+        let cs = analyze(
+            &p,
+            &PointsToConfig {
+                sensitivity: Sensitivity::ContextSensitive,
+                ..PointsToConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            cs.alias_rate() < ci.alias_rate(),
+            "CS strictly sharper here"
+        );
+    }
+}

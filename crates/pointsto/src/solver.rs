@@ -1,0 +1,297 @@
+//! The inclusion-constraint solver.
+//!
+//! A classic Andersen worklist solver with difference propagation: every
+//! node carries its full points-to set plus a pending delta; copy edges
+//! propagate deltas; *complex* constraints (loads, stores, `gep` offsets,
+//! indirect-call targets) are interpreted against each delta, possibly
+//! growing the graph. Newly discovered indirect-call targets are returned to
+//! the caller (the analysis builder), which wires argument/return edges —
+//! and in context-sensitive mode may clone new contexts — before resuming.
+
+use std::collections::HashSet;
+
+use oha_dataflow::BitSet;
+use oha_ir::FuncId;
+
+use crate::analysis::Exhausted;
+use crate::model::{pointee_as_cell, pointee_as_func, pointee_of_cell, ObjRegistry};
+
+/// A complex (non-copy) constraint attached to a node.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Complex {
+    /// `dst ⊇ *(self + offset)` — a load through this pointer.
+    Load { dst: u32, offset: u32 },
+    /// `*(self + offset) ⊇ src` — a store through this pointer.
+    Store { src: u32, offset: u32 },
+    /// `dst ⊇ {(o, f+offset) | (o, f) ∈ self}` — a `gep`.
+    Offset { dst: u32, offset: u32 },
+    /// This node is the target operand of the indirect call instance
+    /// `site_key`; every function pointee discovered is reported to the
+    /// builder.
+    CallTarget { site_key: u32 },
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Solver {
+    pts: Vec<BitSet>,
+    delta: Vec<BitSet>,
+    copy_succs: Vec<Vec<u32>>,
+    complex: Vec<Vec<Complex>>,
+    edge_set: HashSet<(u32, u32)>,
+    /// Solver node per registry cell (created lazily).
+    cell_nodes: Vec<u32>,
+    worklist: Vec<u32>,
+    queued: Vec<bool>,
+    pub(crate) iterations: u64,
+}
+
+impl Solver {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn num_nodes(&self) -> usize {
+        self.pts.len()
+    }
+
+    pub(crate) fn num_copy_edges(&self) -> usize {
+        self.edge_set.len()
+    }
+
+    pub(crate) fn add_node(&mut self) -> u32 {
+        let id = self.pts.len() as u32;
+        self.pts.push(BitSet::new());
+        self.delta.push(BitSet::new());
+        self.copy_succs.push(Vec::new());
+        self.complex.push(Vec::new());
+        self.queued.push(false);
+        id
+    }
+
+    /// The solver node standing for a memory cell, created on first use.
+    pub(crate) fn cell_node(&mut self, cell: u32) -> u32 {
+        while self.cell_nodes.len() <= cell as usize {
+            self.cell_nodes.push(u32::MAX);
+        }
+        if self.cell_nodes[cell as usize] == u32::MAX {
+            let n = self.add_node();
+            self.cell_nodes[cell as usize] = n;
+        }
+        self.cell_nodes[cell as usize]
+    }
+
+    fn enqueue(&mut self, node: u32) {
+        if !self.queued[node as usize] {
+            self.queued[node as usize] = true;
+            self.worklist.push(node);
+        }
+    }
+
+    /// Adds a pointee to a node's set, scheduling propagation if new.
+    pub(crate) fn add_pointee(&mut self, node: u32, pointee: usize) {
+        if self.pts[node as usize].insert(pointee) {
+            self.delta[node as usize].insert(pointee);
+            self.enqueue(node);
+        }
+    }
+
+    /// Adds the copy edge `from → to` and propagates `from`'s current set.
+    pub(crate) fn add_copy(&mut self, from: u32, to: u32) {
+        if from == to || !self.edge_set.insert((from, to)) {
+            return;
+        }
+        self.copy_succs[from as usize].push(to);
+        // Propagate everything already known at `from`.
+        let pending: Vec<usize> = self.pts[from as usize].iter().collect();
+        for p in pending {
+            self.add_pointee(to, p);
+        }
+    }
+
+    pub(crate) fn add_complex(&mut self, node: u32, c: Complex) {
+        self.complex[node as usize].push(c);
+        // Interpret the constraint against everything already known.
+        if !self.pts[node as usize].is_empty() {
+            self.delta[node as usize].union_with(&self.pts[node as usize].clone());
+            self.enqueue(node);
+        }
+    }
+
+    pub(crate) fn pts(&self, node: u32) -> &BitSet {
+        &self.pts[node as usize]
+    }
+
+    /// Runs to quiescence; returns newly discovered `(site_key, func)`
+    /// indirect-call resolutions (deduplicated across calls by the caller's
+    /// wiring state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Exhausted`] if the iteration budget is exceeded.
+    pub(crate) fn solve(
+        &mut self,
+        registry: &ObjRegistry,
+        budget: u64,
+    ) -> Result<Vec<(u32, FuncId)>, Exhausted> {
+        let mut discovered = Vec::new();
+        while let Some(node) = self.worklist.pop() {
+            self.queued[node as usize] = false;
+            self.iterations += 1;
+            if self.iterations > budget {
+                return Err(Exhausted {
+                    reason: format!("solver exceeded {budget} iterations"),
+                });
+            }
+            let delta = std::mem::take(&mut self.delta[node as usize]);
+            if delta.is_empty() {
+                continue;
+            }
+
+            // Copy edges.
+            let succs = self.copy_succs[node as usize].clone();
+            for s in succs {
+                for p in delta.iter() {
+                    self.add_pointee(s, p);
+                }
+            }
+
+            // Complex constraints.
+            let complexes = self.complex[node as usize].clone();
+            for c in complexes {
+                match c {
+                    Complex::Load { dst, offset } => {
+                        for p in delta.iter() {
+                            if let Some(cell) = pointee_as_cell(p) {
+                                if let Some(shifted) = registry.cell_offset(cell, offset) {
+                                    let cn = self.cell_node(shifted);
+                                    self.add_copy(cn, dst);
+                                }
+                            }
+                        }
+                    }
+                    Complex::Store { src, offset } => {
+                        for p in delta.iter() {
+                            if let Some(cell) = pointee_as_cell(p) {
+                                if let Some(shifted) = registry.cell_offset(cell, offset) {
+                                    let cn = self.cell_node(shifted);
+                                    self.add_copy(src, cn);
+                                }
+                            }
+                        }
+                    }
+                    Complex::Offset { dst, offset } => {
+                        for p in delta.iter() {
+                            if let Some(cell) = pointee_as_cell(p) {
+                                if let Some(shifted) = registry.cell_offset(cell, offset) {
+                                    self.add_pointee(dst, pointee_of_cell(shifted));
+                                }
+                            }
+                        }
+                    }
+                    Complex::CallTarget { site_key } => {
+                        for p in delta.iter() {
+                            if let Some(f) = pointee_as_func(p) {
+                                discovered.push((site_key, f));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(discovered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AbsObj;
+    use oha_ir::{GlobalId, InstId, ProgramBuilder};
+
+    fn empty_registry() -> ObjRegistry {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.ret(None);
+        let main = pb.finish_function(f);
+        ObjRegistry::new(&pb.finish(main).unwrap())
+    }
+
+    #[test]
+    fn copy_edges_propagate() {
+        let reg = empty_registry();
+        let mut s = Solver::new();
+        let a = s.add_node();
+        let b = s.add_node();
+        let c = s.add_node();
+        s.add_pointee(a, pointee_of_cell(0));
+        s.add_copy(a, b);
+        s.add_copy(b, c);
+        s.solve(&reg, 1_000).unwrap();
+        assert!(s.pts(c).contains(pointee_of_cell(0)));
+    }
+
+    #[test]
+    fn load_store_flow_through_cells() {
+        // p -> cell0 ; store: *p = q ; load: r = *p  ⇒ pts(r) ⊇ pts(q)
+        let mut reg = empty_registry();
+        reg.intern(AbsObj::Global(GlobalId::new(9)), 1); // cell 0
+        reg.intern(
+            AbsObj::Heap {
+                site: InstId::new(1),
+                ctx: 0,
+            },
+            1,
+        ); // cell 1
+        let mut s = Solver::new();
+        let p = s.add_node();
+        let q = s.add_node();
+        let r = s.add_node();
+        s.add_pointee(p, pointee_of_cell(0));
+        s.add_pointee(q, pointee_of_cell(1));
+        s.add_complex(p, Complex::Store { src: q, offset: 0 });
+        s.add_complex(p, Complex::Load { dst: r, offset: 0 });
+        s.solve(&reg, 1_000).unwrap();
+        assert!(s.pts(r).contains(pointee_of_cell(1)));
+    }
+
+    #[test]
+    fn offsets_respect_object_bounds() {
+        let mut reg = empty_registry();
+        reg.intern(AbsObj::Global(GlobalId::new(9)), 2); // cells 0,1
+        let mut s = Solver::new();
+        let p = s.add_node();
+        let q1 = s.add_node();
+        let q9 = s.add_node();
+        s.add_pointee(p, pointee_of_cell(0));
+        s.add_complex(p, Complex::Offset { dst: q1, offset: 1 });
+        s.add_complex(p, Complex::Offset { dst: q9, offset: 9 });
+        s.solve(&reg, 1_000).unwrap();
+        assert!(s.pts(q1).contains(pointee_of_cell(1)));
+        assert!(s.pts(q9).is_empty(), "out-of-object offsets are dropped");
+    }
+
+    #[test]
+    fn call_targets_reported_once() {
+        let reg = empty_registry();
+        let mut s = Solver::new();
+        let t = s.add_node();
+        s.add_complex(t, Complex::CallTarget { site_key: 3 });
+        s.add_pointee(t, crate::model::pointee_of_func(oha_ir::FuncId::new(2)));
+        let found = s.solve(&reg, 1_000).unwrap();
+        assert_eq!(found, vec![(3, oha_ir::FuncId::new(2))]);
+        let found = s.solve(&reg, 1_000).unwrap();
+        assert!(found.is_empty(), "no rediscovery without new pointees");
+    }
+
+    #[test]
+    fn budget_exhaustion_errors() {
+        let reg = empty_registry();
+        let mut s = Solver::new();
+        let nodes: Vec<u32> = (0..100).map(|_| s.add_node()).collect();
+        for w in nodes.windows(2) {
+            s.add_copy(w[0], w[1]);
+        }
+        s.add_pointee(nodes[0], pointee_of_cell(0));
+        assert!(s.solve(&reg, 5).is_err());
+    }
+}

@@ -1,0 +1,380 @@
+//! Candidate racy pair construction and lockset pruning.
+
+use std::collections::{HashMap, HashSet};
+
+use oha_dataflow::BitSet;
+use oha_invariants::InvariantSet;
+use oha_ir::{InstId, Program};
+use oha_pointsto::PointsTo;
+
+use crate::locksets::MustLocksets;
+use crate::mhp::Mhp;
+
+/// Work counters of a static race detection run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RaceStats {
+    /// Memory accesses considered (loads + stores with nonempty cells).
+    pub accesses: usize,
+    /// Aliasing MHP pairs with at least one write.
+    pub candidate_pairs: usize,
+    /// Candidate pairs removed by must-alias lockset pruning.
+    pub pruned_by_locks: usize,
+    /// Accesses left racy (the instrumentation set).
+    pub racy_accesses: usize,
+}
+
+/// The result of static race detection: the set of loads/stores that may
+/// participate in a data race.
+#[derive(Clone, Debug)]
+pub struct StaticRaces {
+    racy: BitSet,
+    pairs: Vec<(InstId, InstId)>,
+    stats: RaceStats,
+}
+
+impl StaticRaces {
+    /// Whether a load/store may race (needs FastTrack instrumentation).
+    pub fn is_racy(&self, inst: InstId) -> bool {
+        self.racy.contains(inst.index())
+    }
+
+    /// The racy instrumentation set.
+    pub fn racy_sites(&self) -> &BitSet {
+        &self.racy
+    }
+
+    /// The surviving candidate pairs.
+    pub fn pairs(&self) -> &[(InstId, InstId)] {
+        &self.pairs
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> RaceStats {
+        self.stats
+    }
+
+    /// Renders the surviving candidate pairs with their enclosing function
+    /// names, one per line — the report a developer reads.
+    pub fn describe(&self, program: &Program) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for &(a, b) in &self.pairs {
+            let fa = &program.function(program.func_of_inst(a)).name;
+            let fb = &program.function(program.func_of_inst(b)).name;
+            let _ = writeln!(out, "may race: {a} (@{fa}) with {b} (@{fb})");
+        }
+        out
+    }
+}
+
+/// Runs the static race detector.
+///
+/// # Examples
+///
+/// ```
+/// use oha_ir::{Operand, ProgramBuilder};
+/// use oha_pointsto::{analyze, PointsToConfig};
+///
+/// // Two unsynchronized threads write the same global: a race.
+/// let mut pb = ProgramBuilder::new();
+/// let g = pb.global("shared", 1);
+/// let w = pb.declare("w", 1);
+/// let mut m = pb.function("main", 0);
+/// let t1 = m.spawn(w, Operand::Const(1));
+/// let t2 = m.spawn(w, Operand::Const(2));
+/// m.join(Operand::Reg(t1));
+/// m.join(Operand::Reg(t2));
+/// m.ret(None);
+/// let main = pb.finish_function(m);
+/// let mut f = pb.function("w", 1);
+/// let ga = f.addr_global(g);
+/// f.store(Operand::Reg(ga), 0, Operand::Reg(f.param(0)));
+/// f.ret(None);
+/// pb.finish_function(f);
+/// let p = pb.finish(main).unwrap();
+///
+/// let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+/// let races = oha_races::detect(&p, &pt, None);
+/// assert_eq!(races.stats().racy_accesses, 1);
+/// ```
+///
+/// Without `invariants` this is the sound configuration: every spawn site
+/// may spawn many threads (unless trivially single) and lockset pruning is
+/// disabled (a sound analysis has only may-alias facts about locks, §4.2.2).
+/// With `invariants`, the guarding-locks and singleton-thread invariants
+/// enable the pruning Chord's unsound configuration performs, and
+/// likely-unreachable code drops accesses and spawn sites.
+pub fn detect(
+    program: &Program,
+    pt: &PointsTo,
+    invariants: Option<&InvariantSet>,
+) -> StaticRaces {
+    let mhp = Mhp::new(program, pt, invariants);
+    let locksets = MustLocksets::new(program, pt);
+
+    // Group accesses by cell.
+    #[derive(Clone, Copy)]
+    struct Access {
+        inst: InstId,
+        write: bool,
+    }
+    let mut by_cell: HashMap<usize, Vec<Access>> = HashMap::new();
+    let mut accesses = 0usize;
+    let mut record = |inst: InstId, write: bool, cells: &BitSet| {
+        if cells.is_empty() {
+            return false;
+        }
+        for c in cells.iter() {
+            by_cell.entry(c).or_default().push(Access { inst, write });
+        }
+        true
+    };
+    for inst in program.inst_ids() {
+        let l = pt.load_cells(inst);
+        if record(inst, false, l) {
+            accesses += 1;
+        }
+        let s = pt.store_cells(inst);
+        if record(inst, true, s) {
+            accesses += 1;
+        }
+    }
+
+    // Lockset pruning data.
+    let empty = Default::default();
+    let (must_pairs, self_alias) = match invariants {
+        Some(inv) => (&inv.must_alias_locks, &inv.self_alias_locks),
+        None => (&empty, &Default::default()),
+    };
+    let guarded = |a: InstId, b: InstId| -> bool {
+        if must_pairs.is_empty() && self_alias.is_empty() {
+            return false;
+        }
+        for &sa in locksets.held_at(a) {
+            for &sb in locksets.held_at(b) {
+                let same_object = if sa == sb {
+                    self_alias.contains(&sa)
+                } else {
+                    must_pairs.contains(&(sa.min(sb), sa.max(sb)))
+                };
+                if same_object {
+                    return true;
+                }
+            }
+        }
+        false
+    };
+
+    // Enumerate candidate pairs per cell.
+    let mut seen: HashSet<(InstId, InstId)> = HashSet::new();
+    let mut pairs: Vec<(InstId, InstId)> = Vec::new();
+    let mut racy = BitSet::with_capacity(program.num_insts());
+    let mut candidate_pairs = 0usize;
+    let mut pruned = 0usize;
+    for accs in by_cell.values() {
+        for (i, &a) in accs.iter().enumerate() {
+            for &b in &accs[i..] {
+                if !a.write && !b.write {
+                    continue;
+                }
+                let key = (a.inst.min(b.inst), a.inst.max(b.inst));
+                if seen.contains(&key) {
+                    continue;
+                }
+                if !mhp.may_happen_in_parallel(program, a.inst, b.inst) {
+                    continue;
+                }
+                seen.insert(key);
+                candidate_pairs += 1;
+                if guarded(a.inst, b.inst) {
+                    pruned += 1;
+                    continue;
+                }
+                pairs.push(key);
+                racy.insert(key.0.index());
+                racy.insert(key.1.index());
+            }
+        }
+    }
+    pairs.sort_unstable();
+    let stats = RaceStats {
+        accesses,
+        candidate_pairs,
+        pruned_by_locks: pruned,
+        racy_accesses: racy.len(),
+    };
+    StaticRaces { racy, pairs, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_interp::{Machine, MachineConfig};
+    use oha_invariants::ProfileTracer;
+    use oha_ir::{InstKind, Operand, ProgramBuilder};
+    use oha_pointsto::{analyze, PointsToConfig};
+    use Operand::{Const, Reg as R};
+
+    fn profile(p: &Program, inputs: &[&[i64]]) -> InvariantSet {
+        let profiles: Vec<_> = inputs
+            .iter()
+            .map(|input| {
+                let mut t = ProfileTracer::new(p);
+                Machine::new(p, MachineConfig::default()).run(input, &mut t);
+                t.into_profile()
+            })
+            .collect();
+        InvariantSet::from_profiles(&profiles)
+    }
+
+    use oha_ir::Program;
+
+    /// Two workers increment a shared counter under one lock; main reads
+    /// after joining. No true race.
+    fn locked_counter() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("shared", 1);
+        let w = pb.declare("worker", 1);
+        let mut m = pb.function("main", 0);
+        let t1 = m.spawn(w, Const(10));
+        let t2 = m.spawn(w, Const(10));
+        m.join(R(t1));
+        m.join(R(t2));
+        let ga = m.addr_global(g);
+        let v = m.load(R(ga), 0);
+        m.output(R(v));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut wf = pb.function("worker", 1);
+        let ga = wf.addr_global(g);
+        wf.lock(R(ga));
+        let v = wf.load(R(ga), 0);
+        let v1 = wf.bin(oha_ir::BinOp::Add, R(v), Const(1));
+        wf.store(R(ga), 0, R(v1));
+        wf.unlock(R(ga));
+        wf.ret(None);
+        pb.finish_function(wf);
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn sound_detector_keeps_locked_accesses_racy() {
+        // Without must-alias lock facts, the sound analysis cannot prune
+        // the worker's accesses (exactly the paper's §4.2.2 observation).
+        let p = locked_counter();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let races = detect(&p, &pt, None);
+        let worker_store = p
+            .inst_ids()
+            .find(|&i| {
+                matches!(p.inst(i).kind, InstKind::Store { .. })
+                    && p.function(p.func_of_inst(i)).name == "worker"
+            })
+            .unwrap();
+        assert!(races.is_racy(worker_store));
+        // But main's post-join load is ordered: not racy.
+        let main_load = p
+            .inst_ids()
+            .find(|&i| {
+                matches!(p.inst(i).kind, InstKind::Load { .. })
+                    && p.function(p.func_of_inst(i)).name == "main"
+            })
+            .unwrap();
+        assert!(!races.is_racy(main_load), "fork-join ordering prunes it");
+    }
+
+    #[test]
+    fn guarding_locks_invariant_prunes_locked_accesses() {
+        let p = locked_counter();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let inv = profile(&p, &[&[], &[]]);
+        assert!(!inv.self_alias_locks.is_empty());
+        let races = detect(&p, &pt, Some(&inv));
+        assert_eq!(
+            races.stats().racy_accesses,
+            0,
+            "lockset pruning removes everything: {:?}",
+            races.pairs()
+        );
+        assert!(races.stats().pruned_by_locks > 0);
+    }
+
+    /// A genuinely racy program: no locks at all.
+    #[test]
+    fn unlocked_sharing_is_racy_under_both() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("shared", 1);
+        let w = pb.declare("worker", 1);
+        let mut m = pb.function("main", 0);
+        let t1 = m.spawn(w, Const(1));
+        let t2 = m.spawn(w, Const(2));
+        m.join(R(t1));
+        m.join(R(t2));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut wf = pb.function("worker", 1);
+        let ga = wf.addr_global(g);
+        wf.store(R(ga), 0, R(wf.param(0)));
+        wf.ret(None);
+        pb.finish_function(wf);
+        let p = pb.finish(main).unwrap();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+
+        let store = p
+            .inst_ids()
+            .find(|&i| matches!(p.inst(i).kind, InstKind::Store { .. }))
+            .unwrap();
+        assert!(detect(&p, &pt, None).is_racy(store));
+        let inv = profile(&p, &[&[]]);
+        assert!(detect(&p, &pt, Some(&inv)).is_racy(store));
+    }
+
+    /// Threads write disjoint heap objects: provably race-free.
+    #[test]
+    fn disjoint_data_is_race_free() {
+        let mut pb = ProgramBuilder::new();
+        let w = pb.declare("worker", 1);
+        let mut m = pb.function("main", 0);
+        let o1 = m.alloc(1);
+        let o2 = m.alloc(1);
+        let t1 = m.spawn(w, R(o1));
+        let t2 = m.spawn(w, R(o2));
+        m.join(R(t1));
+        m.join(R(t2));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut wf = pb.function("worker", 1);
+        wf.store(R(wf.param(0)), 0, Const(1));
+        wf.ret(None);
+        pb.finish_function(wf);
+        let p = pb.finish(main).unwrap();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let races = detect(&p, &pt, None);
+        // Both spawns pass objects that *may* alias from the analysis's
+        // view (both allocations flow into the same parameter), so the
+        // worker store races with itself across the two threads.
+        let store = p
+            .inst_ids()
+            .find(|&i| matches!(p.inst(i).kind, InstKind::Store { .. }))
+            .unwrap();
+        assert!(races.is_racy(store), "CI merges the two objects");
+    }
+
+    #[test]
+    fn single_threaded_program_is_race_free() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("g", 1);
+        let mut m = pb.function("main", 0);
+        let ga = m.addr_global(g);
+        m.store(R(ga), 0, Const(1));
+        let v = m.load(R(ga), 0);
+        m.output(R(v));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let p = pb.finish(main).unwrap();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let races = detect(&p, &pt, None);
+        assert_eq!(races.stats().racy_accesses, 0);
+        assert_eq!(races.stats().candidate_pairs, 0);
+    }
+}

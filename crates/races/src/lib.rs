@@ -1,0 +1,31 @@
+//! Static data-race detection (the Chord stand-in, paper §4.1).
+//!
+//! The detector follows Chord's structure:
+//!
+//! 1. a **may-happen-in-parallel** (MHP) analysis derives which memory
+//!    accesses can execute concurrently, from thread-spawn structure plus a
+//!    fork-join refinement for handles that stay local to the entry
+//!    function;
+//! 2. the **points-to** analysis supplies may-alias facts between accesses;
+//! 3. aliasing MHP pairs with at least one write become *candidate racy
+//!    pairs*;
+//! 4. a **lockset** phase prunes pairs protected by common locks — but only
+//!    when *must-alias* facts about the locks are available. A sound
+//!    analysis only has may-alias, so (exactly as the paper observes) the
+//!    sound variant must skip lockset pruning; the likely-guarding-locks
+//!    invariant restores it, and the likely-singleton-thread invariant
+//!    removes same-site self-races that static reasoning cannot.
+//!
+//! The output is the set of loads/stores that may race — precisely the set
+//! of sites FastTrack must instrument. Everything else can be elided.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detect;
+mod locksets;
+mod mhp;
+
+pub use detect::{detect, RaceStats, StaticRaces};
+pub use locksets::MustLocksets;
+pub use mhp::Mhp;

@@ -1,0 +1,340 @@
+//! Must-held lockset computation.
+//!
+//! For each memory access, computes the set of lock *sites* that are
+//! definitely held when the access executes (intra-procedural, intersection
+//! over paths). Pairing this with the likely-guarding-locks must-alias
+//! invariant lets the predicated detector prune candidate racy pairs, which
+//! a sound analysis cannot do with only may-alias lock information
+//! (paper §4.2.2).
+
+use std::collections::HashMap;
+
+use oha_dataflow::{BitSet, Cfg};
+use oha_ir::{FuncId, InstId, InstKind, Program};
+use oha_pointsto::PointsTo;
+
+/// Per-access must-held lock sites.
+#[derive(Debug, Default)]
+pub struct MustLocksets {
+    /// Access instruction → lock-site instructions definitely held.
+    held: HashMap<InstId, Vec<InstId>>,
+}
+
+impl MustLocksets {
+    /// Computes must-held locksets for every load/store in `program`.
+    ///
+    /// Calls conservatively clear the lockset when the callee may
+    /// (transitively) execute an `unlock`; otherwise locks stay held across
+    /// the call.
+    pub fn new(program: &Program, pt: &PointsTo) -> Self {
+        // Which functions may transitively unlock?
+        let may_unlock = Self::may_unlock_funcs(program, pt);
+
+        // Enumerate lock sites densely for bitset work.
+        let lock_sites: Vec<InstId> = program
+            .insts()
+            .filter(|i| matches!(i.kind, InstKind::Lock { .. }))
+            .map(|i| i.id)
+            .collect();
+        let site_index: HashMap<InstId, usize> = lock_sites
+            .iter()
+            .enumerate()
+            .map(|(k, &s)| (s, k))
+            .collect();
+
+        let mut held = HashMap::new();
+        for fid in program.func_ids() {
+            Self::function_locksets(
+                program,
+                pt,
+                fid,
+                &lock_sites,
+                &site_index,
+                &may_unlock,
+                &mut held,
+            );
+        }
+        Self { held }
+    }
+
+    fn may_unlock_funcs(program: &Program, pt: &PointsTo) -> Vec<bool> {
+        let n = program.num_functions();
+        let mut direct = vec![false; n];
+        for inst in program.insts() {
+            if matches!(inst.kind, InstKind::Unlock { .. }) {
+                direct[program.func_of_inst(inst.id).index()] = true;
+            }
+        }
+        // Propagate backwards over the call graph to a fixpoint.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (site, targets) in pt.call_sites() {
+                let caller = program.func_of_inst(site).index();
+                if !direct[caller] && targets.iter().any(|t| direct[t.index()]) {
+                    direct[caller] = true;
+                    changed = true;
+                }
+            }
+        }
+        direct
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn function_locksets(
+        program: &Program,
+        pt: &PointsTo,
+        fid: FuncId,
+        lock_sites: &[InstId],
+        site_index: &HashMap<InstId, usize>,
+        may_unlock: &[bool],
+        held_out: &mut HashMap<InstId, Vec<InstId>>,
+    ) {
+        let f = program.function(fid);
+        let cfg = Cfg::new(program, fid);
+        let nb = f.blocks.len();
+        let nsites = lock_sites.len();
+        let full = || -> BitSet { (0..nsites).collect() };
+
+        // Forward must analysis: IN = ∩ preds' OUT; entry IN = ∅. `None`
+        // encodes ⊤ (not yet computed) so intersections start full.
+        let mut out: Vec<Option<BitSet>> = vec![None; nb];
+        let transfer = |input: &BitSet, bid: oha_ir::BlockId| -> BitSet {
+            let mut cur = input.clone();
+            for inst in &program.block(bid).insts {
+                match &inst.kind {
+                    InstKind::Lock { .. } => {
+                        if let Some(&k) = site_index.get(&inst.id) {
+                            cur.insert(k);
+                        }
+                    }
+                    InstKind::Unlock { .. } => {
+                        // Kill every site whose lock cells may alias this
+                        // unlock's cells.
+                        let ucells = pt.lock_cells(inst.id);
+                        let kills: Vec<usize> = cur
+                            .iter()
+                            .filter(|&k| pt.lock_cells(lock_sites[k]).intersects(ucells))
+                            .collect();
+                        for k in kills {
+                            cur.remove(k);
+                        }
+                    }
+                    InstKind::Call { .. } | InstKind::Spawn { .. } => {
+                        let clears = pt
+                            .callees(inst.id)
+                            .iter()
+                            .any(|t| may_unlock[t.index()]);
+                        if clears {
+                            cur.clear();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            cur
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bid in cfg.rpo() {
+                let bi = cfg.local(bid);
+                let preds: Vec<usize> = cfg.graph().preds(bi).collect();
+                let mut input = if bi == 0 {
+                    BitSet::new()
+                } else {
+                    let mut acc: Option<BitSet> = None;
+                    for &p in &preds {
+                        if let Some(po) = &out[p] {
+                            match &mut acc {
+                                None => acc = Some(po.clone()),
+                                Some(a) => {
+                                    a.intersect_with(po);
+                                }
+                            }
+                        }
+                    }
+                    acc.unwrap_or_else(full)
+                };
+                if bi == 0 && !preds.is_empty() {
+                    // Entry with back edges: still starts empty.
+                    input = BitSet::new();
+                }
+                let new_out = transfer(&input, bid);
+                if out[bi].as_ref() != Some(&new_out) {
+                    out[bi] = Some(new_out);
+                    changed = true;
+                }
+            }
+        }
+
+        // Final pass: record per-access held sets.
+        for &bid in cfg.rpo() {
+            let bi = cfg.local(bid);
+            let preds: Vec<usize> = cfg.graph().preds(bi).collect();
+            let input = if bi == 0 {
+                BitSet::new()
+            } else {
+                let mut acc: Option<BitSet> = None;
+                for &p in &preds {
+                    if let Some(po) = &out[p] {
+                        match &mut acc {
+                            None => acc = Some(po.clone()),
+                            Some(a) => {
+                                a.intersect_with(po);
+                            }
+                        }
+                    }
+                }
+                acc.unwrap_or_else(full)
+            };
+            let mut cur = input;
+            for inst in &program.block(bid).insts {
+                if inst.kind.is_memory_access() {
+                    held_out.insert(inst.id, cur.iter().map(|k| lock_sites[k]).collect());
+                }
+                match &inst.kind {
+                    InstKind::Lock { .. } => {
+                        if let Some(&k) = site_index.get(&inst.id) {
+                            cur.insert(k);
+                        }
+                    }
+                    InstKind::Unlock { .. } => {
+                        let ucells = pt.lock_cells(inst.id);
+                        let kills: Vec<usize> = cur
+                            .iter()
+                            .filter(|&k| pt.lock_cells(lock_sites[k]).intersects(ucells))
+                            .collect();
+                        for k in kills {
+                            cur.remove(k);
+                        }
+                    }
+                    InstKind::Call { .. } | InstKind::Spawn { .. } => {
+                        let clears = pt
+                            .callees(inst.id)
+                            .iter()
+                            .any(|t| may_unlock[t.index()]);
+                        if clears {
+                            cur.clear();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// The lock sites definitely held at a memory access.
+    pub fn held_at(&self, access: InstId) -> &[InstId] {
+        self.held.get(&access).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_ir::{Operand, ProgramBuilder};
+    use oha_pointsto::{analyze, PointsToConfig};
+    use Operand::{Const, Reg as R};
+
+    #[test]
+    fn locks_guard_critical_sections() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("g", 2);
+        let mut m = pb.function("main", 0);
+        let ga = m.addr_global(g);
+        m.store(R(ga), 0, Const(1)); // unguarded
+        m.lock(R(ga));
+        m.store(R(ga), 1, Const(2)); // guarded
+        m.unlock(R(ga));
+        m.store(R(ga), 0, Const(3)); // unguarded again
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let p = pb.finish(main).unwrap();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let ls = MustLocksets::new(&p, &pt);
+
+        let stores: Vec<InstId> = p
+            .inst_ids()
+            .filter(|&i| matches!(p.inst(i).kind, InstKind::Store { .. }))
+            .collect();
+        let lock = p
+            .inst_ids()
+            .find(|&i| matches!(p.inst(i).kind, InstKind::Lock { .. }))
+            .unwrap();
+        assert!(ls.held_at(stores[0]).is_empty());
+        assert_eq!(ls.held_at(stores[1]), &[lock]);
+        assert!(ls.held_at(stores[2]).is_empty());
+    }
+
+    #[test]
+    fn branches_intersect_locksets() {
+        // One arm locks, the other doesn't: the merge holds nothing.
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("g", 1);
+        let mut m = pb.function("main", 0);
+        let ga = m.addr_global(g);
+        let yes = m.block();
+        let no = m.block();
+        let merge = m.block();
+        let c = m.input();
+        m.branch(R(c), yes, no);
+        m.select(yes);
+        m.lock(R(ga));
+        m.jump(merge);
+        m.select(no);
+        m.jump(merge);
+        m.select(merge);
+        m.store(R(ga), 0, Const(1));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let p = pb.finish(main).unwrap();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let ls = MustLocksets::new(&p, &pt);
+        let store = p
+            .inst_ids()
+            .find(|&i| matches!(p.inst(i).kind, InstKind::Store { .. }))
+            .unwrap();
+        assert!(ls.held_at(store).is_empty(), "must analysis intersects");
+    }
+
+    #[test]
+    fn calls_to_unlocking_functions_clear_locks() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("g", 1);
+        let bad = pb.declare("unlocker", 0);
+        let good = pb.declare("pure", 0);
+        let mut m = pb.function("main", 0);
+        let ga = m.addr_global(g);
+        m.lock(R(ga));
+        m.call_void(good, vec![]);
+        m.store(R(ga), 0, Const(1)); // still guarded
+        m.call_void(bad, vec![]);
+        m.store(R(ga), 0, Const(2)); // lockset cleared
+        m.unlock(R(ga));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut u = pb.function("unlocker", 0);
+        let ga = u.addr_global(g);
+        u.lock(R(ga));
+        u.unlock(R(ga));
+        u.ret(None);
+        pb.finish_function(u);
+        let mut pf = pb.function("pure", 0);
+        pf.output(Const(0));
+        pf.ret(None);
+        pb.finish_function(pf);
+        let p = pb.finish(main).unwrap();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let ls = MustLocksets::new(&p, &pt);
+        let stores: Vec<InstId> = p
+            .inst_ids()
+            .filter(|&i| {
+                matches!(p.inst(i).kind, InstKind::Store { .. }) && p.func_of_inst(i) == main
+            })
+            .collect();
+        assert_eq!(ls.held_at(stores[0]).len(), 1);
+        assert!(ls.held_at(stores[1]).is_empty());
+    }
+}

@@ -1,0 +1,537 @@
+//! May-happen-in-parallel analysis.
+//!
+//! Thread *regions*: region 0 is the code the main thread executes (call
+//! edges only); every spawn site contributes a region of the code its
+//! spawned threads execute. An access belongs to every region whose
+//! function set contains its function.
+//!
+//! Region-level parallelism is refined by a fork-join analysis of the entry
+//! function: when a spawn handle stays local to `main` and is joined there,
+//! the spawned thread's *live range* (spawn → join) orders it with respect
+//! to main-body accesses and other spawns. Spawn sites outside `main`, or
+//! with escaping handles, are treated conservatively.
+
+use std::collections::HashMap;
+
+use oha_dataflow::{BitSet, Cfg, DefSite, DomTree, ReachingDefs};
+use oha_invariants::InvariantSet;
+use oha_ir::{FuncId, InstId, InstKind, Program};
+use oha_pointsto::PointsTo;
+
+/// Position of an instruction inside one function: (local block index,
+/// instruction index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Pos {
+    block: usize,
+    index: usize,
+}
+
+/// The MHP relation over memory accesses.
+#[derive(Debug)]
+pub struct Mhp {
+    /// Region 0 = main; region i>0 corresponds to `spawn_sites[i-1]`.
+    regions: Vec<BitSet>, // funcs (by index) per region
+    spawn_sites: Vec<InstId>,
+    /// Whether each spawn region may have 2+ live threads at once.
+    multi: Vec<bool>,
+    /// parallel[i][j]: may region i run in parallel with region j at all.
+    parallel: Vec<Vec<bool>>,
+    /// For accesses literally in main: per spawn region, orderings.
+    main_func: FuncId,
+    main_pos: HashMap<InstId, Pos>,
+    /// Per spawn site in main: its position and (optionally) the dominating
+    /// join position.
+    spawn_pos: HashMap<InstId, (Pos, Option<Pos>)>,
+    main_cfg: Cfg,
+    main_mp: Vec<BitSet>,
+    main_dom: DomTree,
+    main_on_cycle: Vec<bool>,
+}
+
+impl Mhp {
+    /// Computes the MHP relation.
+    ///
+    /// `invariants`, when present, contributes the likely-singleton-thread
+    /// facts (spawn sites assumed to create at most one thread per run) and
+    /// prunes spawn sites in likely-unreachable blocks.
+    pub fn new(program: &Program, pt: &PointsTo, invariants: Option<&InvariantSet>) -> Self {
+        let main = program.entry();
+        let num_funcs = program.num_functions();
+
+        // Call-only edges from the points-to call-graph resolution.
+        let mut call_succs: Vec<Vec<usize>> = vec![Vec::new(); num_funcs];
+        let mut spawn_sites: Vec<InstId> = Vec::new();
+        for (site, targets) in pt.call_sites() {
+            if let Some(inv) = invariants {
+                let block = program.loc(site).block;
+                if !inv.is_visited(block) {
+                    continue;
+                }
+            }
+            let from = program.func_of_inst(site).index();
+            match program.inst(site).kind {
+                InstKind::Call { .. } => {
+                    for t in targets {
+                        call_succs[from].push(t.index());
+                    }
+                }
+                InstKind::Spawn { .. } => spawn_sites.push(site),
+                _ => {}
+            }
+        }
+        spawn_sites.sort_unstable_by_key(|s| s.index());
+
+        let closure = |roots: Vec<usize>| -> BitSet {
+            let mut seen = BitSet::with_capacity(num_funcs);
+            let mut stack = roots;
+            for &r in &stack {
+                seen.insert(r);
+            }
+            while let Some(f) = stack.pop() {
+                for &s in &call_succs[f] {
+                    if seen.insert(s) {
+                        stack.push(s);
+                    }
+                }
+            }
+            seen
+        };
+
+        let mut regions = vec![closure(vec![main.index()])];
+        for &s in &spawn_sites {
+            let roots = pt.callees(s).iter().map(|f| f.index()).collect();
+            regions.push(closure(roots));
+        }
+
+        // Main-function geometry.
+        let main_cfg = Cfg::new(program, main);
+        let main_mp = main_cfg.may_precede();
+        let main_dom = DomTree::new(&main_cfg);
+        let mut main_on_cycle = vec![false; main_cfg.len()];
+        for i in 0..main_cfg.len() {
+            // On a cycle iff reachable from one of its own successors.
+            let succs: Vec<usize> = main_cfg.graph().succs(i).collect();
+            main_on_cycle[i] = succs.iter().any(|&s| main_cfg.graph().reachable_from([s]).contains(i));
+        }
+
+        let mut main_pos = HashMap::new();
+        let f = program.function(main);
+        for (bi, &bid) in f.blocks.iter().enumerate() {
+            for (ii, inst) in program.block(bid).insts.iter().enumerate() {
+                main_pos.insert(inst.id, Pos { block: bi, index: ii });
+            }
+        }
+
+        // Spawn handles in main: find joins whose operand is defined only by
+        // this spawn.
+        let rd = ReachingDefs::new(program, main, &main_cfg);
+        let mut spawn_pos: HashMap<InstId, (Pos, Option<Pos>)> = HashMap::new();
+        for &s in &spawn_sites {
+            if program.func_of_inst(s) != main {
+                continue;
+            }
+            let pos = main_pos[&s];
+            // A join matches if its thread operand has exactly one reaching
+            // def: the spawn instruction, and the spawn's handle register is
+            // never otherwise redefined along the way (guaranteed by the
+            // single-def condition).
+            let mut join: Option<Pos> = None;
+            for &bid in &f.blocks {
+                for inst in &program.block(bid).insts {
+                    if let InstKind::Join { thread } = inst.kind {
+                        if let Some(r) = thread.as_reg() {
+                            let defs = rd.defs_for(inst.id, r);
+                            if defs == [DefSite::Inst(s)] {
+                                let jp = main_pos[&inst.id];
+                                // Keep the join that dominates the most (any
+                                // single dominating join is enough; prefer
+                                // the first found).
+                                join = join.or(Some(jp));
+                            }
+                        }
+                    }
+                }
+            }
+            spawn_pos.insert(s, (pos, join));
+        }
+
+        // Multiplicity: a spawn site may create 2+ concurrent threads unless
+        // (a) the singleton invariant says otherwise, or (b) statically: the
+        // site is in main (executed exactly once) and not on a CFG cycle.
+        let mut multi = Vec::with_capacity(spawn_sites.len());
+        for &s in &spawn_sites {
+            let assumed_singleton = invariants.is_some_and(|inv| inv.singleton_spawns.contains(&s));
+            let statically_singleton = program.func_of_inst(s) == main
+                && !main_on_cycle[main_pos[&s].block]
+                && !Self::entry_is_reentrant(program, pt, main);
+            multi.push(!(assumed_singleton || statically_singleton));
+        }
+
+        // Region-level parallelism.
+        let n = regions.len();
+        let mut parallel = vec![vec![false; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == 0 && j == 0 {
+                    continue; // main alone is single-threaded
+                }
+                if i == j {
+                    parallel[i][j] = multi[i - 1];
+                    continue;
+                }
+                let (a, b) = (i.max(1) - 1, j.max(1) - 1);
+                if i == 0 || j == 0 {
+                    parallel[i][j] = true; // refined per access later
+                    continue;
+                }
+                // Two spawn regions: parallel unless their main-local live
+                // ranges are provably disjoint. Join-based ordering is only
+                // meaningful when a site spawns a single thread — a join of
+                // a multi-spawn site only orders the last thread.
+                let sa = spawn_sites[a];
+                let sb = spawn_sites[b];
+                let range = |site: InstId, is_multi: bool| {
+                    spawn_pos
+                        .get(&site)
+                        .map(|&(s, j)| (s, if is_multi { None } else { j }))
+                };
+                parallel[i][j] = Self::ranges_overlap(
+                    range(sa, multi[a]),
+                    range(sb, multi[b]),
+                    &main_mp,
+                    &main_on_cycle,
+                );
+            }
+        }
+
+        Self {
+            regions,
+            spawn_sites,
+            multi,
+            parallel,
+            main_func: main,
+            main_pos,
+            spawn_pos,
+            main_cfg,
+            main_mp,
+            main_dom,
+            main_on_cycle,
+        }
+    }
+
+    fn entry_is_reentrant(program: &Program, pt: &PointsTo, main: FuncId) -> bool {
+        pt.call_sites().any(|(_, targets)| targets.contains(&main))
+            || program.insts().any(|i| {
+                matches!(i.kind, InstKind::AddrFunc { func, .. } if func == main)
+            })
+    }
+
+    /// May `a` execute strictly before `b` (main-body positions)?
+    fn may_precede(a: Pos, b: Pos, mp: &[BitSet], on_cycle: &[bool]) -> bool {
+        if a.block == b.block {
+            a.index < b.index || on_cycle[a.block]
+        } else {
+            mp[a.block].contains(b.block)
+        }
+    }
+
+    fn ranges_overlap(
+        a: Option<(Pos, Option<Pos>)>,
+        b: Option<(Pos, Option<Pos>)>,
+        mp: &[BitSet],
+        on_cycle: &[bool],
+    ) -> bool {
+        let (Some((sa, ja)), Some((sb, jb))) = (a, b) else {
+            return true; // handle escapes main: conservative
+        };
+        // Overlap possible unless one thread provably ends before the other
+        // starts on every path: i.e. NOT overlap iff join_a precedes spawn_b
+        // always, or join_b precedes spawn_a always. We use the sound
+        // direction: claim disjoint only when spawn_b can never run before
+        // join_a (or symmetrically).
+        let b_may_start_before_a_ends = match ja {
+            None => true,
+            Some(ja) => Self::may_precede(sb, ja, mp, on_cycle),
+        };
+        let a_may_start_before_b_ends = match jb {
+            None => true,
+            Some(jb) => Self::may_precede(sa, jb, mp, on_cycle),
+        };
+        b_may_start_before_a_ends && a_may_start_before_b_ends
+    }
+
+    /// Number of regions (main + one per spawn site).
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The spawn sites contributing regions `1..`.
+    pub fn spawn_sites(&self) -> &[InstId] {
+        &self.spawn_sites
+    }
+
+    /// The regions (by index) an instruction's function belongs to.
+    pub fn regions_of(&self, program: &Program, inst: InstId) -> Vec<usize> {
+        let f = program.func_of_inst(inst).index();
+        (0..self.regions.len())
+            .filter(|&r| self.regions[r].contains(f))
+            .collect()
+    }
+
+    /// May two accesses happen in parallel?
+    pub fn may_happen_in_parallel(&self, program: &Program, a: InstId, b: InstId) -> bool {
+        let ra = self.regions_of(program, a);
+        let rb = self.regions_of(program, b);
+        for &i in &ra {
+            for &j in &rb {
+                if !self.parallel[i][j] {
+                    continue;
+                }
+                // Main-vs-spawn refinement when the main-side access is in
+                // main's own body.
+                if i == 0 && j > 0 {
+                    if self.main_access_parallel_with(program, a, j) {
+                        return true;
+                    }
+                } else if j == 0 && i > 0 {
+                    if self.main_access_parallel_with(program, b, i) {
+                        return true;
+                    }
+                } else {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Is a main-region access parallel with spawn region `r`?
+    fn main_access_parallel_with(&self, program: &Program, access: InstId, r: usize) -> bool {
+        let site = self.spawn_sites[r - 1];
+        if program.func_of_inst(access) != self.main_func {
+            // The access is in a callee of main: no ordering information.
+            return true;
+        }
+        let Some(&(spawn, join)) = self.spawn_pos.get(&site) else {
+            return true;
+        };
+        let apos = self.main_pos[&access];
+        // Before the spawn on every path? Then ordered. (Sound even for
+        // multi-spawn sites: no thread from the site exists until the site
+        // first executes.)
+        if !Self::may_precede(spawn, apos, &self.main_mp, &self.main_on_cycle) {
+            return false;
+        }
+        // After a dominating join? Then ordered — but only when the site
+        // spawns a single thread; a join of a multi-spawn site only orders
+        // the last thread it created.
+        if self.multi[r - 1] {
+            return true;
+        }
+        if let Some(jp) = join {
+            let join_block = self.block_id(jp.block);
+            let access_block = self.block_id(apos.block);
+            let dominated = if jp.block == apos.block {
+                jp.index < apos.index && !self.main_on_cycle[jp.block]
+            } else {
+                self.main_dom.dominates(join_block, access_block)
+                    && !self.main_mp[apos.block].contains(jp.block)
+            };
+            if dominated {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn block_id(&self, local: usize) -> oha_ir::BlockId {
+        oha_ir::BlockId::new(self.main_cfg.entry().raw() + local as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_ir::{Operand, ProgramBuilder};
+    use oha_pointsto::{analyze, PointsToConfig};
+    use Operand::{Const, Reg as R};
+
+    /// main: store pre; spawn w; store mid; join; store post.
+    /// w: store in worker.
+    fn fork_join_program() -> (Program, Vec<InstId>) {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("g", 4);
+        let w = pb.declare("w", 1);
+        let mut m = pb.function("main", 0);
+        let ga = m.addr_global(g);
+        m.store(R(ga), 0, Const(1)); // pre
+        let t = m.spawn(w, Const(0));
+        m.store(R(ga), 1, Const(2)); // mid
+        m.join(R(t));
+        m.store(R(ga), 2, Const(3)); // post
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut wf = pb.function("w", 1);
+        let ga = wf.addr_global(g);
+        wf.store(R(ga), 3, Const(9)); // worker store
+        wf.ret(None);
+        pb.finish_function(wf);
+        let p = pb.finish(main).unwrap();
+        // Order: pre, mid, post (main's stores in order), then the worker's.
+        let mut stores: Vec<InstId> = p
+            .inst_ids()
+            .filter(|&i| {
+                matches!(p.inst(i).kind, InstKind::Store { .. })
+                    && p.function(p.func_of_inst(i)).name == "main"
+            })
+            .collect();
+        stores.extend(p.inst_ids().filter(|&i| {
+            matches!(p.inst(i).kind, InstKind::Store { .. })
+                && p.function(p.func_of_inst(i)).name == "w"
+        }));
+        (p, stores)
+    }
+
+    use oha_ir::Program;
+
+    #[test]
+    fn fork_join_orders_main_accesses() {
+        let (p, stores) = fork_join_program();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let mhp = Mhp::new(&p, &pt, None);
+        let (pre, mid, post, worker) = (stores[0], stores[1], stores[2], stores[3]);
+        assert!(
+            !mhp.may_happen_in_parallel(&p, pre, worker),
+            "store before spawn is ordered"
+        );
+        assert!(
+            mhp.may_happen_in_parallel(&p, mid, worker),
+            "store between spawn and join is parallel"
+        );
+        assert!(
+            !mhp.may_happen_in_parallel(&p, post, worker),
+            "store after join is ordered"
+        );
+        assert!(
+            !mhp.may_happen_in_parallel(&p, pre, mid),
+            "main accesses never race with themselves"
+        );
+    }
+
+    #[test]
+    fn spawn_in_loop_is_self_parallel() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("g", 1);
+        let w = pb.declare("w", 1);
+        let mut m = pb.function("main", 0);
+        let head = m.block();
+        let body = m.block();
+        let exit = m.block();
+        m.jump(head);
+        m.select(head);
+        let c = m.input();
+        m.branch(R(c), body, exit);
+        m.select(body);
+        m.spawn(w, Const(0));
+        m.jump(head);
+        m.select(exit);
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut wf = pb.function("w", 1);
+        let ga = wf.addr_global(g);
+        wf.store(R(ga), 0, Const(1));
+        wf.ret(None);
+        pb.finish_function(wf);
+        let p = pb.finish(main).unwrap();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let store = p
+            .inst_ids()
+            .find(|&i| matches!(p.inst(i).kind, InstKind::Store { .. }))
+            .unwrap();
+
+        let mhp = Mhp::new(&p, &pt, None);
+        assert!(
+            mhp.may_happen_in_parallel(&p, store, store),
+            "two iterations' threads race"
+        );
+
+        // The singleton invariant (e.g. the loop always runs once) removes
+        // the self-race.
+        let mut inv = InvariantSet::default();
+        for b in p.block_ids() {
+            inv.visited_blocks.insert(b);
+        }
+        let spawn = p
+            .inst_ids()
+            .find(|&i| matches!(p.inst(i).kind, InstKind::Spawn { .. }))
+            .unwrap();
+        inv.singleton_spawns.insert(spawn);
+        let mhp = Mhp::new(&p, &pt, Some(&inv));
+        assert!(!mhp.may_happen_in_parallel(&p, store, store));
+    }
+
+    #[test]
+    fn sequential_phases_do_not_overlap() {
+        // spawn t1; join t1; spawn t2; join t2 — regions are ordered.
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("g", 1);
+        let w1 = pb.declare("w1", 1);
+        let w2 = pb.declare("w2", 1);
+        let mut m = pb.function("main", 0);
+        let t1 = m.spawn(w1, Const(0));
+        m.join(R(t1));
+        let t2 = m.spawn(w2, Const(0));
+        m.join(R(t2));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        for name in ["w1", "w2"] {
+            let mut f = pb.function(name, 1);
+            let ga = f.addr_global(g);
+            f.store(R(ga), 0, Const(1));
+            f.ret(None);
+            pb.finish_function(f);
+        }
+        let p = pb.finish(main).unwrap();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let mhp = Mhp::new(&p, &pt, None);
+        let stores: Vec<InstId> = p
+            .inst_ids()
+            .filter(|&i| matches!(p.inst(i).kind, InstKind::Store { .. }))
+            .collect();
+        assert!(
+            !mhp.may_happen_in_parallel(&p, stores[0], stores[1]),
+            "phase 1 ends before phase 2 starts"
+        );
+    }
+
+    #[test]
+    fn concurrent_spawns_overlap() {
+        // spawn t1; spawn t2; join t1; join t2.
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("g", 1);
+        let w1 = pb.declare("w1", 1);
+        let w2 = pb.declare("w2", 1);
+        let mut m = pb.function("main", 0);
+        let t1 = m.spawn(w1, Const(0));
+        let t2 = m.spawn(w2, Const(0));
+        m.join(R(t1));
+        m.join(R(t2));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        for name in ["w1", "w2"] {
+            let mut f = pb.function(name, 1);
+            let ga = f.addr_global(g);
+            f.store(R(ga), 0, Const(1));
+            f.ret(None);
+            pb.finish_function(f);
+        }
+        let p = pb.finish(main).unwrap();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let mhp = Mhp::new(&p, &pt, None);
+        let stores: Vec<InstId> = p
+            .inst_ids()
+            .filter(|&i| matches!(p.inst(i).kind, InstKind::Store { .. }))
+            .collect();
+        assert!(mhp.may_happen_in_parallel(&p, stores[0], stores[1]));
+    }
+}

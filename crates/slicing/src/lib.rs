@@ -1,0 +1,33 @@
+//! Static backward data-flow slicing (paper §5.1.1).
+//!
+//! A backward slice of a target instruction is the set of instructions
+//! whose computed values may flow into it. Following the paper, slices are
+//! **data-flow** slices: control dependencies are deliberately excluded
+//! ("control dependencies cause a slicer to output so much information the
+//! slice is no longer useful").
+//!
+//! The slicer walks a definition-use graph backwards from the endpoints:
+//!
+//! * register uses follow the reaching-definition chains of the non-SSA IR;
+//! * parameter values follow call (and spawn) argument wiring — matched per
+//!   calling context in the context-sensitive variant;
+//! * call results follow the callee's `return` operands;
+//! * loads follow may-aliasing stores (cells from the points-to analysis),
+//!   restricted by **flow sensitivity**: a store is considered only if its
+//!   block may precede the load's block on the interprocedural CFG.
+//!
+//! Predication (likely invariants) removes nodes in likely-unreachable
+//! blocks, devirtualizes indirect calls through likely callee sets (already
+//! reflected in the predicated [`PointsTo`](oha_pointsto::PointsTo)) and bounds context cloning to
+//! likely-used call contexts — which is what lets the context-sensitive
+//! variant complete on programs where the sound variant exhausts its budget
+//! (Figure 11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod icfg;
+mod slicer;
+
+pub use icfg::Icfg;
+pub use slicer::{slice, SliceConfig, SliceStats, StaticSlice};

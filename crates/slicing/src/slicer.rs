@@ -1,0 +1,730 @@
+//! The backward slicing worklist.
+
+use std::collections::{HashMap, HashSet};
+
+use oha_dataflow::{BitSet, Cfg, DefSite, ReachingDefs};
+use oha_invariants::{InvariantSet, MAX_CONTEXT_DEPTH};
+use oha_ir::{FuncId, InstId, InstKind, Program, Reg};
+use oha_pointsto::{ctx_hash, Exhausted, PointsTo, Sensitivity};
+
+use crate::icfg::Icfg;
+
+/// Configuration for [`slice()`].
+#[derive(Clone, Copy, Debug)]
+pub struct SliceConfig<'a> {
+    /// Context sensitivity of the *slicer* (independent of the points-to
+    /// analysis feeding it, as in Table 2).
+    pub sensitivity: Sensitivity,
+    /// Likely invariants to predicate on; `None` gives the sound slicer.
+    pub invariants: Option<&'a InvariantSet>,
+    /// Maximum contexts the CS variant may clone.
+    pub ctx_budget: u32,
+    /// Maximum worklist visits.
+    pub visit_budget: u64,
+}
+
+impl Default for SliceConfig<'static> {
+    fn default() -> Self {
+        Self {
+            sensitivity: Sensitivity::ContextInsensitive,
+            invariants: None,
+            ctx_budget: 4096,
+            visit_budget: 5_000_000,
+        }
+    }
+}
+
+/// Work counters of a slicing run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SliceStats {
+    /// Worklist nodes visited.
+    pub visited: u64,
+    /// Contexts materialized (1 for CI).
+    pub contexts: usize,
+}
+
+/// A static backward slice: the set of instructions whose values may reach
+/// the endpoints.
+#[derive(Clone, Debug)]
+pub struct StaticSlice {
+    insts: BitSet,
+    stats: SliceStats,
+}
+
+impl StaticSlice {
+    /// Whether an instruction is in the slice.
+    pub fn contains(&self, inst: InstId) -> bool {
+        self.insts.contains(inst.index())
+    }
+
+    /// Number of instructions in the slice (the paper's slice-size metric).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The slice as a bit set over instruction ids.
+    pub fn sites(&self) -> &BitSet {
+        &self.insts
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> SliceStats {
+        self.stats
+    }
+}
+
+#[derive(Clone, Debug)]
+struct CtxInfo {
+    parent: u32,
+    func: FuncId,
+    chain: Vec<InstId>,
+    /// The shared context key (see [`oha_pointsto::ctx_hash`]).
+    hash: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Node {
+    Inst(u32, InstId),
+    Param(u32, u32, Reg),
+}
+
+/// Computes the backward data-flow slice of `endpoints`.
+///
+/// # Examples
+///
+/// ```
+/// use oha_ir::{BinOp, Operand, ProgramBuilder};
+/// use oha_pointsto::{analyze, PointsToConfig};
+/// use oha_slicing::{slice, SliceConfig};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let mut f = pb.function("main", 0);
+/// let x = f.input();                                   // in the slice
+/// let y = f.bin(BinOp::Add, Operand::Reg(x), Operand::Const(1)); // in
+/// let junk = f.copy(Operand::Const(9));                // not in
+/// f.output(Operand::Reg(y));
+/// f.ret(None);
+/// let main = pb.finish_function(f);
+/// let p = pb.finish(main).unwrap();
+///
+/// let pt = analyze(&p, &PointsToConfig::default())?;
+/// let endpoint = p.inst_ids().last().unwrap();
+/// let s = slice(&p, &pt, &[endpoint], &SliceConfig::default())?;
+/// assert_eq!(s.len(), 3);
+/// # let _ = junk;
+/// # Ok::<(), oha_pointsto::Exhausted>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] if the context or visit budget is exceeded.
+pub fn slice(
+    program: &Program,
+    pt: &PointsTo,
+    endpoints: &[InstId],
+    config: &SliceConfig<'_>,
+) -> Result<StaticSlice, Exhausted> {
+    Slicer::new(program, pt, config)?.run(endpoints)
+}
+
+struct Slicer<'p, 'c> {
+    program: &'p Program,
+    pt: &'p PointsTo,
+    config: &'c SliceConfig<'c>,
+    icfg: Icfg,
+    rds: Vec<ReachingDefs>,
+    /// Store sites grouped by cell.
+    stores_by_cell: HashMap<usize, Vec<InstId>>,
+    ctxs: Vec<CtxInfo>,
+    /// Contexts instantiating each function.
+    instances: Vec<Vec<u32>>,
+    /// (ctx, call site, callee) → callee context.
+    child_of: HashMap<(u32, u32, u32), u32>,
+    /// ctx → the (caller ctx, call/spawn site) pairs that enter it.
+    creators: Vec<Vec<(u32, InstId)>>,
+}
+
+impl<'p, 'c> Slicer<'p, 'c> {
+    fn new(
+        program: &'p Program,
+        pt: &'p PointsTo,
+        config: &'c SliceConfig<'c>,
+    ) -> Result<Self, Exhausted> {
+        let icfg = Icfg::new(program, pt, config.invariants);
+        let rds: Vec<ReachingDefs> = program
+            .func_ids()
+            .map(|f| ReachingDefs::new(program, f, &Cfg::new(program, f)))
+            .collect();
+        let mut stores_by_cell: HashMap<usize, Vec<InstId>> = HashMap::new();
+        for s in pt.store_sites() {
+            for c in pt.store_cells(s).iter() {
+                stores_by_cell.entry(c).or_default().push(s);
+            }
+        }
+        let mut slicer = Self {
+            program,
+            pt,
+            config,
+            icfg,
+            rds,
+            stores_by_cell,
+            ctxs: Vec::new(),
+            instances: vec![Vec::new(); program.num_functions()],
+            child_of: HashMap::new(),
+            creators: Vec::new(),
+        };
+        slicer.build_contexts()?;
+        Ok(slicer)
+    }
+
+    fn cs(&self) -> bool {
+        self.config.sensitivity == Sensitivity::ContextSensitive
+    }
+
+    fn pruned(&self, b: oha_ir::BlockId) -> bool {
+        self.config
+            .invariants
+            .is_some_and(|inv| !inv.is_visited(b))
+    }
+
+    fn new_ctx(&mut self, parent: u32, func: FuncId, chain: Vec<InstId>) -> Result<u32, Exhausted> {
+        if self.ctxs.len() as u32 >= self.config.ctx_budget {
+            return Err(Exhausted {
+                reason: format!("slicer context budget {} exceeded", self.config.ctx_budget),
+            });
+        }
+        let id = self.ctxs.len() as u32;
+        let hash = ctx_hash(func, &chain);
+        self.ctxs.push(CtxInfo {
+            parent,
+            func,
+            chain,
+            hash,
+        });
+        self.creators.push(Vec::new());
+        self.instances[func.index()].push(id);
+        Ok(id)
+    }
+
+    /// Builds the context tree: CI has one context covering every function;
+    /// CS clones per call chain with recursion reuse and (when predicated)
+    /// likely-used-context bounding.
+    fn build_contexts(&mut self) -> Result<(), Exhausted> {
+        let main = self.program.entry();
+        if !self.cs() {
+            let root = self.new_ctx(0, main, Vec::new())?;
+            debug_assert_eq!(root, 0);
+            // Every function shares context 0.
+            for f in self.program.func_ids() {
+                if f != main {
+                    self.instances[f.index()].push(0);
+                }
+            }
+            // Creators: every resolved call site enters context 0.
+            for (site, _targets) in self.pt.call_sites() {
+                self.creators[0].push((0, site));
+            }
+            return Ok(());
+        }
+
+        let root = self.new_ctx(0, main, Vec::new())?;
+        self.ctxs[root as usize].parent = root;
+        let mut queue = vec![root];
+        let mut spawn_roots: HashMap<(InstId, u32), u32> = HashMap::new();
+        while let Some(c) = queue.pop() {
+            let func = self.ctxs[c as usize].func;
+            let f = self.program.function(func).clone();
+            for &bid in &f.blocks {
+                if self.pruned(bid) {
+                    continue;
+                }
+                for inst in &self.program.block(bid).insts {
+                    let (is_call, is_spawn) = match inst.kind {
+                        InstKind::Call { .. } => (true, false),
+                        InstKind::Spawn { .. } => (false, true),
+                        _ => continue,
+                    };
+                    let targets: Vec<FuncId> =
+                        self.pt.callees(inst.id).iter().copied().collect();
+                    for callee in targets {
+                        if is_spawn {
+                            let key = (inst.id, callee.raw());
+                            let cc = match spawn_roots.get(&key) {
+                                Some(&cc) => cc,
+                                None => {
+                                    let cc = self.new_ctx(0, callee, Vec::new())?;
+                                    self.ctxs[cc as usize].parent = cc;
+                                    spawn_roots.insert(key, cc);
+                                    queue.push(cc);
+                                    cc
+                                }
+                            };
+                            self.child_of.insert((c, inst.id.raw(), callee.raw()), cc);
+                            self.creators[cc as usize].push((c, inst.id));
+                            continue;
+                        }
+                        debug_assert!(is_call);
+                        // Recursion: reuse the ancestor clone.
+                        let mut cur = c;
+                        let mut reused = None;
+                        loop {
+                            if self.ctxs[cur as usize].func == callee {
+                                reused = Some(cur);
+                                break;
+                            }
+                            let p = self.ctxs[cur as usize].parent;
+                            if p == cur {
+                                break;
+                            }
+                            cur = p;
+                        }
+                        let cc = match reused {
+                            Some(cc) => cc,
+                            None => {
+                                let mut chain = self.ctxs[c as usize].chain.clone();
+                                chain.push(inst.id);
+                                if let Some(inv) = self.config.invariants {
+                                    if chain.len() > MAX_CONTEXT_DEPTH
+                                        || !inv.contexts.contains(&chain)
+                                    {
+                                        continue; // assumed-unused context
+                                    }
+                                }
+                                let cc = self.new_ctx(c, callee, chain)?;
+                                queue.push(cc);
+                                cc
+                            }
+                        };
+                        self.child_of.insert((c, inst.id.raw(), callee.raw()), cc);
+                        self.creators[cc as usize].push((c, inst.id));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn callee_ctx(&self, ctx: u32, site: InstId, callee: FuncId) -> Option<u32> {
+        if !self.cs() {
+            return Some(0);
+        }
+        self.child_of.get(&(ctx, site.raw(), callee.raw())).copied()
+    }
+
+    /// The contexts of a function (for CI, always `[0]`).
+    fn ctxs_of(&self, func: FuncId) -> &[u32] {
+        &self.instances[func.index()]
+    }
+
+    fn run(&mut self, endpoints: &[InstId]) -> Result<StaticSlice, Exhausted> {
+        let mut insts = BitSet::with_capacity(self.program.num_insts());
+        let mut seen: HashSet<Node> = HashSet::new();
+        let mut work: Vec<Node> = Vec::new();
+        let mut visited = 0u64;
+
+        for &e in endpoints {
+            let f = self.program.func_of_inst(e);
+            for &c in self.ctxs_of(f) {
+                let n = Node::Inst(c, e);
+                if seen.insert(n) {
+                    work.push(n);
+                }
+            }
+        }
+
+        let push = |n: Node, seen: &mut HashSet<Node>, work: &mut Vec<Node>| {
+            if seen.insert(n) {
+                work.push(n);
+            }
+        };
+
+        while let Some(node) = work.pop() {
+            visited += 1;
+            if visited > self.config.visit_budget {
+                return Err(Exhausted {
+                    reason: format!("slicer visit budget {} exceeded", self.config.visit_budget),
+                });
+            }
+            match node {
+                Node::Inst(ctx, inst) => {
+                    // Skip instructions in pruned blocks entirely.
+                    if self.pruned(self.program.loc(inst).block) {
+                        continue;
+                    }
+                    insts.insert(inst.index());
+                    let func = self.program.func_of_inst(inst);
+                    let kind = self.program.inst(inst).kind.clone();
+
+                    // Register uses → reaching definitions.
+                    for r in kind.uses() {
+                        for &d in self.rds[func.index()].defs_for(inst, r) {
+                            match d {
+                                DefSite::Inst(di) => {
+                                    push(Node::Inst(ctx, di), &mut seen, &mut work)
+                                }
+                                DefSite::Param(p) => {
+                                    push(Node::Param(ctx, func.raw(), p), &mut seen, &mut work)
+                                }
+                            }
+                        }
+                    }
+
+                    // Call results → callee returns.
+                    if let InstKind::Call { dst: Some(_), .. } = kind {
+                        let targets: Vec<FuncId> =
+                            self.pt.callees(inst).iter().copied().collect();
+                        for callee in targets {
+                            let Some(cc) = self.callee_ctx(ctx, inst, callee) else {
+                                continue;
+                            };
+                            for &rb in &self.program.function(callee).blocks {
+                                if self.pruned(rb) {
+                                    continue;
+                                }
+                                for &d in self.rds[callee.index()].defs_for_return(rb) {
+                                    match d {
+                                        DefSite::Inst(di) => {
+                                            push(Node::Inst(cc, di), &mut seen, &mut work)
+                                        }
+                                        DefSite::Param(p) => push(
+                                            Node::Param(cc, callee.raw(), p),
+                                            &mut seen,
+                                            &mut work,
+                                        ),
+                                    }
+                                }
+                            }
+                        }
+                    }
+
+                    // Loads → flow-preceding aliasing stores, matched per
+                    // context: a store is followed only into the contexts
+                    // in which it can actually write the cells this load
+                    // (in *its* context) may read. Context-insensitive
+                    // points-to results have no per-context record, so
+                    // everything falls back to the merged sets (sound).
+                    if matches!(kind, InstKind::Load { .. }) {
+                        let load_cells = self
+                            .pt
+                            .access_cells_in(inst, self.ctxs[ctx as usize].hash)
+                            .unwrap_or_else(|| self.pt.load_cells(inst));
+                        let mut candidates: Vec<InstId> = Vec::new();
+                        for c in load_cells.iter() {
+                            if let Some(list) = self.stores_by_cell.get(&c) {
+                                candidates.extend_from_slice(list);
+                            }
+                        }
+                        candidates.sort_unstable();
+                        candidates.dedup();
+                        for s in candidates {
+                            if !self.icfg.may_precede(self.program, s, inst) {
+                                continue;
+                            }
+                            let sf = self.program.func_of_inst(s);
+                            for &sc in self.ctxs_of(sf) {
+                                let store_cells = self
+                                    .pt
+                                    .access_cells_in(s, self.ctxs[sc as usize].hash)
+                                    .unwrap_or_else(|| self.pt.store_cells(s));
+                                if store_cells.intersects(load_cells) {
+                                    push(Node::Inst(sc, s), &mut seen, &mut work);
+                                }
+                            }
+                        }
+                    }
+                }
+                Node::Param(ctx, func_raw, p) => {
+                    // Parameter values flow from the arguments of every
+                    // creator call/spawn site of this context.
+                    let creators = self.creators[ctx as usize].clone();
+                    for (pc, site) in creators {
+                        let caller = self.program.func_of_inst(site);
+                        // In CI mode `creators[0]` holds every call site;
+                        // keep only those that call this function.
+                        if !self
+                            .pt
+                            .callees(site)
+                            .contains(&FuncId::new(func_raw))
+                        {
+                            continue;
+                        }
+                        let arg = match &self.program.inst(site).kind {
+                            InstKind::Call { args, .. } => {
+                                args.get(p.index()).copied()
+                            }
+                            InstKind::Spawn { arg, .. } if p.index() == 0 => Some(*arg),
+                            _ => None,
+                        };
+                        let Some(oha_ir::Operand::Reg(r)) = arg else {
+                            continue;
+                        };
+                        for &d in self.rds[caller.index()].defs_for(site, r) {
+                            match d {
+                                DefSite::Inst(di) => {
+                                    push(Node::Inst(pc, di), &mut seen, &mut work)
+                                }
+                                DefSite::Param(pp) => push(
+                                    Node::Param(pc, caller.raw(), pp),
+                                    &mut seen,
+                                    &mut work,
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(StaticSlice {
+            insts,
+            stats: SliceStats {
+                visited,
+                contexts: self.ctxs.len(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_ir::{BinOp, Operand, Program, ProgramBuilder};
+    use oha_pointsto::{analyze, PointsToConfig};
+    use Operand::{Const, Reg as R};
+
+    fn ci_pt(p: &Program) -> PointsTo {
+        analyze(p, &PointsToConfig::default()).unwrap()
+    }
+
+    fn output_of(p: &Program) -> InstId {
+        p.inst_ids()
+            .find(|&i| matches!(p.inst(i).kind, InstKind::Output { .. }))
+            .unwrap()
+    }
+
+    #[test]
+    fn slices_exclude_unrelated_computation() {
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.function("main", 0);
+        let a = m.copy(Const(1)); // relevant
+        let b = m.bin(BinOp::Add, R(a), Const(2)); // relevant
+        let junk = m.copy(Const(99)); // irrelevant
+        let junk2 = m.bin(BinOp::Mul, R(junk), Const(2)); // irrelevant
+        m.output(R(b));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let p = pb.finish(main).unwrap();
+        let pt = ci_pt(&p);
+        let s = slice(&p, &pt, &[output_of(&p)], &SliceConfig::default()).unwrap();
+
+        let ids: Vec<InstId> = p.inst_ids().collect();
+        assert!(s.contains(ids[0]), "def of a");
+        assert!(s.contains(ids[1]), "def of b");
+        assert!(!s.contains(ids[2]), "junk");
+        assert!(!s.contains(ids[3]), "junk2");
+        assert!(s.contains(ids[4]), "endpoint itself");
+        let _ = junk2;
+    }
+
+    #[test]
+    fn memory_flow_respects_aliasing_and_order() {
+        let mut pb = ProgramBuilder::new();
+        let mut m = pb.function("main", 0);
+        let o1 = m.alloc(1);
+        let o2 = m.alloc(1);
+        m.store(R(o1), 0, Const(1)); // aliases the load, precedes it
+        m.store(R(o2), 0, Const(2)); // different object
+        let l = m.load(R(o1), 0);
+        m.store(R(o1), 0, Const(3)); // aliases but comes after the load
+        m.output(R(l));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let p = pb.finish(main).unwrap();
+        let pt = ci_pt(&p);
+        let s = slice(&p, &pt, &[output_of(&p)], &SliceConfig::default()).unwrap();
+
+        let stores: Vec<InstId> = p
+            .inst_ids()
+            .filter(|&i| matches!(p.inst(i).kind, InstKind::Store { .. }))
+            .collect();
+        assert!(s.contains(stores[0]), "aliasing preceding store");
+        assert!(!s.contains(stores[1]), "non-aliasing store");
+        assert!(!s.contains(stores[2]), "store after the load");
+    }
+
+    #[test]
+    fn values_flow_through_calls() {
+        let mut pb = ProgramBuilder::new();
+        let double = pb.declare("double", 1);
+        let mut m = pb.function("main", 0);
+        let x = m.input();
+        let y = m.call(double, vec![R(x)]);
+        let junk = m.copy(Const(5));
+        m.output(R(y));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut d = pb.function("double", 1);
+        let s = d.bin(BinOp::Add, R(d.param(0)), R(d.param(0)));
+        d.ret(Some(R(s)));
+        pb.finish_function(d);
+        let p = pb.finish(main).unwrap();
+        let pt = ci_pt(&p);
+        let sl = slice(&p, &pt, &[output_of(&p)], &SliceConfig::default()).unwrap();
+
+        let input = p
+            .inst_ids()
+            .find(|&i| matches!(p.inst(i).kind, InstKind::Input { .. }))
+            .unwrap();
+        let add = p
+            .inst_ids()
+            .find(|&i| matches!(p.inst(i).kind, InstKind::BinOp { .. }))
+            .unwrap();
+        assert!(sl.contains(input), "argument source");
+        assert!(sl.contains(add), "callee body");
+        let junk_inst = p
+            .inst_ids()
+            .find(|&i| matches!(p.inst(i).kind, InstKind::Copy { .. }))
+            .unwrap();
+        assert!(!sl.contains(junk_inst));
+        let _ = junk;
+    }
+
+    /// Context sensitivity: two calls to an identity function; only one
+    /// argument should be in the CS slice, both in the CI slice.
+    #[test]
+    fn context_sensitivity_splits_call_sites() {
+        let mut pb = ProgramBuilder::new();
+        let id = pb.declare("id", 1);
+        let mut m = pb.function("main", 0);
+        let a = m.copy(Const(10));
+        let b = m.copy(Const(20));
+        let ra = m.call(id, vec![R(a)]);
+        let rb = m.call(id, vec![R(b)]);
+        m.output(R(rb));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut f = pb.function("id", 1);
+        f.ret(Some(R(f.param(0))));
+        pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        let pt = ci_pt(&p);
+        let ids: Vec<InstId> = p.inst_ids().collect();
+        let (def_a, def_b) = (ids[0], ids[1]);
+
+        let ci = slice(&p, &pt, &[output_of(&p)], &SliceConfig::default()).unwrap();
+        assert!(ci.contains(def_b));
+        assert!(ci.contains(def_a), "CI smears both call sites together");
+
+        let cs = slice(
+            &p,
+            &pt,
+            &[output_of(&p)],
+            &SliceConfig {
+                sensitivity: Sensitivity::ContextSensitive,
+                ..SliceConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(cs.contains(def_b));
+        assert!(!cs.contains(def_a), "CS separates the two calls");
+        assert!(cs.len() < ci.len());
+        let _ = (ra, rb);
+    }
+
+    #[test]
+    fn luc_predication_shrinks_slices() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("g", 1);
+        let mut m = pb.function("main", 0);
+        let cold = m.block();
+        let end = m.block();
+        let ga = m.addr_global(g);
+        m.store(R(ga), 0, Const(1));
+        let c = m.input();
+        m.branch(R(c), cold, end);
+        m.select(cold);
+        m.store(R(ga), 0, Const(42)); // cold store
+        m.jump(end);
+        m.select(end);
+        let l = m.load(R(ga), 0);
+        m.output(R(l));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let p = pb.finish(main).unwrap();
+        let pt = ci_pt(&p);
+
+        let sound = slice(&p, &pt, &[output_of(&p)], &SliceConfig::default()).unwrap();
+        let stores: Vec<InstId> = p
+            .inst_ids()
+            .filter(|&i| matches!(p.inst(i).kind, InstKind::Store { .. }))
+            .collect();
+        assert!(sound.contains(stores[1]), "cold store in sound slice");
+
+        let mut inv = InvariantSet::default();
+        let cold_block = p.loc(stores[1]).block;
+        for b in p.block_ids() {
+            if b != cold_block {
+                inv.visited_blocks.insert(b);
+            }
+        }
+        let pred = slice(
+            &p,
+            &pt,
+            &[output_of(&p)],
+            &SliceConfig {
+                invariants: Some(&inv),
+                ..SliceConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!pred.contains(stores[1]), "LUC drops the cold store");
+        assert!(pred.len() < sound.len());
+    }
+
+    #[test]
+    fn context_budget_exhaustion_is_reported() {
+        // A call chain deeper than the budget.
+        let mut pb = ProgramBuilder::new();
+        let depth = 20;
+        for i in 0..depth {
+            pb.declare(&format!("f{i}"), 1);
+        }
+        let mut m = pb.function("main", 0);
+        let f0 = pb.declare("f0", 1);
+        let x = m.copy(Const(1));
+        let r = m.call(f0, vec![R(x)]);
+        m.output(R(r));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        for i in 0..depth {
+            let mut f = pb.function(&format!("f{i}"), 1);
+            if i + 1 < depth {
+                let next = pb.declare(&format!("f{}", i + 1), 1);
+                let r = f.call(next, vec![R(f.param(0))]);
+                f.ret(Some(R(r)));
+            } else {
+                f.ret(Some(R(f.param(0))));
+            }
+            pb.finish_function(f);
+        }
+        let p = pb.finish(main).unwrap();
+        let pt = ci_pt(&p);
+        let err = slice(
+            &p,
+            &pt,
+            &[output_of(&p)],
+            &SliceConfig {
+                sensitivity: Sensitivity::ContextSensitive,
+                ctx_budget: 5,
+                ..SliceConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.reason.contains("budget"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Shared workload scaffolding: parameters, input corpora and IR helpers.
+
+use oha_ir::Operand::{Const, Reg as R};
+use oha_ir::{BinOp, BlockId, CmpOp, FuncId, FunctionBuilder, InstId, Operand, Program, ProgramBuilder, Reg};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Size/corpus knobs shared by every workload generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkloadParams {
+    /// Work-size scale (loop trip counts grow with this).
+    pub scale: u32,
+    /// Profiling corpus size.
+    pub num_profiling: usize,
+    /// Testing corpus size.
+    pub num_testing: usize,
+    /// Base RNG seed for input generation.
+    pub seed: u64,
+}
+
+impl WorkloadParams {
+    /// A configuration small enough for unit tests (sub-second per
+    /// benchmark).
+    pub fn small() -> Self {
+        Self {
+            scale: 4,
+            num_profiling: 6,
+            num_testing: 6,
+            seed: 0xbe9c4,
+        }
+    }
+
+    /// The configuration the figure/table harness uses.
+    pub fn benchmark() -> Self {
+        Self {
+            scale: 220,
+            num_profiling: 96,
+            num_testing: 12,
+            seed: 0xbe9c4,
+        }
+    }
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// A benchmark: its program plus matched input corpora.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Benchmark name (paper's spelling).
+    pub name: &'static str,
+    /// The program under analysis.
+    pub program: Program,
+    /// Profiling corpus (drives likely-invariant learning).
+    pub profiling_inputs: Vec<Vec<i64>>,
+    /// Testing corpus (same distribution, fresh seeds).
+    pub testing_inputs: Vec<Vec<i64>>,
+    /// Slice endpoints (output instructions), for the C suite.
+    pub endpoints: Vec<InstId>,
+    /// A small out-of-distribution corpus: inputs exercising behaviour the
+    /// profiling distribution (almost) never produces. Used by the
+    /// rollback-cost experiment; empty when the benchmark has no natural
+    /// cold feature.
+    pub adversarial_inputs: Vec<Vec<i64>>,
+}
+
+impl Workload {
+    /// All `output` instructions of `main`, the default slice endpoints.
+    pub(crate) fn main_outputs(program: &Program) -> Vec<InstId> {
+        let main = program.entry();
+        program
+            .inst_ids()
+            .filter(|&i| {
+                program.func_of_inst(i) == main
+                    && matches!(program.inst(i).kind, oha_ir::InstKind::Output { .. })
+            })
+            .collect()
+    }
+}
+
+/// Generates `n` input vectors from a per-input closure.
+pub(crate) fn corpus(
+    seed: u64,
+    n: usize,
+    mut gen: impl FnMut(&mut StdRng) -> Vec<i64>,
+) -> Vec<Vec<i64>> {
+    (0..n)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64).wrapping_mul(0x9e37));
+            gen(&mut rng)
+        })
+        .collect()
+}
+
+/// An open `for i in 0..count` loop; pair with [`end_loop`].
+pub(crate) struct Loop {
+    pub head: BlockId,
+    pub exit: BlockId,
+    pub i: Reg,
+}
+
+pub(crate) fn begin_loop(f: &mut FunctionBuilder, count: Operand) -> Loop {
+    let head = f.block();
+    let body = f.block();
+    let exit = f.block();
+    let i = f.copy(Const(0));
+    f.jump(head);
+    f.select(head);
+    let c = f.cmp(CmpOp::Lt, R(i), count);
+    f.branch(R(c), body, exit);
+    f.select(body);
+    Loop { head, exit, i }
+}
+
+pub(crate) fn end_loop(f: &mut FunctionBuilder, l: &Loop) {
+    let next = f.bin(BinOp::Add, R(l.i), Const(1));
+    f.copy_to(l.i, R(next));
+    f.jump(l.head);
+    f.select(l.exit);
+}
+
+/// Declares and defines a pool of `n` mutually-calling helper functions.
+///
+/// `helper_i(x)` bottoms out at `x <= 0`, otherwise calls
+/// `helper_{(i+2) % n}(x - 9)` and — on a rare input-dependent path —
+/// `helper_{(i+3) % n}(x - 11)`. The static call structure is a dense web
+/// (every context-sensitive analysis must clone chains through the pool for
+/// each entry point), while dynamic recursion stays shallow. This is the
+/// context-space inflator behind the Table 2 / Figure 11 benchmarks.
+pub(crate) fn helper_pool(pb: &mut ProgramBuilder, prefix: &str, n: usize) -> Vec<FuncId> {
+    let ids: Vec<FuncId> = (0..n)
+        .map(|i| pb.declare(&format!("{prefix}_{i}"), 1))
+        .collect();
+    for i in 0..n {
+        let mut f = pb.function(&format!("{prefix}_{i}"), 1);
+        let x = f.param(0);
+        let stop = f.block();
+        let go = f.block();
+        let pos = f.cmp(CmpOp::Gt, R(x), Const(0));
+        f.branch(R(pos), go, stop);
+        f.select(stop);
+        f.ret(Some(R(x)));
+        f.select(go);
+        // Clamp the argument so dynamic recursion depth stays below 8
+        // levels no matter what callers pass in.
+        let x2 = f.bin(BinOp::And, R(x), Const(63));
+        let mixed = f.bin(BinOp::Xor, R(x2), Const(i as i64 * 3 + 1));
+        let next = f.bin(BinOp::Sub, R(x2), Const(9));
+        let a = f.call(ids[(i + 2) % n], vec![R(next)]);
+        let acc = f.bin(BinOp::Add, R(mixed), R(a));
+        // Rare second branch: x divisible by 13.
+        let rem = f.bin(BinOp::Rem, R(x2), Const(13));
+        let rare = f.cmp(CmpOp::Eq, R(rem), Const(0));
+        let deep = f.block();
+        let done = f.block();
+        f.branch(R(rare), deep, done);
+        f.select(deep);
+        let next2 = f.bin(BinOp::Sub, R(x2), Const(11));
+        let b = f.call(ids[(i + 3) % n], vec![R(next2)]);
+        let acc2 = f.bin(BinOp::Add, R(acc), R(b));
+        f.copy_to(acc, R(acc2));
+        f.jump(done);
+        f.select(done);
+        f.ret(Some(R(acc)));
+        pb.finish_function(f);
+    }
+    ids
+}
+
+/// Emits a chain of arithmetic "work" ending in a register (compute-bound
+/// filler whose length scales analysis-irrelevant cost).
+pub(crate) fn compute_chain(f: &mut FunctionBuilder, seedv: Operand, len: u32) -> Reg {
+    let mut cur = f.copy(seedv);
+    for k in 0..len {
+        let op = match k % 4 {
+            0 => BinOp::Add,
+            1 => BinOp::Mul,
+            2 => BinOp::Xor,
+            _ => BinOp::Sub,
+        };
+        cur = f.bin(op, R(cur), Const(i64::from(k) * 7 + 3));
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_ir::ProgramBuilder;
+    use rand::Rng;
+
+    #[test]
+    fn corpus_is_deterministic_but_varied() {
+        let a = corpus(1, 4, |rng| vec![rng.gen_range(0..100)]);
+        let b = corpus(1, 4, |rng| vec![rng.gen_range(0..100)]);
+        assert_eq!(a, b, "same seed, same corpus");
+        let c = corpus(2, 4, |rng| vec![rng.gen_range(0..100)]);
+        assert_ne!(a, c, "different seed, different corpus");
+        assert!(a.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+
+    #[test]
+    fn loop_helper_runs_count_times() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let n = f.input();
+        let acc = f.copy(Const(0));
+        let l = begin_loop(&mut f, R(n));
+        let next = f.bin(BinOp::Add, R(acc), Const(2));
+        f.copy_to(acc, R(next));
+        end_loop(&mut f, &l);
+        f.output(R(acc));
+        f.ret(None);
+        let main = pb.finish_function(f);
+        let p = pb.finish(main).unwrap();
+        let r = oha_interp::Machine::new(&p, oha_interp::MachineConfig::default())
+            .run(&[5], &mut oha_interp::NoopTracer);
+        assert_eq!(r.output_values(), vec![10]);
+    }
+}

@@ -1,0 +1,733 @@
+//! The DaCapo/JavaGrande stand-ins (race-detection benchmarks).
+//!
+//! Four structural templates cover the suite; each benchmark instantiates a
+//! template with its own kernel, sharing mix and cold-path behaviour (see
+//! the crate docs for the mapping).
+
+use oha_ir::Operand::{Const, Reg as R};
+use oha_ir::{BinOp, CmpOp, Program, ProgramBuilder};
+use rand::Rng;
+
+use crate::common::{begin_loop, compute_chain, corpus, end_loop, Workload, WorkloadParams};
+
+/// All fourteen benchmarks.
+pub fn all(params: &WorkloadParams) -> Vec<Workload> {
+    vec![
+        lusearch(params),
+        pmd(params),
+        raytracer(params),
+        moldyn(params),
+        sunflow(params),
+        montecarlo(params),
+        batik(params),
+        xalan(params),
+        luindex(params),
+        sor(params),
+        sparse(params),
+        series(params),
+        crypt(params),
+        lufact(params),
+    ]
+}
+
+/// Knobs for the lock-guarded worker-pool template.
+struct PoolSpec {
+    name: &'static str,
+    /// Shared fields updated under the lock per iteration.
+    locked_fields: u32,
+    /// Read-only shared fields read per iteration.
+    readonly_reads: u32,
+    /// Per-iteration thread-local scratch stores.
+    local_ops: u32,
+    /// Length of the per-iteration local compute chain.
+    compute: u32,
+    /// Indirect rule dispatch through a function-pointer global.
+    rule_dispatch: bool,
+    /// Spawn directly from `main` (statically provable singletons and
+    /// fork-join ordering) or hide the spawns in a helper (only the
+    /// likely-singleton-thread invariant recovers the pruning).
+    spawn_in_main: bool,
+    /// Probability (per mille) that an input triggers the workers' cold
+    /// path, whose unlocked writes poison the sound analysis (LUC).
+    cold_per_mille: u32,
+}
+
+/// Template 1 — worker pool with lock-guarded shared state.
+///
+/// Two *distinct* worker functions keep their scratch allocations apart for
+/// the points-to analysis (thread-local work is provably race-free). Each
+/// iteration: read-only index loads, scratch stores, a lock-guarded update
+/// of the shared accumulator, optional indirect rule dispatch. A rare
+/// input-triggered cold block writes the read-only index *unlocked*: the
+/// sound analysis must therefore keep every index load instrumented, while
+/// LUC predication prunes both.
+fn pool_program(spec: &PoolSpec) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let index = pb.global("index", spec.readonly_reads + 1);
+    let shared = pb.global("shared", spec.locked_fields);
+    let lk = pb.global("lk", 1);
+    let rules = pb.global("rules", 2);
+    let worker_a = pb.declare("worker_a", 1);
+    let worker_b = pb.declare("worker_b", 1);
+    let rule_a = pb.declare("rule_a", 1);
+    let rule_b = pb.declare("rule_b", 1);
+    let run_pool = pb.declare("run_pool", 1);
+
+    // main: read config, initialize the index, run the pool, report.
+    let mut m = pb.function("main", 0);
+    let work = m.input();
+    let mode = m.input();
+    let ix = m.addr_global(index);
+    m.store(R(ix), 0, R(mode)); // the cold-path flag
+    for f in 0..spec.readonly_reads {
+        let v = m.bin(BinOp::Add, R(work), Const(i64::from(f) * 11));
+        m.store(R(ix), f + 1, R(v));
+    }
+    if spec.rule_dispatch {
+        let ra = m.addr_func(rule_a);
+        let rb = m.addr_func(rule_b);
+        let rg = m.addr_global(rules);
+        m.store(R(rg), 0, R(ra));
+        m.store(R(rg), 1, R(rb));
+    }
+    if spec.spawn_in_main {
+        let t1 = m.spawn(worker_a, R(work));
+        let t2 = m.spawn(worker_b, R(work));
+        m.join(R(t1));
+        m.join(R(t2));
+    } else {
+        m.call_void(run_pool, vec![R(work)]);
+    }
+    let sh = m.addr_global(shared);
+    let total = m.load(R(sh), 0);
+    m.output(R(total));
+    m.ret(None);
+    let main = pb.finish_function(m);
+
+    // run_pool: the helper-hidden spawns (each singleton per run, but only
+    // profiling can know that).
+    let mut rp = pb.function("run_pool", 1);
+    let w = rp.param(0);
+    let t1 = rp.spawn(worker_a, R(w));
+    let t2 = rp.spawn(worker_b, R(w));
+    rp.join(R(t1));
+    rp.join(R(t2));
+    rp.ret(None);
+    pb.finish_function(rp);
+
+    // Two structurally identical but distinct worker functions.
+    for wname in ["worker_a", "worker_b"] {
+        let mut wf = pb.function(wname, 1);
+        let iters = wf.param(0);
+        let ix = wf.addr_global(index);
+        let sh = wf.addr_global(shared);
+        let lka = wf.addr_global(lk);
+        let scratch = wf.alloc(spec.local_ops.max(1));
+        let l = begin_loop(&mut wf, R(iters));
+        // Read-only index loads.
+        let mut mix = wf.copy(R(l.i));
+        for f in 0..spec.readonly_reads {
+            let v = wf.load(R(ix), f + 1);
+            let nx = wf.bin(BinOp::Add, R(mix), R(v));
+            mix = nx;
+        }
+        // Cold path: unlocked index writes, guarded by the flag.
+        let flag = wf.load(R(ix), 0);
+        let cold = wf.block();
+        let warm = wf.block();
+        let is_cold = wf.cmp(CmpOp::Eq, R(flag), Const(13));
+        wf.branch(R(is_cold), cold, warm);
+        wf.select(cold);
+        for f in 0..spec.readonly_reads {
+            let poison = wf.bin(BinOp::Xor, R(mix), Const(i64::from(f)));
+            wf.store(R(ix), f + 1, R(poison));
+        }
+        wf.jump(warm);
+        wf.select(warm);
+        // Thread-local scratch work.
+        let local = compute_chain(&mut wf, R(mix), spec.compute);
+        for f in 0..spec.local_ops {
+            wf.store(R(scratch), f, R(local));
+        }
+        let back = wf.load(R(scratch), 0);
+        // Lock-guarded shared accumulation.
+        wf.lock(R(lka));
+        for f in 0..spec.locked_fields {
+            let v = wf.load(R(sh), f);
+            let v1 = wf.bin(BinOp::Add, R(v), R(back));
+            wf.store(R(sh), f, R(v1));
+        }
+        wf.unlock(R(lka));
+        if spec.rule_dispatch {
+            let rg = wf.addr_global(rules);
+            let sel = wf.bin(BinOp::And, R(l.i), Const(1));
+            let pick_b = wf.block();
+            let do_call = wf.block();
+            let fp = wf.load(R(rg), 0);
+            wf.branch(R(sel), pick_b, do_call);
+            wf.select(pick_b);
+            wf.load_to(fp, R(rg), 1);
+            wf.jump(do_call);
+            wf.select(do_call);
+            wf.call_indirect_void(R(fp), vec![R(local)]);
+        }
+        end_loop(&mut wf, &l);
+        wf.ret(None);
+        pb.finish_function(wf);
+    }
+
+    // The rules: pure compute on their argument.
+    for name in ["rule_a", "rule_b"] {
+        let mut rf = pb.function(name, 1);
+        let arg = rf.param(0);
+        let v = compute_chain(&mut rf, R(arg), 3);
+        rf.ret(Some(R(v)));
+        pb.finish_function(rf);
+    }
+
+    pb.finish(main).unwrap()
+}
+
+fn pool_workload(spec: PoolSpec, params: &WorkloadParams) -> Workload {
+    let program = pool_program(&spec);
+    let scale = params.scale;
+    let cold = spec.cold_per_mille;
+    let gen = move |rng: &mut rand::rngs::StdRng| {
+        let work = i64::from(scale) * rng.gen_range(2..6);
+        let mode = if rng.gen_range(0..1000) < cold { 13 } else { 0 };
+        vec![work, mode]
+    };
+    let adversarial = corpus(params.seed ^ 0x0dd, 3, move |rng| {
+        vec![i64::from(scale) * rng.gen_range(2..6), 13]
+    });
+    Workload {
+        name: spec.name,
+        endpoints: Workload::main_outputs(&program),
+        profiling_inputs: corpus(params.seed, params.num_profiling, gen),
+        adversarial_inputs: adversarial,
+        testing_inputs: corpus(params.seed ^ 0xdead, params.num_testing, gen),
+        program,
+    }
+}
+
+/// `lusearch`: text-search worker pool, lock-heavy, small cold region.
+pub fn lusearch(params: &WorkloadParams) -> Workload {
+    pool_workload(
+        PoolSpec {
+            name: "lusearch",
+            locked_fields: 3,
+            readonly_reads: 2,
+            local_ops: 2,
+            compute: 4,
+            rule_dispatch: false,
+            spawn_in_main: true,
+            cold_per_mille: 0,
+        },
+        params,
+    )
+}
+
+/// `pmd`: source-analysis pool with indirect rule dispatch.
+pub fn pmd(params: &WorkloadParams) -> Workload {
+    pool_workload(
+        PoolSpec {
+            name: "pmd",
+            locked_fields: 2,
+            readonly_reads: 1,
+            local_ops: 1,
+            compute: 6,
+            rule_dispatch: true,
+            spawn_in_main: false,
+            cold_per_mille: 0,
+        },
+        params,
+    )
+}
+
+/// `luindex`: indexing pool, more locked state, rare cold path in testing.
+pub fn luindex(params: &WorkloadParams) -> Workload {
+    pool_workload(
+        PoolSpec {
+            name: "luindex",
+            locked_fields: 4,
+            readonly_reads: 1,
+            local_ops: 2,
+            compute: 3,
+            rule_dispatch: false,
+            spawn_in_main: false,
+            cold_per_mille: 25,
+        },
+        params,
+    )
+}
+
+/// `moldyn`: molecular dynamics — bigger locked force accumulation.
+pub fn moldyn(params: &WorkloadParams) -> Workload {
+    pool_workload(
+        PoolSpec {
+            name: "moldyn",
+            locked_fields: 6,
+            readonly_reads: 3,
+            local_ops: 3,
+            compute: 5,
+            rule_dispatch: false,
+            spawn_in_main: true,
+            cold_per_mille: 0,
+        },
+        params,
+    )
+}
+
+/// `raytracer`: scene reads + per-thread framebuffer writes dominated by
+/// compute, with a lock-guarded progress counter.
+pub fn raytracer(params: &WorkloadParams) -> Workload {
+    pool_workload(
+        PoolSpec {
+            name: "raytracer",
+            locked_fields: 1,
+            readonly_reads: 4,
+            local_ops: 4,
+            compute: 8,
+            rule_dispatch: false,
+            spawn_in_main: true,
+            cold_per_mille: 0,
+        },
+        params,
+    )
+}
+
+/// Template 2 — loop-spawned fork-join phases with unlocked phase data
+/// (the `sunflow`/`montecarlo` shape the lockset detector cannot optimize,
+/// §6.2).
+fn forkjoin_program(tasks_per_phase: u32, compute: u32) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let phase_data = pb.global("phase_data", 2);
+    let results = pb.global("results", 2);
+    let lk = pb.global("lk", 1);
+    let task = pb.declare("task", 1);
+
+    let mut m = pb.function("main", 0);
+    let phases = m.input();
+    let pd = m.addr_global(phase_data);
+    let res = m.addr_global(results);
+    let lp = begin_loop(&mut m, R(phases));
+    // Main writes the phase data unlocked (workers of the previous phase
+    // have been joined, but the loop-carried spawn site defeats static
+    // MHP).
+    let seed = m.bin(BinOp::Mul, R(lp.i), Const(17));
+    m.store(R(pd), 0, R(seed));
+    m.store(R(pd), 1, R(lp.i));
+    // Spawn a small barrier of tasks and join them all.
+    let mut handles = Vec::new();
+    for _ in 0..tasks_per_phase {
+        handles.push(m.spawn(task, R(lp.i)));
+    }
+    for h in handles {
+        m.join(R(h));
+    }
+    end_loop(&mut m, &lp);
+    let total = m.load(R(res), 0);
+    m.output(R(total));
+    m.ret(None);
+    let main = pb.finish_function(m);
+
+    let mut tf = pb.function("task", 1);
+    let sc = tf.alloc(2);
+    let pd = tf.addr_global(phase_data);
+    let res = tf.addr_global(results);
+    let lka = tf.addr_global(lk);
+    let a = tf.load(R(pd), 0);
+    let b = tf.load(R(pd), 1);
+    let mix = tf.bin(BinOp::Add, R(a), R(b));
+    let v = compute_chain(&mut tf, R(mix), compute);
+    tf.store(R(sc), 0, R(v));
+    let v2 = tf.load(R(sc), 0);
+    tf.lock(R(lka));
+    let r = tf.load(R(res), 0);
+    let r1 = tf.bin(BinOp::Add, R(r), R(v2));
+    tf.store(R(res), 0, R(r1));
+    tf.unlock(R(lka));
+    tf.ret(None);
+    pb.finish_function(tf);
+
+    pb.finish(main).unwrap()
+}
+
+fn forkjoin_workload(
+    name: &'static str,
+    tasks: u32,
+    compute: u32,
+    params: &WorkloadParams,
+) -> Workload {
+    let program = forkjoin_program(tasks, compute);
+    // Each phase spawns `tasks` threads; keep the total thread count sane.
+    let scale = (params.scale / 6).max(2);
+    let gen = move |rng: &mut rand::rngs::StdRng| vec![i64::from(scale) * rng.gen_range(1..4)];
+    Workload {
+        name,
+        endpoints: Workload::main_outputs(&program),
+        profiling_inputs: corpus(params.seed + 7, params.num_profiling, gen),
+        adversarial_inputs: Vec::new(),
+        testing_inputs: corpus(params.seed ^ 0xf00d, params.num_testing, gen),
+        program,
+    }
+}
+
+/// `sunflow`: barrier-style rendering phases.
+pub fn sunflow(params: &WorkloadParams) -> Workload {
+    forkjoin_workload("sunflow", 3, 8, params)
+}
+
+/// `montecarlo`: fork-join simulation batches.
+pub fn montecarlo(params: &WorkloadParams) -> Workload {
+    forkjoin_workload("montecarlo", 2, 5, params)
+}
+
+/// `batik`: one helper thread plus a large cold format/error region whose
+/// unlocked stores poison the sound analysis (LUC's showcase).
+pub fn batik(params: &WorkloadParams) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let doc = pb.global("doc", 6);
+    let lk = pb.global("lk", 1);
+    let rasterize = pb.declare("rasterize", 1);
+    let start = pb.declare("start", 1);
+
+    let mut m = pb.function("main", 0);
+    let size = m.input();
+    let mode = m.input();
+    let d = m.addr_global(doc);
+    m.store(R(d), 4, R(size));
+    // Large cold region: unusual SVG features.
+    let cold = m.block();
+    let hot = m.block();
+    let is_cold = m.cmp(CmpOp::Eq, R(mode), Const(42));
+    m.branch(R(is_cold), cold, hot);
+    m.select(cold);
+    for f in 0..4 {
+        let v = compute_chain(&mut m, R(mode), 5);
+        m.store(R(d), f, R(v));
+        let nb = m.block();
+        m.jump(nb);
+        m.select(nb);
+    }
+    m.jump(hot);
+    m.select(hot);
+    m.call_void(start, vec![R(size)]);
+    let l0 = m.load(R(d), 0);
+    let l1 = m.load(R(d), 1);
+    let s = m.bin(BinOp::Add, R(l0), R(l1));
+    m.output(R(s));
+    m.ret(None);
+    let main = pb.finish_function(m);
+
+    let mut st = pb.function("start", 1);
+    let t = st.spawn(rasterize, R(st.param(0)));
+    st.join(R(t));
+    st.ret(None);
+    pb.finish_function(st);
+
+    let mut rf = pb.function("rasterize", 1);
+    let n = rf.param(0);
+    let d = rf.addr_global(doc);
+    let lka = rf.addr_global(lk);
+    let l = begin_loop(&mut rf, R(n));
+    let v0 = rf.load(R(d), 0);
+    let v1 = rf.load(R(d), 1);
+    let mix = rf.bin(BinOp::Xor, R(v0), R(v1));
+    let px = compute_chain(&mut rf, R(mix), 4);
+    rf.lock(R(lka));
+    let acc = rf.load(R(d), 5);
+    let acc1 = rf.bin(BinOp::Add, R(acc), R(px));
+    rf.store(R(d), 5, R(acc1));
+    rf.unlock(R(lka));
+    end_loop(&mut rf, &l);
+    rf.ret(None);
+    pb.finish_function(rf);
+
+    let program = pb.finish(main).unwrap();
+    let scale = params.scale;
+    let gen = move |rng: &mut rand::rngs::StdRng| {
+        let mode = if rng.gen_range(0..1000) < 5 { 42 } else { 0 };
+        vec![i64::from(scale) * rng.gen_range(2..6), mode]
+    };
+    let adversarial = corpus(params.seed ^ 0x0dd, 3, move |rng| {
+        vec![i64::from(scale) * rng.gen_range(2..6), 42]
+    });
+    Workload {
+        name: "batik",
+        endpoints: Workload::main_outputs(&program),
+        profiling_inputs: corpus(params.seed + 11, params.num_profiling, gen),
+        adversarial_inputs: adversarial,
+        testing_inputs: corpus(params.seed ^ 0xabcd, params.num_testing, gen),
+        program,
+    }
+}
+
+/// `xalan`: transform dominated by pure compute and output — every
+/// detector variant is already near the baseline.
+pub fn xalan(params: &WorkloadParams) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let stats = pb.global("stats", 1);
+    let lk = pb.global("lk", 1);
+    let transform = pb.declare("transform", 1);
+
+    let mut m = pb.function("main", 0);
+    let docs = m.input();
+    let l = begin_loop(&mut m, R(docs));
+    let t = m.spawn(transform, R(l.i));
+    m.join(R(t));
+    end_loop(&mut m, &l);
+    let sa = m.addr_global(stats);
+    let v = m.load(R(sa), 0);
+    m.output(R(v));
+    m.ret(None);
+    let main = pb.finish_function(m);
+
+    let mut tf = pb.function("transform", 1);
+    let x = tf.param(0);
+    let v = compute_chain(&mut tf, R(x), 40);
+    let lka = tf.addr_global(lk);
+    let sa = tf.addr_global(stats);
+    tf.lock(R(lka));
+    let s = tf.load(R(sa), 0);
+    let s1 = tf.bin(BinOp::Add, R(s), R(v));
+    tf.store(R(sa), 0, R(s1));
+    tf.unlock(R(lka));
+    tf.output(R(v));
+    tf.ret(None);
+    pb.finish_function(tf);
+
+    let program = pb.finish(main).unwrap();
+    // One thread per document; bound the count.
+    let scale = (params.scale / 5).max(2);
+    let gen = move |rng: &mut rand::rngs::StdRng| vec![i64::from(scale) * rng.gen_range(1..3)];
+    Workload {
+        name: "xalan",
+        endpoints: Workload::main_outputs(&program),
+        profiling_inputs: corpus(params.seed + 13, params.num_profiling, gen),
+        adversarial_inputs: Vec::new(),
+        testing_inputs: corpus(params.seed ^ 0x7777, params.num_testing, gen),
+        program,
+    }
+}
+
+/// Kernels for the provably race-free template.
+#[derive(Clone, Copy, Debug)]
+enum Kernel {
+    /// Stencil sweeps (successive over-relaxation).
+    Sor,
+    /// Gather/scatter over fixed offsets (sparse matmult).
+    Sparse,
+    /// Pure term evaluation (Fourier series).
+    Series,
+    /// Xor/rotate rounds (IDEA encryption).
+    Crypt,
+    /// Row elimination (LU factorization).
+    Lufact,
+}
+
+/// Template 3 — the statically race-free five: two singleton spawns in
+/// `main` (provably single-instance), *per-thread worker functions* so the
+/// points-to analysis keeps the two threads' buffers apart, read-only
+/// shared config written before the spawns, per-thread result globals read
+/// back after dominating joins.
+fn racefree_program(kernel: Kernel) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let config = pb.global("config", 2);
+    let res_a = pb.global("result_a", 1);
+    let res_b = pb.global("result_b", 1);
+    let worker_a = pb.declare("worker_a", 1);
+    let worker_b = pb.declare("worker_b", 1);
+
+    let mut m = pb.function("main", 0);
+    let n = m.input();
+    let cfg = m.addr_global(config);
+    m.store(R(cfg), 0, R(n));
+    let twice = m.bin(BinOp::Mul, R(n), Const(2));
+    m.store(R(cfg), 1, R(twice));
+    let t1 = m.spawn(worker_a, R(n));
+    let t2 = m.spawn(worker_b, R(n));
+    m.join(R(t1));
+    m.join(R(t2));
+    let ra = m.addr_global(res_a);
+    let rb = m.addr_global(res_b);
+    let r1 = m.load(R(ra), 0);
+    let r2 = m.load(R(rb), 0);
+    let sum = m.bin(BinOp::Add, R(r1), R(r2));
+    m.output(R(sum));
+    m.ret(None);
+    let main = pb.finish_function(m);
+
+    for (wname, res) in [("worker_a", res_a), ("worker_b", res_b)] {
+        let mut w = pb.function(wname, 1);
+        let iters = w.param(0);
+        let buf = w.alloc(6);
+        let cfg = w.addr_global(config);
+        let shared0 = w.load(R(cfg), 0);
+        let l = begin_loop(&mut w, R(iters));
+        emit_kernel(&mut w, kernel, buf, shared0, l.i);
+        end_loop(&mut w, &l);
+        let out = w.load(R(buf), 0);
+        let ra = w.addr_global(res);
+        w.store(R(ra), 0, R(out));
+        w.ret(None);
+        pb.finish_function(w);
+    }
+
+    pb.finish(main).unwrap()
+}
+
+/// Emits one iteration of a race-free kernel body operating on `buf`.
+fn emit_kernel(
+    w: &mut oha_ir::FunctionBuilder,
+    kernel: Kernel,
+    buf: oha_ir::Reg,
+    shared0: oha_ir::Reg,
+    i: oha_ir::Reg,
+) {
+    match kernel {
+        Kernel::Sor => {
+            // Stencil: fields 0..4 averaged with neighbours.
+            for f in 0..4u32 {
+                let a = w.load(R(buf), f);
+                let b = w.load(R(buf), f + 1);
+                let s = w.bin(BinOp::Add, R(a), R(b));
+                let relaxed = w.bin(BinOp::Div, R(s), Const(2));
+                w.store(R(buf), f, R(relaxed));
+            }
+        }
+        Kernel::Sparse => {
+            // Gather from scattered fields, accumulate into field 0.
+            let mut acc = w.load(R(buf), 0);
+            for &f in &[2u32, 4, 1, 3] {
+                let v = w.load(R(buf), f);
+                acc = w.bin(BinOp::Add, R(acc), R(v));
+            }
+            let scaled = w.bin(BinOp::Mul, R(acc), R(shared0));
+            w.store(R(buf), 0, R(scaled));
+        }
+        Kernel::Series => {
+            // Mostly pure computation, one store per term.
+            let term = compute_chain(w, R(i), 10);
+            let old = w.load(R(buf), 0);
+            let s = w.bin(BinOp::Add, R(old), R(term));
+            w.store(R(buf), 0, R(s));
+        }
+        Kernel::Crypt => {
+            // Xor/add rounds over two fields.
+            let a = w.load(R(buf), 1);
+            let k = w.bin(BinOp::Xor, R(a), R(shared0));
+            let r1 = w.bin(BinOp::Mul, R(k), Const(2654435761));
+            let r2 = w.bin(BinOp::Xor, R(r1), Const(0x5a5a));
+            w.store(R(buf), 1, R(r2));
+            let old = w.load(R(buf), 0);
+            let s = w.bin(BinOp::Add, R(old), R(r2));
+            w.store(R(buf), 0, R(s));
+        }
+        Kernel::Lufact => {
+            // Triangular elimination over fields 1..4 with a pivot.
+            let pivot = w.load(R(buf), 1);
+            for f in 2..5u32 {
+                let v = w.load(R(buf), f);
+                let scaled = w.bin(BinOp::Mul, R(v), R(pivot));
+                let red = w.bin(BinOp::Sub, R(scaled), R(shared0));
+                w.store(R(buf), f, R(red));
+            }
+            let old = w.load(R(buf), 0);
+            let s = w.bin(BinOp::Add, R(old), R(pivot));
+            w.store(R(buf), 0, R(s));
+        }
+    }
+}
+
+fn racefree_workload(name: &'static str, kernel: Kernel, params: &WorkloadParams) -> Workload {
+    let program = racefree_program(kernel);
+    let scale = params.scale;
+    let gen = move |rng: &mut rand::rngs::StdRng| vec![i64::from(scale) * rng.gen_range(2..6)];
+    Workload {
+        name,
+        endpoints: Workload::main_outputs(&program),
+        profiling_inputs: corpus(params.seed + 17, params.num_profiling, gen),
+        adversarial_inputs: Vec::new(),
+        testing_inputs: corpus(params.seed ^ 0x1234, params.num_testing, gen),
+        program,
+    }
+}
+
+/// `sor`: successive over-relaxation (statically race-free).
+pub fn sor(params: &WorkloadParams) -> Workload {
+    racefree_workload("sor", Kernel::Sor, params)
+}
+
+/// `sparse`: sparse matrix multiply (statically race-free).
+pub fn sparse(params: &WorkloadParams) -> Workload {
+    racefree_workload("sparse", Kernel::Sparse, params)
+}
+
+/// `series`: Fourier series (statically race-free).
+pub fn series(params: &WorkloadParams) -> Workload {
+    racefree_workload("series", Kernel::Series, params)
+}
+
+/// `crypt`: IDEA encryption (statically race-free).
+pub fn crypt(params: &WorkloadParams) -> Workload {
+    racefree_workload("crypt", Kernel::Crypt, params)
+}
+
+/// `lufact`: LU factorization (statically race-free).
+pub fn lufact(params: &WorkloadParams) -> Workload {
+    racefree_workload("lufact", Kernel::Lufact, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_interp::{Machine, MachineConfig, NoopTracer, Termination};
+
+    #[test]
+    fn every_benchmark_builds_and_runs() {
+        let params = WorkloadParams::small();
+        let suite = all(&params);
+        assert_eq!(suite.len(), 14);
+        for w in &suite {
+            assert!(!w.profiling_inputs.is_empty());
+            for input in w.profiling_inputs.iter().chain(&w.testing_inputs) {
+                let r = Machine::new(&w.program, MachineConfig::default())
+                    .run(input, &mut NoopTracer);
+                assert_eq!(
+                    r.status,
+                    Termination::Exited,
+                    "{} diverged on {input:?}",
+                    w.name
+                );
+                assert!(r.steps > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_paper_spelled() {
+        let params = WorkloadParams::small();
+        let names: Vec<&str> = all(&params).iter().map(|w| w.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for expected in [
+            "lusearch", "pmd", "raytracer", "moldyn", "sunflow", "montecarlo", "batik",
+            "xalan", "luindex", "sor", "sparse", "series", "crypt", "lufact",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn multithreaded_benchmarks_spawn_threads() {
+        let params = WorkloadParams::small();
+        for w in all(&params) {
+            let r = Machine::new(&w.program, MachineConfig::default())
+                .run(&w.testing_inputs[0], &mut NoopTracer);
+            assert!(r.num_threads >= 2, "{} never spawned", w.name);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Shared test support: a proptest generator for random, runtime-valid IR
+//! programs (optionally multithreaded), used by the differential and
+//! metamorphic property tests.
+
+use oha::ir::Operand::{Const, Reg as R};
+use oha::ir::{BinOp, CmpOp, FuncId, FunctionBuilder, Program, ProgramBuilder, Reg};
+use proptest::prelude::*;
+
+/// Arithmetic selector (kept small so shrinking stays readable).
+#[derive(Clone, Copy, Debug)]
+pub enum Arith {
+    Add,
+    Mul,
+    Xor,
+    Sub,
+}
+
+impl Arith {
+    fn op(self) -> BinOp {
+        match self {
+            Arith::Add => BinOp::Add,
+            Arith::Mul => BinOp::Mul,
+            Arith::Xor => BinOp::Xor,
+            Arith::Sub => BinOp::Sub,
+        }
+    }
+}
+
+/// A leaf action, valid in any function body.
+#[derive(Clone, Debug)]
+pub enum Leaf {
+    /// `acc = acc <op> k`.
+    Compute(Arith, i64),
+    /// `acc = acc <op> input()`.
+    Input(Arith),
+    /// `output acc`.
+    Output,
+    /// Allocate a local object, store the accumulator into it, read it
+    /// back.
+    LocalMem {
+        /// object size 1..=4
+        fields: u8,
+        /// field written then read (mod fields)
+        field: u8,
+    },
+    /// Access a shared global: `g` selects the global, optionally under the
+    /// global lock, optionally writing the accumulator.
+    Global {
+        /// which global (mod NUM_GLOBALS)
+        g: u8,
+        /// which field (mod 2)
+        field: u8,
+        /// write the accumulator (otherwise read into it)
+        write: bool,
+        /// wrap in lock/unlock of the dedicated lock global
+        locked: bool,
+    },
+}
+
+/// A segment of a function body.
+#[derive(Clone, Debug)]
+pub enum Seg {
+    /// A leaf action.
+    Leaf(Leaf),
+    /// `if (input != 0) { then } else { els }` over leaf actions.
+    Branch {
+        /// Taken when the next input value is nonzero.
+        then: Vec<Leaf>,
+        /// Taken otherwise.
+        els: Vec<Leaf>,
+    },
+    /// Call a helper function, folding its result into the accumulator.
+    CallHelper(u8),
+    /// Spawn a worker with the accumulator as argument; `join` joins it
+    /// immediately (otherwise the handle is dropped and the thread runs
+    /// free).
+    Spawn {
+        /// worker index (mod number of workers)
+        worker: u8,
+        /// join right away
+        join: bool,
+    },
+}
+
+/// A whole random program: main segments plus worker/helper bodies.
+#[derive(Clone, Debug)]
+pub struct ProgSpec {
+    /// Segments of `main`.
+    pub main: Vec<Seg>,
+    /// Worker thread bodies (leaf-only).
+    pub workers: Vec<Vec<Leaf>>,
+    /// Helper function bodies (leaf-only).
+    pub helpers: Vec<Vec<Leaf>>,
+}
+
+pub const NUM_GLOBALS: u8 = 3;
+
+fn leaf_strategy() -> impl Strategy<Value = Leaf> {
+    let arith = prop_oneof![
+        Just(Arith::Add),
+        Just(Arith::Mul),
+        Just(Arith::Xor),
+        Just(Arith::Sub)
+    ];
+    prop_oneof![
+        (arith.clone(), -20i64..20).prop_map(|(a, k)| Leaf::Compute(a, k)),
+        arith.prop_map(Leaf::Input),
+        Just(Leaf::Output),
+        (1u8..4, 0u8..4).prop_map(|(fields, field)| Leaf::LocalMem { fields, field }),
+        (0u8..NUM_GLOBALS, 0u8..2, any::<bool>(), any::<bool>()).prop_map(
+            |(g, field, write, locked)| Leaf::Global {
+                g,
+                field,
+                write,
+                locked
+            }
+        ),
+    ]
+}
+
+fn seg_strategy() -> impl Strategy<Value = Seg> {
+    prop_oneof![
+        4 => leaf_strategy().prop_map(Seg::Leaf),
+        1 => (
+            prop::collection::vec(leaf_strategy(), 0..4),
+            prop::collection::vec(leaf_strategy(), 0..4)
+        )
+            .prop_map(|(then, els)| Seg::Branch { then, els }),
+        1 => (0u8..4).prop_map(Seg::CallHelper),
+        1 => (0u8..4, any::<bool>()).prop_map(|(worker, join)| Seg::Spawn { worker, join }),
+    ]
+}
+
+/// Strategy over whole program specs.
+pub fn prog_spec() -> impl Strategy<Value = ProgSpec> {
+    (
+        prop::collection::vec(seg_strategy(), 1..12),
+        prop::collection::vec(prop::collection::vec(leaf_strategy(), 1..6), 1..3),
+        prop::collection::vec(prop::collection::vec(leaf_strategy(), 1..5), 1..3),
+    )
+        .prop_map(|(main, workers, helpers)| ProgSpec {
+            main,
+            workers,
+            helpers,
+        })
+}
+
+/// Strategy over input vectors for the generated programs.
+pub fn inputs() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-5i64..30, 0..16)
+}
+
+fn emit_leaf(f: &mut FunctionBuilder, acc: Reg, globals: &[(oha::ir::GlobalId, oha::ir::GlobalId)], leaf: &Leaf) {
+    match leaf {
+        Leaf::Compute(a, k) => {
+            f.bin_to(acc, a.op(), R(acc), Const(*k));
+        }
+        Leaf::Input(a) => {
+            let v = f.input();
+            f.bin_to(acc, a.op(), R(acc), R(v));
+        }
+        Leaf::Output => f.output(R(acc)),
+        Leaf::LocalMem { fields, field } => {
+            let fields = (*fields).clamp(1, 4) as u32;
+            let fld = u32::from(*field) % fields;
+            let o = f.alloc(fields);
+            f.store(R(o), fld, R(acc));
+            let v = f.load(R(o), fld);
+            f.bin_to(acc, BinOp::Add, R(acc), R(v));
+        }
+        Leaf::Global {
+            g,
+            field,
+            write,
+            locked,
+        } => {
+            let (data, lock) = globals[usize::from(*g) % globals.len()];
+            let ga = f.addr_global(data);
+            let la = f.addr_global(lock);
+            if *locked {
+                f.lock(R(la));
+            }
+            if *write {
+                f.store(R(ga), u32::from(*field % 2), R(acc));
+            } else {
+                let v = f.load(R(ga), u32::from(*field % 2));
+                f.bin_to(acc, BinOp::Xor, R(acc), R(v));
+            }
+            if *locked {
+                f.unlock(R(la));
+            }
+        }
+    }
+}
+
+/// Materializes a spec into a validated program.
+pub fn build_program(spec: &ProgSpec) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let globals: Vec<(oha::ir::GlobalId, oha::ir::GlobalId)> = (0..NUM_GLOBALS)
+        .map(|i| {
+            (
+                pb.global(&format!("g{i}"), 2),
+                pb.global(&format!("lk{i}"), 1),
+            )
+        })
+        .collect();
+    let workers: Vec<FuncId> = (0..spec.workers.len())
+        .map(|i| pb.declare(&format!("worker{i}"), 1))
+        .collect();
+    let helpers: Vec<FuncId> = (0..spec.helpers.len())
+        .map(|i| pb.declare(&format!("helper{i}"), 1))
+        .collect();
+
+    let mut m = pb.function("main", 0);
+    let acc = m.copy(Const(1));
+    for seg in &spec.main {
+        match seg {
+            Seg::Leaf(leaf) => emit_leaf(&mut m, acc, &globals, leaf),
+            Seg::Branch { then, els } => {
+                let tb = m.block();
+                let eb = m.block();
+                let done = m.block();
+                let c = m.input();
+                m.branch(R(c), tb, eb);
+                m.select(tb);
+                for l in then {
+                    emit_leaf(&mut m, acc, &globals, l);
+                }
+                m.jump(done);
+                m.select(eb);
+                for l in els {
+                    emit_leaf(&mut m, acc, &globals, l);
+                }
+                m.jump(done);
+                m.select(done);
+            }
+            Seg::CallHelper(h) => {
+                let callee = helpers[usize::from(*h) % helpers.len()];
+                let r = m.call(callee, vec![R(acc)]);
+                m.bin_to(acc, BinOp::Add, R(acc), R(r));
+            }
+            Seg::Spawn { worker, join } => {
+                let callee = workers[usize::from(*worker) % workers.len()];
+                let t = m.spawn(callee, R(acc));
+                if *join {
+                    m.join(R(t));
+                }
+            }
+        }
+    }
+    m.output(R(acc));
+    m.ret(None);
+    let main = pb.finish_function(m);
+
+    for (i, body) in spec.workers.iter().enumerate() {
+        let mut w = pb.function(&format!("worker{i}"), 1);
+        let acc = w.copy(R(w.param(0)));
+        for leaf in body {
+            emit_leaf(&mut w, acc, &globals, leaf);
+        }
+        w.ret(None);
+        pb.finish_function(w);
+    }
+    for (i, body) in spec.helpers.iter().enumerate() {
+        let mut h = pb.function(&format!("helper{i}"), 1);
+        let acc = h.copy(R(h.param(0)));
+        for leaf in body {
+            emit_leaf(&mut h, acc, &globals, leaf);
+        }
+        h.ret(Some(R(acc)));
+        pb.finish_function(h);
+    }
+    pb.finish(main).expect("generated programs validate")
+}

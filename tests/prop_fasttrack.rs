@@ -1,0 +1,161 @@
+//! Differential property tests for the race detector: FastTrack versus a
+//! naive full-vector-clock reference detector, and the hybrid-elision
+//! equivalence.
+
+mod common;
+
+use std::collections::{BTreeSet, HashMap};
+
+use common::{build_program, inputs, prog_spec};
+use oha::fasttrack::{FastTrackTool, VectorClock};
+use oha::interp::{Addr, EventCtx, Machine, MachineConfig, ThreadId, Tracer};
+use oha::ir::InstId;
+use oha::pointsto::{analyze, PointsToConfig};
+use oha::races::detect;
+use proptest::prelude::*;
+
+/// The textbook happens-before detector: full vector clocks per variable,
+/// no epoch optimization. Reports every unordered conflicting pair it sees.
+#[derive(Default)]
+struct NaiveDetector {
+    threads: HashMap<ThreadId, VectorClock>,
+    locks: HashMap<Addr, VectorClock>,
+    writes: HashMap<Addr, HashMap<ThreadId, (u32, InstId)>>,
+    reads: HashMap<Addr, HashMap<ThreadId, (u32, InstId)>>,
+    races: BTreeSet<(InstId, InstId)>,
+}
+
+impl NaiveDetector {
+    fn new() -> Self {
+        let mut d = Self::default();
+        d.clock(ThreadId::MAIN).tick(ThreadId::MAIN);
+        d
+    }
+
+    fn clock(&mut self, t: ThreadId) -> &mut VectorClock {
+        self.threads.entry(t).or_default()
+    }
+
+    fn report(&mut self, a: InstId, b: InstId) {
+        self.races.insert((a.min(b), a.max(b)));
+    }
+
+    fn access(&mut self, t: ThreadId, x: Addr, site: InstId, is_write: bool) {
+        let ct = self.clock(t).clone();
+        // A write conflicts with unordered reads and writes; a read only
+        // with unordered writes.
+        let writes = self.writes.entry(x).or_default().clone();
+        for (&u, &(c, s)) in &writes {
+            if u != t && c > ct.get(u) {
+                self.report(s, site);
+            }
+        }
+        if is_write {
+            let reads = self.reads.entry(x).or_default().clone();
+            for (&u, &(c, s)) in &reads {
+                if u != t && c > ct.get(u) {
+                    self.report(s, site);
+                }
+            }
+            self.writes
+                .entry(x)
+                .or_default()
+                .insert(t, (ct.get(t), site));
+        } else {
+            self.reads
+                .entry(x)
+                .or_default()
+                .insert(t, (ct.get(t), site));
+        }
+    }
+}
+
+impl Tracer for NaiveDetector {
+    fn on_load(&mut self, ctx: EventCtx, addr: Addr, _v: oha::interp::Value) {
+        self.access(ctx.thread, addr, ctx.inst, false);
+    }
+    fn on_store(&mut self, ctx: EventCtx, addr: Addr, _v: oha::interp::Value) {
+        self.access(ctx.thread, addr, ctx.inst, true);
+    }
+    fn on_lock(&mut self, ctx: EventCtx, addr: Addr) {
+        if let Some(l) = self.locks.get(&addr).cloned() {
+            self.clock(ctx.thread).join(&l);
+        }
+    }
+    fn on_unlock(&mut self, ctx: EventCtx, addr: Addr) {
+        let c = self.clock(ctx.thread).clone();
+        self.locks.insert(addr, c);
+        let t = ctx.thread;
+        self.clock(t).tick(t);
+    }
+    fn on_spawn(&mut self, ctx: EventCtx, child: ThreadId, _e: oha::ir::FuncId) {
+        let parent = self.clock(ctx.thread).clone();
+        let cc = self.clock(child);
+        cc.join(&parent);
+        cc.tick(child);
+        let t = ctx.thread;
+        self.clock(t).tick(t);
+    }
+    fn on_join(&mut self, ctx: EventCtx, child: ThreadId) {
+        let cc = self.clock(child).clone();
+        self.clock(ctx.thread).join(&cc);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// FastTrack never reports a race the naive detector does not (no
+    /// false positives), and sees a race whenever one exists (first-race
+    /// equivalence, the FastTrack paper's guarantee).
+    #[test]
+    fn fasttrack_agrees_with_naive_vector_clocks(
+        spec in prog_spec(),
+        input in inputs(),
+        seed in 0u64..500,
+    ) {
+        let p = build_program(&spec);
+        let cfg = MachineConfig { seed, quantum: 2, max_steps: 2_000_000, ..MachineConfig::default() };
+        let machine = Machine::new(&p, cfg);
+
+        let mut ft = FastTrackTool::full();
+        machine.run(&input, &mut ft);
+        let mut naive = NaiveDetector::new();
+        machine.run(&input, &mut naive);
+
+        let ft_races = ft.race_pairs();
+        prop_assert!(
+            ft_races.is_subset(&naive.races),
+            "FastTrack false positives: {:?} not in {:?}",
+            ft_races.difference(&naive.races).collect::<Vec<_>>(),
+            naive.races
+        );
+        prop_assert_eq!(
+            ft_races.is_empty(),
+            naive.races.is_empty(),
+            "FastTrack missed every race the reference saw: {:?}",
+            &naive.races
+        );
+    }
+
+    /// Eliding statically race-free sites never changes the verdict: the
+    /// hybrid detector reports exactly full FastTrack's races.
+    #[test]
+    fn hybrid_elision_is_race_equivalent(
+        spec in prog_spec(),
+        input in inputs(),
+        seed in 0u64..500,
+    ) {
+        let p = build_program(&spec);
+        let pt = analyze(&p, &PointsToConfig::default()).expect("CI completes");
+        let races = detect(&p, &pt, None);
+        let cfg = MachineConfig { seed, quantum: 2, max_steps: 2_000_000, ..MachineConfig::default() };
+        let machine = Machine::new(&p, cfg);
+
+        let mut full = FastTrackTool::full();
+        machine.run(&input, &mut full);
+        let mut hybrid = FastTrackTool::hybrid(races.racy_sites());
+        machine.run(&input, &mut hybrid);
+        prop_assert_eq!(full.race_pairs(), hybrid.race_pairs());
+    }
+}

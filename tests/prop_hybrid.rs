@@ -1,0 +1,153 @@
+//! Metamorphic properties of the hybrid/optimistic machinery over random
+//! programs: predicated static results shrink sound ones, dynamic-slice
+//! elision is exact, invariant merging is monotone, and the end-to-end
+//! pipelines keep their soundness contracts.
+
+mod common;
+
+use common::{build_program, inputs, prog_spec};
+use oha::core::Pipeline;
+use oha::giri::GiriTool;
+use oha::interp::{Machine, MachineConfig};
+use oha::invariants::{InvariantSet, ProfileTracer};
+use oha::ir::InstKind;
+use oha::pointsto::{analyze, PointsToConfig};
+use oha::races::detect;
+use oha::slicing::{slice, SliceConfig};
+use proptest::prelude::*;
+
+fn profile(p: &oha::ir::Program, corpora: &[Vec<i64>]) -> InvariantSet {
+    let profiles: Vec<_> = corpora
+        .iter()
+        .map(|input| {
+            let mut t = ProfileTracer::new(p);
+            Machine::new(p, MachineConfig::default()).run(input, &mut t);
+            t.into_profile()
+        })
+        .collect();
+    InvariantSet::from_profiles(&profiles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Predication only removes: the predicated racy-site set and static
+    /// slice are subsets of their sound counterparts.
+    #[test]
+    fn predicated_results_shrink_sound_ones(
+        spec in prog_spec(),
+        input in inputs(),
+    ) {
+        let p = build_program(&spec);
+        let inv = profile(&p, &[input]);
+
+        let pt_sound = analyze(&p, &PointsToConfig::default()).expect("CI completes");
+        let pt_pred = analyze(&p, &PointsToConfig {
+            invariants: Some(&inv),
+            ..PointsToConfig::default()
+        }).expect("CI completes");
+
+        let races_sound = detect(&p, &pt_sound, None);
+        let races_pred = detect(&p, &pt_pred, Some(&inv));
+        prop_assert!(
+            races_pred.racy_sites().is_subset(races_sound.racy_sites()),
+            "predicated racy sites must shrink"
+        );
+
+        let endpoints: Vec<_> = p
+            .inst_ids()
+            .filter(|&i| matches!(p.inst(i).kind, InstKind::Output { .. }))
+            .collect();
+        let sound = slice(&p, &pt_sound, &endpoints, &SliceConfig::default()).expect("CI slice");
+        let pred = slice(&p, &pt_pred, &endpoints, &SliceConfig {
+            invariants: Some(&inv),
+            ..SliceConfig::default()
+        }).expect("CI slice");
+        prop_assert!(
+            pred.sites().is_subset(sound.sites()),
+            "predicated slice must shrink: pred {:?} sound {:?}",
+            pred.sites(),
+            sound.sites()
+        );
+    }
+
+    /// Tracing only the sound static slice produces exactly the
+    /// full-trace dynamic slice.
+    #[test]
+    fn giri_hybrid_equals_full(spec in prog_spec(), input in inputs(), seed in 0u64..200) {
+        let p = build_program(&spec);
+        let endpoints: Vec<_> = p
+            .inst_ids()
+            .filter(|&i| matches!(p.inst(i).kind, InstKind::Output { .. }))
+            .collect();
+        let pt = analyze(&p, &PointsToConfig::default()).expect("CI completes");
+        let static_slice = slice(&p, &pt, &endpoints, &SliceConfig::default()).expect("CI slice");
+
+        let cfg = MachineConfig { seed, quantum: 3, max_steps: 2_000_000, ..MachineConfig::default() };
+        let machine = Machine::new(&p, cfg);
+        let mut full = GiriTool::full(&p);
+        machine.run(&input, &mut full);
+        let mut hybrid = GiriTool::hybrid(&p, static_slice.sites());
+        machine.run(&input, &mut hybrid);
+        for &e in &endpoints {
+            prop_assert_eq!(full.slice_of(e), hybrid.slice_of(e), "endpoint {}", e);
+        }
+    }
+
+    /// Merging more profiles only grows the assumed-reachable sets (so
+    /// mis-speculation can only become rarer).
+    #[test]
+    fn invariant_merge_is_monotone(
+        spec in prog_spec(),
+        a in inputs(),
+        b in inputs(),
+    ) {
+        let p = build_program(&spec);
+        let small = profile(&p, std::slice::from_ref(&a));
+        let big = profile(&p, &[a, b]);
+        prop_assert!(small.visited_blocks.is_subset(&big.visited_blocks));
+        prop_assert!(small.contexts.is_subset(&big.contexts));
+        for (site, callees) in &small.callee_sets {
+            prop_assert!(callees.is_subset(&big.callee_sets[site]));
+        }
+        // Complement view: assumed-unreachable only shrinks.
+        prop_assert!(big.assumed_unreachable(&p).len() <= small.assumed_unreachable(&p).len());
+    }
+
+    /// The full OptFT pipeline is race-equivalent to FastTrack on random
+    /// multithreaded programs — even when testing inputs exercise paths
+    /// profiling never saw (the rollback keeps it sound).
+    #[test]
+    fn optft_pipeline_race_equivalence(
+        spec in prog_spec(),
+        prof_input in inputs(),
+        test_a in inputs(),
+        test_b in inputs(),
+    ) {
+        let p = build_program(&spec);
+        let pipeline = Pipeline::new(p);
+        let outcome = pipeline.run_optft(&[prof_input], &[test_a, test_b]);
+        prop_assert_eq!(&outcome.optimistic_races, &outcome.baseline_races);
+        for run in &outcome.runs {
+            prop_assert_eq!(&run.races_hybrid, &run.races_full, "hybrid equals full");
+        }
+    }
+
+    /// The full OptSlice pipeline agrees with the hybrid slicer under the
+    /// same conditions.
+    #[test]
+    fn optslice_pipeline_slice_equivalence(
+        spec in prog_spec(),
+        prof_input in inputs(),
+        test_input in inputs(),
+    ) {
+        let p = build_program(&spec);
+        let endpoints: Vec<_> = p
+            .inst_ids()
+            .filter(|&i| matches!(p.inst(i).kind, InstKind::Output { .. }))
+            .collect();
+        let pipeline = Pipeline::new(p);
+        let outcome = pipeline.run_optslice(&[prof_input], &[test_input], &endpoints);
+        prop_assert!(outcome.all_slices_equal());
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests over random programs: the IR text format round-trips,
+//! execution is deterministic, and tracers never perturb execution.
+
+mod common;
+
+use common::{build_program, inputs, prog_spec};
+use oha::interp::{Machine, MachineConfig, NoopTracer, Termination};
+use oha::invariants::ProfileTracer;
+use oha::ir::{parse_program, print_program};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// print → parse reproduces the program exactly (ids included).
+    #[test]
+    fn text_format_round_trips(spec in prog_spec()) {
+        let p = build_program(&spec);
+        let text = print_program(&p);
+        let q = parse_program(&text).expect("printed programs parse");
+        prop_assert_eq!(print_program(&q), text);
+        prop_assert_eq!(p.num_insts(), q.num_insts());
+        for id in p.inst_ids() {
+            prop_assert_eq!(p.inst(id), q.inst(id));
+        }
+    }
+
+    /// Same program, input and seed ⇒ bit-identical runs (the record/replay
+    /// property that rollback relies on).
+    #[test]
+    fn execution_is_deterministic(spec in prog_spec(), input in inputs(), seed in 0u64..1000) {
+        let p = build_program(&spec);
+        let cfg = MachineConfig { seed, quantum: 3, max_steps: 2_000_000, ..MachineConfig::default() };
+        let a = Machine::new(&p, cfg).run(&input, &mut NoopTracer);
+        let b = Machine::new(&p, cfg).run(&input, &mut NoopTracer);
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert_eq!(a.status, b.status);
+        prop_assert_eq!(a.status, Termination::Exited, "generated programs terminate");
+    }
+
+    /// Attaching a tracer never changes what the program does.
+    #[test]
+    fn tracers_do_not_perturb_execution(spec in prog_spec(), input in inputs(), seed in 0u64..1000) {
+        let p = build_program(&spec);
+        let cfg = MachineConfig { seed, quantum: 5, max_steps: 2_000_000, ..MachineConfig::default() };
+        let plain = Machine::new(&p, cfg).run(&input, &mut NoopTracer);
+        let mut profiler = ProfileTracer::new(&p);
+        let traced = Machine::new(&p, cfg).run(&input, &mut profiler);
+        prop_assert_eq!(plain.steps, traced.steps);
+        prop_assert_eq!(plain.outputs, traced.outputs);
+    }
+
+    /// Different scheduler seeds may reorder threads but never break the
+    /// machine: every run still terminates cleanly.
+    #[test]
+    fn all_schedules_terminate(spec in prog_spec(), input in inputs()) {
+        let p = build_program(&spec);
+        for seed in [0u64, 1, 7, 991] {
+            let cfg = MachineConfig { seed, quantum: 2, max_steps: 2_000_000, ..MachineConfig::default() };
+            let r = Machine::new(&p, cfg).run(&input, &mut NoopTracer);
+            prop_assert_eq!(r.status, Termination::Exited, "seed {}", seed);
+        }
+    }
+}

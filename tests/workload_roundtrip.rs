@@ -1,0 +1,34 @@
+//! The textual IR format round-trips every benchmark program, and the
+//! reparsed programs behave identically under the interpreter.
+
+use oha::interp::{Machine, MachineConfig, NoopTracer};
+use oha::ir::{parse_program, print_program};
+use oha::workloads::{c_suite, java_suite, WorkloadParams};
+
+#[test]
+fn every_workload_round_trips_through_text() {
+    let params = WorkloadParams::small();
+    let all = java_suite::all(&params)
+        .into_iter()
+        .chain(c_suite::all(&params));
+    for w in all {
+        let text = print_program(&w.program);
+        let reparsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("{}: printed program fails to parse: {e}", w.name));
+        assert_eq!(
+            print_program(&reparsed),
+            text,
+            "{}: reprint differs",
+            w.name
+        );
+        assert_eq!(reparsed.num_insts(), w.program.num_insts(), "{}", w.name);
+
+        // The reparsed program runs identically.
+        let cfg = MachineConfig::default();
+        let input = &w.testing_inputs[0];
+        let a = Machine::new(&w.program, cfg).run(input, &mut NoopTracer);
+        let b = Machine::new(&reparsed, cfg).run(input, &mut NoopTracer);
+        assert_eq!(a.outputs, b.outputs, "{}: behaviour differs", w.name);
+        assert_eq!(a.steps, b.steps, "{}", w.name);
+    }
+}
