@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, build, and the full test suite.
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (release)"
+cargo test --release -q
+
+echo "CI green."

@@ -7,7 +7,7 @@
 //! For each support threshold we report the predicated static slice size
 //! (strength) and the testing-corpus mis-speculation rate (stability).
 
-use oha_bench::{optslice_config, params, render_table};
+use oha_bench::{optslice_config, params, Reporter};
 use oha_interp::Machine;
 use oha_invariants::{ChecksEnabled, InvariantChecker, InvariantSet, ProfileTracer};
 use oha_pointsto::{analyze, PointsToConfig, Sensitivity};
@@ -21,6 +21,7 @@ fn main() {
     };
     let cfg = optslice_config();
     let thresholds = [0.0, 0.1, 0.25, 0.5];
+    let mut reporter = Reporter::new("ext_aggressive_invariants");
     let mut rows = Vec::new();
     for w in c_suite::all(&params) {
         let machine = Machine::new(&w.program, cfg.machine);
@@ -62,11 +63,8 @@ fn main() {
                 .testing_inputs
                 .iter()
                 .filter(|input| {
-                    let mut checker = InvariantChecker::new(
-                        &w.program,
-                        &inv,
-                        ChecksEnabled::for_optslice(),
-                    );
+                    let mut checker =
+                        InvariantChecker::new(&w.program, &inv, ChecksEnabled::for_optslice());
                     machine.run(input, &mut checker);
                     checker.is_violated()
                 })
@@ -86,7 +84,11 @@ fn main() {
         .chain(thresholds.iter().map(|t| format!("support>{t}")))
         .collect();
     let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    println!("{}", render_table(&href, &rows));
+    println!(
+        "{}",
+        reporter.table("Extension — aggressive invariants", &href, &rows)
+    );
     println!("(cells: assumed-reachable insts / predicated slice size / mis-speculation rate)");
     println!("Strength grows (reachable insts shrink) with the threshold; stability decays.");
+    reporter.finish();
 }

@@ -6,11 +6,12 @@
 //! mis-speculations, and we report the rollback share of OptFT/OptSlice
 //! runtime — and verify the answers still match the baselines.
 
-use oha_bench::{optft_config, optslice_config, params, pipeline, render_table};
+use oha_bench::{optft_config, optslice_config, params, pipeline, Reporter};
 use oha_workloads::{c_suite, java_suite};
 
 fn main() {
     let params = params();
+    let mut reporter = Reporter::new("ext_rollback_cost");
     println!("OptFT under adversarial testing inputs\n");
     let mut rows = Vec::new();
     for w in java_suite::all(&params) {
@@ -20,6 +21,7 @@ fn main() {
         let mut testing = w.testing_inputs.clone();
         testing.extend(w.adversarial_inputs.iter().cloned());
         let outcome = pipeline(&w, optft_config()).run_optft(&w.profiling_inputs, &testing);
+        reporter.child(&format!("optft/{}", w.name), outcome.report.clone());
         assert_eq!(
             outcome.optimistic_races, outcome.baseline_races,
             "{}: rollback must preserve race equivalence",
@@ -41,8 +43,15 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["bench", "misspec", "rollback share", "speedup/hybrid", "soundness"],
+        reporter.table(
+            "OptFT under adversarial testing inputs",
+            &[
+                "bench",
+                "misspec",
+                "rollback share",
+                "speedup/hybrid",
+                "soundness"
+            ],
             &rows
         )
     );
@@ -60,6 +69,7 @@ fn main() {
             &testing,
             &w.endpoints,
         );
+        reporter.child(&format!("optslice/{}", w.name), outcome.report.clone());
         assert!(
             outcome.all_slices_equal(),
             "{}: rollback must preserve slice equality",
@@ -81,11 +91,19 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["bench", "misspec", "rollback share", "speedup/hybrid", "soundness"],
+        reporter.table(
+            "OptSlice under adversarial testing inputs",
+            &[
+                "bench",
+                "misspec",
+                "rollback share",
+                "speedup/hybrid",
+                "soundness"
+            ],
             &rows
         )
     );
     println!("\nEvery rolled-back run reproduced the baseline answer exactly");
     println!("(replayed schedule + traditional hybrid analysis).");
+    reporter.finish();
 }

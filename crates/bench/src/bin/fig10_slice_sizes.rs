@@ -2,15 +2,17 @@
 //! predicated slicer — the paper reports one to two orders of magnitude of
 //! reduction.
 
-use oha_bench::{optslice_config, params, pipeline, render_table};
+use oha_bench::{optslice_config, params, pipeline, Reporter};
 use oha_workloads::c_suite;
 
 fn main() {
     let params = params();
+    let mut reporter = Reporter::new("fig10_slice_sizes");
     let mut rows = Vec::new();
     for w in c_suite::all(&params) {
         let outcome =
             pipeline(&w, optslice_config()).run_optslice(&w.profiling_inputs, &[], &w.endpoints);
+        reporter.child(w.name, outcome.report.clone());
         rows.push(vec![
             w.name.to_string(),
             w.program.num_insts().to_string(),
@@ -25,9 +27,17 @@ fn main() {
     println!("Figure 10 — static slice sizes (instructions)\n");
     println!(
         "{}",
-        render_table(
-            &["bench", "program", "base static", "optimistic static", "reduction"],
+        reporter.table(
+            "Figure 10 — static slice sizes (instructions)",
+            &[
+                "bench",
+                "program",
+                "base static",
+                "optimistic static",
+                "reduction"
+            ],
             &rows
         )
     );
+    reporter.finish();
 }

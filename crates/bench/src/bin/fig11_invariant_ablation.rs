@@ -5,7 +5,7 @@
 
 use std::collections::BTreeMap;
 
-use oha_bench::{optslice_config, params, render_table};
+use oha_bench::{optslice_config, params, Reporter};
 use oha_core::Pipeline;
 use oha_invariants::InvariantSet;
 use oha_ir::{Callee, InstKind, Program};
@@ -15,7 +15,10 @@ use oha_workloads::c_suite;
 
 /// The sound resolution of every indirect call site, used to neutralize
 /// the callee-set predication in ablation steps that exclude it.
-fn sound_callees(program: &Program, pt: &PointsTo) -> BTreeMap<oha_ir::InstId, std::collections::BTreeSet<oha_ir::FuncId>> {
+fn sound_callees(
+    program: &Program,
+    pt: &PointsTo,
+) -> BTreeMap<oha_ir::InstId, std::collections::BTreeSet<oha_ir::FuncId>> {
     program
         .insts()
         .filter(|i| {
@@ -34,7 +37,12 @@ fn sound_callees(program: &Program, pt: &PointsTo) -> BTreeMap<oha_ir::InstId, s
         .collect()
 }
 
-fn best_slice(program: &Program, inv: Option<&InvariantSet>, cfg: &oha_core::PipelineConfig, endpoints: &[oha_ir::InstId]) -> (usize, &'static str) {
+fn best_slice(
+    program: &Program,
+    inv: Option<&InvariantSet>,
+    cfg: &oha_core::PipelineConfig,
+    endpoints: &[oha_ir::InstId],
+) -> (usize, &'static str) {
     let pt_cfg = |sens| PointsToConfig {
         sensitivity: sens,
         invariants: inv,
@@ -54,12 +62,22 @@ fn best_slice(program: &Program, inv: Option<&InvariantSet>, cfg: &oha_core::Pip
         ctx_budget: cfg.ctx_budget,
         visit_budget: cfg.visit_budget,
     };
-    match slice(program, &pt, endpoints, &s_cfg(Sensitivity::ContextSensitive)) {
+    match slice(
+        program,
+        &pt,
+        endpoints,
+        &s_cfg(Sensitivity::ContextSensitive),
+    ) {
         Ok(s) => (s.len(), "CS"),
         Err(_) => (
-            slice(program, &pt, endpoints, &s_cfg(Sensitivity::ContextInsensitive))
-                .expect("CI completes")
-                .len(),
+            slice(
+                program,
+                &pt,
+                endpoints,
+                &s_cfg(Sensitivity::ContextInsensitive),
+            )
+            .expect("CI completes")
+            .len(),
             "CI",
         ),
     }
@@ -68,6 +86,7 @@ fn best_slice(program: &Program, inv: Option<&InvariantSet>, cfg: &oha_core::Pip
 fn main() {
     let params = params();
     let cfg = optslice_config();
+    let mut reporter = Reporter::new("fig11_invariant_ablation");
     let mut rows = Vec::new();
     for w in c_suite::all(&params) {
         let pipeline = Pipeline::new(w.program.clone()).with_config(cfg);
@@ -116,11 +135,13 @@ fn main() {
             with_callees.to_string(),
             format!("{with_ctx} ({ctx_at})"),
         ]);
+        reporter.child(w.name, pipeline.metrics().report(w.name));
     }
     println!("Figure 11 — static slice size as invariants are added\n");
     println!(
         "{}",
-        render_table(
+        reporter.table(
+            "Figure 11 — static slice size as invariants are added",
             &[
                 "bench",
                 "base static",
@@ -131,6 +152,7 @@ fn main() {
             &rows
         )
     );
+    reporter.finish();
 }
 
 /// Context-insensitive measurement for the pre-context ablation steps.

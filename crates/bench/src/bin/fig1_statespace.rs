@@ -6,7 +6,7 @@
 //! (O), plus the dynamically exercised instruction count across the whole
 //! testing corpus as the proxy for P.
 
-use oha_bench::{params, render_table};
+use oha_bench::{params, Reporter};
 use oha_core::{state_space, Pipeline};
 use oha_interp::{EventCtx, Machine, MachineConfig, Tracer};
 use oha_workloads::c_suite;
@@ -31,6 +31,7 @@ impl Tracer for TouchedInsts {
 
 fn main() {
     let params = params();
+    let mut reporter = Reporter::new("fig1_statespace");
     let mut rows = Vec::new();
     for w in c_suite::all(&params) {
         let pipeline = Pipeline::new(w.program.clone());
@@ -50,11 +51,13 @@ fn main() {
             format!("{} nodes / {} edges", pred.nodes, pred.edges),
             format!("{} insts", pred.reachable_insts),
         ]);
+        reporter.child(w.name, pipeline.metrics().report(w.name));
     }
     println!("Figure 1 — analysis state spaces: S (sound) ⊇ P (observed) ⊇ O (predicated)\n");
     println!(
         "{}",
-        render_table(
+        reporter.table(
+            "Figure 1 — analysis state spaces",
             &[
                 "bench",
                 "S: constraint graph",
@@ -66,4 +69,5 @@ fn main() {
             &rows
         )
     );
+    reporter.finish();
 }

@@ -6,16 +6,18 @@
 //! they need no dynamic analysis at all (the right side of the paper's
 //! figure).
 
-use oha_bench::{mean, optft_config, params, pipeline, render_table};
+use oha_bench::{mean, optft_config, params, pipeline, Reporter};
 use oha_workloads::java_suite;
 
 fn main() {
     let params = params();
+    let mut reporter = Reporter::new("fig5_optft_runtimes");
     let mut rows = Vec::new();
     let mut sound_violations = 0usize;
     for w in java_suite::all(&params) {
         let outcome =
             pipeline(&w, optft_config()).run_optft(&w.profiling_inputs, &w.testing_inputs);
+        reporter.child(w.name, outcome.report.clone());
         if outcome.optimistic_races != outcome.baseline_races {
             sound_violations += 1;
         }
@@ -26,11 +28,7 @@ fn main() {
         let hybrid = norm(&|r| r.hybrid.as_secs_f64());
         let opt_total = norm(&|r| (r.optimistic + r.rollback).as_secs_f64());
         // Decomposition of the OptFT bar (all normalized to baseline=1.0).
-        let inv_checks = norm(&|r| {
-            r.checker_only
-                .saturating_sub(r.baseline)
-                .as_secs_f64()
-        });
+        let inv_checks = norm(&|r| r.checker_only.saturating_sub(r.baseline).as_secs_f64());
         let rollbacks = norm(&|r| r.rollback.as_secs_f64());
         let ft_checks = (opt_total - 1.0 - inv_checks - rollbacks).max(0.0);
 
@@ -53,7 +51,8 @@ fn main() {
     println!("Figure 5 — normalized runtimes (baseline execution = 1.0)\n");
     println!(
         "{}",
-        render_table(
+        reporter.table(
+            "Figure 5 — normalized runtimes (baseline execution = 1.0)",
             &[
                 "bench",
                 "FastTrack",
@@ -73,5 +72,8 @@ fn main() {
         rows.len() - sound_violations,
         rows.len()
     );
+    reporter.meta("suite", "java");
+    reporter.meta("sound_violations", sound_violations);
+    reporter.finish();
     assert_eq!(sound_violations, 0, "OptFT diverged from FastTrack");
 }

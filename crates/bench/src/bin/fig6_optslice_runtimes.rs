@@ -3,11 +3,12 @@
 //! into baseline execution / invariant checks / slicing instrumentation /
 //! rollbacks.
 
-use oha_bench::{mean, optslice_config, params, pipeline, render_table};
+use oha_bench::{mean, optslice_config, params, pipeline, Reporter};
 use oha_workloads::c_suite;
 
 fn main() {
     let params = params();
+    let mut reporter = Reporter::new("fig6_optslice_runtimes");
     let mut rows = Vec::new();
     let mut unequal = 0usize;
     for w in c_suite::all(&params) {
@@ -16,6 +17,7 @@ fn main() {
             &w.testing_inputs,
             &w.endpoints,
         );
+        reporter.child(w.name, outcome.report.clone());
         if !outcome.all_slices_equal() {
             unequal += 1;
         }
@@ -42,7 +44,8 @@ fn main() {
     println!("Figure 6 — normalized runtimes (baseline execution = 1.0)\n");
     println!(
         "{}",
-        render_table(
+        reporter.table(
+            "Figure 6 — normalized runtimes (baseline execution = 1.0)",
             &[
                 "bench",
                 "Trad. Hybrid",
@@ -56,6 +59,13 @@ fn main() {
             &rows,
         )
     );
-    println!("soundness: final slices equal on {}/{} benchmarks", rows.len() - unequal, rows.len());
+    println!(
+        "soundness: final slices equal on {}/{} benchmarks",
+        rows.len() - unequal,
+        rows.len()
+    );
+    reporter.meta("suite", "c");
+    reporter.meta("unequal_slices", unequal);
+    reporter.finish();
     assert_eq!(unequal, 0, "OptSlice diverged from the hybrid slicer");
 }

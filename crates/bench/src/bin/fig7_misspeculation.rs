@@ -6,7 +6,7 @@
 //! `go` (long-tailed move distribution) and `vim` converge slowly — the
 //! paper's observation.
 
-use oha_bench::{optslice_config, params, render_table};
+use oha_bench::{optslice_config, params, Reporter};
 use oha_core::Pipeline;
 use oha_interp::Machine;
 use oha_invariants::{ChecksEnabled, InvariantChecker};
@@ -18,6 +18,7 @@ fn main() {
         ..params()
     };
     let ks = [1usize, 2, 4, 8, 16, 32];
+    let mut reporter = Reporter::new("fig7_misspeculation");
     let mut rows = Vec::new();
     for w in c_suite::all(&params) {
         let pipeline = Pipeline::new(w.program.clone()).with_config(optslice_config());
@@ -29,18 +30,21 @@ fn main() {
                 .testing_inputs
                 .iter()
                 .filter(|input| {
-                    let mut checker = InvariantChecker::new(
-                        &w.program,
-                        &inv,
-                        ChecksEnabled::for_optslice(),
-                    );
+                    let mut checker =
+                        InvariantChecker::new(&w.program, &inv, ChecksEnabled::for_optslice());
                     machine.run(input, &mut checker);
                     checker.is_violated()
                 })
                 .count();
             let rate = missed as f64 / w.testing_inputs.len() as f64;
-            row.push(format!("{:.0}% ({:.0}ms)", rate * 100.0, ptime.as_secs_f64() * 1e3));
+            pipeline.metrics().push_series("misspec_rate", rate * 100.0);
+            row.push(format!(
+                "{:.0}% ({:.0}ms)",
+                rate * 100.0,
+                ptime.as_secs_f64() * 1e3
+            ));
         }
+        reporter.child(w.name, pipeline.metrics().report(w.name));
         rows.push(row);
     }
     println!("Figure 7 — mis-speculation rate vs profiling runs (profiling time in parens)\n");
@@ -48,5 +52,13 @@ fn main() {
         .chain(ks.iter().map(|k| format!("{k} runs")))
         .collect();
     let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    println!("{}", render_table(&href, &rows));
+    println!(
+        "{}",
+        reporter.table(
+            "Figure 7 — mis-speculation rate vs profiling runs",
+            &href,
+            &rows
+        )
+    );
+    reporter.finish();
 }

@@ -2,12 +2,72 @@
 //! profiling runs. Sizes grow (more behaviour observed ⇒ fewer assumptions)
 //! and flatten once the invariants stabilize; `go`'s long-tailed inputs
 //! keep growing longest.
+//!
+//! Profiling runs once per workload: each run folds into an
+//! [`InvariantAccumulator`] whose fact count lands in the registry's
+//! `profile.fact_count` series (the same curve
+//! `Pipeline::profile_until_stable` records), and the slicer measures the
+//! snapshot at the checkpoint run counts — no re-profiling per checkpoint.
 
-use oha_bench::{optslice_config, params, render_table};
-use oha_core::Pipeline;
+use oha_bench::{optslice_config, params, Reporter};
+use oha_interp::Machine;
+use oha_invariants::{InvariantAccumulator, InvariantSet, ProfileTracer};
+use oha_obs::MetricsRegistry;
 use oha_pointsto::{analyze, PointsToConfig, Sensitivity};
 use oha_slicing::{slice, SliceConfig};
 use oha_workloads::{c_suite, WorkloadParams};
+
+fn pred_slice_size(w: &oha_workloads::Workload, inv: &InvariantSet) -> usize {
+    let cfg = optslice_config();
+    // Best-completing predicated analyses, as in the pipeline.
+    let pt = analyze(
+        &w.program,
+        &PointsToConfig {
+            sensitivity: Sensitivity::ContextSensitive,
+            invariants: Some(inv),
+            clone_budget: cfg.ctx_budget,
+            solver_budget: cfg.solver_budget,
+        },
+    )
+    .or_else(|_| {
+        analyze(
+            &w.program,
+            &PointsToConfig {
+                sensitivity: Sensitivity::ContextInsensitive,
+                invariants: Some(inv),
+                clone_budget: cfg.ctx_budget,
+                solver_budget: cfg.solver_budget,
+            },
+        )
+    })
+    .expect("CI points-to completes");
+    slice(
+        &w.program,
+        &pt,
+        &w.endpoints,
+        &SliceConfig {
+            sensitivity: Sensitivity::ContextSensitive,
+            invariants: Some(inv),
+            ctx_budget: cfg.ctx_budget,
+            visit_budget: cfg.visit_budget,
+        },
+    )
+    .or_else(|_| {
+        slice(
+            &w.program,
+            &pt,
+            &w.endpoints,
+            &SliceConfig {
+                sensitivity: Sensitivity::ContextInsensitive,
+                invariants: Some(inv),
+                ctx_budget: cfg.ctx_budget,
+                visit_budget: cfg.visit_budget,
+            },
+        )
+    })
+    .expect("CI slicing completes")
+    .len()
+}
 
 fn main() {
     let params = WorkloadParams {
@@ -16,61 +76,32 @@ fn main() {
     };
     let cfg = optslice_config();
     let ks = [1usize, 2, 4, 8, 16, 32];
+    let mut reporter = Reporter::new("fig8_slice_convergence");
     let mut rows = Vec::new();
     for w in c_suite::all(&params) {
-        let pipeline = Pipeline::new(w.program.clone()).with_config(cfg);
+        let registry = MetricsRegistry::new();
+        let machine = Machine::new(&w.program, cfg.machine);
+        let mut acc = InvariantAccumulator::new();
         let mut row = vec![w.name.to_string()];
-        for &k in &ks {
-            let (inv, _) = pipeline.profile(&w.profiling_inputs[..k]);
-            // Best-completing predicated analyses, as in the pipeline.
-            let pt = analyze(
-                &w.program,
-                &PointsToConfig {
-                    sensitivity: Sensitivity::ContextSensitive,
-                    invariants: Some(&inv),
-                    clone_budget: cfg.ctx_budget,
-                    solver_budget: cfg.solver_budget,
-                },
-            )
-            .or_else(|_| {
-                analyze(
-                    &w.program,
-                    &PointsToConfig {
-                        sensitivity: Sensitivity::ContextInsensitive,
-                        invariants: Some(&inv),
-                        clone_budget: cfg.ctx_budget,
-                        solver_budget: cfg.solver_budget,
-                    },
-                )
-            })
-            .expect("CI points-to completes");
-            let sl = slice(
-                &w.program,
-                &pt,
-                &w.endpoints,
-                &SliceConfig {
-                    sensitivity: Sensitivity::ContextSensitive,
-                    invariants: Some(&inv),
-                    ctx_budget: cfg.ctx_budget,
-                    visit_budget: cfg.visit_budget,
-                },
-            )
-            .or_else(|_| {
-                slice(
-                    &w.program,
-                    &pt,
-                    &w.endpoints,
-                    &SliceConfig {
-                        sensitivity: Sensitivity::ContextInsensitive,
-                        invariants: Some(&inv),
-                        ctx_budget: cfg.ctx_budget,
-                        visit_budget: cfg.visit_budget,
-                    },
-                )
-            })
-            .expect("CI slicing completes");
-            row.push(sl.len().to_string());
+        for (i, input) in w.profiling_inputs.iter().enumerate() {
+            let mut tracer = ProfileTracer::new(&w.program);
+            machine.run(input, &mut tracer);
+            acc.add(&tracer.into_profile());
+            registry.push_series("profile.fact_count", acc.fact_count() as f64);
+            if ks.contains(&(i + 1)) {
+                row.push(pred_slice_size(&w, &acc.snapshot()).to_string());
+            }
         }
+        // The convergence curve itself, read back through the registry.
+        registry.set_gauge(
+            "profile.final_fact_count",
+            registry
+                .series_values("profile.fact_count")
+                .last()
+                .copied()
+                .unwrap_or(0.0),
+        );
+        reporter.child(w.name, registry.report(w.name));
         rows.push(row);
     }
     println!("Figure 8 — predicated static slice size vs profiling runs\n");
@@ -78,5 +109,13 @@ fn main() {
         .chain(ks.iter().map(|k| format!("{k} runs")))
         .collect();
     let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    println!("{}", render_table(&href, &rows));
+    println!(
+        "{}",
+        reporter.table(
+            "Figure 8 — predicated static slice size vs profiling runs",
+            &href,
+            &rows
+        )
+    );
+    reporter.finish();
 }

@@ -2,17 +2,19 @@
 //! versus predicated ("Optimistic Static") points-to analysis — each side
 //! using its most accurate completing configuration.
 
-use oha_bench::{optslice_config, params, pipeline, render_table};
+use oha_bench::{optslice_config, params, pipeline, Reporter};
 use oha_workloads::c_suite;
 
 fn main() {
     let params = params();
+    let mut reporter = Reporter::new("fig9_alias_rates");
     let mut rows = Vec::new();
     for w in c_suite::all(&params) {
         // Static-only invocation: an empty testing corpus skips the dynamic
         // phase but still produces both static side reports.
         let outcome =
             pipeline(&w, optslice_config()).run_optslice(&w.profiling_inputs, &[], &w.endpoints);
+        reporter.child(w.name, outcome.report.clone());
         rows.push(vec![
             w.name.to_string(),
             format!("{:.4}", outcome.sound.alias_rate),
@@ -26,6 +28,11 @@ fn main() {
     println!("Figure 9 — load/store alias rates (probability a load-store pair may alias)\n");
     println!(
         "{}",
-        render_table(&["bench", "base static", "optimistic static", "improvement"], &rows)
+        reporter.table(
+            "Figure 9 — load/store alias rates",
+            &["bench", "base static", "optimistic static", "improvement"],
+            &rows
+        )
     );
+    reporter.finish();
 }

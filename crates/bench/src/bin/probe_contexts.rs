@@ -4,30 +4,29 @@
 //! materializes with an effectively unlimited budget, sound vs. predicated.
 //! Used to size the Table 2 context budget (`oha_bench::optslice_ctx_budget`).
 
-use oha_bench::{params, render_table};
+use oha_bench::{params, Reporter};
 use oha_core::Pipeline;
 use oha_pointsto::{analyze, PointsToConfig, Sensitivity};
 use oha_workloads::c_suite;
 
 fn main() {
     let params = params();
+    let mut reporter = Reporter::new("probe_contexts");
     let mut rows = Vec::new();
     for w in c_suite::all(&params) {
         let pipeline = Pipeline::new(w.program.clone());
         let (inv, _) = pipeline.profile(&w.profiling_inputs);
-        let count = |invariants| {
-            match analyze(
-                &w.program,
-                &PointsToConfig {
-                    sensitivity: Sensitivity::ContextSensitive,
-                    invariants,
-                    clone_budget: 1_000_000,
-                    solver_budget: 200_000_000,
-                },
-            ) {
-                Ok(pt) => pt.stats().contexts.to_string(),
-                Err(e) => format!("exhausted ({e})"),
-            }
+        let count = |invariants| match analyze(
+            &w.program,
+            &PointsToConfig {
+                sensitivity: Sensitivity::ContextSensitive,
+                invariants,
+                clone_budget: 1_000_000,
+                solver_budget: 200_000_000,
+            },
+        ) {
+            Ok(pt) => pt.stats().contexts.to_string(),
+            Err(e) => format!("exhausted ({e})"),
         };
         rows.push(vec![
             w.name.to_string(),
@@ -38,6 +37,11 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["bench", "insts", "sound CS ctxs", "pred CS ctxs"], &rows)
+        reporter.table(
+            "Context-space sizes (sound vs predicated CS points-to)",
+            &["bench", "insts", "sound CS ctxs", "pred CS ctxs"],
+            &rows
+        )
     );
+    reporter.finish();
 }

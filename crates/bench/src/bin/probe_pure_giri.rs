@@ -3,7 +3,7 @@
 //! slicer under a fixed trace budget on each C benchmark and reports how
 //! little of each execution fits, versus what the hybrid tools trace.
 
-use oha_bench::{params, render_table};
+use oha_bench::{params, Reporter};
 use oha_giri::GiriTool;
 use oha_interp::{Machine, MachineConfig};
 use oha_workloads::c_suite;
@@ -11,6 +11,7 @@ use oha_workloads::c_suite;
 fn main() {
     let params = params();
     const BUDGET: u64 = 10_000;
+    let mut reporter = Reporter::new("probe_pure_giri");
     let mut rows = Vec::new();
     for w in c_suite::all(&params) {
         let machine = Machine::new(&w.program, MachineConfig::default());
@@ -33,9 +34,19 @@ fn main() {
     println!("Pure dynamic Giri: trace events per execution (one testing input each)\n");
     println!(
         "{}",
-        render_table(&["bench", "steps", "trace events (unbounded)", "10k-event budget"], &rows)
+        reporter.table(
+            "Pure dynamic Giri: trace events per execution",
+            &[
+                "bench",
+                "steps",
+                "trace events (unbounded)",
+                "10k-event budget"
+            ],
+            &rows
+        )
     );
     println!("\nThe trace grows linearly with execution length — at the paper's");
     println!("weeks-of-computation scale this is the \"exhausts system resources\"");
     println!("baseline; the hybrid tools bound tracing by the static slice instead.");
+    reporter.finish();
 }

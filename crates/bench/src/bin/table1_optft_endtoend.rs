@@ -5,16 +5,18 @@
 
 use std::time::Duration;
 
-use oha_bench::{fmt_break_even, fmt_dur, optft_config, params, pipeline, render_table};
+use oha_bench::{fmt_break_even, fmt_dur, optft_config, params, pipeline, Reporter};
 use oha_core::{break_even_seconds, CostModel};
 use oha_workloads::java_suite;
 
 fn main() {
     let params = params();
+    let mut reporter = Reporter::new("table1_optft_endtoend");
     let mut rows = Vec::new();
     for w in java_suite::all(&params) {
         let outcome =
             pipeline(&w, optft_config()).run_optft(&w.profiling_inputs, &w.testing_inputs);
+        reporter.child(w.name, outcome.report.clone());
         if outcome.statically_race_free {
             continue;
         }
@@ -43,7 +45,8 @@ fn main() {
     println!("Table 1 — OptFT end-to-end analysis times\n");
     println!(
         "{}",
-        render_table(
+        reporter.table(
+            "Table 1 — OptFT end-to-end analysis times",
             &[
                 "bench",
                 "trad static",
@@ -57,4 +60,5 @@ fn main() {
             &rows,
         )
     );
+    reporter.finish();
 }

@@ -5,7 +5,7 @@
 
 use std::time::Duration;
 
-use oha_bench::{fmt_break_even, fmt_dur, optslice_config, params, pipeline, render_table};
+use oha_bench::{fmt_break_even, fmt_dur, optslice_config, params, pipeline, Reporter};
 use oha_core::{break_even_seconds, CostModel};
 use oha_pointsto::Sensitivity;
 use oha_workloads::c_suite;
@@ -19,6 +19,7 @@ fn at(s: Sensitivity) -> &'static str {
 
 fn main() {
     let params = params();
+    let mut reporter = Reporter::new("table2_optslice_endtoend");
     let mut rows = Vec::new();
     for w in c_suite::all(&params) {
         let outcome = pipeline(&w, optslice_config()).run_optslice(
@@ -26,6 +27,7 @@ fn main() {
             &w.testing_inputs,
             &w.endpoints,
         );
+        reporter.child(w.name, outcome.report.clone());
         let sum = |f: &dyn Fn(&oha_core::OptSliceRun) -> Duration| -> Duration {
             outcome.runs.iter().map(f).sum()
         };
@@ -58,7 +60,8 @@ fn main() {
     println!("Table 2 — OptSlice end-to-end analysis times\n");
     println!(
         "{}",
-        render_table(
+        reporter.table(
+            "Table 2 — OptSlice end-to-end analysis times",
             &[
                 "bench (insts)",
                 "trad-pt AT",
@@ -76,4 +79,5 @@ fn main() {
             &rows,
         )
     );
+    reporter.finish();
 }

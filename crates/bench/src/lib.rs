@@ -2,13 +2,17 @@
 //!
 //! Each `src/bin/figN_*.rs` / `src/bin/tableN_*.rs` binary reproduces one
 //! table or figure; see DESIGN.md's experiment index. This library holds
-//! the pieces they share: suite configuration, duration formatting and
-//! plain-text table rendering.
+//! the pieces they share: suite configuration, duration formatting,
+//! plain-text table rendering, and the `--json <path>` report plumbing
+//! ([`Reporter`]) that turns each binary's output into a machine-readable
+//! [`RunReport`].
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use oha_core::{Pipeline, PipelineConfig};
 use oha_interp::MachineConfig;
+use oha_obs::{RunReport, TableArtifact};
 use oha_workloads::WorkloadParams;
 
 /// The workload scale used by every figure/table binary.
@@ -111,6 +115,111 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Command-line options shared by every figure/table binary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Destination for the machine-readable run report (`--json <path>`).
+    pub json: Option<PathBuf>,
+}
+
+/// Parses the shared options from an explicit argument list. Accepts
+/// `--json <path>` and `--json=<path>`; anything else is ignored so the
+/// binaries keep working under external harnesses that add flags.
+pub fn parse_args_from(args: impl IntoIterator<Item = String>) -> BenchArgs {
+    let mut parsed = BenchArgs::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--json" {
+            match it.next() {
+                Some(path) => parsed.json = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--json=") {
+            parsed.json = Some(PathBuf::from(path));
+        }
+    }
+    parsed
+}
+
+/// Parses the shared options from the process arguments.
+pub fn bench_args() -> BenchArgs {
+    parse_args_from(std::env::args().skip(1))
+}
+
+/// Collects one binary's output — tables, metadata, per-workload child
+/// reports — and writes it as stable JSON when `--json` was given.
+///
+/// Typical shape: create one per `main`, call [`Reporter::table`] instead
+/// of a bare [`render_table`] (it both records the table artifact and
+/// returns the rendered text), attach each workload's
+/// [`RunReport`] via [`Reporter::child`], and end with
+/// [`Reporter::finish`].
+#[derive(Debug)]
+pub struct Reporter {
+    report: RunReport,
+    json: Option<PathBuf>,
+}
+
+impl Reporter {
+    /// A reporter named after the experiment, honoring the process's
+    /// `--json` flag.
+    pub fn new(name: &str) -> Self {
+        Self::with_args(name, &bench_args())
+    }
+
+    /// A reporter with explicit options (for tests).
+    pub fn with_args(name: &str, args: &BenchArgs) -> Self {
+        Self {
+            report: RunReport::new(name),
+            json: args.json.clone(),
+        }
+    }
+
+    /// Records a metadata key/value pair.
+    pub fn meta(&mut self, key: &str, value: impl ToString) {
+        self.report.meta.insert(key.to_string(), value.to_string());
+    }
+
+    /// Records a table artifact and returns its plain-text rendering.
+    pub fn table(&mut self, title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+        self.report.tables.push(TableArtifact {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: rows.to_vec(),
+        });
+        render_table(headers, rows)
+    }
+
+    /// Attaches a per-workload child report (phase spans, counters, …),
+    /// renamed to the workload for a stable lookup key.
+    pub fn child(&mut self, name: &str, mut child: RunReport) {
+        child.name = name.to_string();
+        self.report.children.push(child);
+    }
+
+    /// The report built so far.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// Writes the JSON artifact if `--json` was given.
+    pub fn finish(self) {
+        if let Some(path) = self.json {
+            let json = self.report.to_json_string();
+            match std::fs::write(&path, &json) {
+                Ok(()) => eprintln!("wrote JSON report to {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
 /// Mean of an iterator of f64 (0.0 when empty).
 pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut sum = 0.0;
@@ -158,5 +267,43 @@ mod tests {
     fn mean_handles_empty() {
         assert_eq!(mean([]), 0.0);
         assert_eq!(mean([2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn break_even_formats_positive_times() {
+        assert_eq!(fmt_break_even(Some(1.5)), "1.50s");
+        assert_eq!(fmt_break_even(Some(-3.0)), "0s");
+    }
+
+    #[test]
+    fn json_flag_parses_in_both_spellings() {
+        let args = |v: &[&str]| parse_args_from(v.iter().map(|s| s.to_string()));
+        assert_eq!(args(&[]).json, None);
+        assert_eq!(
+            args(&["--json", "out.json"]).json,
+            Some(PathBuf::from("out.json"))
+        );
+        assert_eq!(
+            args(&["--json=x/y.json"]).json,
+            Some(PathBuf::from("x/y.json"))
+        );
+        assert_eq!(args(&["--bench", "--verbose"]).json, None);
+    }
+
+    #[test]
+    fn reporter_accumulates_tables_and_children() {
+        let mut rep = Reporter::with_args("fig0", &BenchArgs::default());
+        rep.meta("suite", "test");
+        let text = rep.table("t", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(text.starts_with("a"));
+        rep.child("w1", RunReport::new("inner"));
+        let r = rep.report();
+        assert_eq!(r.name, "fig0");
+        assert_eq!(r.meta["suite"], "test");
+        assert_eq!(r.tables.len(), 1);
+        assert_eq!(r.children[0].name, "w1");
+        // The artifact round-trips through the stable JSON form.
+        let json = r.to_json_string();
+        assert_eq!(&RunReport::from_json_str(&json).unwrap(), r);
     }
 }

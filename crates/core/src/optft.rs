@@ -1,13 +1,14 @@
 //! OptFT: optimistic FastTrack data-race detection (paper §4).
 
 use std::collections::{BTreeSet, HashMap};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use oha_dataflow::BitSet;
 use oha_fasttrack::FastTrackTool;
 use oha_interp::{Machine, MultiTracer, NoopTracer};
 use oha_invariants::{ChecksEnabled, InvariantChecker, InvariantSet};
 use oha_ir::{InstId, InstKind, Program};
+use oha_obs::{MetricsRegistry, RunReport};
 use oha_pointsto::{analyze, PointsTo, PointsToConfig, Sensitivity};
 use oha_races::{detect, MustLocksets, StaticRaces};
 
@@ -72,6 +73,11 @@ pub struct OptFtOutcome {
     /// Union of OptFT final races over the testing corpus. Soundness means
     /// this equals [`OptFtOutcome::baseline_races`].
     pub optimistic_races: BTreeSet<(InstId, InstId)>,
+    /// Machine-readable account of the whole run: phase spans
+    /// (`optft/profile`, `optft/static_pred`, …), hook-dispatch and elision
+    /// counters, and mis-speculation causes by invariant class
+    /// (`optft.rollback.cause.<class>`).
+    pub report: RunReport,
 }
 
 impl OptFtOutcome {
@@ -137,32 +143,42 @@ impl<'a> OptFt<'a> {
 
     pub(crate) fn run(self, profiling: &[Vec<i64>], testing: &[Vec<i64>]) -> OptFtOutcome {
         let program = self.pipeline.program();
+        let registry = self.pipeline.metrics().clone();
         let machine = Machine::new(program, self.pipeline.config().machine);
+        // The speculative runs use a metrics-attached machine, so every
+        // tracer-hook dispatch the optimistic tool sees is counted under
+        // `optft.spec.hook.*` — the elision identity
+        // elided + executed == dispatched holds against those counters.
+        let spec_machine = Machine::new(program, self.pipeline.config().machine)
+            .with_metrics(&registry, "optft.spec");
+        let pipeline_span = registry.span("optft");
 
         // Phase 1: profile until the invariant set stabilizes (§6.1).
         let (mut invariants, mut profile_time, profiling_used) =
             self.pipeline.profile_until_stable(profiling, 6);
 
         // Phase 2a: sound static analysis (traditional hybrid's input).
-        let t = Instant::now();
+        let span = registry.span("static_sound");
         let pt_sound = analyze(program, &self.pt_config(None))
             .expect("context-insensitive points-to always completes");
         let races_sound = detect(program, &pt_sound, None);
-        let sound_static_time = t.elapsed();
+        let sound_static_time = span.finish();
+        pt_sound.stats().record(&registry, "optft.pointsto.sound");
 
         // Phase 2b: predicated static analysis.
-        let t = Instant::now();
+        let span = registry.span("static_pred");
         let pt_pred = analyze(program, &self.pt_config(Some(&invariants)))
             .expect("context-insensitive points-to always completes");
         let races_pred = detect(program, &pt_pred, Some(&invariants));
-        let pred_static_time = t.elapsed();
+        let pred_static_time = span.finish();
+        pt_pred.stats().record(&registry, "optft.pointsto.pred");
 
         // No-custom-synchronization: propose elidable lock/unlock sites and
         // validate them on the profiling corpus (§4.2.4): any race the
         // elided detector reports that the sound detector does not is a
         // false race caused by a custom synchronization through an elided
         // lock — put that lock's instrumentation back and retry.
-        let t = Instant::now();
+        let span = registry.span("elide");
         let elidable = validate_elidable_locks(
             program,
             &machine,
@@ -172,9 +188,10 @@ impl<'a> OptFt<'a> {
             profiling,
         );
         invariants.elidable_locks = elidable;
-        profile_time += t.elapsed();
+        profile_time += span.finish();
 
         // Phase 3: speculative dynamic analysis over the testing corpus.
+        let dynamic_span = registry.span("dynamic");
         let mut runs = Vec::with_capacity(testing.len());
         let mut baseline_races = BTreeSet::new();
         let mut optimistic_races = BTreeSet::new();
@@ -182,6 +199,8 @@ impl<'a> OptFt<'a> {
             let run = self.dynamic_run(
                 input,
                 &machine,
+                &spec_machine,
+                &registry,
                 &races_sound,
                 &races_pred,
                 &invariants,
@@ -190,8 +209,10 @@ impl<'a> OptFt<'a> {
             optimistic_races.extend(run.races_opt.iter().copied());
             runs.push(run);
         }
+        dynamic_span.finish();
+        pipeline_span.finish();
 
-        OptFtOutcome {
+        let mut outcome = OptFtOutcome {
             profiling_runs_used: profiling_used,
             profile_time,
             sound_static_time,
@@ -204,7 +225,23 @@ impl<'a> OptFt<'a> {
             runs,
             baseline_races,
             optimistic_races,
-        }
+            report: RunReport::default(),
+        };
+        registry.set_gauge("optft.racy_sites.sound", outcome.racy_sites_sound as f64);
+        registry.set_gauge("optft.racy_sites.pred", outcome.racy_sites_pred as f64);
+        registry.set_gauge("optft.speedup_vs_full", outcome.speedup_vs_full());
+        registry.set_gauge("optft.speedup_vs_hybrid", outcome.speedup_vs_hybrid());
+        registry.set_gauge("optft.misspeculation_rate", outcome.misspeculation_rate());
+        let mut report = registry.report("optft");
+        report.meta.insert("tool".into(), "optft".into());
+        report
+            .meta
+            .insert("testing_runs".into(), outcome.runs.len().to_string());
+        report
+            .meta
+            .insert("profiling_runs_used".into(), profiling_used.to_string());
+        outcome.report = report;
+        outcome
     }
 
     fn pt_config<'i>(&self, invariants: Option<&'i InvariantSet>) -> PointsToConfig<'i> {
@@ -216,47 +253,51 @@ impl<'a> OptFt<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn dynamic_run(
         &self,
         input: &[i64],
         machine: &Machine<'_>,
+        spec_machine: &Machine<'_>,
+        registry: &MetricsRegistry,
         races_sound: &StaticRaces,
         races_pred: &StaticRaces,
         invariants: &InvariantSet,
     ) -> OptFtRun {
         let program = self.pipeline.program();
 
-        let t = Instant::now();
+        let span = registry.span("baseline");
         machine.run(input, &mut NoopTracer);
-        let baseline = t.elapsed();
+        let baseline = span.finish();
 
-        let t = Instant::now();
+        let span = registry.span("full");
         let mut full = FastTrackTool::full();
         machine.run(input, &mut full);
-        let full_time = t.elapsed();
+        let full_time = span.finish();
 
-        let t = Instant::now();
+        let span = registry.span("hybrid");
         let mut hybrid = FastTrackTool::hybrid(races_sound.racy_sites());
         machine.run(input, &mut hybrid);
-        let hybrid_time = t.elapsed();
+        let hybrid_time = span.finish();
 
-        let t = Instant::now();
-        let mut checker_only = InvariantChecker::new(program, invariants, ChecksEnabled::for_optft());
+        let span = registry.span("checker");
+        let mut checker_only =
+            InvariantChecker::new(program, invariants, ChecksEnabled::for_optft());
         machine.run(input, &mut checker_only);
-        let checker_only_time = t.elapsed();
+        let checker_only_time = span.finish();
 
         // The speculative run: optimistic FastTrack + invariant checks,
         // with the schedule recorded so a mis-speculation can replay the
         // identical interleaving (the paper's record/replay rollback).
-        let t = Instant::now();
-        let opt_tool = FastTrackTool::optimistic(
-            races_pred.racy_sites(),
-            &invariants.elidable_locks,
-        );
+        let span = registry.span("optimistic");
+        let opt_tool =
+            FastTrackTool::optimistic(races_pred.racy_sites(), &invariants.elidable_locks);
         let checker = InvariantChecker::new(program, invariants, ChecksEnabled::for_optft());
         let mut combined = MultiTracer::new(opt_tool, checker);
-        let (_, schedule) = machine.run_recording(input, &mut combined);
-        let optimistic_time = t.elapsed();
+        let (_, schedule) = spec_machine.run_recording(input, &mut combined);
+        let optimistic_time = span.finish();
+        combined.first.record_metrics(registry, "optft.ft");
+        combined.second.record_metrics(registry, "optft.check");
 
         let opt_races = combined.first.race_pairs();
         let violations = combined.second.violations().count();
@@ -267,13 +308,22 @@ impl<'a> OptFt<'a> {
             || (!invariants.elidable_locks.is_empty() && !opt_races.is_empty());
 
         let (races_opt, rollback) = if rolled_back {
+            registry.add("optft.rollback", 1);
+            for v in combined.second.violations() {
+                registry.add(&format!("optft.rollback.cause.{}", v.class()), 1);
+            }
+            if violations == 0 {
+                // Race-triggered rollback with no invariant violation: a
+                // potentially-false race through an elided lock.
+                registry.add("optft.rollback.cause.race_report", 1);
+            }
             // Roll back: replay the recorded schedule under the traditional
             // hybrid analysis, which observes the same execution the failed
             // speculation did.
-            let t = Instant::now();
+            let span = registry.span("rollback");
             let mut redo = FastTrackTool::hybrid(races_sound.racy_sites());
             machine.run_replay(input, &schedule, &mut redo);
-            (redo.race_pairs(), t.elapsed())
+            (redo.race_pairs(), span.finish())
         } else {
             (opt_races, Duration::ZERO)
         };
@@ -442,7 +492,10 @@ mod tests {
         let outcome = pipeline.run_optft(&profiling, &testing);
 
         assert_eq!(outcome.optimistic_races, outcome.baseline_races);
-        assert!(outcome.baseline_races.is_empty(), "the counter is race-free");
+        assert!(
+            outcome.baseline_races.is_empty(),
+            "the counter is race-free"
+        );
         assert!(
             outcome.racy_sites_pred < outcome.racy_sites_sound,
             "guarding locks prune candidates ({} !< {})",

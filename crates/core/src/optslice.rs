@@ -1,11 +1,12 @@
 //! OptSlice: optimistic dynamic backward slicing (paper §5).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use oha_giri::{DynamicSlice, GiriTool};
 use oha_interp::{Machine, MultiTracer, NoopTracer};
 use oha_invariants::{ChecksEnabled, InvariantChecker, InvariantSet};
 use oha_ir::InstId;
+use oha_obs::RunReport;
 use oha_pointsto::{analyze, PointsTo, PointsToConfig, Sensitivity};
 use oha_slicing::{slice, SliceConfig, StaticSlice};
 
@@ -69,6 +70,11 @@ pub struct OptSliceOutcome {
     pub pred: StaticSideReport,
     /// Per-testing-input measurements.
     pub runs: Vec<OptSliceRun>,
+    /// Machine-readable account of the whole run: phase spans
+    /// (`optslice/profile`, `optslice/static_pred/slice`, …), DUG and
+    /// budget gauges, tracing counters, and mis-speculation causes by
+    /// invariant class (`optslice.rollback.cause.<class>`).
+    pub report: RunReport,
 }
 
 impl OptSliceOutcome {
@@ -134,11 +140,13 @@ impl<'a> OptSlice<'a> {
     /// first, CI as the fallback — the paper's "most accurate static
     /// analysis that will complete on that benchmark without exhausting
     /// available computational resources" (§6.1.2).
-    fn static_side(&self, invariants: Option<&InvariantSet>) -> StaticSide {
+    fn static_side(&self, invariants: Option<&InvariantSet>, label: &str) -> StaticSide {
         let program = self.pipeline.program();
         let cfg = self.pipeline.config();
+        let registry = self.pipeline.metrics();
+        let phase_span = registry.span(&format!("static_{label}"));
 
-        let t = Instant::now();
+        let span = registry.span("pointsto");
         let (pt, pt_at): (PointsTo, Sensitivity) = {
             let cs = analyze(
                 program,
@@ -166,9 +174,11 @@ impl<'a> OptSlice<'a> {
                 ),
             }
         };
-        let points_to_time = t.elapsed();
+        let points_to_time = span.finish();
+        pt.stats()
+            .record(registry, &format!("optslice.pointsto.{label}"));
 
-        let t = Instant::now();
+        let span = registry.span("slice");
         let (static_slice, slice_at) = {
             let cs = slice(
                 program,
@@ -200,7 +210,11 @@ impl<'a> OptSlice<'a> {
                 ),
             }
         };
-        let slice_time = t.elapsed();
+        let slice_time = span.finish();
+        static_slice
+            .stats()
+            .record(registry, &format!("optslice.slice.{label}"));
+        phase_span.finish();
 
         StaticSide {
             report: StaticSideReport {
@@ -218,51 +232,65 @@ impl<'a> OptSlice<'a> {
 
     pub(crate) fn run(self, profiling: &[Vec<i64>], testing: &[Vec<i64>]) -> OptSliceOutcome {
         let program = self.pipeline.program();
+        let registry = self.pipeline.metrics().clone();
         let machine = Machine::new(program, self.pipeline.config().machine);
+        // The speculative runs dispatch through a metrics-attached machine:
+        // `optslice.spec.hook.*` counts every event the optimistic slicer
+        // could have seen, elided or traced.
+        let spec_machine = Machine::new(program, self.pipeline.config().machine)
+            .with_metrics(&registry, "optslice.spec");
+        let pipeline_span = registry.span("optslice");
 
         let (invariants, profile_time, profiling_used) =
             self.pipeline.profile_until_stable(profiling, 6);
-        let mut sound = self.static_side(None);
-        let pred = self.static_side(Some(&invariants));
+        let mut sound = self.static_side(None, "sound");
+        let pred = self.static_side(Some(&invariants), "pred");
         // Figure 9's fairness rule: report the sound alias rate over the
         // accesses the predicated analysis still considers.
         sound.report.alias_rate = sound.pt.alias_rate_over(&pred.pt);
 
+        let dynamic_span = registry.span("dynamic");
         let mut runs = Vec::with_capacity(testing.len());
         for input in testing {
-            let t = Instant::now();
+            let span = registry.span("baseline");
             machine.run(input, &mut NoopTracer);
-            let baseline = t.elapsed();
+            let baseline = span.finish();
 
-            let t = Instant::now();
+            let span = registry.span("hybrid");
             let mut hybrid = GiriTool::hybrid(program, sound.slice.sites());
             machine.run(input, &mut hybrid);
-            let hybrid_time = t.elapsed();
+            let hybrid_time = span.finish();
             let hybrid_slice = self.slice_endpoints(&hybrid);
 
-            let t = Instant::now();
+            let span = registry.span("checker");
             let mut checker_only =
                 InvariantChecker::new(program, &invariants, ChecksEnabled::for_optslice());
             machine.run(input, &mut checker_only);
-            let checker_only_time = t.elapsed();
+            let checker_only_time = span.finish();
 
             // Speculative run with the schedule recorded for rollback.
-            let t = Instant::now();
+            let span = registry.span("optimistic");
             let opt_tool = GiriTool::hybrid(program, pred.slice.sites());
             let checker =
                 InvariantChecker::new(program, &invariants, ChecksEnabled::for_optslice());
             let mut combined = MultiTracer::new(opt_tool, checker);
-            let (_, schedule) = machine.run_recording(input, &mut combined);
-            let optimistic_time = t.elapsed();
+            let (_, schedule) = spec_machine.run_recording(input, &mut combined);
+            let optimistic_time = span.finish();
+            combined.first.record_metrics(&registry, "optslice.giri");
+            combined.second.record_metrics(&registry, "optslice.check");
 
             let rolled_back = combined.second.is_violated();
             let (opt_slice, rollback) = if rolled_back {
+                registry.add("optslice.rollback", 1);
+                for v in combined.second.violations() {
+                    registry.add(&format!("optslice.rollback.cause.{}", v.class()), 1);
+                }
                 // Replay the identical interleaving under the traditional
                 // hybrid slicer.
-                let t = Instant::now();
+                let span = registry.span("rollback");
                 let mut redo = GiriTool::hybrid(program, sound.slice.sites());
                 machine.run_replay(input, &schedule, &mut redo);
-                (self.slice_endpoints(&redo), t.elapsed())
+                (self.slice_endpoints(&redo), span.finish())
             } else {
                 (self.slice_endpoints(&combined.first), Duration::ZERO)
             };
@@ -279,15 +307,37 @@ impl<'a> OptSlice<'a> {
                 slices_equal: hybrid_slice == opt_slice,
             });
         }
+        dynamic_span.finish();
+        pipeline_span.finish();
 
-        OptSliceOutcome {
+        let mut outcome = OptSliceOutcome {
             invariants,
             profile_time,
             profiling_runs_used: profiling_used,
             sound: sound.report,
             pred: pred.report,
             runs,
-        }
+            report: RunReport::default(),
+        };
+        registry.set_gauge("optslice.slice_size.sound", outcome.sound.slice_size as f64);
+        registry.set_gauge("optslice.slice_size.pred", outcome.pred.slice_size as f64);
+        registry.set_gauge("optslice.alias_rate.sound", outcome.sound.alias_rate);
+        registry.set_gauge("optslice.alias_rate.pred", outcome.pred.alias_rate);
+        registry.set_gauge("optslice.speedup_vs_hybrid", outcome.speedup_vs_hybrid());
+        registry.set_gauge(
+            "optslice.misspeculation_rate",
+            outcome.misspeculation_rate(),
+        );
+        let mut report = registry.report("optslice");
+        report.meta.insert("tool".into(), "optslice".into());
+        report
+            .meta
+            .insert("testing_runs".into(), outcome.runs.len().to_string());
+        report
+            .meta
+            .insert("profiling_runs_used".into(), profiling_used.to_string());
+        outcome.report = report;
+        outcome
     }
 
     fn slice_endpoints(&self, tool: &GiriTool<'_>) -> DynamicSlice {
@@ -360,7 +410,10 @@ mod tests {
         m.output(R(acc));
         m.ret(None);
         let main = pb.finish_function(m);
-        for (name, op) in [("op_add", oha_ir::BinOp::Add), ("op_mul", oha_ir::BinOp::Mul)] {
+        for (name, op) in [
+            ("op_add", oha_ir::BinOp::Add),
+            ("op_mul", oha_ir::BinOp::Mul),
+        ] {
             let mut f = pb.function(name, 1);
             let v = f.bin(op, R(f.param(0)), Const(3));
             f.ret(Some(R(v)));
@@ -388,11 +441,7 @@ mod tests {
         let e = endpoint(&p);
         let pipeline = Pipeline::new(p);
         // Profile only add/mul operations (sel 0/1).
-        let profiling = vec![
-            vec![1, 0, 1, 1, 0],
-            vec![1, 1, 1, 0, 1, 1, 0, 0],
-            vec![0],
-        ];
+        let profiling = vec![vec![1, 0, 1, 1, 0], vec![1, 1, 1, 0, 1, 1, 0, 0], vec![0]];
         let testing = vec![vec![1, 0, 1, 1, 1, 1, 0], vec![1, 1, 0], vec![0]];
         let outcome = pipeline.run_optslice(&profiling, &testing, &[e]);
 

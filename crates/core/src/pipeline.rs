@@ -1,10 +1,11 @@
 //! The shared pipeline scaffolding: configuration and the profiling phase.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use oha_interp::{Machine, MachineConfig};
-use oha_invariants::{InvariantSet, ProfileTracer, RunProfile};
+use oha_invariants::{InvariantAccumulator, InvariantSet, ProfileTracer, RunProfile};
 use oha_ir::{InstId, Program};
+use oha_obs::MetricsRegistry;
 
 use crate::optft::OptFtOutcome;
 use crate::optslice::OptSliceOutcome;
@@ -61,20 +62,29 @@ impl Default for PipelineConfig {
 pub struct Pipeline {
     program: Program,
     config: PipelineConfig,
+    metrics: MetricsRegistry,
 }
 
 impl Pipeline {
-    /// A pipeline with default configuration.
+    /// A pipeline with default configuration and a fresh metrics registry.
     pub fn new(program: Program) -> Self {
         Self {
             program,
             config: PipelineConfig::default(),
+            metrics: MetricsRegistry::new(),
         }
     }
 
     /// Overrides the configuration.
     pub fn with_config(mut self, config: PipelineConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Shares an external metrics registry, so a caller (for instance a
+    /// benchmark harness) can read phase spans and counters after a run.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -88,9 +98,14 @@ impl Pipeline {
         self.config
     }
 
+    /// The metrics registry every phase reports into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// Phase 1: runs the profiling corpus and merges the likely invariants.
     pub fn profile(&self, inputs: &[Vec<i64>]) -> (InvariantSet, Duration) {
-        let start = Instant::now();
+        let span = self.metrics.span("profile");
         let profiles: Vec<RunProfile> = inputs
             .iter()
             .map(|input| {
@@ -100,7 +115,7 @@ impl Pipeline {
             })
             .collect();
         let set = InvariantSet::from_profiles(&profiles);
-        (set, start.elapsed())
+        (set, span.finish())
     }
 
     /// Phase 1 with the paper's stopping rule: profile additional inputs
@@ -108,22 +123,28 @@ impl Pipeline {
     /// until `patience` consecutive runs add no new facts (or the corpus is
     /// exhausted). Returns the merged set, the time spent, and how many
     /// inputs were consumed.
+    ///
+    /// Profiles fold into an [`InvariantAccumulator`] as they arrive, so the
+    /// whole loop is linear in the number of runs, and the per-run fact
+    /// count lands in the `profile.fact_count` series of
+    /// [`Pipeline::metrics`] (the Figure 8 convergence curve).
     pub fn profile_until_stable(
         &self,
         inputs: &[Vec<i64>],
         patience: usize,
     ) -> (InvariantSet, Duration, usize) {
-        let start = Instant::now();
-        let mut profiles: Vec<RunProfile> = Vec::new();
+        let span = self.metrics.span("profile");
+        let mut acc = InvariantAccumulator::new();
         let mut last_count = usize::MAX;
         let mut stable_for = 0usize;
         let mut used = 0usize;
         for input in inputs {
             let mut tracer = ProfileTracer::new(&self.program);
             Machine::new(&self.program, self.config.machine).run(input, &mut tracer);
-            profiles.push(tracer.into_profile());
+            acc.add(&tracer.into_profile());
             used += 1;
-            let count = InvariantSet::from_profiles(&profiles).fact_count();
+            let count = acc.fact_count();
+            self.metrics.push_series("profile.fact_count", count as f64);
             if count == last_count {
                 stable_for += 1;
                 if stable_for >= patience {
@@ -134,8 +155,7 @@ impl Pipeline {
                 last_count = count;
             }
         }
-        let set = InvariantSet::from_profiles(&profiles);
-        (set, start.elapsed(), used)
+        (acc.finish(), span.finish(), used)
     }
 
     /// Runs the full OptFT pipeline (profile → predicated static race

@@ -242,7 +242,10 @@ mod tests {
     #[test]
     fn iter_crosses_word_boundaries() {
         let s: BitSet = [0, 63, 64, 127, 128, 1000].into_iter().collect();
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 1000]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![0, 63, 64, 127, 128, 1000]
+        );
         assert_eq!(s.len(), 6);
     }
 

@@ -219,7 +219,15 @@ mod tests {
             .call_sites()
             .iter()
             .copied()
-            .find(|&s| matches!(p.inst(s).kind, InstKind::Call { callee: Callee::Indirect(_), .. }))
+            .find(|&s| {
+                matches!(
+                    p.inst(s).kind,
+                    InstKind::Call {
+                        callee: Callee::Indirect(_),
+                        ..
+                    }
+                )
+            })
             .unwrap();
         assert_eq!(cg.targets(icall), &[b]);
         // c is no longer reachable.

@@ -99,12 +99,18 @@ impl Cfg {
 
     /// Successor blocks of `b`.
     pub fn succs(&self, b: BlockId) -> Vec<BlockId> {
-        self.graph.succs(self.local(b)).map(|i| self.global(i)).collect()
+        self.graph
+            .succs(self.local(b))
+            .map(|i| self.global(i))
+            .collect()
     }
 
     /// Predecessor blocks of `b`.
     pub fn preds(&self, b: BlockId) -> Vec<BlockId> {
-        self.graph.preds(self.local(b)).map(|i| self.global(i)).collect()
+        self.graph
+            .preds(self.local(b))
+            .map(|i| self.global(i))
+            .collect()
     }
 
     /// Blocks in reverse post-order from the entry. Unreachable blocks are

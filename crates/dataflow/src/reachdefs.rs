@@ -303,10 +303,7 @@ mod tests {
         let p = pb.finish(main).unwrap();
         let cfg = Cfg::new(&p, callee);
         let rd = ReachingDefs::new(&p, callee, &cfg);
-        let out = p
-            .inst_ids()
-            .find(|&i| p.func_of_inst(i) == callee)
-            .unwrap();
+        let out = p.inst_ids().find(|&i| p.func_of_inst(i) == callee).unwrap();
         assert_eq!(rd.defs_for(out, p0), &[DefSite::Param(p0)]);
     }
 }

@@ -299,7 +299,10 @@ mod tests {
         let races = d.races();
         assert_eq!(races.len(), 1);
         let r = races.iter().next().unwrap();
-        assert_eq!((r.prior, r.current, r.kind), (site(10), site(20), RaceKind::WriteWrite));
+        assert_eq!(
+            (r.prior, r.current, r.kind),
+            (site(10), site(20), RaceKind::WriteWrite)
+        );
     }
 
     #[test]

@@ -110,6 +110,26 @@ impl<'a> FastTrackTool<'a> {
         self.counters
     }
 
+    /// Publishes elided-vs-executed work under `<prefix>.` in `registry`:
+    /// `<prefix>.elided.{accesses,lock_ops}` for skipped instrumentation,
+    /// `<prefix>.executed.{reads,writes,sync_ops}` for detector work, and
+    /// `<prefix>.races` for distinct racing site pairs.
+    pub fn record_metrics(&self, registry: &oha_obs::MetricsRegistry, prefix: &str) {
+        registry.add(
+            &format!("{prefix}.elided.accesses"),
+            self.counters.elided_accesses,
+        );
+        registry.add(
+            &format!("{prefix}.elided.lock_ops"),
+            self.counters.elided_lock_ops,
+        );
+        let d = self.detector.counters();
+        registry.add(&format!("{prefix}.executed.reads"), d.reads);
+        registry.add(&format!("{prefix}.executed.writes"), d.writes);
+        registry.add(&format!("{prefix}.executed.sync_ops"), d.sync_ops);
+        registry.add(&format!("{prefix}.races"), self.race_pairs().len() as u64);
+    }
+
     fn skip_access(&mut self, site: InstId) -> bool {
         match self.instrument {
             Some(set) if !set.contains(site.index()) => {

@@ -138,8 +138,16 @@ mod tests {
     fn epochs_compare_against_clocks() {
         let mut vc = VectorClock::new();
         vc.set(ThreadId(1), 4);
-        assert!(Epoch { tid: ThreadId(1), clock: 4 }.leq(&vc));
-        assert!(!Epoch { tid: ThreadId(1), clock: 5 }.leq(&vc));
+        assert!(Epoch {
+            tid: ThreadId(1),
+            clock: 4
+        }
+        .leq(&vc));
+        assert!(!Epoch {
+            tid: ThreadId(1),
+            clock: 5
+        }
+        .leq(&vc));
         assert!(Epoch::BOTTOM.leq(&VectorClock::new()));
     }
 

@@ -151,6 +151,26 @@ impl<'a> GiriTool<'a> {
         self.counters
     }
 
+    /// Publishes elided-vs-executed tracing work under `<prefix>.` in
+    /// `registry`: `<prefix>.traced_events`, `<prefix>.elided_events`, the
+    /// in-memory `<prefix>.trace_len` and whether the event budget was
+    /// `<prefix>.exhausted`.
+    pub fn record_metrics(&self, registry: &oha_obs::MetricsRegistry, prefix: &str) {
+        registry.add(
+            &format!("{prefix}.traced_events"),
+            self.counters.traced_events,
+        );
+        registry.add(
+            &format!("{prefix}.elided_events"),
+            self.counters.elided_events,
+        );
+        registry.set_gauge(&format!("{prefix}.trace_len"), self.events.len() as f64);
+        registry.set_gauge(
+            &format!("{prefix}.exhausted"),
+            if self.exhausted { 1.0 } else { 0.0 },
+        );
+    }
+
     /// The number of trace events held in memory.
     pub fn trace_len(&self) -> usize {
         self.events.len()
@@ -253,9 +273,7 @@ impl Tracer for GiriTool<'_> {
             InstKind::Alloc { dst, .. }
             | InstKind::AddrGlobal { dst, .. }
             | InstKind::AddrFunc { dst, .. } => (dst, [NONE, NONE]),
-            InstKind::Gep { dst, base, .. } => {
-                (dst, [self.operand_dep(ctx.frame, base), NONE])
-            }
+            InstKind::Gep { dst, base, .. } => (dst, [self.operand_dep(ctx.frame, base), NONE]),
             _ => return,
         };
         let ev = self.record(ctx.inst, deps);
@@ -285,7 +303,9 @@ impl Tracer for GiriTool<'_> {
         if !self.traced(ctx.inst) {
             return;
         }
-        let InstKind::Store { addr: a, value: v, .. } = self.program.inst(ctx.inst).kind
+        let InstKind::Store {
+            addr: a, value: v, ..
+        } = self.program.inst(ctx.inst).kind
         else {
             return;
         };
@@ -357,10 +377,8 @@ impl Tracer for GiriTool<'_> {
     }
 
     fn on_block_enter(&mut self, thread: ThreadId, frame: FrameId, _block: oha_ir::BlockId) {
-        if let Some(dep) = self.pending_spawn.remove(&thread) {
-            if let Some(d) = dep {
-                self.set_def(frame, Reg::new(0), d);
-            }
+        if let Some(Some(d)) = self.pending_spawn.remove(&thread) {
+            self.set_def(frame, Reg::new(0), d);
         }
     }
 
@@ -470,12 +488,7 @@ mod tests {
         let s = g.slice_all_outputs();
         for (i, kind_check) in p.inst_ids().zip(p.insts()) {
             let expect = !matches!(kind_check.kind, InstKind::Copy { .. });
-            assert_eq!(
-                s.contains(i),
-                expect,
-                "inst {i} ({:?})",
-                kind_check.kind
-            );
+            assert_eq!(s.contains(i), expect, "inst {i} ({:?})", kind_check.kind);
         }
         let _ = junk;
     }
@@ -574,7 +587,10 @@ mod tests {
 
         let mut g = GiriTool::full(&p).with_event_budget(10);
         Machine::new(&p, MachineConfig::default()).run(&[1000], &mut g);
-        assert!(g.is_exhausted(), "a 1000-iteration loop blows a 10-event trace");
+        assert!(
+            g.is_exhausted(),
+            "a 1000-iteration loop blows a 10-event trace"
+        );
         assert_eq!(g.trace_len(), 10);
 
         let mut g = GiriTool::full(&p).with_event_budget(1_000_000);

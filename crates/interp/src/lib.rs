@@ -47,6 +47,8 @@ mod tracer;
 mod value;
 
 pub use heap::Heap;
-pub use machine::{Machine, MachineConfig, RunResult, RuntimeError, ScheduleTrace, Termination};
+pub use machine::{
+    HookCounters, Machine, MachineConfig, RunResult, RuntimeError, ScheduleTrace, Termination,
+};
 pub use tracer::{EventCtx, MultiTracer, NoopTracer, Tracer};
 pub use value::{Addr, FrameId, ObjId, ThreadId, Value};

@@ -3,13 +3,81 @@
 
 use std::collections::HashMap;
 
-use oha_ir::{
-    BlockId, Callee, CmpOp, FuncId, InstId, InstKind, Operand, Program, Reg, Terminator,
-};
+use oha_ir::{BlockId, Callee, CmpOp, FuncId, InstId, InstKind, Operand, Program, Reg, Terminator};
+use oha_obs::{Counter, MetricsRegistry};
 
 use crate::heap::Heap;
 use crate::tracer::{EventCtx, Tracer};
 use crate::value::{Addr, FrameId, ObjId, ThreadId, Value};
+
+/// Per-event-kind tracer-dispatch counters plus scheduler counters.
+///
+/// The default value is fully detached: every field is a
+/// [`Counter::detached`] handle, so an unobserved machine pays one branch
+/// per event and allocates nothing. [`HookCounters::attached`] registers
+/// every counter under `<prefix>.hook.<event>` / `<prefix>.sched.<metric>`.
+#[derive(Clone, Debug, Default)]
+pub struct HookCounters {
+    /// `on_load` dispatches.
+    pub load: Counter,
+    /// `on_store` dispatches.
+    pub store: Counter,
+    /// `on_lock` dispatches (acquisitions, not blocked attempts).
+    pub lock: Counter,
+    /// `on_unlock` dispatches.
+    pub unlock: Counter,
+    /// `on_spawn` dispatches.
+    pub spawn: Counter,
+    /// `on_join` dispatches.
+    pub join: Counter,
+    /// `on_thread_exit` dispatches.
+    pub thread_exit: Counter,
+    /// `on_block_enter` dispatches.
+    pub block_enter: Counter,
+    /// `on_call` dispatches.
+    pub call: Counter,
+    /// `on_return` dispatches.
+    pub ret: Counter,
+    /// `on_input` dispatches.
+    pub input: Counter,
+    /// `on_output` dispatches.
+    pub output: Counter,
+    /// `on_compute` dispatches.
+    pub compute: Counter,
+    /// Scheduling decisions (quantum slots granted).
+    pub sched_decisions: Counter,
+    /// Preemptions: slots fully consumed with the thread still runnable.
+    pub sched_preemptions: Counter,
+}
+
+impl HookCounters {
+    /// Registers all counters in `registry` under `prefix`.
+    pub fn attached(registry: &MetricsRegistry, prefix: &str) -> Self {
+        let hook = |event: &str| registry.counter(&format!("{prefix}.hook.{event}"));
+        HookCounters {
+            load: hook("load"),
+            store: hook("store"),
+            lock: hook("lock"),
+            unlock: hook("unlock"),
+            spawn: hook("spawn"),
+            join: hook("join"),
+            thread_exit: hook("thread_exit"),
+            block_enter: hook("block_enter"),
+            call: hook("call"),
+            ret: hook("return"),
+            input: hook("input"),
+            output: hook("output"),
+            compute: hook("compute"),
+            sched_decisions: registry.counter(&format!("{prefix}.sched.decisions")),
+            sched_preemptions: registry.counter(&format!("{prefix}.sched.preemptions")),
+        }
+    }
+
+    /// Sum of all memory-access hook dispatches (loads + stores).
+    pub fn accesses(&self) -> u64 {
+        self.load.get() + self.store.get()
+    }
+}
 
 /// Configuration of a [`Machine`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -266,12 +334,30 @@ struct LockState {
 pub struct Machine<'p> {
     program: &'p Program,
     config: MachineConfig,
+    metrics: HookCounters,
 }
 
 impl<'p> Machine<'p> {
     /// Creates a machine for `program`.
     pub fn new(program: &'p Program, config: MachineConfig) -> Self {
-        Self { program, config }
+        Self {
+            program,
+            config,
+            metrics: HookCounters::default(),
+        }
+    }
+
+    /// Attaches hook-dispatch and scheduler counters registered in
+    /// `registry` under `prefix` (builder-style).
+    pub fn with_metrics(mut self, registry: &MetricsRegistry, prefix: &str) -> Self {
+        self.metrics = HookCounters::attached(registry, prefix);
+        self
+    }
+
+    /// The machine's hook counters (detached unless
+    /// [`with_metrics`](Machine::with_metrics) was called).
+    pub fn metrics(&self) -> &HookCounters {
+        &self.metrics
     }
 
     /// The program this machine executes.
@@ -287,9 +373,19 @@ impl<'p> Machine<'p> {
     /// Executes the program on `input`, reporting events to `tracer`.
     pub fn run<T: Tracer>(&self, input: &[i64], tracer: &mut T) -> RunResult {
         let sched = Scheduler::Random(SplitMix64(self.config.seed));
-        Execution::new(self.program, self.config, input, sched)
-            .run(tracer)
-            .0
+        let mut counting = crate::tracer::CountingTracer {
+            inner: tracer,
+            counters: self.metrics.clone(),
+        };
+        Execution::new(
+            self.program,
+            self.config,
+            input,
+            sched,
+            self.metrics.clone(),
+        )
+        .run(&mut counting)
+        .0
     }
 
     /// Executes the program while recording every scheduling decision;
@@ -301,7 +397,18 @@ impl<'p> Machine<'p> {
         tracer: &mut T,
     ) -> (RunResult, ScheduleTrace) {
         let sched = Scheduler::Recording(SplitMix64(self.config.seed), ScheduleTrace::default());
-        let (result, sched) = Execution::new(self.program, self.config, input, sched).run(tracer);
+        let mut counting = crate::tracer::CountingTracer {
+            inner: tracer,
+            counters: self.metrics.clone(),
+        };
+        let (result, sched) = Execution::new(
+            self.program,
+            self.config,
+            input,
+            sched,
+            self.metrics.clone(),
+        )
+        .run(&mut counting);
         match sched {
             Scheduler::Recording(_, trace) => (result, trace),
             _ => unreachable!("recording scheduler preserved"),
@@ -318,9 +425,19 @@ impl<'p> Machine<'p> {
         tracer: &mut T,
     ) -> RunResult {
         let sched = Scheduler::Replaying(trace.clone(), 0);
-        Execution::new(self.program, self.config, input, sched)
-            .run(tracer)
-            .0
+        let mut counting = crate::tracer::CountingTracer {
+            inner: tracer,
+            counters: self.metrics.clone(),
+        };
+        Execution::new(
+            self.program,
+            self.config,
+            input,
+            sched,
+            self.metrics.clone(),
+        )
+        .run(&mut counting)
+        .0
     }
 }
 
@@ -336,6 +453,7 @@ struct Execution<'p, 'i> {
     next_frame: u64,
     steps: u64,
     outputs: Vec<(InstId, Value)>,
+    counters: HookCounters,
 }
 
 enum StepOutcome {
@@ -351,6 +469,7 @@ impl<'p, 'i> Execution<'p, 'i> {
         config: MachineConfig,
         input: &'i [i64],
         scheduler: Scheduler,
+        counters: HookCounters,
     ) -> Self {
         let mut exec = Self {
             program,
@@ -364,6 +483,7 @@ impl<'p, 'i> Execution<'p, 'i> {
             next_frame: 0,
             steps: 0,
             outputs: Vec::new(),
+            counters,
         };
         let entry = program.entry();
         let frame = exec.make_frame(entry, Vec::new(), None);
@@ -419,8 +539,10 @@ impl<'p, 'i> Execution<'p, 'i> {
                 break Termination::Deadlock;
             }
             let (tid, slot) = self.scheduler.pick(&runnable, self.config.quantum);
+            self.counters.sched_decisions.inc();
 
             let mut fault = None;
+            let mut yielded = false;
             for _ in 0..slot {
                 if self.steps >= self.config.max_steps {
                     fault = Some(Termination::StepLimit);
@@ -428,7 +550,10 @@ impl<'p, 'i> Execution<'p, 'i> {
                 }
                 match self.step(tid, tracer) {
                     StepOutcome::Continue => {}
-                    StepOutcome::Yield => break,
+                    StepOutcome::Yield => {
+                        yielded = true;
+                        break;
+                    }
                     StepOutcome::Fault(e) => {
                         fault = Some(Termination::Error(e));
                         break;
@@ -437,6 +562,11 @@ impl<'p, 'i> Execution<'p, 'i> {
             }
             if let Some(status) = fault {
                 break status;
+            }
+            // The slot ran out with the thread still willing to run: that is
+            // a preemption, the scheduler event OptFT's framework cost models.
+            if !yielded {
+                self.counters.sched_preemptions.inc();
             }
         };
 
@@ -541,11 +671,7 @@ impl<'p, 'i> Execution<'p, 'i> {
                 tracer.on_compute(ctx);
             }
             InstKind::AddrGlobal { dst, global } => {
-                self.set_reg(
-                    tid,
-                    dst,
-                    Value::Ptr(Addr::new(ObjId(global.raw()), 0)),
-                );
+                self.set_reg(tid, dst, Value::Ptr(Addr::new(ObjId(global.raw()), 0)));
                 tracer.on_compute(ctx);
             }
             InstKind::AddrFunc { dst, func } => {
@@ -591,7 +717,11 @@ impl<'p, 'i> Execution<'p, 'i> {
                 }
                 tracer.on_store(ctx, a, v);
             }
-            InstKind::Call { dst, ref callee, ref args } => {
+            InstKind::Call {
+                dst,
+                ref callee,
+                ref args,
+            } => {
                 let target = match self.resolve_callee(tid, inst_id, *callee) {
                     Ok(t) => t,
                     Err(e) => return StepOutcome::Fault(e),
@@ -993,7 +1123,10 @@ mod tests {
             let r = Machine::new(&p, cfg).run(&[], &mut NoopTracer);
             r.output_values()[0] < 600
         });
-        assert!(lost_updates, "expected at least one lost update across seeds");
+        assert!(
+            lost_updates,
+            "expected at least one lost update across seeds"
+        );
     }
 
     #[test]

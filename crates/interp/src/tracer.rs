@@ -173,6 +173,80 @@ impl<A: Tracer, B: Tracer> Tracer for MultiTracer<A, B> {
     }
 }
 
+/// Internal adapter: forwards every hook to `inner` while bumping the
+/// machine's [`HookCounters`](crate::machine::HookCounters). Wrapping the
+/// user tracer here (instead of instrumenting each dispatch site in the
+/// interpreter loop) guarantees the counters equal the dispatch counts.
+pub(crate) struct CountingTracer<'a, T> {
+    pub(crate) inner: &'a mut T,
+    pub(crate) counters: crate::machine::HookCounters,
+}
+
+impl<T: Tracer> Tracer for CountingTracer<'_, T> {
+    fn on_load(&mut self, ctx: EventCtx, addr: Addr, value: Value) {
+        self.counters.load.inc();
+        self.inner.on_load(ctx, addr, value);
+    }
+    fn on_store(&mut self, ctx: EventCtx, addr: Addr, value: Value) {
+        self.counters.store.inc();
+        self.inner.on_store(ctx, addr, value);
+    }
+    fn on_lock(&mut self, ctx: EventCtx, addr: Addr) {
+        self.counters.lock.inc();
+        self.inner.on_lock(ctx, addr);
+    }
+    fn on_unlock(&mut self, ctx: EventCtx, addr: Addr) {
+        self.counters.unlock.inc();
+        self.inner.on_unlock(ctx, addr);
+    }
+    fn on_spawn(&mut self, ctx: EventCtx, child: ThreadId, entry: FuncId) {
+        self.counters.spawn.inc();
+        self.inner.on_spawn(ctx, child, entry);
+    }
+    fn on_join(&mut self, ctx: EventCtx, child: ThreadId) {
+        self.counters.join.inc();
+        self.inner.on_join(ctx, child);
+    }
+    fn on_thread_exit(&mut self, thread: ThreadId) {
+        self.counters.thread_exit.inc();
+        self.inner.on_thread_exit(thread);
+    }
+    fn on_block_enter(&mut self, thread: ThreadId, frame: FrameId, block: BlockId) {
+        self.counters.block_enter.inc();
+        self.inner.on_block_enter(thread, frame, block);
+    }
+    fn on_call(&mut self, ctx: EventCtx, callee: FuncId, callee_frame: FrameId) {
+        self.counters.call.inc();
+        self.inner.on_call(ctx, callee, callee_frame);
+    }
+    fn on_return(
+        &mut self,
+        thread: ThreadId,
+        frame: FrameId,
+        func: FuncId,
+        value: Option<Value>,
+        operand: Option<oha_ir::Operand>,
+        caller_frame: FrameId,
+        call_inst: InstId,
+    ) {
+        self.counters.ret.inc();
+        self.inner
+            .on_return(thread, frame, func, value, operand, caller_frame, call_inst);
+    }
+    fn on_input(&mut self, ctx: EventCtx, value: Value) {
+        self.counters.input.inc();
+        self.inner.on_input(ctx, value);
+    }
+    fn on_output(&mut self, ctx: EventCtx, value: Value) {
+        self.counters.output.inc();
+        self.inner.on_output(ctx, value);
+    }
+    fn on_compute(&mut self, ctx: EventCtx) {
+        self.counters.compute.inc();
+        self.inner.on_compute(ctx);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,305 @@
+//! Incremental profile merging.
+//!
+//! [`InvariantSet::from_profiles`](crate::InvariantSet::from_profiles)
+//! re-reads every profile on every call, which makes a profile-until-stable
+//! loop that merges after each run quadratic in the number of runs. The
+//! [`InvariantAccumulator`] folds profiles in one at a time and can produce
+//! the merged [`InvariantSet`] at any point, with the same result as a
+//! batch merge of the profiles added so far.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use oha_ir::{BlockId, FuncId, InstId};
+
+use crate::profile::RunProfile;
+use crate::set::InvariantSet;
+
+/// Incremental equivalent of [`InvariantSet::from_profiles`]: feed profiles
+/// with [`InvariantAccumulator::add`], read the merged set with
+/// [`InvariantAccumulator::snapshot`] or [`InvariantAccumulator::finish`].
+///
+/// # Examples
+///
+/// ```
+/// use oha_invariants::{InvariantAccumulator, InvariantSet, RunProfile};
+/// use oha_ir::BlockId;
+///
+/// let mut a = RunProfile::default();
+/// a.block_counts.insert(BlockId::new(0), 4);
+/// let mut b = RunProfile::default();
+/// b.block_counts.insert(BlockId::new(1), 1);
+///
+/// let mut acc = InvariantAccumulator::new();
+/// acc.add(&a);
+/// acc.add(&b);
+/// assert_eq!(acc.finish(), InvariantSet::from_profiles(&[a, b]));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct InvariantAccumulator {
+    visited_blocks: BTreeSet<BlockId>,
+    callee_sets: BTreeMap<InstId, BTreeSet<FuncId>>,
+    contexts: BTreeSet<Vec<InstId>>,
+    /// Must-alias candidates that have held in every run so far (in the
+    /// holds-or-both-idle sense).
+    alive_pairs: BTreeSet<(InstId, InstId)>,
+    /// Pairs observed at some point but broken by some run; they can never
+    /// come back.
+    dead_pairs: BTreeSet<(InstId, InstId)>,
+    /// Lock sites that executed in any run so far. A pair first observed
+    /// now is invalid if an earlier run executed either site without it.
+    executed_ever: BTreeSet<InstId>,
+    /// Lock sites observed with a singleton locked-object set in some run.
+    self_single: BTreeSet<InstId>,
+    /// Lock sites observed with a multi-object set in some run (dead for
+    /// self-aliasing).
+    self_multi: BTreeSet<InstId>,
+    /// Max spawn count observed per site across runs.
+    max_spawn: BTreeMap<InstId, u64>,
+    num_profiles: usize,
+}
+
+impl InvariantAccumulator {
+    /// Creates an empty accumulator (equivalent to merging zero profiles).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of profiles folded in so far.
+    pub fn num_profiles(&self) -> usize {
+        self.num_profiles
+    }
+
+    /// Folds one run's profile into the merged state.
+    pub fn add(&mut self, p: &RunProfile) {
+        self.num_profiles += 1;
+
+        // Reachable-style facts: union.
+        self.visited_blocks.extend(p.block_counts.keys().copied());
+        for (&site, targets) in &p.callee_obs {
+            self.callee_sets.entry(site).or_default().extend(targets);
+        }
+        self.contexts.extend(p.contexts.iter().cloned());
+
+        // Must-alias pairs. Surviving candidates must hold in this run or
+        // have both sites idle; pairs first seen now are valid only if no
+        // earlier run executed either site (it would have had to exhibit
+        // the pair, putting it in `alive_pairs` already).
+        let run_pairs = p.must_alias_pairs();
+        let executed = p.executed_lock_sites();
+        self.alive_pairs.retain(|pair| {
+            let ok = run_pairs.contains(pair)
+                || (!executed.contains(&pair.0) && !executed.contains(&pair.1));
+            if !ok {
+                self.dead_pairs.insert(*pair);
+            }
+            ok
+        });
+        for pair in run_pairs {
+            if self.alive_pairs.contains(&pair) || self.dead_pairs.contains(&pair) {
+                continue;
+            }
+            if self.executed_ever.contains(&pair.0) || self.executed_ever.contains(&pair.1) {
+                self.dead_pairs.insert(pair);
+            } else {
+                self.alive_pairs.insert(pair);
+            }
+        }
+        self.executed_ever.extend(executed);
+
+        // Self-aliasing sites: singleton in some run, never multi.
+        for (&site, objs) in &p.lock_objs {
+            if objs.len() == 1 {
+                self.self_single.insert(site);
+            } else {
+                self.self_multi.insert(site);
+            }
+        }
+
+        // Singleton spawns: max count across runs must stay 1.
+        for (&site, &count) in &p.spawn_counts {
+            let e = self.max_spawn.entry(site).or_insert(0);
+            *e = (*e).max(count);
+        }
+    }
+
+    /// The fact count of the current merged set, without materializing it
+    /// (drives the per-run convergence curve, `profile.fact_count`).
+    pub fn fact_count(&self) -> usize {
+        self.visited_blocks.len()
+            + self.callee_sets.values().map(|s| s.len()).sum::<usize>()
+            + self.contexts.len()
+            + self.alive_pairs.len()
+            + self
+                .self_single
+                .iter()
+                .filter(|s| !self.self_multi.contains(*s))
+                .count()
+            + self.max_spawn.values().filter(|&&c| c == 1).count()
+    }
+
+    /// The merged set of every profile added so far (leaves the
+    /// accumulator usable).
+    pub fn snapshot(&self) -> InvariantSet {
+        InvariantSet {
+            visited_blocks: self.visited_blocks.clone(),
+            callee_sets: self.callee_sets.clone(),
+            contexts: self.contexts.clone(),
+            must_alias_locks: self.alive_pairs.clone(),
+            self_alias_locks: self
+                .self_single
+                .difference(&self.self_multi)
+                .copied()
+                .collect(),
+            singleton_spawns: self
+                .max_spawn
+                .iter()
+                .filter(|&(_, &c)| c == 1)
+                .map(|(&s, _)| s)
+                .collect(),
+            elidable_locks: BTreeSet::new(),
+            num_profiles: self.num_profiles,
+        }
+    }
+
+    /// Consumes the accumulator, yielding the merged set.
+    pub fn finish(self) -> InvariantSet {
+        InvariantSet {
+            self_alias_locks: self
+                .self_single
+                .difference(&self.self_multi)
+                .copied()
+                .collect(),
+            singleton_spawns: self
+                .max_spawn
+                .iter()
+                .filter(|&(_, &c)| c == 1)
+                .map(|(&s, _)| s)
+                .collect(),
+            visited_blocks: self.visited_blocks,
+            callee_sets: self.callee_sets,
+            contexts: self.contexts,
+            must_alias_locks: self.alive_pairs,
+            elidable_locks: BTreeSet::new(),
+            num_profiles: self.num_profiles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_interp::{Addr, ObjId};
+
+    fn site(n: u32) -> InstId {
+        InstId::new(n)
+    }
+
+    fn addr(o: u32) -> Addr {
+        Addr::new(ObjId(o), 0)
+    }
+
+    fn batch_vs_incremental(profiles: &[RunProfile]) {
+        let batch = InvariantSet::from_profiles(profiles);
+        let mut acc = InvariantAccumulator::new();
+        for (i, p) in profiles.iter().enumerate() {
+            acc.add(p);
+            let snap = acc.snapshot();
+            assert_eq!(
+                snap,
+                InvariantSet::from_profiles(&profiles[..=i]),
+                "snapshot after {} profiles",
+                i + 1
+            );
+            assert_eq!(snap.fact_count(), acc.fact_count());
+        }
+        assert_eq!(acc.finish(), batch);
+    }
+
+    #[test]
+    fn empty_matches_batch() {
+        batch_vs_incremental(&[]);
+    }
+
+    #[test]
+    fn unions_match_batch() {
+        let mut a = RunProfile::default();
+        a.block_counts.insert(BlockId::new(0), 3);
+        a.callee_obs
+            .insert(site(5), [FuncId::new(1)].into_iter().collect());
+        a.contexts.insert(vec![site(5)]);
+        let mut b = RunProfile::default();
+        b.block_counts.insert(BlockId::new(1), 1);
+        b.callee_obs
+            .insert(site(5), [FuncId::new(2)].into_iter().collect());
+        b.contexts.insert(vec![site(9)]);
+        batch_vs_incremental(&[a, b]);
+    }
+
+    #[test]
+    fn must_alias_pair_broken_by_later_run() {
+        // Run A: 1,2 alias. Run B: they lock different objects.
+        let mut a = RunProfile::default();
+        a.lock_objs.insert(site(1), [addr(7)].into_iter().collect());
+        a.lock_objs.insert(site(2), [addr(7)].into_iter().collect());
+        let mut b = RunProfile::default();
+        b.lock_objs.insert(site(1), [addr(8)].into_iter().collect());
+        b.lock_objs.insert(site(2), [addr(9)].into_iter().collect());
+        batch_vs_incremental(&[a, b]);
+    }
+
+    #[test]
+    fn must_alias_pair_invalidated_by_earlier_run() {
+        // Run A executes site 1 alone; run B pairs 1 with 3. The pair is
+        // invalid: A executed site 1 without it.
+        let mut a = RunProfile::default();
+        a.lock_objs.insert(site(1), [addr(7)].into_iter().collect());
+        let mut b = RunProfile::default();
+        b.lock_objs.insert(site(1), [addr(8)].into_iter().collect());
+        b.lock_objs.insert(site(3), [addr(8)].into_iter().collect());
+        batch_vs_incremental(&[a, b]);
+    }
+
+    #[test]
+    fn must_alias_survives_idle_runs() {
+        let mut a = RunProfile::default();
+        a.lock_objs.insert(site(1), [addr(7)].into_iter().collect());
+        a.lock_objs.insert(site(2), [addr(7)].into_iter().collect());
+        let idle = RunProfile::default();
+        batch_vs_incremental(&[idle.clone(), a, idle]);
+    }
+
+    #[test]
+    fn self_alias_and_singletons_match_batch() {
+        let mut a = RunProfile::default();
+        a.lock_objs.insert(site(1), [addr(1)].into_iter().collect());
+        a.lock_objs
+            .insert(site(2), [addr(1), addr(2)].into_iter().collect());
+        a.spawn_counts.insert(site(8), 1);
+        a.spawn_counts.insert(site(9), 1);
+        let mut b = RunProfile::default();
+        b.lock_objs.insert(site(1), [addr(3)].into_iter().collect());
+        b.lock_objs.insert(site(2), [addr(4)].into_iter().collect());
+        b.spawn_counts.insert(site(9), 5);
+        batch_vs_incremental(&[a, b]);
+    }
+
+    #[test]
+    fn dead_pairs_stay_dead() {
+        // A pair killed in run 2 must not resurrect when run 3 re-observes
+        // it.
+        let pair_run = || {
+            let mut p = RunProfile::default();
+            p.lock_objs.insert(site(1), [addr(7)].into_iter().collect());
+            p.lock_objs.insert(site(2), [addr(7)].into_iter().collect());
+            p
+        };
+        let mut breaker = RunProfile::default();
+        breaker
+            .lock_objs
+            .insert(site(1), [addr(8)].into_iter().collect());
+        breaker
+            .lock_objs
+            .insert(site(2), [addr(9)].into_iter().collect());
+        batch_vs_incremental(&[pair_run(), breaker, pair_run()]);
+    }
+}

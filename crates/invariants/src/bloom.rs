@@ -126,8 +126,14 @@ mod tests {
         for i in 0..1000u32 {
             b.insert(&[i]);
         }
-        let fps = (100_000..110_000u32).filter(|&i| b.maybe_contains(&[i])).count();
-        assert!(fps < 500, "false positive rate {} > 5%", fps as f64 / 10_000.0);
+        let fps = (100_000..110_000u32)
+            .filter(|&i| b.maybe_contains(&[i]))
+            .count();
+        assert!(
+            fps < 500,
+            "false positive rate {} > 5%",
+            fps as f64 / 10_000.0
+        );
     }
 
     #[test]

@@ -43,6 +43,21 @@ pub enum Violation {
     },
 }
 
+impl Violation {
+    /// Stable lower-snake-case class slug, used as the last metric-name
+    /// component of rollback-cause counters (e.g.
+    /// `optft.rollback.cause.lock_alias`).
+    pub fn class(&self) -> &'static str {
+        match self {
+            Violation::UnreachableBlock { .. } => "unreachable_block",
+            Violation::UnexpectedCallee { .. } => "unexpected_callee",
+            Violation::UnusedContext { .. } => "unused_context",
+            Violation::LockAlias { .. } => "lock_alias",
+            Violation::NonSingletonSpawn { .. } => "non_singleton_spawn",
+        }
+    }
+}
+
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -53,7 +68,11 @@ impl std::fmt::Display for Violation {
                 write!(f, "indirect call {site} reached unprofiled target {callee}")
             }
             Violation::UnusedContext { chain } => {
-                write!(f, "assumed-unused call context reached (depth {})", chain.len())
+                write!(
+                    f,
+                    "assumed-unused call context reached (depth {})",
+                    chain.len()
+                )
             }
             Violation::LockAlias { site, partner } => write!(
                 f,
@@ -132,15 +151,46 @@ impl ChecksEnabled {
     }
 }
 
-/// Counters describing how much work invariant checking performed.
+/// Counters describing how much work invariant checking performed, broken
+/// down by invariant class.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CheckStats {
     /// Total individual checks executed.
     pub checks: u64,
+    /// Likely-unreachable-code (block-entry) checks.
+    pub luc_checks: u64,
+    /// Likely-callee-set checks at indirect call/spawn sites.
+    pub callee_checks: u64,
+    /// Likely-used-call-context checks.
+    pub context_checks: u64,
+    /// Guarding-lock must-alias checks.
+    pub lock_alias_checks: u64,
+    /// Singleton-spawn checks.
+    pub singleton_checks: u64,
     /// Context checks answered by the Bloom filter alone.
     pub bloom_fast_path: u64,
     /// Context checks that fell through to the exact set test.
     pub exact_context_checks: u64,
+}
+
+impl CheckStats {
+    /// Publishes the per-class check counters under `<prefix>.check.` in
+    /// `registry`.
+    pub fn record(&self, registry: &oha_obs::MetricsRegistry, prefix: &str) {
+        registry.add(&format!("{prefix}.check.total"), self.checks);
+        registry.add(&format!("{prefix}.check.luc"), self.luc_checks);
+        registry.add(&format!("{prefix}.check.callee"), self.callee_checks);
+        registry.add(&format!("{prefix}.check.context"), self.context_checks);
+        registry.add(
+            &format!("{prefix}.check.lock_alias"),
+            self.lock_alias_checks,
+        );
+        registry.add(&format!("{prefix}.check.singleton"), self.singleton_checks);
+        registry.add(
+            &format!("{prefix}.check.bloom_fast_path"),
+            self.bloom_fast_path,
+        );
+    }
 }
 
 /// A [`Tracer`] that verifies assumed invariants during an execution.
@@ -239,6 +289,15 @@ impl<'a> InvariantChecker<'a> {
         self.violations.into_iter().collect()
     }
 
+    /// Publishes check work (under `<prefix>.check.`) and violation counts
+    /// by class (under `<prefix>.violation.`) into `registry`.
+    pub fn record_metrics(&self, registry: &oha_obs::MetricsRegistry, prefix: &str) {
+        self.stats.record(registry, prefix);
+        for v in &self.violations {
+            registry.add(&format!("{prefix}.violation.{}", v.class()), 1);
+        }
+    }
+
     fn stack_mut(&mut self, thread: ThreadId) -> &mut Vec<(InstId, (u64, u64))> {
         if self.stacks.len() <= thread.index() {
             self.stacks.resize(thread.index() + 1, Vec::new());
@@ -253,14 +312,17 @@ impl Tracer for InvariantChecker<'_> {
             return;
         }
         self.stats.checks += 1;
+        self.stats.luc_checks += 1;
         if !self.visited.get(block.index()).copied().unwrap_or(false) {
-            self.violations.insert(Violation::UnreachableBlock { block });
+            self.violations
+                .insert(Violation::UnreachableBlock { block });
         }
     }
 
     fn on_call(&mut self, ctx: EventCtx, callee: FuncId, _callee_frame: FrameId) {
         if self.enabled.callees && self.indirect[ctx.inst.index()] {
             self.stats.checks += 1;
+            self.stats.callee_checks += 1;
             let ok = self
                 .set
                 .callee_sets
@@ -280,6 +342,7 @@ impl Tracer for InvariantChecker<'_> {
             stack.push((ctx.inst, state));
             let depth = stack.len();
             self.stats.checks += 1;
+            self.stats.context_checks += 1;
             if depth > MAX_CONTEXT_DEPTH || !self.bloom.maybe_contains_hash(state) {
                 // A Bloom miss proves the context was never profiled. (A
                 // Bloom hit is accepted without an exact test — the paper's
@@ -315,6 +378,7 @@ impl Tracer for InvariantChecker<'_> {
     fn on_spawn(&mut self, ctx: EventCtx, child: ThreadId, entry: FuncId) {
         if self.enabled.callees && self.indirect[ctx.inst.index()] {
             self.stats.checks += 1;
+            self.stats.callee_checks += 1;
             let ok = self
                 .set
                 .callee_sets
@@ -331,6 +395,7 @@ impl Tracer for InvariantChecker<'_> {
             let count = self.spawn_counts.entry(ctx.inst).or_insert(0);
             *count += 1;
             self.stats.checks += 1;
+            self.stats.singleton_checks += 1;
             if *count > 1 && self.set.singleton_spawns.contains(&ctx.inst) {
                 self.violations
                     .insert(Violation::NonSingletonSpawn { site: ctx.inst });
@@ -355,6 +420,7 @@ impl Tracer for InvariantChecker<'_> {
             return;
         }
         self.stats.checks += 1;
+        self.stats.lock_alias_checks += 1;
         // The site must always lock one object, equal to its partners'.
         if let Some(&first) = self.first_lock.get(&ctx.inst) {
             if first != addr {
@@ -447,9 +513,21 @@ mod tests {
         let mut checker = InvariantChecker::new(&p, &set, ChecksEnabled::all());
         Machine::new(&p, MachineConfig::default()).run(&[0], &mut checker);
         let vs: Vec<_> = checker.violations().cloned().collect();
-        assert!(vs.iter().any(|v| matches!(v, Violation::UnreachableBlock { .. })), "{vs:?}");
-        assert!(vs.iter().any(|v| matches!(v, Violation::UnexpectedCallee { .. })), "{vs:?}");
-        assert!(vs.iter().any(|v| matches!(v, Violation::UnusedContext { .. })), "{vs:?}");
+        assert!(
+            vs.iter()
+                .any(|v| matches!(v, Violation::UnreachableBlock { .. })),
+            "{vs:?}"
+        );
+        assert!(
+            vs.iter()
+                .any(|v| matches!(v, Violation::UnexpectedCallee { .. })),
+            "{vs:?}"
+        );
+        assert!(
+            vs.iter()
+                .any(|v| matches!(v, Violation::UnusedContext { .. })),
+            "{vs:?}"
+        );
     }
 
     #[test]

@@ -24,12 +24,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accum;
 mod bloom;
 mod checker;
 mod profile;
 mod set;
 
+pub use accum::InvariantAccumulator;
 pub use bloom::Bloom;
-pub use checker::{ChecksEnabled, InvariantChecker, Violation};
+pub use checker::{CheckStats, ChecksEnabled, InvariantChecker, Violation};
 pub use profile::{ProfileTracer, RunProfile};
 pub use set::{InvariantSet, ParseInvariantsError, MAX_CONTEXT_DEPTH};

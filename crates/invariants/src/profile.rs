@@ -229,10 +229,13 @@ mod tests {
     fn records_blocks_callees_locks_spawns() {
         let p = program();
         let prof = profile_run(&p, &[1, 0]); // take f1, skip cold block
-        // Cold block never counted.
+                                             // Cold block never counted.
         let executed: Vec<u64> = prof.block_counts.values().copied().collect();
         assert!(executed.iter().all(|&c| c >= 1));
-        assert!(prof.block_counts.len() < p.num_blocks(), "cold block absent");
+        assert!(
+            prof.block_counts.len() < p.num_blocks(),
+            "cold block absent"
+        );
         // One indirect call site observed with exactly one target.
         assert_eq!(prof.callee_obs.len(), 1);
         let targets = prof.callee_obs.values().next().unwrap();

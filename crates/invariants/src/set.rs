@@ -103,9 +103,7 @@ impl InvariantSet {
         set.contexts
             .retain(|c| keep(context_support.get(c).copied().unwrap_or(0)));
         for (site, targets) in set.callee_sets.iter_mut() {
-            targets.retain(|t| {
-                keep(callee_support.get(&(*site, *t)).copied().unwrap_or(0))
-            });
+            targets.retain(|t| keep(callee_support.get(&(*site, *t)).copied().unwrap_or(0)));
         }
         set.callee_sets.retain(|_, targets| !targets.is_empty());
         set
@@ -170,8 +168,7 @@ impl InvariantSet {
             );
         }
         for p in profiles {
-            self_candidates
-                .retain(|s| p.lock_objs.get(s).map_or(true, |objs| objs.len() == 1));
+            self_candidates.retain(|s| p.lock_objs.get(s).is_none_or(|objs| objs.len() == 1));
         }
         set.self_alias_locks = self_candidates;
 
@@ -351,7 +348,11 @@ impl ParseInvariantsError {
 
 impl fmt::Display for ParseInvariantsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invariant parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "invariant parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -491,14 +492,18 @@ mod tests {
             "full-support contexts survive"
         );
         // The aggressive set is always a subset of the standard one.
-        assert!(aggressive.visited_blocks.is_subset(&standard.visited_blocks));
+        assert!(aggressive
+            .visited_blocks
+            .is_subset(&standard.visited_blocks));
     }
 
     #[test]
     fn aggressive_threshold_prunes_callee_entries() {
         let mut a = RunProfile::default();
-        a.callee_obs
-            .insert(site(4), [FuncId::new(0), FuncId::new(1)].into_iter().collect());
+        a.callee_obs.insert(
+            site(4),
+            [FuncId::new(0), FuncId::new(1)].into_iter().collect(),
+        );
         let mut b = RunProfile::default();
         b.callee_obs
             .insert(site(4), [FuncId::new(0)].into_iter().collect());

@@ -62,7 +62,8 @@ impl ProgramBuilder {
     pub fn declare(&mut self, name: &str, arity: usize) -> FuncId {
         if let Some(&id) = self.by_name.get(name) {
             assert_eq!(
-                self.functions[id.index()].arity, arity,
+                self.functions[id.index()].arity,
+                arity,
                 "function {name} redeclared with different arity"
             );
             return id;
@@ -116,7 +117,8 @@ impl ProgramBuilder {
     pub fn global(&mut self, name: &str, fields: u32) -> GlobalId {
         if let Some(&id) = self.globals_by_name.get(name) {
             assert_eq!(
-                self.globals[id.index()].fields, fields,
+                self.globals[id.index()].fields,
+                fields,
                 "global {name} redeclared with different size"
             );
             return id;

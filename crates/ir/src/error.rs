@@ -80,10 +80,16 @@ impl fmt::Display for IrError {
                 write!(f, "block {block} of function {function} has no terminator")
             }
             IrError::BadRegister { inst, reg } => {
-                write!(f, "instruction {inst} references out-of-range register {reg}")
+                write!(
+                    f,
+                    "instruction {inst} references out-of-range register {reg}"
+                )
             }
             IrError::BadBlockTarget { function, target } => {
-                write!(f, "terminator in function {function} targets foreign block {target}")
+                write!(
+                    f,
+                    "terminator in function {function} targets foreign block {target}"
+                )
             }
             IrError::BadCallee { inst, callee } => {
                 write!(f, "instruction {inst} calls unknown function {callee}")

@@ -202,12 +202,10 @@ fn parse_global_decl(line: usize, rest: &str) -> PResult<(String, u32)> {
     let mut parts = rest.split_whitespace();
     let name = parse_at_name(line, parts.next().unwrap_or(""))?;
     let fields = match parts.next().and_then(|t| t.strip_prefix("fields=")) {
-        Some(n) => n
-            .parse::<u32>()
-            .map_err(|_| ParseProgramError {
-                line,
-                message: format!("bad field count in global @{name}"),
-            })?,
+        Some(n) => n.parse::<u32>().map_err(|_| ParseProgramError {
+            line,
+            message: format!("bad field count in global @{name}"),
+        })?,
         None => return err(line, "expected fields=N"),
     };
     Ok((name, fields))
@@ -216,23 +214,22 @@ fn parse_global_decl(line: usize, rest: &str) -> PResult<(String, u32)> {
 fn parse_func_header(line: usize, rest: &str) -> PResult<(String, usize, u32)> {
     // "@name(arity) regs=N {"
     let rest = rest.trim_end_matches('{').trim();
-    let open = rest
-        .find('(')
-        .ok_or_else(|| ParseProgramError {
-            line,
-            message: "expected ( in func header".to_string(),
-        })?;
+    let open = rest.find('(').ok_or_else(|| ParseProgramError {
+        line,
+        message: "expected ( in func header".to_string(),
+    })?;
     let close = rest.find(')').ok_or_else(|| ParseProgramError {
         line,
         message: "expected ) in func header".to_string(),
     })?;
     let name = parse_at_name(line, &rest[..open])?;
-    let arity: usize = rest[open + 1..close].trim().parse().map_err(|_| {
-        ParseProgramError {
+    let arity: usize = rest[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| ParseProgramError {
             line,
             message: "bad arity".to_string(),
-        }
-    })?;
+        })?;
     let regs = rest[close + 1..]
         .trim()
         .strip_prefix("regs=")
@@ -392,7 +389,10 @@ fn parse_inst(
             value: parse_operand(line, rest)?,
         });
     }
-    if let Some(rest) = text.strip_prefix("call ").or_else(|| text.strip_prefix("icall ")) {
+    if let Some(rest) = text
+        .strip_prefix("call ")
+        .or_else(|| text.strip_prefix("icall "))
+    {
         let (callee, args) = parse_call_tail(line, rest, funcs)?;
         return Ok(InstKind::Call {
             dst: None,
@@ -448,7 +448,10 @@ fn parse_inst(
     if rhs == "input" {
         return Ok(InstKind::Input { dst });
     }
-    if let Some(rest) = rhs.strip_prefix("call ").or_else(|| rhs.strip_prefix("icall ")) {
+    if let Some(rest) = rhs
+        .strip_prefix("call ")
+        .or_else(|| rhs.strip_prefix("icall "))
+    {
         let (callee, args) = parse_call_tail(line, rest, funcs)?;
         return Ok(InstKind::Call {
             dst: Some(dst),

@@ -64,15 +64,17 @@ pub fn validate(program: &Program) -> Result<(), IrError> {
                     });
                 }
             }
-            if let Terminator::Branch { cond, .. } = &block.terminator {
-                if let Operand::Reg(r) = cond {
-                    let last = block
-                        .insts
-                        .last()
-                        .map(|i| InstId::new(i.id.raw() + 1))
-                        .unwrap_or(InstId::new(0));
-                    check_reg(last, *r)?;
-                }
+            if let Terminator::Branch {
+                cond: Operand::Reg(r),
+                ..
+            } = &block.terminator
+            {
+                let last = block
+                    .insts
+                    .last()
+                    .map(|i| InstId::new(i.id.raw() + 1))
+                    .unwrap_or(InstId::new(0));
+                check_reg(last, *r)?;
             }
             if let Terminator::Return(Some(Operand::Reg(r))) = &block.terminator {
                 let last = block
@@ -101,42 +103,43 @@ fn validate_inst(
         }
     };
     match kind {
-        InstKind::Call { callee, args, .. } => {
-            if let Callee::Direct(fid) = callee {
-                check_callee(*fid)?;
-                let expected = program.function(*fid).arity();
-                if args.len() != expected {
-                    return Err(IrError::ArityMismatch {
-                        inst,
-                        callee: *fid,
-                        expected,
-                        found: args.len(),
-                    });
-                }
+        InstKind::Call {
+            callee: Callee::Direct(fid),
+            args,
+            ..
+        } => {
+            check_callee(*fid)?;
+            let expected = program.function(*fid).arity();
+            if args.len() != expected {
+                return Err(IrError::ArityMismatch {
+                    inst,
+                    callee: *fid,
+                    expected,
+                    found: args.len(),
+                });
             }
         }
-        InstKind::Spawn { func, .. } => {
-            if let Callee::Direct(fid) = func {
-                check_callee(*fid)?;
-                let expected = program.function(*fid).arity();
-                if expected != 1 {
-                    return Err(IrError::ArityMismatch {
-                        inst,
-                        callee: *fid,
-                        expected,
-                        found: 1,
-                    });
-                }
+        InstKind::Spawn {
+            func: Callee::Direct(fid),
+            ..
+        } => {
+            check_callee(*fid)?;
+            let expected = program.function(*fid).arity();
+            if expected != 1 {
+                return Err(IrError::ArityMismatch {
+                    inst,
+                    callee: *fid,
+                    expected,
+                    found: 1,
+                });
             }
         }
         InstKind::AddrFunc { func, .. } => check_callee(*func)?,
-        InstKind::AddrGlobal { global, .. } => {
-            if global.index() >= program.num_globals() {
-                return Err(IrError::BadGlobal {
-                    inst,
-                    global: *global,
-                });
-            }
+        InstKind::AddrGlobal { global, .. } if global.index() >= program.num_globals() => {
+            return Err(IrError::BadGlobal {
+                inst,
+                global: *global,
+            });
         }
         _ => {}
     }

@@ -1,0 +1,26 @@
+//! # oha-obs — observability substrate
+//!
+//! A zero-dependency metrics layer for the OHA pipeline:
+//!
+//! - [`MetricsRegistry`]: named monotonic [`Counter`]s, gauges, and value
+//!   series behind cheap clonable handles. Detached handles (the default)
+//!   make instrumentation free-when-unobserved.
+//! - Hierarchical timing spans: [`MetricsRegistry::span`] returns an RAII
+//!   [`SpanGuard`]; nested guards accumulate under `/`-joined paths like
+//!   `optft/pred_static/pointsto`.
+//! - [`RunReport`]: the serializable artifact of a run — counters, gauges,
+//!   series, span timings, rendered tables, nested children — with a human
+//!   text renderer ([`RunReport::render_text`]) and a stable JSON round-trip
+//!   ([`RunReport::to_json_string`] / [`RunReport::from_json_str`]).
+//!
+//! Metric naming convention (see DESIGN.md "Observability"): dot-separated
+//! lowercase components, `<area>.<subsystem>.<metric>`, e.g.
+//! `interp.hook.load`, `pointsto.cycle_collapses`, `optft.rollback.cause.lock_alias`.
+
+pub mod json;
+mod registry;
+mod report;
+
+pub use json::{Json, JsonError};
+pub use registry::{Counter, MetricsRegistry, SpanGuard, SpanStat};
+pub use report::{RunReport, SpanEntry, TableArtifact};

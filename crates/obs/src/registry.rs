@@ -1,0 +1,343 @@
+//! The metrics registry: named monotonic counters, gauges, value series,
+//! and hierarchical timing spans.
+//!
+//! Handles are cheap to clone and cheap to use: a [`Counter`] is an
+//! `Rc<Cell<u64>>` behind an `Option`, so incrementing an attached counter
+//! is a plain add and incrementing a detached one is a single branch.
+//! [`SpanGuard`]s are RAII: the time between construction and drop (or an
+//! explicit [`SpanGuard::finish`]) is accumulated under a `/`-joined path
+//! reflecting span nesting. Detached guards do not even read the clock.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use crate::report::{RunReport, SpanEntry};
+
+/// A monotonic counter handle. The default handle is detached: increments
+/// are dropped at the cost of one branch, which keeps unobserved
+/// instrumentation effectively free.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Rc<Cell<u64>>>);
+
+impl Counter {
+    /// A detached counter that ignores increments.
+    pub fn detached() -> Self {
+        Counter(None)
+    }
+
+    /// Whether the counter is attached to a registry.
+    pub fn is_attached(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.set(cell.get().wrapping_add(n));
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for detached counters).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |cell| cell.get())
+    }
+}
+
+/// Accumulated time for one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Total time spent in the span.
+    pub total: Duration,
+    /// Number of completed entries.
+    pub count: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Rc<Cell<u64>>>,
+    gauges: BTreeMap<String, f64>,
+    series: BTreeMap<String, Vec<f64>>,
+    spans: BTreeMap<String, SpanStat>,
+    /// Path segments of the currently-open spans.
+    stack: Vec<String>,
+}
+
+/// A registry of named metrics. Clones share state; the registry is
+/// single-threaded by design (the whole interpreter is a deterministic
+/// single-threaded simulation).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (creating on first use) the counter handle for `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.borrow_mut();
+        let cell = inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Rc::new(Cell::new(0)))
+            .clone();
+        Counter(Some(cell))
+    }
+
+    /// Adds `n` to the counter `name` (registering it on first use).
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Current value of counter `name`, or 0 if it was never registered.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .borrow()
+            .counters
+            .get(name)
+            .map_or(0, |cell| cell.get())
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.inner
+            .borrow_mut()
+            .gauges
+            .insert(name.to_string(), value);
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.inner.borrow().gauges.get(name).copied()
+    }
+
+    /// Appends `value` to the series `name`.
+    pub fn push_series(&self, name: &str, value: f64) {
+        self.inner
+            .borrow_mut()
+            .series
+            .entry(name.to_string())
+            .or_default()
+            .push(value);
+    }
+
+    /// A copy of the series `name` (empty if never written).
+    pub fn series_values(&self, name: &str) -> Vec<f64> {
+        self.inner
+            .borrow()
+            .series
+            .get(name)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Opens a timing span named `segment`, nested inside any span that is
+    /// currently open on this registry. The returned guard records on drop.
+    pub fn span(&self, segment: &str) -> SpanGuard {
+        debug_assert!(
+            !segment.contains('/'),
+            "span segments must not contain '/': {segment:?}"
+        );
+        let depth = {
+            let mut inner = self.inner.borrow_mut();
+            inner.stack.push(segment.to_string());
+            inner.stack.len() - 1
+        };
+        let path = self.inner.borrow().stack.join("/");
+        SpanGuard {
+            inner: Some(SpanGuardInner {
+                registry: self.clone(),
+                path,
+                depth,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Accumulated statistics for span `path` (`a/b/c`-style).
+    pub fn span_stat(&self, path: &str) -> Option<SpanStat> {
+        self.inner.borrow().spans.get(path).copied()
+    }
+
+    /// Snapshot of all counters.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.inner
+            .borrow()
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of all gauges.
+    pub fn gauges(&self) -> BTreeMap<String, f64> {
+        self.inner.borrow().gauges.clone()
+    }
+
+    /// Snapshot of all series.
+    pub fn series(&self) -> BTreeMap<String, Vec<f64>> {
+        self.inner.borrow().series.clone()
+    }
+
+    /// Snapshot of all span statistics.
+    pub fn spans(&self) -> BTreeMap<String, SpanStat> {
+        self.inner.borrow().spans.clone()
+    }
+
+    /// Dumps the registry into a named [`RunReport`].
+    pub fn report(&self, name: &str) -> RunReport {
+        let inner = self.inner.borrow();
+        RunReport {
+            name: name.to_string(),
+            meta: BTreeMap::new(),
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner.gauges.clone(),
+            series: inner.series.clone(),
+            spans: inner
+                .spans
+                .iter()
+                .map(|(k, s)| {
+                    (
+                        k.clone(),
+                        SpanEntry {
+                            total_ns: s.total.as_nanos() as u64,
+                            count: s.count,
+                        },
+                    )
+                })
+                .collect(),
+            tables: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    fn record_span(&self, path: &str, depth: usize, elapsed: Duration) {
+        let mut inner = self.inner.borrow_mut();
+        let stat = inner.spans.entry(path.to_string()).or_default();
+        stat.total += elapsed;
+        stat.count += 1;
+        inner.stack.truncate(depth);
+    }
+}
+
+#[derive(Debug)]
+struct SpanGuardInner {
+    registry: MetricsRegistry,
+    path: String,
+    depth: usize,
+    start: Instant,
+}
+
+/// RAII guard for a timing span. Records elapsed time under its path when
+/// dropped or explicitly [`finish`](SpanGuard::finish)ed.
+#[derive(Debug, Default)]
+pub struct SpanGuard {
+    inner: Option<SpanGuardInner>,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing (for disabled instrumentation paths).
+    pub fn detached() -> Self {
+        SpanGuard { inner: None }
+    }
+
+    /// Ends the span now and returns its elapsed time (zero if detached).
+    pub fn finish(mut self) -> Duration {
+        self.record()
+    }
+
+    fn record(&mut self) -> Duration {
+        match self.inner.take() {
+            Some(g) => {
+                let elapsed = g.start.elapsed();
+                g.registry.record_span(&g.path, g.depth, elapsed);
+                elapsed
+            }
+            None => Duration::ZERO,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_state_across_handles() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(2);
+        b.inc();
+        assert_eq!(reg.counter_value("x"), 3);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn detached_counters_cost_nothing_and_record_nothing() {
+        let c = Counter::detached();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        assert!(!c.is_attached());
+    }
+
+    #[test]
+    fn spans_nest_by_path() {
+        let reg = MetricsRegistry::new();
+        {
+            let _outer = reg.span("pipeline");
+            {
+                let inner = reg.span("profile");
+                std::thread::sleep(Duration::from_millis(1));
+                let d = inner.finish();
+                assert!(d >= Duration::from_millis(1));
+            }
+            let _second = reg.span("static");
+        }
+        let spans = reg.spans();
+        assert_eq!(
+            spans.keys().collect::<Vec<_>>(),
+            ["pipeline", "pipeline/profile", "pipeline/static"]
+        );
+        assert_eq!(spans["pipeline/profile"].count, 1);
+        assert!(spans["pipeline"].total >= spans["pipeline/profile"].total);
+    }
+
+    #[test]
+    fn detached_span_is_a_no_op() {
+        let g = SpanGuard::detached();
+        assert_eq!(g.finish(), Duration::ZERO);
+    }
+
+    #[test]
+    fn gauges_and_series_snapshot() {
+        let reg = MetricsRegistry::new();
+        reg.set_gauge("budget.used", 0.5);
+        reg.push_series("facts", 10.0);
+        reg.push_series("facts", 12.0);
+        assert_eq!(reg.gauge_value("budget.used"), Some(0.5));
+        assert_eq!(reg.series_values("facts"), [10.0, 12.0]);
+    }
+}

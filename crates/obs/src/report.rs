@@ -1,0 +1,413 @@
+//! `RunReport`: the serializable artifact of one run — counters, gauges,
+//! series, span timings, rendered tables, and nested child reports — with a
+//! human text renderer and a stable JSON round-trip.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::json::{Json, JsonError};
+
+/// Accumulated time for one span path, in serializable form.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanEntry {
+    /// Total nanoseconds spent in the span.
+    pub total_ns: u64,
+    /// Number of completed entries.
+    pub count: u64,
+}
+
+impl SpanEntry {
+    /// Total time as a [`Duration`].
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns)
+    }
+}
+
+/// A rendered table (headers plus string rows), kept verbatim so figure
+/// binaries can embed exactly what they printed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TableArtifact {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells, one `Vec` per row.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// The artifact of one observed run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Report name (e.g. the experiment or workload).
+    pub name: String,
+    /// Free-form key/value annotations (workload name, config, ...).
+    pub meta: BTreeMap<String, String>,
+    /// Monotonic counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Named series (e.g. the per-run invariant fact-count curve).
+    pub series: BTreeMap<String, Vec<f64>>,
+    /// Span timings keyed by `/`-joined path.
+    pub spans: BTreeMap<String, SpanEntry>,
+    /// Rendered tables.
+    pub tables: Vec<TableArtifact>,
+    /// Nested reports (e.g. one per workload under an experiment).
+    pub children: Vec<RunReport>,
+}
+
+impl RunReport {
+    /// An empty report with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        RunReport {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Sets a meta annotation (builder-style).
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.meta.insert(key.into(), value.into());
+        self
+    }
+
+    /// Adds a table artifact.
+    pub fn push_table(&mut self, title: impl Into<String>, headers: &[&str], rows: &[Vec<String>]) {
+        self.tables.push(TableArtifact {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: rows.to_vec(),
+        });
+    }
+
+    /// Total recorded time for a span path, if present.
+    pub fn span_total(&self, path: &str) -> Option<Duration> {
+        self.spans.get(path).map(SpanEntry::total)
+    }
+
+    /// Looks up a counter, returning 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    // -- JSON ---------------------------------------------------------------
+
+    /// Converts the report to a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("name".to_string(), Json::str(&self.name))];
+        fields.push((
+            "meta".to_string(),
+            Json::Obj(
+                self.meta
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::str(v)))
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "counters".to_string(),
+            Json::Obj(
+                self.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "gauges".to_string(),
+            Json::Obj(
+                self.gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "series".to_string(),
+            Json::Obj(
+                self.series
+                    .iter()
+                    .map(|(k, vs)| {
+                        (
+                            k.clone(),
+                            Json::Arr(vs.iter().map(|&v| Json::Num(v)).collect()),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "spans".to_string(),
+            Json::Obj(
+                self.spans
+                    .iter()
+                    .map(|(k, s)| {
+                        (
+                            k.clone(),
+                            Json::Obj(vec![
+                                ("total_ns".to_string(), Json::Num(s.total_ns as f64)),
+                                ("count".to_string(), Json::Num(s.count as f64)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "tables".to_string(),
+            Json::Arr(
+                self.tables
+                    .iter()
+                    .map(|t| {
+                        Json::Obj(vec![
+                            ("title".to_string(), Json::str(&t.title)),
+                            (
+                                "headers".to_string(),
+                                Json::Arr(t.headers.iter().map(Json::str).collect()),
+                            ),
+                            (
+                                "rows".to_string(),
+                                Json::Arr(
+                                    t.rows
+                                        .iter()
+                                        .map(|row| Json::Arr(row.iter().map(Json::str).collect()))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "children".to_string(),
+            Json::Arr(self.children.iter().map(RunReport::to_json).collect()),
+        ));
+        Json::Obj(fields)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Reconstructs a report from a JSON value produced by [`to_json`].
+    ///
+    /// [`to_json`]: RunReport::to_json
+    pub fn from_json(value: &Json) -> Result<RunReport, String> {
+        let name = value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("report missing string field 'name'")?
+            .to_string();
+        let mut report = RunReport::new(name);
+
+        if let Some(fields) = value.get("meta").and_then(Json::as_obj) {
+            for (k, v) in fields {
+                let s = v.as_str().ok_or_else(|| format!("meta.{k} not a string"))?;
+                report.meta.insert(k.clone(), s.to_string());
+            }
+        }
+        if let Some(fields) = value.get("counters").and_then(Json::as_obj) {
+            for (k, v) in fields {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| format!("counters.{k} not a u64"))?;
+                report.counters.insert(k.clone(), n);
+            }
+        }
+        if let Some(fields) = value.get("gauges").and_then(Json::as_obj) {
+            for (k, v) in fields {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| format!("gauges.{k} not a number"))?;
+                report.gauges.insert(k.clone(), n);
+            }
+        }
+        if let Some(fields) = value.get("series").and_then(Json::as_obj) {
+            for (k, v) in fields {
+                let arr = v
+                    .as_arr()
+                    .ok_or_else(|| format!("series.{k} not an array"))?;
+                let vs = arr
+                    .iter()
+                    .map(|x| {
+                        x.as_f64()
+                            .ok_or_else(|| format!("series.{k} has a non-number"))
+                    })
+                    .collect::<Result<Vec<f64>, String>>()?;
+                report.series.insert(k.clone(), vs);
+            }
+        }
+        if let Some(fields) = value.get("spans").and_then(Json::as_obj) {
+            for (k, v) in fields {
+                let entry = SpanEntry {
+                    total_ns: v
+                        .get("total_ns")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("spans.{k} missing total_ns"))?,
+                    count: v
+                        .get("count")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("spans.{k} missing count"))?,
+                };
+                report.spans.insert(k.clone(), entry);
+            }
+        }
+        if let Some(tables) = value.get("tables").and_then(Json::as_arr) {
+            for t in tables {
+                let title = t
+                    .get("title")
+                    .and_then(Json::as_str)
+                    .ok_or("table missing title")?
+                    .to_string();
+                let headers = string_array(t.get("headers"), "table headers")?;
+                let rows = t
+                    .get("rows")
+                    .and_then(Json::as_arr)
+                    .ok_or("table missing rows")?
+                    .iter()
+                    .map(|row| string_array(Some(row), "table row"))
+                    .collect::<Result<Vec<_>, String>>()?;
+                report.tables.push(TableArtifact {
+                    title,
+                    headers,
+                    rows,
+                });
+            }
+        }
+        if let Some(children) = value.get("children").and_then(Json::as_arr) {
+            for child in children {
+                report.children.push(RunReport::from_json(child)?);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Parses a report from JSON text.
+    pub fn from_json_str(text: &str) -> Result<RunReport, String> {
+        let value = Json::parse(text).map_err(|e: JsonError| e.to_string())?;
+        RunReport::from_json(&value)
+    }
+
+    // -- Text ---------------------------------------------------------------
+
+    /// Renders the report for humans.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let _ = writeln!(out, "{pad}== {} ==", self.name);
+        for (k, v) in &self.meta {
+            let _ = writeln!(out, "{pad}  {k}: {v}");
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "{pad}  spans:");
+            for (path, s) in &self.spans {
+                let _ = writeln!(out, "{pad}    {path:<40} {:>12.3?} x{}", s.total(), s.count);
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{pad}  counters:");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "{pad}    {k:<40} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "{pad}  gauges:");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "{pad}    {k:<40} {v:>12.4}");
+            }
+        }
+        for (k, vs) in &self.series {
+            let rendered: Vec<String> = vs.iter().map(|v| format!("{v}")).collect();
+            let _ = writeln!(out, "{pad}  series {k}: [{}]", rendered.join(", "));
+        }
+        for t in &self.tables {
+            let _ = writeln!(out, "{pad}  table: {}", t.title);
+        }
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+}
+
+fn string_array(value: Option<&Json>, what: &str) -> Result<Vec<String>, String> {
+    value
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{what} not an array"))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{what} has a non-string"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let mut r = RunReport::new("fig5").with_meta("suite", "java");
+        r.counters.insert("optft.hook.load".into(), 12345);
+        r.counters.insert("optft.elided".into(), 678);
+        r.gauges.insert("ctx.budget.used".into(), 0.25);
+        r.series
+            .insert("profile.fact_count".into(), vec![10.0, 14.0, 14.0]);
+        r.spans.insert(
+            "pipeline/profile".into(),
+            SpanEntry {
+                total_ns: 1_500_000,
+                count: 3,
+            },
+        );
+        r.push_table(
+            "runtimes",
+            &["bench", "OptFT"],
+            &[vec!["sor".into(), "0.42".into()]],
+        );
+        let mut child = RunReport::new("sor").with_meta("kind", "workload");
+        child.counters.insert("hook.store".into(), 99);
+        r.children.push(child);
+        r
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let r = sample_report();
+        let text = r.to_json_string();
+        let back = RunReport::from_json_str(&text).unwrap();
+        assert_eq!(back, r);
+        // And the serialized form is stable.
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let r = RunReport::new("empty");
+        let back = RunReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn text_rendering_mentions_the_essentials() {
+        let text = sample_report().render_text();
+        assert!(text.contains("== fig5 =="));
+        assert!(text.contains("pipeline/profile"));
+        assert!(text.contains("optft.hook.load"));
+        assert!(text.contains("profile.fact_count"));
+        assert!(text.contains("== sor =="));
+    }
+
+    #[test]
+    fn counter_lookup_defaults_to_zero() {
+        assert_eq!(RunReport::new("x").counter("nope"), 0);
+    }
+}

@@ -456,7 +456,9 @@ impl<'p, 'c> Builder<'p, 'c> {
                     .collect();
                 self.gen_call(ctx, func, inst, callee, arg_nodes, dst_node, false)?;
             }
-            InstKind::Spawn { func: target, arg, .. } => {
+            InstKind::Spawn {
+                func: target, arg, ..
+            } => {
                 let arg_node = self.operand_node(ctx, func, *arg);
                 self.gen_call(ctx, func, inst, target, vec![arg_node], None, true)?;
             }
@@ -597,8 +599,10 @@ impl<'p, 'c> Builder<'p, 'c> {
         let stats = PtStats {
             nodes: self.solver.num_nodes(),
             contexts: self.ctxs.len(),
+            clone_budget: self.config.clone_budget,
             copy_edges: self.solver.num_copy_edges(),
             solver_iterations: self.solver.iterations,
+            cycle_collapses: self.solver.cycle_collapses,
             num_cells: self.registry.num_cells(),
         };
         Ok(PointsTo::new(

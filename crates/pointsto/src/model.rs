@@ -117,7 +117,7 @@ pub(crate) fn pointee_of_func(func: FuncId) -> usize {
 }
 
 pub(crate) fn pointee_as_cell(pointee: usize) -> Option<u32> {
-    (pointee % 2 == 0).then_some((pointee / 2) as u32)
+    pointee.is_multiple_of(2).then_some((pointee / 2) as u32)
 }
 
 pub(crate) fn pointee_as_func(pointee: usize) -> Option<FuncId> {
@@ -156,13 +156,16 @@ mod tests {
             2,
         );
         assert_eq!(reg.cell(h, 0), Some(3));
-        assert_eq!(reg.cell_info(4), (
-            AbsObj::Heap {
-                site: oha_ir::InstId::new(5),
-                ctx: 0
-            },
-            1
-        ));
+        assert_eq!(
+            reg.cell_info(4),
+            (
+                AbsObj::Heap {
+                    site: oha_ir::InstId::new(5),
+                    ctx: 0
+                },
+                1
+            )
+        );
         // Re-interning returns the same index.
         assert_eq!(
             reg.intern(

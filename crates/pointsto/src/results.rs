@@ -15,12 +15,39 @@ pub struct PtStats {
     pub nodes: usize,
     /// Contexts materialized (1 for context-insensitive runs).
     pub contexts: usize,
+    /// The context clone budget the run was configured with (the
+    /// denominator of `contexts`' budget-consumption ratio).
+    pub clone_budget: u32,
     /// Copy edges in the constraint graph.
     pub copy_edges: usize,
     /// Worklist iterations performed.
     pub solver_iterations: u64,
+    /// Two-node copy cycles unified during solving.
+    pub cycle_collapses: u64,
     /// Memory cells tracked.
     pub num_cells: u32,
+}
+
+impl PtStats {
+    /// Publishes the stats under `<prefix>.` in `registry` (see DESIGN.md
+    /// "Observability" for the metric names).
+    pub fn record(&self, registry: &oha_obs::MetricsRegistry, prefix: &str) {
+        registry.add(
+            &format!("{prefix}.solver_iterations"),
+            self.solver_iterations,
+        );
+        registry.add(&format!("{prefix}.cycle_collapses"), self.cycle_collapses);
+        registry.set_gauge(&format!("{prefix}.nodes"), self.nodes as f64);
+        registry.set_gauge(&format!("{prefix}.contexts"), self.contexts as f64);
+        registry.set_gauge(&format!("{prefix}.copy_edges"), self.copy_edges as f64);
+        registry.set_gauge(&format!("{prefix}.cells"), f64::from(self.num_cells));
+        if self.clone_budget > 0 {
+            registry.set_gauge(
+                &format!("{prefix}.context_budget_used"),
+                self.contexts as f64 / f64::from(self.clone_budget),
+            );
+        }
+    }
 }
 
 /// The result of a points-to analysis (see

@@ -42,7 +42,12 @@ pub(crate) struct Solver {
     cell_nodes: Vec<u32>,
     worklist: Vec<u32>,
     queued: Vec<bool>,
+    /// Union-find parents: two-node copy cycles (`a → b` and `b → a`) are
+    /// unified online, since both nodes provably reach the same fixpoint
+    /// set. Every public entry point normalizes through [`Solver::find`].
+    repr: Vec<u32>,
     pub(crate) iterations: u64,
+    pub(crate) cycle_collapses: u64,
 }
 
 impl Solver {
@@ -65,7 +70,39 @@ impl Solver {
         self.copy_succs.push(Vec::new());
         self.complex.push(Vec::new());
         self.queued.push(false);
+        self.repr.push(id);
         id
+    }
+
+    /// The representative of `n`'s union-find class, with path compression.
+    fn find(&mut self, mut n: u32) -> u32 {
+        while self.repr[n as usize] != n {
+            let parent = self.repr[n as usize];
+            self.repr[n as usize] = self.repr[parent as usize];
+            n = self.repr[n as usize];
+        }
+        n
+    }
+
+    /// Merges `loser` into `winner` after a two-node copy cycle was found.
+    /// Re-adding the loser's pointees, constraints and out-edges through the
+    /// public entry points reschedules whatever propagation is still owed.
+    fn unify(&mut self, winner: u32, loser: u32) {
+        self.cycle_collapses += 1;
+        self.repr[loser as usize] = winner;
+        self.delta[loser as usize] = BitSet::new();
+        let pts = std::mem::take(&mut self.pts[loser as usize]);
+        for p in pts.iter() {
+            self.add_pointee(winner, p);
+        }
+        let complexes = std::mem::take(&mut self.complex[loser as usize]);
+        for c in complexes {
+            self.add_complex(winner, c);
+        }
+        let succs = std::mem::take(&mut self.copy_succs[loser as usize]);
+        for s in succs {
+            self.add_copy(winner, s);
+        }
     }
 
     /// The solver node standing for a memory cell, created on first use.
@@ -89,6 +126,7 @@ impl Solver {
 
     /// Adds a pointee to a node's set, scheduling propagation if new.
     pub(crate) fn add_pointee(&mut self, node: u32, pointee: usize) {
+        let node = self.find(node);
         if self.pts[node as usize].insert(pointee) {
             self.delta[node as usize].insert(pointee);
             self.enqueue(node);
@@ -96,8 +134,16 @@ impl Solver {
     }
 
     /// Adds the copy edge `from → to` and propagates `from`'s current set.
+    /// If the reverse edge already exists the two nodes form a cycle and are
+    /// unified instead.
     pub(crate) fn add_copy(&mut self, from: u32, to: u32) {
+        let from = self.find(from);
+        let to = self.find(to);
         if from == to || !self.edge_set.insert((from, to)) {
+            return;
+        }
+        if self.edge_set.contains(&(to, from)) {
+            self.unify(from, to);
             return;
         }
         self.copy_succs[from as usize].push(to);
@@ -109,6 +155,7 @@ impl Solver {
     }
 
     pub(crate) fn add_complex(&mut self, node: u32, c: Complex) {
+        let node = self.find(node);
         self.complex[node as usize].push(c);
         // Interpret the constraint against everything already known.
         if !self.pts[node as usize].is_empty() {
@@ -118,7 +165,11 @@ impl Solver {
     }
 
     pub(crate) fn pts(&self, node: u32) -> &BitSet {
-        &self.pts[node as usize]
+        let mut n = node;
+        while self.repr[n as usize] != n {
+            n = self.repr[n as usize];
+        }
+        &self.pts[n as usize]
     }
 
     /// Runs to quiescence; returns newly discovered `(site_key, func)`
@@ -281,6 +332,27 @@ mod tests {
         assert_eq!(found, vec![(3, oha_ir::FuncId::new(2))]);
         let found = s.solve(&reg, 1_000).unwrap();
         assert!(found.is_empty(), "no rediscovery without new pointees");
+    }
+
+    #[test]
+    fn two_node_cycles_collapse() {
+        let reg = empty_registry();
+        let mut s = Solver::new();
+        let a = s.add_node();
+        let b = s.add_node();
+        let c = s.add_node();
+        s.add_copy(a, b);
+        s.add_copy(b, a); // forms a two-node cycle: unified on the spot
+        s.add_copy(b, c);
+        s.add_pointee(a, pointee_of_cell(0));
+        s.solve(&reg, 1_000).unwrap();
+        assert_eq!(s.cycle_collapses, 1);
+        assert!(s.pts(a).contains(pointee_of_cell(0)));
+        assert!(s.pts(b).contains(pointee_of_cell(0)));
+        assert!(
+            s.pts(c).contains(pointee_of_cell(0)),
+            "flows out of the cycle"
+        );
     }
 
     #[test]

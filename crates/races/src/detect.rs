@@ -104,11 +104,7 @@ impl StaticRaces {
 /// With `invariants`, the guarding-locks and singleton-thread invariants
 /// enable the pruning Chord's unsound configuration performs, and
 /// likely-unreachable code drops accesses and spawn sites.
-pub fn detect(
-    program: &Program,
-    pt: &PointsTo,
-    invariants: Option<&InvariantSet>,
-) -> StaticRaces {
+pub fn detect(program: &Program, pt: &PointsTo, invariants: Option<&InvariantSet>) -> StaticRaces {
     let mhp = Mhp::new(program, pt, invariants);
     let locksets = MustLocksets::new(program, pt);
 

@@ -121,10 +121,7 @@ impl MustLocksets {
                         }
                     }
                     InstKind::Call { .. } | InstKind::Spawn { .. } => {
-                        let clears = pt
-                            .callees(inst.id)
-                            .iter()
-                            .any(|t| may_unlock[t.index()]);
+                        let clears = pt.callees(inst.id).iter().any(|t| may_unlock[t.index()]);
                         if clears {
                             cur.clear();
                         }
@@ -211,10 +208,7 @@ impl MustLocksets {
                         }
                     }
                     InstKind::Call { .. } | InstKind::Spawn { .. } => {
-                        let clears = pt
-                            .callees(inst.id)
-                            .iter()
-                            .any(|t| may_unlock[t.index()]);
+                        let clears = pt.callees(inst.id).iter().any(|t| may_unlock[t.index()]);
                         if clears {
                             cur.clear();
                         }

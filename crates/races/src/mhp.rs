@@ -108,17 +108,25 @@ impl Mhp {
         let main_mp = main_cfg.may_precede();
         let main_dom = DomTree::new(&main_cfg);
         let mut main_on_cycle = vec![false; main_cfg.len()];
-        for i in 0..main_cfg.len() {
+        for (i, on_cycle) in main_on_cycle.iter_mut().enumerate() {
             // On a cycle iff reachable from one of its own successors.
             let succs: Vec<usize> = main_cfg.graph().succs(i).collect();
-            main_on_cycle[i] = succs.iter().any(|&s| main_cfg.graph().reachable_from([s]).contains(i));
+            *on_cycle = succs
+                .iter()
+                .any(|&s| main_cfg.graph().reachable_from([s]).contains(i));
         }
 
         let mut main_pos = HashMap::new();
         let f = program.function(main);
         for (bi, &bid) in f.blocks.iter().enumerate() {
             for (ii, inst) in program.block(bid).insts.iter().enumerate() {
-                main_pos.insert(inst.id, Pos { block: bi, index: ii });
+                main_pos.insert(
+                    inst.id,
+                    Pos {
+                        block: bi,
+                        index: ii,
+                    },
+                );
             }
         }
 
@@ -171,17 +179,17 @@ impl Mhp {
         let n = regions.len();
         let mut parallel = vec![vec![false; n]; n];
         for i in 0..n {
-            for j in 0..n {
+            for (j, cell) in parallel[i].iter_mut().enumerate() {
                 if i == 0 && j == 0 {
                     continue; // main alone is single-threaded
                 }
                 if i == j {
-                    parallel[i][j] = multi[i - 1];
+                    *cell = multi[i - 1];
                     continue;
                 }
                 let (a, b) = (i.max(1) - 1, j.max(1) - 1);
                 if i == 0 || j == 0 {
-                    parallel[i][j] = true; // refined per access later
+                    *cell = true; // refined per access later
                     continue;
                 }
                 // Two spawn regions: parallel unless their main-local live
@@ -195,7 +203,7 @@ impl Mhp {
                         .get(&site)
                         .map(|&(s, j)| (s, if is_multi { None } else { j }))
                 };
-                parallel[i][j] = Self::ranges_overlap(
+                *cell = Self::ranges_overlap(
                     range(sa, multi[a]),
                     range(sb, multi[b]),
                     &main_mp,
@@ -221,9 +229,9 @@ impl Mhp {
 
     fn entry_is_reentrant(program: &Program, pt: &PointsTo, main: FuncId) -> bool {
         pt.call_sites().any(|(_, targets)| targets.contains(&main))
-            || program.insts().any(|i| {
-                matches!(i.kind, InstKind::AddrFunc { func, .. } if func == main)
-            })
+            || program
+                .insts()
+                .any(|i| matches!(i.kind, InstKind::AddrFunc { func, .. } if func == main))
     }
 
     /// May `a` execute strictly before `b` (main-body positions)?

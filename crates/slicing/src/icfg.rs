@@ -22,9 +22,8 @@ impl Icfg {
     pub fn new(program: &Program, pt: &PointsTo, invariants: Option<&InvariantSet>) -> Self {
         let n = program.num_blocks();
         let mut g = DiGraph::new(n);
-        let pruned = |b: oha_ir::BlockId| -> bool {
-            invariants.is_some_and(|inv| !inv.is_visited(b))
-        };
+        let pruned =
+            |b: oha_ir::BlockId| -> bool { invariants.is_some_and(|inv| !inv.is_visited(b)) };
 
         // Return blocks per function.
         let mut ret_blocks: Vec<Vec<usize>> = vec![Vec::new(); program.num_functions()];
@@ -49,10 +48,7 @@ impl Icfg {
                 }
             }
             for inst in &block.insts {
-                let is_call = matches!(
-                    inst.kind,
-                    InstKind::Call { .. } | InstKind::Spawn { .. }
-                );
+                let is_call = matches!(inst.kind, InstKind::Call { .. } | InstKind::Spawn { .. });
                 if !is_call {
                     continue;
                 }

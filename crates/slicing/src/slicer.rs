@@ -39,8 +39,38 @@ impl Default for SliceConfig<'static> {
 pub struct SliceStats {
     /// Worklist nodes visited.
     pub visited: u64,
+    /// Distinct def-use-graph nodes discovered ((context, instruction) and
+    /// (context, parameter) pairs) — the size of the DUG fragment the
+    /// slicer actually explored.
+    pub dug_nodes: u64,
     /// Contexts materialized (1 for CI).
     pub contexts: usize,
+    /// The context budget the run was configured with.
+    pub ctx_budget: u32,
+    /// The visit budget the run was configured with.
+    pub visit_budget: u64,
+}
+
+impl SliceStats {
+    /// Publishes the stats under `<prefix>.` in `registry` (see DESIGN.md
+    /// "Observability" for the metric names).
+    pub fn record(&self, registry: &oha_obs::MetricsRegistry, prefix: &str) {
+        registry.add(&format!("{prefix}.visited"), self.visited);
+        registry.add(&format!("{prefix}.dug_nodes"), self.dug_nodes);
+        registry.set_gauge(&format!("{prefix}.contexts"), self.contexts as f64);
+        if self.ctx_budget > 0 {
+            registry.set_gauge(
+                &format!("{prefix}.context_budget_used"),
+                self.contexts as f64 / f64::from(self.ctx_budget),
+            );
+        }
+        if self.visit_budget > 0 {
+            registry.set_gauge(
+                &format!("{prefix}.visit_budget_used"),
+                self.visited as f64 / self.visit_budget as f64,
+            );
+        }
+    }
 }
 
 /// A static backward slice: the set of instructions whose values may reach
@@ -187,9 +217,7 @@ impl<'p, 'c> Slicer<'p, 'c> {
     }
 
     fn pruned(&self, b: oha_ir::BlockId) -> bool {
-        self.config
-            .invariants
-            .is_some_and(|inv| !inv.is_visited(b))
+        self.config.invariants.is_some_and(|inv| !inv.is_visited(b))
     }
 
     fn new_ctx(&mut self, parent: u32, func: FuncId, chain: Vec<InstId>) -> Result<u32, Exhausted> {
@@ -249,8 +277,7 @@ impl<'p, 'c> Slicer<'p, 'c> {
                         InstKind::Spawn { .. } => (false, true),
                         _ => continue,
                     };
-                    let targets: Vec<FuncId> =
-                        self.pt.callees(inst.id).iter().copied().collect();
+                    let targets: Vec<FuncId> = self.pt.callees(inst.id).iter().copied().collect();
                     for callee in targets {
                         if is_spawn {
                             let key = (inst.id, callee.raw());
@@ -376,8 +403,7 @@ impl<'p, 'c> Slicer<'p, 'c> {
 
                     // Call results → callee returns.
                     if let InstKind::Call { dst: Some(_), .. } = kind {
-                        let targets: Vec<FuncId> =
-                            self.pt.callees(inst).iter().copied().collect();
+                        let targets: Vec<FuncId> = self.pt.callees(inst).iter().copied().collect();
                         for callee in targets {
                             let Some(cc) = self.callee_ctx(ctx, inst, callee) else {
                                 continue;
@@ -446,17 +472,11 @@ impl<'p, 'c> Slicer<'p, 'c> {
                         let caller = self.program.func_of_inst(site);
                         // In CI mode `creators[0]` holds every call site;
                         // keep only those that call this function.
-                        if !self
-                            .pt
-                            .callees(site)
-                            .contains(&FuncId::new(func_raw))
-                        {
+                        if !self.pt.callees(site).contains(&FuncId::new(func_raw)) {
                             continue;
                         }
                         let arg = match &self.program.inst(site).kind {
-                            InstKind::Call { args, .. } => {
-                                args.get(p.index()).copied()
-                            }
+                            InstKind::Call { args, .. } => args.get(p.index()).copied(),
                             InstKind::Spawn { arg, .. } if p.index() == 0 => Some(*arg),
                             _ => None,
                         };
@@ -465,14 +485,10 @@ impl<'p, 'c> Slicer<'p, 'c> {
                         };
                         for &d in self.rds[caller.index()].defs_for(site, r) {
                             match d {
-                                DefSite::Inst(di) => {
-                                    push(Node::Inst(pc, di), &mut seen, &mut work)
+                                DefSite::Inst(di) => push(Node::Inst(pc, di), &mut seen, &mut work),
+                                DefSite::Param(pp) => {
+                                    push(Node::Param(pc, caller.raw(), pp), &mut seen, &mut work)
                                 }
-                                DefSite::Param(pp) => push(
-                                    Node::Param(pc, caller.raw(), pp),
-                                    &mut seen,
-                                    &mut work,
-                                ),
                             }
                         }
                     }
@@ -484,7 +500,10 @@ impl<'p, 'c> Slicer<'p, 'c> {
             insts,
             stats: SliceStats {
                 visited,
+                dug_nodes: seen.len() as u64,
                 contexts: self.ctxs.len(),
+                ctx_budget: self.config.ctx_budget,
+                visit_budget: self.config.visit_budget,
             },
         })
     }

@@ -5,7 +5,9 @@ use oha_ir::{BinOp, CmpOp, FuncId, ProgramBuilder};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::common::{begin_loop, compute_chain, corpus, end_loop, helper_pool, Workload, WorkloadParams};
+use crate::common::{
+    begin_loop, compute_chain, corpus, end_loop, helper_pool, Workload, WorkloadParams,
+};
 
 /// All seven benchmarks.
 pub fn all(params: &WorkloadParams) -> Vec<Workload> {
@@ -205,7 +207,11 @@ pub fn nginx(params: &WorkloadParams) -> Workload {
         let n = i64::from(scale) * rng.gen_range(2..5);
         let mut v = vec![0, n];
         for _ in 0..n {
-            let cmd = if rng.gen_range(0..1000) < 10 { 2 } else { rng.gen_range(0..2) };
+            let cmd = if rng.gen_range(0..1000) < 10 {
+                2
+            } else {
+                rng.gen_range(0..2)
+            };
             v.push(cmd);
             v.push(rng.gen_range(0..50));
         }
@@ -413,7 +419,11 @@ pub fn redis(params: &WorkloadParams) -> Workload {
         let mut v = vec![n];
         for _ in 0..n {
             // set/get hot, flush ~0.7%.
-            let cmd = if rng.gen_range(0..1000) < 7 { 2 } else { rng.gen_range(0..2) };
+            let cmd = if rng.gen_range(0..1000) < 7 {
+                2
+            } else {
+                rng.gen_range(0..2)
+            };
             v.push(cmd);
             v.push(rng.gen_range(0..64));
         }
@@ -1093,8 +1103,8 @@ mod tests {
         for w in &suite {
             assert!(!w.endpoints.is_empty(), "{} has no endpoints", w.name);
             for input in w.profiling_inputs.iter().chain(&w.testing_inputs) {
-                let r = Machine::new(&w.program, MachineConfig::default())
-                    .run(input, &mut NoopTracer);
+                let r =
+                    Machine::new(&w.program, MachineConfig::default()).run(input, &mut NoopTracer);
                 assert_eq!(
                     r.status,
                     Termination::Exited,
@@ -1115,8 +1125,8 @@ mod tests {
         };
         for w in all(&params) {
             for input in w.profiling_inputs.iter().chain(&w.testing_inputs) {
-                let r = Machine::new(&w.program, MachineConfig::default())
-                    .run(input, &mut NoopTracer);
+                let r =
+                    Machine::new(&w.program, MachineConfig::default()).run(input, &mut NoopTracer);
                 assert_eq!(r.status, Termination::Exited, "{} at scale 220", w.name);
                 assert!(!r.outputs.is_empty(), "{} produced no output", w.name);
             }

@@ -1,7 +1,9 @@
 //! Shared workload scaffolding: parameters, input corpora and IR helpers.
 
 use oha_ir::Operand::{Const, Reg as R};
-use oha_ir::{BinOp, BlockId, CmpOp, FuncId, FunctionBuilder, InstId, Operand, Program, ProgramBuilder, Reg};
+use oha_ir::{
+    BinOp, BlockId, CmpOp, FuncId, FunctionBuilder, InstId, Operand, Program, ProgramBuilder, Reg,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -692,8 +692,8 @@ mod tests {
         for w in &suite {
             assert!(!w.profiling_inputs.is_empty());
             for input in w.profiling_inputs.iter().chain(&w.testing_inputs) {
-                let r = Machine::new(&w.program, MachineConfig::default())
-                    .run(input, &mut NoopTracer);
+                let r =
+                    Machine::new(&w.program, MachineConfig::default()).run(input, &mut NoopTracer);
                 assert_eq!(
                     r.status,
                     Termination::Exited,
@@ -714,8 +714,20 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
         for expected in [
-            "lusearch", "pmd", "raytracer", "moldyn", "sunflow", "montecarlo", "batik",
-            "xalan", "luindex", "sor", "sparse", "series", "crypt", "lufact",
+            "lusearch",
+            "pmd",
+            "raytracer",
+            "moldyn",
+            "sunflow",
+            "montecarlo",
+            "batik",
+            "xalan",
+            "luindex",
+            "sor",
+            "sparse",
+            "series",
+            "crypt",
+            "lufact",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }

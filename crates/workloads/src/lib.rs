@@ -43,8 +43,8 @@ pub use common::{Workload, WorkloadParams};
 /// The DaCapo/JavaGrande stand-ins (OptFT's benchmarks).
 pub mod java_suite {
     pub use crate::java_suite_impl::{
-        all, batik, crypt, lufact, luindex, lusearch, moldyn, montecarlo, pmd, raytracer,
-        series, sor, sparse, sunflow, xalan,
+        all, batik, crypt, lufact, luindex, lusearch, moldyn, montecarlo, pmd, raytracer, series,
+        sor, sparse, sunflow, xalan,
     };
 }
 

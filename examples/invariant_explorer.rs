@@ -29,11 +29,18 @@ fn main() {
 
     // The text-file format of §4.2 round-trips.
     let text = set.to_text();
-    println!("--- invariant file ({} facts, {} lines) ---", set.fact_count(), text.lines().count());
+    println!(
+        "--- invariant file ({} facts, {} lines) ---",
+        set.fact_count(),
+        text.lines().count()
+    );
     for line in text.lines().take(14) {
         println!("{line}");
     }
-    println!("... ({} more lines)\n", text.lines().count().saturating_sub(14));
+    println!(
+        "... ({} more lines)\n",
+        text.lines().count().saturating_sub(14)
+    );
     let reparsed = InvariantSet::from_text(&text).expect("the format round-trips");
     assert_eq!(reparsed, set);
 
@@ -58,5 +65,7 @@ fn main() {
         println!("  {v:?}");
     }
     assert!(checker.is_violated(), "the cold path must be flagged");
-    println!("\n→ a speculative analysis would roll back and re-run under the sound hybrid analysis.");
+    println!(
+        "\n→ a speculative analysis would roll back and re-run under the sound hybrid analysis."
+    );
 }

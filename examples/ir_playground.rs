@@ -62,13 +62,21 @@ fn main() {
     // Run it.
     let machine = Machine::new(&program, MachineConfig::default());
     let result = machine.run(&[14], &mut NoopTracer);
-    println!("run: status {:?}, output {:?}", result.status, result.output_values());
+    println!(
+        "run: status {:?}, output {:?}",
+        result.status,
+        result.output_values()
+    );
     assert_eq!(result.output_values(), vec![42]);
 
     // Race-check it dynamically across schedules.
     let mut races = std::collections::BTreeSet::new();
     for seed in 0..12 {
-        let cfg = MachineConfig { seed, quantum: 2, ..MachineConfig::default() };
+        let cfg = MachineConfig {
+            seed,
+            quantum: 2,
+            ..MachineConfig::default()
+        };
         let mut ft = FastTrackTool::full();
         Machine::new(&program, cfg).run(&[14], &mut ft);
         races.extend(ft.race_pairs());
@@ -83,7 +91,11 @@ fn main() {
         .find(|&i| matches!(program.inst(i).kind, InstKind::Output { .. }))
         .expect("an output exists");
     let s = slice(&program, &pt, &[endpoint], &SliceConfig::default()).expect("slice");
-    println!("static slice of the output: {} of {} instructions:", s.len(), program.num_insts());
+    println!(
+        "static slice of the output: {} of {} instructions:",
+        s.len(),
+        program.num_insts()
+    );
     for i in program.inst_ids().filter(|&i| s.contains(i)) {
         let f = program.function(program.func_of_inst(i));
         println!("  {i} in @{}", f.name);

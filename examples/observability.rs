@@ -1,0 +1,63 @@
+//! Observability: drive the OptFT pipeline on one workload and inspect the
+//! metrics it records — counters, gauges, series, spans — then render the
+//! same data as a text report and as stable JSON.
+//!
+//! Run with: `cargo run --release --example observability`
+
+use oha::core::Pipeline;
+use oha::obs::RunReport;
+use oha::workloads::{java_suite, WorkloadParams};
+
+fn main() {
+    let w = java_suite::lusearch(&WorkloadParams::small());
+    let pipeline = Pipeline::new(w.program.clone());
+    let outcome = pipeline.run_optft(&w.profiling_inputs, &w.testing_inputs);
+    let registry = pipeline.metrics();
+
+    // Counters: how much work the speculative runs dispatched vs. elided.
+    let loads = registry.counter_value("optft.spec.hook.load");
+    let stores = registry.counter_value("optft.spec.hook.store");
+    let elided = registry.counter_value("optft.ft.elided.accesses");
+    println!("speculative accesses dispatched: {}", loads + stores);
+    println!(
+        "  elided by the predicated static race set: {} ({:.1}%)",
+        elided,
+        100.0 * elided as f64 / (loads + stores).max(1) as f64
+    );
+    println!(
+        "  handed to FastTrack: {} reads + {} writes",
+        registry.counter_value("optft.ft.executed.reads"),
+        registry.counter_value("optft.ft.executed.writes")
+    );
+
+    // Series: the profiling convergence curve (Figure 8's x-axis).
+    let curve = registry.series_values("profile.fact_count");
+    println!("\ninvariant facts per profiling run: {curve:?}");
+
+    // Spans: wall time per pipeline phase, hierarchical.
+    println!("\nphase timings:");
+    for path in [
+        "optft/profile",
+        "optft/static_sound",
+        "optft/static_pred",
+        "optft/elide",
+        "optft/dynamic",
+    ] {
+        if let Some(stat) = registry.span_stat(path) {
+            println!("  {path:<20} {:>12?}  (x{})", stat.total, stat.count);
+        }
+    }
+
+    // The outcome carries all of the above as a report; it round-trips
+    // through the same JSON the bench binaries write with `--json`.
+    let json = outcome.report.to_json_string();
+    let back = RunReport::from_json_str(&json).expect("stable JSON");
+    assert_eq!(back, outcome.report);
+    println!(
+        "\nreport: {} counters, {} gauges, {} spans, {} bytes of JSON",
+        outcome.report.counters.len(),
+        outcome.report.gauges.len(),
+        outcome.report.spans.len(),
+        json.len()
+    );
+}

@@ -58,7 +58,11 @@ fn build_program() -> Program {
 
 fn main() {
     let program = build_program();
-    println!("program: {} functions, {} instructions\n", program.num_functions(), program.num_insts());
+    println!(
+        "program: {} functions, {} instructions\n",
+        program.num_functions(),
+        program.num_insts()
+    );
 
     // Profiling corpus and testing corpus: different iteration counts.
     let profiling: Vec<Vec<i64>> = (1..6).map(|k| vec![k * 40]).collect();
@@ -68,14 +72,32 @@ fn main() {
     let outcome = pipeline.run_optft(&profiling, &testing);
 
     println!("phase 1 — profiling:");
-    println!("  runs used: {} ({:?})", outcome.profiling_runs_used, outcome.profile_time);
-    println!("  invariant facts learned: {}", outcome.invariants.fact_count());
-    println!("  lock sites assumed self-aliasing: {}", outcome.invariants.self_alias_locks.len());
+    println!(
+        "  runs used: {} ({:?})",
+        outcome.profiling_runs_used, outcome.profile_time
+    );
+    println!(
+        "  invariant facts learned: {}",
+        outcome.invariants.fact_count()
+    );
+    println!(
+        "  lock sites assumed self-aliasing: {}",
+        outcome.invariants.self_alias_locks.len()
+    );
 
     println!("\nphase 2 — predicated static race detection:");
-    println!("  sound analysis leaves {} racy sites", outcome.racy_sites_sound);
-    println!("  predicated analysis leaves {} racy sites", outcome.racy_sites_pred);
-    println!("  lock/unlock sites elided (no-custom-sync): {}", outcome.elidable_lock_sites);
+    println!(
+        "  sound analysis leaves {} racy sites",
+        outcome.racy_sites_sound
+    );
+    println!(
+        "  predicated analysis leaves {} racy sites",
+        outcome.racy_sites_pred
+    );
+    println!(
+        "  lock/unlock sites elided (no-custom-sync): {}",
+        outcome.elidable_lock_sites
+    );
 
     println!("\nphase 3 — speculative dynamic analysis:");
     for (i, run) in outcome.runs.iter().enumerate() {
@@ -87,5 +109,8 @@ fn main() {
     println!("\nraces (FastTrack): {:?}", outcome.baseline_races);
     println!("races (OptFT):     {:?}", outcome.optimistic_races);
     assert_eq!(outcome.baseline_races, outcome.optimistic_races);
-    println!("\nOptFT is race-equivalent to FastTrack, {:.1}x faster than hybrid FastTrack.", outcome.speedup_vs_hybrid());
+    println!(
+        "\nOptFT is race-equivalent to FastTrack, {:.1}x faster than hybrid FastTrack.",
+        outcome.speedup_vs_hybrid()
+    );
 }

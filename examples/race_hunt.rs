@@ -9,7 +9,10 @@ use oha::workloads::{java_suite, WorkloadParams};
 
 fn main() {
     let params = WorkloadParams::small();
-    println!("{:<12} {:>6} {:>10} {:>9} {:>7} {:>8}  verdict", "bench", "insts", "racy-sound", "racy-opt", "elided", "speedup");
+    println!(
+        "{:<12} {:>6} {:>10} {:>9} {:>7} {:>8}  verdict",
+        "bench", "insts", "racy-sound", "racy-opt", "elided", "speedup"
+    );
     for w in java_suite::all(&params) {
         let pipeline = Pipeline::new(w.program.clone());
         let outcome = pipeline.run_optft(&w.profiling_inputs, &w.testing_inputs);

@@ -20,13 +20,25 @@ fn main() {
     let bad: Vec<i64> = vec![4, 1, 7, 1, 7, 1, 12, 1, 12];
 
     let pipeline = Pipeline::new(w.program.clone());
-    let outcome = pipeline.run_optslice(&w.profiling_inputs, &[good.clone(), bad.clone()], &w.endpoints);
-    assert!(outcome.all_slices_equal(), "OptSlice must match the hybrid slicer");
+    let outcome = pipeline.run_optslice(
+        &w.profiling_inputs,
+        &[good.clone(), bad.clone()],
+        &w.endpoints,
+    );
+    assert!(
+        outcome.all_slices_equal(),
+        "OptSlice must match the hybrid slicer"
+    );
 
-    println!("static slices: sound {} insts → predicated {} insts", outcome.sound.slice_size, outcome.pred.slice_size);
+    println!(
+        "static slices: sound {} insts → predicated {} insts",
+        outcome.sound.slice_size, outcome.pred.slice_size
+    );
     println!(
         "dynamic tracing: hybrid {:?} vs OptSlice {:?} per run (speedup {:.1}x)\n",
-        outcome.runs[0].hybrid, outcome.runs[0].optimistic, outcome.speedup_vs_hybrid()
+        outcome.runs[0].hybrid,
+        outcome.runs[0].optimistic,
+        outcome.speedup_vs_hybrid()
     );
 
     // Slice both executions with the optimistic slicer and diff them.

@@ -12,6 +12,8 @@
 //! * [`races`] — the static lockset/MHP race detector,
 //! * [`slicing`] — the static backward slicer,
 //! * [`invariants`] — likely-invariant profiling, merging and checking,
+//! * [`obs`] — metrics registry, timing spans and machine-readable run
+//!   reports shared by the pipeline and the benchmark harness,
 //! * [`fasttrack`] — the FastTrack dynamic race detector and its hybrid and
 //!   optimistic variants,
 //! * [`giri`] — the dynamic backward slicer and its variants,
@@ -45,6 +47,7 @@ pub use oha_giri as giri;
 pub use oha_interp as interp;
 pub use oha_invariants as invariants;
 pub use oha_ir as ir;
+pub use oha_obs as obs;
 pub use oha_pointsto as pointsto;
 pub use oha_races as races;
 pub use oha_slicing as slicing;

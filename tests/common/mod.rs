@@ -3,7 +3,7 @@
 //! metamorphic property tests.
 
 use oha::ir::Operand::{Const, Reg as R};
-use oha::ir::{BinOp, CmpOp, FuncId, FunctionBuilder, Program, ProgramBuilder, Reg};
+use oha::ir::{BinOp, FuncId, FunctionBuilder, Program, ProgramBuilder, Reg};
 use proptest::prelude::*;
 
 /// Arithmetic selector (kept small so shrinking stays readable).
@@ -150,7 +150,12 @@ pub fn inputs() -> impl Strategy<Value = Vec<i64>> {
     prop::collection::vec(-5i64..30, 0..16)
 }
 
-fn emit_leaf(f: &mut FunctionBuilder, acc: Reg, globals: &[(oha::ir::GlobalId, oha::ir::GlobalId)], leaf: &Leaf) {
+fn emit_leaf(
+    f: &mut FunctionBuilder,
+    acc: Reg,
+    globals: &[(oha::ir::GlobalId, oha::ir::GlobalId)],
+    leaf: &Leaf,
+) {
     match leaf {
         Leaf::Compute(a, k) => {
             f.bin_to(acc, a.op(), R(acc), Const(*k));

@@ -115,7 +115,7 @@ proptest! {
         seed in 0u64..500,
     ) {
         let p = build_program(&spec);
-        let cfg = MachineConfig { seed, quantum: 2, max_steps: 2_000_000, ..MachineConfig::default() };
+        let cfg = MachineConfig { seed, quantum: 2, max_steps: 2_000_000 };
         let machine = Machine::new(&p, cfg);
 
         let mut ft = FastTrackTool::full();
@@ -149,7 +149,7 @@ proptest! {
         let p = build_program(&spec);
         let pt = analyze(&p, &PointsToConfig::default()).expect("CI completes");
         let races = detect(&p, &pt, None);
-        let cfg = MachineConfig { seed, quantum: 2, max_steps: 2_000_000, ..MachineConfig::default() };
+        let cfg = MachineConfig { seed, quantum: 2, max_steps: 2_000_000 };
         let machine = Machine::new(&p, cfg);
 
         let mut full = FastTrackTool::full();

@@ -83,7 +83,7 @@ proptest! {
         let pt = analyze(&p, &PointsToConfig::default()).expect("CI completes");
         let static_slice = slice(&p, &pt, &endpoints, &SliceConfig::default()).expect("CI slice");
 
-        let cfg = MachineConfig { seed, quantum: 3, max_steps: 2_000_000, ..MachineConfig::default() };
+        let cfg = MachineConfig { seed, quantum: 3, max_steps: 2_000_000 };
         let machine = Machine::new(&p, cfg);
         let mut full = GiriTool::full(&p);
         machine.run(&input, &mut full);

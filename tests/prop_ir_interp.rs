@@ -30,7 +30,7 @@ proptest! {
     #[test]
     fn execution_is_deterministic(spec in prog_spec(), input in inputs(), seed in 0u64..1000) {
         let p = build_program(&spec);
-        let cfg = MachineConfig { seed, quantum: 3, max_steps: 2_000_000, ..MachineConfig::default() };
+        let cfg = MachineConfig { seed, quantum: 3, max_steps: 2_000_000 };
         let a = Machine::new(&p, cfg).run(&input, &mut NoopTracer);
         let b = Machine::new(&p, cfg).run(&input, &mut NoopTracer);
         prop_assert_eq!(a.steps, b.steps);
@@ -43,7 +43,7 @@ proptest! {
     #[test]
     fn tracers_do_not_perturb_execution(spec in prog_spec(), input in inputs(), seed in 0u64..1000) {
         let p = build_program(&spec);
-        let cfg = MachineConfig { seed, quantum: 5, max_steps: 2_000_000, ..MachineConfig::default() };
+        let cfg = MachineConfig { seed, quantum: 5, max_steps: 2_000_000 };
         let plain = Machine::new(&p, cfg).run(&input, &mut NoopTracer);
         let mut profiler = ProfileTracer::new(&p);
         let traced = Machine::new(&p, cfg).run(&input, &mut profiler);
@@ -57,7 +57,7 @@ proptest! {
     fn all_schedules_terminate(spec in prog_spec(), input in inputs()) {
         let p = build_program(&spec);
         for seed in [0u64, 1, 7, 991] {
-            let cfg = MachineConfig { seed, quantum: 2, max_steps: 2_000_000, ..MachineConfig::default() };
+            let cfg = MachineConfig { seed, quantum: 2, max_steps: 2_000_000 };
             let r = Machine::new(&p, cfg).run(&input, &mut NoopTracer);
             prop_assert_eq!(r.status, Termination::Exited, "seed {}", seed);
         }

@@ -86,8 +86,10 @@ fn context_sensitivity_unlocking_matches_table2() {
         num_testing: 2,
         ..WorkloadParams::small()
     };
-    let mut config = oha::core::PipelineConfig::default();
-    config.ctx_budget = 256;
+    let config = oha::core::PipelineConfig {
+        ctx_budget: 256,
+        ..Default::default()
+    };
     for w in c_suite::all(&params) {
         let pipeline = Pipeline::new(w.program.clone()).with_config(config);
         let outcome = pipeline.run_optslice(&w.profiling_inputs, &w.testing_inputs, &w.endpoints);

@@ -1,0 +1,255 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the surface used by `crates/bench/benches/micro.rs`:
+//! [`Criterion`] with the `sample_size` / `measurement_time` /
+//! `warm_up_time` builders, [`Criterion::benchmark_group`],
+//! `bench_function`, [`Bencher::iter`] / [`Bencher::iter_batched`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Behaviour mirrors real criterion's two modes: invoked by `cargo bench`
+//! (cargo passes `--bench`) each benchmark is timed and a ns/iter line is
+//! printed; invoked by `cargo test` each benchmark body runs exactly once as
+//! a smoke test so the test suite stays fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver and configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+            test_mode: true,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Reads the process arguments to decide between measurement mode
+    /// (`cargo bench` passes `--bench`) and one-shot test mode.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = !std::env::args().any(|a| a == "--bench");
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self, id, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing the parent's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &label, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &mut Criterion, label: &str, mut f: F) {
+    let mut b = Bencher {
+        test_mode: c.test_mode,
+        measurement_time: c.measurement_time,
+        warm_up_time: c.warm_up_time,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if c.test_mode {
+        return;
+    }
+    if b.iters == 0 {
+        println!("{label:<50} (no iterations recorded)");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    println!("{label:<50} {ns:>12.1} ns/iter ({} iters)", b.iters);
+}
+
+/// Controls how per-iteration inputs are batched in
+/// [`Bencher::iter_batched`]; the stand-in times every call individually, so
+/// the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many per allocation.
+    SmallInput,
+    /// Large inputs: fewer per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly (once in test mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        let warm = Instant::now();
+        while warm.elapsed() < self.warm_up_time {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut n = 0u64;
+        while start.elapsed() < self.measurement_time {
+            black_box(routine());
+            n += 1;
+        }
+        self.elapsed += start.elapsed();
+        self.iters += n;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time
+    /// from the measurement (runs once in test mode).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let warm = Instant::now();
+        while warm.elapsed() < self.warm_up_time {
+            black_box(routine(setup()));
+        }
+        let mut timed = Duration::ZERO;
+        let mut n = 0u64;
+        while timed < self.measurement_time {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+            n += 1;
+        }
+        self.elapsed += timed;
+        self.iters += n;
+    }
+}
+
+/// Declares a benchmark group function from a list of target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::configure_from_args($cfg);
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_routine_once() {
+        let mut c = Criterion::default(); // test_mode = true
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+        let mut batched = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 3u32, |x| batched += x, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(batched, 3);
+    }
+
+    #[test]
+    fn measurement_mode_records_iterations() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.test_mode = false;
+        let mut b = Bencher {
+            test_mode: false,
+            measurement_time: c.measurement_time,
+            warm_up_time: c.warm_up_time,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter(|| 1 + 1);
+        assert!(b.iters > 0);
+        assert!(b.elapsed >= c.measurement_time);
+    }
+}

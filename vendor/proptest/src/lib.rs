@@ -1,0 +1,557 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses: the [`proptest!`],
+//! [`prop_oneof!`], [`prop_assert!`] and [`prop_assert_eq!`] macros, a
+//! sampling [`Strategy`] trait with `prop_map`, [`Just`], [`any`], tuple and
+//! integer-range strategies, `prop::collection::vec`, and a regex-lite
+//! string strategy. Sampling is deterministic per test (seeded from the
+//! fully-qualified test name), cases are independent, and there is no
+//! shrinking: on failure the offending case's inputs are printed verbatim.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic test RNG (SplitMix64 seeded from the test name).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Builds a generator seeded from a test's fully-qualified name, so each
+    /// test gets a stable, independent stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample from `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Run configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of its value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between heterogeneous strategies with a common value
+/// type; built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, Rc<dyn Strategy<Value = T>>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, Rc<dyn Strategy<Value = T>>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        Union { arms, total }
+    }
+
+    /// Type-erases one arm (helper for [`prop_oneof!`]).
+    pub fn arm<S: Strategy<Value = T> + 'static>(s: S) -> Rc<dyn Strategy<Value = T>> {
+        Rc::new(s)
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(u64::from(self.total)) as u32;
+        for (w, arm) in &self.arms {
+            if pick < *w {
+                return arm.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let lo = self.start as i128;
+                let span = (self.end as i128 - lo) as u128;
+                let off = (u128::from(rng.next_u64()) % span) as i128;
+                (lo + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the canonical strategy for `T` (`any::<bool>()` et al.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Canonical strategy for `bool`.
+#[derive(Clone, Copy, Debug)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = FullIntStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FullIntStrategy(std::marker::PhantomData)
+            }
+        }
+        impl Strategy for FullIntStrategy<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+/// Whole-domain strategy for integer types.
+#[derive(Clone, Copy, Debug)]
+pub struct FullIntStrategy<T>(std::marker::PhantomData<T>);
+
+impl_arbitrary_int!(u8, u16, u32, u64, i8, i16, i32, i64, usize, isize);
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing vectors whose length is drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` with length in `size` (half-open).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-lite string strategy
+// ---------------------------------------------------------------------------
+
+/// Samples a string for the regex-lite subset this workspace uses:
+/// `\PC{m,n}` (printable characters) and `[class]{m,n}` character classes
+/// with literal characters and `a-z` style ranges.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let (pool, rest) = if let Some(rest) = pattern.strip_prefix("\\PC") {
+        (printable_pool(), rest)
+    } else if let Some(body) = pattern.strip_prefix('[') {
+        let end = body
+            .find(']')
+            .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+        (expand_class(&body[..end]), &body[end + 1..])
+    } else {
+        panic!("unsupported string pattern {pattern:?} (vendored proptest)");
+    };
+    let (min, max) = parse_repeat(rest, pattern);
+    let len = min + rng.below((max - min + 1) as u64) as usize;
+    (0..len)
+        .map(|_| pool[rng.below(pool.len() as u64) as usize])
+        .collect()
+}
+
+fn printable_pool() -> Vec<char> {
+    // ASCII printable plus a few multi-byte characters so `\PC` exercises
+    // non-ASCII input too.
+    let mut pool: Vec<char> = (' '..='~').collect();
+    pool.extend(['é', 'Ω', '→', '中', '🦀']);
+    pool
+}
+
+fn expand_class(class: &str) -> Vec<char> {
+    let chars: Vec<char> = class.chars().collect();
+    let mut pool = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "invalid class range {lo}-{hi}");
+            pool.extend(lo..=hi);
+            i += 3;
+        } else {
+            pool.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!pool.is_empty(), "empty character class");
+    pool
+}
+
+fn parse_repeat(rest: &str, pattern: &str) -> (usize, usize) {
+    if rest.is_empty() {
+        return (1, 1);
+    }
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition in pattern {pattern:?}"));
+    let (a, b) = inner
+        .split_once(',')
+        .unwrap_or_else(|| panic!("unsupported repetition in pattern {pattern:?}"));
+    let min: usize = a.trim().parse().expect("repeat lower bound");
+    let max: usize = b.trim().parse().expect("repeat upper bound");
+    assert!(min <= max, "invalid repetition {{{min},{max}}}");
+    (min, max)
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failure reporting
+// ---------------------------------------------------------------------------
+
+/// Prints the failing case's inputs when a test body panics (no shrinking).
+pub struct CaseGuard {
+    case: u32,
+    info: String,
+}
+
+impl CaseGuard {
+    /// Arms a guard describing the current case.
+    pub fn new(case: u32, info: String) -> Self {
+        CaseGuard { case, info }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("proptest: failure in case {}:\n{}", self.case, self.info);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;) => {};
+    (config = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                let __guard = $crate::CaseGuard::new(__case, {
+                    let mut __s = String::new();
+                    $(__s.push_str(&format!(
+                        concat!("  ", stringify!($arg), " = {:?}\n"),
+                        &$arg
+                    ));)+
+                    __s
+                });
+                { $body }
+                drop(__guard);
+            }
+        }
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Union::arm($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Union::arm($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    //! The usual imports: `use proptest::prelude::*;`.
+
+    /// Lets `prop::collection::vec(...)` resolve as in real proptest.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..500 {
+            let x = Strategy::sample(&(3u32..9), &mut rng);
+            assert!((3..9).contains(&x));
+            let y = Strategy::sample(&(-20i64..20), &mut rng);
+            assert!((-20..20).contains(&y));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_loosely() {
+        let mut rng = TestRng::from_seed(2);
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let hits = (0..1000).filter(|_| s.sample(&mut rng)).count();
+        assert!(hits > 700, "weighted arm should dominate, got {hits}");
+    }
+
+    #[test]
+    fn class_patterns_sample_members_only() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z0-9 =@,+()]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || " =@,+()".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_pattern_obeys_bounds() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"\\PC{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_obeys_length_range() {
+        let mut rng = TestRng::from_seed(5);
+        let s = prop::collection::vec(0u32..50, 2..6);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 50));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: samples land in range and tuples destructure.
+        #[test]
+        fn macro_smoke(x in 0u64..10, pair in (0u8..4, any::<bool>())) {
+            prop_assert!(x < 10);
+            let (a, _b) = pair;
+            prop_assert!(a < 4);
+        }
+    }
+}
