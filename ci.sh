@@ -1,19 +1,79 @@
 #!/usr/bin/env bash
-# Repository CI gate: formatting, lints, build, and the full test suite.
-# Usage: ./ci.sh
+# Repository CI gate: formatting, lints, build, the full test suite, and a
+# bench smoke run that checks the --json reports parse.
+#
+# Usage:
+#   ./ci.sh           full gate (fmt, clippy, release build+tests, bench smoke)
+#   ./ci.sh --quick   pre-push loop: fmt, clippy, debug tests only
+#
+# Each stage prints "==> name" when it starts and "<== name (Ns)" when it
+# finishes, so CI logs show where the time goes.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+    --quick) QUICK=1 ;;
+    *)
+        echo "unknown argument: $arg" >&2
+        echo "usage: ./ci.sh [--quick]" >&2
+        exit 2
+        ;;
+    esac
+done
 
-echo "==> cargo clippy (workspace, all targets, warnings are errors)"
-cargo clippy --workspace --all-targets -- -D warnings
+stage() {
+    local name="$1"
+    shift
+    echo "==> $name"
+    local start=$SECONDS
+    "$@"
+    echo "<== $name ($((SECONDS - start))s)"
+}
 
-echo "==> cargo build --release"
-cargo build --release
+# A tiny fig5 + table1 run on the small workload scale (OHA_SMOKE=1), each
+# required to emit a parsable, non-empty JSON run report.
+bench_smoke() {
+    local out
+    out="$(mktemp -d)"
+    trap 'rm -rf "$out"' RETURN
+    local bin
+    for bin in fig5_optft_runtimes table1_optft_endtoend; do
+        echo "    smoke: $bin --json $out/$bin.json"
+        OHA_SMOKE=1 "./target/release/$bin" --json "$out/$bin.json" >/dev/null
+        if [ ! -s "$out/$bin.json" ]; then
+            echo "bench-smoke: $bin produced no JSON at $out/$bin.json" >&2
+            return 1
+        fi
+        python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+for key in ("name", "counters", "children"):
+    if key not in report:
+        sys.exit(f"{sys.argv[1]}: missing {key!r} in run report")
+if not report["children"]:
+    sys.exit(f"{sys.argv[1]}: run report has no per-workload children")
+' "$out/$bin.json" || {
+            echo "bench-smoke: $bin emitted unparsable or incomplete JSON" >&2
+            return 1
+        }
+    done
+}
 
-echo "==> cargo test (release)"
-cargo test --release -q
+stage "cargo fmt --check" cargo fmt --check
+stage "cargo clippy (workspace, all targets, warnings are errors)" \
+    cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "$QUICK" = 1 ]; then
+    stage "cargo test (debug)" cargo test -q
+    echo "CI green (quick)."
+    exit 0
+fi
+
+stage "cargo build --release" cargo build --release
+stage "cargo test (release)" cargo test --release -q
+stage "bench-smoke (fig5 + table1, --json)" bench_smoke
 
 echo "CI green."

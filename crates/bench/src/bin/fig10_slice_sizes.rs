@@ -9,10 +9,12 @@ fn main() {
     let params = params();
     let mut reporter = Reporter::new("fig10_slice_sizes");
     let mut rows = Vec::new();
-    for w in c_suite::all(&params) {
+    let results = reporter.run_workloads_parallel(c_suite::all(&params), |w| {
         let outcome =
-            pipeline(&w, optslice_config()).run_optslice(&w.profiling_inputs, &[], &w.endpoints);
-        reporter.child(w.name, outcome.report.clone());
+            pipeline(w, optslice_config()).run_optslice(&w.profiling_inputs, &[], &w.endpoints);
+        (outcome.report.clone(), outcome)
+    });
+    for (w, outcome) in &results {
         rows.push(vec![
             w.name.to_string(),
             w.program.num_insts().to_string(),

@@ -87,8 +87,7 @@ fn main() {
     let params = params();
     let cfg = optslice_config();
     let mut reporter = Reporter::new("fig11_invariant_ablation");
-    let mut rows = Vec::new();
-    for w in c_suite::all(&params) {
+    let results = reporter.run_workloads_parallel(c_suite::all(&params), |w| {
         let pipeline = Pipeline::new(w.program.clone()).with_config(cfg);
         let (full_inv, _) = pipeline.profile(&w.profiling_inputs);
 
@@ -128,15 +127,16 @@ fn main() {
         // +contexts (the full invariant set): CS becomes possible.
         let (with_ctx, ctx_at) = best_slice(&w.program, Some(&full_inv), &cfg, &w.endpoints);
 
-        rows.push(vec![
+        let row = vec![
             w.name.to_string(),
             format!("{base} ({base_at})"),
             with_luc.to_string(),
             with_callees.to_string(),
             format!("{with_ctx} ({ctx_at})"),
-        ]);
-        reporter.child(w.name, pipeline.metrics().report(w.name));
-    }
+        ];
+        (pipeline.metrics().report(w.name), row)
+    });
+    let rows: Vec<Vec<String>> = results.into_iter().map(|(_, row)| row).collect();
     println!("Figure 11 — static slice size as invariants are added\n");
     println!(
         "{}",

@@ -32,8 +32,7 @@ impl Tracer for TouchedInsts {
 fn main() {
     let params = params();
     let mut reporter = Reporter::new("fig1_statespace");
-    let mut rows = Vec::new();
-    for w in c_suite::all(&params) {
+    let results = reporter.run_workloads_parallel(c_suite::all(&params), |w| {
         let pipeline = Pipeline::new(w.program.clone());
         let (inv, _) = pipeline.profile(&w.profiling_inputs);
         let sound = state_space(&w.program, None);
@@ -43,16 +42,17 @@ fn main() {
         for input in &w.testing_inputs {
             Machine::new(&w.program, MachineConfig::default()).run(input, &mut touched);
         }
-        rows.push(vec![
+        let row = vec![
             w.name.to_string(),
             format!("{} nodes / {} edges", sound.nodes, sound.edges),
             format!("{} insts", w.program.num_insts()),
             format!("{} insts", touched.0.len()),
             format!("{} nodes / {} edges", pred.nodes, pred.edges),
             format!("{} insts", pred.reachable_insts),
-        ]);
-        reporter.child(w.name, pipeline.metrics().report(w.name));
-    }
+        ];
+        (pipeline.metrics().report(w.name), row)
+    });
+    let rows: Vec<Vec<String>> = results.into_iter().map(|(_, row)| row).collect();
     println!("Figure 1 — analysis state spaces: S (sound) ⊇ P (observed) ⊇ O (predicated)\n");
     println!(
         "{}",

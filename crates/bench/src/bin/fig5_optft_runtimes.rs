@@ -14,10 +14,11 @@ fn main() {
     let mut reporter = Reporter::new("fig5_optft_runtimes");
     let mut rows = Vec::new();
     let mut sound_violations = 0usize;
-    for w in java_suite::all(&params) {
-        let outcome =
-            pipeline(&w, optft_config()).run_optft(&w.profiling_inputs, &w.testing_inputs);
-        reporter.child(w.name, outcome.report.clone());
+    let results = reporter.run_workloads_parallel(java_suite::all(&params), |w| {
+        let outcome = pipeline(w, optft_config()).run_optft(&w.profiling_inputs, &w.testing_inputs);
+        (outcome.report.clone(), outcome)
+    });
+    for (w, outcome) in &results {
         if outcome.optimistic_races != outcome.baseline_races {
             sound_violations += 1;
         }

@@ -11,13 +11,15 @@ fn main() {
     let mut reporter = Reporter::new("fig6_optslice_runtimes");
     let mut rows = Vec::new();
     let mut unequal = 0usize;
-    for w in c_suite::all(&params) {
-        let outcome = pipeline(&w, optslice_config()).run_optslice(
+    let results = reporter.run_workloads_parallel(c_suite::all(&params), |w| {
+        let outcome = pipeline(w, optslice_config()).run_optslice(
             &w.profiling_inputs,
             &w.testing_inputs,
             &w.endpoints,
         );
-        reporter.child(w.name, outcome.report.clone());
+        (outcome.report.clone(), outcome)
+    });
+    for (w, outcome) in &results {
         if !outcome.all_slices_equal() {
             unequal += 1;
         }

@@ -19,8 +19,7 @@ fn main() {
     };
     let ks = [1usize, 2, 4, 8, 16, 32];
     let mut reporter = Reporter::new("fig7_misspeculation");
-    let mut rows = Vec::new();
-    for w in c_suite::all(&params) {
+    let results = reporter.run_workloads_parallel(c_suite::all(&params), |w| {
         let pipeline = Pipeline::new(w.program.clone()).with_config(optslice_config());
         let machine = Machine::new(&w.program, optslice_config().machine);
         let mut row = vec![w.name.to_string()];
@@ -44,9 +43,9 @@ fn main() {
                 ptime.as_secs_f64() * 1e3
             ));
         }
-        reporter.child(w.name, pipeline.metrics().report(w.name));
-        rows.push(row);
-    }
+        (pipeline.metrics().report(w.name), row)
+    });
+    let rows: Vec<Vec<String>> = results.into_iter().map(|(_, row)| row).collect();
     println!("Figure 7 — mis-speculation rate vs profiling runs (profiling time in parens)\n");
     let headers: Vec<String> = std::iter::once("bench".to_string())
         .chain(ks.iter().map(|k| format!("{k} runs")))

@@ -13,6 +13,7 @@ use oha_bench::{optslice_config, params, Reporter};
 use oha_interp::Machine;
 use oha_invariants::{InvariantAccumulator, InvariantSet, ProfileTracer};
 use oha_obs::MetricsRegistry;
+use oha_par::Pool;
 use oha_pointsto::{analyze, PointsToConfig, Sensitivity};
 use oha_slicing::{slice, SliceConfig};
 use oha_workloads::{c_suite, WorkloadParams};
@@ -77,19 +78,24 @@ fn main() {
     let cfg = optslice_config();
     let ks = [1usize, 2, 4, 8, 16, 32];
     let mut reporter = Reporter::new("fig8_slice_convergence");
-    let mut rows = Vec::new();
-    for w in c_suite::all(&params) {
+    let results = reporter.run_workloads_parallel(c_suite::all(&params), |w| {
         let registry = MetricsRegistry::new();
-        let machine = Machine::new(&w.program, cfg.machine);
+        // Profiling runs are independent seeded executions: fan them out on
+        // the pool, then fold the profiles into the accumulator in input
+        // order (identical curve at any thread count).
+        let (program, machine_cfg) = (&w.program, cfg.machine);
+        let profiles = Pool::from_env().par_map(&w.profiling_inputs, |input| {
+            let mut tracer = ProfileTracer::new(program);
+            Machine::new(program, machine_cfg).run(input, &mut tracer);
+            tracer.into_profile()
+        });
         let mut acc = InvariantAccumulator::new();
         let mut row = vec![w.name.to_string()];
-        for (i, input) in w.profiling_inputs.iter().enumerate() {
-            let mut tracer = ProfileTracer::new(&w.program);
-            machine.run(input, &mut tracer);
-            acc.add(&tracer.into_profile());
+        for (i, profile) in profiles.iter().enumerate() {
+            acc.add(profile);
             registry.push_series("profile.fact_count", acc.fact_count() as f64);
             if ks.contains(&(i + 1)) {
-                row.push(pred_slice_size(&w, &acc.snapshot()).to_string());
+                row.push(pred_slice_size(w, &acc.snapshot()).to_string());
             }
         }
         // The convergence curve itself, read back through the registry.
@@ -101,9 +107,9 @@ fn main() {
                 .copied()
                 .unwrap_or(0.0),
         );
-        reporter.child(w.name, registry.report(w.name));
-        rows.push(row);
-    }
+        (registry.report(w.name), row)
+    });
+    let rows: Vec<Vec<String>> = results.into_iter().map(|(_, row)| row).collect();
     println!("Figure 8 — predicated static slice size vs profiling runs\n");
     let headers: Vec<String> = std::iter::once("bench".to_string())
         .chain(ks.iter().map(|k| format!("{k} runs")))

@@ -9,12 +9,14 @@ fn main() {
     let params = params();
     let mut reporter = Reporter::new("fig9_alias_rates");
     let mut rows = Vec::new();
-    for w in c_suite::all(&params) {
+    let results = reporter.run_workloads_parallel(c_suite::all(&params), |w| {
         // Static-only invocation: an empty testing corpus skips the dynamic
         // phase but still produces both static side reports.
         let outcome =
-            pipeline(&w, optslice_config()).run_optslice(&w.profiling_inputs, &[], &w.endpoints);
-        reporter.child(w.name, outcome.report.clone());
+            pipeline(w, optslice_config()).run_optslice(&w.profiling_inputs, &[], &w.endpoints);
+        (outcome.report.clone(), outcome)
+    });
+    for (w, outcome) in &results {
         rows.push(vec![
             w.name.to_string(),
             format!("{:.4}", outcome.sound.alias_rate),

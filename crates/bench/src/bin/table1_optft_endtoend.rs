@@ -13,10 +13,11 @@ fn main() {
     let params = params();
     let mut reporter = Reporter::new("table1_optft_endtoend");
     let mut rows = Vec::new();
-    for w in java_suite::all(&params) {
-        let outcome =
-            pipeline(&w, optft_config()).run_optft(&w.profiling_inputs, &w.testing_inputs);
-        reporter.child(w.name, outcome.report.clone());
+    let results = reporter.run_workloads_parallel(java_suite::all(&params), |w| {
+        let outcome = pipeline(w, optft_config()).run_optft(&w.profiling_inputs, &w.testing_inputs);
+        (outcome.report.clone(), outcome)
+    });
+    for (w, outcome) in &results {
         if outcome.statically_race_free {
             continue;
         }

@@ -21,13 +21,15 @@ fn main() {
     let params = params();
     let mut reporter = Reporter::new("table2_optslice_endtoend");
     let mut rows = Vec::new();
-    for w in c_suite::all(&params) {
-        let outcome = pipeline(&w, optslice_config()).run_optslice(
+    let results = reporter.run_workloads_parallel(c_suite::all(&params), |w| {
+        let outcome = pipeline(w, optslice_config()).run_optslice(
             &w.profiling_inputs,
             &w.testing_inputs,
             &w.endpoints,
         );
-        reporter.child(w.name, outcome.report.clone());
+        (outcome.report.clone(), outcome)
+    });
+    for (w, outcome) in &results {
         let sum = |f: &dyn Fn(&oha_core::OptSliceRun) -> Duration| -> Duration {
             outcome.runs.iter().map(f).sum()
         };

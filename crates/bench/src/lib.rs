@@ -13,11 +13,26 @@ use std::time::Duration;
 use oha_core::{Pipeline, PipelineConfig};
 use oha_interp::MachineConfig;
 use oha_obs::{RunReport, TableArtifact};
-use oha_workloads::WorkloadParams;
+use oha_par::Pool;
+use oha_workloads::{Workload, WorkloadParams};
 
-/// The workload scale used by every figure/table binary.
+/// Whether the `OHA_SMOKE` environment variable selects the small
+/// CI-smoke workload scale (any non-empty value other than `0`).
+pub fn smoke_mode() -> bool {
+    std::env::var("OHA_SMOKE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// The workload scale used by every figure/table binary: the benchmark
+/// scale, or the sub-second unit-test scale under `OHA_SMOKE` (the CI
+/// bench-smoke stage in `ci.sh`).
 pub fn params() -> WorkloadParams {
-    WorkloadParams::benchmark()
+    if smoke_mode() {
+        WorkloadParams::small()
+    } else {
+        WorkloadParams::benchmark()
+    }
 }
 
 /// The pipeline configuration used by the OptFT experiments.
@@ -183,6 +198,33 @@ impl Reporter {
         self.report.meta.insert(key.to_string(), value.to_string());
     }
 
+    /// Fans the per-workload experiment out over the `OHA_THREADS`-sized
+    /// pool. `run` executes once per workload on a worker thread and
+    /// returns the workload's child [`RunReport`] plus whatever payload
+    /// the caller needs for its table rows; children are attached and
+    /// `(workload, payload)` pairs returned **in suite order** regardless
+    /// of completion order, so the rendered table and the `--json`
+    /// artifact are byte-identical to a serial run (timings aside).
+    pub fn run_workloads_parallel<R, F>(
+        &mut self,
+        workloads: Vec<Workload>,
+        run: F,
+    ) -> Vec<(Workload, R)>
+    where
+        R: Send,
+        F: Fn(&Workload) -> (RunReport, R) + Sync,
+    {
+        let results = Pool::from_env().par_map(&workloads, run);
+        workloads
+            .into_iter()
+            .zip(results)
+            .map(|(w, (report, payload))| {
+                self.child(w.name, report);
+                (w, payload)
+            })
+            .collect()
+    }
+
     /// Records a table artifact and returns its plain-text rendering.
     pub fn table(&mut self, title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
         self.report.tables.push(TableArtifact {
@@ -288,6 +330,36 @@ mod tests {
             Some(PathBuf::from("x/y.json"))
         );
         assert_eq!(args(&["--bench", "--verbose"]).json, None);
+    }
+
+    #[test]
+    fn parallel_workloads_keep_suite_order() {
+        use oha_workloads::c_suite;
+        let params = WorkloadParams::small();
+        let names: Vec<&str> = c_suite::all(&params).iter().map(|w| w.name).collect();
+        let mut rep = Reporter::with_args("t", &BenchArgs::default());
+        let results = rep.run_workloads_parallel(c_suite::all(&params), |w| {
+            (RunReport::new("child"), w.name.to_string())
+        });
+        assert_eq!(
+            results.iter().map(|(w, _)| w.name).collect::<Vec<_>>(),
+            names,
+            "workload order must match the suite"
+        );
+        assert_eq!(
+            results.iter().map(|(_, p)| p.as_str()).collect::<Vec<_>>(),
+            names,
+            "payloads must stay aligned with their workloads"
+        );
+        assert_eq!(
+            rep.report()
+                .children
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
+            names,
+            "child report order must match the suite"
+        );
     }
 
     #[test]

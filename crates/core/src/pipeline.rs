@@ -5,7 +5,8 @@ use std::time::Duration;
 use oha_interp::{Machine, MachineConfig};
 use oha_invariants::{InvariantAccumulator, InvariantSet, ProfileTracer, RunProfile};
 use oha_ir::{InstId, Program};
-use oha_obs::MetricsRegistry;
+use oha_obs::{MetricsFrame, MetricsRegistry};
+use oha_par::Pool;
 
 use crate::optft::OptFtOutcome;
 use crate::optslice::OptSliceOutcome;
@@ -25,6 +26,13 @@ pub struct PipelineConfig {
     pub solver_budget: u64,
     /// Visit budget for the static slicer.
     pub visit_budget: u64,
+    /// Worker threads for the profiling phase. `0` (the default) resolves
+    /// at run time to the `OHA_THREADS` environment override, falling back
+    /// to [`std::thread::available_parallelism`]. The thread count never
+    /// changes results: each interpreter run is seeded and deterministic on
+    /// its own, and run profiles merge in input order (see DESIGN.md
+    /// "Parallelism").
+    pub threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -34,6 +42,7 @@ impl Default for PipelineConfig {
             ctx_budget: 4096,
             solver_budget: 20_000_000,
             visit_budget: 5_000_000,
+            threads: 0,
         }
     }
 }
@@ -42,8 +51,14 @@ impl Default for PipelineConfig {
 ///
 /// # Examples
 ///
+/// Profiling runs fan out over a worker pool sized by
+/// [`PipelineConfig::threads`] (default `0` = the `OHA_THREADS`
+/// environment override, then [`std::thread::available_parallelism`]).
+/// The merge is order-deterministic, so any thread count produces the
+/// same invariants:
+///
 /// ```
-/// use oha_core::Pipeline;
+/// use oha_core::{Pipeline, PipelineConfig};
 /// use oha_ir::{Operand, ProgramBuilder};
 ///
 /// let mut pb = ProgramBuilder::new();
@@ -54,9 +69,14 @@ impl Default for PipelineConfig {
 /// let main = pb.finish_function(f);
 /// let program = pb.finish(main).unwrap();
 ///
-/// let pipeline = Pipeline::new(program);
+/// let pipeline = Pipeline::new(program.clone());
 /// let (invariants, _time) = pipeline.profile(&[vec![1], vec![2]]);
 /// assert_eq!(invariants.num_profiles, 2);
+///
+/// let serial = Pipeline::new(program)
+///     .with_config(PipelineConfig { threads: 1, ..PipelineConfig::default() });
+/// let (serial_invariants, _time) = serial.profile(&[vec![1], vec![2]]);
+/// assert_eq!(serial_invariants, invariants);
 /// ```
 #[derive(Clone, Debug)]
 pub struct Pipeline {
@@ -103,17 +123,35 @@ impl Pipeline {
         &self.metrics
     }
 
+    /// The profiling worker pool: [`PipelineConfig::threads`] when set,
+    /// otherwise the `OHA_THREADS` environment override, otherwise
+    /// [`std::thread::available_parallelism`].
+    pub fn pool(&self) -> Pool {
+        if self.config.threads == 0 {
+            Pool::from_env()
+        } else {
+            Pool::new(self.config.threads)
+        }
+    }
+
     /// Phase 1: runs the profiling corpus and merges the likely invariants.
+    ///
+    /// Runs execute in parallel on [`Pipeline::pool`] (each interpreter
+    /// execution is an independent, seeded simulation); the resulting
+    /// profiles merge in input order, so the returned set is identical at
+    /// any thread count. Worker hook counters (`profile.hook.*`) are
+    /// absorbed into [`Pipeline::metrics`] in the same order.
     pub fn profile(&self, inputs: &[Vec<i64>]) -> (InvariantSet, Duration) {
         let span = self.metrics.span("profile");
-        let profiles: Vec<RunProfile> = inputs
-            .iter()
-            .map(|input| {
-                let mut tracer = ProfileTracer::new(&self.program);
-                Machine::new(&self.program, self.config.machine).run(input, &mut tracer);
-                tracer.into_profile()
-            })
-            .collect();
+        let (program, mcfg) = (&self.program, self.config.machine);
+        let results = self
+            .pool()
+            .par_map(inputs, |input| profile_one(program, mcfg, input));
+        let mut profiles = Vec::with_capacity(results.len());
+        for (profile, frame) in results {
+            self.metrics.absorb(&frame);
+            profiles.push(profile);
+        }
         let set = InvariantSet::from_profiles(&profiles);
         (set, span.finish())
     }
@@ -128,31 +166,42 @@ impl Pipeline {
     /// whole loop is linear in the number of runs, and the per-run fact
     /// count lands in the `profile.fact_count` series of
     /// [`Pipeline::metrics`] (the Figure 8 convergence curve).
+    ///
+    /// Executions run in pool-width batches on [`Pipeline::pool`], but the
+    /// accumulator folds, the series points and the stopping decision all
+    /// happen serially in input order, so the merged set, the consumed-run
+    /// count and every recorded metric are identical at any thread count.
+    /// (A wider pool may *execute* a few runs past the stopping point; their
+    /// profiles and counters are discarded.)
     pub fn profile_until_stable(
         &self,
         inputs: &[Vec<i64>],
         patience: usize,
     ) -> (InvariantSet, Duration, usize) {
         let span = self.metrics.span("profile");
+        let pool = self.pool();
         let mut acc = InvariantAccumulator::new();
         let mut last_count = usize::MAX;
         let mut stable_for = 0usize;
         let mut used = 0usize;
-        for input in inputs {
-            let mut tracer = ProfileTracer::new(&self.program);
-            Machine::new(&self.program, self.config.machine).run(input, &mut tracer);
-            acc.add(&tracer.into_profile());
-            used += 1;
-            let count = acc.fact_count();
-            self.metrics.push_series("profile.fact_count", count as f64);
-            if count == last_count {
-                stable_for += 1;
-                if stable_for >= patience {
-                    break;
+        let (program, mcfg) = (&self.program, self.config.machine);
+        'corpus: for batch in inputs.chunks(pool.threads()) {
+            let results = pool.par_map(batch, |input| profile_one(program, mcfg, input));
+            for (profile, frame) in results {
+                self.metrics.absorb(&frame);
+                acc.add(&profile);
+                used += 1;
+                let count = acc.fact_count();
+                self.metrics.push_series("profile.fact_count", count as f64);
+                if count == last_count {
+                    stable_for += 1;
+                    if stable_for >= patience {
+                        break 'corpus;
+                    }
+                } else {
+                    stable_for = 0;
+                    last_count = count;
                 }
-            } else {
-                stable_for = 0;
-                last_count = count;
             }
         }
         (acc.finish(), span.finish(), used)
@@ -173,4 +222,20 @@ impl Pipeline {
     ) -> OptSliceOutcome {
         crate::optslice::OptSlice::new(self, endpoints.to_vec()).run(profiling, testing)
     }
+}
+
+/// One metered profiling execution. Runs on a worker thread, so it records
+/// into a thread-local registry and ships the hook counters back as a
+/// detachable [`MetricsFrame`] for in-order absorption by the coordinator.
+fn profile_one(
+    program: &Program,
+    machine: MachineConfig,
+    input: &[i64],
+) -> (RunProfile, MetricsFrame) {
+    let local = MetricsRegistry::new();
+    let mut tracer = ProfileTracer::new(program);
+    Machine::new(program, machine)
+        .with_metrics(&local, "profile")
+        .run(input, &mut tracer);
+    (tracer.into_profile(), local.frame())
 }

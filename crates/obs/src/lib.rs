@@ -8,6 +8,9 @@
 //! - Hierarchical timing spans: [`MetricsRegistry::span`] returns an RAII
 //!   [`SpanGuard`]; nested guards accumulate under `/`-joined paths like
 //!   `optft/pred_static/pointsto`.
+//! - Thread-safe ingestion for parallel sections: per-worker
+//!   [`MetricsFrame`] shards absorbed in deterministic task order via
+//!   [`MetricsRegistry::absorb`], or a mutex-merged shared [`SyncFrame`].
 //! - [`RunReport`]: the serializable artifact of a run — counters, gauges,
 //!   series, span timings, rendered tables, nested children — with a human
 //!   text renderer ([`RunReport::render_text`]) and a stable JSON round-trip
@@ -17,10 +20,12 @@
 //! lowercase components, `<area>.<subsystem>.<metric>`, e.g.
 //! `interp.hook.load`, `pointsto.cycle_collapses`, `optft.rollback.cause.lock_alias`.
 
+mod frame;
 pub mod json;
 mod registry;
 mod report;
 
+pub use frame::{MetricsFrame, SyncFrame};
 pub use json::{Json, JsonError};
 pub use registry::{Counter, MetricsRegistry, SpanGuard, SpanStat};
 pub use report::{RunReport, SpanEntry, TableArtifact};

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
+use crate::frame::MetricsFrame;
 use crate::report::{RunReport, SpanEntry};
 
 /// A monotonic counter handle. The default handle is detached: increments
@@ -194,6 +195,61 @@ impl MetricsRegistry {
     /// Snapshot of all span statistics.
     pub fn spans(&self) -> BTreeMap<String, SpanStat> {
         self.inner.borrow().spans.clone()
+    }
+
+    /// Adds one pre-aggregated span statistic under `path` (the ingestion
+    /// counterpart of [`MetricsRegistry::span`], for merging spans timed
+    /// off-registry).
+    pub fn add_span_stat(&self, path: &str, stat: SpanStat) {
+        let mut inner = self.inner.borrow_mut();
+        let s = inner.spans.entry(path.to_string()).or_default();
+        s.total += stat.total;
+        s.count += stat.count;
+    }
+
+    /// Snapshots the registry's data into a detachable, `Send`
+    /// [`MetricsFrame`] — the sharded half of the thread-safe ingestion
+    /// path: workers record into thread-local registries (or plain
+    /// frames) and the coordinator [`absorb`](MetricsRegistry::absorb)s
+    /// the frames in deterministic task order.
+    pub fn frame(&self) -> MetricsFrame {
+        let inner = self.inner.borrow();
+        MetricsFrame {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner.gauges.clone(),
+            series: inner.series.clone(),
+            spans: inner.spans.clone(),
+        }
+    }
+
+    /// Merges a frame recorded elsewhere: counters and span stats add,
+    /// series append in call order, gauges last-write-wins. Absorbing
+    /// worker frames in task input order keeps the merged registry
+    /// identical across thread counts.
+    pub fn absorb(&self, frame: &MetricsFrame) {
+        for (name, &v) in &frame.counters {
+            if v > 0 {
+                self.counter(name).add(v);
+            } else {
+                // Register the name so zero-valued counters still appear.
+                self.counter(name);
+            }
+        }
+        for (name, &v) in &frame.gauges {
+            self.set_gauge(name, v);
+        }
+        for (name, vs) in &frame.series {
+            for &v in vs {
+                self.push_series(name, v);
+            }
+        }
+        for (path, &stat) in &frame.spans {
+            self.add_span_stat(path, stat);
+        }
     }
 
     /// Dumps the registry into a named [`RunReport`].

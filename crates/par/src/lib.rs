@@ -1,0 +1,278 @@
+//! # oha-par — scoped fork/join parallelism for the pipeline
+//!
+//! A zero-dependency (std-only) scoped thread pool used by the profiling
+//! phase and the benchmark harness. Registry crates (rayon and friends)
+//! are unavailable in the offline build environment, so — like the
+//! `vendor/` stand-ins — this crate implements exactly the surface the
+//! workspace needs:
+//!
+//! - [`scope`] / [`PoolScope::spawn`]: structured scoped threads whose
+//!   handles propagate worker panics on [`TaskHandle::join`],
+//! - [`Pool::par_map`]: an order-preserving parallel map over a slice,
+//!   scheduled as contiguous chunks (no work stealing — static chunking
+//!   keeps the execution shape reproducible and the scheduler trivial),
+//! - [`thread_count`]: the pool sizing rule, `OHA_THREADS` environment
+//!   override first, [`std::thread::available_parallelism`] otherwise.
+//!
+//! Determinism is the contract of every consumer: `par_map` returns
+//! results in input order, so folding its output sequentially yields the
+//! same bytes whether the pool has one thread or sixteen. See DESIGN.md
+//! "Parallelism".
+
+use std::env;
+use std::panic::resume_unwind;
+use std::thread::{self, Scope, ScopedJoinHandle};
+
+/// Environment variable overriding the worker-thread count (`0`, empty, or
+/// unparsable values fall back to the hardware default).
+pub const THREADS_ENV: &str = "OHA_THREADS";
+
+/// The hardware thread budget: [`std::thread::available_parallelism`],
+/// or 1 when the platform cannot report it.
+pub fn hardware_threads() -> usize {
+    thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// The pool sizing rule: the `OHA_THREADS` environment override when it
+/// parses to a positive integer, the hardware budget otherwise.
+pub fn thread_count() -> usize {
+    thread_count_from(env::var(THREADS_ENV).ok().as_deref())
+}
+
+/// [`thread_count`] with an explicit override value (testable without
+/// touching process environment).
+pub fn thread_count_from(over: Option<&str>) -> usize {
+    over.map(str::trim)
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(hardware_threads)
+}
+
+/// Runs `f` with a [`PoolScope`] that can spawn scoped worker threads; all
+/// workers are joined before `scope` returns (and an unjoined worker panic
+/// re-raises here, as with [`std::thread::scope`]).
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&PoolScope<'scope, 'env>) -> T,
+{
+    thread::scope(|s| f(&PoolScope { inner: s }))
+}
+
+/// Spawner handed to the [`scope`] closure.
+#[derive(Debug)]
+pub struct PoolScope<'scope, 'env: 'scope> {
+    inner: &'scope Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> PoolScope<'scope, 'env> {
+    /// Spawns a scoped worker; the returned handle's
+    /// [`join`](TaskHandle::join) yields the closure's result.
+    pub fn spawn<F, T>(&self, f: F) -> TaskHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        TaskHandle {
+            inner: self.inner.spawn(f),
+        }
+    }
+}
+
+/// Handle to one spawned worker.
+#[derive(Debug)]
+pub struct TaskHandle<'scope, T> {
+    inner: ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> TaskHandle<'_, T> {
+    /// Waits for the worker and returns its result, re-raising the
+    /// worker's panic on the calling thread if it panicked.
+    pub fn join(self) -> T {
+        match self.inner.join() {
+            Ok(v) => v,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+/// A fixed-width fork/join pool. Creating one is free (threads are scoped
+/// per call, not kept alive), so consumers build one wherever they need a
+/// parallel section.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized by [`thread_count`] (`OHA_THREADS` override, hardware
+    /// default).
+    pub fn from_env() -> Self {
+        Self::new(thread_count())
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` in parallel, returning results **in input
+    /// order**. Items are scheduled as contiguous chunks, one worker per
+    /// chunk (work-stealing-free: the assignment of item to worker is a
+    /// pure function of `items.len()` and the pool width). A panicking
+    /// `f` propagates to the caller. With one worker (or one item) this
+    /// degenerates to a plain serial map on the calling thread.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items.iter().map(&f).collect();
+        }
+        let chunk = items.len().div_ceil(self.threads);
+        let f = &f;
+        scope(|s| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            let mut out = Vec::with_capacity(items.len());
+            for h in handles {
+                out.extend(h.join());
+            }
+            out
+        })
+    }
+
+    /// [`par_map`](Pool::par_map) with the item index passed to `f`
+    /// (useful when workers need a per-item seed or label).
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let chunk = items.len().div_ceil(self.threads);
+        let f = &f;
+        scope(|s| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .enumerate()
+                .map(|(k, c)| {
+                    let base = k * chunk;
+                    s.spawn(move || {
+                        c.iter()
+                            .enumerate()
+                            .map(|(i, t)| f(base + i, t))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            let mut out = Vec::with_capacity(items.len());
+            for h in handles {
+                out.extend(h.join());
+            }
+            out
+        })
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 4, 16, 64] {
+            let parallel = Pool::new(threads).par_map(&items, |x| x * 3 + 1);
+            assert_eq!(parallel, serial, "order broken at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_sees_true_indices() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = Pool::new(3).par_map_indexed(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, ["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn par_map_runs_every_item_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let out = Pool::new(7).par_map(&items, |&i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out, items);
+        assert_eq!(hits.load(Ordering::Relaxed), items.len());
+    }
+
+    #[test]
+    fn par_map_propagates_worker_panics() {
+        let items: Vec<u32> = (0..32).collect();
+        let pool = Pool::new(4);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |&x| {
+                if x == 17 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }))
+        .expect_err("worker panic must reach the caller");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("boom at 17"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn scope_spawn_join_returns_values() {
+        let total = scope(|s| {
+            let a = s.spawn(|| 40);
+            let b = s.spawn(|| 2);
+            a.join() + b.join()
+        });
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn thread_count_override_rules() {
+        assert_eq!(thread_count_from(Some("3")), 3);
+        assert_eq!(thread_count_from(Some(" 8 ")), 8);
+        let hw = hardware_threads();
+        assert_eq!(thread_count_from(None), hw);
+        assert_eq!(thread_count_from(Some("")), hw);
+        assert_eq!(thread_count_from(Some("0")), hw);
+        assert_eq!(thread_count_from(Some("lots")), hw);
+        assert!(hw >= 1);
+    }
+
+    #[test]
+    fn pool_clamps_to_one_thread() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::new(5).threads(), 5);
+        let empty: Vec<i32> = Vec::new();
+        assert!(Pool::new(4).par_map(&empty, |x| *x).is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Parallel profiling in three layers: the raw `oha-par` pool, the
+//! pipeline's `threads` knob, and the `OHA_THREADS` environment override —
+//! ending with the determinism check that makes the thread count safe to
+//! crank: same seeds, same invariants, at any worker count.
+//!
+//! Run with:
+//!
+//! ```bash
+//! cargo run --release --example parallel_profiling
+//! OHA_THREADS=4 cargo run --release --example parallel_profiling
+//! ```
+
+use oha::core::{Pipeline, PipelineConfig};
+use oha::par::{thread_count, Pool};
+use oha::workloads::{java_suite, WorkloadParams};
+
+fn main() {
+    let params = WorkloadParams::small();
+    let workload = java_suite::all(&params).swap_remove(0);
+    println!(
+        "workload: {} ({} profiling inputs)",
+        workload.name,
+        workload.profiling_inputs.len()
+    );
+    println!(
+        "resolved worker threads: {} (OHA_THREADS overrides, default = available_parallelism)\n",
+        thread_count()
+    );
+
+    // Layer 1: the pool itself. `par_map` preserves input order, so the
+    // squares come back aligned with their inputs no matter how the
+    // chunks were scheduled.
+    let squares = Pool::from_env().par_map(&[1i64, 2, 3, 4, 5], |n| n * n);
+    println!("pool.par_map squares: {squares:?}");
+
+    // Layer 2: the pipeline. `threads: 0` resolves via OHA_THREADS, any
+    // other value pins the pool width for this pipeline only.
+    let auto = Pipeline::new(workload.program.clone());
+    let (invariants, elapsed) = auto.profile(&workload.profiling_inputs);
+    println!(
+        "auto-threaded profile:   {} facts in {:.1}ms",
+        invariants.fact_count(),
+        elapsed.as_secs_f64() * 1e3
+    );
+
+    // Layer 3: the contract. A serial pipeline over the same seeds lands
+    // on the byte-identical invariant set.
+    let serial = Pipeline::new(workload.program.clone()).with_config(PipelineConfig {
+        threads: 1,
+        ..PipelineConfig::default()
+    });
+    let (serial_invariants, elapsed) = serial.profile(&workload.profiling_inputs);
+    println!(
+        "single-threaded profile: {} facts in {:.1}ms",
+        serial_invariants.fact_count(),
+        elapsed.as_secs_f64() * 1e3
+    );
+    assert_eq!(
+        invariants, serial_invariants,
+        "thread count must never change the profiled invariants"
+    );
+    println!("\ninvariant sets identical across thread counts ✓");
+}

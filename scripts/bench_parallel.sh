@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Measures the wall-clock effect of the oha-par fan-out: runs fig5 (workload
+# fan-out) and fig8 (profiling fan-out inside each workload) on the smoke
+# workload scale at OHA_THREADS=1 vs OHA_THREADS=N, and writes the timings
+# plus host metadata to BENCH_parallel.json at the repo root.
+#
+# Usage: ./scripts/bench_parallel.sh [N]   (default N=4)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THREADS="${1:-4}"
+OUT="BENCH_parallel.json"
+BINS=(fig5_optft_runtimes fig8_slice_convergence)
+
+cargo build --release -q -p oha-bench
+
+time_run() { # bin threads -> seconds (median of 3)
+    local bin="$1" threads="$2"
+    python3 - "$bin" "$threads" <<'EOF'
+import subprocess, sys, time, statistics, os
+bin_name, threads = sys.argv[1], sys.argv[2]
+env = dict(os.environ, OHA_SMOKE="1", OHA_THREADS=threads)
+samples = []
+for _ in range(3):
+    start = time.perf_counter()
+    subprocess.run([f"./target/release/{bin_name}"], env=env,
+                   stdout=subprocess.DEVNULL, check=True)
+    samples.append(time.perf_counter() - start)
+print(f"{statistics.median(samples):.4f}")
+EOF
+}
+
+declare -A SERIAL PARALLEL
+for bin in "${BINS[@]}"; do
+    echo "==> $bin (OHA_THREADS=1)" >&2
+    SERIAL[$bin]="$(time_run "$bin" 1)"
+    echo "==> $bin (OHA_THREADS=$THREADS)" >&2
+    PARALLEL[$bin]="$(time_run "$bin" "$THREADS")"
+done
+
+python3 - "$THREADS" "$OUT" <<EOF
+import json, sys
+
+threads, out = int(sys.argv[1]), sys.argv[2]
+serial = {"fig5_optft_runtimes": ${SERIAL[fig5_optft_runtimes]},
+          "fig8_slice_convergence": ${SERIAL[fig8_slice_convergence]}}
+parallel = {"fig5_optft_runtimes": ${PARALLEL[fig5_optft_runtimes]},
+            "fig8_slice_convergence": ${PARALLEL[fig8_slice_convergence]}}
+
+import os
+try:  # what Rust's available_parallelism sees: the affinity mask, not raw cores
+    cores = len(os.sched_getaffinity(0))
+except AttributeError:
+    cores = os.cpu_count()
+report = {
+    "harness": "scripts/bench_parallel.sh",
+    "workload_scale": "OHA_SMOKE=1 (WorkloadParams::small)",
+    "samples_per_point": 3,
+    "aggregate": "median",
+    "host": {
+        "available_parallelism": cores,
+    },
+    "threads_compared": [1, threads],
+    "benches": {
+        name: {
+            "serial_s": serial[name],
+            "parallel_s": parallel[name],
+            "speedup": round(serial[name] / parallel[name], 3)
+                       if parallel[name] else None,
+        }
+        for name in sorted(serial)
+    },
+}
+with open(out, "w") as f:
+    json.dump(report, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(json.dumps(report["benches"], indent=2))
+EOF
+
+echo "wrote $OUT" >&2

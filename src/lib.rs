@@ -14,6 +14,8 @@
 //! * [`invariants`] — likely-invariant profiling, merging and checking,
 //! * [`obs`] — metrics registry, timing spans and machine-readable run
 //!   reports shared by the pipeline and the benchmark harness,
+//! * [`par`] — a std-only scoped thread pool with an order-preserving
+//!   `par_map`, sized by `OHA_THREADS` / the hardware,
 //! * [`fasttrack`] — the FastTrack dynamic race detector and its hybrid and
 //!   optimistic variants,
 //! * [`giri`] — the dynamic backward slicer and its variants,
@@ -48,6 +50,7 @@ pub use oha_interp as interp;
 pub use oha_invariants as invariants;
 pub use oha_ir as ir;
 pub use oha_obs as obs;
+pub use oha_par as par;
 pub use oha_pointsto as pointsto;
 pub use oha_races as races;
 pub use oha_slicing as slicing;

@@ -1,0 +1,170 @@
+//! Serial vs parallel determinism: the profiling phase fans out over the
+//! `oha-par` pool, and the contract is that thread count is unobservable
+//! in every result — same seeds in, byte-identical `InvariantSet`s and
+//! counter-identical reports out, whether `OHA_THREADS=1` or N. Only
+//! wall-clock span timings may differ.
+
+use oha::core::{Pipeline, PipelineConfig};
+use oha::workloads::{c_suite, java_suite, Workload, WorkloadParams};
+
+fn with_threads(threads: usize) -> PipelineConfig {
+    PipelineConfig {
+        threads,
+        ..PipelineConfig::default()
+    }
+}
+
+/// Both suites at unit-test scale.
+fn all_workloads() -> Vec<Workload> {
+    let params = WorkloadParams::small();
+    java_suite::all(&params)
+        .into_iter()
+        .chain(c_suite::all(&params))
+        .collect()
+}
+
+#[test]
+fn profile_is_thread_count_invariant() {
+    for w in all_workloads() {
+        let (base, _) = Pipeline::new(w.program.clone())
+            .with_config(with_threads(1))
+            .profile(&w.profiling_inputs);
+        // 0 = auto (OHA_THREADS env override, then the hardware), so the
+        // default path is covered under whatever the harness sets.
+        for threads in [2, 4, 0] {
+            let (set, _) = Pipeline::new(w.program.clone())
+                .with_config(with_threads(threads))
+                .profile(&w.profiling_inputs);
+            assert_eq!(
+                set, base,
+                "{}: {threads} threads changed the invariant set",
+                w.name
+            );
+            assert_eq!(
+                format!("{set:?}"),
+                format!("{base:?}"),
+                "{}: {threads} threads changed the set's rendering",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn profile_until_stable_is_thread_count_invariant() {
+    for w in all_workloads() {
+        let serial = Pipeline::new(w.program.clone()).with_config(with_threads(1));
+        let (base_set, _, base_used) = serial.profile_until_stable(&w.profiling_inputs, 3);
+        for threads in [2, 4] {
+            let parallel = Pipeline::new(w.program.clone()).with_config(with_threads(threads));
+            let (set, _, used) = parallel.profile_until_stable(&w.profiling_inputs, 3);
+            assert_eq!(
+                set, base_set,
+                "{}: {threads} threads changed the stabilized set",
+                w.name
+            );
+            assert_eq!(
+                used, base_used,
+                "{}: {threads} threads changed the consumed-run count",
+                w.name
+            );
+            // The convergence curve and every absorbed worker counter
+            // (profile.hook.*) must match the serial run exactly.
+            assert_eq!(
+                parallel.metrics().series_values("profile.fact_count"),
+                serial.metrics().series_values("profile.fact_count"),
+                "{}: {threads} threads changed the fact-count curve",
+                w.name
+            );
+            assert_eq!(
+                parallel.metrics().counters(),
+                serial.metrics().counters(),
+                "{}: {threads} threads changed the counters",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn optft_reports_are_thread_count_invariant() {
+    let params = WorkloadParams::small();
+    let mut picks = Vec::new();
+    picks.push(java_suite::all(&params).swap_remove(0));
+    picks.push(c_suite::all(&params).swap_remove(0));
+    for w in picks {
+        let run = |threads: usize| {
+            Pipeline::new(w.program.clone())
+                .with_config(with_threads(threads))
+                .run_optft(&w.profiling_inputs, &w.testing_inputs)
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.invariants, parallel.invariants, "{}", w.name);
+        assert_eq!(
+            serial.profiling_runs_used, parallel.profiling_runs_used,
+            "{}",
+            w.name
+        );
+        assert_eq!(serial.baseline_races, parallel.baseline_races, "{}", w.name);
+        assert_eq!(
+            serial.optimistic_races, parallel.optimistic_races,
+            "{}",
+            w.name
+        );
+        // Non-timing report content: counters, series and metadata are
+        // deterministic; spans and the timing-derived gauges are not.
+        assert_eq!(
+            serial.report.counters, parallel.report.counters,
+            "{}: report counters differ across thread counts",
+            w.name
+        );
+        assert_eq!(serial.report.series, parallel.report.series, "{}", w.name);
+        assert_eq!(serial.report.meta, parallel.report.meta, "{}", w.name);
+    }
+}
+
+#[test]
+fn optslice_reports_are_thread_count_invariant() {
+    let params = WorkloadParams::small();
+    let w = c_suite::all(&params).swap_remove(1);
+    let run = |threads: usize| {
+        Pipeline::new(w.program.clone())
+            .with_config(with_threads(threads))
+            .run_optslice(&w.profiling_inputs, &w.testing_inputs, &w.endpoints)
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial.report.counters, parallel.report.counters,
+        "{}: report counters differ across thread counts",
+        w.name
+    );
+    assert_eq!(serial.report.series, parallel.report.series, "{}", w.name);
+}
+
+#[test]
+fn pool_sizing_honors_config_then_env() {
+    let params = WorkloadParams::small();
+    let program = java_suite::all(&params).swap_remove(0).program;
+    let prev = std::env::var("OHA_THREADS").ok();
+
+    std::env::set_var("OHA_THREADS", "3");
+    let auto = Pipeline::new(program.clone()).with_config(with_threads(0));
+    assert_eq!(
+        auto.pool().threads(),
+        3,
+        "threads=0 resolves via OHA_THREADS"
+    );
+    let explicit = Pipeline::new(program).with_config(with_threads(2));
+    assert_eq!(
+        explicit.pool().threads(),
+        2,
+        "explicit config wins over env"
+    );
+
+    match prev {
+        Some(v) => std::env::set_var("OHA_THREADS", v),
+        None => std::env::remove_var("OHA_THREADS"),
+    }
+}
