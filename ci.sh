@@ -37,7 +37,10 @@ stage() {
 bench_smoke() {
     local out
     out="$(mktemp -d)"
-    trap 'rm -rf "$out"' RETURN
+    # The trap must uninstall itself: RETURN traps persist past the
+    # function that set them, and a second firing (at the caller's return)
+    # would hit an unbound $out under `set -u`.
+    trap 'rm -rf "$out"; trap - RETURN' RETURN
     local bin
     for bin in fig5_optft_runtimes table1_optft_endtoend; do
         echo "    smoke: $bin --json $out/$bin.json"
@@ -62,6 +65,37 @@ if not report["children"]:
     done
 }
 
+# A one-shot probe_solver run (small workload scale) through
+# scripts/bench_static.sh, which must leave a parsable BENCH_static.json
+# with optimized-vs-reference solver timings for every workload/config.
+bench_static() {
+    # Quick mode: without cargo-bench's --bench flag the vendored criterion
+    # runs every bench body exactly once, so a broken bench fails the gate
+    # in ~1s instead of a full measurement pass.
+    OHA_SMOKE=1 cargo test --release -q -p oha-bench --bench static_phase
+    OHA_SMOKE=1 ./scripts/bench_static.sh 1 >/dev/null
+    python3 -c '
+import json, sys
+with open("BENCH_static.json") as f:
+    report = json.load(f)
+for key in ("harness", "host", "benches"):
+    if key not in report:
+        sys.exit(f"BENCH_static.json: missing {key!r}")
+if not report["benches"]:
+    sys.exit("BENCH_static.json: no benches recorded")
+for name, b in report["benches"].items():
+    for field in ("optimized_s", "reference_s", "speedup", "solver_iterations"):
+        if field not in b:
+            sys.exit(f"BENCH_static.json: {name} missing {field!r}")
+' || {
+        echo "bench-static: BENCH_static.json unparsable or incomplete" >&2
+        return 1
+    }
+    # The smoke run just validated the harness; restore the committed
+    # benchmark-scale measurements.
+    git checkout -- BENCH_static.json 2>/dev/null || true
+}
+
 stage "cargo fmt --check" cargo fmt --check
 stage "cargo clippy (workspace, all targets, warnings are errors)" \
     cargo clippy --workspace --all-targets -- -D warnings
@@ -75,5 +109,6 @@ fi
 stage "cargo build --release" cargo build --release
 stage "cargo test (release)" cargo test --release -q
 stage "bench-smoke (fig5 + table1, --json)" bench_smoke
+stage "bench-static (probe_solver vs reference, BENCH_static.json)" bench_static
 
 echo "CI green."

@@ -1,0 +1,98 @@
+//! Criterion benchmarks for the static-analysis phase the tentpole
+//! optimization targets: the Andersen solver fixpoint (word-parallel
+//! difference propagation vs. the naive per-bit reference engine), the
+//! backward slicer's transitive closure, and the FastTrack epoch inner
+//! loop that consumes the shrunken instrumentation set.
+//!
+//! Run via `scripts/bench_static.sh` (or `cargo bench --bench
+//! static_phase`); `OHA_SMOKE=1` shrinks the workloads for CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use oha_core::Pipeline;
+use oha_fasttrack::Detector;
+use oha_interp::{Addr, ObjId, ThreadId};
+use oha_ir::InstId;
+use oha_pointsto::{analyze, analyze_reference, PointsToConfig, Sensitivity};
+use oha_slicing::{slice, SliceConfig};
+use oha_workloads::{c_suite, WorkloadParams};
+
+fn small_params() -> WorkloadParams {
+    // Criterion iterates each body many times; unit-test scale keeps a
+    // full run under a few minutes while preserving the solver's shape.
+    WorkloadParams::small()
+}
+
+fn bench_solver_fixpoint(c: &mut Criterion) {
+    let params = small_params();
+    let mut g = c.benchmark_group("solver_fixpoint");
+    for w in [c_suite::vim(&params), c_suite::go(&params)] {
+        let (inv, _) = Pipeline::new(w.program.clone()).profile(&w.profiling_inputs);
+        let pred = PointsToConfig {
+            sensitivity: Sensitivity::ContextSensitive,
+            invariants: Some(&inv),
+            ..PointsToConfig::default()
+        };
+        g.bench_function(&format!("optimized_sound_ci_{}", w.name), |b| {
+            b.iter(|| analyze(black_box(&w.program), &PointsToConfig::default()).unwrap());
+        });
+        g.bench_function(&format!("reference_sound_ci_{}", w.name), |b| {
+            b.iter(|| {
+                analyze_reference(black_box(&w.program), &PointsToConfig::default()).unwrap()
+            });
+        });
+        g.bench_function(&format!("optimized_pred_cs_{}", w.name), |b| {
+            b.iter(|| analyze(black_box(&w.program), &pred).unwrap());
+        });
+        g.bench_function(&format!("reference_pred_cs_{}", w.name), |b| {
+            b.iter(|| analyze_reference(black_box(&w.program), &pred).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_slicer_closure(c: &mut Criterion) {
+    let params = small_params();
+    let w = c_suite::vim(&params);
+    let pt = analyze(&w.program, &PointsToConfig::default()).unwrap();
+    let mut g = c.benchmark_group("slicer_closure");
+    g.bench_function("transitive_closure_vim", |b| {
+        b.iter(|| {
+            slice(
+                &w.program,
+                &pt,
+                black_box(&w.endpoints),
+                &SliceConfig::default(),
+            )
+            .unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_fasttrack_epoch_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fasttrack_epoch");
+    g.bench_function("same_epoch_rw_loop", |b| {
+        let mut d = Detector::new();
+        d.fork(ThreadId(0), ThreadId(1));
+        let addrs: Vec<Addr> = (0..256u32).map(|i| Addr::new(ObjId(i), 0)).collect();
+        for &a in &addrs {
+            d.write(ThreadId(0), a, InstId::new(1));
+        }
+        b.iter(|| {
+            for &a in &addrs {
+                d.write(ThreadId(0), black_box(a), InstId::new(1));
+                d.read(ThreadId(0), black_box(a), InstId::new(2));
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_solver_fixpoint, bench_slicer_closure, bench_fasttrack_epoch_loop
+}
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Solver probe: times the static points-to phase per workload and prints
+//! one JSON object with wall times and solver statistics. This is the
+//! driver behind `scripts/bench_static.sh` (which wraps the output with
+//! host metadata into `BENCH_static.json`).
+//!
+//! Two configurations per workload, matching the phases the paper's
+//! pipeline actually runs:
+//!
+//! * `sound_ci` — context-insensitive analysis with no invariants;
+//! * `pred_cs` — the predicated context-sensitive analysis (profile-derived
+//!   invariants), the phase the tentpole optimization targets.
+//!
+//! With `--reference`, each configuration is also solved by the naive
+//! iterate-to-fixpoint reference solver (`analyze_reference`) — the seed's
+//! per-bit propagation strategy — so the word-parallel speedup is measured
+//! against a live baseline rather than asserted from memory.
+
+use std::time::Instant;
+
+use oha_core::Pipeline;
+use oha_pointsto::{analyze, analyze_reference, PointsTo, PointsToConfig, Sensitivity};
+use oha_workloads::{c_suite, java_suite, Workload};
+
+struct Sample {
+    config: &'static str,
+    optimized_s: f64,
+    reference_s: Option<f64>,
+    iterations: u64,
+    cycle_collapses: u64,
+    scc_collapses: u64,
+    words_unioned: u64,
+    worklist_pops: u64,
+}
+
+fn time_analyze(
+    w: &Workload,
+    config: &PointsToConfig<'_>,
+    reference: bool,
+) -> (f64, Option<f64>, PointsTo) {
+    let start = Instant::now();
+    let pt = analyze(&w.program, config).expect("solver budget");
+    let optimized_s = start.elapsed().as_secs_f64();
+    let reference_s = reference.then(|| {
+        let start = Instant::now();
+        let _ = analyze_reference(&w.program, config).expect("reference solver budget");
+        start.elapsed().as_secs_f64()
+    });
+    (optimized_s, reference_s, pt)
+}
+
+fn probe(w: &Workload, reference: bool) -> Vec<Sample> {
+    let mut samples = Vec::new();
+
+    let sound = PointsToConfig::default();
+    let (optimized_s, reference_s, pt) = time_analyze(w, &sound, reference);
+    samples.push(sample("sound_ci", optimized_s, reference_s, &pt));
+
+    // The predicated phase: profile-derived invariants + bottom-up cloning.
+    let (inv, _) = Pipeline::new(w.program.clone()).profile(&w.profiling_inputs);
+    let pred = PointsToConfig {
+        sensitivity: Sensitivity::ContextSensitive,
+        invariants: Some(&inv),
+        ..PointsToConfig::default()
+    };
+    let (optimized_s, reference_s, pt) = time_analyze(w, &pred, reference);
+    samples.push(sample("pred_cs", optimized_s, reference_s, &pt));
+    samples
+}
+
+fn sample(
+    config: &'static str,
+    optimized_s: f64,
+    reference_s: Option<f64>,
+    pt: &PointsTo,
+) -> Sample {
+    let stats = pt.stats();
+    Sample {
+        config,
+        optimized_s,
+        reference_s,
+        iterations: stats.solver_iterations,
+        cycle_collapses: stats.cycle_collapses,
+        scc_collapses: stats.scc_collapses,
+        words_unioned: stats.words_unioned,
+        worklist_pops: stats.worklist_pops,
+    }
+}
+
+fn main() {
+    let reference = std::env::args().any(|a| a == "--reference");
+    let params = oha_bench::params();
+    let workloads: Vec<Workload> = java_suite::all(&params)
+        .into_iter()
+        .chain(c_suite::all(&params))
+        .collect();
+
+    let mut entries = Vec::new();
+    for w in &workloads {
+        eprintln!("probe: {}", w.name);
+        for s in probe(w, reference) {
+            let reference_s = match s.reference_s {
+                Some(t) => format!("{t:.6}"),
+                None => "null".to_string(),
+            };
+            entries.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"config\": \"{}\", ",
+                    "\"optimized_s\": {:.6}, \"reference_s\": {}, ",
+                    "\"iterations\": {}, \"cycle_collapses\": {}, ",
+                    "\"scc_collapses\": {}, \"words_unioned\": {}, ",
+                    "\"worklist_pops\": {}}}"
+                ),
+                w.name,
+                s.config,
+                s.optimized_s,
+                reference_s,
+                s.iterations,
+                s.cycle_collapses,
+                s.scc_collapses,
+                s.words_unioned,
+                s.worklist_pops,
+            ));
+        }
+    }
+    println!("{{\n  \"samples\": [\n{}\n  ]\n}}", entries.join(",\n"));
+}

@@ -21,9 +21,32 @@ use std::fmt;
 /// assert!(a.union_with(&b) == false, "b added nothing new");
 /// assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 70]);
 /// ```
-#[derive(Clone, Default, PartialEq, Eq, Hash)]
+#[derive(Clone, Default)]
 pub struct BitSet {
     words: Vec<u64>,
+}
+
+// Equality and hashing must ignore trailing zero words: `clear()` keeps the
+// allocation (zero-filled), so two sets with the same bits may differ in
+// word-vector length.
+impl PartialEq for BitSet {
+    fn eq(&self, other: &BitSet) -> bool {
+        let (a, b) = (&self.words, &other.words);
+        let shared = a.len().min(b.len());
+        a[..shared] == b[..shared]
+            && a[shared..].iter().all(|&w| w == 0)
+            && b[shared..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for BitSet {}
+
+impl std::hash::Hash for BitSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let sig = self.significant_words();
+        sig.len().hash(state);
+        sig.hash(state);
+    }
 }
 
 impl BitSet {
@@ -81,9 +104,56 @@ impl BitSet {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Removes all bits.
+    /// Removes all bits, keeping the backing allocation so the set can be
+    /// reused in hot loops without reallocating.
     pub fn clear(&mut self) {
-        self.words.clear();
+        self.words.fill(0);
+    }
+
+    /// Number of bits the set can hold before its word vector grows.
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Drops trailing zero words and releases surplus heap capacity.
+    pub fn shrink_to_fit(&mut self) {
+        let sig = self.significant_words().len();
+        self.words.truncate(sig);
+        self.words.shrink_to_fit();
+    }
+
+    /// The word-vector prefix up to and including the last nonzero word.
+    fn significant_words(&self) -> &[u64] {
+        let sig = self
+            .words
+            .iter()
+            .rposition(|&w| w != 0)
+            .map_or(0, |i| i + 1);
+        &self.words[..sig]
+    }
+
+    /// Word-parallel difference propagation: unions `self` into `pts`, and
+    /// records every bit that was new to `pts` in `delta`. Returns `true`
+    /// if `pts` changed. This is the solver's hot path: one pass of 64-bit
+    /// word operations replaces a per-bit insert loop.
+    pub fn union_into(&self, pts: &mut BitSet, delta: &mut BitSet) -> bool {
+        let src = self.significant_words();
+        if src.len() > pts.words.len() {
+            pts.words.resize(src.len(), 0);
+        }
+        let mut changed = false;
+        for (i, (&s, p)) in src.iter().zip(pts.words.iter_mut()).enumerate() {
+            let new = s & !*p;
+            if new != 0 {
+                *p |= new;
+                if i >= delta.words.len() {
+                    delta.words.resize(src.len(), 0);
+                }
+                delta.words[i] |= new;
+                changed = true;
+            }
+        }
+        changed
     }
 
     /// Unions `other` into `self`; returns `true` if `self` changed.
@@ -198,6 +268,16 @@ impl Iterator for Iter<'_> {
             self.bits = self.set.words[self.word];
         }
     }
+
+    // Popcount-free bounds: the upper bound assumes every remaining word
+    // position could be set; the lower bound only promises the bit already
+    // staged in `bits`.
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let later_words = self.set.words.len().saturating_sub(self.word + 1);
+        let current = if self.bits != 0 { 64 } else { 0 };
+        let lower = usize::from(self.bits != 0);
+        (lower, Some(current + later_words * 64))
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +339,76 @@ mod tests {
         assert!(s.is_subset(&BitSet::new()));
         assert!(!s.intersects(&BitSet::new()));
         assert_eq!(format!("{s:?}"), "{}");
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_equality_ignores_trailing_zeros() {
+        let mut s: BitSet = [3, 500].into_iter().collect();
+        let cap = s.capacity();
+        assert!(cap >= 512);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), cap, "clear keeps the allocation");
+        assert_eq!(s, BitSet::new(), "zero-filled words compare empty");
+
+        s.insert(3);
+        let fresh: BitSet = [3].into_iter().collect();
+        assert_eq!(s, fresh, "trailing zero words are ignored by Eq");
+        let hash = |b: &BitSet| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            b.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&s), hash(&fresh), "equal sets hash equal");
+
+        s.shrink_to_fit();
+        assert_eq!(s.capacity(), 64, "shrink drops trailing zero words");
+        assert!(s.contains(3));
+    }
+
+    #[test]
+    fn union_into_extracts_the_changed_bits() {
+        let src: BitSet = [1, 63, 64, 200].into_iter().collect();
+        let mut pts: BitSet = [1, 200, 300].into_iter().collect();
+        let mut delta = BitSet::new();
+        assert!(src.union_into(&mut pts, &mut delta));
+        assert_eq!(pts.iter().collect::<Vec<_>>(), vec![1, 63, 64, 200, 300]);
+        assert_eq!(
+            delta.iter().collect::<Vec<_>>(),
+            vec![63, 64],
+            "delta holds exactly the bits new to pts"
+        );
+        // Idempotent: a second pass changes nothing and leaves delta alone.
+        assert!(!src.union_into(&mut pts, &mut delta));
+        assert_eq!(delta.iter().collect::<Vec<_>>(), vec![63, 64]);
+    }
+
+    #[test]
+    fn union_into_from_cleared_source_is_a_no_op() {
+        let mut src: BitSet = [700].into_iter().collect();
+        src.clear();
+        let mut pts = BitSet::new();
+        let mut delta = BitSet::new();
+        assert!(!src.union_into(&mut pts, &mut delta));
+        assert!(pts.is_empty() && delta.is_empty());
+        assert_eq!(pts.capacity(), 0, "zero-filled source does not grow pts");
+    }
+
+    #[test]
+    fn size_hint_bounds_the_remaining_bits() {
+        let s: BitSet = [0, 63, 64, 1000].into_iter().collect();
+        let mut it = s.iter();
+        let (lo, hi) = it.size_hint();
+        assert!(lo <= 4 && hi.unwrap() >= 4);
+        for seen in 1..=4 {
+            it.next().unwrap();
+            let remaining = 4 - seen;
+            let (lo, hi) = it.size_hint();
+            assert!(lo <= remaining, "lower bound {lo} > {remaining} left");
+            assert!(hi.unwrap() >= remaining);
+        }
+        assert_eq!(it.size_hint(), (0, Some(0)), "exhausted iterator");
     }
 
     #[test]

@@ -106,23 +106,24 @@ impl ReachingDefs {
         for i in 0..f.params.len() {
             r#in[0].insert(i);
         }
+        // One reusable scratch set instead of two fresh clones per block
+        // per pass; the analysis is monotone, so IN can grow in place.
+        let mut scratch = BitSet::with_capacity(num_sites);
         let mut changed = true;
         while changed {
             changed = false;
             for &bid in cfg.rpo() {
                 let bi = cfg.local(bid);
-                let mut input = r#in[bi].clone();
+                let mut input = std::mem::take(&mut r#in[bi]);
                 for p in cfg.graph().preds(bi) {
                     input.union_with(&out[p]);
                 }
+                scratch.clear();
+                scratch.union_with(&input);
                 r#in[bi] = input;
-                let mut o = r#in[bi].clone();
-                o.subtract(&kill[bi]);
-                o.union_with(&gen[bi]);
-                if o != out[bi] {
-                    out[bi] = o;
-                    changed = true;
-                }
+                scratch.subtract(&kill[bi]);
+                scratch.union_with(&gen[bi]);
+                changed |= out[bi].union_with(&scratch);
             }
         }
 

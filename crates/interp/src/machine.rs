@@ -2,6 +2,7 @@
 //! instruction execution loop.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use oha_ir::{BlockId, Callee, CmpOp, FuncId, InstId, InstKind, Operand, Program, Reg, Terminator};
 use oha_obs::{Counter, MetricsRegistry};
@@ -334,7 +335,9 @@ struct LockState {
 pub struct Machine<'p> {
     program: &'p Program,
     config: MachineConfig,
-    metrics: HookCounters,
+    /// Shared by handle: every run construction and counting tracer holds
+    /// the same `Rc` instead of paying an O(counters) clone per execution.
+    metrics: Rc<HookCounters>,
 }
 
 impl<'p> Machine<'p> {
@@ -343,14 +346,14 @@ impl<'p> Machine<'p> {
         Self {
             program,
             config,
-            metrics: HookCounters::default(),
+            metrics: Rc::new(HookCounters::default()),
         }
     }
 
     /// Attaches hook-dispatch and scheduler counters registered in
     /// `registry` under `prefix` (builder-style).
     pub fn with_metrics(mut self, registry: &MetricsRegistry, prefix: &str) -> Self {
-        self.metrics = HookCounters::attached(registry, prefix);
+        self.metrics = Rc::new(HookCounters::attached(registry, prefix));
         self
     }
 
@@ -375,14 +378,14 @@ impl<'p> Machine<'p> {
         let sched = Scheduler::Random(SplitMix64(self.config.seed));
         let mut counting = crate::tracer::CountingTracer {
             inner: tracer,
-            counters: self.metrics.clone(),
+            counters: Rc::clone(&self.metrics),
         };
         Execution::new(
             self.program,
             self.config,
             input,
             sched,
-            self.metrics.clone(),
+            Rc::clone(&self.metrics),
         )
         .run(&mut counting)
         .0
@@ -399,14 +402,14 @@ impl<'p> Machine<'p> {
         let sched = Scheduler::Recording(SplitMix64(self.config.seed), ScheduleTrace::default());
         let mut counting = crate::tracer::CountingTracer {
             inner: tracer,
-            counters: self.metrics.clone(),
+            counters: Rc::clone(&self.metrics),
         };
         let (result, sched) = Execution::new(
             self.program,
             self.config,
             input,
             sched,
-            self.metrics.clone(),
+            Rc::clone(&self.metrics),
         )
         .run(&mut counting);
         match sched {
@@ -427,14 +430,14 @@ impl<'p> Machine<'p> {
         let sched = Scheduler::Replaying(trace.clone(), 0);
         let mut counting = crate::tracer::CountingTracer {
             inner: tracer,
-            counters: self.metrics.clone(),
+            counters: Rc::clone(&self.metrics),
         };
         Execution::new(
             self.program,
             self.config,
             input,
             sched,
-            self.metrics.clone(),
+            Rc::clone(&self.metrics),
         )
         .run(&mut counting)
         .0
@@ -453,7 +456,7 @@ struct Execution<'p, 'i> {
     next_frame: u64,
     steps: u64,
     outputs: Vec<(InstId, Value)>,
-    counters: HookCounters,
+    counters: Rc<HookCounters>,
 }
 
 enum StepOutcome {
@@ -469,7 +472,7 @@ impl<'p, 'i> Execution<'p, 'i> {
         config: MachineConfig,
         input: &'i [i64],
         scheduler: Scheduler,
-        counters: HookCounters,
+        counters: Rc<HookCounters>,
     ) -> Self {
         let mut exec = Self {
             program,

@@ -179,7 +179,7 @@ impl<A: Tracer, B: Tracer> Tracer for MultiTracer<A, B> {
 /// interpreter loop) guarantees the counters equal the dispatch counts.
 pub(crate) struct CountingTracer<'a, T> {
     pub(crate) inner: &'a mut T,
-    pub(crate) counters: crate::machine::HookCounters,
+    pub(crate) counters: std::rc::Rc<crate::machine::HookCounters>,
 }
 
 impl<T: Tracer> Tracer for CountingTracer<'_, T> {

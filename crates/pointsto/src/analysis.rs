@@ -10,8 +10,9 @@ use oha_invariants::{InvariantSet, MAX_CONTEXT_DEPTH};
 use oha_ir::{Callee, FuncId, InstId, InstKind, Operand, Program, Reg, Terminator};
 
 use crate::model::{pointee_as_cell, pointee_of_cell, pointee_of_func, AbsObj, ObjRegistry};
+use crate::reference::ReferenceSolver;
 use crate::results::{PointsTo, PtStats};
-use crate::solver::{Complex, Solver};
+use crate::solver::{Complex, ConstraintSolver, Solver};
 
 /// Context handling of the analysis (paper §3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -131,7 +132,30 @@ struct SiteInstance {
 /// # Ok::<(), oha_pointsto::Exhausted>(())
 /// ```
 pub fn analyze(program: &Program, config: &PointsToConfig<'_>) -> Result<PointsTo, Exhausted> {
-    Builder::new(program, config).run()
+    Builder::<Solver>::new(program, config).run()
+}
+
+/// Runs the points-to analysis on the naive iterate-to-fixpoint reference
+/// solver instead of the optimized difference-propagation engine.
+///
+/// The least solution of an inclusion constraint system is unique and the
+/// builder drives both engines identically (indirect-call targets are wired
+/// in sorted order), so the returned [`PointsTo`] must match [`analyze`]
+/// bit for bit — except for the solver-internal [`PtStats`] counters. The
+/// equivalence property test and `scripts/bench_static.sh` both rely on
+/// this entry point; it is not part of the supported API surface.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the clone or solver budget is exceeded, like
+/// [`analyze`] (the reference engine burns its iteration budget much
+/// faster — it re-applies every constraint per pass).
+#[doc(hidden)]
+pub fn analyze_reference(
+    program: &Program,
+    config: &PointsToConfig<'_>,
+) -> Result<PointsTo, Exhausted> {
+    Builder::<ReferenceSolver>::new(program, config).run()
 }
 
 /// Stable hash of a calling context: the function instantiated plus the
@@ -150,11 +174,11 @@ pub fn ctx_hash(func: FuncId, chain: &[InstId]) -> u64 {
     h
 }
 
-struct Builder<'p, 'c> {
+struct Builder<'p, 'c, S: ConstraintSolver> {
     program: &'p Program,
     config: &'c PointsToConfig<'c>,
     registry: ObjRegistry,
-    solver: Solver,
+    solver: S,
     ctxs: Vec<CtxInfo>,
     var_nodes: HashMap<(u32, u32, u32), u32>,
     ret_nodes: HashMap<(u32, u32), u32>,
@@ -167,14 +191,14 @@ struct Builder<'p, 'c> {
     queue: Vec<(u32, FuncId)>,
 }
 
-impl<'p, 'c> Builder<'p, 'c> {
+impl<'p, 'c, S: ConstraintSolver> Builder<'p, 'c, S> {
     fn new(program: &'p Program, config: &'c PointsToConfig<'c>) -> Self {
         let registry = ObjRegistry::new(program);
         Self {
             program,
             config,
             registry,
-            solver: Solver::new(),
+            solver: S::default(),
             ctxs: Vec::new(),
             var_nodes: HashMap::new(),
             ret_nodes: HashMap::new(),
@@ -312,13 +336,19 @@ impl<'p, 'c> Builder<'p, 'c> {
             while let Some((ctx, func)) = self.queue.pop() {
                 self.instantiate(ctx, func)?;
             }
-            // Solve; wire any newly discovered indirect targets.
-            let discovered = self
+            // Solve; wire any newly discovered indirect targets. Wiring
+            // happens in sorted order so the context/cell numbering does
+            // not depend on the solver's internal propagation order —
+            // that is what lets the reference engine reproduce the
+            // optimized engine's results bit for bit.
+            let mut discovered = self
                 .solver
                 .solve(&self.registry, self.config.solver_budget)?;
             if discovered.is_empty() && self.queue.is_empty() {
                 break;
             }
+            discovered.sort_unstable_by_key(|&(site, f)| (site, f.raw()));
+            discovered.dedup();
             for (site_key, func) in discovered {
                 self.wire_indirect(site_key, func)?;
             }
@@ -596,13 +626,17 @@ impl<'p, 'c> Builder<'p, 'c> {
                     .extend(cells.iter().copied());
             }
         }
+        let solver_stats = self.solver.stats();
         let stats = PtStats {
             nodes: self.solver.num_nodes(),
             contexts: self.ctxs.len(),
             clone_budget: self.config.clone_budget,
             copy_edges: self.solver.num_copy_edges(),
-            solver_iterations: self.solver.iterations,
-            cycle_collapses: self.solver.cycle_collapses,
+            solver_iterations: solver_stats.iterations,
+            cycle_collapses: solver_stats.cycle_collapses,
+            scc_collapses: solver_stats.scc_collapses,
+            words_unioned: solver_stats.words_unioned,
+            worklist_pops: solver_stats.worklist_pops,
             num_cells: self.registry.num_cells(),
         };
         Ok(PointsTo::new(

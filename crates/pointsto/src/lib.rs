@@ -28,9 +28,12 @@
 
 mod analysis;
 mod model;
+#[cfg(test)]
+mod proptests;
+mod reference;
 mod results;
 mod solver;
 
-pub use analysis::{analyze, ctx_hash, Exhausted, PointsToConfig, Sensitivity};
+pub use analysis::{analyze, analyze_reference, ctx_hash, Exhausted, PointsToConfig, Sensitivity};
 pub use model::{AbsObj, ObjRegistry};
 pub use results::{PointsTo, PtStats};

@@ -1,0 +1,165 @@
+//! A deliberately naive inclusion-constraint solver.
+//!
+//! No worklist, no difference propagation, no cycle collapse: every pass
+//! re-applies every constraint against every node's *full* points-to set,
+//! bit by bit, until nothing changes. This is the textbook O(V·E)
+//! fixpoint — trivially auditable, and the least solution of an inclusion
+//! constraint system is unique, so the optimized [`crate::solver::Solver`]
+//! must compute exactly the same sets. The equivalence property test and
+//! the `bench_static` speedup measurement both lean on that.
+
+use std::collections::HashSet;
+
+use oha_dataflow::BitSet;
+use oha_ir::FuncId;
+
+use crate::analysis::Exhausted;
+use crate::model::{pointee_as_cell, pointee_as_func, pointee_of_cell, ObjRegistry};
+use crate::solver::{Complex, ConstraintSolver, SolverStats};
+
+#[derive(Debug, Default)]
+pub(crate) struct ReferenceSolver {
+    pts: Vec<BitSet>,
+    copies: Vec<(u32, u32)>,
+    complex: Vec<(u32, Complex)>,
+    cell_nodes: Vec<u32>,
+    /// `(site_key, func)` pairs already returned to the builder, so repeat
+    /// `solve` calls only report genuinely new resolutions (matching the
+    /// optimized solver's delta-driven behaviour).
+    reported: HashSet<(u32, u32)>,
+    iterations: u64,
+}
+
+impl ReferenceSolver {
+    fn cell_node(&mut self, cell: u32) -> u32 {
+        while self.cell_nodes.len() <= cell as usize {
+            self.cell_nodes.push(u32::MAX);
+        }
+        if self.cell_nodes[cell as usize] == u32::MAX {
+            let n = self.add_node();
+            self.cell_nodes[cell as usize] = n;
+        }
+        self.cell_nodes[cell as usize]
+    }
+
+    fn add_edge(&mut self, from: u32, to: u32) -> bool {
+        if from == to || self.copies.contains(&(from, to)) {
+            return false;
+        }
+        self.copies.push((from, to));
+        true
+    }
+}
+
+impl ConstraintSolver for ReferenceSolver {
+    fn add_node(&mut self) -> u32 {
+        let id = self.pts.len() as u32;
+        self.pts.push(BitSet::new());
+        id
+    }
+
+    fn add_pointee(&mut self, node: u32, pointee: usize) {
+        self.pts[node as usize].insert(pointee);
+    }
+
+    fn add_copy(&mut self, from: u32, to: u32) {
+        self.add_edge(from, to);
+    }
+
+    fn add_complex(&mut self, node: u32, c: Complex) {
+        self.complex.push((node, c));
+    }
+
+    fn pts(&self, node: u32) -> &BitSet {
+        &self.pts[node as usize]
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.pts.len()
+    }
+
+    fn num_copy_edges(&self) -> usize {
+        self.copies.len()
+    }
+
+    fn solve(
+        &mut self,
+        registry: &ObjRegistry,
+        budget: u64,
+    ) -> Result<Vec<(u32, FuncId)>, Exhausted> {
+        let mut found: Vec<(u32, FuncId)> = Vec::new();
+        loop {
+            let mut changed = false;
+            // Copy edges: per-bit insertion of the source's full set.
+            for i in 0..self.copies.len() {
+                let (from, to) = self.copies[i];
+                self.iterations += 1;
+                if self.iterations > budget {
+                    return Err(Exhausted {
+                        reason: format!("reference solver exceeded {budget} iterations"),
+                    });
+                }
+                for p in self.pts[from as usize].clone().iter() {
+                    changed |= self.pts[to as usize].insert(p);
+                }
+            }
+            // Complex constraints, interpreted against full sets.
+            for i in 0..self.complex.len() {
+                let (node, c) = self.complex[i];
+                let pointees: Vec<usize> = self.pts[node as usize].iter().collect();
+                match c {
+                    Complex::Load { dst, offset } => {
+                        for p in pointees {
+                            if let Some(cell) = pointee_as_cell(p) {
+                                if let Some(shifted) = registry.cell_offset(cell, offset) {
+                                    let cn = self.cell_node(shifted);
+                                    changed |= self.add_edge(cn, dst);
+                                }
+                            }
+                        }
+                    }
+                    Complex::Store { src, offset } => {
+                        for p in pointees {
+                            if let Some(cell) = pointee_as_cell(p) {
+                                if let Some(shifted) = registry.cell_offset(cell, offset) {
+                                    let cn = self.cell_node(shifted);
+                                    changed |= self.add_edge(src, cn);
+                                }
+                            }
+                        }
+                    }
+                    Complex::Offset { dst, offset } => {
+                        for p in pointees {
+                            if let Some(cell) = pointee_as_cell(p) {
+                                if let Some(shifted) = registry.cell_offset(cell, offset) {
+                                    changed |=
+                                        self.pts[dst as usize].insert(pointee_of_cell(shifted));
+                                }
+                            }
+                        }
+                    }
+                    Complex::CallTarget { site_key } => {
+                        for p in pointees {
+                            if let Some(f) = pointee_as_func(p) {
+                                if self.reported.insert((site_key, f.raw())) {
+                                    found.push((site_key, f));
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return Ok(found);
+            }
+        }
+    }
+
+    fn stats(&self) -> SolverStats {
+        SolverStats {
+            iterations: self.iterations,
+            ..SolverStats::default()
+        }
+    }
+}

@@ -22,8 +22,16 @@ pub struct PtStats {
     pub copy_edges: usize,
     /// Worklist iterations performed.
     pub solver_iterations: u64,
-    /// Two-node copy cycles unified during solving.
+    /// Copy-cycle nodes unified during solving (each merged loser counts
+    /// once, whether found by the two-node fast path or a Tarjan pass).
     pub cycle_collapses: u64,
+    /// Multi-node strongly connected components collapsed by the periodic
+    /// Tarjan pass.
+    pub scc_collapses: u64,
+    /// 64-bit words scanned by word-parallel set unions.
+    pub words_unioned: u64,
+    /// Worklist entries popped by the solver.
+    pub worklist_pops: u64,
     /// Memory cells tracked.
     pub num_cells: u32,
 }
@@ -37,6 +45,18 @@ impl PtStats {
             self.solver_iterations,
         );
         registry.add(&format!("{prefix}.cycle_collapses"), self.cycle_collapses);
+        registry.set_gauge(
+            &format!("{prefix}.scc_collapses"),
+            self.scc_collapses as f64,
+        );
+        registry.set_gauge(
+            &format!("{prefix}.words_unioned"),
+            self.words_unioned as f64,
+        );
+        registry.set_gauge(
+            &format!("{prefix}.worklist_pops"),
+            self.worklist_pops as f64,
+        );
         registry.set_gauge(&format!("{prefix}.nodes"), self.nodes as f64);
         registry.set_gauge(&format!("{prefix}.contexts"), self.contexts as f64);
         registry.set_gauge(&format!("{prefix}.copy_edges"), self.copy_edges as f64);

@@ -7,8 +7,16 @@
 //! growing the graph. Newly discovered indirect-call targets are returned to
 //! the caller (the analysis builder), which wires argument/return edges —
 //! and in context-sensitive mode may clone new contexts — before resuming.
-
-use std::collections::HashSet;
+//!
+//! Propagation is word-parallel: a whole delta is unioned into a
+//! successor's `pts`/`delta` with 64-bit word operations
+//! ([`BitSet::union_into`]) instead of a per-bit insert loop, and the solve
+//! loop borrows each node's successor/constraint lists by take-and-restore
+//! instead of cloning them every iteration. Copy cycles are collapsed two
+//! ways: two-node cycles on the spot when the reverse edge is inserted, and
+//! larger strongly connected components by a periodic iterative Tarjan pass
+//! over the copy graph ([`Solver::collapse_sccs`]), triggered by an
+//! edge-growth heuristic and feeding the same union-find.
 
 use oha_dataflow::BitSet;
 use oha_ir::FuncId;
@@ -31,36 +39,91 @@ pub(crate) enum Complex {
     CallTarget { site_key: u32 },
 }
 
+/// Aggregate solver counters, surfaced through [`crate::PtStats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct SolverStats {
+    pub(crate) iterations: u64,
+    pub(crate) cycle_collapses: u64,
+    pub(crate) scc_collapses: u64,
+    pub(crate) words_unioned: u64,
+    pub(crate) worklist_pops: u64,
+}
+
+/// The constraint-solver surface the analysis builder drives.
+///
+/// The production implementation is [`Solver`]; the equivalence tests and
+/// the speedup benchmark drive the same builder over
+/// [`crate::reference::ReferenceSolver`] to prove (and measure against) a
+/// naive iterate-to-fixpoint engine that computes the identical result.
+pub(crate) trait ConstraintSolver: Default {
+    /// Allocates a fresh solver node and returns its id.
+    fn add_node(&mut self) -> u32;
+    /// Adds a pointee to a node's set, scheduling propagation if new.
+    fn add_pointee(&mut self, node: u32, pointee: usize);
+    /// Adds the copy edge `from → to`.
+    fn add_copy(&mut self, from: u32, to: u32);
+    /// Attaches a complex constraint to `node`.
+    fn add_complex(&mut self, node: u32, c: Complex);
+    /// The current points-to set of `node`.
+    fn pts(&self, node: u32) -> &BitSet;
+    /// Number of solver nodes.
+    fn num_nodes(&self) -> usize;
+    /// Number of copy edges.
+    fn num_copy_edges(&self) -> usize;
+    /// Runs to quiescence; returns newly discovered `(site_key, func)`
+    /// indirect-call resolutions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Exhausted`] if the iteration budget is exceeded.
+    fn solve(
+        &mut self,
+        registry: &ObjRegistry,
+        budget: u64,
+    ) -> Result<Vec<(u32, FuncId)>, Exhausted>;
+    /// Aggregate counters for reporting.
+    fn stats(&self) -> SolverStats;
+}
+
+/// Minimum edge growth before a Tarjan pass is considered.
+const COLLAPSE_MIN_GROWTH: usize = 32;
+
 #[derive(Debug, Default)]
 pub(crate) struct Solver {
     pts: Vec<BitSet>,
     delta: Vec<BitSet>,
+    /// Per-node sorted successor lists (dedup by binary search) — replaces
+    /// the old global `HashSet<(u32, u32)>` edge set.
     copy_succs: Vec<Vec<u32>>,
     complex: Vec<Vec<Complex>>,
-    edge_set: HashSet<(u32, u32)>,
     /// Solver node per registry cell (created lazily).
     cell_nodes: Vec<u32>,
     worklist: Vec<u32>,
     queued: Vec<bool>,
-    /// Union-find parents: two-node copy cycles (`a → b` and `b → a`) are
-    /// unified online, since both nodes provably reach the same fixpoint
-    /// set. Every public entry point normalizes through [`Solver::find`].
+    /// Union-find parents. Two-node copy cycles (`a → b` and `b → a`) are
+    /// unified the moment the reverse edge appears; larger cycles are
+    /// folded in by the periodic Tarjan pass. Every public entry point
+    /// normalizes through [`Solver::find`].
     repr: Vec<u32>,
+    /// Copy edges currently in the graph (kept exact by re-counting after
+    /// each collapse pass).
+    num_edges: usize,
+    /// `num_edges` as of the last Tarjan pass, for the growth heuristic.
+    edges_at_last_collapse: usize,
     pub(crate) iterations: u64,
     pub(crate) cycle_collapses: u64,
+    pub(crate) scc_collapses: u64,
+    pub(crate) words_unioned: u64,
+    pub(crate) worklist_pops: u64,
 }
 
 impl Solver {
-    pub(crate) fn new() -> Self {
-        Self::default()
-    }
-
     pub(crate) fn num_nodes(&self) -> usize {
         self.pts.len()
     }
 
     pub(crate) fn num_copy_edges(&self) -> usize {
-        self.edge_set.len()
+        self.num_edges
     }
 
     pub(crate) fn add_node(&mut self) -> u32 {
@@ -84,22 +147,30 @@ impl Solver {
         n
     }
 
-    /// Merges `loser` into `winner` after a two-node copy cycle was found.
+    /// Merges `loser` into `winner` (both must be representatives).
     /// Re-adding the loser's pointees, constraints and out-edges through the
-    /// public entry points reschedules whatever propagation is still owed.
+    /// public entry points reschedules whatever propagation is still owed;
+    /// the loser's pending delta can be dropped because its full set merges
+    /// into the winner and any bits new to the winner land in the winner's
+    /// delta.
     fn unify(&mut self, winner: u32, loser: u32) {
         self.cycle_collapses += 1;
         self.repr[loser as usize] = winner;
         self.delta[loser as usize] = BitSet::new();
         let pts = std::mem::take(&mut self.pts[loser as usize]);
-        for p in pts.iter() {
-            self.add_pointee(winner, p);
+        self.words_unioned += (pts.capacity() / 64) as u64;
+        if pts.union_into(
+            &mut self.pts[winner as usize],
+            &mut self.delta[winner as usize],
+        ) {
+            self.enqueue(winner);
         }
         let complexes = std::mem::take(&mut self.complex[loser as usize]);
         for c in complexes {
             self.add_complex(winner, c);
         }
         let succs = std::mem::take(&mut self.copy_succs[loser as usize]);
+        self.num_edges -= succs.len();
         for s in succs {
             self.add_copy(winner, s);
         }
@@ -133,35 +204,47 @@ impl Solver {
         }
     }
 
-    /// Adds the copy edge `from → to` and propagates `from`'s current set.
-    /// If the reverse edge already exists the two nodes form a cycle and are
-    /// unified instead.
+    /// Adds the copy edge `from → to` and propagates `from`'s current set
+    /// word-parallel. If the reverse edge already exists the two nodes form
+    /// a cycle and are unified instead.
     pub(crate) fn add_copy(&mut self, from: u32, to: u32) {
         let from = self.find(from);
         let to = self.find(to);
-        if from == to || !self.edge_set.insert((from, to)) {
+        if from == to {
             return;
         }
-        if self.edge_set.contains(&(to, from)) {
-            self.unify(from, to);
-            return;
+        match self.copy_succs[from as usize].binary_search(&to) {
+            Ok(_) => return,
+            Err(pos) => {
+                if self.copy_succs[to as usize].binary_search(&from).is_ok() {
+                    self.unify(from, to);
+                    return;
+                }
+                self.copy_succs[from as usize].insert(pos, to);
+                self.num_edges += 1;
+            }
         }
-        self.copy_succs[from as usize].push(to);
         // Propagate everything already known at `from`.
-        let pending: Vec<usize> = self.pts[from as usize].iter().collect();
-        for p in pending {
-            self.add_pointee(to, p);
+        let src = std::mem::take(&mut self.pts[from as usize]);
+        self.words_unioned += (src.capacity() / 64) as u64;
+        if src.union_into(&mut self.pts[to as usize], &mut self.delta[to as usize]) {
+            self.enqueue(to);
         }
+        self.pts[from as usize] = src;
     }
 
     pub(crate) fn add_complex(&mut self, node: u32, c: Complex) {
         let node = self.find(node);
         self.complex[node as usize].push(c);
-        // Interpret the constraint against everything already known.
-        if !self.pts[node as usize].is_empty() {
-            self.delta[node as usize].union_with(&self.pts[node as usize].clone());
+        // Interpret the constraint against everything already known by
+        // restaging the full set as a pending delta (no clone: the set is
+        // taken out for the duration of the in-place union).
+        let pts = std::mem::take(&mut self.pts[node as usize]);
+        if !pts.is_empty() {
+            self.delta[node as usize].union_with(&pts);
             self.enqueue(node);
         }
+        self.pts[node as usize] = pts;
     }
 
     pub(crate) fn pts(&self, node: u32) -> &BitSet {
@@ -170,6 +253,143 @@ impl Solver {
             n = self.repr[n as usize];
         }
         &self.pts[n as usize]
+    }
+
+    /// Growth heuristic for the periodic Tarjan pass: fire once the copy
+    /// graph has gained at least [`COLLAPSE_MIN_GROWTH`] edges since the
+    /// last pass *and* that growth is at least a quarter of the graph —
+    /// deterministic, and amortizes the O(V+E) pass against real growth.
+    fn should_collapse(&self) -> bool {
+        // Saturating: two-node fast-path unifications can shrink the edge
+        // count below the last pass's snapshot.
+        let grown = self.num_edges.saturating_sub(self.edges_at_last_collapse);
+        grown >= COLLAPSE_MIN_GROWTH && grown * 4 >= self.num_edges
+    }
+
+    /// Snapshot adjacency of the copy graph at union-find representative
+    /// level: successors mapped through [`Solver::find`], self-loops
+    /// dropped, sorted and deduplicated.
+    fn rep_adjacency(&mut self) -> Vec<Vec<u32>> {
+        let n = self.pts.len();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for node in 0..n as u32 {
+            if self.find(node) != node {
+                continue;
+            }
+            let succs = std::mem::take(&mut self.copy_succs[node as usize]);
+            let mut out: Vec<u32> = Vec::with_capacity(succs.len());
+            for &s in &succs {
+                let r = self.find(s);
+                if r != node {
+                    out.push(r);
+                }
+            }
+            self.copy_succs[node as usize] = succs;
+            out.sort_unstable();
+            out.dedup();
+            adj[node as usize] = out;
+        }
+        adj
+    }
+
+    /// Strongly connected components of `adj` (iterative Tarjan), visiting
+    /// roots in ascending node order so the output is deterministic.
+    fn tarjan(adj: &[Vec<u32>]) -> Vec<Vec<u32>> {
+        const UNVISITED: u32 = u32::MAX;
+        let n = adj.len();
+        let mut index = vec![UNVISITED; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+        let mut next = 0u32;
+        let mut comps = Vec::new();
+        for root in 0..n as u32 {
+            if index[root as usize] != UNVISITED {
+                continue;
+            }
+            frames.push((root, 0));
+            while let Some(&(v, ci)) = frames.last() {
+                if index[v as usize] == UNVISITED {
+                    index[v as usize] = next;
+                    low[v as usize] = next;
+                    next += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                }
+                if let Some(&w) = adj[v as usize].get(ci) {
+                    frames.last_mut().expect("frame exists").1 += 1;
+                    if index[w as usize] == UNVISITED {
+                        frames.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        low[v as usize] = low[v as usize].min(index[w as usize]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(p, _)) = frames.last() {
+                        low[p as usize] = low[p as usize].min(low[v as usize]);
+                    }
+                    if low[v as usize] == index[v as usize] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("stack holds the component");
+                            on_stack[w as usize] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comps.push(comp);
+                    }
+                }
+            }
+        }
+        comps
+    }
+
+    /// Collapses every multi-node strongly connected component of the copy
+    /// graph into its minimum-id member via the union-find, then normalizes
+    /// the surviving successor lists and re-counts edges. Each multi-node
+    /// component bumps `scc_collapses` once (and `cycle_collapses` once per
+    /// merged loser, same as the two-node fast path).
+    fn collapse_sccs(&mut self) {
+        let adj = self.rep_adjacency();
+        for comp in Self::tarjan(&adj) {
+            if comp.len() < 2 {
+                continue;
+            }
+            self.scc_collapses += 1;
+            let winner = *comp.iter().min().expect("non-empty component");
+            for &node in &comp {
+                if node == winner {
+                    continue;
+                }
+                let loser = self.find(node);
+                let w = self.find(winner);
+                if loser != w {
+                    self.unify(w, loser);
+                }
+            }
+        }
+        // Normalize surviving successor lists (map through find, drop
+        // self-loops and duplicates) and restore an exact edge count.
+        let mut total = 0;
+        for node in 0..self.pts.len() as u32 {
+            if self.find(node) != node {
+                continue;
+            }
+            let mut succs = std::mem::take(&mut self.copy_succs[node as usize]);
+            for s in succs.iter_mut() {
+                *s = self.find(*s);
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            succs.retain(|&s| s != node);
+            total += succs.len();
+            self.copy_succs[node as usize] = succs;
+        }
+        self.num_edges = total;
+        self.edges_at_last_collapse = total;
     }
 
     /// Runs to quiescence; returns newly discovered `(site_key, func)`
@@ -187,28 +407,45 @@ impl Solver {
         let mut discovered = Vec::new();
         while let Some(node) = self.worklist.pop() {
             self.queued[node as usize] = false;
+            self.worklist_pops += 1;
             self.iterations += 1;
             if self.iterations > budget {
                 return Err(Exhausted {
                     reason: format!("solver exceeded {budget} iterations"),
                 });
             }
+            if self.should_collapse() {
+                self.collapse_sccs();
+            }
+            // The popped id may have been unified away since it was queued;
+            // its pending delta lives at the representative.
+            let node = self.find(node);
             let delta = std::mem::take(&mut self.delta[node as usize]);
             if delta.is_empty() {
                 continue;
             }
 
-            // Copy edges.
-            let succs = self.copy_succs[node as usize].clone();
-            for s in succs {
-                for p in delta.iter() {
-                    self.add_pointee(s, p);
+            // Copy edges: one word-parallel union per successor. The list
+            // is taken, not cloned — nothing on this path can touch
+            // `copy_succs[node]`, so restoring it directly is safe.
+            let succs = std::mem::take(&mut self.copy_succs[node as usize]);
+            for &s in &succs {
+                let s = self.find(s);
+                if s == node {
+                    continue;
+                }
+                self.words_unioned += (delta.capacity() / 64) as u64;
+                if delta.union_into(&mut self.pts[s as usize], &mut self.delta[s as usize]) {
+                    self.enqueue(s);
                 }
             }
+            self.copy_succs[node as usize] = succs;
 
-            // Complex constraints.
-            let complexes = self.complex[node as usize].clone();
-            for c in complexes {
+            // Complex constraints, also by take-and-restore. Interpreting
+            // them can add edges and thereby unify `node` away as a cycle
+            // loser, so the restore must route through the representative.
+            let complexes = std::mem::take(&mut self.complex[node as usize]);
+            for &c in &complexes {
                 match c {
                     Complex::Load { dst, offset } => {
                         for p in delta.iter() {
@@ -248,8 +485,63 @@ impl Solver {
                     }
                 }
             }
+            let rep = self.find(node);
+            if rep == node {
+                self.complex[node as usize] = complexes;
+            } else {
+                // `node` lost a unification while its list was out:
+                // re-attach through the public entry point, which also
+                // reschedules interpretation against the merged set.
+                for c in complexes {
+                    self.add_complex(rep, c);
+                }
+            }
         }
         Ok(discovered)
+    }
+
+    pub(crate) fn stats(&self) -> SolverStats {
+        SolverStats {
+            iterations: self.iterations,
+            cycle_collapses: self.cycle_collapses,
+            scc_collapses: self.scc_collapses,
+            words_unioned: self.words_unioned,
+            worklist_pops: self.worklist_pops,
+        }
+    }
+}
+
+impl ConstraintSolver for Solver {
+    fn add_node(&mut self) -> u32 {
+        Solver::add_node(self)
+    }
+    fn add_pointee(&mut self, node: u32, pointee: usize) {
+        Solver::add_pointee(self, node, pointee);
+    }
+    fn add_copy(&mut self, from: u32, to: u32) {
+        Solver::add_copy(self, from, to);
+    }
+    fn add_complex(&mut self, node: u32, c: Complex) {
+        Solver::add_complex(self, node, c);
+    }
+    fn pts(&self, node: u32) -> &BitSet {
+        Solver::pts(self, node)
+    }
+    fn num_nodes(&self) -> usize {
+        Solver::num_nodes(self)
+    }
+    fn num_copy_edges(&self) -> usize {
+        Solver::num_copy_edges(self)
+    }
+    fn solve(
+        &mut self,
+        registry: &ObjRegistry,
+        budget: u64,
+    ) -> Result<Vec<(u32, FuncId)>, Exhausted> {
+        Solver::solve(self, registry, budget)
+    }
+    fn stats(&self) -> SolverStats {
+        Solver::stats(self)
     }
 }
 
@@ -270,7 +562,7 @@ mod tests {
     #[test]
     fn copy_edges_propagate() {
         let reg = empty_registry();
-        let mut s = Solver::new();
+        let mut s = Solver::default();
         let a = s.add_node();
         let b = s.add_node();
         let c = s.add_node();
@@ -293,7 +585,7 @@ mod tests {
             },
             1,
         ); // cell 1
-        let mut s = Solver::new();
+        let mut s = Solver::default();
         let p = s.add_node();
         let q = s.add_node();
         let r = s.add_node();
@@ -309,7 +601,7 @@ mod tests {
     fn offsets_respect_object_bounds() {
         let mut reg = empty_registry();
         reg.intern(AbsObj::Global(GlobalId::new(9)), 2); // cells 0,1
-        let mut s = Solver::new();
+        let mut s = Solver::default();
         let p = s.add_node();
         let q1 = s.add_node();
         let q9 = s.add_node();
@@ -324,7 +616,7 @@ mod tests {
     #[test]
     fn call_targets_reported_once() {
         let reg = empty_registry();
-        let mut s = Solver::new();
+        let mut s = Solver::default();
         let t = s.add_node();
         s.add_complex(t, Complex::CallTarget { site_key: 3 });
         s.add_pointee(t, crate::model::pointee_of_func(oha_ir::FuncId::new(2)));
@@ -337,7 +629,7 @@ mod tests {
     #[test]
     fn two_node_cycles_collapse() {
         let reg = empty_registry();
-        let mut s = Solver::new();
+        let mut s = Solver::default();
         let a = s.add_node();
         let b = s.add_node();
         let c = s.add_node();
@@ -356,9 +648,56 @@ mod tests {
     }
 
     #[test]
+    fn multi_node_cycles_collapse_via_tarjan() {
+        let reg = empty_registry();
+        let mut s = Solver::default();
+        let a = s.add_node();
+        let b = s.add_node();
+        let c = s.add_node();
+        let d = s.add_node();
+        s.add_copy(a, b);
+        s.add_copy(b, c);
+        s.add_copy(c, a); // three-node cycle: no reverse edge to fast-path on
+        s.add_copy(c, d);
+        s.add_pointee(a, pointee_of_cell(0));
+        assert_eq!(s.cycle_collapses, 0, "no two-node fast path fired");
+        s.collapse_sccs();
+        assert_eq!(s.scc_collapses, 1, "one multi-node component found");
+        assert_eq!(s.cycle_collapses, 2, "two losers merged into the winner");
+        let rep = s.find(a);
+        assert_eq!(rep, a, "minimum-id member wins deterministically");
+        assert_eq!(s.find(b), rep);
+        assert_eq!(s.find(c), rep);
+        s.solve(&reg, 1_000).unwrap();
+        for n in [a, b, c, d] {
+            assert!(s.pts(n).contains(pointee_of_cell(0)));
+        }
+        assert_eq!(s.num_copy_edges(), 1, "only the collapsed a→d edge is left");
+    }
+
+    #[test]
+    fn growth_heuristic_triggers_collapse_during_solve() {
+        let reg = empty_registry();
+        let mut s = Solver::default();
+        let nodes: Vec<u32> = (0..40).map(|_| s.add_node()).collect();
+        for w in nodes.windows(2) {
+            s.add_copy(w[0], w[1]);
+        }
+        s.add_copy(*nodes.last().unwrap(), nodes[0]); // close the 40-cycle
+        s.add_pointee(nodes[0], pointee_of_cell(0));
+        s.solve(&reg, 10_000).unwrap();
+        assert!(s.scc_collapses >= 1, "edge growth tripped the Tarjan pass");
+        let rep = s.find(nodes[0]);
+        for &n in &nodes {
+            assert_eq!(s.find(n), rep, "whole cycle shares one representative");
+            assert!(s.pts(n).contains(pointee_of_cell(0)));
+        }
+    }
+
+    #[test]
     fn budget_exhaustion_errors() {
         let reg = empty_registry();
-        let mut s = Solver::new();
+        let mut s = Solver::default();
         let nodes: Vec<u32> = (0..100).map(|_| s.add_node()).collect();
         for w in nodes.windows(2) {
             s.add_copy(w[0], w[1]);

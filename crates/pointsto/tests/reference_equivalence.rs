@@ -1,0 +1,102 @@
+//! End-to-end equivalence: [`analyze`] (word-parallel difference
+//! propagation, cycle collapse) against [`analyze_reference`] (naive
+//! iterate-to-fixpoint), over every synthetic Java and C workload.
+//!
+//! The builder normalizes the order in which discovered indirect-call
+//! targets are wired, so the two engines assign identical context and cell
+//! numbers and every externally observable query must agree bit for bit.
+
+use oha_pointsto::{analyze, analyze_reference, PointsTo, PointsToConfig, Sensitivity};
+use oha_workloads::{c_suite, java_suite, Workload, WorkloadParams};
+
+fn assert_equivalent(w: &Workload, config: &PointsToConfig<'_>, label: &str) {
+    // Clone-budget exhaustion (the paper's "sound CS cannot complete") is
+    // decided by the builder, not the solver, so the engines must agree on
+    // it too — same outcome, same reason.
+    match (
+        analyze(&w.program, config),
+        analyze_reference(&w.program, config),
+    ) {
+        (Ok(opt), Ok(naive)) => assert_same_results(w, label, &opt, &naive),
+        (Err(a), Err(b)) => assert_eq!(
+            a.reason, b.reason,
+            "{}/{label}: engines exhausted for different reasons",
+            w.name
+        ),
+        (Ok(_), Err(e)) => panic!(
+            "{}/{label}: only the reference solver exhausted: {}",
+            w.name, e.reason
+        ),
+        (Err(e), Ok(_)) => panic!(
+            "{}/{label}: only the optimized solver exhausted: {}",
+            w.name, e.reason
+        ),
+    }
+}
+
+fn assert_same_results(w: &Workload, label: &str, opt: &PointsTo, naive: &PointsTo) {
+    for inst in w.program.inst_ids() {
+        assert_eq!(
+            opt.load_cells(inst),
+            naive.load_cells(inst),
+            "{}/{label}: load cells diverge at {inst:?}",
+            w.name
+        );
+        assert_eq!(
+            opt.store_cells(inst),
+            naive.store_cells(inst),
+            "{}/{label}: store cells diverge at {inst:?}",
+            w.name
+        );
+        assert_eq!(
+            opt.lock_cells(inst),
+            naive.lock_cells(inst),
+            "{}/{label}: lock cells diverge at {inst:?}",
+            w.name
+        );
+        assert_eq!(
+            opt.callees(inst),
+            naive.callees(inst),
+            "{}/{label}: callees diverge at {inst:?}",
+            w.name
+        );
+    }
+    assert_eq!(
+        opt.stats().contexts,
+        naive.stats().contexts,
+        "{}/{label}: context counts diverge",
+        w.name
+    );
+    assert_eq!(
+        opt.stats().num_cells,
+        naive.stats().num_cells,
+        "{}/{label}: cell counts diverge",
+        w.name
+    );
+    let (a, b) = (opt.alias_rate(), naive.alias_rate());
+    assert!(
+        (a - b).abs() < 1e-12,
+        "{}/{label}: alias rates diverge ({a} vs {b})",
+        w.name
+    );
+}
+
+#[test]
+fn optimized_and_reference_agree_on_every_workload() {
+    let params = WorkloadParams::small();
+    let ci = PointsToConfig {
+        sensitivity: Sensitivity::ContextInsensitive,
+        ..PointsToConfig::default()
+    };
+    let cs = PointsToConfig {
+        sensitivity: Sensitivity::ContextSensitive,
+        ..PointsToConfig::default()
+    };
+    for w in java_suite::all(&params)
+        .iter()
+        .chain(c_suite::all(&params).iter())
+    {
+        assert_equivalent(w, &ci, "sound_ci");
+        assert_equivalent(w, &cs, "sound_cs");
+    }
+}

@@ -109,11 +109,10 @@ impl Mhp {
         let main_dom = DomTree::new(&main_cfg);
         let mut main_on_cycle = vec![false; main_cfg.len()];
         for (i, on_cycle) in main_on_cycle.iter_mut().enumerate() {
-            // On a cycle iff reachable from one of its own successors.
-            let succs: Vec<usize> = main_cfg.graph().succs(i).collect();
-            *on_cycle = succs
-                .iter()
-                .any(|&s| main_cfg.graph().reachable_from([s]).contains(i));
+            // On a cycle iff reachable from one of its own successors —
+            // `main_mp[s]` already holds everything reachable from `s`, so
+            // this is a lookup, not a fresh graph walk per successor.
+            *on_cycle = main_cfg.graph().succs(i).any(|s| main_mp[s].contains(i));
         }
 
         let mut main_pos = HashMap::new();

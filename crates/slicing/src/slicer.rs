@@ -264,21 +264,26 @@ impl<'p, 'c> Slicer<'p, 'c> {
         self.ctxs[root as usize].parent = root;
         let mut queue = vec![root];
         let mut spawn_roots: HashMap<(InstId, u32), u32> = HashMap::new();
+        // Copies of the `&'p` references: the borrows below must outlive
+        // the `&mut self` context mutations inside the loop, which they can
+        // only do when taken from the fields' own lifetime, not from
+        // `&self`.
+        let program = self.program;
+        let pt = self.pt;
         while let Some(c) = queue.pop() {
             let func = self.ctxs[c as usize].func;
-            let f = self.program.function(func).clone();
+            let f = program.function(func);
             for &bid in &f.blocks {
                 if self.pruned(bid) {
                     continue;
                 }
-                for inst in &self.program.block(bid).insts {
+                for inst in &program.block(bid).insts {
                     let (is_call, is_spawn) = match inst.kind {
                         InstKind::Call { .. } => (true, false),
                         InstKind::Spawn { .. } => (false, true),
                         _ => continue,
                     };
-                    let targets: Vec<FuncId> = self.pt.callees(inst.id).iter().copied().collect();
-                    for callee in targets {
+                    for &callee in pt.callees(inst.id) {
                         if is_spawn {
                             let key = (inst.id, callee.raw());
                             let cc = match spawn_roots.get(&key) {
@@ -385,7 +390,9 @@ impl<'p, 'c> Slicer<'p, 'c> {
                     }
                     insts.insert(inst.index());
                     let func = self.program.func_of_inst(inst);
-                    let kind = self.program.inst(inst).kind.clone();
+                    // Borrow from the `&'p Program` field so no per-visit
+                    // `InstKind` clone (argument vectors included) is needed.
+                    let kind = &self.program.inst(inst).kind;
 
                     // Register uses → reaching definitions.
                     for r in kind.uses() {
@@ -403,8 +410,7 @@ impl<'p, 'c> Slicer<'p, 'c> {
 
                     // Call results → callee returns.
                     if let InstKind::Call { dst: Some(_), .. } = kind {
-                        let targets: Vec<FuncId> = self.pt.callees(inst).iter().copied().collect();
-                        for callee in targets {
+                        for &callee in self.pt.callees(inst) {
                             let Some(cc) = self.callee_ctx(ctx, inst, callee) else {
                                 continue;
                             };
@@ -466,9 +472,9 @@ impl<'p, 'c> Slicer<'p, 'c> {
                 }
                 Node::Param(ctx, func_raw, p) => {
                     // Parameter values flow from the arguments of every
-                    // creator call/spawn site of this context.
-                    let creators = self.creators[ctx as usize].clone();
-                    for (pc, site) in creators {
+                    // creator call/spawn site of this context (borrowed in
+                    // place — the loop body only reads `self`).
+                    for &(pc, site) in &self.creators[ctx as usize] {
                         let caller = self.program.func_of_inst(site);
                         // In CI mode `creators[0]` holds every call site;
                         // keep only those that call this function.

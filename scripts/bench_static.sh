@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Measures the static points-to phase: the word-parallel
+# difference-propagation solver vs. the naive per-bit reference engine
+# (`probe_solver --reference`), per workload and per configuration
+# (sound CI / predicated CS), and writes per-sample medians plus host
+# metadata to BENCH_static.json at the repo root.
+#
+# Usage: ./scripts/bench_static.sh [runs]   (default runs=3)
+# OHA_SMOKE=1 shrinks the workloads to unit-test scale (CI validation);
+# the committed BENCH_static.json is generated at full benchmark scale.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${1:-3}"
+OUT="BENCH_static.json"
+
+cargo build --release -q -p oha-bench
+
+TMPDIR_SAMPLES="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_SAMPLES"' EXIT
+for i in $(seq 1 "$RUNS"); do
+    echo "==> probe_solver --reference (run $i/$RUNS)" >&2
+    ./target/release/probe_solver --reference > "$TMPDIR_SAMPLES/run$i.json"
+done
+
+python3 - "$OUT" "$RUNS" "$TMPDIR_SAMPLES" <<'EOF'
+import json, os, statistics, sys
+
+out, runs, tmpdir = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+by_key = {}
+for i in range(1, runs + 1):
+    with open(os.path.join(tmpdir, f"run{i}.json")) as f:
+        for s in json.load(f)["samples"]:
+            by_key.setdefault((s["workload"], s["config"]), []).append(s)
+
+try:  # what Rust's available_parallelism sees: the affinity mask
+    cores = len(os.sched_getaffinity(0))
+except AttributeError:
+    cores = os.cpu_count()
+
+benches = {}
+for (workload, config), samples in sorted(by_key.items()):
+    optimized = statistics.median(s["optimized_s"] for s in samples)
+    reference = statistics.median(s["reference_s"] for s in samples)
+    last = samples[-1]
+    benches[f"{workload}.{config}"] = {
+        "optimized_s": round(optimized, 6),
+        "reference_s": round(reference, 6),
+        "speedup": round(reference / optimized, 3) if optimized else None,
+        "solver_iterations": last["iterations"],
+        "cycle_collapses": last["cycle_collapses"],
+        "scc_collapses": last["scc_collapses"],
+        "words_unioned": last["words_unioned"],
+        "worklist_pops": last["worklist_pops"],
+    }
+
+smoke = os.environ.get("OHA_SMOKE") == "1"
+report = {
+    "harness": "scripts/bench_static.sh",
+    "workload_scale": ("OHA_SMOKE=1 (WorkloadParams::small)" if smoke
+                       else "WorkloadParams::benchmark"),
+    "samples_per_point": runs,
+    "aggregate": "median",
+    "host": {
+        "available_parallelism": cores,
+    },
+    "comparison": ("optimized = word-parallel difference propagation with "
+                   "online cycle collapse; reference = naive per-bit "
+                   "iterate-to-fixpoint engine (analyze_reference), both "
+                   "computing bit-identical PointsTo results"),
+    "benches": benches,
+}
+with open(out, "w") as f:
+    json.dump(report, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(json.dumps({k: v["speedup"] for k, v in benches.items()}, indent=2))
+EOF
+
+echo "wrote $OUT" >&2

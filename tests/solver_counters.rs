@@ -1,0 +1,73 @@
+//! The solver's work counters must survive all the way into the
+//! machine-readable [`RunReport`]: `solver_iterations` and
+//! `cycle_collapses` as counters, and the new word-parallel gauges
+//! (`scc_collapses`, `words_unioned`, `worklist_pops`) as gauges, under
+//! both the sound and the predicated static-analysis prefixes.
+
+use oha::ir::{Operand, ProgramBuilder};
+use oha::workloads::{c_suite, WorkloadParams};
+
+/// A program whose pointer copies form a two-node cycle (`r1 ⇄ r2`), so
+/// the solver's on-the-fly cycle collapse provably fires.
+fn cyclic_program() -> oha::ir::Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0);
+    let r1 = f.alloc(1);
+    let r2 = f.copy(Operand::Reg(r1));
+    f.copy_to(r1, Operand::Reg(r2));
+    f.store(Operand::Reg(r1), 0, Operand::Const(7));
+    let v = f.load(Operand::Reg(r2), 0);
+    f.output(Operand::Reg(v));
+    f.ret(None);
+    let main = pb.finish_function(f);
+    pb.finish(main).unwrap()
+}
+
+#[test]
+fn optft_report_carries_solver_counters_and_gauges() {
+    let outcome = oha::core::Pipeline::new(cyclic_program()).run_optft(&[vec![]], &[vec![]]);
+    let report = &outcome.report;
+
+    for prefix in ["optft.pointsto.sound", "optft.pointsto.pred"] {
+        assert!(
+            report.counter(&format!("{prefix}.solver_iterations")) > 0,
+            "{prefix}.solver_iterations missing or zero"
+        );
+        assert!(
+            report
+                .counters
+                .contains_key(&format!("{prefix}.cycle_collapses")),
+            "{prefix}.cycle_collapses missing from report"
+        );
+        for gauge in ["scc_collapses", "words_unioned", "worklist_pops"] {
+            assert!(
+                report.gauges.contains_key(&format!("{prefix}.{gauge}")),
+                "{prefix}.{gauge} gauge missing from report"
+            );
+        }
+        assert!(
+            report.gauges[&format!("{prefix}.worklist_pops")] > 0.0,
+            "{prefix}.worklist_pops should count real work"
+        );
+    }
+    // The crafted r1 ⇄ r2 copy cycle must be collapsed by the sound pass.
+    assert!(
+        report.counter("optft.pointsto.sound.cycle_collapses") >= 1,
+        "two-node copy cycle was not collapsed"
+    );
+}
+
+#[test]
+fn workload_reports_show_solver_progress() {
+    // A real workload, end to end: iteration and pop counters stay
+    // populated (nonzero) after the report round-trips through JSON.
+    let params = WorkloadParams::small();
+    let w = c_suite::all(&params).swap_remove(0);
+    let outcome = oha::core::Pipeline::new(w.program.clone())
+        .run_optft(&w.profiling_inputs, &w.testing_inputs);
+    let json = outcome.report.to_json();
+    let report = oha::obs::RunReport::from_json(&json).expect("report survives JSON round-trip");
+    assert!(report.counter("optft.pointsto.sound.solver_iterations") > 0);
+    assert!(report.counter("optft.pointsto.pred.solver_iterations") > 0);
+    assert!(report.gauges["optft.pointsto.sound.words_unioned"] > 0.0);
+}
