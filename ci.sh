@@ -96,6 +96,102 @@ for name, b in report["benches"].items():
     git checkout -- BENCH_static.json 2>/dev/null || true
 }
 
+# Store/daemon smoke: 16 concurrent clients against a cold daemon must
+# all get byte-identical canonical JSON; a fresh daemon warm-started on
+# the same artifact store must answer with the same bytes again; both
+# daemons must drain gracefully on `shutdown`.
+store_smoke() {
+    local out
+    out="$(mktemp -d)"
+    trap 'rm -rf "$out"; trap - RETURN' RETURN
+    local sock="$out/daemon.sock" store="$out/store" prog="$out/zlib.ir"
+    ./target/release/print_workload zlib >"$prog"
+
+    local daemon i pid
+    ./target/release/oha-serve --socket "$sock" --store "$store" 2>"$out/serve1.log" &
+    daemon=$!
+    for i in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.05; done
+    if [ ! -S "$sock" ]; then
+        echo "store-smoke: daemon did not bind $sock" >&2
+        cat "$out/serve1.log" >&2
+        return 1
+    fi
+
+    local pids=()
+    for i in $(seq 1 16); do
+        ./target/release/oha-client --socket "$sock" optft --program "$prog" \
+            >"$out/cold.$i.json" 2>>"$out/client.log" &
+        pids+=("$!")
+    done
+    for pid in "${pids[@]}"; do
+        if ! wait "$pid"; then
+            echo "store-smoke: a concurrent client failed" >&2
+            cat "$out/client.log" >&2
+            return 1
+        fi
+    done
+    if [ ! -s "$out/cold.1.json" ]; then
+        echo "store-smoke: empty analyze response" >&2
+        return 1
+    fi
+    for i in $(seq 2 16); do
+        if ! cmp -s "$out/cold.1.json" "$out/cold.$i.json"; then
+            echo "store-smoke: client $i's bytes diverged from client 1's" >&2
+            return 1
+        fi
+    done
+    ./target/release/oha-client --socket "$sock" stats >"$out/stats.json"
+    python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$out/stats.json" || {
+        echo "store-smoke: stats response is not JSON" >&2
+        return 1
+    }
+    ./target/release/oha-client --socket "$sock" shutdown >/dev/null
+    if ! wait "$daemon"; then
+        echo "store-smoke: daemon did not drain cleanly" >&2
+        return 1
+    fi
+
+    # Warm restart on the populated store: identical bytes, no recompute
+    # of the static phases.
+    ./target/release/oha-serve --socket "$sock" --store "$store" 2>"$out/serve2.log" &
+    daemon=$!
+    for i in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.05; done
+    ./target/release/oha-client --socket "$sock" optft --program "$prog" >"$out/warm.json"
+    if ! cmp -s "$out/cold.1.json" "$out/warm.json"; then
+        echo "store-smoke: warm restart diverged from the cold result" >&2
+        return 1
+    fi
+    ./target/release/oha-client --socket "$sock" shutdown >/dev/null
+    if ! wait "$daemon"; then
+        echo "store-smoke: warm daemon did not drain cleanly" >&2
+        return 1
+    fi
+}
+
+# A smoke-scale bench_store run: cold/warm and daemon timings must land
+# in a parsable JSON report (the committed BENCH_store.json is generated
+# at benchmark scale by scripts/bench_store.sh).
+bench_store_smoke() {
+    local out
+    out="$(mktemp -d)"
+    trap 'rm -rf "$out"; trap - RETURN' RETURN
+    OHA_SMOKE=1 ./target/release/bench_store --json "$out/bench_store.json" >/dev/null
+    python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+meta = report.get("meta", {})
+for key in ("daemon.speedup", "workloads_at_or_above_5x"):
+    if key not in meta:
+        sys.exit(f"{sys.argv[1]}: missing meta key {key!r}")
+if not any(k.endswith(".speedup") and "." in k[:-8] for k in meta):
+    sys.exit(f"{sys.argv[1]}: no per-workload speedups recorded")
+' "$out/bench_store.json" || {
+        echo "bench-store-smoke: BENCH_store report unparsable or incomplete" >&2
+        return 1
+    }
+}
+
 stage "cargo fmt --check" cargo fmt --check
 stage "cargo clippy (workspace, all targets, warnings are errors)" \
     cargo clippy --workspace --all-targets -- -D warnings
@@ -106,9 +202,11 @@ if [ "$QUICK" = 1 ]; then
     exit 0
 fi
 
-stage "cargo build --release" cargo build --release
-stage "cargo test (release)" cargo test --release -q
+stage "cargo build --release (workspace)" cargo build --release --workspace
+stage "cargo test (release)" cargo test --release --workspace -q
 stage "bench-smoke (fig5 + table1, --json)" bench_smoke
 stage "bench-static (probe_solver vs reference, BENCH_static.json)" bench_static
+stage "store-smoke (16-client daemon round-trip + warm restart)" store_smoke
+stage "bench-store-smoke (cold/warm + daemon, --json)" bench_store_smoke
 
 echo "CI green."

@@ -1,0 +1,245 @@
+//! Store and daemon benchmark (the tentpole's headline numbers, written
+//! to `BENCH_store.json` by `scripts/bench_store.sh`).
+//!
+//! Two experiments:
+//!
+//! * **cold vs. warm** — each workload's pipeline end-to-end, first
+//!   against an empty artifact store (profiling + predicated static
+//!   analysis paid in full), then again with the store populated (static
+//!   phases loaded from disk, only the speculative dynamic phase runs).
+//!   Measured twice per workload: over the full testing corpus
+//!   (`corpus=full`, the cache amortized across every dynamic run) and
+//!   over a single testing input (`corpus=single`) — the interactive
+//!   re-analysis case the store exists for, where time-to-answer is
+//!   profiling + static cold but only one speculative run warm.
+//! * **daemon** — N concurrent clients against one `oha-serve` instance:
+//!   a first round where every client pays for (or piggybacks on) the
+//!   cold compute, and a second round answered from the in-memory LRU
+//!   front.
+//!
+//! Both experiments assert nothing; the numbers land in the report and
+//! `ci.sh`'s store-smoke stage enforces the byte-identity contract.
+
+use std::fs;
+use std::path::Path;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use oha_bench::{fmt_dur, optslice_config, params, smoke_mode, Reporter};
+use oha_core::{Pipeline, PipelineConfig, StoreConfig};
+use oha_ir::print_program;
+use oha_serve::{Client, Server, ServerConfig, Tool};
+use oha_workloads::{c_suite, java_suite, Workload};
+
+/// Concurrent daemon clients (the CI smoke uses the same count).
+const CLIENTS: usize = 8;
+
+struct ColdWarm {
+    workload: &'static str,
+    tool: &'static str,
+    corpus: &'static str,
+    cold: Duration,
+    warm: Duration,
+}
+
+impl ColdWarm {
+    fn speedup(&self) -> f64 {
+        if self.warm.is_zero() {
+            0.0
+        } else {
+            self.cold.as_secs_f64() / self.warm.as_secs_f64()
+        }
+    }
+}
+
+fn store_config(dir: &Path) -> PipelineConfig {
+    PipelineConfig {
+        store: Some(StoreConfig::new(dir.to_path_buf())),
+        ..optslice_config()
+    }
+}
+
+/// Runs one workload's pipeline end-to-end against `dir`, returning the
+/// wall time.
+fn run_once(w: &Workload, tool: &str, testing: &[Vec<i64>], dir: &Path) -> Duration {
+    let pipeline = Pipeline::new(w.program.clone()).with_config(store_config(dir));
+    let start = Instant::now();
+    match tool {
+        "optft" => {
+            pipeline.run_optft(&w.profiling_inputs, testing);
+        }
+        _ => {
+            pipeline.run_optslice(&w.profiling_inputs, testing, &w.endpoints);
+        }
+    }
+    start.elapsed()
+}
+
+fn cold_warm(w: &Workload, tool: &'static str, corpus: &'static str, scratch: &Path) -> ColdWarm {
+    let testing: &[Vec<i64>] = if corpus == "single" {
+        &w.testing_inputs[..1]
+    } else {
+        &w.testing_inputs
+    };
+    let dir = scratch.join(format!("{}-{tool}-{corpus}", w.name));
+    let _ = fs::remove_dir_all(&dir);
+    let cold = run_once(w, tool, testing, &dir);
+    let warm = run_once(w, tool, testing, &dir);
+    let _ = fs::remove_dir_all(&dir);
+    ColdWarm {
+        workload: w.name,
+        tool,
+        corpus,
+        cold,
+        warm,
+    }
+}
+
+/// One daemon, `CLIENTS` concurrent clients, two rounds of the same
+/// OptSlice request: round 1 is the cold compute, round 2 the LRU front.
+fn daemon_rounds(w: &Workload, scratch: &Path) -> (Duration, Duration) {
+    let dir = scratch.join("daemon");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let server = Server::bind(ServerConfig {
+        socket: dir.join("bench.sock"),
+        store_dir: Some(dir.join("store")),
+        ..ServerConfig::default()
+    })
+    .expect("bind bench daemon");
+    let socket = server.socket().to_path_buf();
+    let server_thread = thread::spawn(move || server.run().expect("daemon run"));
+    let text = print_program(&w.program);
+    let endpoints: Vec<u32> = w.endpoints.iter().map(|e| e.raw()).collect();
+
+    let round = || {
+        let start = Instant::now();
+        thread::scope(|scope| {
+            for _ in 0..CLIENTS {
+                let (socket, text, w, endpoints) = (&socket, &text, w, &endpoints);
+                scope.spawn(move || {
+                    let mut client = Client::connect(socket).expect("connect");
+                    let response = client
+                        .analyze(
+                            Tool::OptSlice,
+                            text,
+                            &w.profiling_inputs,
+                            &w.testing_inputs,
+                            endpoints,
+                        )
+                        .expect("analyze");
+                    assert!(response.ok, "{}", response.body);
+                });
+            }
+        });
+        start.elapsed()
+    };
+    let cold_round = round();
+    let lru_round = round();
+
+    Client::connect(&socket)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    server_thread.join().unwrap();
+    let _ = fs::remove_dir_all(&dir);
+    (cold_round, lru_round)
+}
+
+fn main() {
+    let mut reporter = Reporter::new("bench_store");
+    let params = params();
+    reporter.meta("smoke", smoke_mode());
+    reporter.meta("clients", CLIENTS);
+
+    let scratch = std::env::temp_dir().join(format!("oha-bench-store-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&scratch);
+    fs::create_dir_all(&scratch).unwrap();
+
+    // The store pays off where the static phase dominates: the wide-
+    // context C-suite workloads, plus one Java workload for breadth.
+    let picks: Vec<(Workload, &[&'static str])> = vec![
+        (c_suite::vim(&params), &["optslice", "optft"]),
+        (c_suite::nginx(&params), &["optslice"]),
+        (c_suite::redis(&params), &["optslice"]),
+        (java_suite::all(&params).swap_remove(0), &["optft"]),
+    ];
+
+    let mut rows = Vec::new();
+    let mut qualifying = 0usize;
+    for (w, tools) in &picks {
+        for tool in *tools {
+            for corpus in ["full", "single"] {
+                eprintln!("bench_store: {} {tool} ({corpus})", w.name);
+                let sample = cold_warm(w, tool, corpus, &scratch);
+                if corpus == "single" && sample.speedup() >= 5.0 {
+                    qualifying += 1;
+                }
+                rows.push(vec![
+                    sample.workload.to_string(),
+                    sample.tool.to_string(),
+                    sample.corpus.to_string(),
+                    fmt_dur(sample.cold),
+                    fmt_dur(sample.warm),
+                    format!("{:.2}x", sample.speedup()),
+                ]);
+                let stem = format!("{}.{}.{}", sample.workload, sample.tool, sample.corpus);
+                reporter.meta(
+                    &format!("{stem}.cold_s"),
+                    format!("{:.6}", sample.cold.as_secs_f64()),
+                );
+                reporter.meta(
+                    &format!("{stem}.warm_s"),
+                    format!("{:.6}", sample.warm.as_secs_f64()),
+                );
+                reporter.meta(
+                    &format!("{stem}.speedup"),
+                    format!("{:.3}", sample.speedup()),
+                );
+            }
+        }
+    }
+    reporter.meta("workloads_at_or_above_5x", qualifying);
+    print!(
+        "{}",
+        reporter.table(
+            "Cold vs. warm artifact store (end-to-end pipeline)",
+            &["workload", "tool", "corpus", "cold", "warm", "speedup"],
+            &rows,
+        )
+    );
+
+    let daemon_w = c_suite::zlib(&params);
+    eprintln!("bench_store: daemon {} x{CLIENTS} clients", daemon_w.name);
+    let (cold_round, lru_round) = daemon_rounds(&daemon_w, &scratch);
+    let daemon_speedup = if lru_round.is_zero() {
+        0.0
+    } else {
+        cold_round.as_secs_f64() / lru_round.as_secs_f64()
+    };
+    reporter.meta(
+        "daemon.cold_round_s",
+        format!("{:.6}", cold_round.as_secs_f64()),
+    );
+    reporter.meta(
+        "daemon.lru_round_s",
+        format!("{:.6}", lru_round.as_secs_f64()),
+    );
+    reporter.meta("daemon.speedup", format!("{:.3}", daemon_speedup));
+    print!(
+        "{}",
+        reporter.table(
+            "Daemon: 8 concurrent clients, same request twice",
+            &["workload", "round 1 (cold)", "round 2 (LRU)", "speedup"],
+            &[vec![
+                daemon_w.name.to_string(),
+                fmt_dur(cold_round),
+                fmt_dur(lru_round),
+                format!("{daemon_speedup:.2}x"),
+            ]],
+        )
+    );
+
+    let _ = fs::remove_dir_all(&scratch);
+    reporter.finish();
+}

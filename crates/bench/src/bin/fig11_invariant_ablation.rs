@@ -88,7 +88,7 @@ fn main() {
     let cfg = optslice_config();
     let mut reporter = Reporter::new("fig11_invariant_ablation");
     let results = reporter.run_workloads_parallel(c_suite::all(&params), |w| {
-        let pipeline = Pipeline::new(w.program.clone()).with_config(cfg);
+        let pipeline = Pipeline::new(w.program.clone()).with_config(cfg.clone());
         let (full_inv, _) = pipeline.profile(&w.profiling_inputs);
 
         // Base: fully sound.

@@ -88,6 +88,7 @@ fn sample(
 
 fn main() {
     let reference = std::env::args().any(|a| a == "--reference");
+    let json = oha_bench::bench_args().json;
     let params = oha_bench::params();
     let workloads: Vec<Workload> = java_suite::all(&params)
         .into_iter()
@@ -122,5 +123,15 @@ fn main() {
             ));
         }
     }
-    println!("{{\n  \"samples\": [\n{}\n  ]\n}}", entries.join(",\n"));
+    let report = format!("{{\n  \"samples\": [\n{}\n  ]\n}}", entries.join(",\n"));
+    println!("{report}");
+    // `--json` mirrors the stdout object to a file with the same
+    // parent-dir creation and diagnostics as every Reporter-based bin.
+    if let Some(path) = json {
+        if let Err(message) = oha_bench::write_json_report(&path, &report) {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote JSON report to {}", path.display());
+    }
 }

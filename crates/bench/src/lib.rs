@@ -7,7 +7,7 @@
 //! ([`Reporter`]) that turns each binary's output into a machine-readable
 //! [`RunReport`].
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use oha_core::{Pipeline, PipelineConfig};
@@ -247,19 +247,42 @@ impl Reporter {
         &self.report
     }
 
-    /// Writes the JSON artifact if `--json` was given.
+    /// Writes the JSON artifact if `--json` was given, creating missing
+    /// parent directories. A path that still cannot be written is a
+    /// clear diagnostic and exit code 1, never a panic.
     pub fn finish(self) {
         if let Some(path) = self.json {
-            let json = self.report.to_json_string();
-            match std::fs::write(&path, &json) {
-                Ok(()) => eprintln!("wrote JSON report to {}", path.display()),
-                Err(e) => {
-                    eprintln!("failed to write {}: {e}", path.display());
-                    std::process::exit(1);
-                }
+            if let Err(message) = write_json_report(&path, &self.report.to_json_string()) {
+                eprintln!("error: {message}");
+                std::process::exit(1);
             }
+            eprintln!("wrote JSON report to {}", path.display());
         }
     }
+}
+
+/// Writes a `--json` artifact, creating missing parent directories.
+/// Shared by [`Reporter::finish`] and the non-`Reporter` binaries so
+/// every `--json` flag behaves identically.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the path and the failing
+/// step (directory creation vs. file write).
+pub fn write_json_report(path: &Path, json: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                format!(
+                    "cannot create report directory {} for {}: {e}",
+                    parent.display(),
+                    path.display()
+                )
+            })?;
+        }
+    }
+    std::fs::write(path, json)
+        .map_err(|e| format!("cannot write JSON report {}: {e}", path.display()))
 }
 
 /// Mean of an iterator of f64 (0.0 when empty).
@@ -360,6 +383,21 @@ mod tests {
             names,
             "child report order must match the suite"
         );
+    }
+
+    #[test]
+    fn json_reports_create_missing_parent_dirs() {
+        let root = std::env::temp_dir().join(format!("oha-bench-json-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let nested = root.join("a/b/report.json");
+        write_json_report(&nested, "{}").unwrap();
+        assert_eq!(std::fs::read_to_string(&nested).unwrap(), "{}");
+        // A path whose parent is an existing *file* cannot be created:
+        // the error names the path instead of panicking.
+        let blocked = nested.join("under-a-file.json");
+        let message = write_json_report(&blocked, "{}").unwrap_err();
+        assert!(message.contains("under-a-file.json"), "{message}");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

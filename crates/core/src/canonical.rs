@@ -1,0 +1,144 @@
+//! Canonical, timing-free renderings of tool outcomes.
+//!
+//! Wall-clock numbers differ run to run, but everything *semantic* about
+//! an outcome — races found, slice sizes, rollback decisions, invariant
+//! fingerprints — is deterministic. These functions serialize exactly
+//! that deterministic core as JSON with a fixed key order, so two
+//! outcomes are equivalent iff their canonical strings are byte-equal.
+//!
+//! This is the equality oracle shared by three consumers: the
+//! determinism test suite (serial vs. N daemon clients), CI's
+//! store-smoke stage (cold vs. warm cache), and the `oha-serve`
+//! protocol (whose `analyze` responses are canonical strings and must
+//! not vary with cache state or request interleaving).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use oha_ir::InstId;
+use oha_pointsto::Sensitivity;
+
+use crate::optft::OptFtOutcome;
+use crate::optslice::OptSliceOutcome;
+
+fn push_pairs(out: &mut String, pairs: &BTreeSet<(InstId, InstId)>) {
+    out.push('[');
+    for (i, (a, b)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{},{}]", a.raw(), b.raw());
+    }
+    out.push(']');
+}
+
+fn sensitivity(s: Sensitivity) -> &'static str {
+    match s {
+        Sensitivity::ContextSensitive => "CS",
+        Sensitivity::ContextInsensitive => "CI",
+    }
+}
+
+/// The deterministic core of an OptFT outcome as canonical JSON.
+pub fn optft_canonical_json(outcome: &OptFtOutcome) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"tool\":\"optft\",\"invariants\":\"{}\",\"profiling_runs_used\":{},\
+         \"racy_sites_sound\":{},\"racy_sites_pred\":{},\"statically_race_free\":{},\
+         \"elidable_lock_sites\":{},\"baseline_races\":",
+        outcome.invariants.fingerprint().to_hex(),
+        outcome.profiling_runs_used,
+        outcome.racy_sites_sound,
+        outcome.racy_sites_pred,
+        outcome.statically_race_free,
+        outcome.elidable_lock_sites,
+    );
+    push_pairs(&mut out, &outcome.baseline_races);
+    out.push_str(",\"optimistic_races\":");
+    push_pairs(&mut out, &outcome.optimistic_races);
+    out.push_str(",\"runs\":[");
+    for (i, run) in outcome.runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rolled_back\":{},\"violations\":{},\"races_full\":",
+            run.rolled_back, run.violations
+        );
+        push_pairs(&mut out, &run.races_full);
+        out.push_str(",\"races_hybrid\":");
+        push_pairs(&mut out, &run.races_hybrid);
+        out.push_str(",\"races_opt\":");
+        push_pairs(&mut out, &run.races_opt);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The deterministic core of an OptSlice outcome as canonical JSON.
+pub fn optslice_canonical_json(outcome: &OptSliceOutcome) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"tool\":\"optslice\",\"invariants\":\"{}\",\"profiling_runs_used\":{},\
+         \"sound\":{{\"points_to_at\":\"{}\",\"slice_at\":\"{}\",\"slice_size\":{},\"alias_rate\":{}}},\
+         \"pred\":{{\"points_to_at\":\"{}\",\"slice_at\":\"{}\",\"slice_size\":{},\"alias_rate\":{}}},\
+         \"all_slices_equal\":{},\"runs\":[",
+        outcome.invariants.fingerprint().to_hex(),
+        outcome.profiling_runs_used,
+        sensitivity(outcome.sound.points_to_at),
+        sensitivity(outcome.sound.slice_at),
+        outcome.sound.slice_size,
+        outcome.sound.alias_rate,
+        sensitivity(outcome.pred.points_to_at),
+        sensitivity(outcome.pred.slice_at),
+        outcome.pred.slice_size,
+        outcome.pred.alias_rate,
+        outcome.all_slices_equal(),
+    );
+    for (i, run) in outcome.runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rolled_back\":{},\"hybrid_slice_len\":{},\"opt_slice_len\":{},\"slices_equal\":{}}}",
+            run.rolled_back, run.hybrid_slice_len, run.opt_slice_len, run.slices_equal
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pipeline;
+    use oha_ir::{Operand, ProgramBuilder};
+    use Operand::{Const, Reg as R};
+
+    #[test]
+    fn canonical_json_is_stable_across_pipelines() {
+        let build = || {
+            let mut pb = ProgramBuilder::new();
+            let mut f = pb.function("main", 0);
+            let x = f.input();
+            let y = f.bin(oha_ir::BinOp::Add, R(x), Const(1));
+            f.output(R(y));
+            f.ret(None);
+            let main = pb.finish_function(f);
+            pb.finish(main).unwrap()
+        };
+        let profiling = vec![vec![1], vec![2]];
+        let testing = vec![vec![3]];
+        let a = Pipeline::new(build()).run_optft(&profiling, &testing);
+        let b = Pipeline::new(build()).run_optft(&profiling, &testing);
+        let ja = optft_canonical_json(&a);
+        assert_eq!(ja, optft_canonical_json(&b));
+        assert!(ja.starts_with("{\"tool\":\"optft\""));
+        assert!(!ja.contains("_time"), "no wall-clock fields");
+    }
+}

@@ -31,13 +31,15 @@
 #![warn(missing_docs)]
 
 mod breakeven;
+mod canonical;
 mod optft;
 mod optslice;
 mod pipeline;
 mod statespace;
 
 pub use breakeven::{break_even_seconds, CostModel};
+pub use canonical::{optft_canonical_json, optslice_canonical_json};
 pub use optft::{OptFt, OptFtOutcome, OptFtRun};
 pub use optslice::{OptSlice, OptSliceOutcome, OptSliceRun, StaticSideReport};
-pub use pipeline::{Pipeline, PipelineConfig};
+pub use pipeline::{Pipeline, PipelineConfig, StoreConfig, STORE_DIR_ENV};
 pub use statespace::{state_space, StateSpace};

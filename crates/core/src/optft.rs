@@ -1,16 +1,17 @@
 //! OptFT: optimistic FastTrack data-race detection (paper §4).
 
 use std::collections::{BTreeSet, HashMap};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use oha_dataflow::BitSet;
 use oha_fasttrack::FastTrackTool;
 use oha_interp::{Machine, MultiTracer, NoopTracer};
 use oha_invariants::{ChecksEnabled, InvariantChecker, InvariantSet};
 use oha_ir::{InstId, InstKind, Program};
-use oha_obs::{MetricsRegistry, RunReport};
+use oha_obs::{MetricsRegistry, RunReport, SpanStat};
 use oha_pointsto::{analyze, PointsTo, PointsToConfig, Sensitivity};
 use oha_races::{detect, MustLocksets, StaticRaces};
+use oha_store::{ArtifactKey, ArtifactKind, OptFtArtifact};
 
 use crate::pipeline::Pipeline;
 
@@ -136,9 +137,157 @@ pub struct OptFt<'a> {
     pipeline: &'a Pipeline,
 }
 
+/// Everything OptFT's dynamic phase needs from the (cacheable) profiling
+/// and static phases, plus the bookkeeping for save-on-clean /
+/// invalidate-on-rollback.
+struct FtStatics {
+    invariants: InvariantSet,
+    profile_time: Duration,
+    profiling_used: usize,
+    sound_static_time: Duration,
+    pred_static_time: Duration,
+    races_sound: StaticRaces,
+    races_pred: StaticRaces,
+    /// Whether the static phase was served from the artifact store.
+    from_cache: bool,
+    /// The store key (present exactly when a store is configured).
+    key: Option<ArtifactKey>,
+    /// A freshly computed artifact awaiting save — persisted only after
+    /// the dynamic phase finishes without a rollback, so a mis-speculating
+    /// predicate never enters the cache.
+    pending: Option<OptFtArtifact>,
+}
+
 impl<'a> OptFt<'a> {
     pub(crate) fn new(pipeline: &'a Pipeline) -> Self {
         Self { pipeline }
+    }
+
+    /// Phases 1 and 2 (profiling, sound + predicated static analysis,
+    /// lock-elision validation), served from the artifact store when warm.
+    ///
+    /// The cache key's predicate side folds together the invariant-set
+    /// fingerprint, the profiling-corpus fingerprint (the elision
+    /// validation loop re-executes the corpus) and the static budgets, so
+    /// a hit guarantees the cached races and elidable-lock set are what
+    /// this exact cold run would recompute.
+    fn static_phase(
+        &self,
+        profiling: &[Vec<i64>],
+        machine: &Machine<'_>,
+        registry: &MetricsRegistry,
+    ) -> FtStatics {
+        let program = self.pipeline.program();
+
+        // Phase 1: profile until the invariant set stabilizes (§6.1),
+        // store-accelerated when a profile artifact is warm.
+        let (mut invariants, mut profile_time, profiling_used) =
+            self.pipeline.profile_phase(profiling, 6);
+
+        let key = self.pipeline.store().map(|_| {
+            let predicate = invariants
+                .fingerprint()
+                .combine(self.pipeline.corpus_fingerprint(profiling, 6))
+                .combine(self.pipeline.budget_fingerprint(false));
+            ArtifactKey::new(program.fingerprint(), predicate)
+        });
+
+        if let (Some(store), Some(key)) = (self.pipeline.store(), &key) {
+            let start = Instant::now();
+            if let Some(a) = store.load_optft(key) {
+                let elapsed = start.elapsed();
+                // Registry parity with the cold path: the same points-to
+                // gauges, plus the cold durations replayed under
+                // `cached/*` spans (the live spans only see the load).
+                a.pt_sound_stats.record(registry, "optft.pointsto.sound");
+                a.pt_pred.stats().record(registry, "optft.pointsto.pred");
+                for (path, ns) in [
+                    ("cached/static_sound", a.sound_static_ns),
+                    ("cached/static_pred", a.pred_static_ns),
+                    ("cached/elide", a.elide_ns),
+                ] {
+                    registry.add_span_stat(
+                        path,
+                        SpanStat {
+                            total: Duration::from_nanos(ns),
+                            count: 1,
+                        },
+                    );
+                }
+                return FtStatics {
+                    invariants: a.invariants,
+                    profile_time,
+                    profiling_used,
+                    sound_static_time: elapsed,
+                    pred_static_time: Duration::ZERO,
+                    races_sound: a.races_sound,
+                    races_pred: a.races_pred,
+                    from_cache: true,
+                    key: Some(*key),
+                    pending: None,
+                };
+            }
+        }
+
+        // Phase 2a: sound static analysis (traditional hybrid's input).
+        let span = registry.span("static_sound");
+        let pt_sound = analyze(program, &self.pt_config(None))
+            .expect("context-insensitive points-to always completes");
+        let races_sound = detect(program, &pt_sound, None);
+        let sound_static_time = span.finish();
+        pt_sound.stats().record(registry, "optft.pointsto.sound");
+
+        // Phase 2b: predicated static analysis.
+        let span = registry.span("static_pred");
+        let pt_pred = analyze(program, &self.pt_config(Some(&invariants)))
+            .expect("context-insensitive points-to always completes");
+        let races_pred = detect(program, &pt_pred, Some(&invariants));
+        let pred_static_time = span.finish();
+        pt_pred.stats().record(registry, "optft.pointsto.pred");
+
+        // No-custom-synchronization: propose elidable lock/unlock sites and
+        // validate them on the profiling corpus (§4.2.4): any race the
+        // elided detector reports that the sound detector does not is a
+        // false race caused by a custom synchronization through an elided
+        // lock — put that lock's instrumentation back and retry.
+        let span = registry.span("elide");
+        let elidable = validate_elidable_locks(
+            program,
+            machine,
+            &pt_pred,
+            &races_pred,
+            races_sound.racy_sites(),
+            profiling,
+        );
+        invariants.elidable_locks = elidable;
+        let elide_time = span.finish();
+        profile_time += elide_time;
+
+        let pending = key.as_ref().map(|_| OptFtArtifact {
+            invariants: invariants.clone(),
+            profiling_runs_used: profiling_used as u64,
+            races_sound: races_sound.clone(),
+            races_pred: races_pred.clone(),
+            pt_sound_stats: pt_sound.stats(),
+            pt_pred,
+            profile_ns: profile_time.as_nanos() as u64,
+            sound_static_ns: sound_static_time.as_nanos() as u64,
+            pred_static_ns: pred_static_time.as_nanos() as u64,
+            elide_ns: elide_time.as_nanos() as u64,
+        });
+
+        FtStatics {
+            invariants,
+            profile_time,
+            profiling_used,
+            sound_static_time,
+            pred_static_time,
+            races_sound,
+            races_pred,
+            from_cache: false,
+            key,
+            pending,
+        }
     }
 
     pub(crate) fn run(self, profiling: &[Vec<i64>], testing: &[Vec<i64>]) -> OptFtOutcome {
@@ -153,42 +302,20 @@ impl<'a> OptFt<'a> {
             .with_metrics(&registry, "optft.spec");
         let pipeline_span = registry.span("optft");
 
-        // Phase 1: profile until the invariant set stabilizes (§6.1).
-        let (mut invariants, mut profile_time, profiling_used) =
-            self.pipeline.profile_until_stable(profiling, 6);
-
-        // Phase 2a: sound static analysis (traditional hybrid's input).
-        let span = registry.span("static_sound");
-        let pt_sound = analyze(program, &self.pt_config(None))
-            .expect("context-insensitive points-to always completes");
-        let races_sound = detect(program, &pt_sound, None);
-        let sound_static_time = span.finish();
-        pt_sound.stats().record(&registry, "optft.pointsto.sound");
-
-        // Phase 2b: predicated static analysis.
-        let span = registry.span("static_pred");
-        let pt_pred = analyze(program, &self.pt_config(Some(&invariants)))
-            .expect("context-insensitive points-to always completes");
-        let races_pred = detect(program, &pt_pred, Some(&invariants));
-        let pred_static_time = span.finish();
-        pt_pred.stats().record(&registry, "optft.pointsto.pred");
-
-        // No-custom-synchronization: propose elidable lock/unlock sites and
-        // validate them on the profiling corpus (§4.2.4): any race the
-        // elided detector reports that the sound detector does not is a
-        // false race caused by a custom synchronization through an elided
-        // lock — put that lock's instrumentation back and retry.
-        let span = registry.span("elide");
-        let elidable = validate_elidable_locks(
-            program,
-            &machine,
-            &pt_pred,
-            &races_pred,
-            races_sound.racy_sites(),
-            profiling,
-        );
-        invariants.elidable_locks = elidable;
-        profile_time += span.finish();
+        // Phases 1 + 2, warm or cold.
+        let statics = self.static_phase(profiling, &machine, &registry);
+        let FtStatics {
+            invariants,
+            profile_time,
+            profiling_used,
+            sound_static_time,
+            pred_static_time,
+            races_sound,
+            races_pred,
+            from_cache,
+            key,
+            pending,
+        } = statics;
 
         // Phase 3: speculative dynamic analysis over the testing corpus.
         let dynamic_span = registry.span("dynamic");
@@ -211,6 +338,24 @@ impl<'a> OptFt<'a> {
         }
         dynamic_span.finish();
         pipeline_span.finish();
+
+        // Store bookkeeping. A clean cold run persists its artifact; a
+        // rollback means the predicate mis-speculated on this corpus, so a
+        // cold result is not saved and a warm entry is invalidated (the
+        // next run re-analyzes against fresher invariants).
+        if let (Some(store), Some(key)) = (self.pipeline.store(), &key) {
+            let any_rollback = runs.iter().any(|r| r.rolled_back);
+            if any_rollback {
+                if from_cache {
+                    store.invalidate(ArtifactKind::OptFt, key);
+                }
+            } else if let Some(artifact) = &pending {
+                if store.save_optft(key, artifact).is_err() {
+                    registry.add("store.save_errors", 1);
+                }
+            }
+            store.stats().record(&registry, "store");
+        }
 
         let mut outcome = OptFtOutcome {
             profiling_runs_used: profiling_used,
@@ -240,6 +385,12 @@ impl<'a> OptFt<'a> {
         report
             .meta
             .insert("profiling_runs_used".into(), profiling_used.to_string());
+        if self.pipeline.store().is_some() {
+            report.meta.insert(
+                "static_cache".into(),
+                if from_cache { "hit" } else { "miss" }.into(),
+            );
+        }
         outcome.report = report;
         outcome
     }

@@ -1,14 +1,15 @@
 //! OptSlice: optimistic dynamic backward slicing (paper §5).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use oha_giri::{DynamicSlice, GiriTool};
 use oha_interp::{Machine, MultiTracer, NoopTracer};
 use oha_invariants::{ChecksEnabled, InvariantChecker, InvariantSet};
-use oha_ir::InstId;
-use oha_obs::RunReport;
+use oha_ir::{FingerprintHasher, InstId};
+use oha_obs::{RunReport, SpanStat};
 use oha_pointsto::{analyze, PointsTo, PointsToConfig, Sensitivity};
 use oha_slicing::{slice, SliceConfig, StaticSlice};
+use oha_store::{ArtifactKey, ArtifactKind, OptSliceArtifact, StaticSideArtifact};
 
 use crate::pipeline::Pipeline;
 
@@ -128,6 +129,46 @@ struct StaticSide {
     pt: PointsTo,
 }
 
+/// Everything OptSlice's dynamic phase needs from the (cacheable)
+/// profiling and static phases, plus save/invalidate bookkeeping.
+struct SliceStatics {
+    invariants: InvariantSet,
+    profile_time: Duration,
+    profiling_used: usize,
+    sound_report: StaticSideReport,
+    pred_report: StaticSideReport,
+    sound_slice: StaticSlice,
+    pred_slice: StaticSlice,
+    from_cache: bool,
+    key: Option<ArtifactKey>,
+    /// Freshly computed artifact, persisted only after a rollback-free
+    /// dynamic phase.
+    pending: Option<OptSliceArtifact>,
+}
+
+fn side_artifact(side: &StaticSide) -> StaticSideArtifact {
+    StaticSideArtifact {
+        points_to_at: side.report.points_to_at,
+        points_to_ns: side.report.points_to_time.as_nanos() as u64,
+        slice_at: side.report.slice_at,
+        slice_ns: side.report.slice_time.as_nanos() as u64,
+        slice: side.slice.clone(),
+        alias_rate: side.report.alias_rate,
+        pt_stats: side.pt.stats(),
+    }
+}
+
+fn side_report(side: &StaticSideArtifact, live: Duration) -> StaticSideReport {
+    StaticSideReport {
+        points_to_at: side.points_to_at,
+        points_to_time: live,
+        slice_at: side.slice_at,
+        slice_time: Duration::ZERO,
+        slice_size: side.slice.len(),
+        alias_rate: side.alias_rate,
+    }
+}
+
 impl<'a> OptSlice<'a> {
     pub(crate) fn new(pipeline: &'a Pipeline, endpoints: Vec<InstId>) -> Self {
         Self {
@@ -230,6 +271,114 @@ impl<'a> OptSlice<'a> {
         }
     }
 
+    /// Stable fingerprint of the slice endpoints (part of the cache
+    /// predicate: different endpoints yield different static slices).
+    fn endpoints_fingerprint(&self) -> oha_ir::Fingerprint {
+        let mut h = FingerprintHasher::new();
+        h.write(b"oha-endpoints-v1");
+        h.write_u64(self.endpoints.len() as u64);
+        for &e in &self.endpoints {
+            h.write_u64(u64::from(e.raw()));
+        }
+        h.finish()
+    }
+
+    /// Phases 1 and 2 (profiling, sound + predicated points-to and
+    /// slicing), served from the artifact store when warm. The predicate
+    /// side of the key folds together the invariant-set fingerprint, the
+    /// endpoints and every static budget (including the slicer's visit
+    /// budget, which decides the CS→CI fallback).
+    fn static_phase(
+        &self,
+        profiling: &[Vec<i64>],
+        registry: &oha_obs::MetricsRegistry,
+    ) -> SliceStatics {
+        let program = self.pipeline.program();
+        let (invariants, profile_time, profiling_used) = self.pipeline.profile_phase(profiling, 6);
+
+        let key = self.pipeline.store().map(|_| {
+            let predicate = invariants
+                .fingerprint()
+                .combine(self.endpoints_fingerprint())
+                .combine(self.pipeline.budget_fingerprint(true));
+            ArtifactKey::new(program.fingerprint(), predicate)
+        });
+
+        if let (Some(store), Some(key)) = (self.pipeline.store(), &key) {
+            let start = Instant::now();
+            if let Some(a) = store.load_optslice(key) {
+                let elapsed = start.elapsed();
+                // Registry parity with the cold path, with the cold
+                // durations replayed under `cached/*` spans.
+                a.sound.pt_stats.record(registry, "optslice.pointsto.sound");
+                a.pred.pt_stats.record(registry, "optslice.pointsto.pred");
+                a.sound
+                    .slice
+                    .stats()
+                    .record(registry, "optslice.slice.sound");
+                a.pred.slice.stats().record(registry, "optslice.slice.pred");
+                for (path, ns) in [
+                    ("cached/static_sound/pointsto", a.sound.points_to_ns),
+                    ("cached/static_sound/slice", a.sound.slice_ns),
+                    ("cached/static_pred/pointsto", a.pred.points_to_ns),
+                    ("cached/static_pred/slice", a.pred.slice_ns),
+                ] {
+                    registry.add_span_stat(
+                        path,
+                        SpanStat {
+                            total: Duration::from_nanos(ns),
+                            count: 1,
+                        },
+                    );
+                }
+                return SliceStatics {
+                    invariants: a.invariants,
+                    profile_time,
+                    profiling_used,
+                    sound_report: side_report(&a.sound, elapsed),
+                    pred_report: side_report(&a.pred, Duration::ZERO),
+                    sound_slice: a.sound.slice,
+                    pred_slice: a.pred.slice,
+                    from_cache: true,
+                    key: Some(*key),
+                    pending: None,
+                };
+            }
+        }
+
+        let mut sound = self.static_side(None, "sound");
+        let pred = self.static_side(Some(&invariants), "pred");
+        // Figure 9's fairness rule: report the sound alias rate over the
+        // accesses the predicated analysis still considers.
+        sound.report.alias_rate = sound.pt.alias_rate_over(&pred.pt);
+
+        let pending = if key.is_some() {
+            Some(OptSliceArtifact {
+                invariants: invariants.clone(),
+                profiling_runs_used: profiling_used as u64,
+                profile_ns: profile_time.as_nanos() as u64,
+                sound: side_artifact(&sound),
+                pred: side_artifact(&pred),
+                pt_pred: pred.pt.clone(),
+            })
+        } else {
+            None
+        };
+
+        SliceStatics {
+            invariants,
+            profile_time,
+            profiling_used,
+            sound_report: sound.report,
+            pred_report: pred.report,
+            sound_slice: sound.slice,
+            pred_slice: pred.slice,
+            from_cache: false,
+            key,
+            pending,
+        }
+    }
+
     pub(crate) fn run(self, profiling: &[Vec<i64>], testing: &[Vec<i64>]) -> OptSliceOutcome {
         let program = self.pipeline.program();
         let registry = self.pipeline.metrics().clone();
@@ -241,13 +390,19 @@ impl<'a> OptSlice<'a> {
             .with_metrics(&registry, "optslice.spec");
         let pipeline_span = registry.span("optslice");
 
-        let (invariants, profile_time, profiling_used) =
-            self.pipeline.profile_until_stable(profiling, 6);
-        let mut sound = self.static_side(None, "sound");
-        let pred = self.static_side(Some(&invariants), "pred");
-        // Figure 9's fairness rule: report the sound alias rate over the
-        // accesses the predicated analysis still considers.
-        sound.report.alias_rate = sound.pt.alias_rate_over(&pred.pt);
+        let statics = self.static_phase(profiling, &registry);
+        let SliceStatics {
+            invariants,
+            profile_time,
+            profiling_used,
+            sound_report,
+            pred_report,
+            sound_slice,
+            pred_slice,
+            from_cache,
+            key,
+            pending,
+        } = statics;
 
         let dynamic_span = registry.span("dynamic");
         let mut runs = Vec::with_capacity(testing.len());
@@ -257,7 +412,7 @@ impl<'a> OptSlice<'a> {
             let baseline = span.finish();
 
             let span = registry.span("hybrid");
-            let mut hybrid = GiriTool::hybrid(program, sound.slice.sites());
+            let mut hybrid = GiriTool::hybrid(program, sound_slice.sites());
             machine.run(input, &mut hybrid);
             let hybrid_time = span.finish();
             let hybrid_slice = self.slice_endpoints(&hybrid);
@@ -270,7 +425,7 @@ impl<'a> OptSlice<'a> {
 
             // Speculative run with the schedule recorded for rollback.
             let span = registry.span("optimistic");
-            let opt_tool = GiriTool::hybrid(program, pred.slice.sites());
+            let opt_tool = GiriTool::hybrid(program, pred_slice.sites());
             let checker =
                 InvariantChecker::new(program, &invariants, ChecksEnabled::for_optslice());
             let mut combined = MultiTracer::new(opt_tool, checker);
@@ -288,7 +443,7 @@ impl<'a> OptSlice<'a> {
                 // Replay the identical interleaving under the traditional
                 // hybrid slicer.
                 let span = registry.span("rollback");
-                let mut redo = GiriTool::hybrid(program, sound.slice.sites());
+                let mut redo = GiriTool::hybrid(program, sound_slice.sites());
                 machine.run_replay(input, &schedule, &mut redo);
                 (self.slice_endpoints(&redo), span.finish())
             } else {
@@ -310,12 +465,29 @@ impl<'a> OptSlice<'a> {
         dynamic_span.finish();
         pipeline_span.finish();
 
+        // Store bookkeeping: save a clean cold result; a rollback means
+        // the predicate mis-speculated, so skip the save (cold) or
+        // invalidate the entry (warm).
+        if let (Some(store), Some(key)) = (self.pipeline.store(), &key) {
+            let any_rollback = runs.iter().any(|r| r.rolled_back);
+            if any_rollback {
+                if from_cache {
+                    store.invalidate(ArtifactKind::OptSlice, key);
+                }
+            } else if let Some(artifact) = &pending {
+                if store.save_optslice(key, artifact).is_err() {
+                    registry.add("store.save_errors", 1);
+                }
+            }
+            store.stats().record(&registry, "store");
+        }
+
         let mut outcome = OptSliceOutcome {
             invariants,
             profile_time,
             profiling_runs_used: profiling_used,
-            sound: sound.report,
-            pred: pred.report,
+            sound: sound_report,
+            pred: pred_report,
             runs,
             report: RunReport::default(),
         };
@@ -336,6 +508,12 @@ impl<'a> OptSlice<'a> {
         report
             .meta
             .insert("profiling_runs_used".into(), profiling_used.to_string());
+        if self.pipeline.store().is_some() {
+            report.meta.insert(
+                "static_cache".into(),
+                if from_cache { "hit" } else { "miss" }.into(),
+            );
+        }
         outcome.report = report;
         outcome
     }

@@ -1,18 +1,52 @@
-//! The shared pipeline scaffolding: configuration and the profiling phase.
+//! The shared pipeline scaffolding: configuration, the profiling phase,
+//! and the artifact-store plumbing both tools share.
 
+use std::env;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use oha_interp::{Machine, MachineConfig};
 use oha_invariants::{InvariantAccumulator, InvariantSet, ProfileTracer, RunProfile};
-use oha_ir::{InstId, Program};
-use oha_obs::{MetricsFrame, MetricsRegistry};
+use oha_ir::{Fingerprint, FingerprintHasher, InstId, Program};
+use oha_obs::{MetricsFrame, MetricsRegistry, SpanStat};
 use oha_par::Pool;
+use oha_store::{ArtifactKey, ProfileArtifact, Store};
 
 use crate::optft::OptFtOutcome;
 use crate::optslice::OptSliceOutcome;
 
+/// Environment variable naming the on-disk artifact-store directory.
+/// When set (and non-empty), [`StoreConfig::from_env`] returns a config
+/// pointing at it; a default [`Pipeline`] stays uncached.
+pub const STORE_DIR_ENV: &str = "OHA_STORE_DIR";
+
+/// Where (and whether) the pipeline persists static-phase artifacts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Root directory of the on-disk store (created on first use).
+    pub dir: PathBuf,
+}
+
+impl StoreConfig {
+    /// A store rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The `OHA_STORE_DIR` environment override: `Some` when the variable
+    /// is set to a non-empty path, `None` otherwise.
+    pub fn from_env() -> Option<Self> {
+        env::var(STORE_DIR_ENV)
+            .ok()
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .map(Self::new)
+    }
+}
+
 /// Knobs shared by both tools.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct PipelineConfig {
     /// Interpreter configuration (seed, quantum, step budget). The same
     /// seed is reused for a rollback re-execution, which is what makes the
@@ -33,6 +67,12 @@ pub struct PipelineConfig {
     /// its own, and run profiles merge in input order (see DESIGN.md
     /// "Parallelism").
     pub threads: usize,
+    /// Optional persistent artifact store. When set, the expensive pure
+    /// phases (profiling, predicated static analysis) are keyed by content
+    /// fingerprints and cached on disk: a warm key skips straight to the
+    /// speculative dynamic phase, and a rollback on a warm run invalidates
+    /// only the violated key. `None` (the default) runs fully in memory.
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -43,6 +83,7 @@ impl Default for PipelineConfig {
             solver_budget: 20_000_000,
             visit_budget: 5_000_000,
             threads: 0,
+            store: None,
         }
     }
 }
@@ -83,6 +124,7 @@ pub struct Pipeline {
     program: Program,
     config: PipelineConfig,
     metrics: MetricsRegistry,
+    store: Option<Arc<Store>>,
 }
 
 impl Pipeline {
@@ -92,13 +134,34 @@ impl Pipeline {
             program,
             config: PipelineConfig::default(),
             metrics: MetricsRegistry::new(),
+            store: None,
         }
     }
 
-    /// Overrides the configuration.
+    /// Overrides the configuration. When [`PipelineConfig::store`] names a
+    /// directory (and no store was injected via [`Pipeline::with_store`]),
+    /// the on-disk store is opened here; an unopenable directory degrades
+    /// to running uncached rather than failing the pipeline.
     pub fn with_config(mut self, config: PipelineConfig) -> Self {
+        if self.store.is_none() {
+            if let Some(sc) = &config.store {
+                self.store = Store::open(sc.dir.clone()).ok().map(Arc::new);
+            }
+        }
         self.config = config;
         self
+    }
+
+    /// Shares an already-open artifact store (the daemon opens one store
+    /// and hands it to every per-request pipeline).
+    pub fn with_store(mut self, store: Arc<Store>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The artifact store, when caching is enabled.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 
     /// Shares an external metrics registry, so a caller (for instance a
@@ -114,8 +177,8 @@ impl Pipeline {
     }
 
     /// The configuration.
-    pub fn config(&self) -> PipelineConfig {
-        self.config
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
     }
 
     /// The metrics registry every phase reports into.
@@ -205,6 +268,98 @@ impl Pipeline {
             }
         }
         (acc.finish(), span.finish(), used)
+    }
+
+    /// Stable fingerprint of a profiling corpus plus everything the
+    /// profiling phase consults besides the program: the interpreter
+    /// configuration (seed, step budget, quantum) and the stopping
+    /// patience. Equal fingerprints guarantee byte-identical merged
+    /// invariant sets, which is what makes the fingerprint a safe cache
+    /// key.
+    pub fn corpus_fingerprint(&self, inputs: &[Vec<i64>], patience: usize) -> Fingerprint {
+        let mut h = FingerprintHasher::new();
+        h.write(b"oha-corpus-v1");
+        let m = &self.config.machine;
+        h.write_u64(m.seed);
+        h.write_u64(m.max_steps);
+        h.write_u64(u64::from(m.quantum));
+        h.write_u64(patience as u64);
+        h.write_u64(inputs.len() as u64);
+        for input in inputs {
+            h.write_u64(input.len() as u64);
+            for &v in input {
+                h.write_u64(v as u64);
+            }
+        }
+        h.finish()
+    }
+
+    /// Fingerprint of the static-analysis budgets a cached phase consults.
+    /// Budgets are part of the predicate: a bigger budget can change which
+    /// sensitivity completes, and with it the cached artifact.
+    pub fn budget_fingerprint(&self, include_visit: bool) -> Fingerprint {
+        let mut h = FingerprintHasher::new();
+        h.write(b"oha-budgets-v1");
+        h.write_u64(u64::from(self.config.ctx_budget));
+        h.write_u64(self.config.solver_budget);
+        if include_visit {
+            h.write_u64(self.config.visit_budget);
+        }
+        h.finish()
+    }
+
+    /// The profiling phase's cache key: the program fingerprint paired
+    /// with the corpus fingerprint.
+    pub fn profile_key(&self, inputs: &[Vec<i64>], patience: usize) -> ArtifactKey {
+        ArtifactKey::new(
+            self.program.fingerprint(),
+            self.corpus_fingerprint(inputs, patience),
+        )
+    }
+
+    /// Phase 1 with the artifact store in front: a warm
+    /// [`ProfileArtifact`] replaces the whole profiling loop (byte-
+    /// identical invariants by the corpus-fingerprint contract); a miss
+    /// runs [`Pipeline::profile_until_stable`] and persists the result.
+    ///
+    /// The returned duration is the *actual* time spent this run (tiny on
+    /// a hit); the cold run's duration is replayed into the registry under
+    /// the `cached/profile` span so reports can still account for it.
+    pub(crate) fn profile_phase(
+        &self,
+        inputs: &[Vec<i64>],
+        patience: usize,
+    ) -> (InvariantSet, Duration, usize) {
+        let Some(store) = self.store.clone() else {
+            return self.profile_until_stable(inputs, patience);
+        };
+        let key = self.profile_key(inputs, patience);
+        let start = std::time::Instant::now();
+        if let Some(artifact) = store.load_profile(&key) {
+            // Mirror the cold shape: the (tiny) load lands on the live
+            // `profile` span, the cold run's duration on `cached/profile`.
+            let elapsed = start.elapsed();
+            let span = self.metrics.span("profile");
+            self.metrics.add_span_stat(
+                "cached/profile",
+                SpanStat {
+                    total: Duration::from_nanos(artifact.profile_ns),
+                    count: 1,
+                },
+            );
+            span.finish();
+            return (artifact.invariants, elapsed, artifact.runs_used as usize);
+        }
+        let (invariants, time, used) = self.profile_until_stable(inputs, patience);
+        let artifact = ProfileArtifact {
+            invariants: invariants.clone(),
+            runs_used: used as u64,
+            profile_ns: time.as_nanos() as u64,
+        };
+        if store.save_profile(&key, &artifact).is_err() {
+            self.metrics.add("store.save_errors", 1);
+        }
+        (invariants, time, used)
     }
 
     /// Runs the full OptFT pipeline (profile → predicated static race

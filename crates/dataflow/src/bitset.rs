@@ -122,6 +122,20 @@ impl BitSet {
         self.words.shrink_to_fit();
     }
 
+    /// The backing 64-bit words with trailing zero words stripped — the
+    /// canonical serialization form (`oha-store`'s codec writes exactly
+    /// these words, so two sets that compare [`Eq`] encode identically).
+    pub fn as_words(&self) -> &[u64] {
+        self.significant_words()
+    }
+
+    /// Rebuilds a set from the word form produced by
+    /// [`BitSet::as_words`]. Accepts trailing zero words (they do not
+    /// affect equality).
+    pub fn from_words(words: Vec<u64>) -> Self {
+        Self { words }
+    }
+
     /// The word-vector prefix up to and including the last nonzero word.
     fn significant_words(&self) -> &[u64] {
         let sig = self

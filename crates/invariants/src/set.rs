@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 
-use oha_ir::{BlockId, FuncId, InstId, Program};
+use oha_ir::{BlockId, Fingerprint, FuncId, InstId, Program};
 
 use crate::profile::RunProfile;
 
@@ -212,6 +212,21 @@ impl InvariantSet {
             + self.self_alias_locks.len()
             + self.singleton_spawns.len()
             + self.elidable_locks.len()
+    }
+
+    /// A stable 128-bit content fingerprint of this invariant set.
+    ///
+    /// Hashes the canonical text form ([`InvariantSet::to_text`], whose
+    /// ordering is fixed by the underlying B-tree collections) with the
+    /// `num_profiles` bookkeeping zeroed out: two sets fingerprint equal
+    /// iff they assert the same *facts*, regardless of how many profiling
+    /// runs produced them. Stable across process runs and `OHA_THREADS`
+    /// settings; used as the invariant half of the `oha-store` artifact
+    /// key.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut canonical = self.clone();
+        canonical.num_profiles = 0;
+        Fingerprint::of_bytes(canonical.to_text().as_bytes())
     }
 
     /// Serializes the set in the plain-text format the paper describes

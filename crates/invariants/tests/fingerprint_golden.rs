@@ -1,0 +1,99 @@
+//! Golden-value tests for [`InvariantSet::fingerprint`].
+//!
+//! The pinned digest ties the fingerprint to the canonical invariant text
+//! ordering (`InvariantSet::to_text`, B-tree order). Accidental changes to
+//! that canonical form would silently orphan every cached artifact keyed
+//! on the old form — a failure here that you did not intend means the
+//! canonical ordering changed. Intended changes must bump `oha-store`'s
+//! `FORMAT_VERSION` alongside the repin.
+
+use oha_invariants::InvariantSet;
+use oha_ir::{BlockId, FuncId, InstId};
+
+fn golden_set() -> InvariantSet {
+    let mut set = InvariantSet::default();
+    set.visited_blocks
+        .extend([BlockId::new(0), BlockId::new(3)]);
+    set.callee_sets.insert(
+        InstId::new(7),
+        [FuncId::new(1), FuncId::new(2)].into_iter().collect(),
+    );
+    set.contexts.insert(vec![InstId::new(7), InstId::new(9)]);
+    set.must_alias_locks
+        .insert((InstId::new(4), InstId::new(5)));
+    set.self_alias_locks.insert(InstId::new(4));
+    set.singleton_spawns.insert(InstId::new(11));
+    set.elidable_locks.insert(InstId::new(4));
+    set.num_profiles = 12;
+    set
+}
+
+#[test]
+fn golden_invariant_fingerprint_is_pinned() {
+    assert_eq!(
+        golden_set().fingerprint().to_hex(),
+        "8f252edb4733fe4aac67043f4909e812",
+        "canonical invariant ordering (or the hash primitive) changed; \
+         see this file's module docs before repinning"
+    );
+}
+
+#[test]
+fn fingerprint_ignores_profile_count() {
+    let a = golden_set();
+    let mut b = golden_set();
+    b.num_profiles = 999;
+    assert_eq!(
+        a.fingerprint(),
+        b.fingerprint(),
+        "the key is over facts, not corpus-size bookkeeping"
+    );
+}
+
+#[test]
+fn fingerprint_tracks_every_fact_class() {
+    type Mutation = Box<dyn Fn(&mut InvariantSet)>;
+    let base = golden_set();
+    let mutations: Vec<Mutation> = vec![
+        Box::new(|s| {
+            s.visited_blocks.insert(BlockId::new(99));
+        }),
+        Box::new(|s| {
+            s.callee_sets
+                .entry(InstId::new(7))
+                .or_default()
+                .insert(FuncId::new(9));
+        }),
+        Box::new(|s| {
+            s.contexts.insert(vec![InstId::new(1)]);
+        }),
+        Box::new(|s| {
+            s.must_alias_locks.insert((InstId::new(1), InstId::new(2)));
+        }),
+        Box::new(|s| {
+            s.self_alias_locks.insert(InstId::new(8));
+        }),
+        Box::new(|s| {
+            s.singleton_spawns.insert(InstId::new(2));
+        }),
+        Box::new(|s| {
+            s.elidable_locks.insert(InstId::new(5));
+        }),
+    ];
+    for (i, mutate) in mutations.iter().enumerate() {
+        let mut changed = base.clone();
+        mutate(&mut changed);
+        assert_ne!(
+            changed.fingerprint(),
+            base.fingerprint(),
+            "fact class {i} does not reach the fingerprint"
+        );
+    }
+}
+
+#[test]
+fn fingerprint_survives_text_round_trip() {
+    let set = golden_set();
+    let reparsed = InvariantSet::from_text(&set.to_text()).unwrap();
+    assert_eq!(reparsed.fingerprint(), set.fingerprint());
+}

@@ -1,0 +1,193 @@
+//! Stable 128-bit content fingerprints.
+//!
+//! The persistent artifact cache (`oha-store`) keys analysis results on
+//! `(Program::fingerprint(), InvariantSet::fingerprint())`. Both are
+//! [`Fingerprint`]s: 128-bit FNV-1a hashes over a *canonical byte form*
+//! (the textual printer output for programs, the sorted invariant text for
+//! invariant sets), so they are stable across process runs, thread counts,
+//! and platforms — unlike [`std::hash::Hash`], whose `DefaultHasher` is
+//! explicitly allowed to change between releases.
+//!
+//! FNV-1a is not collision-resistant against adversaries; it is used here
+//! as a *content address* for trusted local artifacts, where 128 bits make
+//! accidental collisions vanishingly unlikely.
+
+use std::fmt;
+
+/// The 128-bit FNV-1a offset basis.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// The 128-bit FNV prime, 2^88 + 2^8 + 0x3b.
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A stable 128-bit content hash.
+///
+/// # Examples
+///
+/// ```
+/// use oha_ir::Fingerprint;
+///
+/// let fp = Fingerprint::of_bytes(b"hello");
+/// assert_eq!(Fingerprint::of_bytes(b"hello"), fp);
+/// assert_ne!(Fingerprint::of_bytes(b"hellp"), fp);
+/// let hex = fp.to_hex();
+/// assert_eq!(Fingerprint::from_hex(&hex), Some(fp));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// Hashes a byte slice in one call.
+    pub fn of_bytes(bytes: &[u8]) -> Self {
+        let mut h = FingerprintHasher::new();
+        h.write(bytes);
+        h.finish()
+    }
+
+    /// The hash as 32 lowercase hex digits (the on-disk file-name form).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the 32-hex-digit form produced by [`Fingerprint::to_hex`].
+    pub fn from_hex(hex: &str) -> Option<Self> {
+        if hex.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(hex, 16).ok().map(Fingerprint)
+    }
+
+    /// The raw little-endian bytes (the wire/codec form).
+    pub fn to_le_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// Reconstructs a fingerprint from [`Fingerprint::to_le_bytes`].
+    pub fn from_le_bytes(bytes: [u8; 16]) -> Self {
+        Fingerprint(u128::from_le_bytes(bytes))
+    }
+
+    /// Combines two fingerprints into one (order-sensitive) — used to
+    /// derive a single key from a `(program, invariants)` pair.
+    pub fn combine(self, other: Fingerprint) -> Fingerprint {
+        let mut h = FingerprintHasher::new();
+        h.write(&self.to_le_bytes());
+        h.write(&other.to_le_bytes());
+        h.finish()
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fingerprint({:032x})", self.0)
+    }
+}
+
+/// A streaming 128-bit FNV-1a hasher.
+///
+/// # Examples
+///
+/// ```
+/// use oha_ir::{Fingerprint, FingerprintHasher};
+///
+/// let mut h = FingerprintHasher::new();
+/// h.write(b"he");
+/// h.write(b"llo");
+/// assert_eq!(h.finish(), Fingerprint::of_bytes(b"hello"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FingerprintHasher {
+    state: u128,
+}
+
+impl FingerprintHasher {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Feeds a little-endian `u64` (length-prefix friendly helper for
+    /// structured hashing).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The accumulated fingerprint.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+impl Default for FingerprintHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden vectors for the raw FNV-1a-128 primitive. If these move, the
+    /// hash function changed and every on-disk artifact key is silently
+    /// orphaned — treat any diff here as a format break requiring a store
+    /// version bump.
+    #[test]
+    fn fnv128_golden_vectors() {
+        assert_eq!(
+            Fingerprint::of_bytes(b"").to_hex(),
+            "6c62272e07bb014262b821756295c58d",
+            "empty input must be the FNV-1a offset basis"
+        );
+        assert_eq!(
+            Fingerprint::of_bytes(b"a").to_hex(),
+            "d228cb696f1a8caf78912b704e4a8964"
+        );
+        assert_eq!(
+            Fingerprint::of_bytes(b"foobar").to_hex(),
+            "343e1662793c64bf6f0d3597ba446f18"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let mut h = FingerprintHasher::new();
+        for chunk in [b"ab".as_slice(), b"", b"cdef"] {
+            h.write(chunk);
+        }
+        assert_eq!(h.finish(), Fingerprint::of_bytes(b"abcdef"));
+    }
+
+    #[test]
+    fn hex_round_trip_and_rejects_garbage() {
+        let fp = Fingerprint::of_bytes(b"roundtrip");
+        assert_eq!(Fingerprint::from_hex(&fp.to_hex()), Some(fp));
+        assert_eq!(Fingerprint::from_hex("xyz"), None);
+        assert_eq!(Fingerprint::from_hex(""), None);
+        // Wrong length, even if valid hex.
+        assert_eq!(Fingerprint::from_hex("abc123"), None);
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let a = Fingerprint::of_bytes(b"a");
+        let b = Fingerprint::of_bytes(b"b");
+        assert_ne!(a.combine(b), b.combine(a));
+        assert_eq!(a.combine(b), a.combine(b));
+    }
+}

@@ -38,6 +38,7 @@
 
 mod builder;
 mod error;
+mod fingerprint;
 mod function;
 mod ids;
 mod inst;
@@ -48,6 +49,7 @@ mod validate;
 
 pub use builder::{FunctionBuilder, ProgramBuilder};
 pub use error::{IrError, ParseProgramError};
+pub use fingerprint::{Fingerprint, FingerprintHasher};
 pub use function::{BasicBlock, Function, Global};
 pub use ids::{BlockId, FuncId, GlobalId, InstId, Reg};
 pub use inst::{BinOp, Callee, CmpOp, Inst, InstKind, Operand, Terminator};

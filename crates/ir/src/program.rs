@@ -191,6 +191,19 @@ impl Program {
     pub fn globals(&self) -> &[Global] {
         &self.globals
     }
+
+    /// A stable 128-bit content fingerprint of this program.
+    ///
+    /// Hashes the canonical printer form ([`print_program`]), so two
+    /// programs fingerprint equal iff they print identically — the same
+    /// canonical form the textual round-trip is defined over. Stable
+    /// across process runs, `OHA_THREADS` settings and platforms; used as
+    /// the program half of the `oha-store` artifact key.
+    ///
+    /// [`print_program`]: crate::print_program
+    pub fn fingerprint(&self) -> crate::Fingerprint {
+        crate::Fingerprint::of_bytes(crate::print_program(self).as_bytes())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,97 @@
+//! Golden-value tests for [`Program::fingerprint`].
+//!
+//! The pinned hex digests tie the fingerprint to the *canonical printer
+//! form*: any change to `print_program`'s output (or to the FNV-1a-128
+//! primitive) moves these values, orphaning every artifact in an existing
+//! `oha-store` directory. That is sometimes the right thing to do — but it
+//! must be a reviewed decision (bump `oha-store`'s `FORMAT_VERSION`
+//! alongside), never an accident. If a test here fails and you did not
+//! intend to change the canonical form, you broke the printer.
+
+use oha_ir::{parse_program, print_program, Operand, Program, ProgramBuilder};
+use Operand::{Const, Reg as R};
+
+/// A fixed two-function program exercising globals, heap, calls, locks and
+/// spawns — enough surface that most printer changes would perturb it.
+fn golden_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.global("shared", 2);
+    let w = pb.declare("worker", 1);
+    let mut m = pb.function("main", 0);
+    let n = m.input();
+    let t = m.spawn(w, R(n));
+    let ga = m.addr_global(g);
+    m.lock(R(ga));
+    let v = m.load(R(ga), 1);
+    let v2 = m.bin(oha_ir::BinOp::Add, R(v), Const(3));
+    m.store(R(ga), 1, R(v2));
+    m.unlock(R(ga));
+    m.join(R(t));
+    m.output(R(v2));
+    m.ret(None);
+    let main = pb.finish_function(m);
+    let mut f = pb.function("worker", 1);
+    let p0 = f.param(0);
+    let h = f.alloc(1);
+    f.store(R(h), 0, R(p0));
+    let l = f.load(R(h), 0);
+    f.output(R(l));
+    f.ret(None);
+    pb.finish_function(f);
+    pb.finish(main).unwrap()
+}
+
+#[test]
+fn golden_program_fingerprint_is_pinned() {
+    assert_eq!(
+        golden_program().fingerprint().to_hex(),
+        "1d650bf44b9768d7803f816e96d49054",
+        "canonical printer form (or the hash primitive) changed; \
+         see this file's module docs before repinning"
+    );
+}
+
+#[test]
+fn fingerprint_is_the_hash_of_the_printer_form() {
+    let p = golden_program();
+    assert_eq!(
+        p.fingerprint(),
+        oha_ir::Fingerprint::of_bytes(print_program(&p).as_bytes())
+    );
+}
+
+#[test]
+fn fingerprint_survives_a_text_round_trip() {
+    let p = golden_program();
+    let reparsed = parse_program(&print_program(&p)).unwrap();
+    assert_eq!(reparsed.fingerprint(), p.fingerprint());
+}
+
+#[test]
+fn fingerprint_distinguishes_programs() {
+    let p = golden_program();
+    // Same shape, one constant changed.
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0);
+    f.output(Const(1));
+    f.ret(None);
+    let main = pb.finish_function(f);
+    let tiny = pb.finish(main).unwrap();
+    assert_ne!(p.fingerprint(), tiny.fingerprint());
+
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0);
+    f.output(Const(2));
+    f.ret(None);
+    let main = pb.finish_function(f);
+    let tiny2 = pb.finish(main).unwrap();
+    assert_ne!(tiny.fingerprint(), tiny2.fingerprint());
+}
+
+#[test]
+fn fingerprint_is_stable_across_clones_and_calls() {
+    let p = golden_program();
+    let fp = p.fingerprint();
+    assert_eq!(p.clone().fingerprint(), fp);
+    assert_eq!(p.fingerprint(), fp);
+}

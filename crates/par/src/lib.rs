@@ -12,7 +12,10 @@
 //!   scheduled as contiguous chunks (no work stealing — static chunking
 //!   keeps the execution shape reproducible and the scheduler trivial),
 //! - [`thread_count`]: the pool sizing rule, `OHA_THREADS` environment
-//!   override first, [`std::thread::available_parallelism`] otherwise.
+//!   override first, [`std::thread::available_parallelism`] otherwise,
+//! - [`TaskPool`]: persistent workers over a shared FIFO queue, for
+//!   long-running services (the `oha-serve` daemon) that need graceful
+//!   drain semantics rather than scoped fork/join.
 //!
 //! Determinism is the contract of every consumer: `par_map` returns
 //! results in input order, so folding its output sequentially yields the
@@ -22,6 +25,10 @@
 use std::env;
 use std::panic::resume_unwind;
 use std::thread::{self, Scope, ScopedJoinHandle};
+
+mod taskpool;
+
+pub use taskpool::TaskPool;
 
 /// Environment variable overriding the worker-thread count (`0`, empty, or
 /// unparsable values fall back to the hardware default).

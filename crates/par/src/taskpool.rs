@@ -1,0 +1,273 @@
+//! A persistent worker pool with a shared job queue.
+//!
+//! [`Pool`](crate::Pool) is scoped fork/join: threads live for one
+//! parallel section. A long-running service (the `oha-serve` analysis
+//! daemon) instead needs workers that outlive any one request, a queue
+//! that absorbs bursts, and a graceful drain on shutdown. `TaskPool`
+//! provides exactly that, std-only: a `Mutex`-protected `VecDeque` of
+//! boxed jobs and two `Condvar`s (one waking idle workers, one waking
+//! drain waiters).
+//!
+//! Results do not flow through the pool — callers pair each submitted job
+//! with their own channel (e.g. `std::sync::mpsc` plus `recv_timeout` for
+//! per-request deadlines), which keeps the pool's surface minimal and its
+//! jobs `FnOnce() + Send + 'static`.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Jobs currently executing on a worker.
+    active: usize,
+    /// Once set, `submit` refuses new jobs; workers exit when the queue
+    /// drains.
+    shutting_down: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Wakes workers when a job arrives or shutdown begins.
+    work_ready: Condvar,
+    /// Wakes `wait_idle`/`shutdown` when the pool may have drained.
+    drained: Condvar,
+    /// Jobs whose closure panicked (the worker survives; the panic is
+    /// contained and counted).
+    panicked: AtomicU64,
+}
+
+/// A fixed-width pool of persistent workers consuming a shared FIFO
+/// queue.
+///
+/// Dropping the pool performs a graceful [`TaskPool::shutdown`]: already
+/// queued jobs still run, then workers are joined.
+pub struct TaskPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TaskPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskPool")
+            .field("threads", &self.workers.len())
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+impl TaskPool {
+    /// Starts a pool with `threads` persistent workers (clamped to at
+    /// least 1).
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState::default()),
+            work_ready: Condvar::new(),
+            drained: Condvar::new(),
+            panicked: AtomicU64::new(0),
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("oha-taskpool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// A pool sized by [`thread_count`](crate::thread_count)
+    /// (`OHA_THREADS` override, hardware default).
+    pub fn from_env() -> Self {
+        Self::new(crate::thread_count())
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job. Returns `false` (dropping the job) if the pool is
+    /// shutting down.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        if state.shutting_down {
+            return false;
+        }
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.work_ready.notify_one();
+        true
+    }
+
+    /// Jobs queued but not yet started.
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").jobs.len()
+    }
+
+    /// Jobs whose closure panicked (each was contained; its worker
+    /// survived).
+    pub fn panicked_jobs(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the queue is empty **and** no job is executing.
+    pub fn wait_idle(&self) {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        while !state.jobs.is_empty() || state.active > 0 {
+            state = self.shared.drained.wait(state).expect("pool lock");
+        }
+    }
+
+    /// Graceful drain: stop accepting jobs, run everything already
+    /// queued, then join the workers.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown_and_join();
+    }
+
+    fn begin_shutdown_and_join(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            if state.shutting_down && self.workers.is_empty() {
+                return;
+            }
+            state.shutting_down = true;
+        }
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.begin_shutdown_and_join();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    state.active += 1;
+                    break job;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = shared.work_ready.wait(state).expect("pool lock");
+            }
+        };
+        // Contain job panics: a poisoned request must not take a worker
+        // (and with it, eventually, the whole daemon) down.
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut state = shared.state.lock().expect("pool lock");
+        state.active -= 1;
+        if state.jobs.is_empty() && state.active == 0 {
+            shared.drained.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_submitted_job_exactly_once() {
+        let pool = TaskPool::new(4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let hits = Arc::clone(&hits);
+            assert!(pool.submit(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.wait_idle();
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        pool.shutdown();
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = TaskPool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let hits = Arc::clone(&hits);
+            pool.submit(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            32,
+            "graceful drain runs everything already queued"
+        );
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let pool = TaskPool::new(1);
+        // Drop triggers the same code path as shutdown(); use a second
+        // pool to check the flag directly.
+        {
+            let mut state = pool.shared.state.lock().unwrap();
+            state.shutting_down = true;
+        }
+        assert!(!pool.submit(|| panic!("must never run")));
+        // Reset so drop's join can complete.
+        pool.shared.state.lock().unwrap().shutting_down = false;
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_workers() {
+        let pool = TaskPool::new(1);
+        pool.submit(|| panic!("contained"));
+        pool.wait_idle();
+        assert_eq!(pool.panicked_jobs(), 1);
+        // The single worker is still alive and serving.
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || tx.send(42u32).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn results_flow_through_caller_channels() {
+        let pool = TaskPool::new(3);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10u64 {
+            let tx = tx.clone();
+            pool.submit(move || tx.send(i * i).unwrap());
+        }
+        drop(tx);
+        let mut got: Vec<u64> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn width_is_clamped_and_reported() {
+        let pool = TaskPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.pending(), 0);
+    }
+}

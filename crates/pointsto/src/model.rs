@@ -96,6 +96,14 @@ impl ObjRegistry {
         (field < fields).then_some(base + field)
     }
 
+    /// The interned objects in creation order, each with its field count.
+    /// Re-interning them in this order into a fresh registry reproduces
+    /// identical cell numbering — the property `oha-store` relies on to
+    /// rehydrate a cached analysis.
+    pub fn objects(&self) -> impl Iterator<Item = (AbsObj, u32)> + '_ {
+        self.objects.iter().map(|&(_, fields, obj)| (obj, fields))
+    }
+
     /// Number of cells allocated so far.
     pub fn num_cells(&self) -> u32 {
         self.next_cell

@@ -111,9 +111,48 @@ impl PointsTo {
         }
     }
 
+    /// Reconstructs a `PointsTo` from its serialized parts — the
+    /// rehydration entry point for `oha-store`'s artifact cache. The parts
+    /// must come from [`PointsTo::load_entries`] and friends on an analysis
+    /// of the *same* program; nothing is revalidated here.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        registry: ObjRegistry,
+        loads: HashMap<InstId, BitSet>,
+        stores: HashMap<InstId, BitSet>,
+        locks: HashMap<InstId, BitSet>,
+        per_ctx: HashMap<(InstId, u64), BitSet>,
+        callees: BTreeMap<InstId, BTreeSet<FuncId>>,
+        stats: PtStats,
+    ) -> Self {
+        Self::new(registry, loads, stores, locks, per_ctx, callees, stats)
+    }
+
     /// The abstract-object registry backing the cell ids.
     pub fn registry(&self) -> &ObjRegistry {
         &self.registry
+    }
+
+    /// Every (load site, cells) entry — the serialization form of
+    /// [`PointsTo::load_cells`].
+    pub fn load_entries(&self) -> impl Iterator<Item = (InstId, &BitSet)> {
+        self.loads.iter().map(|(&i, s)| (i, s))
+    }
+
+    /// Every (store site, cells) entry.
+    pub fn store_entries(&self) -> impl Iterator<Item = (InstId, &BitSet)> {
+        self.stores.iter().map(|(&i, s)| (i, s))
+    }
+
+    /// Every (lock site, cells) entry.
+    pub fn lock_entries(&self) -> impl Iterator<Item = (InstId, &BitSet)> {
+        self.locks.iter().map(|(&i, s)| (i, s))
+    }
+
+    /// Every per-(access, context-hash) entry (empty for the
+    /// context-insensitive variant).
+    pub fn ctx_entries(&self) -> impl Iterator<Item = ((InstId, u64), &BitSet)> {
+        self.per_ctx.iter().map(|(&k, s)| (k, s))
     }
 
     /// The cells a load may read (empty for non-loads and unreachable

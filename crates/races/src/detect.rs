@@ -33,6 +33,14 @@ pub struct StaticRaces {
 }
 
 impl StaticRaces {
+    /// Reconstructs a result from its serialized parts — the rehydration
+    /// entry point for `oha-store`'s artifact cache. The parts must come
+    /// from a [`detect`] run over the same program and invariant predicate;
+    /// nothing is revalidated here.
+    pub fn from_parts(racy: BitSet, pairs: Vec<(InstId, InstId)>, stats: RaceStats) -> Self {
+        Self { racy, pairs, stats }
+    }
+
     /// Whether a load/store may race (needs FastTrack instrumentation).
     pub fn is_racy(&self, inst: InstId) -> bool {
         self.racy.contains(inst.index())

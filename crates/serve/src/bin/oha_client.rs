@@ -1,0 +1,158 @@
+//! Command-line client for the OHA analysis daemon. See `--help`.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use oha_serve::{Client, Tool};
+
+const USAGE: &str = "\
+oha-client: talk to a running oha-serve daemon
+
+USAGE:
+  oha-client [--socket PATH] optft    --program FILE [--profiling SPEC] [--testing SPEC]
+  oha-client [--socket PATH] optslice --program FILE [--profiling SPEC] [--testing SPEC]
+                                      [--endpoints 3,17]
+  oha-client [--socket PATH] stats
+  oha-client [--socket PATH] shutdown
+
+OPTIONS:
+  --socket PATH     Daemon socket (default: oha-serve.sock)
+  --program FILE    Program in IR text form ('-' reads stdin)
+  --profiling SPEC  Profiling corpus: runs split by ';', values by ','
+                    e.g. \"1,2;3\" is two runs, [1,2] and [3] (default: \"1;2;3\")
+  --testing SPEC    Testing corpus, same format (default: \"4;5\")
+  --endpoints LIST  OptSlice endpoints as raw instruction ids; omitted or
+                    empty means every `output` instruction
+
+The analyze ops print the canonical (timing-free) result JSON on stdout;
+stats prints the daemon's counters. Exit status is non-zero on an error
+response.
+";
+
+fn main() {
+    let mut socket = PathBuf::from("oha-serve.sock");
+    let mut command: Option<String> = None;
+    let mut program_path: Option<String> = None;
+    let mut profiling = "1;2;3".to_string();
+    let mut testing = "4;5".to_string();
+    let mut endpoints: Vec<u32> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value\n\n{USAGE}");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--socket" => socket = PathBuf::from(value("--socket")),
+            "--program" => program_path = Some(value("--program")),
+            "--profiling" => profiling = value("--profiling"),
+            "--testing" => testing = value("--testing"),
+            "--endpoints" => {
+                endpoints = value("--endpoints")
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("error: bad endpoint id {s:?}\n\n{USAGE}");
+                            exit(2);
+                        })
+                    })
+                    .collect()
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            cmd if command.is_none() && !cmd.starts_with('-') => command = Some(cmd.to_string()),
+            other => {
+                eprintln!("error: unknown argument {other:?}\n\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+
+    let Some(command) = command else {
+        eprintln!("error: no command\n\n{USAGE}");
+        exit(2);
+    };
+
+    let mut client = Client::connect(&socket).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {}: {e}", socket.display());
+        exit(1);
+    });
+
+    let response = match command.as_str() {
+        "stats" => client.stats(),
+        "shutdown" => client.shutdown(),
+        "optft" | "optslice" => {
+            let tool = if command == "optft" {
+                Tool::OptFt
+            } else {
+                Tool::OptSlice
+            };
+            let program = read_program(program_path.as_deref());
+            client.analyze(
+                tool,
+                &program,
+                &parse_corpus(&profiling, "--profiling"),
+                &parse_corpus(&testing, "--testing"),
+                &endpoints,
+            )
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}\n\n{USAGE}");
+            exit(2);
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("error: request failed: {e}");
+        exit(1);
+    });
+
+    if response.ok {
+        println!("{}", response.body);
+    } else {
+        eprintln!("error: daemon said: {}", response.body);
+        exit(1);
+    }
+}
+
+fn read_program(path: Option<&str>) -> String {
+    let Some(path) = path else {
+        eprintln!("error: analyze commands need --program\n\n{USAGE}");
+        exit(2);
+    };
+    let result = if path == "-" {
+        use std::io::Read as _;
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map(move |_| text)
+    } else {
+        std::fs::read_to_string(path)
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("error: cannot read program {path:?}: {e}");
+        exit(1);
+    })
+}
+
+fn parse_corpus(spec: &str, flag: &str) -> Vec<Vec<i64>> {
+    spec.split(';')
+        .filter(|run| !run.trim().is_empty())
+        .map(|run| {
+            run.split(',')
+                .filter(|v| !v.trim().is_empty())
+                .map(|v| {
+                    v.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("error: {flag} has a non-integer value {v:?}\n\n{USAGE}");
+                        exit(2);
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}

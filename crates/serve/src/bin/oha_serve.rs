@@ -1,0 +1,94 @@
+//! The daemon binary. See `--help`.
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Duration;
+
+use oha_serve::{Server, ServerConfig};
+
+const USAGE: &str = "\
+oha-serve: the OHA analysis daemon
+
+USAGE:
+  oha-serve [--socket PATH] [--store DIR] [--threads N] [--timeout-ms N] [--lru N]
+
+OPTIONS:
+  --socket PATH      Unix-domain socket to listen on (default: oha-serve.sock)
+  --store DIR        Artifact-store directory (default: $OHA_STORE_DIR, else no
+                     persistence; the in-memory response cache still applies)
+  --threads N        Worker threads per pool (default: $OHA_THREADS, else hardware)
+  --timeout-ms N     Per-request compute deadline in milliseconds (default: 120000)
+  --lru N            Response-cache capacity in entries (default: 64)
+
+Stop the daemon with `oha-client --socket PATH shutdown` (graceful drain).
+";
+
+fn main() {
+    let mut config = ServerConfig::default();
+    if let Ok(dir) = std::env::var(oha_core::STORE_DIR_ENV) {
+        if !dir.trim().is_empty() {
+            config.store_dir = Some(PathBuf::from(dir.trim()));
+        }
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value\n\n{USAGE}");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--socket" => config.socket = PathBuf::from(value("--socket")),
+            "--store" => config.store_dir = Some(PathBuf::from(value("--store"))),
+            "--threads" => config.threads = parse(&value("--threads"), "--threads"),
+            "--timeout-ms" => {
+                config.request_timeout =
+                    Duration::from_millis(parse(&value("--timeout-ms"), "--timeout-ms"))
+            }
+            "--lru" => config.lru_capacity = parse(&value("--lru"), "--lru"),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?}\n\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+
+    let server = match Server::bind(config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", config.socket.display());
+            exit(1);
+        }
+    };
+    eprintln!(
+        "oha-serve: listening on {} (store: {})",
+        server.socket().display(),
+        config
+            .store_dir
+            .as_ref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "none".to_string()),
+    );
+    match server.run() {
+        Ok(stats) => eprintln!(
+            "oha-serve: drained after {} requests ({} LRU hits, {} timeouts, {} errors)",
+            stats.requests, stats.lru_hits, stats.timeouts, stats.errors
+        ),
+        Err(e) => {
+            eprintln!("error: serve loop failed: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} got unparsable value {text:?}\n\n{USAGE}");
+        exit(2);
+    })
+}

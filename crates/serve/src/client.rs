@@ -1,0 +1,67 @@
+//! A small blocking client for the daemon protocol, shared by the
+//! `oha-client` binary, the benchmark harness and the test suite.
+
+use std::io::{self, BufReader, BufWriter};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::proto::{read_frame, write_frame, Request, Response, Tool};
+
+/// One connection to a running daemon. Requests are answered in order
+/// over the same connection.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: BufWriter<UnixStream>,
+}
+
+impl Client {
+    /// Connects to the daemon's socket.
+    pub fn connect(socket: impl AsRef<Path>) -> io::Result<Self> {
+        let stream = UnixStream::connect(socket.as_ref())?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &request.encode())?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+        })?;
+        Response::decode(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+
+    /// Runs a pipeline on a program shipped as IR text. Empty `endpoints`
+    /// means "every `output` instruction" for OptSlice (ignored for
+    /// OptFT).
+    pub fn analyze(
+        &mut self,
+        tool: Tool,
+        program: &str,
+        profiling: &[Vec<i64>],
+        testing: &[Vec<i64>],
+        endpoints: &[u32],
+    ) -> io::Result<Response> {
+        self.call(&Request::Analyze {
+            tool,
+            program: program.to_string(),
+            profiling: profiling.to_vec(),
+            testing: testing.to_vec(),
+            endpoints: endpoints.to_vec(),
+        })
+    }
+
+    /// Fetches daemon statistics as JSON.
+    pub fn stats(&mut self) -> io::Result<Response> {
+        self.call(&Request::Stats)
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.call(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,31 @@
+//! `oha-serve`: the OHA analysis daemon.
+//!
+//! The store (`oha-store`) makes the expensive phases of the pipeline
+//! reusable across *processes*; this crate makes them reusable across
+//! *clients*. A daemon holds one open [`Store`](oha_store::Store) and a
+//! persistent worker pool, and serves `analyze` requests over a
+//! Unix-domain socket: the first request for a `(program, corpus)` pair
+//! pays for profiling and predicated static analysis, every later one —
+//! from any client, concurrently — reuses the cached artifacts, or the
+//! in-memory LRU front when the request bytes are identical.
+//!
+//! Responses to `analyze` are *canonical result JSON*
+//! ([`oha_core::optft_canonical_json`]): timing-free and byte-identical
+//! whether computed cold, served warm from disk, or replayed from the
+//! LRU — the determinism suite holds the daemon to that contract.
+//!
+//! The protocol ([`proto`]) is length-prefixed frames in the
+//! workspace's hand-rolled codec; ops are `analyze`, `stats` and
+//! `shutdown` (graceful drain). See the `oha-serve` / `oha-client`
+//! binaries for the command-line surface.
+
+#![warn(missing_docs)]
+
+pub mod proto;
+
+mod client;
+mod server;
+
+pub use client::Client;
+pub use proto::{Request, Response, Tool, MAX_FRAME};
+pub use server::{ServeStats, Server, ServerConfig};

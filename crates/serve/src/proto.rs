@@ -1,0 +1,335 @@
+//! The daemon's wire protocol: length-prefixed frames carrying requests
+//! and responses in the workspace's hand-rolled codec.
+//!
+//! A frame is a little-endian `u32` payload length followed by that many
+//! payload bytes, capped at [`MAX_FRAME`] (a hostile length prefix must
+//! not drive an allocation). Payloads encode with
+//! [`oha_store::Writer`]/[`oha_store::Reader`], so the same truncation
+//! and bad-tag discipline the on-disk artifacts enjoy applies on the
+//! wire: decoding is total over arbitrary bytes.
+
+use std::io::{self, Read, Write as IoWrite};
+
+use oha_store::{CodecError, Reader, Writer};
+
+/// Upper bound on one frame's payload (16 MiB — a whole benchmark
+/// program in IR text plus corpora fits with room to spare).
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Which pipeline a request drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tool {
+    /// Optimistic FastTrack race detection.
+    OptFt,
+    /// Optimistic dynamic backward slicing.
+    OptSlice,
+}
+
+impl Tool {
+    fn tag(self) -> u8 {
+        match self {
+            Tool::OptFt => 1,
+            Tool::OptSlice => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(Tool::OptFt),
+            2 => Some(Tool::OptSlice),
+            _ => None,
+        }
+    }
+
+    /// The tool's protocol name (`optft` / `optslice`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::OptFt => "optft",
+            Tool::OptSlice => "optslice",
+        }
+    }
+}
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Run a full pipeline on a program shipped as IR text.
+    Analyze {
+        /// Which pipeline to run.
+        tool: Tool,
+        /// The program in IR text form ([`oha_ir::parse_program`]).
+        program: String,
+        /// Profiling corpus.
+        profiling: Vec<Vec<i64>>,
+        /// Testing corpus.
+        testing: Vec<Vec<i64>>,
+        /// Slice endpoints (raw instruction ids) for
+        /// [`Tool::OptSlice`]. Empty means "every `output` instruction"
+        /// (resolved server-side); ignored for [`Tool::OptFt`].
+        endpoints: Vec<u32>,
+    },
+    /// Ask for daemon and store statistics as JSON.
+    Stats,
+    /// Graceful drain: finish in-flight requests, then exit.
+    Shutdown,
+}
+
+const OP_ANALYZE: u8 = 1;
+const OP_STATS: u8 = 4;
+const OP_SHUTDOWN: u8 = 5;
+
+impl Request {
+    /// Serializes the request payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Request::Analyze {
+                tool,
+                program,
+                profiling,
+                testing,
+                endpoints,
+            } => {
+                w.put_u8(OP_ANALYZE);
+                w.put_u8(tool.tag());
+                w.put_str(program);
+                put_corpus(&mut w, profiling);
+                put_corpus(&mut w, testing);
+                w.put_usize(endpoints.len());
+                for &e in endpoints {
+                    w.put_u32(e);
+                }
+            }
+            Request::Stats => w.put_u8(OP_STATS),
+            Request::Shutdown => w.put_u8(OP_SHUTDOWN),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a request payload; total over arbitrary bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let op = r.get_u8()?;
+        let req = match op {
+            OP_ANALYZE => {
+                let tool_tag = r.get_u8()?;
+                let tool = Tool::from_tag(tool_tag).ok_or(CodecError::BadTag(tool_tag))?;
+                let program = r.get_str()?.to_string();
+                let profiling = get_corpus(&mut r)?;
+                let testing = get_corpus(&mut r)?;
+                let n = r.get_len(4)?;
+                let mut endpoints = Vec::with_capacity(n);
+                for _ in 0..n {
+                    endpoints.push(r.get_u32()?);
+                }
+                Request::Analyze {
+                    tool,
+                    program,
+                    profiling,
+                    testing,
+                    endpoints,
+                }
+            }
+            OP_STATS => Request::Stats,
+            OP_SHUTDOWN => Request::Shutdown,
+            _ => return Err(CodecError::BadTag(op)),
+        };
+        if !r.is_done() {
+            return Err(CodecError::BadLength(r.remaining() as u64));
+        }
+        Ok(req)
+    }
+}
+
+/// One daemon response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// `false` means `body` is an error message, not a result.
+    pub ok: bool,
+    /// Canonical result JSON (analyze), stats JSON, or an error message.
+    pub body: String,
+    /// Whether the response was served from the daemon's in-memory LRU
+    /// front (the body is byte-identical either way).
+    pub cached: bool,
+    /// Server-side wall-clock nanoseconds spent on this request.
+    pub elapsed_ns: u64,
+}
+
+impl Response {
+    /// A successful response.
+    pub fn ok(body: impl Into<String>) -> Self {
+        Response {
+            ok: true,
+            body: body.into(),
+            cached: false,
+            elapsed_ns: 0,
+        }
+    }
+
+    /// An error response.
+    pub fn err(message: impl Into<String>) -> Self {
+        Response {
+            ok: false,
+            body: message.into(),
+            cached: false,
+            elapsed_ns: 0,
+        }
+    }
+
+    /// Serializes the response payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(u8::from(self.ok));
+        w.put_str(&self.body);
+        w.put_u8(u8::from(self.cached));
+        w.put_u64(self.elapsed_ns);
+        w.into_bytes()
+    }
+
+    /// Decodes a response payload; total over arbitrary bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let ok = match r.get_u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(CodecError::BadTag(t)),
+        };
+        let body = r.get_str()?.to_string();
+        let cached = match r.get_u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(CodecError::BadTag(t)),
+        };
+        let elapsed_ns = r.get_u64()?;
+        if !r.is_done() {
+            return Err(CodecError::BadLength(r.remaining() as u64));
+        }
+        Ok(Response {
+            ok,
+            body,
+            cached,
+            elapsed_ns,
+        })
+    }
+}
+
+fn put_corpus(w: &mut Writer, corpus: &[Vec<i64>]) {
+    w.put_usize(corpus.len());
+    for input in corpus {
+        w.put_usize(input.len());
+        for &v in input {
+            w.put_i64(v);
+        }
+    }
+}
+
+fn get_corpus(r: &mut Reader<'_>) -> Result<Vec<Vec<i64>>, CodecError> {
+    let n = r.get_len(8)?;
+    let mut corpus = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = r.get_len(8)?;
+        let mut input = Vec::with_capacity(len);
+        for _ in 0..len {
+            input.push(r.get_i64()?);
+        }
+        corpus.push(input);
+    }
+    Ok(corpus)
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl IoWrite, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at
+/// a frame boundary (the peer hung up); oversized or truncated frames
+/// are errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_analyze() -> Request {
+        Request::Analyze {
+            tool: Tool::OptSlice,
+            program: "func @main() {\n}\n".to_string(),
+            profiling: vec![vec![1, 2], vec![-3]],
+            testing: vec![vec![], vec![i64::MIN, i64::MAX]],
+            endpoints: vec![7, 42],
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [sample_analyze(), Request::Stats, Request::Shutdown] {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resp = Response {
+            ok: true,
+            body: "{\"tool\":\"optft\"}".to_string(),
+            cached: true,
+            elapsed_ns: 123_456,
+        };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn truncated_requests_never_panic() {
+        let bytes = sample_analyze().encode();
+        for cut in 0..bytes.len() {
+            assert!(Request::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = Request::Stats.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        let mut cursor = std::io::Cursor::new(huge.to_vec());
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,362 @@
+//! The analysis daemon: a Unix-domain-socket server dispatching pipeline
+//! requests onto a persistent worker pool.
+//!
+//! Concurrency shape:
+//!
+//! - an accept loop (the thread that called [`Server::run`]) hands each
+//!   connection to the I/O pool,
+//! - each connection handler reads frames and submits the compute to the
+//!   *work* pool, waiting on a per-request channel with a deadline
+//!   ([`ServerConfig::request_timeout`]) — a wedged analysis times the
+//!   request out without wedging the connection or the daemon,
+//! - compute jobs build a fresh [`Pipeline`] per request (the metrics
+//!   registry is deliberately thread-local) over the *shared*
+//!   [`Store`], and identical requests are answered from an in-memory
+//!   LRU front without touching a pipeline at all.
+//!
+//! Shutdown is a graceful drain: the `shutdown` op stops the accept
+//! loop (a self-connection wakes it), in-flight requests finish, then
+//! both pools join their workers.
+
+use std::io::{self, BufReader, BufWriter};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use oha_core::{optft_canonical_json, optslice_canonical_json, Pipeline, PipelineConfig};
+use oha_ir::{parse_program, Fingerprint, InstId, InstKind, Program};
+use oha_par::TaskPool;
+use oha_store::{Lru, Store};
+
+use crate::proto::{read_frame, write_frame, Request, Response, Tool};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Unix-domain socket path (a stale file at this path is removed on
+    /// bind).
+    pub socket: PathBuf,
+    /// Artifact-store directory; `None` serves without persistence (the
+    /// LRU front still deduplicates identical requests).
+    pub store_dir: Option<PathBuf>,
+    /// Worker threads for each pool (`0` = the `OHA_THREADS` override,
+    /// then the hardware default).
+    pub threads: usize,
+    /// Per-request compute deadline; an overrun answers the client with
+    /// an error while the stray job finishes in the background.
+    pub request_timeout: Duration,
+    /// Response-cache capacity in entries.
+    pub lru_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            socket: PathBuf::from("oha-serve.sock"),
+            store_dir: None,
+            threads: 0,
+            request_timeout: Duration::from_secs(120),
+            lru_capacity: 64,
+        }
+    }
+}
+
+/// Counters the daemon reports through the `stats` op and returns from
+/// [`Server::run`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered (all ops).
+    pub requests: u64,
+    /// Analyze responses served from the in-memory LRU front.
+    pub lru_hits: u64,
+    /// Responses evicted from the LRU front.
+    pub lru_evictions: u64,
+    /// Requests that overran the compute deadline.
+    pub timeouts: u64,
+    /// Malformed or failed requests.
+    pub errors: u64,
+}
+
+struct Shared {
+    store: Option<Arc<Store>>,
+    lru: Mutex<Lru<Fingerprint, Response>>,
+    work: TaskPool,
+    timeout: Duration,
+    shutting: AtomicBool,
+    socket: PathBuf,
+    requests: AtomicU64,
+    lru_hits: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Shared {
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            lru_hits: self.lru_hits.load(Ordering::Relaxed),
+            lru_evictions: self.lru.lock().map(|l| l.evictions()).unwrap_or(0),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn stats_json(&self) -> String {
+        let s = self.stats();
+        let store = match &self.store {
+            Some(store) => {
+                let ss = store.stats();
+                format!(
+                    "{{\"hits\":{},\"misses\":{},\"writes\":{},\"corruptions\":{},\
+                     \"version_mismatches\":{},\"invalidations\":{}}}",
+                    ss.hits,
+                    ss.misses,
+                    ss.writes,
+                    ss.corruptions,
+                    ss.version_mismatches,
+                    ss.invalidations
+                )
+            }
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"requests\":{},\"lru_hits\":{},\"lru_evictions\":{},\"timeouts\":{},\
+             \"errors\":{},\"panicked_jobs\":{},\"store\":{store}}}",
+            s.requests,
+            s.lru_hits,
+            s.lru_evictions,
+            s.timeouts,
+            s.errors,
+            self.work.panicked_jobs()
+        )
+    }
+}
+
+/// The analysis daemon. [`Server::bind`], then [`Server::run`].
+pub struct Server {
+    listener: UnixListener,
+    shared: Arc<Shared>,
+    io_pool: TaskPool,
+}
+
+impl Server {
+    /// Binds the socket (replacing a stale socket file), opens the store
+    /// and starts the worker pools. The server does not accept
+    /// connections until [`Server::run`].
+    pub fn bind(config: ServerConfig) -> io::Result<Self> {
+        if config.socket.exists() {
+            std::fs::remove_file(&config.socket)?;
+        }
+        let listener = UnixListener::bind(&config.socket)?;
+        let store = match &config.store_dir {
+            Some(dir) => Some(Arc::new(Store::open(dir.clone())?)),
+            None => None,
+        };
+        let threads = if config.threads == 0 {
+            oha_par::thread_count()
+        } else {
+            config.threads
+        };
+        let shared = Arc::new(Shared {
+            store,
+            lru: Mutex::new(Lru::new(config.lru_capacity.max(1))),
+            work: TaskPool::new(threads),
+            timeout: config.request_timeout,
+            shutting: AtomicBool::new(false),
+            socket: config.socket.clone(),
+            requests: AtomicU64::new(0),
+            lru_hits: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+        Ok(Self {
+            listener,
+            shared,
+            io_pool: TaskPool::new(threads),
+        })
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket(&self) -> &Path {
+        &self.shared.socket
+    }
+
+    /// The shared artifact store, when persistence is configured.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.shared.store.as_ref()
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains gracefully
+    /// and returns the final counters. Consumes the server; the socket
+    /// file is removed on exit.
+    pub fn run(self) -> io::Result<ServeStats> {
+        for stream in self.listener.incoming() {
+            if self.shared.shutting.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let shared = Arc::clone(&self.shared);
+            self.io_pool
+                .submit(move || handle_connection(stream, &shared));
+        }
+        // Graceful drain: no new connections; finish queued handlers,
+        // which in turn wait out their in-flight compute jobs.
+        self.io_pool.shutdown();
+        self.shared.work.wait_idle();
+        let stats = self.shared.stats();
+        let _ = std::fs::remove_file(&self.shared.socket);
+        Ok(stats)
+    }
+}
+
+fn handle_connection(stream: UnixStream, shared: &Arc<Shared>) {
+    // An idle keepalive connection must not wedge the graceful drain:
+    // cap how long the handler waits for the *next* frame. (Waiting for
+    // a response is server-side compute, bounded separately.)
+    let idle_cap = shared.timeout.saturating_mul(2).max(Duration::from_secs(1));
+    let _ = stream.set_read_timeout(Some(idle_cap));
+    let _ = stream.set_write_timeout(Some(idle_cap));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return,
+        };
+        let response = match Request::decode(&payload) {
+            Ok(request) => dispatch(&payload, request, shared),
+            Err(e) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                Response::err(format!("bad request: {e}"))
+            }
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            return;
+        }
+        // Once a drain starts, keepalive ends: close after the response
+        // in hand (including the shutdown acknowledgement itself) so an
+        // open connection cannot hold the drain hostage.
+        if shared.shutting.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn dispatch(payload: &[u8], request: Request, shared: &Arc<Shared>) -> Response {
+    match request {
+        Request::Stats => Response::ok(shared.stats_json()),
+        Request::Shutdown => {
+            shared.shutting.store(true, Ordering::SeqCst);
+            // The accept loop is blocked in `accept`; a throwaway
+            // connection wakes it so it can observe the flag.
+            let _ = UnixStream::connect(&shared.socket);
+            Response::ok("{\"shutting_down\":true}")
+        }
+        Request::Analyze { .. } => analyze(payload, request, shared),
+    }
+}
+
+fn analyze(payload: &[u8], request: Request, shared: &Arc<Shared>) -> Response {
+    // Identical request bytes → identical canonical response; serve
+    // repeats from the LRU front without touching a pipeline.
+    let key = Fingerprint::of_bytes(payload);
+    if let Ok(mut lru) = shared.lru.lock() {
+        if let Some(hit) = lru.get(&key) {
+            shared.lru_hits.fetch_add(1, Ordering::Relaxed);
+            let mut response = hit.clone();
+            response.cached = true;
+            return response;
+        }
+    }
+
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    let store = shared.store.clone();
+    let submitted = shared.work.submit(move || {
+        let _ = tx.send(compute(request, store));
+    });
+    if !submitted {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+        return Response::err("daemon is shutting down");
+    }
+    match rx.recv_timeout(shared.timeout) {
+        Ok(Ok(body)) => {
+            let mut response = Response::ok(body);
+            response.elapsed_ns = started.elapsed().as_nanos() as u64;
+            if let Ok(mut lru) = shared.lru.lock() {
+                lru.insert(key, response.clone());
+            }
+            response
+        }
+        Ok(Err(message)) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            Response::err(message)
+        }
+        Err(_) => {
+            shared.timeouts.fetch_add(1, Ordering::Relaxed);
+            Response::err(format!(
+                "request timed out after {:?} (the job keeps running in the background)",
+                shared.timeout
+            ))
+        }
+    }
+}
+
+/// Runs one pipeline on a work-pool thread. The registry inside
+/// [`Pipeline`] is `Rc`-based, so the pipeline is constructed *here*,
+/// never shipped across threads.
+fn compute(request: Request, store: Option<Arc<Store>>) -> Result<String, String> {
+    let Request::Analyze {
+        tool,
+        program,
+        profiling,
+        testing,
+        endpoints,
+    } = request
+    else {
+        return Err("not an analyze request".to_string());
+    };
+    let program = parse_program(&program).map_err(|e| format!("parse error: {e}"))?;
+    let endpoints = resolve_endpoints(&program, &endpoints)?;
+    let mut pipeline = Pipeline::new(program).with_config(PipelineConfig::default());
+    if let Some(store) = store {
+        pipeline = pipeline.with_store(store);
+    }
+    Ok(match tool {
+        Tool::OptFt => optft_canonical_json(&pipeline.run_optft(&profiling, &testing)),
+        Tool::OptSlice => {
+            let outcome = pipeline.run_optslice(&profiling, &testing, &endpoints);
+            optslice_canonical_json(&outcome)
+        }
+    })
+}
+
+/// Maps raw endpoint ids to [`InstId`]s, defaulting to every `output`
+/// instruction when the request names none.
+fn resolve_endpoints(program: &Program, raw: &[u32]) -> Result<Vec<InstId>, String> {
+    if raw.is_empty() {
+        return Ok(program
+            .insts()
+            .filter(|i| matches!(i.kind, InstKind::Output { .. }))
+            .map(|i| i.id)
+            .collect());
+    }
+    let total = program.insts().count() as u32;
+    raw.iter()
+        .map(|&r| {
+            if r < total {
+                Ok(InstId::new(r))
+            } else {
+                Err(format!(
+                    "endpoint i{r} out of range (program has {total} instructions)"
+                ))
+            }
+        })
+        .collect()
+}

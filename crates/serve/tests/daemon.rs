@@ -1,0 +1,200 @@
+//! End-to-end daemon tests: many concurrent clients must get responses
+//! byte-identical to a serial in-process pipeline, malformed requests
+//! must get error responses (not a dead daemon), and shutdown must
+//! drain gracefully.
+
+use std::fs;
+use std::path::PathBuf;
+use std::thread;
+
+use oha_core::{optft_canonical_json, optslice_canonical_json, Pipeline};
+use oha_ir::{print_program, InstKind, Operand, Program, ProgramBuilder};
+use oha_serve::{Client, Server, ServerConfig, Tool};
+use Operand::{Const, Reg as R};
+
+const CLIENTS: usize = 16;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oha-daemon-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Two workers increment a shared counter under a lock.
+fn locked_counter() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.global("shared", 1);
+    let w = pb.declare("worker", 1);
+    let mut m = pb.function("main", 0);
+    let n1 = m.input();
+    let t1 = m.spawn(w, R(n1));
+    let t2 = m.spawn(w, R(n1));
+    m.join(R(t1));
+    m.join(R(t2));
+    let ga = m.addr_global(g);
+    let v = m.load(R(ga), 0);
+    m.output(R(v));
+    m.ret(None);
+    let main = pb.finish_function(m);
+    let mut wf = pb.function("worker", 1);
+    let iters = wf.param(0);
+    let head = wf.block();
+    let body = wf.block();
+    let exit = wf.block();
+    let ga = wf.addr_global(g);
+    let i = wf.copy(Const(0));
+    wf.jump(head);
+    wf.select(head);
+    let c = wf.cmp(oha_ir::CmpOp::Lt, R(i), R(iters));
+    wf.branch(R(c), body, exit);
+    wf.select(body);
+    wf.lock(R(ga));
+    let v = wf.load(R(ga), 0);
+    let v1 = wf.bin(oha_ir::BinOp::Add, R(v), Const(1));
+    wf.store(R(ga), 0, R(v1));
+    wf.unlock(R(ga));
+    let i1 = wf.bin(oha_ir::BinOp::Add, R(i), Const(1));
+    wf.copy_to(i, R(i1));
+    wf.jump(head);
+    wf.select(exit);
+    wf.ret(None);
+    pb.finish_function(wf);
+    pb.finish(main).unwrap()
+}
+
+fn corpora() -> (Vec<Vec<i64>>, Vec<Vec<i64>>) {
+    let profiling = (1..5).map(|n| vec![n * 10]).collect();
+    let testing = (1..4).map(|n| vec![n * 7]).collect();
+    (profiling, testing)
+}
+
+#[test]
+fn concurrent_clients_match_the_serial_pipeline_byte_for_byte() {
+    let dir = tmp_dir("concurrent");
+    let socket = dir.join("daemon.sock");
+    let store_dir = dir.join("store");
+
+    let program = locked_counter();
+    let text = print_program(&program);
+    let (profiling, testing) = corpora();
+
+    // The serial, storeless in-process runs are the oracle. Empty
+    // endpoints on the wire mean "every output instruction" — mirror
+    // that here.
+    let expected_ft =
+        optft_canonical_json(&Pipeline::new(program.clone()).run_optft(&profiling, &testing));
+    let endpoints: Vec<_> = program
+        .insts()
+        .filter(|i| matches!(i.kind, InstKind::Output { .. }))
+        .map(|i| i.id)
+        .collect();
+    let expected_slice = optslice_canonical_json(
+        &Pipeline::new(program.clone()).run_optslice(&profiling, &testing, &endpoints),
+    );
+
+    let server = Server::bind(ServerConfig {
+        socket: socket.clone(),
+        store_dir: Some(store_dir),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let server_thread = thread::spawn(move || server.run().unwrap());
+
+    thread::scope(|scope| {
+        for n in 0..CLIENTS {
+            let (socket, text) = (&socket, &text);
+            let (profiling, testing) = (&profiling, &testing);
+            let (expected_ft, expected_slice) = (&expected_ft, &expected_slice);
+            scope.spawn(move || {
+                let mut client = Client::connect(socket).unwrap();
+                let (tool, expected) = if n % 2 == 0 {
+                    (Tool::OptFt, expected_ft)
+                } else {
+                    (Tool::OptSlice, expected_slice)
+                };
+                let response = client.analyze(tool, text, profiling, testing, &[]).unwrap();
+                assert!(response.ok, "client {n}: {}", response.body);
+                assert_eq!(
+                    &response.body,
+                    expected,
+                    "client {n} ({}) diverged from the serial pipeline",
+                    tool.name()
+                );
+            });
+        }
+    });
+
+    // A repeat of an already-answered request is served from the LRU
+    // front and flagged as cached — with the same bytes.
+    let mut client = Client::connect(&socket).unwrap();
+    let repeat = client
+        .analyze(Tool::OptFt, &text, &profiling, &testing, &[])
+        .unwrap();
+    assert!(repeat.ok);
+    assert!(repeat.cached, "identical request must hit the LRU front");
+    assert_eq!(repeat.body, expected_ft);
+
+    let stats = client.stats().unwrap();
+    assert!(stats.ok);
+    assert!(
+        stats.body.contains("\"requests\""),
+        "stats is JSON: {}",
+        stats.body
+    );
+
+    let bye = client.shutdown().unwrap();
+    assert!(bye.ok);
+    let drained = server_thread.join().unwrap();
+    assert!(drained.requests >= CLIENTS as u64 + 2);
+    assert!(drained.lru_hits >= 1);
+    assert!(!socket.exists(), "graceful drain removes the socket file");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_requests_get_error_responses_and_the_daemon_survives() {
+    let dir = tmp_dir("bad-requests");
+    let socket = dir.join("daemon.sock");
+
+    let server = Server::bind(ServerConfig {
+        socket: socket.clone(),
+        store_dir: None,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let server_thread = thread::spawn(move || server.run().unwrap());
+
+    let program = locked_counter();
+    let text = print_program(&program);
+    let (profiling, testing) = corpora();
+    let mut client = Client::connect(&socket).unwrap();
+
+    // Unparsable program: an error response, not a hangup.
+    let garbage = client
+        .analyze(Tool::OptFt, "fn main( {", &profiling, &testing, &[])
+        .unwrap();
+    assert!(!garbage.ok);
+
+    // Out-of-range endpoint id: likewise.
+    let out_of_range = client
+        .analyze(Tool::OptSlice, &text, &profiling, &testing, &[u32::MAX])
+        .unwrap();
+    assert!(!out_of_range.ok);
+    assert!(
+        out_of_range.body.contains("endpoint"),
+        "diagnosable error: {}",
+        out_of_range.body
+    );
+
+    // The same connection still serves good requests afterwards.
+    let good = client
+        .analyze(Tool::OptFt, &text, &profiling, &testing, &[])
+        .unwrap();
+    assert!(good.ok, "{}", good.body);
+
+    client.shutdown().unwrap();
+    let drained = server_thread.join().unwrap();
+    assert_eq!(drained.errors, 2);
+    let _ = fs::remove_dir_all(&dir);
+}

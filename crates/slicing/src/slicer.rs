@@ -82,6 +82,14 @@ pub struct StaticSlice {
 }
 
 impl StaticSlice {
+    /// Reconstructs a slice from its serialized parts — the rehydration
+    /// entry point for `oha-store`'s artifact cache. The parts must come
+    /// from a [`slice`] run over the same program, points-to results and
+    /// invariant predicate; nothing is revalidated here.
+    pub fn from_parts(insts: BitSet, stats: SliceStats) -> Self {
+        Self { insts, stats }
+    }
+
     /// Whether an instruction is in the slice.
     pub fn contains(&self, inst: InstId) -> bool {
         self.insts.contains(inst.index())

@@ -1,0 +1,759 @@
+//! Typed analysis artifacts and their wire encodings.
+//!
+//! Artifacts are addressed by an [`ArtifactKey`] — a pair of stable
+//! 128-bit content fingerprints. For static-phase artifacts the pair is
+//! `(Program::fingerprint(), predicate fingerprint)`, where the predicate
+//! half covers the invariant set *and everything else the cached phases
+//! consulted* (the elision-validation corpus for OptFT, the slice
+//! endpoints for OptSlice); for profile artifacts it is
+//! `(Program::fingerprint(), corpus fingerprint)`. Deriving the predicate
+//! fingerprint is the caller's job (see `oha-core`); the store only
+//! requires that equal keys imply equal artifacts.
+//!
+//! Every `decode` here is total over arbitrary bytes: corrupt input yields
+//! a [`CodecError`], never a panic.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use oha_dataflow::BitSet;
+use oha_invariants::InvariantSet;
+use oha_ir::{Fingerprint, FuncId, GlobalId, InstId};
+use oha_pointsto::{AbsObj, ObjRegistry, PointsTo, PtStats, Sensitivity};
+use oha_races::{RaceStats, StaticRaces};
+use oha_slicing::{SliceStats, StaticSlice};
+
+use crate::codec::{CodecError, Reader, Writer};
+
+/// The artifact namespaces the store manages (one subdirectory each).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArtifactKind {
+    /// Merged likely invariants from a profiling corpus.
+    Profile,
+    /// OptFT's static phase: sound + predicated race sets, the validated
+    /// elision set, and the predicated points-to result.
+    OptFt,
+    /// OptSlice's static phase: sound + predicated slice closures and the
+    /// predicated points-to result.
+    OptSlice,
+}
+
+impl ArtifactKind {
+    /// All kinds, for directory setup and stats sweeps.
+    pub const ALL: [ArtifactKind; 3] = [
+        ArtifactKind::Profile,
+        ArtifactKind::OptFt,
+        ArtifactKind::OptSlice,
+    ];
+
+    /// The store subdirectory holding this kind.
+    pub fn dir_name(self) -> &'static str {
+        match self {
+            ArtifactKind::Profile => "profile",
+            ArtifactKind::OptFt => "optft",
+            ArtifactKind::OptSlice => "optslice",
+        }
+    }
+
+    /// The one-byte tag written into the file header.
+    pub fn tag(self) -> u8 {
+        match self {
+            ArtifactKind::Profile => 1,
+            ArtifactKind::OptFt => 2,
+            ArtifactKind::OptSlice => 3,
+        }
+    }
+
+    /// Inverse of [`ArtifactKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(ArtifactKind::Profile),
+            2 => Some(ArtifactKind::OptFt),
+            3 => Some(ArtifactKind::OptSlice),
+            _ => None,
+        }
+    }
+}
+
+/// A content address: two stable fingerprints identifying what was
+/// analyzed and under which predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArtifactKey {
+    /// `Program::fingerprint()` of the analyzed program.
+    pub program: Fingerprint,
+    /// Fingerprint of the predicate side: the invariant set plus any other
+    /// inputs the cached phases depend on (corpus, endpoints).
+    pub predicate: Fingerprint,
+}
+
+impl ArtifactKey {
+    /// A key from its two halves.
+    pub fn new(program: Fingerprint, predicate: Fingerprint) -> Self {
+        Self { program, predicate }
+    }
+
+    /// The on-disk file stem: `<program-hex>-<predicate-hex>`.
+    pub fn file_stem(&self) -> String {
+        format!("{}-{}", self.program.to_hex(), self.predicate.to_hex())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared wire helpers
+// ---------------------------------------------------------------------------
+
+fn put_bitset(w: &mut Writer, set: &BitSet) {
+    w.put_words(set.as_words());
+}
+
+fn get_bitset(r: &mut Reader<'_>) -> Result<BitSet, CodecError> {
+    Ok(BitSet::from_words(r.get_words()?))
+}
+
+fn put_invariants(w: &mut Writer, set: &InvariantSet) {
+    // The invariant set already has a canonical, round-tripping text form
+    // (paper §4.2 stores it as a text file); reuse it as the wire form.
+    w.put_str(&set.to_text());
+}
+
+fn get_invariants(r: &mut Reader<'_>) -> Result<InvariantSet, CodecError> {
+    InvariantSet::from_text(r.get_str()?).map_err(|e| CodecError::BadPayload(e.to_string()))
+}
+
+fn put_pt_stats(w: &mut Writer, s: &PtStats) {
+    w.put_usize(s.nodes);
+    w.put_usize(s.contexts);
+    w.put_u32(s.clone_budget);
+    w.put_usize(s.copy_edges);
+    w.put_u64(s.solver_iterations);
+    w.put_u64(s.cycle_collapses);
+    w.put_u64(s.scc_collapses);
+    w.put_u64(s.words_unioned);
+    w.put_u64(s.worklist_pops);
+    w.put_u32(s.num_cells);
+}
+
+fn get_pt_stats(r: &mut Reader<'_>) -> Result<PtStats, CodecError> {
+    Ok(PtStats {
+        nodes: r.get_usize()?,
+        contexts: r.get_usize()?,
+        clone_budget: r.get_u32()?,
+        copy_edges: r.get_usize()?,
+        solver_iterations: r.get_u64()?,
+        cycle_collapses: r.get_u64()?,
+        scc_collapses: r.get_u64()?,
+        words_unioned: r.get_u64()?,
+        worklist_pops: r.get_u64()?,
+        num_cells: r.get_u32()?,
+    })
+}
+
+fn put_race_stats(w: &mut Writer, s: &RaceStats) {
+    w.put_usize(s.accesses);
+    w.put_usize(s.candidate_pairs);
+    w.put_usize(s.pruned_by_locks);
+    w.put_usize(s.racy_accesses);
+}
+
+fn get_race_stats(r: &mut Reader<'_>) -> Result<RaceStats, CodecError> {
+    Ok(RaceStats {
+        accesses: r.get_usize()?,
+        candidate_pairs: r.get_usize()?,
+        pruned_by_locks: r.get_usize()?,
+        racy_accesses: r.get_usize()?,
+    })
+}
+
+fn put_slice_stats(w: &mut Writer, s: &SliceStats) {
+    w.put_u64(s.visited);
+    w.put_u64(s.dug_nodes);
+    w.put_usize(s.contexts);
+    w.put_u32(s.ctx_budget);
+    w.put_u64(s.visit_budget);
+}
+
+fn get_slice_stats(r: &mut Reader<'_>) -> Result<SliceStats, CodecError> {
+    Ok(SliceStats {
+        visited: r.get_u64()?,
+        dug_nodes: r.get_u64()?,
+        contexts: r.get_usize()?,
+        ctx_budget: r.get_u32()?,
+        visit_budget: r.get_u64()?,
+    })
+}
+
+fn put_sensitivity(w: &mut Writer, s: Sensitivity) {
+    w.put_u8(match s {
+        Sensitivity::ContextInsensitive => 0,
+        Sensitivity::ContextSensitive => 1,
+    });
+}
+
+fn get_sensitivity(r: &mut Reader<'_>) -> Result<Sensitivity, CodecError> {
+    match r.get_u8()? {
+        0 => Ok(Sensitivity::ContextInsensitive),
+        1 => Ok(Sensitivity::ContextSensitive),
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+fn put_races(w: &mut Writer, races: &StaticRaces) {
+    put_bitset(w, races.racy_sites());
+    w.put_u64(races.pairs().len() as u64);
+    for &(a, b) in races.pairs() {
+        w.put_u32(a.raw());
+        w.put_u32(b.raw());
+    }
+    put_race_stats(w, &races.stats());
+}
+
+fn get_races(r: &mut Reader<'_>) -> Result<StaticRaces, CodecError> {
+    let racy = get_bitset(r)?;
+    let n = r.get_len(8)?;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        pairs.push((InstId::new(r.get_u32()?), InstId::new(r.get_u32()?)));
+    }
+    let stats = get_race_stats(r)?;
+    Ok(StaticRaces::from_parts(racy, pairs, stats))
+}
+
+fn put_slice(w: &mut Writer, slice: &StaticSlice) {
+    put_bitset(w, slice.sites());
+    put_slice_stats(w, &slice.stats());
+}
+
+fn get_slice(r: &mut Reader<'_>) -> Result<StaticSlice, CodecError> {
+    let insts = get_bitset(r)?;
+    let stats = get_slice_stats(r)?;
+    Ok(StaticSlice::from_parts(insts, stats))
+}
+
+/// Serializes a full points-to result. Map entries are sorted by key so
+/// the encoding is byte-deterministic regardless of hash-map iteration
+/// order.
+fn put_points_to(w: &mut Writer, pt: &PointsTo) {
+    let registry = pt.registry();
+    w.put_u64(registry.num_objects() as u64);
+    for (obj, fields) in registry.objects() {
+        match obj {
+            AbsObj::Global(g) => {
+                w.put_u8(0);
+                w.put_u32(g.raw());
+            }
+            AbsObj::Heap { site, ctx } => {
+                w.put_u8(1);
+                w.put_u32(site.raw());
+                w.put_u32(ctx);
+            }
+        }
+        w.put_u32(fields);
+    }
+
+    let put_map = |w: &mut Writer, entries: &mut Vec<(InstId, &BitSet)>| {
+        entries.sort_by_key(|(i, _)| i.raw());
+        w.put_u64(entries.len() as u64);
+        for (inst, set) in entries {
+            w.put_u32(inst.raw());
+            put_bitset(w, set);
+        }
+    };
+    put_map(w, &mut pt.load_entries().collect());
+    put_map(w, &mut pt.store_entries().collect());
+    put_map(w, &mut pt.lock_entries().collect());
+
+    let mut ctx: Vec<((InstId, u64), &BitSet)> = pt.ctx_entries().collect();
+    ctx.sort_by_key(|&((i, h), _)| (i.raw(), h));
+    w.put_u64(ctx.len() as u64);
+    for ((inst, hash), set) in ctx {
+        w.put_u32(inst.raw());
+        w.put_u64(hash);
+        put_bitset(w, set);
+    }
+
+    let callees: Vec<(InstId, &BTreeSet<FuncId>)> = pt.call_sites().collect();
+    w.put_u64(callees.len() as u64);
+    for (site, funcs) in callees {
+        w.put_u32(site.raw());
+        w.put_u64(funcs.len() as u64);
+        for f in funcs {
+            w.put_u32(f.raw());
+        }
+    }
+
+    put_pt_stats(w, &pt.stats());
+}
+
+fn get_points_to(r: &mut Reader<'_>) -> Result<PointsTo, CodecError> {
+    // Re-interning the objects in creation order reproduces identical cell
+    // numbering (see `ObjRegistry::objects`), so the bit sets below refer
+    // to the same cells they were built over.
+    let mut registry = ObjRegistry::default();
+    let n = r.get_len(5)?;
+    for _ in 0..n {
+        let obj = match r.get_u8()? {
+            0 => AbsObj::Global(GlobalId::new(r.get_u32()?)),
+            1 => AbsObj::Heap {
+                site: InstId::new(r.get_u32()?),
+                ctx: r.get_u32()?,
+            },
+            t => return Err(CodecError::BadTag(t)),
+        };
+        let fields = r.get_u32()?;
+        registry.intern(obj, fields);
+    }
+
+    let get_map = |r: &mut Reader<'_>| -> Result<HashMap<InstId, BitSet>, CodecError> {
+        let n = r.get_len(4)?;
+        let mut map = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let inst = InstId::new(r.get_u32()?);
+            map.insert(inst, get_bitset(r)?);
+        }
+        Ok(map)
+    };
+    let loads = get_map(r)?;
+    let stores = get_map(r)?;
+    let locks = get_map(r)?;
+
+    let n = r.get_len(12)?;
+    let mut per_ctx = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let inst = InstId::new(r.get_u32()?);
+        let hash = r.get_u64()?;
+        per_ctx.insert((inst, hash), get_bitset(r)?);
+    }
+
+    let n = r.get_len(12)?;
+    let mut callees: BTreeMap<InstId, BTreeSet<FuncId>> = BTreeMap::new();
+    for _ in 0..n {
+        let site = InstId::new(r.get_u32()?);
+        let m = r.get_len(4)?;
+        let mut funcs = BTreeSet::new();
+        for _ in 0..m {
+            funcs.insert(FuncId::new(r.get_u32()?));
+        }
+        callees.insert(site, funcs);
+    }
+
+    let stats = get_pt_stats(r)?;
+    Ok(PointsTo::from_parts(
+        registry, loads, stores, locks, per_ctx, callees, stats,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Artifacts
+// ---------------------------------------------------------------------------
+
+/// A cached profiling phase: the merged likely-invariant set of one
+/// profiling corpus, before lock-elision validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileArtifact {
+    /// The merged invariant set ([`InvariantSet::from_profiles`] output).
+    pub invariants: InvariantSet,
+    /// Profiling runs consumed before the set stabilized.
+    pub runs_used: u64,
+    /// Wall time the cold profiling phase took, for cached-span reporting.
+    pub profile_ns: u64,
+}
+
+impl ProfileArtifact {
+    /// Serializes to the wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        put_invariants(&mut w, &self.invariants);
+        w.put_u64(self.runs_used);
+        w.put_u64(self.profile_ns);
+        w.into_bytes()
+    }
+
+    /// Parses the wire form. Total over arbitrary bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let artifact = Self {
+            invariants: get_invariants(&mut r)?,
+            runs_used: r.get_u64()?,
+            profile_ns: r.get_u64()?,
+        };
+        expect_done(&r)?;
+        Ok(artifact)
+    }
+}
+
+/// OptFT's cached static phase: everything `Pipeline::run_optft` computes
+/// between profiling and the speculative dynamic runs.
+#[derive(Clone, Debug)]
+pub struct OptFtArtifact {
+    /// The final invariant set, with the validated elidable-lock set
+    /// filled in (§4.2.4).
+    pub invariants: InvariantSet,
+    /// Profiling runs consumed before the invariant set stabilized.
+    pub profiling_runs_used: u64,
+    /// Sound static race detection (the traditional-hybrid input).
+    pub races_sound: StaticRaces,
+    /// Predicated static race detection (OptFT's input).
+    pub races_pred: StaticRaces,
+    /// Sound points-to size stats (for metric parity on warm runs).
+    pub pt_sound_stats: PtStats,
+    /// The predicated points-to result, in full.
+    pub pt_pred: PointsTo,
+    /// Cold-run phase durations, replayed into warm reports as cached
+    /// span statistics.
+    pub profile_ns: u64,
+    /// Sound static analysis duration on the cold run.
+    pub sound_static_ns: u64,
+    /// Predicated static analysis duration on the cold run.
+    pub pred_static_ns: u64,
+    /// Lock-elision validation duration on the cold run.
+    pub elide_ns: u64,
+}
+
+impl OptFtArtifact {
+    /// Serializes to the wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        put_invariants(&mut w, &self.invariants);
+        w.put_u64(self.profiling_runs_used);
+        put_races(&mut w, &self.races_sound);
+        put_races(&mut w, &self.races_pred);
+        put_pt_stats(&mut w, &self.pt_sound_stats);
+        put_points_to(&mut w, &self.pt_pred);
+        w.put_u64(self.profile_ns);
+        w.put_u64(self.sound_static_ns);
+        w.put_u64(self.pred_static_ns);
+        w.put_u64(self.elide_ns);
+        w.into_bytes()
+    }
+
+    /// Parses the wire form. Total over arbitrary bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let artifact = Self {
+            invariants: get_invariants(&mut r)?,
+            profiling_runs_used: r.get_u64()?,
+            races_sound: get_races(&mut r)?,
+            races_pred: get_races(&mut r)?,
+            pt_sound_stats: get_pt_stats(&mut r)?,
+            pt_pred: get_points_to(&mut r)?,
+            profile_ns: r.get_u64()?,
+            sound_static_ns: r.get_u64()?,
+            pred_static_ns: r.get_u64()?,
+            elide_ns: r.get_u64()?,
+        };
+        expect_done(&r)?;
+        Ok(artifact)
+    }
+}
+
+/// One static side (sound or predicated) of a cached OptSlice phase.
+#[derive(Clone, Debug)]
+pub struct StaticSideArtifact {
+    /// The most accurate points-to analysis that completed.
+    pub points_to_at: Sensitivity,
+    /// Cold-run points-to duration.
+    pub points_to_ns: u64,
+    /// The most accurate slicer that completed.
+    pub slice_at: Sensitivity,
+    /// Cold-run slicing duration.
+    pub slice_ns: u64,
+    /// The static slice closure.
+    pub slice: StaticSlice,
+    /// Load/store alias rate (on the sound side, already restricted per
+    /// the paper's §6.3 fairness rule).
+    pub alias_rate: f64,
+    /// Points-to size stats (for metric parity on warm runs).
+    pub pt_stats: PtStats,
+}
+
+impl StaticSideArtifact {
+    fn put(&self, w: &mut Writer) {
+        put_sensitivity(w, self.points_to_at);
+        w.put_u64(self.points_to_ns);
+        put_sensitivity(w, self.slice_at);
+        w.put_u64(self.slice_ns);
+        put_slice(w, &self.slice);
+        w.put_f64(self.alias_rate);
+        put_pt_stats(w, &self.pt_stats);
+    }
+
+    fn get(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            points_to_at: get_sensitivity(r)?,
+            points_to_ns: r.get_u64()?,
+            slice_at: get_sensitivity(r)?,
+            slice_ns: r.get_u64()?,
+            slice: get_slice(r)?,
+            alias_rate: r.get_f64()?,
+            pt_stats: get_pt_stats(r)?,
+        })
+    }
+}
+
+/// OptSlice's cached static phase: both Table-2 sides plus the predicated
+/// points-to result. The key's predicate half must cover the slice
+/// endpoints — two requests with different endpoints are different
+/// artifacts.
+#[derive(Clone, Debug)]
+pub struct OptSliceArtifact {
+    /// The merged invariant set.
+    pub invariants: InvariantSet,
+    /// Profiling runs consumed before the invariant set stabilized.
+    pub profiling_runs_used: u64,
+    /// Cold-run profiling duration.
+    pub profile_ns: u64,
+    /// The sound static side.
+    pub sound: StaticSideArtifact,
+    /// The predicated static side.
+    pub pred: StaticSideArtifact,
+    /// The predicated points-to result, in full.
+    pub pt_pred: PointsTo,
+}
+
+impl OptSliceArtifact {
+    /// Serializes to the wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        put_invariants(&mut w, &self.invariants);
+        w.put_u64(self.profiling_runs_used);
+        w.put_u64(self.profile_ns);
+        self.sound.put(&mut w);
+        self.pred.put(&mut w);
+        put_points_to(&mut w, &self.pt_pred);
+        w.into_bytes()
+    }
+
+    /// Parses the wire form. Total over arbitrary bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let artifact = Self {
+            invariants: get_invariants(&mut r)?,
+            profiling_runs_used: r.get_u64()?,
+            profile_ns: r.get_u64()?,
+            sound: StaticSideArtifact::get(&mut r)?,
+            pred: StaticSideArtifact::get(&mut r)?,
+            pt_pred: get_points_to(&mut r)?,
+        };
+        expect_done(&r)?;
+        Ok(artifact)
+    }
+}
+
+/// Trailing garbage means the bytes are not a faithful encoding.
+fn expect_done(r: &Reader<'_>) -> Result<(), CodecError> {
+    if r.is_done() {
+        Ok(())
+    } else {
+        Err(CodecError::BadLength(r.remaining() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oha_ir::{Operand, ProgramBuilder};
+    use oha_pointsto::{analyze, PointsToConfig};
+    use Operand::{Const, Reg as R};
+
+    fn sample_program() -> oha_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        pb.global("g", 2);
+        let callee = pb.declare("callee", 0);
+        let mut m = pb.function("main", 0);
+        let a = m.alloc(2);
+        m.store(R(a), 0, Const(1));
+        let v = m.load(R(a), 0);
+        m.output(R(v));
+        let c = m.call(callee, vec![]);
+        m.store(R(c), 0, Const(2));
+        m.ret(None);
+        let main = pb.finish_function(m);
+        let mut f = pb.function("callee", 0);
+        let o = f.alloc(1);
+        f.ret(Some(R(o)));
+        pb.finish_function(f);
+        pb.finish(main).unwrap()
+    }
+
+    fn assert_pt_equivalent(a: &PointsTo, b: &PointsTo) {
+        assert_eq!(a.registry().num_cells(), b.registry().num_cells());
+        assert_eq!(a.registry().num_objects(), b.registry().num_objects());
+        let mut la: Vec<_> = a.load_entries().map(|(i, s)| (i, s.clone())).collect();
+        let mut lb: Vec<_> = b.load_entries().map(|(i, s)| (i, s.clone())).collect();
+        la.sort_by_key(|(i, _)| i.raw());
+        lb.sort_by_key(|(i, _)| i.raw());
+        assert_eq!(la, lb);
+        assert_eq!(a.stats(), b.stats());
+        let sites: Vec<_> = a.call_sites().map(|(i, s)| (i, s.clone())).collect();
+        let sites_b: Vec<_> = b.call_sites().map(|(i, s)| (i, s.clone())).collect();
+        assert_eq!(sites, sites_b);
+    }
+
+    #[test]
+    fn points_to_round_trips_and_is_deterministic() {
+        let p = sample_program();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let mut w = Writer::new();
+        put_points_to(&mut w, &pt);
+        let bytes = w.into_bytes();
+
+        let mut w2 = Writer::new();
+        put_points_to(&mut w2, &pt);
+        assert_eq!(bytes, w2.into_bytes(), "encoding must be byte-stable");
+
+        let decoded = get_points_to(&mut Reader::new(&bytes)).unwrap();
+        assert_pt_equivalent(&pt, &decoded);
+
+        // Re-encoding the decoded result reproduces the same bytes.
+        let mut w3 = Writer::new();
+        put_points_to(&mut w3, &decoded);
+        assert_eq!(bytes, w3.into_bytes());
+    }
+
+    #[test]
+    fn profile_artifact_round_trips() {
+        let mut invariants = InvariantSet::default();
+        invariants.visited_blocks.insert(oha_ir::BlockId::new(3));
+        invariants.singleton_spawns.insert(InstId::new(9));
+        invariants.num_profiles = 4;
+        let artifact = ProfileArtifact {
+            invariants,
+            runs_used: 4,
+            profile_ns: 123_456,
+        };
+        let bytes = artifact.encode();
+        assert_eq!(ProfileArtifact::decode(&bytes).unwrap(), artifact);
+    }
+
+    #[test]
+    fn optft_artifact_round_trips() {
+        let p = sample_program();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let mut racy = BitSet::new();
+        racy.insert(2);
+        racy.insert(64);
+        let races = StaticRaces::from_parts(
+            racy,
+            vec![(InstId::new(2), InstId::new(64))],
+            RaceStats {
+                accesses: 10,
+                candidate_pairs: 3,
+                pruned_by_locks: 2,
+                racy_accesses: 2,
+            },
+        );
+        let artifact = OptFtArtifact {
+            invariants: InvariantSet::default(),
+            profiling_runs_used: 6,
+            races_sound: races.clone(),
+            races_pred: races,
+            pt_sound_stats: pt.stats(),
+            pt_pred: pt,
+            profile_ns: 1,
+            sound_static_ns: 2,
+            pred_static_ns: 3,
+            elide_ns: 4,
+        };
+        let bytes = artifact.encode();
+        let decoded = OptFtArtifact::decode(&bytes).unwrap();
+        assert_eq!(decoded.invariants, artifact.invariants);
+        assert_eq!(decoded.profiling_runs_used, 6);
+        assert_eq!(
+            decoded.races_sound.racy_sites(),
+            artifact.races_sound.racy_sites()
+        );
+        assert_eq!(decoded.races_pred.pairs(), artifact.races_pred.pairs());
+        assert_eq!(decoded.races_pred.stats(), artifact.races_pred.stats());
+        assert_pt_equivalent(&decoded.pt_pred, &artifact.pt_pred);
+        assert_eq!(decoded.elide_ns, 4);
+        // Byte-stable re-encode.
+        assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn optslice_artifact_round_trips() {
+        let p = sample_program();
+        let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+        let mut insts = BitSet::new();
+        insts.insert(0);
+        insts.insert(5);
+        let side = StaticSideArtifact {
+            points_to_at: Sensitivity::ContextSensitive,
+            points_to_ns: 11,
+            slice_at: Sensitivity::ContextInsensitive,
+            slice_ns: 22,
+            slice: StaticSlice::from_parts(
+                insts,
+                SliceStats {
+                    visited: 9,
+                    dug_nodes: 5,
+                    contexts: 1,
+                    ctx_budget: 64,
+                    visit_budget: 1000,
+                },
+            ),
+            alias_rate: 0.125,
+            pt_stats: pt.stats(),
+        };
+        let artifact = OptSliceArtifact {
+            invariants: InvariantSet::default(),
+            profiling_runs_used: 3,
+            profile_ns: 7,
+            sound: side.clone(),
+            pred: side,
+            pt_pred: pt,
+        };
+        let bytes = artifact.encode();
+        let decoded = OptSliceArtifact::decode(&bytes).unwrap();
+        assert_eq!(decoded.sound.points_to_at, Sensitivity::ContextSensitive);
+        assert_eq!(decoded.pred.slice_at, Sensitivity::ContextInsensitive);
+        assert_eq!(decoded.pred.slice.sites(), artifact.pred.slice.sites());
+        assert_eq!(decoded.pred.slice.stats(), artifact.pred.slice.stats());
+        assert_eq!(decoded.sound.alias_rate, 0.125);
+        assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn decode_never_panics_on_mutations() {
+        let artifact = ProfileArtifact {
+            invariants: InvariantSet::default(),
+            runs_used: 1,
+            profile_ns: 2,
+        };
+        let bytes = artifact.encode();
+        // Truncations.
+        for cut in 0..bytes.len() {
+            let _ = ProfileArtifact::decode(&bytes[..cut]);
+        }
+        // Single-byte corruptions.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xa5;
+            let _ = ProfileArtifact::decode(&bad);
+        }
+        // Trailing garbage is rejected.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(ProfileArtifact::decode(&extended).is_err());
+    }
+
+    #[test]
+    fn artifact_key_file_stem_is_hex_pair() {
+        let key = ArtifactKey::new(
+            Fingerprint::of_bytes(b"program"),
+            Fingerprint::of_bytes(b"predicate"),
+        );
+        let stem = key.file_stem();
+        let (a, b) = stem.split_once('-').unwrap();
+        assert_eq!(Fingerprint::from_hex(a), Some(key.program));
+        assert_eq!(Fingerprint::from_hex(b), Some(key.predicate));
+    }
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for kind in ArtifactKind::ALL {
+            assert_eq!(ArtifactKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(ArtifactKind::from_tag(0), None);
+        assert_eq!(ArtifactKind::from_tag(99), None);
+    }
+}

@@ -1,0 +1,314 @@
+//! A hand-rolled, versioned binary codec.
+//!
+//! The workspace is zero-dependency, so artifacts are serialized with a
+//! small explicit writer/reader pair instead of serde. All integers are
+//! little-endian; lengths are `u64` prefixes validated against the bytes
+//! that remain, so a truncated or bit-flipped file produces a
+//! [`CodecError`], never a panic or an over-allocation.
+
+use std::error::Error;
+use std::fmt;
+
+/// A decode failure. Every variant is a *recoverable* cache miss: the
+/// store treats it as "artifact absent" and re-analyzes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value did.
+    Truncated,
+    /// A length prefix exceeds the bytes that remain.
+    BadLength(u64),
+    /// An enum tag byte has no corresponding variant.
+    BadTag(u8),
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// A structured text payload (e.g. an invariant set) failed its own
+    /// parser.
+    BadPayload(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated"),
+            CodecError::BadLength(n) => write!(f, "length prefix {n} exceeds remaining input"),
+            CodecError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            CodecError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            CodecError::BadPayload(m) => write!(f, "malformed payload: {m}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Append-only byte writer.
+#[derive(Clone, Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The serialized bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u128`, little-endian.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`, little-endian two's complement.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Writes a length-prefixed `u64` word array (the [`oha_dataflow::BitSet`]
+    /// wire form).
+    pub fn put_words(&mut self, words: &[u64]) {
+        self.put_u64(words.len() as u64);
+        for &w in words {
+            self.put_u64(w);
+        }
+    }
+}
+
+/// Bounds-checked byte reader over a borrowed slice.
+#[derive(Clone, Copy, Debug)]
+pub struct Reader<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { rest: bytes }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.rest.len()
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.rest.is_empty()
+    }
+
+    /// Consumes exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if n > self.rest.len() {
+            return Err(CodecError::Truncated);
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool; any byte other than 0/1 is a [`CodecError::BadTag`].
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn get_u128(&mut self) -> Result<u128, CodecError> {
+        let b = self.take(16)?;
+        Ok(u128::from_le_bytes(b.try_into().expect("16 bytes")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, CodecError> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a `u64` length prefix and validates that `len * elem_size`
+    /// bytes (at least) remain, rejecting hostile or corrupt lengths before
+    /// any allocation.
+    pub fn get_len(&mut self, elem_size: usize) -> Result<usize, CodecError> {
+        let n = self.get_u64()?;
+        let need = n
+            .checked_mul(elem_size.max(1) as u64)
+            .ok_or(CodecError::BadLength(n))?;
+        if need > self.rest.len() as u64 {
+            return Err(CodecError::BadLength(n));
+        }
+        Ok(n as usize)
+    }
+
+    /// Reads a `usize` stored as `u64`.
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        Ok(self.get_u64()? as usize)
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.get_len(1)?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.get_bytes()?).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Reads a length-prefixed `u64` word array.
+    pub fn get_words(&mut self) -> Result<Vec<u64>, CodecError> {
+        let n = self.get_len(8)?;
+        let mut words = Vec::with_capacity(n);
+        for _ in 0..n {
+            words.push(self.get_u64()?);
+        }
+        Ok(words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 3);
+        w.put_u128(1u128 << 100);
+        w.put_i64(-42);
+        w.put_f64(0.25);
+        w.put_str("héllo");
+        w.put_words(&[1, 0, u64::MAX]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_u128().unwrap(), 1u128 << 100);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap(), 0.25);
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.get_words().unwrap(), vec![1, 0, u64::MAX]);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.put_u64(123);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert_eq!(r.get_u64(), Err(CodecError::Truncated));
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // claims ~2^64 elements
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.get_words(), Err(CodecError::BadLength(_))));
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.get_bytes(), Err(CodecError::BadLength(_))));
+    }
+
+    #[test]
+    fn bad_bool_is_a_tag_error() {
+        let mut r = Reader::new(&[9]);
+        assert_eq!(r.get_bool(), Err(CodecError::BadTag(9)));
+    }
+
+    #[test]
+    fn bad_utf8_is_reported() {
+        let mut w = Writer::new();
+        w.put_bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_str(), Err(CodecError::BadUtf8));
+    }
+}

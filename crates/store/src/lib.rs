@@ -1,0 +1,46 @@
+//! `oha-store`: a content-addressed, persistent cache for analysis
+//! artifacts.
+//!
+//! The predicated static phase is the expensive, *pure* part of the OHA
+//! pipeline: its output is a function of the program and the invariant
+//! predicate alone. This crate caches that output on disk so repeated
+//! analyses of an unchanged `(program, predicate)` pair skip the static
+//! phase entirely — the "analyze once, speculate many times" economics
+//! the paper's deployment story assumes (profiling and static analysis
+//! amortize across the many production runs that consume them).
+//!
+//! Design points:
+//!
+//! - **Content addressing.** Keys are pairs of stable 128-bit FNV-1a
+//!   fingerprints ([`oha_ir::Fingerprint`]): the program's canonical
+//!   printer form, and the predicate side (invariant set plus whatever
+//!   else the cached phase consulted). No mtimes, no paths: equal bytes,
+//!   equal key.
+//! - **Hand-rolled versioned codec.** The workspace is zero-dependency,
+//!   so artifacts use an explicit little-endian wire format
+//!   ([`codec`]) with a `FORMAT_VERSION`-stamped header and a 128-bit
+//!   checksum trailer.
+//! - **Corruption is a miss, never a crash.** Truncated, bit-flipped,
+//!   version-skewed or otherwise undecodable entries are counted,
+//!   dropped and reported as absent; the pipeline re-analyzes and
+//!   overwrites. A corrupt entry is never served, and stale results are
+//!   impossible by construction (the key *is* the content).
+//! - **Concurrency.** [`Store`] is `Sync`: atomic counters, atomic
+//!   temp-file-plus-rename writes. The daemon (`oha-serve`) shares one
+//!   instance across worker threads and fronts it with the in-memory
+//!   [`Lru`].
+
+#![warn(missing_docs)]
+
+pub mod codec;
+
+mod artifacts;
+mod disk;
+mod lru;
+
+pub use artifacts::{
+    ArtifactKey, ArtifactKind, OptFtArtifact, OptSliceArtifact, ProfileArtifact, StaticSideArtifact,
+};
+pub use codec::{CodecError, Reader, Writer};
+pub use disk::{Store, StoreStats, StoreStatsSnapshot, FORMAT_VERSION};
+pub use lru::Lru;

@@ -1,0 +1,142 @@
+//! A small least-recently-used map — the in-memory front the daemon puts
+//! in front of the disk store.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded map evicting the least-recently-*used* entry on overflow.
+///
+/// Recency is a monotone tick bumped on every `get`/`insert` touch;
+/// eviction scans for the minimum tick. That is O(capacity), which is the
+/// right trade for the daemon's front cache (tens to a few thousand
+/// entries, each saving a full static analysis): no intrusive list, no
+/// unsafe.
+#[derive(Clone, Debug)]
+pub struct Lru<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (V, u64)>,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        Self {
+            capacity,
+            tick: 0,
+            map: HashMap::with_capacity(capacity.min(1024)),
+            evictions: 0,
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entries evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((v, t)) => {
+                *t = tick;
+                Some(&*v)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry if the cache is full. Returns the evicted value, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.tick += 1;
+        if let Some(slot) = self.map.get_mut(&key) {
+            let old = std::mem::replace(slot, (value, self.tick));
+            return Some(old.0);
+        }
+        let mut evicted = None;
+        if self.map.len() >= self.capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                evicted = self.map.remove(&victim).map(|(v, _)| v);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+        evicted
+    }
+
+    /// Removes `key` without counting an eviction (used for
+    /// invalidation).
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.remove(key).map(|(v, _)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = Lru::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.get(&"a"), Some(&1)); // refresh a; b is now LRU
+        lru.insert("c", 3);
+        assert_eq!(lru.get(&"b"), None, "b evicted");
+        assert_eq!(lru.get(&"a"), Some(&1));
+        assert_eq!(lru.get(&"c"), Some(&3));
+        assert_eq!(lru.evictions(), 1);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let mut lru = Lru::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.insert("a", 10), Some(1), "old value returned");
+        assert_eq!(lru.evictions(), 0);
+        lru.insert("c", 3);
+        assert_eq!(lru.get(&"b"), None, "b was LRU after a's refresh");
+        assert_eq!(lru.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn remove_does_not_count_as_eviction() {
+        let mut lru = Lru::new(4);
+        lru.insert(1u32, "x");
+        assert_eq!(lru.remove(&1), Some("x"));
+        assert_eq!(lru.remove(&1), None);
+        assert_eq!(lru.evictions(), 0);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = Lru::<u32, u32>::new(0);
+    }
+}

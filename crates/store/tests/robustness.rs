@@ -1,0 +1,212 @@
+//! Store robustness: truncation, bit flips and version skew must read as
+//! clean misses — counted, never panicking, never serving stale bytes —
+//! and the slot must accept a fresh overwrite afterwards.
+
+use std::fs;
+use std::path::PathBuf;
+
+use oha_invariants::InvariantSet;
+use oha_ir::{BlockId, Fingerprint, InstId, Operand, ProgramBuilder};
+use oha_pointsto::{analyze, PointsToConfig};
+use oha_store::{ArtifactKey, ArtifactKind, OptFtArtifact, ProfileArtifact, Store};
+use Operand::{Const, Reg as R};
+
+fn tmp_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "oha-store-robustness-{}-{name}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample_key() -> ArtifactKey {
+    ArtifactKey::new(
+        Fingerprint::of_bytes(b"program"),
+        Fingerprint::of_bytes(b"predicate"),
+    )
+}
+
+fn sample_profile() -> ProfileArtifact {
+    let mut invariants = InvariantSet::default();
+    for b in 0..40 {
+        invariants.visited_blocks.insert(BlockId::new(b));
+    }
+    invariants.singleton_spawns.insert(InstId::new(17));
+    invariants.num_profiles = 6;
+    ProfileArtifact {
+        invariants,
+        runs_used: 6,
+        profile_ns: 987_654,
+    }
+}
+
+fn sample_optft() -> OptFtArtifact {
+    let mut pb = ProgramBuilder::new();
+    pb.global("g", 1);
+    let mut m = pb.function("main", 0);
+    let a = m.alloc(1);
+    m.store(R(a), 0, Const(1));
+    let v = m.load(R(a), 0);
+    m.output(R(v));
+    m.ret(None);
+    let main = pb.finish_function(m);
+    let p = pb.finish(main).unwrap();
+    let pt = analyze(&p, &PointsToConfig::default()).unwrap();
+    OptFtArtifact {
+        invariants: InvariantSet::default(),
+        profiling_runs_used: 4,
+        races_sound: oha_races::detect(&p, &pt, None),
+        races_pred: oha_races::detect(&p, &pt, None),
+        pt_sound_stats: pt.stats(),
+        pt_pred: pt,
+        profile_ns: 1,
+        sound_static_ns: 2,
+        pred_static_ns: 3,
+        elide_ns: 4,
+    }
+}
+
+fn entry_path(store: &Store, kind: ArtifactKind, key: &ArtifactKey) -> PathBuf {
+    store
+        .root()
+        .join(kind.dir_name())
+        .join(format!("{}.oha", key.file_stem()))
+}
+
+#[test]
+fn truncation_at_every_length_is_a_counted_miss() {
+    let store = Store::open(tmp_root("truncate")).unwrap();
+    let key = sample_key();
+    let artifact = sample_profile();
+    store.save_profile(&key, &artifact).unwrap();
+    let path = entry_path(&store, ArtifactKind::Profile, &key);
+    let whole = fs::read(&path).unwrap();
+
+    // A spread of truncation points: inside the header, inside the
+    // payload, inside the checksum trailer.
+    let cuts = [0, 1, 7, 12, 20, whole.len() / 2, whole.len() - 1];
+    for &cut in &cuts {
+        fs::write(&path, &whole[..cut]).unwrap();
+        assert!(
+            store.load_profile(&key).is_none(),
+            "truncation at {cut} must be a miss"
+        );
+    }
+    let stats = store.stats();
+    assert_eq!(
+        stats.corruptions,
+        cuts.len() as u64,
+        "every truncation counted"
+    );
+
+    // The slot accepts a clean overwrite and serves the new bytes.
+    store.save_profile(&key, &artifact).unwrap();
+    assert_eq!(store.load_profile(&key).unwrap(), artifact);
+    let _ = fs::remove_dir_all(store.root());
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    let store = Store::open(tmp_root("bitflip")).unwrap();
+    let key = sample_key();
+    store.save_profile(&key, &sample_profile()).unwrap();
+    let path = entry_path(&store, ArtifactKind::Profile, &key);
+    let whole = fs::read(&path).unwrap();
+
+    // Flip one bit in every byte of the file. Every mutation must read
+    // as a miss: the magic/version/kind/length checks catch header
+    // damage, the checksum catches payload damage, and a flip *in* the
+    // checksum itself mismatches the (intact) payload.
+    let mut rejected = 0u64;
+    for i in 0..whole.len() {
+        let mut bad = whole.clone();
+        bad[i] ^= 1 << (i % 8);
+        fs::write(&path, &bad).unwrap();
+        assert!(
+            store.load_profile(&key).is_none(),
+            "bit flip in byte {i} must not be served"
+        );
+        rejected += 1;
+    }
+    assert_eq!(rejected, whole.len() as u64);
+    let stats = store.stats();
+    assert!(
+        stats.corruptions + stats.version_mismatches >= rejected,
+        "every rejection accounted ({} + {} < {rejected})",
+        stats.corruptions,
+        stats.version_mismatches,
+    );
+    assert_eq!(stats.hits, 0, "nothing corrupt was ever served");
+    let _ = fs::remove_dir_all(store.root());
+}
+
+#[test]
+fn version_bump_reads_as_miss_then_overwrites() {
+    let store = Store::open(tmp_root("version")).unwrap();
+    let key = sample_key();
+    let artifact = sample_optft();
+    store.save_optft(&key, &artifact).unwrap();
+    let path = entry_path(&store, ArtifactKind::OptFt, &key);
+
+    // Patch the header's version field (bytes 8..12) to a future value.
+    let mut bytes = fs::read(&path).unwrap();
+    let future = (oha_store::FORMAT_VERSION + 1).to_le_bytes();
+    bytes[8..12].copy_from_slice(&future);
+    fs::write(&path, &bytes).unwrap();
+
+    assert!(store.load_optft(&key).is_none(), "future version is a miss");
+    let stats = store.stats();
+    assert_eq!(stats.version_mismatches, 1);
+    assert_eq!(stats.corruptions, 0, "version skew is not corruption");
+    assert_eq!(stats.hits, 0);
+
+    // Re-analysis overwrites the stale-format entry; the slot serves the
+    // fresh write.
+    store.save_optft(&key, &artifact).unwrap();
+    let reread = store.load_optft(&key).unwrap();
+    assert_eq!(reread.invariants, artifact.invariants);
+    assert_eq!(
+        reread.races_pred.racy_sites(),
+        artifact.races_pred.racy_sites()
+    );
+    assert_eq!(reread.encode(), artifact.encode(), "byte-identical");
+    let _ = fs::remove_dir_all(store.root());
+}
+
+#[test]
+fn wrong_kind_slot_is_rejected() {
+    let store = Store::open(tmp_root("kind")).unwrap();
+    let key = sample_key();
+    store.save_profile(&key, &sample_profile()).unwrap();
+    // Copy the (valid) profile file into the optft slot: header kind tag
+    // no longer matches the namespace it sits in.
+    let src = entry_path(&store, ArtifactKind::Profile, &key);
+    let dst = entry_path(&store, ArtifactKind::OptFt, &key);
+    fs::copy(&src, &dst).unwrap();
+    assert!(store.load_optft(&key).is_none());
+    assert!(store.stats().corruptions >= 1);
+    let _ = fs::remove_dir_all(store.root());
+}
+
+#[test]
+fn concurrent_writers_of_one_key_leave_a_whole_file() {
+    let store = std::sync::Arc::new(Store::open(tmp_root("concurrent")).unwrap());
+    let key = sample_key();
+    let artifact = sample_profile();
+    let payload = artifact.encode();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let store = std::sync::Arc::clone(&store);
+            let payload = payload.clone();
+            scope.spawn(move || {
+                for _ in 0..16 {
+                    store.save(ArtifactKind::Profile, &key, &payload).unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(store.load_profile(&key).unwrap(), artifact);
+    assert_eq!(store.stats().corruptions, 0);
+    let _ = fs::remove_dir_all(store.root());
+}

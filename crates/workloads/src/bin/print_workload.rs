@@ -1,0 +1,68 @@
+//! Prints one workload's program in IR text form, for feeding the
+//! analysis daemon through `oha-client --program` (ci.sh's store-smoke
+//! stage) or for eyeballing what a suite generator emits.
+//!
+//! Usage: `print_workload <name> [--benchmark]`
+//! Names are the suite names (`lusearch`, `vim`, `zlib`, …); the scale
+//! defaults to the unit-test `WorkloadParams::small()`.
+
+use oha_ir::print_program;
+use oha_workloads::{c_suite, java_suite, Workload, WorkloadParams};
+
+fn all(params: &WorkloadParams) -> Vec<Workload> {
+    java_suite::all(params)
+        .into_iter()
+        .chain(c_suite::all(params))
+        .collect()
+}
+
+fn main() {
+    let mut name = None;
+    let mut benchmark = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--benchmark" => benchmark = true,
+            "--small" => benchmark = false,
+            "--help" | "-h" => {
+                eprintln!("usage: print_workload <name> [--benchmark]");
+                return;
+            }
+            other if name.is_none() && !other.starts_with('-') => name = Some(other.to_string()),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let params = if benchmark {
+        WorkloadParams::benchmark()
+    } else {
+        WorkloadParams::small()
+    };
+    let workloads = all(&params);
+    let Some(name) = name else {
+        eprintln!(
+            "usage: print_workload <name> [--benchmark]\nnames: {}",
+            workloads
+                .iter()
+                .map(|w| w.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    };
+    match workloads.iter().find(|w| w.name == name) {
+        Some(w) => print!("{}", print_program(&w.program)),
+        None => {
+            eprintln!(
+                "error: no workload named {name:?}; have: {}",
+                workloads
+                    .iter()
+                    .map(|w| w.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+}

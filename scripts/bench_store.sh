@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Measures the artifact store and the analysis daemon: each workload's
+# pipeline end-to-end against a cold store and again against the warm
+# store (the re-analysis speedup the cache buys), plus one daemon round
+# with 8 concurrent clients cold and again through the in-memory LRU
+# front. Writes BENCH_store.json at the repo root.
+#
+# Usage: ./scripts/bench_store.sh
+# OHA_SMOKE=1 shrinks the workloads to unit-test scale (CI validation);
+# the committed BENCH_store.json is generated at full benchmark scale.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_store.json"
+
+cargo build --release -q -p oha-bench
+./target/release/bench_store --json "$OUT"
+echo "==> wrote $OUT" >&2

@@ -23,7 +23,12 @@
 //!   (profile → predicated static analysis → speculative dynamic analysis
 //!   with rollback),
 //! * [`workloads`] — synthetic benchmark programs mirroring the paper's
-//!   Java and C suites.
+//!   Java and C suites,
+//! * [`store`] — the content-addressed on-disk cache for static-phase
+//!   artifacts (fingerprint keys, versioned binary codec, corruption-as-
+//!   a-miss recovery),
+//! * [`serve`] — the concurrent analysis daemon over a Unix-domain
+//!   socket, dispatching cached pipelines onto a persistent worker pool.
 //!
 //! # Quickstart
 //!
@@ -53,5 +58,7 @@ pub use oha_obs as obs;
 pub use oha_par as par;
 pub use oha_pointsto as pointsto;
 pub use oha_races as races;
+pub use oha_serve as serve;
 pub use oha_slicing as slicing;
+pub use oha_store as store;
 pub use oha_workloads as workloads;

@@ -143,6 +143,110 @@ fn optslice_reports_are_thread_count_invariant() {
     assert_eq!(serial.report.series, parallel.report.series, "{}", w.name);
 }
 
+/// The cross-mode contract of the store/serve subsystem: the canonical
+/// (timing-free) result JSON is byte-identical whether a run is computed
+/// cold, served warm from the artifact store, or answered by the daemon
+/// to any of N concurrent clients.
+#[test]
+fn daemon_and_warm_store_match_the_serial_pipeline_byte_for_byte() {
+    use oha::core::{optft_canonical_json, optslice_canonical_json, StoreConfig};
+    use oha::ir::print_program;
+    use oha::serve::{Client, Server, ServerConfig, Tool};
+
+    const CLIENTS: usize = 8;
+
+    let params = WorkloadParams::small();
+    let w = c_suite::all(&params).swap_remove(0);
+    let text = print_program(&w.program);
+
+    // Cold, storeless serial runs are the oracle.
+    let cold = Pipeline::new(w.program.clone());
+    let expected_ft = optft_canonical_json(&cold.run_optft(&w.profiling_inputs, &w.testing_inputs));
+    let expected_slice = optslice_canonical_json(&Pipeline::new(w.program.clone()).run_optslice(
+        &w.profiling_inputs,
+        &w.testing_inputs,
+        &w.endpoints,
+    ));
+
+    let root = std::env::temp_dir().join(format!("oha-determinism-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+
+    // Cold-then-warm through the store: both byte-identical to storeless.
+    let store_config = PipelineConfig {
+        store: Some(StoreConfig::new(root.join("store-serial"))),
+        ..PipelineConfig::default()
+    };
+    for pass in ["cold", "warm"] {
+        let outcome = Pipeline::new(w.program.clone())
+            .with_config(store_config.clone())
+            .run_optft(&w.profiling_inputs, &w.testing_inputs);
+        assert_eq!(
+            optft_canonical_json(&outcome),
+            expected_ft,
+            "{}: {pass} stored run diverged",
+            w.name
+        );
+    }
+
+    // The daemon (with its own store) under concurrent clients.
+    let server = Server::bind(ServerConfig {
+        socket: root.join("daemon.sock"),
+        store_dir: Some(root.join("store-daemon")),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let socket = server.socket().to_path_buf();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+    let endpoints: Vec<u32> = w.endpoints.iter().map(|e| e.raw()).collect();
+
+    std::thread::scope(|scope| {
+        for n in 0..CLIENTS {
+            let (socket, text, w, endpoints) = (&socket, &text, &w, &endpoints);
+            let (expected_ft, expected_slice) = (&expected_ft, &expected_slice);
+            scope.spawn(move || {
+                let mut client = Client::connect(socket).unwrap();
+                // Every client runs both tools; half start with OptSlice
+                // so the two artifact families are raced from the start.
+                let mut plan = [(Tool::OptFt, expected_ft), (Tool::OptSlice, expected_slice)];
+                if n % 2 == 1 {
+                    plan.reverse();
+                }
+                for (tool, expected) in plan {
+                    let endpoints: &[u32] = if tool == Tool::OptSlice {
+                        endpoints
+                    } else {
+                        &[]
+                    };
+                    let response = client
+                        .analyze(
+                            tool,
+                            text,
+                            &w.profiling_inputs,
+                            &w.testing_inputs,
+                            endpoints,
+                        )
+                        .unwrap();
+                    assert!(response.ok, "client {n}: {}", response.body);
+                    assert_eq!(
+                        &response.body,
+                        expected,
+                        "{}: client {n} ({}) diverged from the serial pipeline",
+                        w.name,
+                        tool.name()
+                    );
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(&socket).unwrap();
+    client.shutdown().unwrap();
+    let drained = server_thread.join().unwrap();
+    assert!(drained.requests > 2 * CLIENTS as u64);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn pool_sizing_honors_config_then_env() {
     let params = WorkloadParams::small();

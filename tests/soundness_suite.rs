@@ -91,7 +91,7 @@ fn context_sensitivity_unlocking_matches_table2() {
         ..Default::default()
     };
     for w in c_suite::all(&params) {
-        let pipeline = Pipeline::new(w.program.clone()).with_config(config);
+        let pipeline = Pipeline::new(w.program.clone()).with_config(config.clone());
         let outcome = pipeline.run_optslice(&w.profiling_inputs, &w.testing_inputs, &w.endpoints);
         let expected_sound_cs = matches!(w.name, "sphinx" | "zlib");
         assert_eq!(
