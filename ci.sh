@@ -140,7 +140,8 @@ store_smoke() {
             return 1
         fi
     done
-    ./target/release/oha-client --socket "$sock" stats >"$out/stats.json"
+    # --raw: stats pretty-prints for humans by default; CI wants the JSON.
+    ./target/release/oha-client --socket "$sock" stats --raw >"$out/stats.json"
     python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$out/stats.json" || {
         echo "store-smoke: stats response is not JSON" >&2
         return 1
@@ -166,6 +167,103 @@ store_smoke() {
         echo "store-smoke: warm daemon did not drain cleanly" >&2
         return 1
     fi
+}
+
+# Tracing smoke: a smoke-scale fig5 run with --trace-out must leave a
+# Perfetto-loadable Chrome trace (balanced B/E spans on every track), and
+# a traced daemon must serve Prometheus + JSON metrics whose request-
+# latency histogram count matches its request counter, then write its own
+# trace on drain. Artifacts land in target/ci-trace/ so CI can upload
+# them.
+trace_smoke() {
+    local out="target/ci-trace"
+    rm -rf "$out"
+    mkdir -p "$out"
+
+    echo "    smoke: fig5_optft_runtimes --trace-out $out/fig5.trace.json"
+    OHA_SMOKE=1 ./target/release/fig5_optft_runtimes \
+        --trace-out "$out/fig5.trace.json" >/dev/null
+    python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc.get("traceEvents")
+if not events:
+    sys.exit(f"{sys.argv[1]}: no traceEvents")
+depth = {}
+for e in events:
+    if e["ph"] not in ("B", "E", "i"):
+        sys.exit(f"{sys.argv[1]}: unexpected phase {e['ph']!r}")
+    if "ts" not in e or "tid" not in e:
+        sys.exit(f"{sys.argv[1]}: event missing ts/tid: {e}")
+    if e["ph"] == "B":
+        depth[e["tid"]] = depth.get(e["tid"], 0) + 1
+    elif e["ph"] == "E":
+        depth[e["tid"]] = depth.get(e["tid"], 0) - 1
+        if depth[e["tid"]] < 0:
+            sys.exit(f"{sys.argv[1]}: track {e['tid']} ends before it begins")
+open_tracks = {t: d for t, d in depth.items() if d != 0}
+if open_tracks:
+    sys.exit(f"{sys.argv[1]}: unbalanced spans on tracks {open_tracks}")
+print(f"    trace OK: {len(events)} events on {len(depth)} tracks")
+' "$out/fig5.trace.json" || {
+        echo "trace-smoke: bench trace unparsable or malformed" >&2
+        return 1
+    }
+
+    local sock="$out/daemon.sock" prog="$out/zlib.ir" daemon i
+    ./target/release/print_workload zlib >"$prog"
+    OHA_TRACE=1 ./target/release/oha-serve --socket "$sock" \
+        --trace-out "$out/serve.trace.json" 2>"$out/serve.log" &
+    daemon=$!
+    for i in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.05; done
+    if [ ! -S "$sock" ]; then
+        echo "trace-smoke: daemon did not bind $sock" >&2
+        cat "$out/serve.log" >&2
+        return 1
+    fi
+    for i in 1 2; do
+        ./target/release/oha-client --socket "$sock" optft --program "$prog" >/dev/null
+    done
+    ./target/release/oha-client --socket "$sock" metrics >"$out/metrics.prom"
+    grep -q '^oha_requests_total ' "$out/metrics.prom" || {
+        echo "trace-smoke: Prometheus exposition lacks oha_requests_total" >&2
+        cat "$out/metrics.prom" >&2
+        return 1
+    }
+    ./target/release/oha-client --socket "$sock" metrics --json --raw >"$out/metrics.json"
+    python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+requests = m["requests"]
+latency = m["request_latency_ns"]["count"]
+if requests < 2:
+    sys.exit(f"{sys.argv[1]}: expected >=2 requests, saw {requests}")
+if latency != requests:
+    sys.exit(f"{sys.argv[1]}: latency histogram count {latency} != requests {requests}")
+if not m["trace"]["enabled"]:
+    sys.exit(f"{sys.argv[1]}: OHA_TRACE=1 daemon reports tracing disabled")
+' "$out/metrics.json" || {
+        echo "trace-smoke: metrics snapshot unparsable or inconsistent" >&2
+        return 1
+    }
+    ./target/release/oha-client --socket "$sock" shutdown >/dev/null
+    if ! wait "$daemon"; then
+        echo "trace-smoke: daemon did not drain cleanly" >&2
+        return 1
+    fi
+    python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+names = {e["name"] for e in doc["traceEvents"]}
+if "serve/request" not in names:
+    sys.exit(f"{sys.argv[1]}: drained daemon trace has no serve/request span")
+' "$out/serve.trace.json" || {
+        echo "trace-smoke: daemon trace missing or incomplete" >&2
+        return 1
+    }
 }
 
 # A smoke-scale bench_store run: cold/warm and daemon timings must land
@@ -207,6 +305,7 @@ stage "cargo test (release)" cargo test --release --workspace -q
 stage "bench-smoke (fig5 + table1, --json)" bench_smoke
 stage "bench-static (probe_solver vs reference, BENCH_static.json)" bench_static
 stage "store-smoke (16-client daemon round-trip + warm restart)" store_smoke
+stage "trace-smoke (Chrome trace export + live daemon metrics)" trace_smoke
 stage "bench-store-smoke (cold/warm + daemon, --json)" bench_store_smoke
 
 echo "CI green."

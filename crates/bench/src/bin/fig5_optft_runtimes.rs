@@ -6,16 +6,18 @@
 //! they need no dynamic analysis at all (the right side of the paper's
 //! figure).
 
-use oha_bench::{mean, optft_config, params, pipeline, Reporter};
+use oha_bench::{mean, optft_config, params, traced_pipeline, Reporter};
 use oha_workloads::java_suite;
 
 fn main() {
     let params = params();
     let mut reporter = Reporter::new("fig5_optft_runtimes");
+    let trace = reporter.trace().clone();
     let mut rows = Vec::new();
     let mut sound_violations = 0usize;
     let results = reporter.run_workloads_parallel(java_suite::all(&params), |w| {
-        let outcome = pipeline(w, optft_config()).run_optft(&w.profiling_inputs, &w.testing_inputs);
+        let outcome = traced_pipeline(w, optft_config(), &trace)
+            .run_optft(&w.profiling_inputs, &w.testing_inputs);
         (outcome.report.clone(), outcome)
     });
     for (w, outcome) in &results {

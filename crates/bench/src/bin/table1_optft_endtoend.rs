@@ -5,16 +5,18 @@
 
 use std::time::Duration;
 
-use oha_bench::{fmt_break_even, fmt_dur, optft_config, params, pipeline, Reporter};
+use oha_bench::{fmt_break_even, fmt_dur, optft_config, params, traced_pipeline, Reporter};
 use oha_core::{break_even_seconds, CostModel};
 use oha_workloads::java_suite;
 
 fn main() {
     let params = params();
     let mut reporter = Reporter::new("table1_optft_endtoend");
+    let trace = reporter.trace().clone();
     let mut rows = Vec::new();
     let results = reporter.run_workloads_parallel(java_suite::all(&params), |w| {
-        let outcome = pipeline(w, optft_config()).run_optft(&w.profiling_inputs, &w.testing_inputs);
+        let outcome = traced_pipeline(w, optft_config(), &trace)
+            .run_optft(&w.profiling_inputs, &w.testing_inputs);
         (outcome.report.clone(), outcome)
     });
     for (w, outcome) in &results {

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use oha_core::{Pipeline, PipelineConfig};
 use oha_interp::MachineConfig;
-use oha_obs::{RunReport, TableArtifact};
+use oha_obs::{RunReport, TableArtifact, TraceLog, DEFAULT_TRACE_CAPACITY};
 use oha_par::Pool;
 use oha_workloads::{Workload, WorkloadParams};
 
@@ -72,6 +72,22 @@ pub fn optslice_ctx_budget() -> u32 {
 /// Builds a [`Pipeline`] for a workload with the given config.
 pub fn pipeline(w: &oha_workloads::Workload, config: PipelineConfig) -> Pipeline {
     Pipeline::new(w.program.clone()).with_config(config)
+}
+
+/// Builds a [`Pipeline`] that records into `trace` (a no-op when the log
+/// is disabled), minting a fresh trace ID so each workload's spans form
+/// their own causally-linked tree in the exported file.
+pub fn traced_pipeline(
+    w: &oha_workloads::Workload,
+    config: PipelineConfig,
+    trace: &TraceLog,
+) -> Pipeline {
+    let mut p = pipeline(w, config);
+    if trace.is_enabled() {
+        p = p.with_trace(trace.clone());
+        p.metrics().begin_trace();
+    }
+    p
 }
 
 /// Formats a duration in adaptive units.
@@ -135,25 +151,33 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 pub struct BenchArgs {
     /// Destination for the machine-readable run report (`--json <path>`).
     pub json: Option<PathBuf>,
+    /// Destination for the Chrome trace-event export (`--trace-out <path>`).
+    pub trace_out: Option<PathBuf>,
 }
 
 /// Parses the shared options from an explicit argument list. Accepts
-/// `--json <path>` and `--json=<path>`; anything else is ignored so the
-/// binaries keep working under external harnesses that add flags.
+/// `--json <path>`/`--json=<path>` and `--trace-out <path>`/
+/// `--trace-out=<path>`; anything else is ignored so the binaries keep
+/// working under external harnesses that add flags.
 pub fn parse_args_from(args: impl IntoIterator<Item = String>) -> BenchArgs {
     let mut parsed = BenchArgs::default();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
-        if arg == "--json" {
-            match it.next() {
-                Some(path) => parsed.json = Some(PathBuf::from(path)),
-                None => {
-                    eprintln!("--json requires a path argument");
-                    std::process::exit(2);
+        for (flag, slot) in [
+            ("--json", &mut parsed.json),
+            ("--trace-out", &mut parsed.trace_out),
+        ] {
+            if arg == flag {
+                match it.next() {
+                    Some(path) => *slot = Some(PathBuf::from(path)),
+                    None => {
+                        eprintln!("{flag} requires a path argument");
+                        std::process::exit(2);
+                    }
                 }
+            } else if let Some(path) = arg.strip_prefix(&format!("{flag}=")) {
+                *slot = Some(PathBuf::from(path));
             }
-        } else if let Some(path) = arg.strip_prefix("--json=") {
-            parsed.json = Some(PathBuf::from(path));
         }
     }
     parsed
@@ -176,21 +200,38 @@ pub fn bench_args() -> BenchArgs {
 pub struct Reporter {
     report: RunReport,
     json: Option<PathBuf>,
+    trace: TraceLog,
+    trace_out: Option<PathBuf>,
 }
 
 impl Reporter {
     /// A reporter named after the experiment, honoring the process's
-    /// `--json` flag.
+    /// `--json` and `--trace-out` flags.
     pub fn new(name: &str) -> Self {
         Self::with_args(name, &bench_args())
     }
 
     /// A reporter with explicit options (for tests).
     pub fn with_args(name: &str, args: &BenchArgs) -> Self {
+        // $OHA_TRACE sizes the ring; --trace-out alone also turns
+        // tracing on so the flag is sufficient by itself.
+        let mut trace = TraceLog::from_env();
+        if args.trace_out.is_some() && !trace.is_enabled() {
+            trace = TraceLog::enabled(DEFAULT_TRACE_CAPACITY);
+        }
         Self {
             report: RunReport::new(name),
             json: args.json.clone(),
+            trace,
+            trace_out: args.trace_out.clone(),
         }
+    }
+
+    /// The event log experiment pipelines should record into (disabled —
+    /// and free — unless `--trace-out` or `$OHA_TRACE` asked for it).
+    /// Pass it to [`traced_pipeline`].
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
     }
 
     /// Records a metadata key/value pair.
@@ -257,6 +298,18 @@ impl Reporter {
                 std::process::exit(1);
             }
             eprintln!("wrote JSON report to {}", path.display());
+        }
+        if let Some(path) = self.trace_out {
+            if let Err(e) = self.trace.write_chrome_json(&path) {
+                eprintln!("error: cannot write trace {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!(
+                "wrote Chrome trace ({} events, {} dropped) to {}",
+                self.trace.events().len(),
+                self.trace.dropped(),
+                path.display()
+            );
         }
     }
 }
@@ -353,6 +406,32 @@ mod tests {
             Some(PathBuf::from("x/y.json"))
         );
         assert_eq!(args(&["--bench", "--verbose"]).json, None);
+        assert_eq!(
+            args(&["--trace-out", "t.json"]).trace_out,
+            Some(PathBuf::from("t.json"))
+        );
+        assert_eq!(
+            args(&["--trace-out=t.json", "--json", "r.json"]),
+            BenchArgs {
+                json: Some(PathBuf::from("r.json")),
+                trace_out: Some(PathBuf::from("t.json")),
+            }
+        );
+    }
+
+    #[test]
+    fn trace_out_enables_the_reporters_trace_log() {
+        let env_traced = std::env::var(oha_obs::TRACE_ENV).is_ok_and(|v| !v.is_empty() && v != "0");
+        let off = Reporter::with_args("t", &BenchArgs::default());
+        if !env_traced {
+            assert!(!off.trace().is_enabled(), "tracing is opt-in");
+        }
+        let args = BenchArgs {
+            trace_out: Some(PathBuf::from("t.json")),
+            ..BenchArgs::default()
+        };
+        let on = Reporter::with_args("t", &args);
+        assert!(on.trace().is_enabled(), "--trace-out alone enables tracing");
     }
 
     #[test]

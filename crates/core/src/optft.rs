@@ -194,8 +194,12 @@ impl<'a> OptFt<'a> {
 
         if let (Some(store), Some(key)) = (self.pipeline.store(), &key) {
             let start = Instant::now();
-            if let Some(a) = store.load_optft(key) {
-                let elapsed = start.elapsed();
+            let loaded = store.load_optft(key);
+            let load_time = start.elapsed();
+            if let Some(a) = loaded {
+                registry.observe_duration("store.load.hit_ns", load_time);
+                registry.trace_instant("store.optft.hit");
+                let elapsed = load_time;
                 // Registry parity with the cold path: the same points-to
                 // gauges, plus the cold durations replayed under
                 // `cached/*` spans (the live spans only see the load).
@@ -227,6 +231,8 @@ impl<'a> OptFt<'a> {
                     pending: None,
                 };
             }
+            registry.observe_duration("store.load.miss_ns", load_time);
+            registry.trace_instant("store.optft.miss");
         }
 
         // Phase 2a: sound static analysis (traditional hybrid's input).
@@ -317,6 +323,12 @@ impl<'a> OptFt<'a> {
             pending,
         } = statics;
 
+        registry.observe_duration("optft.phase.profile_ns", profile_time);
+        registry.observe_duration(
+            "optft.phase.static_ns",
+            sound_static_time + pred_static_time,
+        );
+
         // Phase 3: speculative dynamic analysis over the testing corpus.
         let dynamic_span = registry.span("dynamic");
         let mut runs = Vec::with_capacity(testing.len());
@@ -332,11 +344,13 @@ impl<'a> OptFt<'a> {
                 &races_pred,
                 &invariants,
             );
+            registry.observe_duration("optft.run.baseline_ns", run.baseline);
+            registry.observe_duration("optft.run.optimistic_ns", run.optimistic + run.rollback);
             baseline_races.extend(run.races_full.iter().copied());
             optimistic_races.extend(run.races_opt.iter().copied());
             runs.push(run);
         }
-        dynamic_span.finish();
+        registry.observe_duration("optft.phase.dynamic_ns", dynamic_span.finish());
         pipeline_span.finish();
 
         // Store bookkeeping. A clean cold run persists its artifact; a

@@ -306,8 +306,12 @@ impl<'a> OptSlice<'a> {
 
         if let (Some(store), Some(key)) = (self.pipeline.store(), &key) {
             let start = Instant::now();
-            if let Some(a) = store.load_optslice(key) {
-                let elapsed = start.elapsed();
+            let loaded = store.load_optslice(key);
+            let load_time = start.elapsed();
+            if let Some(a) = loaded {
+                registry.observe_duration("store.load.hit_ns", load_time);
+                registry.trace_instant("store.optslice.hit");
+                let elapsed = load_time;
                 // Registry parity with the cold path, with the cold
                 // durations replayed under `cached/*` spans.
                 a.sound.pt_stats.record(registry, "optslice.pointsto.sound");
@@ -344,6 +348,8 @@ impl<'a> OptSlice<'a> {
                     pending: None,
                 };
             }
+            registry.observe_duration("store.load.miss_ns", load_time);
+            registry.trace_instant("store.optslice.miss");
         }
 
         let mut sound = self.static_side(None, "sound");
@@ -404,6 +410,15 @@ impl<'a> OptSlice<'a> {
             pending,
         } = statics;
 
+        registry.observe_duration("optslice.phase.profile_ns", profile_time);
+        registry.observe_duration(
+            "optslice.phase.static_ns",
+            sound_report.points_to_time
+                + sound_report.slice_time
+                + pred_report.points_to_time
+                + pred_report.slice_time,
+        );
+
         let dynamic_span = registry.span("dynamic");
         let mut runs = Vec::with_capacity(testing.len());
         for input in testing {
@@ -450,6 +465,8 @@ impl<'a> OptSlice<'a> {
                 (self.slice_endpoints(&combined.first), Duration::ZERO)
             };
 
+            registry.observe_duration("optslice.run.baseline_ns", baseline);
+            registry.observe_duration("optslice.run.optimistic_ns", optimistic_time + rollback);
             runs.push(OptSliceRun {
                 baseline,
                 hybrid: hybrid_time,
@@ -462,7 +479,7 @@ impl<'a> OptSlice<'a> {
                 slices_equal: hybrid_slice == opt_slice,
             });
         }
-        dynamic_span.finish();
+        registry.observe_duration("optslice.phase.dynamic_ns", dynamic_span.finish());
         pipeline_span.finish();
 
         // Store bookkeeping: save a clean cold result; a rollback means

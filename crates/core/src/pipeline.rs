@@ -9,7 +9,7 @@ use std::time::Duration;
 use oha_interp::{Machine, MachineConfig};
 use oha_invariants::{InvariantAccumulator, InvariantSet, ProfileTracer, RunProfile};
 use oha_ir::{Fingerprint, FingerprintHasher, InstId, Program};
-use oha_obs::{MetricsFrame, MetricsRegistry, SpanStat};
+use oha_obs::{MetricsFrame, MetricsRegistry, SpanStat, TraceLog};
 use oha_par::Pool;
 use oha_store::{ArtifactKey, ProfileArtifact, Store};
 
@@ -168,6 +168,16 @@ impl Pipeline {
     /// benchmark harness) can read phase spans and counters after a run.
     pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Attaches a trace log: every phase span this pipeline opens is also
+    /// emitted as a causally-linked begin/end event (the span path is the
+    /// event name). Pass [`TraceLog::from_env`] to honor the `OHA_TRACE`
+    /// knob; a disabled log keeps the pipeline's zero-overhead-when-off
+    /// guarantee.
+    pub fn with_trace(self, trace: TraceLog) -> Self {
+        self.metrics.set_trace(trace);
         self
     }
 
@@ -335,10 +345,15 @@ impl Pipeline {
         };
         let key = self.profile_key(inputs, patience);
         let start = std::time::Instant::now();
-        if let Some(artifact) = store.load_profile(&key) {
+        let loaded = store.load_profile(&key);
+        let load_time = start.elapsed();
+        if let Some(artifact) = loaded {
             // Mirror the cold shape: the (tiny) load lands on the live
             // `profile` span, the cold run's duration on `cached/profile`.
-            let elapsed = start.elapsed();
+            self.metrics
+                .observe_duration("store.load.hit_ns", load_time);
+            self.metrics.trace_instant("store.profile.hit");
+            let elapsed = load_time;
             let span = self.metrics.span("profile");
             self.metrics.add_span_stat(
                 "cached/profile",
@@ -350,6 +365,9 @@ impl Pipeline {
             span.finish();
             return (artifact.invariants, elapsed, artifact.runs_used as usize);
         }
+        self.metrics
+            .observe_duration("store.load.miss_ns", load_time);
+        self.metrics.trace_instant("store.profile.miss");
         let (invariants, time, used) = self.profile_until_stable(inputs, patience);
         let artifact = ProfileArtifact {
             invariants: invariants.clone(),
@@ -392,5 +410,12 @@ fn profile_one(
     Machine::new(program, machine)
         .with_metrics(&local, "profile")
         .run(input, &mut tracer);
+    // Distribution of per-run hook-event volume. The value is a pure
+    // function of the input (the interpreter is deterministic), and
+    // histogram merge is order-independent, so the merged buckets are
+    // bit-identical at any thread count — the distribution-side analogue
+    // of the counter determinism contract.
+    let events: u64 = local.counters().values().sum();
+    local.observe("profile.run.events", events);
     (tracer.into_profile(), local.frame())
 }

@@ -22,17 +22,19 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::hist::Histogram;
 use crate::registry::SpanStat;
 
 /// A detachable, `Send + Sync` bundle of metric deltas: counters, gauges,
-/// series and span statistics, mergeable into another frame or into a
-/// [`MetricsRegistry`](crate::MetricsRegistry).
+/// series, span statistics and histograms, mergeable into another frame
+/// or into a [`MetricsRegistry`](crate::MetricsRegistry).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsFrame {
     pub(crate) counters: BTreeMap<String, u64>,
     pub(crate) gauges: BTreeMap<String, f64>,
     pub(crate) series: BTreeMap<String, Vec<f64>>,
     pub(crate) spans: BTreeMap<String, SpanStat>,
+    pub(crate) hists: BTreeMap<String, Histogram>,
 }
 
 impl MetricsFrame {
@@ -73,16 +75,39 @@ impl MetricsFrame {
         stat.count += 1;
     }
 
+    /// Records `value` into the histogram `name`.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.hists
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Records a duration (as nanoseconds) into the histogram `name`.
+    pub fn observe_duration(&mut self, name: &str, d: Duration) {
+        self.hists
+            .entry(name.to_string())
+            .or_default()
+            .record_duration(d);
+    }
+
+    /// A copy of the histogram `name`, if present.
+    pub fn hist(&self, name: &str) -> Option<Histogram> {
+        self.hists.get(name).cloned()
+    }
+
     /// Whether the frame carries no data at all.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
             && self.gauges.is_empty()
             && self.series.is_empty()
             && self.spans.is_empty()
+            && self.hists.is_empty()
     }
 
-    /// Folds `other` into `self`: counters and span stats add, series
-    /// append (`other`'s elements after `self`'s), gauges last-write-wins.
+    /// Folds `other` into `self`: counters, span stats and histograms
+    /// add, series append (`other`'s elements after `self`'s), gauges
+    /// last-write-wins.
     pub fn merge(&mut self, other: &MetricsFrame) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
@@ -97,6 +122,9 @@ impl MetricsFrame {
             let stat = self.spans.entry(k.clone()).or_default();
             stat.total += s.total;
             stat.count += s.count;
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
         }
     }
 }
@@ -147,6 +175,16 @@ impl SyncFrame {
         self.with(|fr| fr.add_span(path, elapsed));
     }
 
+    /// Records `value` into the histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.with(|fr| fr.observe(name, value));
+    }
+
+    /// Records a duration (as nanoseconds) into the histogram `name`.
+    pub fn observe_duration(&self, name: &str, d: Duration) {
+        self.with(|fr| fr.observe_duration(name, d));
+    }
+
     /// Folds a worker-local frame in (one lock per worker instead of one
     /// per event).
     pub fn merge(&self, frame: &MetricsFrame) {
@@ -186,6 +224,24 @@ mod tests {
         assert_eq!(a.series["s"], [1.0, 2.0]);
         assert_eq!(a.spans["p"].count, 2);
         assert_eq!(a.spans["p"].total, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn histograms_shard_and_absorb() {
+        let mut a = MetricsFrame::new();
+        a.observe("lat", 10);
+        a.observe_duration("lat", Duration::from_nanos(20));
+        let mut b = MetricsFrame::new();
+        b.observe("lat", 1 << 40);
+        a.merge(&b);
+        let merged = a.hist("lat").unwrap();
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.max(), 1 << 40);
+
+        let reg = MetricsRegistry::new();
+        reg.absorb(&a);
+        assert_eq!(reg.hist("lat").unwrap(), merged);
+        assert!(!a.is_empty());
     }
 
     #[test]

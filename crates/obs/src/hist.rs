@@ -1,0 +1,318 @@
+//! A zero-dependency log-scaled latency histogram.
+//!
+//! Values (typically nanoseconds) land in power-of-two buckets: bucket 0
+//! holds the value 0 and bucket `i` (1..=63) holds values in
+//! `[2^(i-1), 2^i)`. Recording is a handful of integer ops, merging is
+//! element-wise addition — commutative and associative, so sharded
+//! histograms recorded by parallel workers merge to bit-identical bucket
+//! counts in any order (the determinism contract `MetricsFrame`
+//! absorption relies on).
+
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A fixed-shape log₂ histogram with exact count/sum/min/max.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket a value lands in: 0 for 0, otherwise `64 - leading_zeros`
+/// clamped into range (so bucket `i` covers `[2^(i-1), 2^i)`).
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket (`2^i - 1`; the last bucket is
+/// unbounded and reports `u64::MAX`).
+pub fn bucket_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records one duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Folds `other` in: element-wise bucket addition, exact count/sum,
+    /// min/max of the extremes. Merging is order-independent.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.counts
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`): the inclusive
+    /// bound of the first bucket whose cumulative count reaches
+    /// `ceil(q * count)`. Resolution is one power of two — plenty for
+    /// tail-latency monitoring. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(bucket_index, count)` pairs — the
+    /// sparse form the JSON serialization uses.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from its sparse serialized parts. Bucket
+    /// indexes out of range are clamped into the last bucket (a decoding
+    /// of foreign data must not panic).
+    pub fn from_parts(buckets: &[(usize, u64)], sum: u128, min: u64, max: u64) -> Self {
+        let mut h = Histogram::new();
+        for &(i, c) in buckets {
+            h.counts[i.min(HIST_BUCKETS - 1)] += c;
+            h.count += c;
+        }
+        h.sum = sum;
+        h.min = if h.count == 0 { u64::MAX } else { min };
+        h.max = max;
+        h
+    }
+
+    /// The sparse JSON form shared by [`RunReport`](crate::RunReport)
+    /// artifacts and the daemon's `metrics` snapshot:
+    /// `{"count", "sum", "min", "max", "buckets": [[index, count], ...]}`.
+    /// The sum can exceed f64's exact-integer range (it is a `u128` of
+    /// nanoseconds), so it travels as a decimal string.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".to_string(), Json::Num(self.count() as f64)),
+            ("sum".to_string(), Json::str(self.sum().to_string())),
+            ("min".to_string(), Json::Num(self.min() as f64)),
+            ("max".to_string(), Json::Num(self.max() as f64)),
+            (
+                "buckets".to_string(),
+                Json::Arr(
+                    self.nonzero_buckets()
+                        .iter()
+                        .map(|&(i, c)| Json::Arr(vec![Json::Num(i as f64), Json::Num(c as f64)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the [`to_json`](Histogram::to_json) form back. The error
+    /// names the offending field.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        let buckets = value
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or("histogram missing buckets")?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_arr().ok_or("histogram bucket not a pair")?;
+                let index = pair
+                    .first()
+                    .and_then(Json::as_u64)
+                    .ok_or("histogram bucket index not a u64")?;
+                let count = pair
+                    .get(1)
+                    .and_then(Json::as_u64)
+                    .ok_or("histogram bucket count not a u64")?;
+                Ok((index as usize, count))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let sum = value
+            .get("sum")
+            .and_then(Json::as_str)
+            .ok_or("histogram missing sum")?
+            .parse::<u128>()
+            .map_err(|_| "histogram sum not a u128".to_string())?;
+        let min = value.get("min").and_then(Json::as_u64).unwrap_or(0);
+        let max = value.get("max").and_then(Json::as_u64).unwrap_or(0);
+        Ok(Histogram::from_parts(&buckets, sum, min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(10), 1023);
+        assert_eq!(bucket_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 5, 100, 100, 4096] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 4302);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 4096);
+        assert!((h.mean() - 717.0).abs() < 1.0);
+        assert_eq!(h.buckets()[bucket_of(100)], 2);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let shard = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = shard(&[1, 2, 3, 1_000_000]);
+        let b = shard(&[0, 7, 7, 7]);
+        let c = shard(&[u64::MAX]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        ab.merge(&c);
+        let mut cb = c.clone();
+        cb.merge(&b);
+        cb.merge(&a);
+        assert_eq!(ab, cb, "merge order must be unobservable");
+        assert_eq!(ab.count(), 9);
+    }
+
+    #[test]
+    fn quantiles_bound_the_tail() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1);
+        let p50 = h.quantile(0.5);
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile(1.0), 1000, "p100 clamps to the true max");
+        assert_eq!(Histogram::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn sparse_round_trip() {
+        let mut h = Histogram::new();
+        for v in [3, 9, 9, 12345] {
+            h.record(v);
+        }
+        let back = Histogram::from_parts(&h.nonzero_buckets(), h.sum(), h.min(), h.max());
+        assert_eq!(back, h);
+        let empty = Histogram::from_parts(&[], 0, 0, 0);
+        assert_eq!(empty, Histogram::new());
+    }
+}

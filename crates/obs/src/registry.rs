@@ -14,7 +14,9 @@ use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use crate::frame::MetricsFrame;
+use crate::hist::Histogram;
 use crate::report::{RunReport, SpanEntry};
+use crate::trace::TraceLog;
 
 /// A monotonic counter handle. The default handle is detached: increments
 /// are dropped at the cost of one branch, which keeps unobserved
@@ -68,8 +70,16 @@ struct Inner {
     gauges: BTreeMap<String, f64>,
     series: BTreeMap<String, Vec<f64>>,
     spans: BTreeMap<String, SpanStat>,
-    /// Path segments of the currently-open spans.
-    stack: Vec<String>,
+    hists: BTreeMap<String, Histogram>,
+    /// Currently-open spans: path segment plus the trace span ID (0 when
+    /// tracing is disabled).
+    stack: Vec<(String, u64)>,
+    /// Event sink for span begin/end; disabled (free) by default.
+    trace: TraceLog,
+    /// Trace ID stamped on emitted events (0 = untraced context).
+    trace_id: u64,
+    /// Virtual viewer track allocated when a trace log is attached.
+    tid: u64,
 }
 
 /// A registry of named metrics. Clones share state; the registry is
@@ -146,24 +156,84 @@ impl MetricsRegistry {
 
     /// Opens a timing span named `segment`, nested inside any span that is
     /// currently open on this registry. The returned guard records on drop.
+    /// When a [`TraceLog`] is attached, the open and close are also emitted
+    /// as causally-linked begin/end events.
     pub fn span(&self, segment: &str) -> SpanGuard {
         debug_assert!(
             !segment.contains('/'),
             "span segments must not contain '/': {segment:?}"
         );
-        let depth = {
+        let (path, depth, span_id, parent) = {
             let mut inner = self.inner.borrow_mut();
-            inner.stack.push(segment.to_string());
-            inner.stack.len() - 1
+            let parent = inner.stack.last().map_or(0, |(_, id)| *id);
+            inner.stack.push((segment.to_string(), 0));
+            let depth = inner.stack.len() - 1;
+            let path = inner
+                .stack
+                .iter()
+                .map(|(s, _)| s.as_str())
+                .collect::<Vec<_>>()
+                .join("/");
+            let span_id = if inner.trace.is_enabled() {
+                let id = inner.trace.begin(&path, inner.trace_id, parent, inner.tid);
+                inner.stack.last_mut().expect("just pushed").1 = id;
+                id
+            } else {
+                0
+            };
+            (path, depth, span_id, parent)
         };
-        let path = self.inner.borrow().stack.join("/");
         SpanGuard {
             inner: Some(SpanGuardInner {
                 registry: self.clone(),
                 path,
                 depth,
                 start: Instant::now(),
+                span_id,
+                parent,
             }),
+        }
+    }
+
+    /// Attaches a trace log, allocating this registry its own viewer
+    /// track. Spans opened afterwards emit begin/end events.
+    pub fn set_trace(&self, trace: TraceLog) {
+        let mut inner = self.inner.borrow_mut();
+        inner.tid = trace.alloc_tid();
+        inner.trace = trace;
+    }
+
+    /// The attached trace log (disabled by default).
+    pub fn trace(&self) -> TraceLog {
+        self.inner.borrow().trace.clone()
+    }
+
+    /// Stamps subsequent events with `trace_id` (carry an existing
+    /// request's ID into a worker-side registry).
+    pub fn set_trace_id(&self, trace_id: u64) {
+        self.inner.borrow_mut().trace_id = trace_id;
+    }
+
+    /// The current trace ID (0 = untraced context).
+    pub fn trace_id(&self) -> u64 {
+        self.inner.borrow().trace_id
+    }
+
+    /// Allocates a fresh trace ID from the attached log and makes it
+    /// current. Returns 0 when tracing is disabled.
+    pub fn begin_trace(&self) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        inner.trace_id = inner.trace.next_trace_id();
+        inner.trace_id
+    }
+
+    /// Emits a point event parented to the innermost open span. Free when
+    /// no trace log is attached.
+    pub fn trace_instant(&self, name: &str) {
+        let inner = self.inner.borrow();
+        if inner.trace.is_enabled() {
+            let parent = inner.stack.last().map_or(0, |(_, id)| *id);
+            inner.trace.instant(name, inner.trace_id, parent, inner.tid);
         }
     }
 
@@ -197,6 +267,48 @@ impl MetricsRegistry {
         self.inner.borrow().spans.clone()
     }
 
+    /// Records `value` into the histogram `name` (creating it on first
+    /// use).
+    pub fn observe(&self, name: &str, value: u64) {
+        self.inner
+            .borrow_mut()
+            .hists
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Records a duration (as nanoseconds) into the histogram `name`.
+    pub fn observe_duration(&self, name: &str, d: Duration) {
+        self.inner
+            .borrow_mut()
+            .hists
+            .entry(name.to_string())
+            .or_default()
+            .record_duration(d);
+    }
+
+    /// Folds a pre-aggregated histogram into `name` (the ingestion
+    /// counterpart of [`observe`](MetricsRegistry::observe)).
+    pub fn merge_hist(&self, name: &str, h: &Histogram) {
+        self.inner
+            .borrow_mut()
+            .hists
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
+    /// A copy of the histogram `name`, if it was ever written.
+    pub fn hist(&self, name: &str) -> Option<Histogram> {
+        self.inner.borrow().hists.get(name).cloned()
+    }
+
+    /// Snapshot of all histograms.
+    pub fn hists(&self) -> BTreeMap<String, Histogram> {
+        self.inner.borrow().hists.clone()
+    }
+
     /// Adds one pre-aggregated span statistic under `path` (the ingestion
     /// counterpart of [`MetricsRegistry::span`], for merging spans timed
     /// off-registry).
@@ -223,13 +335,14 @@ impl MetricsRegistry {
             gauges: inner.gauges.clone(),
             series: inner.series.clone(),
             spans: inner.spans.clone(),
+            hists: inner.hists.clone(),
         }
     }
 
-    /// Merges a frame recorded elsewhere: counters and span stats add,
-    /// series append in call order, gauges last-write-wins. Absorbing
-    /// worker frames in task input order keeps the merged registry
-    /// identical across thread counts.
+    /// Merges a frame recorded elsewhere: counters, span stats and
+    /// histograms add, series append in call order, gauges
+    /// last-write-wins. Absorbing worker frames in task input order keeps
+    /// the merged registry identical across thread counts.
     pub fn absorb(&self, frame: &MetricsFrame) {
         for (name, &v) in &frame.counters {
             if v > 0 {
@@ -249,6 +362,9 @@ impl MetricsRegistry {
         }
         for (path, &stat) in &frame.spans {
             self.add_span_stat(path, stat);
+        }
+        for (name, h) in &frame.hists {
+            self.merge_hist(name, h);
         }
     }
 
@@ -278,13 +394,19 @@ impl MetricsRegistry {
                     )
                 })
                 .collect(),
+            hists: inner.hists.clone(),
             tables: Vec::new(),
             children: Vec::new(),
         }
     }
 
-    fn record_span(&self, path: &str, depth: usize, elapsed: Duration) {
+    fn record_span(&self, path: &str, depth: usize, elapsed: Duration, span_id: u64, parent: u64) {
         let mut inner = self.inner.borrow_mut();
+        if span_id != 0 {
+            inner
+                .trace
+                .end(path, inner.trace_id, span_id, parent, inner.tid);
+        }
         let stat = inner.spans.entry(path.to_string()).or_default();
         stat.total += elapsed;
         stat.count += 1;
@@ -298,6 +420,8 @@ struct SpanGuardInner {
     path: String,
     depth: usize,
     start: Instant,
+    span_id: u64,
+    parent: u64,
 }
 
 /// RAII guard for a timing span. Records elapsed time under its path when
@@ -322,7 +446,8 @@ impl SpanGuard {
         match self.inner.take() {
             Some(g) => {
                 let elapsed = g.start.elapsed();
-                g.registry.record_span(&g.path, g.depth, elapsed);
+                g.registry
+                    .record_span(&g.path, g.depth, elapsed, g.span_id, g.parent);
                 elapsed
             }
             None => Duration::ZERO,
@@ -385,6 +510,58 @@ mod tests {
     fn detached_span_is_a_no_op() {
         let g = SpanGuard::detached();
         assert_eq!(g.finish(), Duration::ZERO);
+    }
+
+    #[test]
+    fn histograms_record_and_merge() {
+        let reg = MetricsRegistry::new();
+        reg.observe("lat", 100);
+        reg.observe_duration("lat", Duration::from_nanos(100));
+        let mut extra = Histogram::new();
+        extra.record(7);
+        reg.merge_hist("lat", &extra);
+        let h = reg.hist("lat").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 207);
+        assert!(reg.hist("nope").is_none());
+        assert_eq!(reg.hists().len(), 1);
+    }
+
+    #[test]
+    fn spans_emit_linked_trace_events_when_enabled() {
+        let reg = MetricsRegistry::new();
+        let log = TraceLog::enabled(64);
+        reg.set_trace(log.clone());
+        let trace_id = reg.begin_trace();
+        assert_ne!(trace_id, 0);
+        {
+            let _outer = reg.span("optft");
+            reg.trace_instant("cache-miss");
+            let _inner = reg.span("profile");
+        }
+        let events = log.events();
+        // B(optft), i(cache-miss), B(optft/profile), E(optft/profile), E(optft)
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].name, "optft");
+        assert_eq!(events[1].parent, events[0].span_id);
+        assert_eq!(events[2].name, "optft/profile");
+        assert_eq!(events[2].parent, events[0].span_id);
+        assert_eq!(events[3].span_id, events[2].span_id);
+        assert_eq!(events[4].span_id, events[0].span_id);
+        assert!(events.iter().all(|e| e.trace_id == trace_id));
+        // The aggregate span stats are unchanged by tracing.
+        assert_eq!(reg.span_stat("optft/profile").unwrap().count, 1);
+    }
+
+    #[test]
+    fn untraced_registry_emits_nothing() {
+        let reg = MetricsRegistry::new();
+        assert!(!reg.trace().is_enabled());
+        assert_eq!(reg.begin_trace(), 0);
+        reg.trace_instant("noop");
+        reg.span("a").finish();
+        assert_eq!(reg.trace().events().len(), 0);
+        assert_eq!(reg.span_stat("a").unwrap().count, 1);
     }
 
     #[test]

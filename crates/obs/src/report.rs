@@ -6,7 +6,12 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
 
+use crate::hist::Histogram;
 use crate::json::{Json, JsonError};
+
+/// Counter name under which [`RunReport::to_json`] records how many
+/// non-finite gauge/series values it refused to serialize.
+pub const NON_FINITE_DROPPED: &str = "obs.json.non_finite_dropped";
 
 /// Accumulated time for one span path, in serializable form.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -51,6 +56,8 @@ pub struct RunReport {
     pub series: BTreeMap<String, Vec<f64>>,
     /// Span timings keyed by `/`-joined path.
     pub spans: BTreeMap<String, SpanEntry>,
+    /// Latency/size distributions (log₂-bucketed).
+    pub hists: BTreeMap<String, Histogram>,
     /// Rendered tables.
     pub tables: Vec<TableArtifact>,
     /// Nested reports (e.g. one per workload under an experiment).
@@ -94,7 +101,26 @@ impl RunReport {
     // -- JSON ---------------------------------------------------------------
 
     /// Converts the report to a JSON value.
+    ///
+    /// JSON has no NaN or infinity, and a zero-duration span can produce
+    /// exactly those in timing-derived gauges. Rather than emit an invalid
+    /// document (or panic in the writer), non-finite gauges are *dropped*
+    /// and non-finite series elements are *clamped to 0.0*; every such
+    /// value is tallied in the [`NON_FINITE_DROPPED`] counter so the loss
+    /// is visible in the output itself.
     pub fn to_json(&self) -> Json {
+        let non_finite = self.gauges.values().filter(|v| !v.is_finite()).count()
+            + self
+                .series
+                .values()
+                .flat_map(|vs| vs.iter())
+                .filter(|v| !v.is_finite())
+                .count();
+        let mut counters = self.counters.clone();
+        if non_finite > 0 {
+            *counters.entry(NON_FINITE_DROPPED.to_string()).or_insert(0) += non_finite as u64;
+        }
+
         let mut fields = vec![("name".to_string(), Json::str(&self.name))];
         fields.push((
             "meta".to_string(),
@@ -108,7 +134,7 @@ impl RunReport {
         fields.push((
             "counters".to_string(),
             Json::Obj(
-                self.counters
+                counters
                     .iter()
                     .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
                     .collect(),
@@ -119,6 +145,7 @@ impl RunReport {
             Json::Obj(
                 self.gauges
                     .iter()
+                    .filter(|(_, v)| v.is_finite())
                     .map(|(k, v)| (k.clone(), Json::Num(*v)))
                     .collect(),
             ),
@@ -131,7 +158,11 @@ impl RunReport {
                     .map(|(k, vs)| {
                         (
                             k.clone(),
-                            Json::Arr(vs.iter().map(|&v| Json::Num(v)).collect()),
+                            Json::Arr(
+                                vs.iter()
+                                    .map(|&v| Json::Num(if v.is_finite() { v } else { 0.0 }))
+                                    .collect(),
+                            ),
                         )
                     })
                     .collect(),
@@ -151,6 +182,15 @@ impl RunReport {
                             ]),
                         )
                     })
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "hists".to_string(),
+            Json::Obj(
+                self.hists
+                    .iter()
+                    .map(|(k, h)| (k.clone(), h.to_json()))
                     .collect(),
             ),
         ));
@@ -255,6 +295,12 @@ impl RunReport {
                 report.spans.insert(k.clone(), entry);
             }
         }
+        if let Some(fields) = value.get("hists").and_then(Json::as_obj) {
+            for (k, v) in fields {
+                let h = Histogram::from_json(v).map_err(|e| format!("hists.{k}: {e}"))?;
+                report.hists.insert(k.clone(), h);
+            }
+        }
         if let Some(tables) = value.get("tables").and_then(Json::as_arr) {
             for t in tables {
                 let title = t
@@ -324,6 +370,20 @@ impl RunReport {
                 let _ = writeln!(out, "{pad}    {k:<40} {v:>12.4}");
             }
         }
+        if !self.hists.is_empty() {
+            let _ = writeln!(out, "{pad}  histograms:");
+            for (k, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "{pad}    {k:<40} n={} mean={:.0} p50<={} p99<={} max={}",
+                    h.count(),
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                    h.max()
+                );
+            }
+        }
         for (k, vs) in &self.series {
             let rendered: Vec<String> = vs.iter().map(|v| format!("{v}")).collect();
             let _ = writeln!(out, "{pad}  series {k}: [{}]", rendered.join(", "));
@@ -368,6 +428,11 @@ mod tests {
                 count: 3,
             },
         );
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 900, 900, u64::MAX] {
+            h.record(v);
+        }
+        r.hists.insert("store.load.hit_ns".into(), h);
         r.push_table(
             "runtimes",
             &["bench", "OptFT"],
@@ -409,5 +474,37 @@ mod tests {
     #[test]
     fn counter_lookup_defaults_to_zero() {
         assert_eq!(RunReport::new("x").counter("nope"), 0);
+    }
+
+    #[test]
+    fn non_finite_gauges_are_dropped_with_a_counter() {
+        let mut r = RunReport::new("nan");
+        r.gauges.insert("fine".into(), 2.5);
+        r.gauges.insert("speedup".into(), f64::NAN);
+        r.gauges.insert("ratio".into(), f64::INFINITY);
+        r.series
+            .insert("curve".into(), vec![1.0, f64::NEG_INFINITY]);
+
+        let text = r.to_json_string();
+        let back = RunReport::from_json_str(&text).expect("output must stay valid JSON");
+        assert_eq!(back.gauges.get("fine"), Some(&2.5));
+        assert!(!back.gauges.contains_key("speedup"));
+        assert!(!back.gauges.contains_key("ratio"));
+        assert_eq!(back.series["curve"], [1.0, 0.0], "series values clamp");
+        assert_eq!(back.counter(NON_FINITE_DROPPED), 3);
+
+        // A clean report never grows the counter.
+        let clean = RunReport::from_json_str(&back.to_json_string()).unwrap();
+        assert_eq!(clean.counter(NON_FINITE_DROPPED), 3);
+    }
+
+    #[test]
+    fn histograms_round_trip_through_json() {
+        let r = sample_report();
+        let back = RunReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back.hists, r.hists);
+        let h = &back.hists["store.load.hit_ns"];
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), u64::MAX);
     }
 }

@@ -1,0 +1,423 @@
+//! Event-level tracing: a bounded ring buffer of begin/end/instant events
+//! with monotonic timestamps, trace/span IDs and parent links, plus an
+//! exporter to Chrome trace-event JSON (loadable in Perfetto or
+//! `chrome://tracing`).
+//!
+//! The log is **off by default and free when off**: a disabled
+//! [`TraceLog`] is a `None` and every record call is a single branch, so
+//! the deterministic pipeline is bit-identical with tracing disabled.
+//! When enabled (explicitly or via the `OHA_TRACE` env knob) events go
+//! into a fixed-capacity ring that drops its *oldest* events on overflow
+//! and counts the drops — a long-lived daemon can keep tracing forever in
+//! bounded memory and still export the most recent window.
+//!
+//! ID scheme: `trace_id` groups every event of one logical request (a
+//! pipeline run, an `analyze` frame); `span_id` is unique per begin/end
+//! pair; `parent` is the enclosing span's ID (0 = root). `tid` is a
+//! per-registry virtual track so concurrent workers render as separate
+//! rows in the viewer, regardless of OS thread reuse.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Environment variable enabling tracing: unset, empty or `0` means off;
+/// a number greater than one is used as the ring capacity; anything else
+/// enables the default capacity.
+pub const TRACE_ENV: &str = "OHA_TRACE";
+
+/// Default ring capacity (events, not bytes).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// What a trace event marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A span opened (`ph: "B"`).
+    Begin,
+    /// A span closed (`ph: "E"`).
+    End,
+    /// A point event (`ph: "i"`).
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the log's epoch.
+    pub ts_ns: u64,
+    /// Begin / end / instant.
+    pub kind: TraceEventKind,
+    /// Event name — span paths use the same `/`-joined form as
+    /// [`MetricsRegistry`](crate::MetricsRegistry) span stats.
+    pub name: String,
+    /// Groups all events of one logical request; 0 = untraced context.
+    pub trace_id: u64,
+    /// Unique per begin/end pair (0 for instants without a span).
+    pub span_id: u64,
+    /// Enclosing span's ID; 0 = root.
+    pub parent: u64,
+    /// Virtual track for the viewer (one per registry/worker).
+    pub tid: u64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<Ring>,
+    next_id: AtomicU64,
+    next_tid: AtomicU64,
+}
+
+/// A clonable handle to a shared trace ring. The default handle is
+/// disabled; all record calls are no-ops costing one branch.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    shared: Option<Arc<Shared>>,
+}
+
+impl TraceLog {
+    /// A disabled log (records nothing).
+    pub fn disabled() -> Self {
+        TraceLog { shared: None }
+    }
+
+    /// An enabled log holding at most `capacity` events (oldest dropped
+    /// first; a zero capacity is bumped to 1).
+    pub fn enabled(capacity: usize) -> Self {
+        TraceLog {
+            shared: Some(Arc::new(Shared {
+                epoch: Instant::now(),
+                capacity: capacity.max(1),
+                ring: Mutex::new(Ring {
+                    events: VecDeque::new(),
+                    dropped: 0,
+                }),
+                next_id: AtomicU64::new(1),
+                next_tid: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    /// Builds a log from the [`TRACE_ENV`] knob: disabled when unset,
+    /// empty or `"0"`; ring capacity N when set to a number N > 1;
+    /// default capacity otherwise (e.g. `OHA_TRACE=1`).
+    pub fn from_env() -> Self {
+        match std::env::var(TRACE_ENV) {
+            Err(_) => TraceLog::disabled(),
+            Ok(v) => {
+                let v = v.trim();
+                if v.is_empty() || v == "0" {
+                    TraceLog::disabled()
+                } else {
+                    match v.parse::<usize>() {
+                        Ok(n) if n > 1 => TraceLog::enabled(n),
+                        _ => TraceLog::enabled(DEFAULT_TRACE_CAPACITY),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Allocates a fresh trace ID (for one logical request). Returns 0
+    /// when disabled.
+    pub fn next_trace_id(&self) -> u64 {
+        match &self.shared {
+            Some(s) => s.next_id.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Allocates a fresh virtual track ID. Returns 0 when disabled.
+    pub fn alloc_tid(&self) -> u64 {
+        match &self.shared {
+            Some(s) => s.next_tid.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    fn push(&self, event: TraceEvent) {
+        if let Some(s) = &self.shared {
+            let mut ring = s.ring.lock().expect("trace ring poisoned");
+            if ring.events.len() >= s.capacity {
+                ring.events.pop_front();
+                ring.dropped += 1;
+            }
+            ring.events.push_back(event);
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        match &self.shared {
+            Some(s) => u64::try_from(s.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            None => 0,
+        }
+    }
+
+    /// Records a span open and returns its fresh span ID (0 when
+    /// disabled).
+    pub fn begin(&self, name: &str, trace_id: u64, parent: u64, tid: u64) -> u64 {
+        match &self.shared {
+            None => 0,
+            Some(s) => {
+                let span_id = s.next_id.fetch_add(1, Ordering::Relaxed);
+                self.push(TraceEvent {
+                    ts_ns: self.now_ns(),
+                    kind: TraceEventKind::Begin,
+                    name: name.to_string(),
+                    trace_id,
+                    span_id,
+                    parent,
+                    tid,
+                });
+                span_id
+            }
+        }
+    }
+
+    /// Records the close of span `span_id` (pass the name and links from
+    /// the matching [`begin`](TraceLog::begin)).
+    pub fn end(&self, name: &str, trace_id: u64, span_id: u64, parent: u64, tid: u64) {
+        if self.shared.is_some() {
+            self.push(TraceEvent {
+                ts_ns: self.now_ns(),
+                kind: TraceEventKind::End,
+                name: name.to_string(),
+                trace_id,
+                span_id,
+                parent,
+                tid,
+            });
+        }
+    }
+
+    /// Records a point event under the current span.
+    pub fn instant(&self, name: &str, trace_id: u64, parent: u64, tid: u64) {
+        if self.shared.is_some() {
+            self.push(TraceEvent {
+                ts_ns: self.now_ns(),
+                kind: TraceEventKind::Instant,
+                name: name.to_string(),
+                trace_id,
+                span_id: 0,
+                parent,
+                tid,
+            });
+        }
+    }
+
+    /// A snapshot of the ring, oldest event first (empty when disabled).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.shared {
+            Some(s) => s
+                .ring
+                .lock()
+                .expect("trace ring poisoned")
+                .events
+                .iter()
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        match &self.shared {
+            Some(s) => s.ring.lock().expect("trace ring poisoned").dropped,
+            None => 0,
+        }
+    }
+
+    /// Exports the ring as a Chrome trace-event JSON document (the
+    /// `{"traceEvents": [...]}` object form), loadable in Perfetto or
+    /// `chrome://tracing`. Timestamps are microseconds from the log's
+    /// epoch; `pid` is fixed at 1 and `tid` is the virtual track. The
+    /// trace/span/parent links ride along in each event's `args`.
+    pub fn to_chrome_json(&self) -> Json {
+        let events = self.events();
+        let items = events
+            .iter()
+            .map(|e| {
+                let ph = match e.kind {
+                    TraceEventKind::Begin => "B",
+                    TraceEventKind::End => "E",
+                    TraceEventKind::Instant => "i",
+                };
+                let mut fields = vec![
+                    ("name".to_string(), Json::str(&e.name)),
+                    ("ph".to_string(), Json::str(ph)),
+                    ("ts".to_string(), Json::Num(e.ts_ns as f64 / 1000.0)),
+                    ("pid".to_string(), Json::Num(1.0)),
+                    ("tid".to_string(), Json::Num(e.tid as f64)),
+                ];
+                if e.kind == TraceEventKind::Instant {
+                    // Perfetto requires a scope on instant events.
+                    fields.push(("s".to_string(), Json::str("t")));
+                }
+                fields.push((
+                    "args".to_string(),
+                    Json::Obj(vec![
+                        ("trace".to_string(), Json::Num(e.trace_id as f64)),
+                        ("span".to_string(), Json::Num(e.span_id as f64)),
+                        ("parent".to_string(), Json::Num(e.parent as f64)),
+                    ]),
+                ));
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("traceEvents".to_string(), Json::Arr(items)),
+            ("displayTimeUnit".to_string(), Json::str("ms")),
+            (
+                "otherData".to_string(),
+                Json::Obj(vec![
+                    ("producer".to_string(), Json::str("oha-trace")),
+                    (
+                        "dropped_events".to_string(),
+                        Json::Num(self.dropped() as f64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Writes the Chrome trace JSON to `path`.
+    pub fn write_chrome_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_chrome_json().to_string_compact())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = TraceLog::disabled();
+        assert!(!log.is_enabled());
+        assert_eq!(log.begin("x", 1, 0, 1), 0);
+        log.end("x", 1, 0, 0, 1);
+        log.instant("y", 1, 0, 1);
+        assert_eq!(log.next_trace_id(), 0);
+        assert_eq!(log.alloc_tid(), 0);
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn begin_end_pair_shares_a_span_id() {
+        let log = TraceLog::enabled(16);
+        let trace = log.next_trace_id();
+        let tid = log.alloc_tid();
+        let outer = log.begin("optft", trace, 0, tid);
+        let inner = log.begin("optft/profile", trace, outer, tid);
+        log.instant("cache-hit", trace, inner, tid);
+        log.end("optft/profile", trace, inner, outer, tid);
+        log.end("optft", trace, outer, 0, tid);
+
+        let events = log.events();
+        assert_eq!(events.len(), 5);
+        assert_ne!(outer, inner);
+        assert_eq!(events[0].kind, TraceEventKind::Begin);
+        assert_eq!(events[1].parent, outer);
+        assert_eq!(events[2].kind, TraceEventKind::Instant);
+        assert_eq!(events[3].span_id, inner);
+        assert_eq!(events[4].kind, TraceEventKind::End);
+        assert!(
+            events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns),
+            "timestamps are monotone"
+        );
+        assert!(events.iter().all(|e| e.trace_id == trace));
+    }
+
+    #[test]
+    fn ring_drops_oldest_on_overflow() {
+        let log = TraceLog::enabled(3);
+        for i in 0..5 {
+            log.instant(&format!("e{i}"), 1, 0, 1);
+        }
+        let events = log.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "e2", "oldest events evicted first");
+        assert_eq!(log.dropped(), 2);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_linked_args() {
+        let log = TraceLog::enabled(16);
+        let trace = log.next_trace_id();
+        let tid = log.alloc_tid();
+        let span = log.begin("work", trace, 0, tid);
+        log.instant("tick", trace, span, tid);
+        log.end("work", trace, span, 0, tid);
+
+        let text = log.to_chrome_json().to_string_compact();
+        let doc = Json::parse(&text).expect("export must be parseable JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 3);
+        let begin = &events[0];
+        assert_eq!(begin.get("ph").and_then(Json::as_str), Some("B"));
+        assert_eq!(
+            begin
+                .get("args")
+                .and_then(|a| a.get("span"))
+                .and_then(Json::as_u64),
+            Some(span)
+        );
+        let instant = &events[1];
+        assert_eq!(instant.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(instant.get("s").and_then(Json::as_str), Some("t"));
+        let end = &events[2];
+        assert_eq!(end.get("ph").and_then(Json::as_str), Some("E"));
+        assert_eq!(
+            doc.get("otherData")
+                .and_then(|o| o.get("dropped_events"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn env_knob_parses_capacity() {
+        // Serialize env access within this test only; other tests don't
+        // read TRACE_ENV.
+        let prev = std::env::var(TRACE_ENV).ok();
+        std::env::remove_var(TRACE_ENV);
+        assert!(!TraceLog::from_env().is_enabled());
+        std::env::set_var(TRACE_ENV, "0");
+        assert!(!TraceLog::from_env().is_enabled());
+        std::env::set_var(TRACE_ENV, "1");
+        assert!(TraceLog::from_env().is_enabled());
+        std::env::set_var(TRACE_ENV, "4096");
+        let log = TraceLog::from_env();
+        assert!(log.is_enabled());
+        for i in 0..5000 {
+            log.instant(&format!("e{i}"), 1, 0, 1);
+        }
+        assert_eq!(log.events().len(), 4096, "numeric value sets capacity");
+        match prev {
+            Some(v) => std::env::set_var(TRACE_ENV, v),
+            None => std::env::remove_var(TRACE_ENV),
+        }
+    }
+}

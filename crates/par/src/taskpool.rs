@@ -18,12 +18,17 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use oha_obs::Histogram;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 #[derive(Default)]
 struct QueueState {
-    jobs: VecDeque<Job>,
+    /// Queued jobs, each stamped with its enqueue time so the pool can
+    /// account queue-wait latency.
+    jobs: VecDeque<(Instant, Job)>,
     /// Jobs currently executing on a worker.
     active: usize,
     /// Once set, `submit` refuses new jobs; workers exit when the queue
@@ -40,6 +45,8 @@ struct Shared {
     /// Jobs whose closure panicked (the worker survives; the panic is
     /// contained and counted).
     panicked: AtomicU64,
+    /// Time jobs spent queued before a worker picked them up.
+    queue_wait: Mutex<Histogram>,
 }
 
 /// A fixed-width pool of persistent workers consuming a shared FIFO
@@ -70,6 +77,7 @@ impl TaskPool {
             work_ready: Condvar::new(),
             drained: Condvar::new(),
             panicked: AtomicU64::new(0),
+            queue_wait: Mutex::new(Histogram::new()),
         });
         let workers = (0..threads.max(1))
             .map(|i| {
@@ -101,7 +109,7 @@ impl TaskPool {
         if state.shutting_down {
             return false;
         }
-        state.jobs.push_back(Box::new(job));
+        state.jobs.push_back((Instant::now(), Box::new(job)));
         drop(state);
         self.shared.work_ready.notify_one();
         true
@@ -110,6 +118,17 @@ impl TaskPool {
     /// Jobs queued but not yet started.
     pub fn pending(&self) -> usize {
         self.shared.state.lock().expect("pool lock").jobs.len()
+    }
+
+    /// Jobs currently executing on a worker.
+    pub fn active(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").active
+    }
+
+    /// A snapshot of the queue-wait latency distribution (nanoseconds
+    /// from submit to worker pickup).
+    pub fn queue_wait(&self) -> Histogram {
+        self.shared.queue_wait.lock().expect("pool lock").clone()
     }
 
     /// Jobs whose closure panicked (each was contained; its worker
@@ -155,7 +174,7 @@ impl Drop for TaskPool {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let job = {
+        let (enqueued, job) = {
             let mut state = shared.state.lock().expect("pool lock");
             loop {
                 if let Some(job) = state.jobs.pop_front() {
@@ -168,6 +187,11 @@ fn worker_loop(shared: &Shared) {
                 state = shared.work_ready.wait(state).expect("pool lock");
             }
         };
+        shared
+            .queue_wait
+            .lock()
+            .expect("pool lock")
+            .record_duration(enqueued.elapsed());
         // Contain job panics: a poisoned request must not take a worker
         // (and with it, eventually, the whole daemon) down.
         if catch_unwind(AssertUnwindSafe(job)).is_err() {
@@ -269,5 +293,23 @@ mod tests {
         let pool = TaskPool::new(0);
         assert_eq!(pool.threads(), 1);
         assert_eq!(pool.pending(), 0);
+        assert_eq!(pool.active(), 0);
+    }
+
+    #[test]
+    fn queue_wait_is_recorded_per_job() {
+        let pool = TaskPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..8 {
+            let tx = tx.clone();
+            pool.submit(move || tx.send(()).unwrap());
+        }
+        for _ in 0..8 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        pool.wait_idle();
+        let wait = pool.queue_wait();
+        assert_eq!(wait.count(), 8, "one sample per executed job");
+        assert!(wait.max() < 5_000_000_000, "waits are sane nanoseconds");
     }
 }

@@ -3,7 +3,8 @@
 use std::path::PathBuf;
 use std::process::exit;
 
-use oha_serve::{Client, Tool};
+use oha_obs::Json;
+use oha_serve::{Client, MetricsFormat, Tool};
 
 const USAGE: &str = "\
 oha-client: talk to a running oha-serve daemon
@@ -12,7 +13,8 @@ USAGE:
   oha-client [--socket PATH] optft    --program FILE [--profiling SPEC] [--testing SPEC]
   oha-client [--socket PATH] optslice --program FILE [--profiling SPEC] [--testing SPEC]
                                       [--endpoints 3,17]
-  oha-client [--socket PATH] stats
+  oha-client [--socket PATH] stats    [--raw]
+  oha-client [--socket PATH] metrics  [--json] [--raw]
   oha-client [--socket PATH] shutdown
 
 OPTIONS:
@@ -23,10 +25,15 @@ OPTIONS:
   --testing SPEC    Testing corpus, same format (default: \"4;5\")
   --endpoints LIST  OptSlice endpoints as raw instruction ids; omitted or
                     empty means every `output` instruction
+  --json            metrics: ask for the JSON snapshot instead of the
+                    Prometheus text exposition
+  --raw             stats/metrics: print the response body verbatim instead
+                    of the pretty rendering (for scripts and CI)
 
 The analyze ops print the canonical (timing-free) result JSON on stdout;
-stats prints the daemon's counters. Exit status is non-zero on an error
-response.
+stats prints the daemon's counters (pretty key/value lines, or the raw
+JSON under --raw); metrics prints live telemetry. Exit status is non-zero
+on an error response.
 ";
 
 fn main() {
@@ -36,6 +43,8 @@ fn main() {
     let mut profiling = "1;2;3".to_string();
     let mut testing = "4;5".to_string();
     let mut endpoints: Vec<u32> = Vec::new();
+    let mut raw = false;
+    let mut json = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -62,6 +71,8 @@ fn main() {
                     })
                     .collect()
             }
+            "--raw" => raw = true,
+            "--json" => json = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return;
@@ -86,6 +97,11 @@ fn main() {
 
     let response = match command.as_str() {
         "stats" => client.stats(),
+        "metrics" => client.metrics(if json {
+            MetricsFormat::Json
+        } else {
+            MetricsFormat::Prometheus
+        }),
         "shutdown" => client.shutdown(),
         "optft" | "optslice" => {
             let tool = if command == "optft" {
@@ -113,10 +129,53 @@ fn main() {
     });
 
     if response.ok {
-        println!("{}", response.body);
+        // JSON bodies render as aligned key/value lines unless --raw; the
+        // Prometheus exposition is already text and passes through as-is.
+        let pretty = command == "stats" || (command == "metrics" && json);
+        if pretty && !raw {
+            print!("{}", pretty_stats(&response.body));
+        } else {
+            println!("{}", response.body);
+        }
     } else {
         eprintln!("error: daemon said: {}", response.body);
         exit(1);
+    }
+}
+
+/// Renders the stats JSON as aligned `key  value` lines, flattening
+/// nested objects with dotted keys. Falls back to the raw body if it is
+/// not the JSON object it should be.
+fn pretty_stats(body: &str) -> String {
+    let Ok(doc) = Json::parse(body) else {
+        return format!("{body}\n");
+    };
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    flatten(&doc, "", &mut pairs);
+    if pairs.is_empty() {
+        return format!("{body}\n");
+    }
+    let width = pairs.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    pairs
+        .iter()
+        .map(|(k, v)| format!("{k:<width$}  {v}\n"))
+        .collect()
+}
+
+fn flatten(value: &Json, prefix: &str, out: &mut Vec<(String, String)>) {
+    match value {
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                let key = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(v, &key, out);
+            }
+        }
+        Json::Null => out.push((prefix.to_string(), "-".to_string())),
+        other => out.push((prefix.to_string(), other.to_string_compact())),
     }
 }
 

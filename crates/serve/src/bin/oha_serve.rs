@@ -11,6 +11,7 @@ oha-serve: the OHA analysis daemon
 
 USAGE:
   oha-serve [--socket PATH] [--store DIR] [--threads N] [--timeout-ms N] [--lru N]
+            [--trace-out FILE]
 
 OPTIONS:
   --socket PATH      Unix-domain socket to listen on (default: oha-serve.sock)
@@ -19,6 +20,11 @@ OPTIONS:
   --threads N        Worker threads per pool (default: $OHA_THREADS, else hardware)
   --timeout-ms N     Per-request compute deadline in milliseconds (default: 120000)
   --lru N            Response-cache capacity in entries (default: 64)
+  --trace-out FILE   Record per-request trace events and write them as Chrome
+                     trace-event JSON (Perfetto-loadable) on graceful drain.
+                     $OHA_TRACE also enables tracing (a number > 1 sets the
+                     event-ring capacity); live telemetry is always available
+                     through `oha-client metrics`.
 
 Stop the daemon with `oha-client --socket PATH shutdown` (graceful drain).
 ";
@@ -30,6 +36,9 @@ fn main() {
             config.store_dir = Some(PathBuf::from(dir.trim()));
         }
     }
+    // OHA_TRACE alone enables in-memory tracing (inspectable through the
+    // metrics op); --trace-out additionally writes the ring on drain.
+    config.trace = oha_obs::TraceLog::from_env();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -47,6 +56,7 @@ fn main() {
                     Duration::from_millis(parse(&value("--timeout-ms"), "--timeout-ms"))
             }
             "--lru" => config.lru_capacity = parse(&value("--lru"), "--lru"),
+            "--trace-out" => config.trace_out = Some(PathBuf::from(value("--trace-out"))),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return;

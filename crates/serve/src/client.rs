@@ -5,7 +5,7 @@ use std::io::{self, BufReader, BufWriter};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 
-use crate::proto::{read_frame, write_frame, Request, Response, Tool};
+use crate::proto::{read_frame, write_frame, MetricsFormat, Request, Response, Tool};
 
 /// One connection to a running daemon. Requests are answered in order
 /// over the same connection.
@@ -46,18 +46,40 @@ impl Client {
         testing: &[Vec<i64>],
         endpoints: &[u32],
     ) -> io::Result<Response> {
+        self.analyze_traced(tool, program, profiling, testing, endpoints, 0)
+    }
+
+    /// Like [`Client::analyze`], but records the daemon-side events of
+    /// this request under `trace_id` (0 asks the daemon to mint one;
+    /// either way the ID used comes back in [`Response::trace_id`]).
+    pub fn analyze_traced(
+        &mut self,
+        tool: Tool,
+        program: &str,
+        profiling: &[Vec<i64>],
+        testing: &[Vec<i64>],
+        endpoints: &[u32],
+        trace_id: u64,
+    ) -> io::Result<Response> {
         self.call(&Request::Analyze {
             tool,
             program: program.to_string(),
             profiling: profiling.to_vec(),
             testing: testing.to_vec(),
             endpoints: endpoints.to_vec(),
+            trace_id,
         })
     }
 
     /// Fetches daemon statistics as JSON.
     pub fn stats(&mut self) -> io::Result<Response> {
         self.call(&Request::Stats)
+    }
+
+    /// Fetches live telemetry (gauges, counters, latency histograms) as
+    /// a JSON snapshot or a Prometheus-style text exposition.
+    pub fn metrics(&mut self, format: MetricsFormat) -> io::Result<Response> {
+        self.call(&Request::Metrics { format })
     }
 
     /// Asks the daemon to drain and exit.

@@ -15,9 +15,12 @@
 //! LRU — the determinism suite holds the daemon to that contract.
 //!
 //! The protocol ([`proto`]) is length-prefixed frames in the
-//! workspace's hand-rolled codec; ops are `analyze`, `stats` and
-//! `shutdown` (graceful drain). See the `oha-serve` / `oha-client`
-//! binaries for the command-line surface.
+//! workspace's hand-rolled codec; ops are `analyze`, `stats`, `metrics`
+//! (live gauges and latency histograms, as JSON or Prometheus text) and
+//! `shutdown` (graceful drain). Each `analyze` request can carry a trace
+//! ID; with tracing enabled ([`ServerConfig::trace`] or `--trace-out`)
+//! the daemon records a causally-linked span tree per request. See the
+//! `oha-serve` / `oha-client` binaries for the command-line surface.
 
 #![warn(missing_docs)]
 
@@ -27,5 +30,5 @@ mod client;
 mod server;
 
 pub use client::Client;
-pub use proto::{Request, Response, Tool, MAX_FRAME};
+pub use proto::{MetricsFormat, Request, Response, Tool, MAX_FRAME};
 pub use server::{ServeStats, Server, ServerConfig};

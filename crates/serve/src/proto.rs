@@ -50,6 +50,32 @@ impl Tool {
     }
 }
 
+/// The shape the `metrics` op answers in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// A JSON snapshot of live gauges, counters and latency histograms.
+    Json,
+    /// Prometheus-style text exposition (`# TYPE ...` plus samples).
+    Prometheus,
+}
+
+impl MetricsFormat {
+    fn tag(self) -> u8 {
+        match self {
+            MetricsFormat::Json => 0,
+            MetricsFormat::Prometheus => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(MetricsFormat::Json),
+            1 => Some(MetricsFormat::Prometheus),
+            _ => None,
+        }
+    }
+}
+
 /// One client request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -67,9 +93,18 @@ pub enum Request {
         /// [`Tool::OptSlice`]. Empty means "every `output` instruction"
         /// (resolved server-side); ignored for [`Tool::OptFt`].
         endpoints: Vec<u32>,
+        /// Client-chosen trace ID linking this request's server-side
+        /// trace events; 0 asks the daemon to mint one. Echoed back in
+        /// [`Response::trace_id`].
+        trace_id: u64,
     },
     /// Ask for daemon and store statistics as JSON.
     Stats,
+    /// Ask for live telemetry (gauges, counters, latency histograms).
+    Metrics {
+        /// JSON snapshot or Prometheus text exposition.
+        format: MetricsFormat,
+    },
     /// Graceful drain: finish in-flight requests, then exit.
     Shutdown,
 }
@@ -77,6 +112,7 @@ pub enum Request {
 const OP_ANALYZE: u8 = 1;
 const OP_STATS: u8 = 4;
 const OP_SHUTDOWN: u8 = 5;
+const OP_METRICS: u8 = 6;
 
 impl Request {
     /// Serializes the request payload.
@@ -89,6 +125,7 @@ impl Request {
                 profiling,
                 testing,
                 endpoints,
+                trace_id,
             } => {
                 w.put_u8(OP_ANALYZE);
                 w.put_u8(tool.tag());
@@ -99,11 +136,32 @@ impl Request {
                 for &e in endpoints {
                     w.put_u32(e);
                 }
+                w.put_u64(*trace_id);
             }
             Request::Stats => w.put_u8(OP_STATS),
+            Request::Metrics { format } => {
+                w.put_u8(OP_METRICS);
+                w.put_u8(format.tag());
+            }
             Request::Shutdown => w.put_u8(OP_SHUTDOWN),
         }
         w.into_bytes()
+    }
+
+    /// The request's encoding with the trace ID zeroed — the daemon's
+    /// LRU cache key, so identical analyses stay byte-identical (and
+    /// deduplicate) no matter which trace each one rides in.
+    pub fn cache_key_bytes(&self) -> Vec<u8> {
+        match self {
+            Request::Analyze { trace_id, .. } if *trace_id != 0 => {
+                let mut normalized = self.clone();
+                if let Request::Analyze { trace_id, .. } = &mut normalized {
+                    *trace_id = 0;
+                }
+                normalized.encode()
+            }
+            _ => self.encode(),
+        }
     }
 
     /// Decodes a request payload; total over arbitrary bytes.
@@ -122,15 +180,22 @@ impl Request {
                 for _ in 0..n {
                     endpoints.push(r.get_u32()?);
                 }
+                let trace_id = r.get_u64()?;
                 Request::Analyze {
                     tool,
                     program,
                     profiling,
                     testing,
                     endpoints,
+                    trace_id,
                 }
             }
             OP_STATS => Request::Stats,
+            OP_METRICS => {
+                let tag = r.get_u8()?;
+                let format = MetricsFormat::from_tag(tag).ok_or(CodecError::BadTag(tag))?;
+                Request::Metrics { format }
+            }
             OP_SHUTDOWN => Request::Shutdown,
             _ => return Err(CodecError::BadTag(op)),
         };
@@ -153,6 +218,10 @@ pub struct Response {
     pub cached: bool,
     /// Server-side wall-clock nanoseconds spent on this request.
     pub elapsed_ns: u64,
+    /// The trace ID this request's server-side events were recorded
+    /// under (the client's, or daemon-minted when the client sent 0;
+    /// 0 when tracing is disabled).
+    pub trace_id: u64,
 }
 
 impl Response {
@@ -163,6 +232,7 @@ impl Response {
             body: body.into(),
             cached: false,
             elapsed_ns: 0,
+            trace_id: 0,
         }
     }
 
@@ -173,6 +243,7 @@ impl Response {
             body: message.into(),
             cached: false,
             elapsed_ns: 0,
+            trace_id: 0,
         }
     }
 
@@ -183,6 +254,7 @@ impl Response {
         w.put_str(&self.body);
         w.put_u8(u8::from(self.cached));
         w.put_u64(self.elapsed_ns);
+        w.put_u64(self.trace_id);
         w.into_bytes()
     }
 
@@ -201,6 +273,7 @@ impl Response {
             t => return Err(CodecError::BadTag(t)),
         };
         let elapsed_ns = r.get_u64()?;
+        let trace_id = r.get_u64()?;
         if !r.is_done() {
             return Err(CodecError::BadLength(r.remaining() as u64));
         }
@@ -209,6 +282,7 @@ impl Response {
             body,
             cached,
             elapsed_ns,
+            trace_id,
         })
     }
 }
@@ -281,12 +355,23 @@ mod tests {
             profiling: vec![vec![1, 2], vec![-3]],
             testing: vec![vec![], vec![i64::MIN, i64::MAX]],
             endpoints: vec![7, 42],
+            trace_id: 99,
         }
     }
 
     #[test]
     fn requests_round_trip() {
-        for req in [sample_analyze(), Request::Stats, Request::Shutdown] {
+        for req in [
+            sample_analyze(),
+            Request::Stats,
+            Request::Metrics {
+                format: MetricsFormat::Json,
+            },
+            Request::Metrics {
+                format: MetricsFormat::Prometheus,
+            },
+            Request::Shutdown,
+        ] {
             let bytes = req.encode();
             assert_eq!(Request::decode(&bytes).unwrap(), req);
         }
@@ -299,8 +384,23 @@ mod tests {
             body: "{\"tool\":\"optft\"}".to_string(),
             cached: true,
             elapsed_ns: 123_456,
+            trace_id: 7,
         };
         assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn cache_key_ignores_the_trace_id() {
+        let traced = sample_analyze();
+        let mut untraced = traced.clone();
+        if let Request::Analyze { trace_id, .. } = &mut untraced {
+            *trace_id = 0;
+        }
+        assert_ne!(traced.encode(), untraced.encode());
+        assert_eq!(traced.cache_key_bytes(), untraced.cache_key_bytes());
+        assert_eq!(untraced.cache_key_bytes(), untraced.encode());
+        // Non-analyze ops key on their plain encoding.
+        assert_eq!(Request::Stats.cache_key_bytes(), Request::Stats.encode());
     }
 
     #[test]

@@ -14,10 +14,21 @@
 //!   [`Store`], and identical requests are answered from an in-memory
 //!   LRU front without touching a pipeline at all.
 //!
+//! Telemetry: every request's wall-clock latency lands in a log₂
+//! [`Histogram`], the `metrics` op answers with a JSON snapshot or a
+//! Prometheus-style text exposition of the live gauges (queue depth,
+//! in-flight compute, open connections, LRU occupancy) and latency
+//! distributions, and when a [`TraceLog`] is configured each `analyze`
+//! request records a causally-linked span tree — the connection handler's
+//! `serve/request` span on one track, the compute pipeline's phase spans
+//! on another, all under one trace ID that is echoed to the client.
+//!
 //! Shutdown is a graceful drain: the `shutdown` op stops the accept
 //! loop (a self-connection wakes it), in-flight requests finish, then
-//! both pools join their workers.
+//! both pools join their workers and the Chrome trace JSON (if
+//! [`ServerConfig::trace_out`] is set) is written.
 
+use std::fmt::Write as _;
 use std::io::{self, BufReader, BufWriter};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -27,10 +38,11 @@ use std::time::{Duration, Instant};
 
 use oha_core::{optft_canonical_json, optslice_canonical_json, Pipeline, PipelineConfig};
 use oha_ir::{parse_program, Fingerprint, InstId, InstKind, Program};
+use oha_obs::{Histogram, Json, TraceLog, DEFAULT_TRACE_CAPACITY};
 use oha_par::TaskPool;
 use oha_store::{Lru, Store};
 
-use crate::proto::{read_frame, write_frame, Request, Response, Tool};
+use crate::proto::{read_frame, write_frame, MetricsFormat, Request, Response, Tool};
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -49,6 +61,12 @@ pub struct ServerConfig {
     pub request_timeout: Duration,
     /// Response-cache capacity in entries.
     pub lru_capacity: usize,
+    /// Trace-event log shared by every request. Disabled by default;
+    /// when [`trace_out`](ServerConfig::trace_out) is set and this is
+    /// still disabled, [`Server::bind`] enables a default-capacity log.
+    pub trace: TraceLog,
+    /// Write the Chrome trace-event JSON here on graceful drain.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -59,12 +77,17 @@ impl Default for ServerConfig {
             threads: 0,
             request_timeout: Duration::from_secs(120),
             lru_capacity: 64,
+            trace: TraceLog::disabled(),
+            trace_out: None,
         }
     }
 }
 
-/// Counters the daemon reports through the `stats` op and returns from
-/// [`Server::run`].
+/// Counters and gauges the daemon reports through the `stats` op and
+/// returns from [`Server::run`]. The gauge fields (`queue_depth`,
+/// `in_flight`, `open_connections`, `lru_len`) are point-in-time
+/// snapshots — in the final stats returned by a drained server they are
+/// normally zero.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests answered (all ops).
@@ -77,6 +100,14 @@ pub struct ServeStats {
     pub timeouts: u64,
     /// Malformed or failed requests.
     pub errors: u64,
+    /// Compute jobs queued on the work pool but not yet started.
+    pub queue_depth: u64,
+    /// Analyze requests currently waiting on compute.
+    pub in_flight: u64,
+    /// Client connections currently open.
+    pub open_connections: u64,
+    /// Entries currently held by the LRU front.
+    pub lru_len: u64,
 }
 
 struct Shared {
@@ -86,10 +117,34 @@ struct Shared {
     timeout: Duration,
     shutting: AtomicBool,
     socket: PathBuf,
+    trace: TraceLog,
     requests: AtomicU64,
     lru_hits: AtomicU64,
     timeouts: AtomicU64,
     errors: AtomicU64,
+    in_flight: AtomicU64,
+    open_connections: AtomicU64,
+    /// Wall-clock nanoseconds per answered request (all ops), recorded
+    /// at the same site as the `requests` counter so the histogram's
+    /// count always equals it.
+    request_latency: Mutex<Histogram>,
+}
+
+/// Decrements an atomic gauge on drop, so early returns cannot leak an
+/// increment.
+struct GaugeGuard<'a>(&'a AtomicU64);
+
+impl<'a> GaugeGuard<'a> {
+    fn enter(gauge: &'a AtomicU64) -> Self {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        GaugeGuard(gauge)
+    }
+}
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl Shared {
@@ -100,7 +155,18 @@ impl Shared {
             lru_evictions: self.lru.lock().map(|l| l.evictions()).unwrap_or(0),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            queue_depth: self.work.pending() as u64,
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            lru_len: self.lru.lock().map(|l| l.len() as u64).unwrap_or(0),
         }
+    }
+
+    fn request_latency(&self) -> Histogram {
+        self.request_latency
+            .lock()
+            .map(|h| h.clone())
+            .unwrap_or_default()
     }
 
     fn stats_json(&self) -> String {
@@ -123,15 +189,176 @@ impl Shared {
         };
         format!(
             "{{\"requests\":{},\"lru_hits\":{},\"lru_evictions\":{},\"timeouts\":{},\
-             \"errors\":{},\"panicked_jobs\":{},\"store\":{store}}}",
+             \"errors\":{},\"panicked_jobs\":{},\"queue_depth\":{},\"in_flight\":{},\
+             \"open_connections\":{},\"lru_len\":{},\"store\":{store}}}",
             s.requests,
             s.lru_hits,
             s.lru_evictions,
             s.timeouts,
             s.errors,
-            self.work.panicked_jobs()
+            self.work.panicked_jobs(),
+            s.queue_depth,
+            s.in_flight,
+            s.open_connections,
+            s.lru_len,
         )
     }
+
+    /// The `metrics` op's JSON form: the live gauges and counters plus
+    /// the request-latency and queue-wait histograms in the same sparse
+    /// shape `RunReport` uses.
+    fn metrics_json(&self) -> Json {
+        let s = self.stats();
+        let num = |v: u64| Json::Num(v as f64);
+        Json::Obj(vec![
+            ("queue_depth".to_string(), num(s.queue_depth)),
+            ("in_flight".to_string(), num(s.in_flight)),
+            ("open_connections".to_string(), num(s.open_connections)),
+            ("lru_len".to_string(), num(s.lru_len)),
+            ("requests".to_string(), num(s.requests)),
+            ("lru_hits".to_string(), num(s.lru_hits)),
+            ("lru_evictions".to_string(), num(s.lru_evictions)),
+            ("timeouts".to_string(), num(s.timeouts)),
+            ("errors".to_string(), num(s.errors)),
+            ("panicked_jobs".to_string(), num(self.work.panicked_jobs())),
+            (
+                "request_latency_ns".to_string(),
+                self.request_latency().to_json(),
+            ),
+            (
+                "queue_wait_ns".to_string(),
+                self.work.queue_wait().to_json(),
+            ),
+            (
+                "trace".to_string(),
+                Json::Obj(vec![
+                    ("enabled".to_string(), Json::Bool(self.trace.is_enabled())),
+                    ("events".to_string(), num(self.trace.events().len() as u64)),
+                    ("dropped".to_string(), num(self.trace.dropped())),
+                ]),
+            ),
+        ])
+    }
+
+    /// The `metrics` op's Prometheus-style text exposition.
+    fn metrics_prometheus(&self) -> String {
+        let s = self.stats();
+        let mut out = String::new();
+        let sample = |out: &mut String, kind: &str, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        let counter = "counter";
+        let gauge = "gauge";
+        sample(
+            &mut out,
+            counter,
+            "oha_requests_total",
+            "Requests answered (all ops).",
+            s.requests,
+        );
+        sample(
+            &mut out,
+            counter,
+            "oha_lru_hits_total",
+            "Analyze responses served from the LRU front.",
+            s.lru_hits,
+        );
+        sample(
+            &mut out,
+            counter,
+            "oha_lru_evictions_total",
+            "Responses evicted from the LRU front.",
+            s.lru_evictions,
+        );
+        sample(
+            &mut out,
+            counter,
+            "oha_timeouts_total",
+            "Requests that overran the compute deadline.",
+            s.timeouts,
+        );
+        sample(
+            &mut out,
+            counter,
+            "oha_errors_total",
+            "Malformed or failed requests.",
+            s.errors,
+        );
+        sample(
+            &mut out,
+            counter,
+            "oha_panicked_jobs_total",
+            "Compute jobs whose closure panicked.",
+            self.work.panicked_jobs(),
+        );
+        sample(
+            &mut out,
+            counter,
+            "oha_trace_dropped_events_total",
+            "Trace events evicted from the ring buffer.",
+            self.trace.dropped(),
+        );
+        sample(
+            &mut out,
+            gauge,
+            "oha_queue_depth",
+            "Compute jobs queued but not yet started.",
+            s.queue_depth,
+        );
+        sample(
+            &mut out,
+            gauge,
+            "oha_in_flight",
+            "Analyze requests currently waiting on compute.",
+            s.in_flight,
+        );
+        sample(
+            &mut out,
+            gauge,
+            "oha_open_connections",
+            "Client connections currently open.",
+            s.open_connections,
+        );
+        sample(
+            &mut out,
+            gauge,
+            "oha_lru_entries",
+            "Entries currently held by the LRU front.",
+            s.lru_len,
+        );
+        prom_histogram(
+            &mut out,
+            "oha_request_latency_seconds",
+            "Wall-clock time per answered request.",
+            &self.request_latency(),
+        );
+        prom_histogram(
+            &mut out,
+            "oha_queue_wait_seconds",
+            "Time compute jobs spent queued before a worker picked them up.",
+            &self.work.queue_wait(),
+        );
+        out
+    }
+}
+
+/// Writes one histogram in Prometheus text-exposition form, converting
+/// nanosecond samples to seconds. Bucket lines carry cumulative counts at
+/// each occupied log₂ bound, ending with the mandatory `+Inf` bucket.
+fn prom_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (index, count) in h.nonzero_buckets() {
+        cumulative += count;
+        let le = oha_obs::bucket_bound(index) as f64 / 1e9;
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{name}_sum {}", h.sum() as f64 / 1e9);
+    let _ = writeln!(out, "{name}_count {}", h.count());
 }
 
 /// The analysis daemon. [`Server::bind`], then [`Server::run`].
@@ -139,6 +366,7 @@ pub struct Server {
     listener: UnixListener,
     shared: Arc<Shared>,
     io_pool: TaskPool,
+    trace_out: Option<PathBuf>,
 }
 
 impl Server {
@@ -159,6 +387,13 @@ impl Server {
         } else {
             config.threads
         };
+        // A trace destination implies tracing even when the caller left
+        // the log disabled.
+        let trace = if config.trace_out.is_some() && !config.trace.is_enabled() {
+            TraceLog::enabled(DEFAULT_TRACE_CAPACITY)
+        } else {
+            config.trace.clone()
+        };
         let shared = Arc::new(Shared {
             store,
             lru: Mutex::new(Lru::new(config.lru_capacity.max(1))),
@@ -166,15 +401,20 @@ impl Server {
             timeout: config.request_timeout,
             shutting: AtomicBool::new(false),
             socket: config.socket.clone(),
+            trace,
             requests: AtomicU64::new(0),
             lru_hits: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            request_latency: Mutex::new(Histogram::new()),
         });
         Ok(Self {
             listener,
             shared,
             io_pool: TaskPool::new(threads),
+            trace_out: config.trace_out,
         })
     }
 
@@ -188,9 +428,16 @@ impl Server {
         self.shared.store.as_ref()
     }
 
+    /// The trace log every request records into (disabled unless
+    /// configured).
+    pub fn trace(&self) -> &TraceLog {
+        &self.shared.trace
+    }
+
     /// Serves until a `shutdown` request arrives, then drains gracefully
     /// and returns the final counters. Consumes the server; the socket
-    /// file is removed on exit.
+    /// file is removed on exit and the Chrome trace JSON is written when
+    /// [`ServerConfig::trace_out`] was set.
     pub fn run(self) -> io::Result<ServeStats> {
         for stream in self.listener.incoming() {
             if self.shared.shutting.load(Ordering::SeqCst) {
@@ -207,11 +454,21 @@ impl Server {
         self.shared.work.wait_idle();
         let stats = self.shared.stats();
         let _ = std::fs::remove_file(&self.shared.socket);
+        if let Some(path) = &self.trace_out {
+            // A failed trace write must not discard the drain's stats.
+            if let Err(e) = self.shared.trace.write_chrome_json(path) {
+                eprintln!("oha-serve: cannot write trace {}: {e}", path.display());
+            }
+        }
         Ok(stats)
     }
 }
 
 fn handle_connection(stream: UnixStream, shared: &Arc<Shared>) {
+    let _open = GaugeGuard::enter(&shared.open_connections);
+    // One virtual trace track per connection: the I/O-side request spans
+    // render as a row separate from the compute pipelines'.
+    let conn_tid = shared.trace.alloc_tid();
     // An idle keepalive connection must not wedge the graceful drain:
     // cap how long the handler waits for the *next* frame. (Waiting for
     // a response is server-side compute, bounded separately.)
@@ -228,13 +485,17 @@ fn handle_connection(stream: UnixStream, shared: &Arc<Shared>) {
             Ok(Some(p)) => p,
             Ok(None) | Err(_) => return,
         };
+        let started = Instant::now();
         let response = match Request::decode(&payload) {
-            Ok(request) => dispatch(&payload, request, shared),
+            Ok(request) => dispatch(request, shared, conn_tid),
             Err(e) => {
                 shared.errors.fetch_add(1, Ordering::Relaxed);
                 Response::err(format!("bad request: {e}"))
             }
         };
+        if let Ok(mut latency) = shared.request_latency.lock() {
+            latency.record_duration(started.elapsed());
+        }
         shared.requests.fetch_add(1, Ordering::Relaxed);
         if write_frame(&mut writer, &response.encode()).is_err() {
             return;
@@ -248,9 +509,13 @@ fn handle_connection(stream: UnixStream, shared: &Arc<Shared>) {
     }
 }
 
-fn dispatch(payload: &[u8], request: Request, shared: &Arc<Shared>) -> Response {
+fn dispatch(request: Request, shared: &Arc<Shared>, conn_tid: u64) -> Response {
     match request {
         Request::Stats => Response::ok(shared.stats_json()),
+        Request::Metrics { format } => Response::ok(match format {
+            MetricsFormat::Json => shared.metrics_json().to_string_pretty(),
+            MetricsFormat::Prometheus => shared.metrics_prometheus(),
+        }),
         Request::Shutdown => {
             shared.shutting.store(true, Ordering::SeqCst);
             // The accept loop is blocked in `accept`; a throwaway
@@ -258,17 +523,44 @@ fn dispatch(payload: &[u8], request: Request, shared: &Arc<Shared>) -> Response 
             let _ = UnixStream::connect(&shared.socket);
             Response::ok("{\"shutting_down\":true}")
         }
-        Request::Analyze { .. } => analyze(payload, request, shared),
+        Request::Analyze { .. } => analyze(request, shared, conn_tid),
     }
 }
 
-fn analyze(payload: &[u8], request: Request, shared: &Arc<Shared>) -> Response {
-    // Identical request bytes → identical canonical response; serve
-    // repeats from the LRU front without touching a pipeline.
-    let key = Fingerprint::of_bytes(payload);
+fn analyze(request: Request, shared: &Arc<Shared>, conn_tid: u64) -> Response {
+    // One trace groups everything this request causes, across the I/O
+    // handler and the compute pipeline: the client's ID when it sent
+    // one, a daemon-minted one otherwise (0 while tracing is off).
+    let trace_id = match &request {
+        Request::Analyze { trace_id, .. } if *trace_id != 0 => *trace_id,
+        _ => shared.trace.next_trace_id(),
+    };
+    let span = shared.trace.begin("serve/request", trace_id, 0, conn_tid);
+    let mut response = analyze_inner(request, shared, trace_id, span, conn_tid);
+    shared
+        .trace
+        .end("serve/request", trace_id, span, 0, conn_tid);
+    response.trace_id = trace_id;
+    response
+}
+
+fn analyze_inner(
+    request: Request,
+    shared: &Arc<Shared>,
+    trace_id: u64,
+    span: u64,
+    conn_tid: u64,
+) -> Response {
+    // Identical request bytes (trace ID aside) → identical canonical
+    // response; serve repeats from the LRU front without touching a
+    // pipeline.
+    let key = Fingerprint::of_bytes(&request.cache_key_bytes());
     if let Ok(mut lru) = shared.lru.lock() {
         if let Some(hit) = lru.get(&key) {
             shared.lru_hits.fetch_add(1, Ordering::Relaxed);
+            shared
+                .trace
+                .instant("serve/lru.hit", trace_id, span, conn_tid);
             let mut response = hit.clone();
             response.cached = true;
             return response;
@@ -276,10 +568,12 @@ fn analyze(payload: &[u8], request: Request, shared: &Arc<Shared>) -> Response {
     }
 
     let started = Instant::now();
+    let _in_flight = GaugeGuard::enter(&shared.in_flight);
     let (tx, rx) = mpsc::channel();
     let store = shared.store.clone();
+    let trace = shared.trace.clone();
     let submitted = shared.work.submit(move || {
-        let _ = tx.send(compute(request, store));
+        let _ = tx.send(compute(request, store, trace, trace_id));
     });
     if !submitted {
         shared.errors.fetch_add(1, Ordering::Relaxed);
@@ -300,6 +594,9 @@ fn analyze(payload: &[u8], request: Request, shared: &Arc<Shared>) -> Response {
         }
         Err(_) => {
             shared.timeouts.fetch_add(1, Ordering::Relaxed);
+            shared
+                .trace
+                .instant("serve/timeout", trace_id, span, conn_tid);
             Response::err(format!(
                 "request timed out after {:?} (the job keeps running in the background)",
                 shared.timeout
@@ -310,14 +607,21 @@ fn analyze(payload: &[u8], request: Request, shared: &Arc<Shared>) -> Response {
 
 /// Runs one pipeline on a work-pool thread. The registry inside
 /// [`Pipeline`] is `Rc`-based, so the pipeline is constructed *here*,
-/// never shipped across threads.
-fn compute(request: Request, store: Option<Arc<Store>>) -> Result<String, String> {
+/// never shipped across threads; the shared [`TraceLog`] (an `Arc`) is
+/// what links its span events back to the request's trace.
+fn compute(
+    request: Request,
+    store: Option<Arc<Store>>,
+    trace: TraceLog,
+    trace_id: u64,
+) -> Result<String, String> {
     let Request::Analyze {
         tool,
         program,
         profiling,
         testing,
         endpoints,
+        ..
     } = request
     else {
         return Err("not an analyze request".to_string());
@@ -327,6 +631,10 @@ fn compute(request: Request, store: Option<Arc<Store>>) -> Result<String, String
     let mut pipeline = Pipeline::new(program).with_config(PipelineConfig::default());
     if let Some(store) = store {
         pipeline = pipeline.with_store(store);
+    }
+    if trace.is_enabled() {
+        pipeline = pipeline.with_trace(trace);
+        pipeline.metrics().set_trace_id(trace_id);
     }
     Ok(match tool {
         Tool::OptFt => optft_canonical_json(&pipeline.run_optft(&profiling, &testing)),

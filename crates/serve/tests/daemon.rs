@@ -9,7 +9,8 @@ use std::thread;
 
 use oha_core::{optft_canonical_json, optslice_canonical_json, Pipeline};
 use oha_ir::{print_program, InstKind, Operand, Program, ProgramBuilder};
-use oha_serve::{Client, Server, ServerConfig, Tool};
+use oha_obs::{Json, TraceEventKind, TraceLog};
+use oha_serve::{Client, MetricsFormat, Server, ServerConfig, Tool};
 use Operand::{Const, Reg as R};
 
 const CLIENTS: usize = 16;
@@ -196,5 +197,214 @@ fn bad_requests_get_error_responses_and_the_daemon_survives() {
     client.shutdown().unwrap();
     let drained = server_thread.join().unwrap();
     assert_eq!(drained.errors, 2);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The `metrics` op under concurrent load: the Prometheus exposition
+/// parses, and the request-latency histogram's count equals the requests
+/// counter in the same snapshot (both recorded at the same site).
+#[test]
+fn metrics_endpoint_reports_live_gauges_and_latency() {
+    let dir = tmp_dir("metrics");
+    let socket = dir.join("daemon.sock");
+
+    let server = Server::bind(ServerConfig {
+        socket: socket.clone(),
+        store_dir: None,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let server_thread = thread::spawn(move || server.run().unwrap());
+
+    let program = locked_counter();
+    let text = print_program(&program);
+    let (profiling, testing) = corpora();
+
+    thread::scope(|scope| {
+        for n in 0..CLIENTS {
+            let (socket, text) = (&socket, &text);
+            let (profiling, testing) = (&profiling, &testing);
+            scope.spawn(move || {
+                let mut client = Client::connect(socket).unwrap();
+                let response = client
+                    .analyze(Tool::OptFt, text, profiling, testing, &[])
+                    .unwrap();
+                assert!(response.ok, "client {n}: {}", response.body);
+            });
+        }
+    });
+
+    let mut client = Client::connect(&socket).unwrap();
+
+    // JSON snapshot first: at this point exactly CLIENTS requests were
+    // answered, and the latency histogram must account for every one.
+    let snapshot = client.metrics(MetricsFormat::Json).unwrap();
+    assert!(snapshot.ok, "{}", snapshot.body);
+    let doc = Json::parse(&snapshot.body).expect("metrics JSON must parse");
+    let requests = doc.get("requests").and_then(Json::as_u64).unwrap();
+    assert_eq!(requests, CLIENTS as u64);
+    let latency = doc.get("request_latency_ns").expect("latency histogram");
+    let hist = oha_obs::Histogram::from_json(latency).expect("histogram parses");
+    assert_eq!(
+        hist.count(),
+        requests,
+        "one latency sample per answered request"
+    );
+    assert!(hist.max() > 0, "analyze requests take measurable time");
+    // This client is connected; handlers for the 16 just-closed
+    // connections may not have observed EOF yet.
+    let open = doc.get("open_connections").and_then(Json::as_u64).unwrap();
+    assert!(
+        (1..=CLIENTS as u64 + 1).contains(&open),
+        "open_connections gauge out of range: {open}"
+    );
+    assert!(doc.get("queue_wait_ns").is_some());
+    assert_eq!(
+        doc.get("trace")
+            .and_then(|t| t.get("enabled"))
+            .and_then(|e| match e {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            }),
+        Some(false),
+        "tracing stays off unless configured"
+    );
+
+    // Prometheus exposition second (it sees the metrics request too):
+    // every non-comment line is `name[{labels}] value` with a numeric
+    // value, and the core families are present.
+    let prom = client.metrics(MetricsFormat::Prometheus).unwrap();
+    assert!(prom.ok);
+    let body = &prom.body;
+    for family in [
+        "oha_requests_total",
+        "oha_request_latency_seconds_bucket",
+        "oha_request_latency_seconds_count",
+        "oha_queue_wait_seconds_count",
+        "oha_queue_depth",
+        "oha_open_connections",
+        "oha_lru_entries",
+    ] {
+        assert!(body.contains(family), "missing {family} in:\n{body}");
+    }
+    for line in body
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (name, value) = line.rsplit_once(' ').expect("sample line shape");
+        assert!(!name.is_empty(), "unnamed sample: {line}");
+        value.parse::<f64>().unwrap_or_else(|_| {
+            panic!("non-numeric sample value in line: {line}");
+        });
+    }
+    assert!(
+        body.contains(&format!(
+            "oha_requests_total {}",
+            CLIENTS as u64 + 1 // the JSON metrics request was answered too
+        )),
+        "{body}"
+    );
+    assert!(
+        body.contains("oha_request_latency_seconds_bucket{le=\"+Inf\"}"),
+        "histograms end with the +Inf bucket"
+    );
+
+    client.shutdown().unwrap();
+    let drained = server_thread.join().unwrap();
+    assert_eq!(drained.requests, CLIENTS as u64 + 3);
+    assert_eq!(drained.open_connections, 0, "drained gauges settle to zero");
+    assert_eq!(drained.in_flight, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// With tracing enabled, one analyze request yields causally-linked
+/// events across the I/O handler and the compute pipeline (distinct
+/// virtual tracks, one trace ID), the trace ID round-trips to the
+/// client, an LRU repeat records a hit instant, and the drain writes a
+/// parseable Chrome trace file.
+#[test]
+fn traced_requests_link_io_and_compute_events() {
+    let dir = tmp_dir("traced");
+    let socket = dir.join("daemon.sock");
+    let trace_path = dir.join("trace.json");
+
+    let trace = TraceLog::enabled(1 << 14);
+    let server = Server::bind(ServerConfig {
+        socket: socket.clone(),
+        store_dir: None,
+        trace: trace.clone(),
+        trace_out: Some(trace_path.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let server_thread = thread::spawn(move || server.run().unwrap());
+
+    let program = locked_counter();
+    let text = print_program(&program);
+    let (profiling, testing) = corpora();
+    let mut client = Client::connect(&socket).unwrap();
+
+    const TRACE_ID: u64 = 7777;
+    let response = client
+        .analyze_traced(Tool::OptFt, &text, &profiling, &testing, &[], TRACE_ID)
+        .unwrap();
+    assert!(response.ok, "{}", response.body);
+    assert_eq!(
+        response.trace_id, TRACE_ID,
+        "the client's trace ID is echoed back"
+    );
+
+    // A daemon-minted ID when the client sends 0 — and the repeat is an
+    // LRU hit despite the different trace ID (the cache key ignores it).
+    let repeat = client
+        .analyze(Tool::OptFt, &text, &profiling, &testing, &[])
+        .unwrap();
+    assert!(repeat.ok);
+    assert!(repeat.cached, "trace IDs must not defeat the LRU front");
+    assert_ne!(repeat.trace_id, 0, "daemon mints an ID for trace_id 0");
+    assert_ne!(repeat.trace_id, TRACE_ID);
+
+    let events = trace.events();
+    let request_spans: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == TraceEventKind::Begin && e.name == "serve/request")
+        .collect();
+    assert_eq!(request_spans.len(), 2, "one request span per analyze");
+    let first = request_spans
+        .iter()
+        .find(|e| e.trace_id == TRACE_ID)
+        .expect("the traced request's span");
+    let compute_event = events
+        .iter()
+        .find(|e| {
+            e.trace_id == TRACE_ID && e.kind == TraceEventKind::Begin && e.name != "serve/request"
+        })
+        .expect("compute-side pipeline spans share the request's trace ID");
+    assert_ne!(
+        compute_event.tid, first.tid,
+        "I/O handler and compute pipeline record on distinct tracks"
+    );
+    assert!(
+        events.iter().any(|e| e.kind == TraceEventKind::Instant
+            && e.name == "serve/lru.hit"
+            && e.trace_id == repeat.trace_id),
+        "the LRU repeat records a hit instant under its own trace"
+    );
+
+    client.shutdown().unwrap();
+    server_thread.join().unwrap();
+
+    // The drain wrote a Perfetto-loadable Chrome trace document.
+    let written = fs::read_to_string(&trace_path).expect("trace file written on drain");
+    let doc = Json::parse(&written).expect("trace file is valid JSON");
+    let trace_events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!trace_events.is_empty());
+    assert!(trace_events.iter().any(|e| {
+        e.get("name").and_then(Json::as_str) == Some("serve/request")
+            && e.get("ph").and_then(Json::as_str) == Some("B")
+    }));
     let _ = fs::remove_dir_all(&dir);
 }

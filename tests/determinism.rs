@@ -86,6 +86,40 @@ fn profile_until_stable_is_thread_count_invariant() {
     }
 }
 
+/// The value-based `profile.run.events` histogram (one sample per
+/// profiling input: that run's total event count) is recorded on worker
+/// shards and merged in deterministic task order — its buckets, count,
+/// sum and extremes must be bit-identical at any thread width. (Timing
+/// histograms like `store.load.*_ns` are real wall-clock measurements
+/// and are deliberately outside this contract.)
+#[test]
+fn profile_event_histogram_is_thread_count_invariant() {
+    for w in all_workloads() {
+        let serial = Pipeline::new(w.program.clone()).with_config(with_threads(1));
+        serial.profile(&w.profiling_inputs);
+        let base = serial
+            .metrics()
+            .hist("profile.run.events")
+            .expect("profiling records the per-run event histogram");
+        assert_eq!(
+            base.count(),
+            w.profiling_inputs.len() as u64,
+            "{}: one sample per profiling input",
+            w.name
+        );
+        for threads in [2, 4] {
+            let parallel = Pipeline::new(w.program.clone()).with_config(with_threads(threads));
+            parallel.profile(&w.profiling_inputs);
+            let hist = parallel.metrics().hist("profile.run.events").unwrap();
+            assert_eq!(
+                hist, base,
+                "{}: {threads} threads changed the event histogram",
+                w.name
+            );
+        }
+    }
+}
+
 #[test]
 fn optft_reports_are_thread_count_invariant() {
     let params = WorkloadParams::small();

@@ -1,0 +1,109 @@
+//! Event tracing end-to-end: a full OptFT run with a `TraceLog` attached
+//! must emit a well-formed span tree — properly nested begin/end pairs
+//! with parent links — whose paths and entry counts are exactly the
+//! `RunReport`'s span stats, and the Chrome trace-event export must be
+//! valid JSON carrying the same events. Tracing must also be inert:
+//! attaching a log cannot change the canonical analysis result.
+
+use std::collections::BTreeMap;
+
+use oha::core::{optft_canonical_json, Pipeline};
+use oha::obs::{Json, TraceEventKind, TraceLog};
+use oha::workloads::{c_suite, WorkloadParams};
+
+#[test]
+fn optft_trace_matches_the_reports_span_tree() {
+    let params = WorkloadParams::small();
+    let w = c_suite::all(&params).swap_remove(0);
+
+    let trace = TraceLog::enabled(1 << 16);
+    let pipeline = Pipeline::new(w.program.clone()).with_trace(trace.clone());
+    let trace_id = pipeline.metrics().begin_trace();
+    assert_ne!(trace_id, 0, "an enabled log mints real trace IDs");
+    let outcome = pipeline.run_optft(&w.profiling_inputs, &w.testing_inputs);
+
+    let events = trace.events();
+    assert!(!events.is_empty(), "a full run records span events");
+    assert_eq!(trace.dropped(), 0, "the ring was sized for the whole run");
+
+    // Replay per-track span stacks: every end must close the innermost
+    // open span (matching ID and name), every begin's parent must be the
+    // enclosing span, and nothing may stay open.
+    let mut stacks: BTreeMap<u64, Vec<(u64, String)>> = BTreeMap::new();
+    let mut begin_counts: BTreeMap<String, u64> = BTreeMap::new();
+    for e in &events {
+        assert_eq!(e.trace_id, trace_id, "{}: rides the begun trace", e.name);
+        let stack = stacks.entry(e.tid).or_default();
+        match e.kind {
+            TraceEventKind::Begin => {
+                let enclosing = stack.last().map_or(0, |(id, _)| *id);
+                assert_eq!(
+                    e.parent, enclosing,
+                    "{}: parent must be the enclosing span",
+                    e.name
+                );
+                stack.push((e.span_id, e.name.clone()));
+                *begin_counts.entry(e.name.clone()).or_insert(0) += 1;
+            }
+            TraceEventKind::End => {
+                let (id, name) = stack.pop().expect("end without a begin");
+                assert_eq!(e.span_id, id, "{}: end closes the innermost span", e.name);
+                assert_eq!(e.name, name, "end names its begin");
+            }
+            TraceEventKind::Instant => {}
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "track {tid} left spans open: {stack:?}");
+    }
+
+    // The trace's span tree is exactly the report's span stats: same
+    // `/`-joined paths, same entry counts. (Storeless on purpose —
+    // store-warmed runs replay `cached/*` span stats that have no live
+    // trace events.)
+    let report_counts: BTreeMap<String, u64> = outcome
+        .report
+        .spans
+        .iter()
+        .map(|(path, s)| (path.clone(), s.count))
+        .collect();
+    assert_eq!(
+        begin_counts, report_counts,
+        "trace span tree diverged from the report's span stats"
+    );
+
+    // The on-disk Chrome export is valid JSON with one record per event
+    // and microsecond timestamps.
+    let path = std::env::temp_dir().join(format!("oha-trace-test-{}.json", std::process::id()));
+    trace.write_chrome_json(&path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let doc = Json::parse(&text).expect("Chrome trace export is valid JSON");
+    let exported = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(exported.len(), events.len());
+    for record in exported {
+        let ph = record.get("ph").and_then(Json::as_str).unwrap();
+        assert!(matches!(ph, "B" | "E" | "i"), "unexpected phase {ph}");
+        assert!(record.get("ts").and_then(Json::as_f64).is_some());
+        if ph == "i" {
+            assert_eq!(
+                record.get("s").and_then(Json::as_str),
+                Some("t"),
+                "Perfetto needs a scope on instants"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+
+    // Tracing is inert: the canonical (timing-free) result is
+    // byte-identical to an untraced run.
+    let untraced =
+        Pipeline::new(w.program.clone()).run_optft(&w.profiling_inputs, &w.testing_inputs);
+    assert_eq!(
+        optft_canonical_json(&outcome),
+        optft_canonical_json(&untraced),
+        "attaching a trace log changed the analysis result"
+    );
+}
