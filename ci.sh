@@ -5,6 +5,7 @@
 # Usage:
 #   ./ci.sh           full gate (fmt, clippy, release build+tests, bench smoke)
 #   ./ci.sh --quick   pre-push loop: fmt, clippy, debug tests only
+#   ./ci.sh --chaos   fault-injection gate only (release build + chaos smoke)
 #
 # Each stage prints "==> name" when it starts and "<== name (Ns)" when it
 # finishes, so CI logs show where the time goes.
@@ -12,12 +13,14 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 QUICK=0
+CHAOS=0
 for arg in "$@"; do
     case "$arg" in
     --quick) QUICK=1 ;;
+    --chaos) CHAOS=1 ;;
     *)
         echo "unknown argument: $arg" >&2
-        echo "usage: ./ci.sh [--quick]" >&2
+        echo "usage: ./ci.sh [--quick|--chaos]" >&2
         exit 2
         ;;
     esac
@@ -30,6 +33,26 @@ stage() {
     local start=$SECONDS
     "$@"
     echo "<== $name ($((SECONDS - start))s)"
+}
+
+# Starts ./target/release/oha-serve and waits for the socket, leaving
+# the daemon's pid in $DAEMON (a global: command substitution would fork
+# a subshell and make the daemon unwaitable). Arguments: socket path,
+# log file, then extra daemon flags.
+DAEMON=""
+start_daemon() {
+    local sock="$1" log="$2"
+    shift 2
+    rm -f "$sock"
+    ./target/release/oha-serve --socket "$sock" "$@" >>"$log" 2>&1 &
+    DAEMON=$!
+    local i
+    for i in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.05; done
+    if [ ! -S "$sock" ]; then
+        echo "daemon did not bind $sock (log: $log)" >&2
+        cat "$log" >&2
+        return 1
+    fi
 }
 
 # A tiny fig5 + table1 run on the small workload scale (OHA_SMOKE=1), each
@@ -72,7 +95,7 @@ bench_static() {
     # Quick mode: without cargo-bench's --bench flag the vendored criterion
     # runs every bench body exactly once, so a broken bench fails the gate
     # in ~1s instead of a full measurement pass.
-    OHA_SMOKE=1 cargo test --release -q -p oha-bench --bench static_phase
+    OHA_SMOKE=1 cargo test --locked --release -q -p oha-bench --bench static_phase
     OHA_SMOKE=1 ./scripts/bench_static.sh 1 >/dev/null
     python3 -c '
 import json, sys
@@ -290,22 +313,160 @@ if not any(k.endswith(".speedup") and "." in k[:-8] for k in meta):
     }
 }
 
+# Chaos smoke: the fault-injection gate, in two acts.
+#
+# Act 1 — multi-site fault plan. A clean daemon's canonical bytes are the
+# oracle; a daemon armed with OHA_FAULTS (short store writes, read
+# corruption, rename delays, torn response frames, compute delays, read
+# stalls) serves 16 concurrent retrying clients, each of which must end
+# with the oracle's exact bytes or a typed error — never silently wrong
+# output. The daemon's per-site fault counters must show the plan fired,
+# and the report lands in target/ci-chaos/ for CI to upload.
+#
+# Act 2 — crash consistency. A daemon with an injected crash between
+# temp-write and rename dies mid-save (SIGABRT, the kill-9 analogue, at
+# a deterministic point inside the write window). The interrupted store
+# must recover on restart: the orphaned temp file swept, the artifact
+# recomputed, the bytes identical to the oracle. Three rounds, fresh
+# store each, prove it is repeatable.
+chaos_smoke() {
+    local out="target/ci-chaos"
+    rm -rf "$out"
+    mkdir -p "$out"
+    local sock="$out/daemon.sock" prog="$out/zlib.ir"
+    local i
+    ./target/release/print_workload zlib >"$prog"
+
+    # Act 1 oracle: one clean round.
+    start_daemon "$sock" "$out/serve-clean.log" --store "$out/store-clean"
+    ./target/release/oha-client --socket "$sock" optft --program "$prog" >"$out/expected.json"
+    ./target/release/oha-client --socket "$sock" shutdown >/dev/null
+    wait "$DAEMON"
+    if [ ! -s "$out/expected.json" ]; then
+        echo "chaos-smoke: clean oracle run produced no output" >&2
+        return 1
+    fi
+
+    # Act 1 chaos round: every store and serve fault site armed at once.
+    OHA_FAULTS="seed=7; delay_ms=5; store.write.short=%2; store.read.corrupt=%3; \
+store.rename.delay=%2; serve.write.disconnect=%7; serve.compute.delay=%5; \
+serve.read.stall=%6" start_daemon "$sock" "$out/serve-chaos.log" --store "$out/store-chaos"
+    local pids=() ok=0 wrong=0 failed=0
+    for i in $(seq 1 16); do
+        ./target/release/oha-client --socket "$sock" --retries 8 --timeout-ms 60000 \
+            optft --program "$prog" >"$out/chaos.$i.json" 2>>"$out/chaos-client.log" &
+        pids+=("$!")
+    done
+    for i in $(seq 1 16); do
+        if wait "${pids[$((i - 1))]}"; then
+            if cmp -s "$out/expected.json" "$out/chaos.$i.json"; then
+                ok=$((ok + 1))
+            else
+                wrong=$((wrong + 1))
+                echo "chaos-smoke: client $i SUCCEEDED WITH WRONG BYTES" >&2
+            fi
+        else
+            # A typed error after exhausted retries is within contract.
+            failed=$((failed + 1))
+        fi
+    done
+    echo "    chaos clients: $ok correct, $failed typed-error, $wrong wrong-bytes"
+    if [ "$wrong" -ne 0 ]; then
+        echo "chaos-smoke: a fault was converted into wrong output" >&2
+        return 1
+    fi
+    if [ "$ok" -lt 12 ]; then
+        echo "chaos-smoke: only $ok/16 clients succeeded under the plan" >&2
+        cat "$out/chaos-client.log" >&2
+        return 1
+    fi
+    # The control plane is exempt from response tearing, so the fault
+    # report is always fetchable — and the plan must actually have fired.
+    ./target/release/oha-client --socket "$sock" stats --raw >"$out/faults.json"
+    python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+faults = stats.get("faults")
+if not faults or faults.get("injected_total", 0) <= 0:
+    sys.exit(f"{sys.argv[1]}: armed daemon reports no injected faults: {faults}")
+print(f"    fault counters: {faults}")
+' "$out/faults.json" || {
+        echo "chaos-smoke: fault-counter report missing or empty" >&2
+        return 1
+    }
+    ./target/release/oha-client --socket "$sock" shutdown >/dev/null
+    if ! wait "$DAEMON"; then
+        echo "chaos-smoke: chaos daemon did not drain cleanly" >&2
+        return 1
+    fi
+
+    # Act 2: crash between temp-write and rename, restart, recover.
+    local round store
+    for round in 1 2 3; do
+        store="$out/store-crash-$round"
+        start_daemon "$sock" "$out/serve-crash-$round.log" \
+            --store "$store" --faults "store.crash.before_rename=@1"
+        # The first save aborts the daemon mid-write; this client's
+        # request dies with it (no retries: the daemon is gone).
+        ./target/release/oha-client --socket "$sock" --retries 0 \
+            optft --program "$prog" >/dev/null 2>>"$out/crash-client.log" || true
+        if wait "$DAEMON"; then
+            echo "chaos-smoke: round $round daemon survived its injected crash" >&2
+            return 1
+        fi
+        if ! ls "$store"/tmp/*.tmp >/dev/null 2>&1; then
+            echo "chaos-smoke: round $round crash left no orphan temp (died outside the window?)" >&2
+            return 1
+        fi
+        # Restart clean on the same directory: sweep, recompute, serve.
+        start_daemon "$sock" "$out/serve-recover-$round.log" --store "$store"
+        ./target/release/oha-client --socket "$sock" optft --program "$prog" \
+            >"$out/recovered.$round.json"
+        if ! cmp -s "$out/expected.json" "$out/recovered.$round.json"; then
+            echo "chaos-smoke: round $round recovery diverged from the oracle" >&2
+            return 1
+        fi
+        if ls "$store"/tmp/*.tmp >/dev/null 2>&1; then
+            echo "chaos-smoke: round $round orphan temp not swept on restart" >&2
+            return 1
+        fi
+        ./target/release/oha-client --socket "$sock" shutdown >/dev/null
+        if ! wait "$DAEMON"; then
+            echo "chaos-smoke: round $round recovered daemon did not drain" >&2
+            return 1
+        fi
+        echo "    crash round $round: orphan swept, artifact recomputed, bytes identical"
+    done
+}
+
+if [ "$CHAOS" = 1 ]; then
+    stage "cargo build --release (workspace)" cargo build --locked --release --workspace
+    stage "chaos-smoke (fault plan + crash recovery)" chaos_smoke
+    echo "CI green (chaos)."
+    exit 0
+fi
+
+# cargo-fmt does not understand --locked; every dependency-resolving
+# cargo invocation below carries it so CI fails loudly if Cargo.lock is
+# stale instead of silently re-resolving.
 stage "cargo fmt --check" cargo fmt --check
 stage "cargo clippy (workspace, all targets, warnings are errors)" \
-    cargo clippy --workspace --all-targets -- -D warnings
+    cargo clippy --locked --workspace --all-targets -- -D warnings
 
 if [ "$QUICK" = 1 ]; then
-    stage "cargo test (debug)" cargo test -q
+    stage "cargo test (debug)" cargo test --locked -q
     echo "CI green (quick)."
     exit 0
 fi
 
-stage "cargo build --release (workspace)" cargo build --release --workspace
-stage "cargo test (release)" cargo test --release --workspace -q
+stage "cargo build --release (workspace)" cargo build --locked --release --workspace
+stage "cargo test (release)" cargo test --locked --release --workspace -q
 stage "bench-smoke (fig5 + table1, --json)" bench_smoke
 stage "bench-static (probe_solver vs reference, BENCH_static.json)" bench_static
 stage "store-smoke (16-client daemon round-trip + warm restart)" store_smoke
 stage "trace-smoke (Chrome trace export + live daemon metrics)" trace_smoke
 stage "bench-store-smoke (cold/warm + daemon, --json)" bench_store_smoke
+stage "chaos-smoke (fault plan + crash recovery)" chaos_smoke
 
 echo "CI green."

@@ -1,0 +1,157 @@
+//! Fault-injection overhead benchmark (written to `BENCH_faults.json`
+//! by `scripts/bench_faults.sh`).
+//!
+//! Three configurations of the same warm-store OptSlice run:
+//!
+//! * **off** — `FaultPlan::disabled()`, the production default. Every
+//!   fault site is a single `Option` branch.
+//! * **armed-zero** — a plan parsed from `seed=1; rate=0.0`: every site
+//!   rolls the deterministic hash but nothing ever fires. The gap to
+//!   *off* is the full cost of arming the substrate.
+//! * **1% faults** — read/write errors, short writes, and corruption
+//!   each at 1%. The store detects every injected failure and falls
+//!   back to recompute, so results stay byte-identical; the slowdown is
+//!   the price of the recovery paths.
+//!
+//! The bench asserts nothing (CI's chaos stage enforces the
+//! correctness contract); it reports wall times, the off→armed
+//! overhead, the 1% slowdown, per-site injection counters, and whether
+//! the faulty runs stayed byte-identical to the clean oracle.
+
+use std::fs;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use oha_bench::{fmt_dur, optslice_config, params, smoke_mode, Reporter};
+use oha_core::{optslice_canonical_json, Pipeline, PipelineConfig, StoreConfig};
+use oha_faults::FaultPlan;
+use oha_workloads::{c_suite, Workload};
+
+/// Timed warm iterations per configuration.
+fn iters() -> usize {
+    if smoke_mode() {
+        3
+    } else {
+        12
+    }
+}
+
+fn config(dir: &Path, faults: FaultPlan) -> PipelineConfig {
+    PipelineConfig {
+        store: Some(StoreConfig::new(dir.to_path_buf())),
+        faults,
+        ..optslice_config()
+    }
+}
+
+/// One OptSlice run against `dir` under `plan`; returns (wall time,
+/// canonical result JSON).
+fn run_once(w: &Workload, dir: &Path, plan: FaultPlan) -> (Duration, String) {
+    let pipeline = Pipeline::new(w.program.clone()).with_config(config(dir, plan));
+    let start = Instant::now();
+    let out = pipeline.run_optslice(&w.profiling_inputs, &w.testing_inputs, &w.endpoints);
+    (start.elapsed(), optslice_canonical_json(&out))
+}
+
+/// Warm-run mean under `plan`, plus whether every run matched `oracle`.
+fn measure(w: &Workload, dir: &Path, plan: &FaultPlan, oracle: &str) -> (Duration, bool) {
+    let n = iters();
+    let mut total = Duration::ZERO;
+    let mut identical = true;
+    for _ in 0..n {
+        let (elapsed, json) = run_once(w, dir, plan.clone());
+        total += elapsed;
+        identical &= json == oracle;
+    }
+    (total / n as u32, identical)
+}
+
+fn ratio(num: Duration, den: Duration) -> f64 {
+    if den.is_zero() {
+        0.0
+    } else {
+        num.as_secs_f64() / den.as_secs_f64()
+    }
+}
+
+fn main() {
+    let mut reporter = Reporter::new("bench_faults");
+    let params = params();
+    reporter.meta("smoke", smoke_mode());
+    reporter.meta("iters", iters());
+
+    let scratch = std::env::temp_dir().join(format!("oha-bench-faults-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&scratch);
+    fs::create_dir_all(&scratch).unwrap();
+
+    let w = c_suite::zlib(&params);
+    let dir = scratch.join(w.name);
+
+    // Populate the store once (cold), then take the oracle from a clean
+    // warm run: every timed iteration below is the warm read path.
+    let (cold, _) = run_once(&w, &dir, FaultPlan::disabled());
+    let (_, oracle) = run_once(&w, &dir, FaultPlan::disabled());
+    reporter.meta("cold_s", format!("{:.6}", cold.as_secs_f64()));
+
+    let armed_zero = FaultPlan::parse("seed=1; rate=0.0").expect("zero-rate plan");
+    let one_percent = FaultPlan::parse(
+        "seed=7; delay_ms=1; \
+         store.read.error=0.01; store.read.corrupt=0.01; \
+         store.write.error=0.01; store.write.short=0.01",
+    )
+    .expect("1% plan");
+
+    eprintln!(
+        "bench_faults: {} x{} warm iterations per config",
+        w.name,
+        iters()
+    );
+    let (off, off_ok) = measure(&w, &dir, &FaultPlan::disabled(), &oracle);
+    let (zero, zero_ok) = measure(&w, &dir, &armed_zero, &oracle);
+    let (faulty, faulty_ok) = measure(&w, &dir, &one_percent, &oracle);
+
+    let armed_overhead = ratio(zero, off);
+    let faulty_slowdown = ratio(faulty, off);
+    reporter.meta("off_warm_s", format!("{:.6}", off.as_secs_f64()));
+    reporter.meta("armed_zero_warm_s", format!("{:.6}", zero.as_secs_f64()));
+    reporter.meta("faulty_1pct_warm_s", format!("{:.6}", faulty.as_secs_f64()));
+    reporter.meta("armed_zero_overhead", format!("{armed_overhead:.3}"));
+    reporter.meta("faulty_1pct_slowdown", format!("{faulty_slowdown:.3}"));
+    reporter.meta("bytes_identical", off_ok && zero_ok && faulty_ok);
+    reporter.meta("rolls_total", one_percent.rolls().values().sum::<u64>());
+    reporter.meta("injected_total", one_percent.total_injected());
+    for (site, count) in one_percent.injected() {
+        reporter.meta(&format!("injected.{site}"), count);
+    }
+
+    print!(
+        "{}",
+        reporter.table(
+            "Warm-store OptSlice latency under fault injection",
+            &["config", "warm mean", "vs off", "bytes identical"],
+            &[
+                vec![
+                    "off".into(),
+                    fmt_dur(off),
+                    "1.00x".into(),
+                    off_ok.to_string(),
+                ],
+                vec![
+                    "armed (rate=0)".into(),
+                    fmt_dur(zero),
+                    format!("{armed_overhead:.2}x"),
+                    zero_ok.to_string(),
+                ],
+                vec![
+                    "1% store faults".into(),
+                    fmt_dur(faulty),
+                    format!("{faulty_slowdown:.2}x"),
+                    faulty_ok.to_string(),
+                ],
+            ],
+        )
+    );
+
+    let _ = fs::remove_dir_all(&scratch);
+    reporter.finish();
+}

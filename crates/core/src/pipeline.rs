@@ -6,6 +6,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+use oha_faults::FaultPlan;
 use oha_interp::{Machine, MachineConfig};
 use oha_invariants::{InvariantAccumulator, InvariantSet, ProfileTracer, RunProfile};
 use oha_ir::{Fingerprint, FingerprintHasher, InstId, Program};
@@ -73,6 +74,12 @@ pub struct PipelineConfig {
     /// speculative dynamic phase, and a rollback on a warm run invalidates
     /// only the violated key. `None` (the default) runs fully in memory.
     pub store: Option<StoreConfig>,
+    /// Fault-injection plan the store opened from
+    /// [`PipelineConfig::store`] rolls against. Defaults to the
+    /// `OHA_FAULTS` environment spec (disabled when unset); injected
+    /// store failures exercise the delete-and-recompute path without
+    /// ever changing canonical results.
+    pub faults: FaultPlan,
 }
 
 impl Default for PipelineConfig {
@@ -84,6 +91,7 @@ impl Default for PipelineConfig {
             visit_budget: 5_000_000,
             threads: 0,
             store: None,
+            faults: FaultPlan::from_env(),
         }
     }
 }
@@ -145,7 +153,9 @@ impl Pipeline {
     pub fn with_config(mut self, config: PipelineConfig) -> Self {
         if self.store.is_none() {
             if let Some(sc) = &config.store {
-                self.store = Store::open(sc.dir.clone()).ok().map(Arc::new);
+                self.store = Store::open_with(sc.dir.clone(), config.faults.clone())
+                    .ok()
+                    .map(Arc::new);
             }
         }
         self.config = config;

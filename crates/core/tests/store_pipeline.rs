@@ -291,3 +291,41 @@ fn walk(dir: &Path) -> Vec<PathBuf> {
     }
     files
 }
+
+/// Injected store faults — short writes, read corruption, transient
+/// read/write errors — may cost recomputes, but must never change a
+/// canonical result: the fault surface is the cache, and the cache is
+/// an optimization, not an oracle.
+#[test]
+fn injected_store_faults_never_change_canonical_results() {
+    let dir = tmp_root("faulty");
+    let profiling: Vec<Vec<i64>> = (1..4).map(|n| vec![n * 10]).collect();
+    let testing: Vec<Vec<i64>> = (1..4).map(|n| vec![n * 7]).collect();
+
+    // Ground truth from a storeless (purely in-memory) pipeline.
+    let clean = Pipeline::new(locked_counter());
+    let expected = optft_canonical_json(&clean.run_optft(&profiling, &testing));
+
+    let plan = oha_faults::FaultPlan::parse(
+        "seed=42; store.write.short=%3; store.read.corrupt=%4; \
+         store.write.error=%5; store.read.error=%5",
+    )
+    .unwrap();
+    let mut total_injected = 0;
+    for _ in 0..4 {
+        let p = Pipeline::new(locked_counter()).with_config(PipelineConfig {
+            store: Some(StoreConfig::new(&dir)),
+            faults: plan.clone(),
+            ..PipelineConfig::default()
+        });
+        let out = p.run_optft(&profiling, &testing);
+        assert_eq!(
+            optft_canonical_json(&out),
+            expected,
+            "a store fault changed an analysis result"
+        );
+        total_injected = p.store().unwrap().faults().total_injected();
+    }
+    assert!(total_injected > 0, "the plan must actually have fired");
+    let _ = fs::remove_dir_all(&dir);
+}

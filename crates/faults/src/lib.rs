@@ -1,0 +1,504 @@
+//! `oha-faults`: a seed-deterministic fault-injection substrate for the
+//! persistence and serving layers.
+//!
+//! Optimistic hybrid analysis survives *misspeculation* by construction
+//! (a violated likely invariant rolls back to the sound analysis); this
+//! crate makes *infrastructure failure* — torn writes, failed renames,
+//! bit rot, mid-frame disconnects, stalled reads, slow compute — an
+//! equally first-class, deterministically testable input. A
+//! [`FaultPlan`] names injection *sites* (dotted strings like
+//! `store.write.short` or `serve.write.disconnect`) and decides, per
+//! call, whether the site fires, from a seeded hash of the site name and
+//! its per-site call sequence. The decision depends only on
+//! `(seed, site, nth-call-at-site)` — never on wall clock, thread
+//! scheduling across sites, or process layout — so a failing chaos run
+//! replays exactly under the same seed and per-site call order.
+//!
+//! Design points:
+//!
+//! - **Disabled is one branch.** [`FaultPlan::disabled`] (and
+//!   [`FaultPlan::from_env`] with `OHA_FAULTS` unset) holds no state;
+//!   every [`should_inject`](FaultPlan::should_inject) is a single
+//!   `Option` discriminant test. The fault-free hot path stays
+//!   byte-and-branch identical to a build without instrumentation
+//!   beyond that test.
+//! - **Probability and schedule triggers.** A rule fires with
+//!   probability `p` (`site=0.05`), on exactly the nth call (`site=@3`),
+//!   or on every kth call (`site=%7`). Patterns ending in `*` match by
+//!   prefix, so `store.*=0.01` arms every store site at once.
+//! - **Accountable.** Every injection bumps a per-site counter;
+//!   [`injected`](FaultPlan::injected) snapshots them,
+//!   [`record`](FaultPlan::record) exports them as `faults.<site>`
+//!   counters through an [`oha_obs::MetricsRegistry`], and the serving
+//!   layer republishes them over its `stats`/`metrics` ops so chaos CI
+//!   can assert that faults actually fired.
+//!
+//! The *interpretation* of a site is the call site's business: the store
+//! truncates a write, the server tears a frame mid-payload, the client
+//! never sees this crate at all. The canonical site names are listed in
+//! [`sites`].
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Environment variable holding a [`FaultPlan`] spec; unset or empty
+/// means no injection (the disabled, one-branch-per-site plan).
+pub const FAULTS_ENV: &str = "OHA_FAULTS";
+
+/// Default injected delay when the spec does not set `delay_ms`.
+pub const DEFAULT_DELAY_MS: u64 = 10;
+
+/// The canonical injection-site names, so tests, specs and docs agree on
+/// spelling. Call sites pass these to [`FaultPlan::should_inject`].
+pub mod sites {
+    /// Store read fails outright (served as a miss).
+    pub const STORE_READ_ERROR: &str = "store.read.error";
+    /// Store read returns bit-flipped bytes (checksum must catch it).
+    pub const STORE_READ_CORRUPT: &str = "store.read.corrupt";
+    /// Store save fails before any bytes reach disk.
+    pub const STORE_WRITE_ERROR: &str = "store.write.error";
+    /// Store save silently truncates the temp file (a lying disk); the
+    /// torn artifact must be detected and dropped on the next load.
+    pub const STORE_WRITE_SHORT: &str = "store.write.short";
+    /// The temp-to-final rename fails; the save errors, no torn final.
+    pub const STORE_RENAME_ERROR: &str = "store.rename.error";
+    /// The rename stalls for the plan's delay first (widens the
+    /// concurrent-writer race window).
+    pub const STORE_RENAME_DELAY: &str = "store.rename.delay";
+    /// The process dies (abort, as if `kill -9`) after the temp write
+    /// and before the rename — the crash-consistency window.
+    pub const STORE_CRASH_BEFORE_RENAME: &str = "store.crash.before_rename";
+    /// The server stalls before reading the next request frame.
+    pub const SERVE_READ_STALL: &str = "serve.read.stall";
+    /// The server drops the connection mid-response-frame (length
+    /// prefix plus a partial payload reach the client).
+    pub const SERVE_WRITE_DISCONNECT: &str = "serve.write.disconnect";
+    /// The compute job sleeps for the plan's delay before running.
+    pub const SERVE_COMPUTE_DELAY: &str = "serve.compute.delay";
+}
+
+/// How a matched rule decides whether the nth call at a site fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Trigger {
+    /// Fires with this probability per call (seeded, per-site-sequence
+    /// deterministic).
+    Prob(f64),
+    /// Fires on exactly the nth call (1-based).
+    At(u64),
+    /// Fires on every kth call (k, 2k, 3k, …).
+    Every(u64),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Rule {
+    /// A full site name, or a prefix ending in `*` (bare `*` matches
+    /// everything).
+    pattern: String,
+    trigger: Trigger,
+}
+
+impl Rule {
+    fn matches(&self, site: &str) -> bool {
+        match self.pattern.strip_suffix('*') {
+            Some(prefix) => site.starts_with(prefix),
+            None => self.pattern == site,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SiteState {
+    /// Calls rolled at this site (matched rules only).
+    rolls: u64,
+    /// Calls that injected a fault.
+    injected: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    seed: u64,
+    delay: Duration,
+    rules: Vec<Rule>,
+    sites: Mutex<BTreeMap<String, SiteState>>,
+}
+
+/// A seeded plan of which injection sites misbehave, how, and when.
+///
+/// Cloning shares the plan (and its counters): the daemon hands one plan
+/// to the store, the I/O handlers and the compute jobs, and a single
+/// `stats` call sees every injection.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    inner: Option<Arc<Inner>>,
+}
+
+impl FaultPlan {
+    /// The no-injection plan. [`should_inject`](Self::should_inject) is
+    /// one branch and never takes a lock.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Parses `OHA_FAULTS`; unset, empty, or unparsable specs yield the
+    /// disabled plan (an unparsable spec also warns on stderr — chaos
+    /// that silently never starts is worse than none).
+    pub fn from_env() -> Self {
+        match std::env::var(FAULTS_ENV) {
+            Ok(spec) if !spec.trim().is_empty() => match Self::parse(&spec) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("warning: ignoring {FAULTS_ENV}: {e}");
+                    Self::disabled()
+                }
+            },
+            _ => Self::disabled(),
+        }
+    }
+
+    /// Parses a spec: `;`/whitespace-separated `key=value` entries.
+    ///
+    /// - `seed=N` — the plan seed (default 0).
+    /// - `delay_ms=N` — injected-delay length (default 10).
+    /// - `rate=P` — shorthand for `*=P` (every site fires with
+    ///   probability `P`).
+    /// - `<site>=P` — the site fires with probability `P ∈ [0,1]`.
+    /// - `<site>=@N` — the site fires on exactly its Nth call (1-based).
+    /// - `<site>=%K` — the site fires on every Kth call.
+    ///
+    /// Patterns may end in `*` for prefix matching; the first matching
+    /// rule (in spec order) wins. A spec with no site rules is the
+    /// disabled plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut seed = 0u64;
+        let mut delay_ms = DEFAULT_DELAY_MS;
+        let mut rules = Vec::new();
+        for entry in spec.split([';', ' ', '\t', '\n']) {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("entry {entry:?} is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "seed" => {
+                    seed = value
+                        .parse()
+                        .map_err(|_| format!("seed={value:?} is not a u64"))?;
+                }
+                "delay_ms" => {
+                    delay_ms = value
+                        .parse()
+                        .map_err(|_| format!("delay_ms={value:?} is not a u64"))?;
+                }
+                "rate" => rules.push(Rule {
+                    pattern: "*".to_string(),
+                    trigger: Trigger::Prob(parse_prob(key, value)?),
+                }),
+                site => {
+                    let trigger = if let Some(n) = value.strip_prefix('@') {
+                        let n: u64 = n
+                            .parse()
+                            .map_err(|_| format!("{site}=@{n:?}: not a call number"))?;
+                        if n == 0 {
+                            return Err(format!("{site}=@0: calls are numbered from 1"));
+                        }
+                        Trigger::At(n)
+                    } else if let Some(k) = value.strip_prefix('%') {
+                        let k: u64 = k
+                            .parse()
+                            .map_err(|_| format!("{site}=%{k:?}: not a period"))?;
+                        if k == 0 {
+                            return Err(format!("{site}=%0: the period must be positive"));
+                        }
+                        Trigger::Every(k)
+                    } else {
+                        Trigger::Prob(parse_prob(site, value)?)
+                    };
+                    rules.push(Rule {
+                        pattern: site.to_string(),
+                        trigger,
+                    });
+                }
+            }
+        }
+        if rules.is_empty() {
+            return Ok(Self::disabled());
+        }
+        Ok(Self {
+            inner: Some(Arc::new(Inner {
+                seed,
+                delay: Duration::from_millis(delay_ms),
+                rules,
+                sites: Mutex::new(BTreeMap::new()),
+            })),
+        })
+    }
+
+    /// Whether any rule is armed.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Decides whether `site` misbehaves on this call, bumping the
+    /// injection counter when it does. One branch when the plan is
+    /// disabled.
+    pub fn should_inject(&self, site: &str) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        let Some(rule) = inner.rules.iter().find(|r| r.matches(site)) else {
+            return false;
+        };
+        let mut sites = inner.sites.lock().expect("fault-plan lock");
+        let state = sites.entry(site.to_string()).or_default();
+        state.rolls += 1;
+        let fire = match rule.trigger {
+            Trigger::Prob(p) => {
+                unit_interval(splitmix64(
+                    inner.seed ^ fnv64(site) ^ state.rolls.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )) < p
+            }
+            Trigger::At(n) => state.rolls == n,
+            Trigger::Every(k) => state.rolls % k == 0,
+        };
+        if fire {
+            state.injected += 1;
+        }
+        fire
+    }
+
+    /// The configured injected-delay length (`delay_ms`, default
+    /// [`DEFAULT_DELAY_MS`]). Zero when the plan is disabled.
+    pub fn delay(&self) -> Duration {
+        self.inner
+            .as_ref()
+            .map(|i| i.delay)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Per-site injected-fault counts (sites that matched a rule but
+    /// never fired report 0).
+    pub fn injected(&self) -> BTreeMap<String, u64> {
+        match &self.inner {
+            Some(inner) => inner
+                .sites
+                .lock()
+                .expect("fault-plan lock")
+                .iter()
+                .map(|(site, st)| (site.clone(), st.injected))
+                .collect(),
+            None => BTreeMap::new(),
+        }
+    }
+
+    /// Per-site roll counts (how often each armed site was consulted).
+    pub fn rolls(&self) -> BTreeMap<String, u64> {
+        match &self.inner {
+            Some(inner) => inner
+                .sites
+                .lock()
+                .expect("fault-plan lock")
+                .iter()
+                .map(|(site, st)| (site.clone(), st.rolls))
+                .collect(),
+            None => BTreeMap::new(),
+        }
+    }
+
+    /// Total faults injected across all sites.
+    pub fn total_injected(&self) -> u64 {
+        self.injected().values().sum()
+    }
+
+    /// Publishes `faults.injected.<site>` and `faults.rolls.<site>`
+    /// counters (plus `faults.injected.total`) into a registry, so run
+    /// reports carry the injection record alongside the phase timings.
+    pub fn record(&self, registry: &oha_obs::MetricsRegistry) {
+        let mut total = 0;
+        for (site, n) in self.injected() {
+            registry.add(&format!("faults.injected.{site}"), n);
+            total += n;
+        }
+        for (site, n) in self.rolls() {
+            registry.add(&format!("faults.rolls.{site}"), n);
+        }
+        registry.add("faults.injected.total", total);
+    }
+}
+
+fn parse_prob(key: &str, value: &str) -> Result<f64, String> {
+    let p: f64 = value
+        .parse()
+        .map_err(|_| format!("{key}={value:?} is not a probability"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("{key}={value}: probability outside [0,1]"));
+    }
+    Ok(p)
+}
+
+/// SplitMix64: the standard 64-bit finalizer — a single round is enough
+/// to decorrelate the (seed, site, sequence) lattice into uniform bits.
+/// Public so resilience code (retry jitter in `oha-serve`'s client) can
+/// derive deterministic pseudo-randomness from the same primitive.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the site name, so distinct sites draw from distinct
+/// streams even under one seed.
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Maps the top 53 bits to [0, 1).
+fn unit_interval(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_injects_and_holds_no_state() {
+        let plan = FaultPlan::disabled();
+        assert!(!plan.is_enabled());
+        for _ in 0..1000 {
+            assert!(!plan.should_inject(sites::STORE_WRITE_SHORT));
+        }
+        assert!(plan.injected().is_empty());
+        assert_eq!(plan.delay(), Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_and_unset_specs_disable() {
+        assert!(!FaultPlan::parse("").unwrap().is_enabled());
+        assert!(!FaultPlan::parse("seed=7; delay_ms=3").unwrap().is_enabled());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        for bad in [
+            "store.read.error",
+            "seed=x",
+            "delay_ms=-1",
+            "rate=1.5",
+            "store.read.error=nope",
+            "store.read.error=@0",
+            "store.read.error=%0",
+            "rate=-0.1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn at_and_every_schedules_fire_exactly_on_time() {
+        let plan = FaultPlan::parse("a.site=@3; b.site=%4").unwrap();
+        let a: Vec<bool> = (0..6).map(|_| plan.should_inject("a.site")).collect();
+        assert_eq!(a, [false, false, true, false, false, false]);
+        let b: Vec<bool> = (0..9).map(|_| plan.should_inject("b.site")).collect();
+        assert_eq!(
+            b,
+            [false, false, false, true, false, false, false, true, false]
+        );
+        assert_eq!(plan.injected()["a.site"], 1);
+        assert_eq!(plan.injected()["b.site"], 2);
+        assert_eq!(plan.total_injected(), 3);
+    }
+
+    #[test]
+    fn probability_rolls_are_seed_deterministic() {
+        let roll = |spec: &str| -> Vec<bool> {
+            let plan = FaultPlan::parse(spec).unwrap();
+            (0..256).map(|_| plan.should_inject("x.y")).collect()
+        };
+        let a = roll("seed=42; x.y=0.3");
+        let b = roll("seed=42; x.y=0.3");
+        assert_eq!(a, b, "same seed, same site, same sequence of decisions");
+        let c = roll("seed=43; x.y=0.3");
+        assert_ne!(a, c, "a different seed draws a different stream");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!(
+            (32..=128).contains(&fired),
+            "a 0.3 rate over 256 rolls fired {fired} times"
+        );
+    }
+
+    #[test]
+    fn sites_draw_from_independent_streams() {
+        let plan = FaultPlan::parse("seed=1; rate=0.5").unwrap();
+        let a: Vec<bool> = (0..128).map(|_| plan.should_inject("left")).collect();
+        let b: Vec<bool> = (0..128).map(|_| plan.should_inject("right")).collect();
+        assert_ne!(a, b, "distinct sites must not mirror each other");
+    }
+
+    #[test]
+    fn prefix_patterns_match_and_first_rule_wins() {
+        let plan = FaultPlan::parse("store.read.error=@1; store.*=%1; rate=0.0").unwrap();
+        // Exact rule first: fires once, then the @1 schedule is spent and
+        // the later (broader) rules are not consulted for this site.
+        assert!(plan.should_inject("store.read.error"));
+        assert!(!plan.should_inject("store.read.error"));
+        // Prefix rule: every call fires.
+        assert!(plan.should_inject("store.write.short"));
+        assert!(plan.should_inject("store.write.short"));
+        // The catch-all at rate 0 matches but never fires.
+        assert!(!plan.should_inject("serve.read.stall"));
+        assert_eq!(plan.rolls()["serve.read.stall"], 1);
+    }
+
+    #[test]
+    fn unarmed_sites_cost_no_state() {
+        let plan = FaultPlan::parse("store.read.error=@1").unwrap();
+        assert!(!plan.should_inject("serve.compute.delay"));
+        assert!(!plan.injected().contains_key("serve.compute.delay"));
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let plan = FaultPlan::parse("x=%1").unwrap();
+        let clone = plan.clone();
+        assert!(clone.should_inject("x"));
+        assert_eq!(plan.injected()["x"], 1);
+    }
+
+    #[test]
+    fn delay_is_configurable() {
+        let plan = FaultPlan::parse("delay_ms=250; x=%1").unwrap();
+        assert_eq!(plan.delay(), Duration::from_millis(250));
+        let default = FaultPlan::parse("x=%1").unwrap();
+        assert_eq!(default.delay(), Duration::from_millis(DEFAULT_DELAY_MS));
+    }
+
+    #[test]
+    fn record_exports_counters_through_obs() {
+        let plan = FaultPlan::parse("x=%1; y=@9").unwrap();
+        plan.should_inject("x");
+        plan.should_inject("x");
+        plan.should_inject("y");
+        let registry = oha_obs::MetricsRegistry::new();
+        plan.record(&registry);
+        assert_eq!(registry.counter_value("faults.injected.x"), 2);
+        assert_eq!(registry.counter_value("faults.injected.y"), 0);
+        assert_eq!(registry.counter_value("faults.rolls.y"), 1);
+        assert_eq!(registry.counter_value("faults.injected.total"), 2);
+    }
+}

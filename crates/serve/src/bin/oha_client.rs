@@ -3,8 +3,10 @@
 use std::path::PathBuf;
 use std::process::exit;
 
+use std::time::Duration;
+
 use oha_obs::Json;
-use oha_serve::{Client, MetricsFormat, Tool};
+use oha_serve::{Client, ClientConfig, MetricsFormat, Tool};
 
 const USAGE: &str = "\
 oha-client: talk to a running oha-serve daemon
@@ -19,6 +21,14 @@ USAGE:
 
 OPTIONS:
   --socket PATH     Daemon socket (default: oha-serve.sock)
+  --timeout-ms N    Socket read deadline in milliseconds; a wedged or
+                    half-open daemon errors out instead of hanging the
+                    client (default: 150000; 0 waits forever)
+  --retries N       Max retries for idempotent requests on transport
+                    errors and Busy load-sheds (default: 4; 0 disables)
+  --retry-base-ms N Base backoff delay before the first retry; doubles
+                    per attempt, capped at 1s, with deterministic jitter
+                    (default: 25)
   --program FILE    Program in IR text form ('-' reads stdin)
   --profiling SPEC  Profiling corpus: runs split by ';', values by ','
                     e.g. \"1,2;3\" is two runs, [1,2] and [3] (default: \"1;2;3\")
@@ -45,6 +55,7 @@ fn main() {
     let mut endpoints: Vec<u32> = Vec::new();
     let mut raw = false;
     let mut json = false;
+    let mut config = ClientConfig::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,6 +67,15 @@ fn main() {
         };
         match arg.as_str() {
             "--socket" => socket = PathBuf::from(value("--socket")),
+            "--timeout-ms" => {
+                let ms: u64 = parse(&value("--timeout-ms"), "--timeout-ms");
+                config.read_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--retries" => config.retry.max_retries = parse(&value("--retries"), "--retries"),
+            "--retry-base-ms" => {
+                config.retry.base_delay =
+                    Duration::from_millis(parse(&value("--retry-base-ms"), "--retry-base-ms"))
+            }
             "--program" => program_path = Some(value("--program")),
             "--profiling" => profiling = value("--profiling"),
             "--testing" => testing = value("--testing"),
@@ -90,7 +110,7 @@ fn main() {
         exit(2);
     };
 
-    let mut client = Client::connect(&socket).unwrap_or_else(|e| {
+    let mut client = Client::connect_with(&socket, config).unwrap_or_else(|e| {
         eprintln!("error: cannot connect to {}: {e}", socket.display());
         exit(1);
     });
@@ -196,6 +216,13 @@ fn read_program(path: Option<&str>) -> String {
     result.unwrap_or_else(|e| {
         eprintln!("error: cannot read program {path:?}: {e}");
         exit(1);
+    })
+}
+
+fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} got unparsable value {text:?}\n\n{USAGE}");
+        exit(2);
     })
 }
 

@@ -11,7 +11,7 @@ oha-serve: the OHA analysis daemon
 
 USAGE:
   oha-serve [--socket PATH] [--store DIR] [--threads N] [--timeout-ms N] [--lru N]
-            [--trace-out FILE]
+            [--max-queue N] [--io-timeout-ms N] [--faults SPEC] [--trace-out FILE]
 
 OPTIONS:
   --socket PATH      Unix-domain socket to listen on (default: oha-serve.sock)
@@ -20,6 +20,14 @@ OPTIONS:
   --threads N        Worker threads per pool (default: $OHA_THREADS, else hardware)
   --timeout-ms N     Per-request compute deadline in milliseconds (default: 120000)
   --lru N            Response-cache capacity in entries (default: 64)
+  --max-queue N      Bound on queued (not yet running) compute jobs; analyze
+                     requests past the bound get a typed Busy response
+                     (default: 0 = 4x worker count)
+  --io-timeout-ms N  Per-operation socket read/write deadline for connection
+                     handlers (default: 0 = 2x --timeout-ms, at least 1s)
+  --faults SPEC      Deterministic fault-injection plan, e.g.
+                     'seed=7; store.read.corrupt=0.01; serve.write.disconnect=@3'
+                     (default: $OHA_FAULTS, else disabled)
   --trace-out FILE   Record per-request trace events and write them as Chrome
                      trace-event JSON (Perfetto-loadable) on graceful drain.
                      $OHA_TRACE also enables tracing (a number > 1 sets the
@@ -39,6 +47,9 @@ fn main() {
     // OHA_TRACE alone enables in-memory tracing (inspectable through the
     // metrics op); --trace-out additionally writes the ring on drain.
     config.trace = oha_obs::TraceLog::from_env();
+    // OHA_FAULTS arms deterministic fault injection (chaos runs);
+    // --faults overrides it.
+    config.faults = oha_faults::FaultPlan::from_env();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -56,6 +67,18 @@ fn main() {
                     Duration::from_millis(parse(&value("--timeout-ms"), "--timeout-ms"))
             }
             "--lru" => config.lru_capacity = parse(&value("--lru"), "--lru"),
+            "--max-queue" => config.max_queue = parse(&value("--max-queue"), "--max-queue"),
+            "--io-timeout-ms" => {
+                let ms: u64 = parse(&value("--io-timeout-ms"), "--io-timeout-ms");
+                config.io_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--faults" => {
+                let spec = value("--faults");
+                config.faults = oha_faults::FaultPlan::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("error: --faults: {e}\n\n{USAGE}");
+                    exit(2);
+                });
+            }
             "--trace-out" => config.trace_out = Some(PathBuf::from(value("--trace-out"))),
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -85,10 +108,19 @@ fn main() {
             .unwrap_or_else(|| "none".to_string()),
     );
     match server.run() {
-        Ok(stats) => eprintln!(
-            "oha-serve: drained after {} requests ({} LRU hits, {} timeouts, {} errors)",
-            stats.requests, stats.lru_hits, stats.timeouts, stats.errors
-        ),
+        Ok(stats) => {
+            eprintln!(
+                "oha-serve: drained after {} requests ({} LRU hits, {} timeouts, {} errors, \
+                 {} busy)",
+                stats.requests, stats.lru_hits, stats.timeouts, stats.errors, stats.busy_rejections
+            );
+            if config.faults.is_enabled() {
+                eprintln!(
+                    "oha-serve: fault plan injected {} faults",
+                    config.faults.total_injected()
+                );
+            }
+        }
         Err(e) => {
             eprintln!("error: serve loop failed: {e}");
             exit(1);

@@ -29,6 +29,6 @@ pub mod proto;
 mod client;
 mod server;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig, RetryPolicy};
 pub use proto::{MetricsFormat, Request, Response, Tool, MAX_FRAME};
 pub use server::{ServeStats, Server, ServerConfig};

@@ -211,6 +211,11 @@ impl Request {
 pub struct Response {
     /// `false` means `body` is an error message, not a result.
     pub ok: bool,
+    /// The daemon shed this request at its queue bound (always with
+    /// `ok == false`): the request was *not* processed, and an
+    /// idempotent client should back off and retry rather than report
+    /// a failure.
+    pub busy: bool,
     /// Canonical result JSON (analyze), stats JSON, or an error message.
     pub body: String,
     /// Whether the response was served from the daemon's in-memory LRU
@@ -224,11 +229,18 @@ pub struct Response {
     pub trace_id: u64,
 }
 
+/// Wire tag for a busy (shed) response — distinct from plain errors so
+/// clients can apply the retry-with-backoff rule only where it is safe.
+const STATUS_ERR: u8 = 0;
+const STATUS_OK: u8 = 1;
+const STATUS_BUSY: u8 = 2;
+
 impl Response {
     /// A successful response.
     pub fn ok(body: impl Into<String>) -> Self {
         Response {
             ok: true,
+            busy: false,
             body: body.into(),
             cached: false,
             elapsed_ns: 0,
@@ -240,6 +252,20 @@ impl Response {
     pub fn err(message: impl Into<String>) -> Self {
         Response {
             ok: false,
+            busy: false,
+            body: message.into(),
+            cached: false,
+            elapsed_ns: 0,
+            trace_id: 0,
+        }
+    }
+
+    /// A load-shed response: the daemon's queue is at its bound and the
+    /// request was refused *before* any processing.
+    pub fn busy(message: impl Into<String>) -> Self {
+        Response {
+            ok: false,
+            busy: true,
             body: message.into(),
             cached: false,
             elapsed_ns: 0,
@@ -250,7 +276,13 @@ impl Response {
     /// Serializes the response payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.put_u8(u8::from(self.ok));
+        w.put_u8(if self.busy {
+            STATUS_BUSY
+        } else if self.ok {
+            STATUS_OK
+        } else {
+            STATUS_ERR
+        });
         w.put_str(&self.body);
         w.put_u8(u8::from(self.cached));
         w.put_u64(self.elapsed_ns);
@@ -261,9 +293,10 @@ impl Response {
     /// Decodes a response payload; total over arbitrary bytes.
     pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
         let mut r = Reader::new(bytes);
-        let ok = match r.get_u8()? {
-            0 => false,
-            1 => true,
+        let (ok, busy) = match r.get_u8()? {
+            STATUS_ERR => (false, false),
+            STATUS_OK => (true, false),
+            STATUS_BUSY => (false, true),
             t => return Err(CodecError::BadTag(t)),
         };
         let body = r.get_str()?.to_string();
@@ -279,6 +312,7 @@ impl Response {
         }
         Ok(Response {
             ok,
+            busy,
             body,
             cached,
             elapsed_ns,
@@ -381,12 +415,25 @@ mod tests {
     fn responses_round_trip() {
         let resp = Response {
             ok: true,
+            busy: false,
             body: "{\"tool\":\"optft\"}".to_string(),
             cached: true,
             elapsed_ns: 123_456,
             trace_id: 7,
         };
         assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn busy_responses_round_trip_and_read_as_failures() {
+        let resp = Response::busy("queue full: 64 jobs pending");
+        assert!(!resp.ok, "busy is not success — scripts must fail closed");
+        assert!(resp.busy);
+        let decoded = Response::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded, resp);
+        // Plain errors stay non-busy on the wire.
+        let err = Response::decode(&Response::err("boom").encode()).unwrap();
+        assert!(!err.ok && !err.busy);
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! [`ServerConfig::trace_out`] is set) is written.
 
 use std::fmt::Write as _;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write as _};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -37,6 +37,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use oha_core::{optft_canonical_json, optslice_canonical_json, Pipeline, PipelineConfig};
+use oha_faults::{sites, FaultPlan};
 use oha_ir::{parse_program, Fingerprint, InstId, InstKind, Program};
 use oha_obs::{Histogram, Json, TraceLog, DEFAULT_TRACE_CAPACITY};
 use oha_par::TaskPool;
@@ -53,8 +54,10 @@ pub struct ServerConfig {
     /// Artifact-store directory; `None` serves without persistence (the
     /// LRU front still deduplicates identical requests).
     pub store_dir: Option<PathBuf>,
-    /// Worker threads for each pool (`0` = the `OHA_THREADS` override,
-    /// then the hardware default).
+    /// Compute-pool worker threads (`0` = the `OHA_THREADS` override,
+    /// then the hardware default). The connection-handler pool is sized
+    /// `threads + max_queue + 1`, so the compute queue can reach its
+    /// bound and the arrival after that gets the `Busy` shed.
     pub threads: usize,
     /// Per-request compute deadline; an overrun answers the client with
     /// an error while the stray job finishes in the background.
@@ -67,6 +70,22 @@ pub struct ServerConfig {
     pub trace: TraceLog,
     /// Write the Chrome trace-event JSON here on graceful drain.
     pub trace_out: Option<PathBuf>,
+    /// Bound on compute jobs queued (not yet running) on the work pool.
+    /// An analyze request arriving past the bound is refused with a
+    /// typed `Busy` response instead of queuing without limit. `0` (the
+    /// default) resolves to 4× the worker count.
+    pub max_queue: usize,
+    /// Per-operation deadline for the connection handlers' socket reads
+    /// and writes (the I/O pool's analogue of the compute deadline): a
+    /// stalled or half-open peer errors out instead of pinning a
+    /// handler forever. `None` (the default) resolves to twice
+    /// [`request_timeout`](ServerConfig::request_timeout), at least one
+    /// second.
+    pub io_timeout: Option<Duration>,
+    /// Fault-injection plan shared by the store, the connection
+    /// handlers and the compute jobs. Disabled by default; the
+    /// `oha-serve` binary arms it from `OHA_FAULTS`.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +98,9 @@ impl Default for ServerConfig {
             lru_capacity: 64,
             trace: TraceLog::disabled(),
             trace_out: None,
+            max_queue: 0,
+            io_timeout: None,
+            faults: FaultPlan::disabled(),
         }
     }
 }
@@ -100,6 +122,8 @@ pub struct ServeStats {
     pub timeouts: u64,
     /// Malformed or failed requests.
     pub errors: u64,
+    /// Analyze requests shed with a `Busy` response at the queue bound.
+    pub busy_rejections: u64,
     /// Compute jobs queued on the work pool but not yet started.
     pub queue_depth: u64,
     /// Analyze requests currently waiting on compute.
@@ -115,6 +139,9 @@ struct Shared {
     lru: Mutex<Lru<Fingerprint, Response>>,
     work: TaskPool,
     timeout: Duration,
+    io_timeout: Duration,
+    max_queue: usize,
+    faults: FaultPlan,
     shutting: AtomicBool,
     socket: PathBuf,
     trace: TraceLog,
@@ -122,6 +149,7 @@ struct Shared {
     lru_hits: AtomicU64,
     timeouts: AtomicU64,
     errors: AtomicU64,
+    busy_rejections: AtomicU64,
     in_flight: AtomicU64,
     open_connections: AtomicU64,
     /// Wall-clock nanoseconds per answered request (all ops), recorded
@@ -155,6 +183,7 @@ impl Shared {
             lru_evictions: self.lru.lock().map(|l| l.evictions()).unwrap_or(0),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             queue_depth: self.work.pending() as u64,
             in_flight: self.in_flight.load(Ordering::Relaxed),
             open_connections: self.open_connections.load(Ordering::Relaxed),
@@ -176,32 +205,55 @@ impl Shared {
                 let ss = store.stats();
                 format!(
                     "{{\"hits\":{},\"misses\":{},\"writes\":{},\"corruptions\":{},\
-                     \"version_mismatches\":{},\"invalidations\":{}}}",
+                     \"version_mismatches\":{},\"invalidations\":{},\"stale_tmp_cleaned\":{}}}",
                     ss.hits,
                     ss.misses,
                     ss.writes,
                     ss.corruptions,
                     ss.version_mismatches,
-                    ss.invalidations
+                    ss.invalidations,
+                    ss.stale_tmp_cleaned
                 )
             }
             None => "null".to_string(),
         };
         format!(
             "{{\"requests\":{},\"lru_hits\":{},\"lru_evictions\":{},\"timeouts\":{},\
-             \"errors\":{},\"panicked_jobs\":{},\"queue_depth\":{},\"in_flight\":{},\
-             \"open_connections\":{},\"lru_len\":{},\"store\":{store}}}",
+             \"errors\":{},\"busy_rejections\":{},\"panicked_jobs\":{},\"queue_depth\":{},\
+             \"in_flight\":{},\"open_connections\":{},\"lru_len\":{},\"store\":{store},\
+             \"faults\":{}}}",
             s.requests,
             s.lru_hits,
             s.lru_evictions,
             s.timeouts,
             s.errors,
+            s.busy_rejections,
             self.work.panicked_jobs(),
             s.queue_depth,
             s.in_flight,
             s.open_connections,
             s.lru_len,
+            self.faults_json().to_string_compact(),
         )
+    }
+
+    /// The fault-injection record: `null` with injection disabled, else
+    /// per-site injected counts plus the total — the chaos CI artifact.
+    fn faults_json(&self) -> Json {
+        if !self.faults.is_enabled() {
+            return Json::Null;
+        }
+        let injected = self.faults.injected();
+        let mut fields: Vec<(String, Json)> = vec![(
+            "injected_total".to_string(),
+            Json::Num(injected.values().sum::<u64>() as f64),
+        )];
+        fields.extend(
+            injected
+                .into_iter()
+                .map(|(site, n)| (site, Json::Num(n as f64))),
+        );
+        Json::Obj(fields)
     }
 
     /// The `metrics` op's JSON form: the live gauges and counters plus
@@ -220,7 +272,9 @@ impl Shared {
             ("lru_evictions".to_string(), num(s.lru_evictions)),
             ("timeouts".to_string(), num(s.timeouts)),
             ("errors".to_string(), num(s.errors)),
+            ("busy_rejections".to_string(), num(s.busy_rejections)),
             ("panicked_jobs".to_string(), num(self.work.panicked_jobs())),
+            ("faults".to_string(), self.faults_json()),
             (
                 "request_latency_ns".to_string(),
                 self.request_latency().to_json(),
@@ -289,10 +343,28 @@ impl Shared {
         sample(
             &mut out,
             counter,
+            "oha_busy_rejections_total",
+            "Analyze requests shed with a Busy response at the queue bound.",
+            s.busy_rejections,
+        );
+        sample(
+            &mut out,
+            counter,
             "oha_panicked_jobs_total",
             "Compute jobs whose closure panicked.",
             self.work.panicked_jobs(),
         );
+        if self.faults.is_enabled() {
+            let injected = self.faults.injected();
+            let _ = writeln!(
+                out,
+                "# HELP oha_injected_faults_total Faults injected by the OHA_FAULTS plan."
+            );
+            let _ = writeln!(out, "# TYPE oha_injected_faults_total counter");
+            for (site, n) in &injected {
+                let _ = writeln!(out, "oha_injected_faults_total{{site=\"{site}\"}} {n}");
+            }
+        }
         sample(
             &mut out,
             counter,
@@ -379,13 +451,25 @@ impl Server {
         }
         let listener = UnixListener::bind(&config.socket)?;
         let store = match &config.store_dir {
-            Some(dir) => Some(Arc::new(Store::open(dir.clone())?)),
+            Some(dir) => Some(Arc::new(Store::open_with(
+                dir.clone(),
+                config.faults.clone(),
+            )?)),
             None => None,
         };
         let threads = if config.threads == 0 {
             oha_par::thread_count()
         } else {
             config.threads
+        };
+        let io_timeout = config
+            .io_timeout
+            .unwrap_or_else(|| config.request_timeout.saturating_mul(2))
+            .max(Duration::from_secs(1));
+        let max_queue = if config.max_queue == 0 {
+            threads.saturating_mul(4).max(1)
+        } else {
+            config.max_queue
         };
         // A trace destination implies tracing even when the caller left
         // the log disabled.
@@ -399,6 +483,9 @@ impl Server {
             lru: Mutex::new(Lru::new(config.lru_capacity.max(1))),
             work: TaskPool::new(threads),
             timeout: config.request_timeout,
+            io_timeout,
+            max_queue,
+            faults: config.faults.clone(),
             shutting: AtomicBool::new(false),
             socket: config.socket.clone(),
             trace,
@@ -406,14 +493,22 @@ impl Server {
             lru_hits: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             open_connections: AtomicU64::new(0),
             request_latency: Mutex::new(Histogram::new()),
         });
+        // The I/O pool must out-size compute for the queue bound to mean
+        // anything: each connection handler parks while its request
+        // computes, so with only `threads` handlers the work queue could
+        // never reach `max_queue` and the Busy path would be dead code.
+        // `threads + max_queue + 1` lets the queue fill to its bound and
+        // still leaves a handler free to answer (or shed) the next
+        // arrival.
         Ok(Self {
             listener,
             shared,
-            io_pool: TaskPool::new(threads),
+            io_pool: TaskPool::new(threads + max_queue + 1),
             trace_out: config.trace_out,
         })
     }
@@ -469,24 +564,29 @@ fn handle_connection(stream: UnixStream, shared: &Arc<Shared>) {
     // One virtual trace track per connection: the I/O-side request spans
     // render as a row separate from the compute pipelines'.
     let conn_tid = shared.trace.alloc_tid();
-    // An idle keepalive connection must not wedge the graceful drain:
-    // cap how long the handler waits for the *next* frame. (Waiting for
-    // a response is server-side compute, bounded separately.)
-    let idle_cap = shared.timeout.saturating_mul(2).max(Duration::from_secs(1));
-    let _ = stream.set_read_timeout(Some(idle_cap));
-    let _ = stream.set_write_timeout(Some(idle_cap));
+    // A stalled or half-open peer must not pin a handler (or wedge the
+    // graceful drain): cap every socket read and write. (Waiting for a
+    // response is server-side compute, bounded separately by the request
+    // timeout.)
+    let _ = stream.set_read_timeout(Some(shared.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.io_timeout));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut writer = BufWriter::new(stream);
     loop {
+        if shared.faults.should_inject(sites::SERVE_READ_STALL) {
+            std::thread::sleep(shared.faults.delay());
+        }
         let payload = match read_frame(&mut reader) {
             Ok(Some(p)) => p,
             Ok(None) | Err(_) => return,
         };
         let started = Instant::now();
-        let response = match Request::decode(&payload) {
+        let decoded = Request::decode(&payload);
+        let is_analyze = matches!(decoded, Ok(Request::Analyze { .. }));
+        let response = match decoded {
             Ok(request) => dispatch(request, shared, conn_tid),
             Err(e) => {
                 shared.errors.fetch_add(1, Ordering::Relaxed);
@@ -497,6 +597,18 @@ fn handle_connection(stream: UnixStream, shared: &Arc<Shared>) {
             latency.record_duration(started.elapsed());
         }
         shared.requests.fetch_add(1, Ordering::Relaxed);
+        // Mid-frame disconnect: the peer sees a length prefix promising
+        // more bytes than ever arrive, then EOF — exactly a daemon dying
+        // mid-response. Control-plane ops (stats, metrics, shutdown) are
+        // exempt so chaos harnesses can always drain and read counters.
+        if is_analyze && shared.faults.should_inject(sites::SERVE_WRITE_DISCONNECT) {
+            let encoded = response.encode();
+            let len = encoded.len() as u32;
+            let _ = writer.write_all(&len.to_le_bytes());
+            let _ = writer.write_all(&encoded[..encoded.len() / 2]);
+            let _ = writer.flush();
+            return;
+        }
         if write_frame(&mut writer, &response.encode()).is_err() {
             return;
         }
@@ -567,13 +679,26 @@ fn analyze_inner(
         }
     }
 
+    // Load shed at the queue bound: refusing with a typed `Busy` — which
+    // clients know is safe to retry — beats queuing without limit until
+    // every request times out.
+    if shared.work.pending() >= shared.max_queue {
+        shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        shared.trace.instant("serve/busy", trace_id, span, conn_tid);
+        return Response::busy(format!(
+            "compute queue full ({} jobs pending); retry with backoff",
+            shared.max_queue
+        ));
+    }
+
     let started = Instant::now();
     let _in_flight = GaugeGuard::enter(&shared.in_flight);
     let (tx, rx) = mpsc::channel();
     let store = shared.store.clone();
     let trace = shared.trace.clone();
+    let faults = shared.faults.clone();
     let submitted = shared.work.submit(move || {
-        let _ = tx.send(compute(request, store, trace, trace_id));
+        let _ = tx.send(compute(request, store, trace, trace_id, &faults));
     });
     if !submitted {
         shared.errors.fetch_add(1, Ordering::Relaxed);
@@ -614,7 +739,13 @@ fn compute(
     store: Option<Arc<Store>>,
     trace: TraceLog,
     trace_id: u64,
+    faults: &FaultPlan,
 ) -> Result<String, String> {
+    // A slow analysis, injected: exercises the request deadline and the
+    // client's retry budget without needing a pathological input.
+    if faults.should_inject(sites::SERVE_COMPUTE_DELAY) {
+        std::thread::sleep(faults.delay());
+    }
     let Request::Analyze {
         tool,
         program,

@@ -211,6 +211,10 @@ fn metrics_endpoint_reports_live_gauges_and_latency() {
     let server = Server::bind(ServerConfig {
         socket: socket.clone(),
         store_dir: None,
+        // This test pins exact request counts; a queue bound wider than
+        // the client burst keeps Busy sheds (and their hidden retries)
+        // out of the arithmetic.
+        max_queue: CLIENTS * 2,
         ..ServerConfig::default()
     })
     .unwrap();
@@ -406,5 +410,260 @@ fn traced_requests_link_io_and_compute_events() {
         e.get("name").and_then(Json::as_str) == Some("serve/request")
             && e.get("ph").and_then(Json::as_str) == Some("B")
     }));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Regression: a half-open peer — accepts the connection, reads the
+/// request, never replies — used to block the client forever. The
+/// client-side read deadline must turn that into a prompt typed error.
+#[test]
+fn client_read_deadline_unwedges_a_half_open_daemon() {
+    use std::io::Read as _;
+    use std::os::unix::net::UnixListener;
+    use std::time::{Duration, Instant};
+
+    let dir = tmp_dir("half-open");
+    let socket = dir.join("wedged.sock");
+    let listener = UnixListener::bind(&socket).unwrap();
+    let wedge = thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        // Swallow the request bytes, then go silent without hanging up
+        // (an EOF would be detected immediately; silence is the trap).
+        let mut sink = [0u8; 4096];
+        while let Ok(n) = conn.read(&mut sink) {
+            if n == 0 {
+                break;
+            }
+        }
+    });
+
+    let mut client = Client::connect_with(
+        &socket,
+        oha_serve::ClientConfig {
+            read_timeout: Some(Duration::from_millis(200)),
+            retry: oha_serve::RetryPolicy::none(),
+        },
+    )
+    .unwrap();
+    let started = Instant::now();
+    let err = client.stats().unwrap_err();
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+        "expected a read-deadline error, got: {err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "deadline must fire promptly, took {:?}",
+        started.elapsed()
+    );
+    drop(client);
+    wedge.join().unwrap();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// At the queue bound the daemon sheds load with a typed `Busy` response
+/// instead of queueing without limit; a non-retrying client sees the
+/// flag, and the drain counts the rejections.
+#[test]
+fn saturated_daemon_sheds_load_with_typed_busy_responses() {
+    let dir = tmp_dir("busy");
+    let socket = dir.join("daemon.sock");
+
+    let server = Server::bind(ServerConfig {
+        socket: socket.clone(),
+        store_dir: None,
+        threads: 1,
+        max_queue: 1,
+        lru_capacity: 1,
+        faults: oha_faults::FaultPlan::parse("delay_ms=400; serve.compute.delay=%1").unwrap(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let server_thread = thread::spawn(move || server.run().unwrap());
+
+    let program = locked_counter();
+    let text = print_program(&program);
+
+    // Distinct corpora defeat the LRU front, so every request really
+    // queues compute. One worker, each job stalled 400 ms, queue bound
+    // 1: burst of 8 → some must be shed.
+    let outcomes: Vec<bool> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|n| {
+                let (socket, text) = (&socket, &text);
+                scope.spawn(move || {
+                    let mut client = Client::connect_with(
+                        socket,
+                        oha_serve::ClientConfig {
+                            retry: oha_serve::RetryPolicy::none(),
+                            ..oha_serve::ClientConfig::default()
+                        },
+                    )
+                    .unwrap();
+                    let response = client
+                        .analyze(Tool::OptFt, text, &[vec![n]], &[vec![n + 1]], &[])
+                        .unwrap();
+                    assert!(
+                        response.ok || response.busy,
+                        "only Busy may fail here: {}",
+                        response.body
+                    );
+                    response.busy
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let shed = outcomes.iter().filter(|&&b| b).count();
+    assert!(shed >= 1, "an 8-deep burst into a 1-slot queue must shed");
+    assert!(shed < 8, "the worker must still make progress");
+
+    let mut client = Client::connect(&socket).unwrap();
+    client.shutdown().unwrap();
+    let drained = server_thread.join().unwrap();
+    assert_eq!(drained.busy_rejections, shed as u64);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Chaos invariant, end to end: under a multi-site fault plan (torn
+/// response frames, compute delays, read stalls, short store writes,
+/// read corruption) every retrying client must end with bytes identical
+/// to the clean serial pipeline — faults may cost retries and
+/// recomputes, never a wrong answer.
+#[test]
+fn retrying_clients_survive_a_multi_site_fault_plan_with_correct_bytes() {
+    let dir = tmp_dir("chaos");
+    let socket = dir.join("daemon.sock");
+    let store_dir = dir.join("store");
+
+    let program = locked_counter();
+    let text = print_program(&program);
+    let (profiling, testing) = corpora();
+    let expected =
+        optft_canonical_json(&Pipeline::new(program.clone()).run_optft(&profiling, &testing));
+
+    let plan = oha_faults::FaultPlan::parse(
+        "seed=7; delay_ms=5; serve.write.disconnect=%3; serve.compute.delay=%4; \
+         serve.read.stall=%5; store.write.short=%2; store.read.corrupt=%3",
+    )
+    .unwrap();
+    let server = Server::bind(ServerConfig {
+        socket: socket.clone(),
+        store_dir: Some(store_dir),
+        faults: plan.clone(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let server_thread = thread::spawn(move || server.run().unwrap());
+
+    thread::scope(|scope| {
+        for n in 0..CLIENTS {
+            let (socket, text) = (&socket, &text);
+            let (profiling, testing) = (&profiling, &testing);
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(socket).unwrap();
+                let response = client
+                    .analyze(Tool::OptFt, text, profiling, testing, &[])
+                    .unwrap_or_else(|e| panic!("client {n} exhausted retries: {e}"));
+                assert!(response.ok, "client {n}: {}", response.body);
+                assert_eq!(
+                    &response.body, expected,
+                    "client {n}: an injected fault changed the answer"
+                );
+            });
+        }
+    });
+
+    // The control plane is exempt from response-tearing, so the fault
+    // report is always reachable: the plan really fired.
+    let mut client = Client::connect(&socket).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.ok);
+    let doc = Json::parse(&stats.body).unwrap();
+    let injected = doc
+        .get("faults")
+        .and_then(|f| f.get("injected_total"))
+        .and_then(Json::as_u64)
+        .expect("armed plan reports fault counters in stats");
+    assert!(injected > 0, "the chaos plan never fired");
+
+    client.shutdown().unwrap();
+    server_thread.join().unwrap();
+    assert!(plan.injected()[oha_faults::sites::SERVE_WRITE_DISCONNECT] > 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Two daemons over one store directory: the atomic temp-write→rename
+/// discipline (with injected delays widening the race window) must keep
+/// every served artifact whole, and neither store may count a single
+/// corruption.
+#[test]
+fn two_daemons_share_one_store_dir_without_torn_artifacts() {
+    let dir = tmp_dir("shared-store");
+    let store_dir = dir.join("store");
+    let sockets = [dir.join("a.sock"), dir.join("b.sock")];
+
+    let program = locked_counter();
+    let text = print_program(&program);
+    let (profiling, testing) = corpora();
+    let expected =
+        optft_canonical_json(&Pipeline::new(program.clone()).run_optft(&profiling, &testing));
+
+    let servers: Vec<Server> = sockets
+        .iter()
+        .map(|socket| {
+            Server::bind(ServerConfig {
+                socket: socket.clone(),
+                store_dir: Some(store_dir.clone()),
+                // Defeat each daemon's LRU front so both really hit disk.
+                lru_capacity: 1,
+                faults: oha_faults::FaultPlan::parse("delay_ms=10; store.rename.delay=%1").unwrap(),
+                ..ServerConfig::default()
+            })
+            .unwrap()
+        })
+        .collect();
+    let threads: Vec<_> = servers
+        .into_iter()
+        .map(|s| thread::spawn(move || s.run().unwrap()))
+        .collect();
+
+    thread::scope(|scope| {
+        for n in 0..8 {
+            let socket = &sockets[n % 2];
+            let (text, profiling, testing) = (&text, &profiling, &testing);
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(socket).unwrap();
+                let response = client
+                    .analyze(Tool::OptFt, text, profiling, testing, &[])
+                    .unwrap();
+                assert!(response.ok, "client {n}: {}", response.body);
+                assert_eq!(&response.body, expected, "client {n} got torn bytes");
+            });
+        }
+    });
+
+    // Neither daemon may have seen a corrupt (torn) artifact: renames
+    // are atomic however they interleave.
+    for socket in &sockets {
+        let mut client = Client::connect(socket).unwrap();
+        let stats = client.stats().unwrap();
+        let doc = Json::parse(&stats.body).unwrap();
+        let corruptions = doc
+            .get("store")
+            .and_then(|s| s.get("corruptions"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert_eq!(corruptions, 0, "torn artifact observed via {socket:?}");
+        client.shutdown().unwrap();
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
     let _ = fs::remove_dir_all(&dir);
 }

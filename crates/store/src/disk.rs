@@ -23,6 +23,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use oha_faults::{sites, FaultPlan};
 use oha_ir::Fingerprint;
 
 use crate::artifacts::{
@@ -48,6 +49,7 @@ pub struct StoreStats {
     corruptions: AtomicU64,
     version_mismatches: AtomicU64,
     invalidations: AtomicU64,
+    stale_tmp_cleaned: AtomicU64,
 }
 
 /// A point-in-time copy of [`StoreStats`].
@@ -65,6 +67,9 @@ pub struct StoreStatsSnapshot {
     pub version_mismatches: u64,
     /// Entries explicitly invalidated (rollback on a warm hit).
     pub invalidations: u64,
+    /// Temp files left by dead writers (crashed between temp-write and
+    /// rename) that [`Store::open`] swept away.
+    pub stale_tmp_cleaned: u64,
 }
 
 impl StoreStats {
@@ -81,6 +86,7 @@ impl StoreStats {
             corruptions: self.corruptions.load(Ordering::Relaxed),
             version_mismatches: self.version_mismatches.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            stale_tmp_cleaned: self.stale_tmp_cleaned.load(Ordering::Relaxed),
         }
     }
 }
@@ -101,8 +107,17 @@ impl StoreStatsSnapshot {
             &format!("{prefix}.invalidations"),
             self.invalidations as f64,
         );
+        registry.set_gauge(
+            &format!("{prefix}.stale_tmp_cleaned"),
+            self.stale_tmp_cleaned as f64,
+        );
     }
 }
+
+/// Temp-file sequence, process-wide: two `Store` handles over the same
+/// directory (two pipelines, or a store plus a daemon, in one process)
+/// must not both claim `pid-0.tmp`.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// A content-addressed, persistent artifact store rooted at one
 /// directory, with one subdirectory per [`ArtifactKind`].
@@ -115,27 +130,74 @@ impl StoreStatsSnapshot {
 pub struct Store {
     root: PathBuf,
     stats: StoreStats,
-    tmp_counter: AtomicU64,
+    faults: FaultPlan,
 }
 
 impl Store {
-    /// Opens (creating if needed) a store rooted at `root`.
+    /// Opens (creating if needed) a store rooted at `root`, honoring the
+    /// `OHA_FAULTS` fault-injection override (disabled when unset).
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error if the directories cannot be
     /// created.
     pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_with(root, FaultPlan::from_env())
+    }
+
+    /// Opens a store with an explicit fault plan (tests and the daemon
+    /// share one plan across the whole serving path).
+    ///
+    /// Opening also sweeps the temp directory: a writer that died between
+    /// its temp write and the rename (the crash-consistency window)
+    /// leaves a `pid-n.tmp` file behind, and any such file whose writing
+    /// process no longer exists is deleted here — it can never be
+    /// renamed into place, and the half-written bytes must not
+    /// accumulate. Temp files of *live* writers (a second daemon sharing
+    /// this directory) are left alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directories cannot be
+    /// created.
+    pub fn open_with(root: impl Into<PathBuf>, faults: FaultPlan) -> io::Result<Self> {
         let root = root.into();
         for kind in ArtifactKind::ALL {
             fs::create_dir_all(root.join(kind.dir_name()))?;
         }
         fs::create_dir_all(root.join("tmp"))?;
-        Ok(Self {
+        let store = Self {
             root,
             stats: StoreStats::default(),
-            tmp_counter: AtomicU64::new(0),
-        })
+            faults,
+        };
+        store.sweep_stale_tmp();
+        Ok(store)
+    }
+
+    /// Removes temp files whose writer process is dead. Best-effort: any
+    /// I/O error (or an unreadable temp directory) just leaves files in
+    /// place for a later open.
+    fn sweep_stale_tmp(&self) {
+        let Ok(entries) = fs::read_dir(self.root.join("tmp")) else {
+            return;
+        };
+        let own_pid = std::process::id();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".tmp")) else {
+                continue;
+            };
+            let Some(pid) = stem.split('-').next().and_then(|p| p.parse::<u32>().ok()) else {
+                continue;
+            };
+            if pid == own_pid || writer_is_alive(pid) {
+                continue;
+            }
+            if fs::remove_file(entry.path()).is_ok() {
+                StoreStats::bump(&self.stats.stale_tmp_cleaned);
+            }
+        }
     }
 
     /// The store's root directory.
@@ -146,6 +208,11 @@ impl Store {
     /// The cumulative counters.
     pub fn stats(&self) -> StoreStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The fault plan this store rolls against (disabled by default).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     fn path_for(&self, kind: ArtifactKind, key: &ArtifactKey) -> PathBuf {
@@ -165,13 +232,23 @@ impl Store {
     /// so the follow-up write starts clean.
     pub fn load(&self, kind: ArtifactKind, key: &ArtifactKey) -> Option<Vec<u8>> {
         let path = self.path_for(kind, key);
-        let bytes = match fs::read(&path) {
+        if self.faults.should_inject(sites::STORE_READ_ERROR) {
+            StoreStats::bump(&self.stats.misses);
+            return None;
+        }
+        let mut bytes = match fs::read(&path) {
             Ok(b) => b,
             Err(_) => {
                 StoreStats::bump(&self.stats.misses);
                 return None;
             }
         };
+        if !bytes.is_empty() && self.faults.should_inject(sites::STORE_READ_CORRUPT) {
+            // Bit rot on the read path: flip one payload-region bit and
+            // let the checksum discipline below prove it is caught.
+            let at = bytes.len() / 2;
+            bytes[at] ^= 0x40;
+        }
         match validate(&bytes, kind) {
             Ok(payload) => {
                 StoreStats::bump(&self.stats.hits);
@@ -198,6 +275,9 @@ impl Store {
     /// Returns the underlying I/O error; callers treat a failed write as
     /// "cache disabled for this artifact" and carry on.
     pub fn save(&self, kind: ArtifactKind, key: &ArtifactKey, payload: &[u8]) -> io::Result<()> {
+        if self.faults.should_inject(sites::STORE_WRITE_ERROR) {
+            return Err(injected(sites::STORE_WRITE_ERROR));
+        }
         let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
         bytes.extend_from_slice(MAGIC);
         bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -205,13 +285,33 @@ impl Store {
         bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         bytes.extend_from_slice(payload);
         bytes.extend_from_slice(&Fingerprint::of_bytes(payload).to_le_bytes());
+        if self.faults.should_inject(sites::STORE_WRITE_SHORT) {
+            // A lying disk: the write "succeeds" but half the bytes are
+            // gone. The torn entry reaches the final path and must be
+            // caught (checksum), dropped, and recomputed on next load.
+            bytes.truncate(bytes.len() / 2);
+        }
 
         let tmp = self.root.join("tmp").join(format!(
             "{}-{}.tmp",
             std::process::id(),
-            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
         fs::write(&tmp, &bytes)?;
+        if self.faults.should_inject(sites::STORE_CRASH_BEFORE_RENAME) {
+            // The crash-consistency window: die like `kill -9` (no
+            // destructors, no flushing) with the temp written and the
+            // rename not yet issued. A restart on the same directory
+            // must sweep the orphan and recompute.
+            std::process::abort();
+        }
+        if self.faults.should_inject(sites::STORE_RENAME_DELAY) {
+            std::thread::sleep(self.faults.delay());
+        }
+        if self.faults.should_inject(sites::STORE_RENAME_ERROR) {
+            let _ = fs::remove_file(&tmp);
+            return Err(injected(sites::STORE_RENAME_ERROR));
+        }
         let path = self.path_for(kind, key);
         match fs::rename(&tmp, &path) {
             Ok(()) => {
@@ -288,6 +388,23 @@ impl Store {
             }
         }
     }
+}
+
+/// An injected I/O error, clearly labelled so logs distinguish chaos
+/// from genuine disk trouble.
+fn injected(site: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {site}"))
+}
+
+/// Whether the process that owns a temp file still exists. On Linux,
+/// `/proc/<pid>` answers directly; where `/proc` is absent the check
+/// errs on the side of "alive" (the file is kept for a later sweep).
+fn writer_is_alive(pid: u32) -> bool {
+    let proc_root = Path::new("/proc");
+    if !proc_root.exists() {
+        return true;
+    }
+    proc_root.join(pid.to_string()).exists()
 }
 
 enum Anomaly {

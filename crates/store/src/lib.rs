@@ -28,7 +28,16 @@
 //! - **Concurrency.** [`Store`] is `Sync`: atomic counters, atomic
 //!   temp-file-plus-rename writes. The daemon (`oha-serve`) shares one
 //!   instance across worker threads and fronts it with the in-memory
-//!   [`Lru`].
+//!   [`Lru`]. Writers that die inside the temp-write→rename window
+//!   leave an orphan temp file that [`Store::open`] sweeps (live
+//!   writers' temps are left alone, so two daemons can share one
+//!   directory).
+//! - **Failure is testable.** Every I/O edge rolls against an
+//!   [`oha_faults::FaultPlan`] ([`Store::open_with`], or the
+//!   `OHA_FAULTS` environment spec): injected read corruption, short
+//!   writes, rename failures and crash-before-rename exercise the
+//!   delete-and-recompute path deterministically. With the plan
+//!   disabled each site costs one branch.
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,185 @@
+//! Fault-injection robustness: every injected store failure must be
+//! survivable — caught, counted, dropped, and recomputable — and must
+//! never surface a torn artifact to a caller.
+
+use std::fs;
+use std::path::PathBuf;
+use std::thread;
+
+use oha_faults::{sites, FaultPlan};
+use oha_ir::Fingerprint;
+use oha_store::{ArtifactKey, ArtifactKind, Store};
+
+fn tmp_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oha-store-faults-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn key(n: u8) -> ArtifactKey {
+    ArtifactKey::new(Fingerprint::of_bytes(&[n]), Fingerprint::of_bytes(&[n, n]))
+}
+
+fn plan(spec: &str) -> FaultPlan {
+    FaultPlan::parse(spec).unwrap()
+}
+
+#[test]
+fn short_write_is_caught_dropped_and_recomputed() {
+    let root = tmp_root("short-write");
+    let store = Store::open_with(&root, plan("store.write.short=@1")).unwrap();
+    let k = key(1);
+
+    // The save "succeeds" — the disk lied — and the torn entry sits at
+    // the final path.
+    store
+        .save(ArtifactKind::Profile, &k, b"torn payload")
+        .unwrap();
+    assert!(store.contains(ArtifactKind::Profile, &k));
+
+    // The next load must reject it as corrupt, delete it, and report a
+    // miss — the delete-and-recompute path.
+    assert!(store.load(ArtifactKind::Profile, &k).is_none());
+    let s = store.stats();
+    assert_eq!(s.corruptions, 1);
+    assert_eq!(s.misses, 1);
+    assert!(!store.contains(ArtifactKind::Profile, &k), "slot cleared");
+
+    // The recompute overwrites cleanly (the @1 schedule is spent).
+    store
+        .save(ArtifactKind::Profile, &k, b"torn payload")
+        .unwrap();
+    assert_eq!(
+        store.load(ArtifactKind::Profile, &k).unwrap(),
+        b"torn payload"
+    );
+    assert_eq!(store.faults().injected()[sites::STORE_WRITE_SHORT], 1);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn rename_error_fails_the_save_and_leaves_no_debris() {
+    let root = tmp_root("rename-error");
+    let store = Store::open_with(&root, plan("store.rename.error=@1")).unwrap();
+    let k = key(2);
+
+    let err = store.save(ArtifactKind::OptFt, &k, b"x").unwrap_err();
+    assert!(err.to_string().contains("injected fault"), "{err}");
+    assert!(!store.contains(ArtifactKind::OptFt, &k));
+    assert_eq!(fs::read_dir(root.join("tmp")).unwrap().count(), 0);
+    assert_eq!(store.stats().writes, 0);
+
+    // The caller's retry (or the next analysis) succeeds.
+    store.save(ArtifactKind::OptFt, &k, b"x").unwrap();
+    assert_eq!(store.load(ArtifactKind::OptFt, &k).unwrap(), b"x");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn write_error_fails_before_touching_disk() {
+    let root = tmp_root("write-error");
+    let store = Store::open_with(&root, plan("store.write.error=%1")).unwrap();
+    let k = key(3);
+    assert!(store.save(ArtifactKind::Profile, &k, b"x").is_err());
+    assert!(!store.contains(ArtifactKind::Profile, &k));
+    assert_eq!(fs::read_dir(root.join("tmp")).unwrap().count(), 0);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn read_corruption_is_detected_and_the_slot_cleared() {
+    let root = tmp_root("read-corrupt");
+    let store = Store::open_with(&root, plan("store.read.corrupt=@1")).unwrap();
+    let k = key(4);
+    store
+        .save(ArtifactKind::Profile, &k, b"good bytes")
+        .unwrap();
+
+    // The injected bit flip lands between disk and caller; the checksum
+    // rejects the entry, which is then deleted so the recompute starts
+    // clean. (A genuine on-disk flip behaves identically — this is the
+    // same path robustness.rs exercises with a real file edit.)
+    assert!(store.load(ArtifactKind::Profile, &k).is_none());
+    assert_eq!(store.stats().corruptions, 1);
+    assert!(!store.contains(ArtifactKind::Profile, &k));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn read_error_is_a_plain_miss_and_the_file_survives() {
+    let root = tmp_root("read-error");
+    let store = Store::open_with(&root, plan("store.read.error=@1")).unwrap();
+    let k = key(5);
+    store
+        .save(ArtifactKind::Profile, &k, b"still here")
+        .unwrap();
+
+    assert!(store.load(ArtifactKind::Profile, &k).is_none(), "injected");
+    assert_eq!(store.stats().misses, 1);
+    assert_eq!(store.stats().corruptions, 0);
+    // A transient read failure must not destroy a good entry.
+    assert_eq!(
+        store.load(ArtifactKind::Profile, &k).unwrap(),
+        b"still here"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn stale_tmp_of_a_dead_writer_is_swept_on_open() {
+    let root = tmp_root("stale-tmp");
+    // Populate the directory layout first.
+    drop(Store::open(&root).unwrap());
+
+    // A writer that died between temp-write and rename leaves this
+    // behind. PID u32::MAX - 1 exceeds any Linux pid_max, so the writer
+    // is provably dead.
+    let dead = root.join("tmp").join(format!("{}-0.tmp", u32::MAX - 1));
+    fs::write(&dead, b"half-written artifact").unwrap();
+    // Our own (live) temp file must survive the sweep.
+    let live = root
+        .join("tmp")
+        .join(format!("{}-7.tmp", std::process::id()));
+    fs::write(&live, b"in flight").unwrap();
+
+    let store = Store::open(&root).unwrap();
+    assert!(!dead.exists(), "dead writer's orphan swept");
+    assert!(live.exists(), "live writer's temp kept");
+    assert_eq!(store.stats().stale_tmp_cleaned, 1);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn concurrent_writers_with_rename_delays_never_produce_a_torn_read() {
+    let root = tmp_root("concurrent-writers");
+    // Two handles over one directory — the two-daemons-one-store shape —
+    // both stalling inside the rename window on every save.
+    let a = Store::open_with(&root, plan("delay_ms=5; store.rename.delay=%1")).unwrap();
+    let b = Store::open_with(&root, plan("delay_ms=5; store.rename.delay=%1")).unwrap();
+    let k = key(6);
+    let payload = vec![0xAB; 4096];
+
+    thread::scope(|scope| {
+        for store in [&a, &b] {
+            let payload = &payload;
+            let k = &k;
+            scope.spawn(move || {
+                for _ in 0..8 {
+                    store.save(ArtifactKind::OptSlice, k, payload).unwrap();
+                    // Whenever an entry is visible it must be whole:
+                    // either a clean hit with the exact bytes or (never,
+                    // under rename-only faults) a miss — a torn read
+                    // would land in `corruptions`.
+                    if let Some(got) = store.load(ArtifactKind::OptSlice, k) {
+                        assert_eq!(&got, payload);
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(a.stats().corruptions + b.stats().corruptions, 0);
+    assert_eq!(a.load(ArtifactKind::OptSlice, &k).unwrap(), payload);
+    assert!(a.faults().injected()[sites::STORE_RENAME_DELAY] >= 8);
+    let _ = fs::remove_dir_all(&root);
+}

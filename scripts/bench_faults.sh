@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Measures the fault-injection substrate's overhead on the warm store
+# path: a disabled plan (the production default, one Option branch per
+# site), an armed plan at rate 0 (every site rolls, nothing fires), and
+# a 1% store-fault plan where every injected failure is detected and
+# recovered by recompute. Writes BENCH_faults.json at the repo root.
+#
+# Usage: ./scripts/bench_faults.sh
+# OHA_SMOKE=1 shrinks the workload and iteration count (CI validation);
+# the committed BENCH_faults.json is generated at full benchmark scale.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_faults.json"
+
+cargo build --locked --release -q -p oha-bench
+./target/release/bench_faults --json "$OUT"
+echo "==> wrote $OUT" >&2

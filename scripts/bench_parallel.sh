@@ -12,7 +12,7 @@ THREADS="${1:-4}"
 OUT="BENCH_parallel.json"
 BINS=(fig5_optft_runtimes fig8_slice_convergence)
 
-cargo build --release -q -p oha-bench
+cargo build --locked --release -q -p oha-bench
 
 time_run() { # bin threads -> seconds (median of 3)
     local bin="$1" threads="$2"

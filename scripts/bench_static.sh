@@ -14,7 +14,7 @@ cd "$(dirname "$0")/.."
 RUNS="${1:-3}"
 OUT="BENCH_static.json"
 
-cargo build --release -q -p oha-bench
+cargo build --locked --release -q -p oha-bench
 
 TMPDIR_SAMPLES="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_SAMPLES"' EXIT

@@ -13,6 +13,6 @@ cd "$(dirname "$0")/.."
 
 OUT="BENCH_store.json"
 
-cargo build --release -q -p oha-bench
+cargo build --locked --release -q -p oha-bench
 ./target/release/bench_store --json "$OUT"
 echo "==> wrote $OUT" >&2
