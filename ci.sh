@@ -119,6 +119,39 @@ for name, b in report["benches"].items():
     git checkout -- BENCH_static.json 2>/dev/null || true
 }
 
+# Dynamic-phase fast-path smoke: the criterion suite must run, and
+# scripts/bench_dynamic.sh must leave a parsable BENCH_dynamic.json with
+# fast-vs-reference timings per workload. bench_dynamic itself aborts
+# unless both configurations produce byte-identical canonical results,
+# so this stage is also an equivalence gate.
+bench_dynamic() {
+    # Quick mode: the vendored criterion runs every bench body once.
+    OHA_SMOKE=1 cargo test --locked --release -q -p oha-bench --bench dynamic_phase
+    OHA_SMOKE=1 OHA_DYN_REPS=1 ./scripts/bench_dynamic.sh 1 >/dev/null
+    python3 -c '
+import json, sys
+with open("BENCH_dynamic.json") as f:
+    report = json.load(f)
+for key in ("harness", "host", "benches"):
+    if key not in report:
+        sys.exit(f"BENCH_dynamic.json: missing {key!r}")
+if not report["benches"]:
+    sys.exit("BENCH_dynamic.json: no benches recorded")
+for name, b in report["benches"].items():
+    for field in ("events", "optimistic_ref_s", "optimistic_fast_s",
+                  "optimistic_speedup", "optimistic_fast_events_per_s",
+                  "full_speedup", "hybrid_speedup", "dynamic_speedup"):
+        if field not in b:
+            sys.exit(f"BENCH_dynamic.json: {name} missing {field!r}")
+' || {
+        echo "bench-dynamic: BENCH_dynamic.json unparsable or incomplete" >&2
+        return 1
+    }
+    # The smoke run just validated the harness; restore the committed
+    # benchmark-scale measurements.
+    git checkout -- BENCH_dynamic.json 2>/dev/null || true
+}
+
 # Store/daemon smoke: 16 concurrent clients against a cold daemon must
 # all get byte-identical canonical JSON; a fresh daemon warm-started on
 # the same artifact store must answer with the same bytes again; both
@@ -464,6 +497,7 @@ stage "cargo build --release (workspace)" cargo build --locked --release --works
 stage "cargo test (release)" cargo test --locked --release --workspace -q
 stage "bench-smoke (fig5 + table1, --json)" bench_smoke
 stage "bench-static (probe_solver vs reference, BENCH_static.json)" bench_static
+stage "bench-dynamic-smoke (fast path vs reference, BENCH_dynamic.json)" bench_dynamic
 stage "store-smoke (16-client daemon round-trip + warm restart)" store_smoke
 stage "trace-smoke (Chrome trace export + live daemon metrics)" trace_smoke
 stage "bench-store-smoke (cold/warm + daemon, --json)" bench_store_smoke

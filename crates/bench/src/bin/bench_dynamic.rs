@@ -1,0 +1,177 @@
+//! Dynamic-phase probe: times OptFT's dynamic phase with the fast path
+//! (compiled instrumentation plans + dense shadow memory) against the
+//! reference configuration (plan-off dispatch, spill-map-only shadow
+//! state), per workload. This is the driver behind
+//! `scripts/bench_dynamic.sh` (which wraps the output with host metadata
+//! into `BENCH_dynamic.json`).
+//!
+//! Both configurations run in the same process on the same inputs, and the
+//! canonical (timing-free) OptFT results must be byte-identical — the
+//! probe aborts otherwise, so every committed measurement doubles as an
+//! equivalence check.
+//!
+//! Per workload the probe reports the total hook events the speculative
+//! machine observed (dispatched + plan-elided — a property of the
+//! execution, identical across modes) and the per-mode dynamic times
+//! summed over the testing corpus: full FastTrack, hybrid FastTrack, the
+//! optimistic speculative run, and the end-to-end dynamic-phase span.
+//!
+//! The dynamic phases run in tens of milliseconds, so a single
+//! back-to-back pair is at the mercy of scheduler noise. Each workload
+//! therefore runs `OHA_DYN_REPS` (default 5) *interleaved*
+//! reference/fast repetitions — interleaving exposes both modes to the
+//! same thermal and cache drift — and reports the per-mode minimum,
+//! the standard estimator for the noise floor of short benchmarks.
+
+use std::time::Duration;
+
+use oha_core::{optft_canonical_json, OptFtRun, Pipeline};
+use oha_interp::fastpath;
+use oha_workloads::{c_suite, java_suite, Workload};
+
+/// Every hook counter the machine publishes under `optft.spec.hook.*`.
+const HOOKS: [&str; 13] = [
+    "load",
+    "store",
+    "lock",
+    "unlock",
+    "spawn",
+    "join",
+    "thread_exit",
+    "block_enter",
+    "call",
+    "return",
+    "input",
+    "output",
+    "compute",
+];
+
+struct ModeSample {
+    events: u64,
+    full_s: f64,
+    hybrid_s: f64,
+    optimistic_s: f64,
+    dynamic_s: f64,
+    canonical: String,
+}
+
+fn sum_runs(runs: &[OptFtRun], f: impl Fn(&OptFtRun) -> Duration) -> f64 {
+    runs.iter().map(f).sum::<Duration>().as_secs_f64()
+}
+
+/// One full OptFT pipeline pass with the fast path forced on or off.
+fn run_mode(w: &Workload, fast: bool) -> ModeSample {
+    fastpath::force(Some(fast));
+    let pipeline = Pipeline::new(w.program.clone());
+    let outcome = pipeline.run_optft(&w.profiling_inputs, &w.testing_inputs);
+    let registry = pipeline.metrics();
+    let events = HOOKS
+        .iter()
+        .map(|h| registry.counter_value(&format!("optft.spec.hook.{h}")))
+        .sum();
+    let dynamic_s = registry
+        .span_stat("optft/dynamic")
+        .map(|s| s.total.as_secs_f64())
+        .unwrap_or(0.0);
+    let sample = ModeSample {
+        events,
+        full_s: sum_runs(&outcome.runs, |r| r.full),
+        hybrid_s: sum_runs(&outcome.runs, |r| r.hybrid),
+        optimistic_s: sum_runs(&outcome.runs, |r| r.optimistic + r.rollback),
+        dynamic_s,
+        canonical: optft_canonical_json(&outcome),
+    };
+    fastpath::force(None);
+    sample
+}
+
+/// Folds repetitions into their per-field minimum — times only; events
+/// and canonical bytes are asserted identical across repetitions first.
+fn min_over(samples: &[ModeSample]) -> ModeSample {
+    let min = |f: fn(&ModeSample) -> f64| samples.iter().map(f).fold(f64::INFINITY, f64::min);
+    ModeSample {
+        events: samples[0].events,
+        full_s: min(|s| s.full_s),
+        hybrid_s: min(|s| s.hybrid_s),
+        optimistic_s: min(|s| s.optimistic_s),
+        dynamic_s: min(|s| s.dynamic_s),
+        canonical: samples[0].canonical.clone(),
+    }
+}
+
+fn main() {
+    let json = oha_bench::bench_args().json;
+    let params = oha_bench::params();
+    let reps: usize = std::env::var("OHA_DYN_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(5);
+    let workloads: Vec<Workload> = java_suite::all(&params)
+        .into_iter()
+        .chain(c_suite::all(&params))
+        .collect();
+
+    let mut entries = Vec::new();
+    for w in &workloads {
+        eprintln!("bench_dynamic: {} ({reps} interleaved reps)", w.name);
+        let mut ref_samples = Vec::with_capacity(reps);
+        let mut fast_samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let reference = run_mode(w, false);
+            let fast = run_mode(w, true);
+            if reference.canonical != fast.canonical
+                || ref_samples
+                    .first()
+                    .is_some_and(|first: &ModeSample| first.canonical != reference.canonical)
+            {
+                eprintln!(
+                    "error: {}: fast path diverged from the reference (canonical JSON mismatch)",
+                    w.name
+                );
+                std::process::exit(1);
+            }
+            if reference.events != fast.events {
+                eprintln!(
+                    "error: {}: hook event totals diverged ({} reference vs {} fast)",
+                    w.name, reference.events, fast.events
+                );
+                std::process::exit(1);
+            }
+            ref_samples.push(reference);
+            fast_samples.push(fast);
+        }
+        let reference = min_over(&ref_samples);
+        let fast = min_over(&fast_samples);
+        entries.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"events\": {}, ",
+                "\"full_ref_s\": {:.6}, \"full_fast_s\": {:.6}, ",
+                "\"hybrid_ref_s\": {:.6}, \"hybrid_fast_s\": {:.6}, ",
+                "\"optimistic_ref_s\": {:.6}, \"optimistic_fast_s\": {:.6}, ",
+                "\"dynamic_ref_s\": {:.6}, \"dynamic_fast_s\": {:.6}}}"
+            ),
+            w.name,
+            reference.events,
+            reference.full_s,
+            fast.full_s,
+            reference.hybrid_s,
+            fast.hybrid_s,
+            reference.optimistic_s,
+            fast.optimistic_s,
+            reference.dynamic_s,
+            fast.dynamic_s,
+        ));
+    }
+    let report = format!("{{\n  \"samples\": [\n{}\n  ]\n}}", entries.join(",\n"));
+    println!("{report}");
+    // `--json` mirrors the stdout object to a file with the same
+    // parent-dir creation and diagnostics as every Reporter-based bin.
+    if let Some(path) = json {
+        if let Err(message) = oha_bench::write_json_report(&path, &report) {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote JSON report to {}", path.display());
+    }
+}

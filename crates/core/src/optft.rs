@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use oha_dataflow::BitSet;
 use oha_fasttrack::FastTrackTool;
-use oha_interp::{Machine, MultiTracer, NoopTracer};
+use oha_interp::{fastpath, InstrPlan, Machine, MultiTracer, NoopTracer};
 use oha_invariants::{ChecksEnabled, InvariantChecker, InvariantSet};
 use oha_ir::{InstId, InstKind, Program};
 use oha_obs::{MetricsRegistry, RunReport, SpanStat};
@@ -135,6 +135,42 @@ fn ratio_of_sums(pairs: impl Iterator<Item = (Duration, Duration)>) -> f64 {
 /// The OptFT driver. Use [`Pipeline::run_optft`].
 pub struct OptFt<'a> {
     pipeline: &'a Pipeline,
+}
+
+/// Instrumentation plans for the dynamic phase, compiled once per
+/// pipeline run (they depend only on the program and the elision sets).
+/// Present exactly when the [`fastpath`] is enabled; `None` reproduces
+/// the reference dispatch-everything behaviour.
+struct OptFtPlans {
+    full: InstrPlan,
+    hybrid: InstrPlan,
+    checker: InstrPlan,
+    /// Union of the optimistic tool's and the checker's plans (they run
+    /// composed in one `MultiTracer`).
+    optimistic: InstrPlan,
+}
+
+impl OptFtPlans {
+    fn compile(
+        program: &Program,
+        races_sound: &StaticRaces,
+        races_pred: &StaticRaces,
+        invariants: &InvariantSet,
+    ) -> Self {
+        let checker = InvariantChecker::plan_for(program, invariants, ChecksEnabled::for_optft());
+        let mut optimistic = FastTrackTool::plan_for(
+            program,
+            Some(races_pred.racy_sites()),
+            Some(&invariants.elidable_locks),
+        );
+        optimistic.union_with(&checker);
+        Self {
+            full: FastTrackTool::plan_for(program, None, None),
+            hybrid: FastTrackTool::plan_for(program, Some(races_sound.racy_sites()), None),
+            checker,
+            optimistic,
+        }
+    }
 }
 
 /// Everything OptFT's dynamic phase needs from the (cacheable) profiling
@@ -329,6 +365,11 @@ impl<'a> OptFt<'a> {
             sound_static_time + pred_static_time,
         );
 
+        // Compile the per-instruction instrumentation plans once — they
+        // depend only on the program and the static phase's elision sets.
+        let plans = fastpath::enabled()
+            .then(|| OptFtPlans::compile(program, &races_sound, &races_pred, &invariants));
+
         // Phase 3: speculative dynamic analysis over the testing corpus.
         let dynamic_span = registry.span("dynamic");
         let mut runs = Vec::with_capacity(testing.len());
@@ -343,6 +384,7 @@ impl<'a> OptFt<'a> {
                 &races_sound,
                 &races_pred,
                 &invariants,
+                plans.as_ref(),
             );
             registry.observe_duration("optft.run.baseline_ns", run.baseline);
             registry.observe_duration("optft.run.optimistic_ns", run.optimistic + run.rollback);
@@ -428,28 +470,44 @@ impl<'a> OptFt<'a> {
         races_sound: &StaticRaces,
         races_pred: &StaticRaces,
         invariants: &InvariantSet,
+        plans: Option<&OptFtPlans>,
     ) -> OptFtRun {
         let program = self.pipeline.program();
 
+        // The baseline is uninstrumented: no plan either (a plan that
+        // elides everything would swap free no-op dispatches for elision
+        // bookkeeping).
         let span = registry.span("baseline");
         machine.run(input, &mut NoopTracer);
         let baseline = span.finish();
 
         let span = registry.span("full");
         let mut full = FastTrackTool::full();
-        machine.run(input, &mut full);
+        machine.run_with_plan(input, &mut full, plans.map(|p| &p.full));
         let full_time = span.finish();
+        if let Some(p) = plans {
+            full.absorb_plan_elisions(&p.full.take_elisions());
+        }
 
         let span = registry.span("hybrid");
         let mut hybrid = FastTrackTool::hybrid(races_sound.racy_sites());
-        machine.run(input, &mut hybrid);
+        machine.run_with_plan(input, &mut hybrid, plans.map(|p| &p.hybrid));
         let hybrid_time = span.finish();
+        if let Some(p) = plans {
+            hybrid.absorb_plan_elisions(&p.hybrid.take_elisions());
+        }
 
         let span = registry.span("checker");
         let mut checker_only =
             InvariantChecker::new(program, invariants, ChecksEnabled::for_optft());
-        machine.run(input, &mut checker_only);
+        machine.run_with_plan(input, &mut checker_only, plans.map(|p| &p.checker));
         let checker_only_time = span.finish();
+        if let Some(p) = plans {
+            // The checker counts only the checks it performs; its plan
+            // skips exactly the hooks it ignores, so there is nothing to
+            // absorb — just drain the tally.
+            p.checker.take_elisions();
+        }
 
         // The speculative run: optimistic FastTrack + invariant checks,
         // with the schedule recorded so a mis-speculation can replay the
@@ -459,8 +517,19 @@ impl<'a> OptFt<'a> {
             FastTrackTool::optimistic(races_pred.racy_sites(), &invariants.elidable_locks);
         let checker = InvariantChecker::new(program, invariants, ChecksEnabled::for_optft());
         let mut combined = MultiTracer::new(opt_tool, checker);
-        let (_, schedule) = spec_machine.run_recording(input, &mut combined);
+        let (_, schedule) = spec_machine.run_recording_with_plan(
+            input,
+            &mut combined,
+            plans.map(|p| &p.optimistic),
+        );
         let optimistic_time = span.finish();
+        if let Some(p) = plans {
+            // Keeps the elision identity balanced: machine-side skips are
+            // exactly the accesses/lock ops the tool would have elided.
+            combined
+                .first
+                .absorb_plan_elisions(&p.optimistic.take_elisions());
+        }
         combined.first.record_metrics(registry, "optft.ft");
         combined.second.record_metrics(registry, "optft.check");
 
@@ -487,7 +556,10 @@ impl<'a> OptFt<'a> {
             // speculation did.
             let span = registry.span("rollback");
             let mut redo = FastTrackTool::hybrid(races_sound.racy_sites());
-            machine.run_replay(input, &schedule, &mut redo);
+            machine.run_replay_with_plan(input, &schedule, &mut redo, plans.map(|p| &p.hybrid));
+            if let Some(p) = plans {
+                redo.absorb_plan_elisions(&p.hybrid.take_elisions());
+            }
             (redo.race_pairs(), span.finish())
         } else {
             (opt_races, Duration::ZERO)
@@ -567,6 +639,8 @@ fn validate_elidable_locks(
     // Validation loop: run the elided detector on the profiling corpus and
     // compare against the sound hybrid detector; a false race de-elides the
     // involved lock classes.
+    let fast = fastpath::enabled();
+    let hybrid_plan = fast.then(|| FastTrackTool::plan_for(program, Some(sound_racy), None));
     loop {
         let elided: BTreeSet<InstId> = classes
             .iter()
@@ -577,12 +651,26 @@ fn validate_elidable_locks(
         if elided.is_empty() {
             return elided;
         }
+        // The optimistic plan changes with the candidate elision set, so
+        // it is (re)compiled per round, amortized over the corpus.
+        let opt_plan = fast.then(|| {
+            FastTrackTool::plan_for(program, Some(races_pred.racy_sites()), Some(&elided))
+        });
         let mut false_race = false;
         for input in profiling {
             let mut sound = FastTrackTool::hybrid(sound_racy);
-            machine.run(input, &mut sound);
+            machine.run_with_plan(input, &mut sound, hybrid_plan.as_ref());
             let mut opt = FastTrackTool::optimistic(races_pred.racy_sites(), &elided);
-            machine.run(input, &mut opt);
+            machine.run_with_plan(input, &mut opt, opt_plan.as_ref());
+            // These tools' counters are never published, but the reused
+            // plans' tallies must still be drained between runs so the
+            // machine's end-of-run counter flush stays per-run exact.
+            if let Some(p) = &hybrid_plan {
+                p.take_elisions();
+            }
+            if let Some(p) = &opt_plan {
+                p.take_elisions();
+            }
             if !opt.race_pairs().is_subset(&sound.race_pairs()) {
                 false_race = true;
                 break;

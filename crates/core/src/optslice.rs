@@ -3,9 +3,9 @@
 use std::time::{Duration, Instant};
 
 use oha_giri::{DynamicSlice, GiriTool};
-use oha_interp::{Machine, MultiTracer, NoopTracer};
+use oha_interp::{fastpath, InstrPlan, Machine, MultiTracer, NoopTracer};
 use oha_invariants::{ChecksEnabled, InvariantChecker, InvariantSet};
-use oha_ir::{FingerprintHasher, InstId};
+use oha_ir::{FingerprintHasher, InstId, Program};
 use oha_obs::{RunReport, SpanStat};
 use oha_pointsto::{analyze, PointsTo, PointsToConfig, Sensitivity};
 use oha_slicing::{slice, SliceConfig, StaticSlice};
@@ -144,6 +144,40 @@ struct SliceStatics {
     /// Freshly computed artifact, persisted only after a rollback-free
     /// dynamic phase.
     pending: Option<OptSliceArtifact>,
+}
+
+/// Pre-compiled instrumentation plans for the dynamic phase, one per run
+/// configuration. Compiled once per pipeline run and reused across every
+/// testing input; each tool absorbs (or drains) the plan's elision tally
+/// after its run so per-input counters stay exact.
+struct OptSlicePlans {
+    hybrid: InstrPlan,
+    checker: InstrPlan,
+    optimistic: InstrPlan,
+}
+
+impl OptSlicePlans {
+    fn compile(
+        program: &Program,
+        sound_slice: &StaticSlice,
+        pred_slice: &StaticSlice,
+        invariants: &InvariantSet,
+    ) -> Self {
+        let checker =
+            InvariantChecker::plan_for(program, invariants, ChecksEnabled::for_optslice());
+        // The speculative run multiplexes the optimistic slicer and the
+        // invariant checker over one execution: union of both plans. The
+        // slicer's elision tally stays exact because the checker never
+        // requires a traceable (load/store/compute/input/output) bit the
+        // slicer elides.
+        let mut optimistic = GiriTool::plan_for(program, Some(pred_slice.sites()));
+        optimistic.union_with(&checker);
+        Self {
+            hybrid: GiriTool::plan_for(program, Some(sound_slice.sites())),
+            checker,
+            optimistic,
+        }
+    }
 }
 
 fn side_artifact(side: &StaticSide) -> StaticSideArtifact {
@@ -419,24 +453,40 @@ impl<'a> OptSlice<'a> {
                 + pred_report.slice_time,
         );
 
+        // Fast path: compile per-instruction instrumentation plans once and
+        // reuse them for every testing input. The reference path passes no
+        // plan and dispatches every event.
+        let plans = fastpath::enabled()
+            .then(|| OptSlicePlans::compile(program, &sound_slice, &pred_slice, &invariants));
+
         let dynamic_span = registry.span("dynamic");
         let mut runs = Vec::with_capacity(testing.len());
         for input in testing {
             let span = registry.span("baseline");
+            // Uninstrumented: no plan either (a plan that elides everything
+            // would swap free no-op dispatches for elision bookkeeping).
             machine.run(input, &mut NoopTracer);
             let baseline = span.finish();
 
             let span = registry.span("hybrid");
             let mut hybrid = GiriTool::hybrid(program, sound_slice.sites());
-            machine.run(input, &mut hybrid);
+            machine.run_with_plan(input, &mut hybrid, plans.as_ref().map(|p| &p.hybrid));
             let hybrid_time = span.finish();
+            if let Some(p) = &plans {
+                hybrid.absorb_plan_elisions(&p.hybrid.take_elisions());
+            }
             let hybrid_slice = self.slice_endpoints(&hybrid);
 
             let span = registry.span("checker");
             let mut checker_only =
                 InvariantChecker::new(program, &invariants, ChecksEnabled::for_optslice());
-            machine.run(input, &mut checker_only);
+            machine.run_with_plan(input, &mut checker_only, plans.as_ref().map(|p| &p.checker));
             let checker_only_time = span.finish();
+            if let Some(p) = &plans {
+                // Nothing to absorb: the checker's stats count only the
+                // events its plan dispatches. Drain the tally for reuse.
+                p.checker.take_elisions();
+            }
 
             // Speculative run with the schedule recorded for rollback.
             let span = registry.span("optimistic");
@@ -444,8 +494,17 @@ impl<'a> OptSlice<'a> {
             let checker =
                 InvariantChecker::new(program, &invariants, ChecksEnabled::for_optslice());
             let mut combined = MultiTracer::new(opt_tool, checker);
-            let (_, schedule) = spec_machine.run_recording(input, &mut combined);
+            let (_, schedule) = spec_machine.run_recording_with_plan(
+                input,
+                &mut combined,
+                plans.as_ref().map(|p| &p.optimistic),
+            );
             let optimistic_time = span.finish();
+            if let Some(p) = &plans {
+                combined
+                    .first
+                    .absorb_plan_elisions(&p.optimistic.take_elisions());
+            }
             combined.first.record_metrics(&registry, "optslice.giri");
             combined.second.record_metrics(&registry, "optslice.check");
 
@@ -459,8 +518,17 @@ impl<'a> OptSlice<'a> {
                 // hybrid slicer.
                 let span = registry.span("rollback");
                 let mut redo = GiriTool::hybrid(program, sound_slice.sites());
-                machine.run_replay(input, &schedule, &mut redo);
-                (self.slice_endpoints(&redo), span.finish())
+                machine.run_replay_with_plan(
+                    input,
+                    &schedule,
+                    &mut redo,
+                    plans.as_ref().map(|p| &p.hybrid),
+                );
+                let rollback_time = span.finish();
+                if let Some(p) = &plans {
+                    redo.absorb_plan_elisions(&p.hybrid.take_elisions());
+                }
+                (self.slice_endpoints(&redo), rollback_time)
             } else {
                 (self.slice_endpoints(&combined.first), Duration::ZERO)
             };

@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use oha_interp::{Addr, ThreadId};
+use oha_interp::{fastpath, Addr, ShadowMap, ThreadId};
 use oha_ir::InstId;
 
 use crate::vc::{Epoch, VectorClock};
@@ -98,13 +98,35 @@ pub struct DetectorCounters {
 /// d.write(ThreadId(1), x, InstId::new(2)); // ordered by the fork
 /// assert!(d.races().is_empty());
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Detector {
     threads: Vec<VectorClock>,
-    locks: HashMap<Addr, VectorClock>,
-    vars: HashMap<Addr, VarState>,
+    /// Release clocks per lock; an absent lock is the empty clock.
+    locks: ShadowMap<VectorClock>,
+    /// Per-variable state in dense shadow memory; an untouched variable
+    /// is the bottom state.
+    vars: ShadowMap<VarState>,
     races: BTreeSet<RaceReport>,
     counters: DetectorCounters,
+    /// Captured at construction from [`fastpath::enabled`]. When the
+    /// fast path is toggled off, the sync paths reproduce the pre-plan
+    /// clone-per-acquire / clone-per-release cost profile so reference
+    /// benchmark runs measure the pre-change implementation. Detection
+    /// results are identical either way.
+    fast: bool,
+}
+
+impl Default for Detector {
+    fn default() -> Self {
+        Self {
+            threads: Vec::new(),
+            locks: ShadowMap::new(VectorClock::new()),
+            vars: ShadowMap::new(VarState::default()),
+            races: BTreeSet::new(),
+            counters: DetectorCounters::default(),
+            fast: fastpath::enabled(),
+        }
+    }
 }
 
 impl Detector {
@@ -116,12 +138,20 @@ impl Detector {
     }
 
     fn thread_mut(&mut self, t: ThreadId) -> &mut VectorClock {
-        if self.threads.len() <= t.index() {
-            self.threads.resize(t.index() + 1, VectorClock::new());
-        }
+        self.ensure_thread(t);
         &mut self.threads[t.index()]
     }
 
+    /// Materializes the clock slot of `t` so the hot paths can take a
+    /// shared borrow of it alongside mutable borrows of other fields.
+    fn ensure_thread(&mut self, t: ThreadId) {
+        if self.threads.len() <= t.index() {
+            self.threads.resize(t.index() + 1, VectorClock::new());
+        }
+    }
+
+    /// Clone of `t`'s clock — used only on rare fork/join edges; the
+    /// per-event paths borrow in place instead.
     fn thread(&self, t: ThreadId) -> VectorClock {
         self.threads.get(t.index()).cloned().unwrap_or_default()
     }
@@ -148,9 +178,10 @@ impl Detector {
     /// Processes a read of `x` by `t` at `site`.
     pub fn read(&mut self, t: ThreadId, x: Addr, site: InstId) {
         self.counters.reads += 1;
-        let ct = self.thread(t);
+        self.ensure_thread(t);
+        let ct = &self.threads[t.index()];
         let epoch = ct.epoch(t);
-        let var = self.vars.entry(x).or_default();
+        let var = self.vars.get_mut(x);
 
         // Same-epoch fast path.
         if let ReadState::Excl(e, _) = var.read {
@@ -160,7 +191,7 @@ impl Detector {
             }
         }
         // Write-read race?
-        if !var.write.leq(&ct) {
+        if !var.write.leq(ct) {
             self.races.insert(RaceReport {
                 prior: var.write_site,
                 current: site,
@@ -169,7 +200,7 @@ impl Detector {
         }
         match &mut var.read {
             ReadState::Excl(e, s) => {
-                if e.leq(&ct) {
+                if e.leq(ct) {
                     // Still exclusive.
                     *e = epoch;
                     *s = site;
@@ -194,15 +225,16 @@ impl Detector {
     /// Processes a write to `x` by `t` at `site`.
     pub fn write(&mut self, t: ThreadId, x: Addr, site: InstId) {
         self.counters.writes += 1;
-        let ct = self.thread(t);
+        self.ensure_thread(t);
+        let ct = &self.threads[t.index()];
         let epoch = ct.epoch(t);
-        let var = self.vars.entry(x).or_default();
+        let var = self.vars.get_mut(x);
 
         if var.write == epoch {
             self.counters.write_fast_path += 1;
             return;
         }
-        if !var.write.leq(&ct) {
+        if !var.write.leq(ct) {
             self.races.insert(RaceReport {
                 prior: var.write_site,
                 current: site,
@@ -211,7 +243,7 @@ impl Detector {
         }
         match &var.read {
             ReadState::Excl(e, s) => {
-                if !e.leq(&ct) {
+                if !e.leq(ct) {
                     self.races.insert(RaceReport {
                         prior: *s,
                         current: site,
@@ -220,7 +252,7 @@ impl Detector {
                 }
             }
             ReadState::Shared(vc, sites) => {
-                if !vc.leq(&ct) {
+                if !vc.leq(ct) {
                     // Report each unordered reader.
                     for (u, c) in vc.nonzero() {
                         if c > ct.get(u) {
@@ -244,20 +276,37 @@ impl Detector {
         }
     }
 
-    /// Lock acquire: `t` inherits the release clock of `m`.
+    /// Lock acquire: `t` inherits the release clock of `m`. On the fast
+    /// path the release clock is joined in place — no clone (joining the
+    /// empty clock of a never-released lock is a no-op); the reference
+    /// configuration clones it per acquire as the pre-plan detector did.
     pub fn acquire(&mut self, t: ThreadId, m: Addr) {
         self.counters.sync_ops += 1;
-        if let Some(lm) = self.locks.get(&m).cloned() {
-            self.thread_mut(t).join(&lm);
+        self.ensure_thread(t);
+        if self.fast {
+            let lm = self.locks.get(m);
+            self.threads[t.index()].join(lm);
+        } else {
+            let lm = self.locks.get(m).clone();
+            self.threads[t.index()].join(&lm);
         }
     }
 
-    /// Lock release: `m` remembers `t`'s clock; `t` advances.
+    /// Lock release: `m` remembers `t`'s clock; `t` advances. On the
+    /// fast path the clock is copied into the lock's slot in place,
+    /// reusing its allocation; the reference configuration allocates a
+    /// fresh clone per release as the pre-plan detector did.
     pub fn release(&mut self, t: ThreadId, m: Addr) {
         self.counters.sync_ops += 1;
-        let ct = self.thread(t);
-        self.locks.insert(m, ct);
-        self.thread_mut(t).tick(t);
+        self.ensure_thread(t);
+        if self.fast {
+            let ct = &self.threads[t.index()];
+            self.locks.get_mut(m).copy_from(ct);
+        } else {
+            let ct = self.threads[t.index()].clone();
+            *self.locks.get_mut(m) = ct;
+        }
+        self.threads[t.index()].tick(t);
     }
 
     /// Thread creation: the child inherits the parent's clock.

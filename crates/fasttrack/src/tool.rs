@@ -3,8 +3,9 @@
 use std::collections::BTreeSet;
 
 use oha_dataflow::BitSet;
-use oha_interp::{Addr, EventCtx, ThreadId, Tracer};
+use oha_interp::{fastpath, hooks, Addr, EventCtx, InstrPlan, PlanElisions, ThreadId, Tracer};
 use oha_ir::{FuncId, InstId};
+use oha_ir::{InstKind, Program};
 
 use crate::detector::{Detector, RaceReport};
 
@@ -44,8 +45,15 @@ pub struct FastTrackTool<'a> {
     mode: ToolMode,
     /// Sites to instrument; `None` = all.
     instrument: Option<&'a BitSet>,
-    /// Lock/unlock sites to skip.
+    /// Lock/unlock sites to skip. The `BTreeSet` is the API boundary
+    /// (deterministic iteration in reports); the per-event probe uses
+    /// `elided_lock_bits`.
     elided_locks: Option<&'a BTreeSet<InstId>>,
+    /// O(1) membership mirror of `elided_locks`, built at construction
+    /// when the fast path is enabled. The reference configuration leaves
+    /// it `None` and probes the `BTreeSet` per event, reproducing the
+    /// pre-change cost profile.
+    elided_lock_bits: Option<BitSet>,
     counters: FastTrackCounters,
 }
 
@@ -57,6 +65,7 @@ impl<'a> FastTrackTool<'a> {
             mode: ToolMode::Full,
             instrument: None,
             elided_locks: None,
+            elided_lock_bits: None,
             counters: FastTrackCounters::default(),
         }
     }
@@ -68,6 +77,7 @@ impl<'a> FastTrackTool<'a> {
             mode: ToolMode::Hybrid,
             instrument: Some(racy_sites),
             elided_locks: None,
+            elided_lock_bits: None,
             counters: FastTrackCounters::default(),
         }
     }
@@ -81,8 +91,61 @@ impl<'a> FastTrackTool<'a> {
             mode: ToolMode::Optimistic,
             instrument: Some(racy_sites),
             elided_locks: Some(elidable_locks),
+            elided_lock_bits: fastpath::enabled()
+                .then(|| elidable_locks.iter().map(|i| i.index()).collect()),
             counters: FastTrackCounters::default(),
         }
+    }
+
+    /// Compiles the elision sets into an instrumentation plan (see
+    /// [`InstrPlan`]): load/store hooks at instrumented sites, lock
+    /// hooks at non-elided lock sites, nothing else. Running under this
+    /// plan is behaviourally identical to running without one — sites
+    /// the plan masks out are exactly the sites the tool would have
+    /// skipped itself, and the machine counts them on the tool's behalf
+    /// (absorbed via [`FastTrackTool::absorb_plan_elisions`]).
+    pub fn plan_for(
+        program: &Program,
+        instrument: Option<&BitSet>,
+        elided_locks: Option<&BTreeSet<InstId>>,
+    ) -> InstrPlan {
+        let mut plan = InstrPlan::none(program.num_insts());
+        for inst in program.insts() {
+            match inst.kind {
+                InstKind::Load { .. }
+                    if instrument.is_none_or(|set| set.contains(inst.id.index())) =>
+                {
+                    plan.require(inst.id, hooks::LOAD);
+                }
+                InstKind::Store { .. }
+                    if instrument.is_none_or(|set| set.contains(inst.id.index())) =>
+                {
+                    plan.require(inst.id, hooks::STORE);
+                }
+                InstKind::Lock { .. } if elided_locks.is_none_or(|set| !set.contains(&inst.id)) => {
+                    plan.require(inst.id, hooks::LOCK);
+                }
+                InstKind::Unlock { .. }
+                    if elided_locks.is_none_or(|set| !set.contains(&inst.id)) =>
+                {
+                    plan.require(inst.id, hooks::UNLOCK);
+                }
+                _ => {}
+            }
+        }
+        plan
+    }
+
+    /// The plan matching this tool's own elision sets.
+    pub fn plan(&self, program: &Program) -> InstrPlan {
+        Self::plan_for(program, self.instrument, self.elided_locks)
+    }
+
+    /// Folds the machine-side elision tally of a plan-gated run into the
+    /// tool's own counters, keeping the elision identity exact.
+    pub fn absorb_plan_elisions(&mut self, e: &PlanElisions) {
+        self.counters.elided_accesses += e.accesses();
+        self.counters.elided_lock_ops += e.lock_ops();
     }
 
     /// The running mode.
@@ -141,13 +204,15 @@ impl<'a> FastTrackTool<'a> {
     }
 
     fn skip_lock(&mut self, site: InstId) -> bool {
-        match self.elided_locks {
-            Some(set) if set.contains(&site) => {
-                self.counters.elided_lock_ops += 1;
-                true
-            }
-            _ => false,
+        let elided = match (&self.elided_lock_bits, self.elided_locks) {
+            (Some(bits), _) => bits.contains(site.index()),
+            (None, Some(set)) => set.contains(&site),
+            (None, None) => false,
+        };
+        if elided {
+            self.counters.elided_lock_ops += 1;
         }
+        elided
     }
 }
 

@@ -61,6 +61,14 @@ impl VectorClock {
         }
     }
 
+    /// Makes `self` a copy of `other`, reusing `self`'s allocation. The
+    /// allocation-free counterpart of `clone` for clock slots that are
+    /// overwritten in place (lock release paths).
+    pub fn copy_from(&mut self, other: &VectorClock) {
+        self.clocks.clear();
+        self.clocks.extend_from_slice(&other.clocks);
+    }
+
     /// Threads with a nonzero clock.
     pub fn nonzero(&self) -> impl Iterator<Item = (ThreadId, u32)> + '_ {
         self.clocks

@@ -3,7 +3,9 @@
 use std::collections::HashMap;
 
 use oha_dataflow::BitSet;
-use oha_interp::{Addr, EventCtx, FrameId, ThreadId, Tracer, Value};
+use oha_interp::{
+    hooks, Addr, EventCtx, FrameId, InstrPlan, PlanElisions, ShadowMap, ThreadId, Tracer, Value,
+};
 use oha_ir::{InstId, InstKind, Operand, Program, Reg};
 
 const NONE: u32 = u32::MAX;
@@ -93,7 +95,9 @@ pub struct GiriTool<'a> {
     filter: Option<&'a BitSet>,
     events: Vec<Event>,
     last_def: HashMap<(u64, u32), u32>,
-    last_store: HashMap<Addr, u32>,
+    /// Event index of the last store per address (`NONE` if unwritten),
+    /// in dense shadow memory.
+    last_store: ShadowMap<u32>,
     /// Output endpoints: (site, event index).
     outputs: Vec<(InstId, u32)>,
     pending_spawn: HashMap<ThreadId, Option<u32>>,
@@ -122,7 +126,7 @@ impl<'a> GiriTool<'a> {
             filter,
             events: Vec::new(),
             last_def: HashMap::new(),
-            last_store: HashMap::new(),
+            last_store: ShadowMap::new(NONE),
             outputs: Vec::new(),
             pending_spawn: HashMap::new(),
             counters: GiriCounters::default(),
@@ -152,10 +156,15 @@ impl<'a> GiriTool<'a> {
     }
 
     /// Publishes elided-vs-executed tracing work under `<prefix>.` in
-    /// `registry`: `<prefix>.traced_events`, `<prefix>.elided_events`, the
+    /// `registry`: `<prefix>.events` (total throughput: traced + elided),
+    /// `<prefix>.traced_events`, `<prefix>.elided_events`, the
     /// in-memory `<prefix>.trace_len` and whether the event budget was
     /// `<prefix>.exhausted`.
     pub fn record_metrics(&self, registry: &oha_obs::MetricsRegistry, prefix: &str) {
+        registry.add(
+            &format!("{prefix}.events"),
+            self.counters.traced_events + self.counters.elided_events,
+        );
         registry.add(
             &format!("{prefix}.traced_events"),
             self.counters.traced_events,
@@ -174,6 +183,53 @@ impl<'a> GiriTool<'a> {
     /// The number of trace events held in memory.
     pub fn trace_len(&self) -> usize {
         self.events.len()
+    }
+
+    /// Compiles a trace filter into an instrumentation plan (see
+    /// [`InstrPlan`]): traceable hooks (load/store/compute/input/output)
+    /// at filtered-in sites only, call hooks at *every* call site and
+    /// block-enter always — parameter/spawn linking is bookkeeping that
+    /// ignores the filter, and `on_return` (gated by the call site's
+    /// CALL bit) does its own filter check. Running under this plan is
+    /// behaviourally identical to running without one; machine-side
+    /// skips are absorbed via [`GiriTool::absorb_plan_elisions`].
+    pub fn plan_for(program: &Program, filter: Option<&BitSet>) -> InstrPlan {
+        let mut plan = InstrPlan::none(program.num_insts());
+        plan.require_block_enter();
+        for inst in program.insts() {
+            let bits = match inst.kind {
+                InstKind::Load { .. } => hooks::LOAD,
+                InstKind::Store { .. } => hooks::STORE,
+                InstKind::Copy { .. }
+                | InstKind::BinOp { .. }
+                | InstKind::Alloc { .. }
+                | InstKind::AddrGlobal { .. }
+                | InstKind::AddrFunc { .. }
+                | InstKind::Gep { .. } => hooks::COMPUTE,
+                InstKind::Input { .. } => hooks::INPUT,
+                InstKind::Output { .. } => hooks::OUTPUT,
+                InstKind::Call { .. } => {
+                    plan.require(inst.id, hooks::CALL);
+                    continue;
+                }
+                _ => continue,
+            };
+            if filter.is_none_or(|f| f.contains(inst.id.index())) {
+                plan.require(inst.id, bits);
+            }
+        }
+        plan
+    }
+
+    /// The plan matching this tool's own filter.
+    pub fn plan(&self) -> InstrPlan {
+        Self::plan_for(self.program, self.filter)
+    }
+
+    /// Folds the machine-side elision tally of a plan-gated run into the
+    /// tool's own counters, keeping elided-event accounting exact.
+    pub fn absorb_plan_elisions(&mut self, e: &PlanElisions) {
+        self.counters.elided_events += e.traceable();
     }
 
     fn traced(&mut self, inst: InstId) -> bool {
@@ -289,10 +345,7 @@ impl Tracer for GiriTool<'_> {
         let InstKind::Load { dst, addr: a, .. } = self.program.inst(ctx.inst).kind else {
             return;
         };
-        let deps = [
-            self.last_store.get(&addr).copied().unwrap_or(NONE),
-            self.operand_dep(ctx.frame, a),
-        ];
+        let deps = [*self.last_store.get(addr), self.operand_dep(ctx.frame, a)];
         let ev = self.record(ctx.inst, deps);
         if ev != NONE {
             self.set_def(ctx.frame, dst, ev);
@@ -323,8 +376,8 @@ impl Tracer for GiriTool<'_> {
         // Parameter linking is bookkeeping, not instrumentation: it happens
         // regardless of the filter so chains through traced callee bodies
         // stay connected.
-        let kind = self.program.inst(ctx.inst).kind.clone();
-        if let InstKind::Call { args, .. } = kind {
+        let program = self.program;
+        if let InstKind::Call { args, .. } = &program.inst(ctx.inst).kind {
             for (i, arg) in args.iter().enumerate() {
                 if let Operand::Reg(r) = arg {
                     let dep = self.def_of(ctx.frame, *r);
@@ -363,8 +416,8 @@ impl Tracer for GiriTool<'_> {
     }
 
     fn on_spawn(&mut self, ctx: EventCtx, child: ThreadId, _entry: oha_ir::FuncId) {
-        let kind = self.program.inst(ctx.inst).kind.clone();
-        if let InstKind::Spawn { arg, .. } = kind {
+        let program = self.program;
+        if let InstKind::Spawn { arg, .. } = program.inst(ctx.inst).kind {
             let dep = match arg {
                 Operand::Reg(r) => {
                     let d = self.def_of(ctx.frame, r);

@@ -41,8 +41,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fastpath;
 mod heap;
 mod machine;
+mod plan;
+mod shadow;
 mod tracer;
 mod value;
 
@@ -50,5 +53,7 @@ pub use heap::Heap;
 pub use machine::{
     HookCounters, Machine, MachineConfig, RunResult, RuntimeError, ScheduleTrace, Termination,
 };
+pub use plan::{hooks, InstrPlan, PlanElisions};
+pub use shadow::ShadowMap;
 pub use tracer::{EventCtx, MultiTracer, NoopTracer, Tracer};
 pub use value::{Addr, FrameId, ObjId, ThreadId, Value};

@@ -1,13 +1,15 @@
 //! The interpreter proper: green threads, a seeded scheduler, and the
 //! instruction execution loop.
 
-use std::collections::HashMap;
+use std::cell::Cell;
 use std::rc::Rc;
 
 use oha_ir::{BlockId, Callee, CmpOp, FuncId, InstId, InstKind, Operand, Program, Reg, Terminator};
 use oha_obs::{Counter, MetricsRegistry};
 
 use crate::heap::Heap;
+use crate::plan::{hooks, ElisionCells, InstrPlan};
+use crate::shadow::ShadowMap;
 use crate::tracer::{EventCtx, Tracer};
 use crate::value::{Addr, FrameId, ObjId, ThreadId, Value};
 
@@ -320,10 +322,79 @@ struct ThreadCtx {
     join_waiters: Vec<ThreadId>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct LockState {
     holder: Option<ThreadId>,
     waiters: Vec<ThreadId>,
+}
+
+/// Pre-decoded per-function facts, indexed by [`FuncId`], so frame
+/// creation does not consult the program's function table per call.
+#[derive(Clone, Copy, Debug)]
+struct DecodedFunc {
+    entry: BlockId,
+    num_regs: u32,
+    arity: u32,
+}
+
+/// Pre-resolved direct call/spawn site: the callee and everything frame
+/// creation needs, with the arity check done once at decode time.
+#[derive(Clone, Copy, Debug)]
+struct DecodedCallee {
+    func: FuncId,
+    entry: BlockId,
+    num_regs: u32,
+    arity_ok: bool,
+}
+
+/// Per-instruction operand/callee pre-decode, built once at
+/// [`Machine::new`] so the inner `step` match stops re-resolving callees
+/// and re-checking arities on every visit.
+#[derive(Debug)]
+struct DecodedProgram {
+    funcs: Vec<DecodedFunc>,
+    /// `Some` at `Call`/`Spawn` sites with a direct callee, indexed by
+    /// [`InstId`]; indirect sites stay `None` and resolve at run time.
+    calls: Vec<Option<DecodedCallee>>,
+}
+
+impl DecodedProgram {
+    fn new(program: &Program) -> Self {
+        let funcs: Vec<DecodedFunc> = program
+            .functions()
+            .iter()
+            .map(|f| DecodedFunc {
+                entry: f.entry,
+                num_regs: f.num_regs,
+                arity: f.arity() as u32,
+            })
+            .collect();
+        let mut calls = vec![None; program.num_insts()];
+        if !crate::fastpath::enabled() {
+            // Reference configuration: leave every call site undecoded
+            // so it resolves (and arity-checks) per visit, as the
+            // pre-decode-free interpreter did. Behaviour is identical;
+            // only the per-call cost profile differs.
+            return Self { funcs, calls };
+        }
+        for inst in program.insts() {
+            let (callee, want_arity) = match &inst.kind {
+                InstKind::Call { callee, args, .. } => (callee, args.len()),
+                InstKind::Spawn { func, .. } => (func, 1),
+                _ => continue,
+            };
+            if let Callee::Direct(f) = *callee {
+                let d = funcs[f.index()];
+                calls[inst.id.index()] = Some(DecodedCallee {
+                    func: f,
+                    entry: d.entry,
+                    num_regs: d.num_regs,
+                    arity_ok: d.arity as usize == want_arity,
+                });
+            }
+        }
+        Self { funcs, calls }
+    }
 }
 
 /// A reusable interpreter for one program.
@@ -338,6 +409,9 @@ pub struct Machine<'p> {
     /// Shared by handle: every run construction and counting tracer holds
     /// the same `Rc` instead of paying an O(counters) clone per execution.
     metrics: Rc<HookCounters>,
+    /// Per-instruction callee/operand pre-decode, built once here and
+    /// shared by every execution (`Rc` keeps machine clones cheap).
+    decoded: Rc<DecodedProgram>,
 }
 
 impl<'p> Machine<'p> {
@@ -347,6 +421,7 @@ impl<'p> Machine<'p> {
             program,
             config,
             metrics: Rc::new(HookCounters::default()),
+            decoded: Rc::new(DecodedProgram::new(program)),
         }
     }
 
@@ -375,6 +450,19 @@ impl<'p> Machine<'p> {
 
     /// Executes the program on `input`, reporting events to `tracer`.
     pub fn run<T: Tracer>(&self, input: &[i64], tracer: &mut T) -> RunResult {
+        self.run_with_plan(input, tracer, None)
+    }
+
+    /// [`Machine::run`] under an instrumentation plan: hooks the plan
+    /// masks out are skipped (but counted) inside the step loop. `None`
+    /// dispatches everything. The execution itself — scheduling, heap,
+    /// outputs — is identical either way; only tracer dispatch changes.
+    pub fn run_with_plan<T: Tracer>(
+        &self,
+        input: &[i64],
+        tracer: &mut T,
+        plan: Option<&InstrPlan>,
+    ) -> RunResult {
         let sched = Scheduler::Random(SplitMix64(self.config.seed));
         let mut counting = crate::tracer::CountingTracer {
             inner: tracer,
@@ -382,10 +470,12 @@ impl<'p> Machine<'p> {
         };
         Execution::new(
             self.program,
+            &self.decoded,
             self.config,
             input,
             sched,
             Rc::clone(&self.metrics),
+            plan,
         )
         .run(&mut counting)
         .0
@@ -399,6 +489,17 @@ impl<'p> Machine<'p> {
         input: &[i64],
         tracer: &mut T,
     ) -> (RunResult, ScheduleTrace) {
+        self.run_recording_with_plan(input, tracer, None)
+    }
+
+    /// [`Machine::run_recording`] under an instrumentation plan (see
+    /// [`Machine::run_with_plan`]).
+    pub fn run_recording_with_plan<T: Tracer>(
+        &self,
+        input: &[i64],
+        tracer: &mut T,
+        plan: Option<&InstrPlan>,
+    ) -> (RunResult, ScheduleTrace) {
         let sched = Scheduler::Recording(SplitMix64(self.config.seed), ScheduleTrace::default());
         let mut counting = crate::tracer::CountingTracer {
             inner: tracer,
@@ -406,10 +507,12 @@ impl<'p> Machine<'p> {
         };
         let (result, sched) = Execution::new(
             self.program,
+            &self.decoded,
             self.config,
             input,
             sched,
             Rc::clone(&self.metrics),
+            plan,
         )
         .run(&mut counting);
         match sched {
@@ -427,6 +530,18 @@ impl<'p> Machine<'p> {
         trace: &ScheduleTrace,
         tracer: &mut T,
     ) -> RunResult {
+        self.run_replay_with_plan(input, trace, tracer, None)
+    }
+
+    /// [`Machine::run_replay`] under an instrumentation plan (see
+    /// [`Machine::run_with_plan`]).
+    pub fn run_replay_with_plan<T: Tracer>(
+        &self,
+        input: &[i64],
+        trace: &ScheduleTrace,
+        tracer: &mut T,
+        plan: Option<&InstrPlan>,
+    ) -> RunResult {
         let sched = Scheduler::Replaying(trace.clone(), 0);
         let mut counting = crate::tracer::CountingTracer {
             inner: tracer,
@@ -434,10 +549,12 @@ impl<'p> Machine<'p> {
         };
         Execution::new(
             self.program,
+            &self.decoded,
             self.config,
             input,
             sched,
             Rc::clone(&self.metrics),
+            plan,
         )
         .run(&mut counting)
         .0
@@ -446,17 +563,30 @@ impl<'p> Machine<'p> {
 
 struct Execution<'p, 'i> {
     program: &'p Program,
+    decoded: &'i DecodedProgram,
     config: MachineConfig,
     input: &'i [i64],
     input_pos: usize,
     heap: Heap,
     threads: Vec<ThreadCtx>,
-    locks: HashMap<Addr, LockState>,
+    locks: ShadowMap<LockState>,
     scheduler: Scheduler,
     next_frame: u64,
     steps: u64,
     outputs: Vec<(InstId, Value)>,
     counters: Rc<HookCounters>,
+    /// Hook mask per site; `None` dispatches everything.
+    plan: Option<&'i InstrPlan>,
+    /// Captured at construction from [`fastpath::enabled`]: selects the
+    /// tuned [`Execution::step_fast`] loop (frame resolved once per
+    /// instruction) over the reference [`Execution::step`]. Semantics,
+    /// event order and RNG draws are identical either way.
+    fast: bool,
+    /// Register storage recycled from popped frames (fast path only);
+    /// bounded by the deepest call stack the run reaches.
+    regs_pool: Vec<Vec<Value>>,
+    /// Argument buffers recycled from frame creation (fast path only).
+    argv_pool: Vec<Vec<Value>>,
 }
 
 enum StepOutcome {
@@ -466,27 +596,56 @@ enum StepOutcome {
     Fault(RuntimeError),
 }
 
+/// Outcome of one whole scheduling slot on the tuned path.
+enum SlotOutcome {
+    /// The slot ran to completion (`yielded: false`, a preemption) or the
+    /// thread gave up the remainder (`yielded: true`).
+    Done {
+        yielded: bool,
+    },
+    Fault(RuntimeError),
+    StepLimit,
+}
+
+/// Builds an event context — called only at sites that dispatch.
+#[inline]
+fn ctx(tid: ThreadId, frame: FrameId, inst: InstId) -> EventCtx {
+    EventCtx {
+        thread: tid,
+        frame,
+        inst,
+    }
+}
+
 impl<'p, 'i> Execution<'p, 'i> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         program: &'p Program,
+        decoded: &'i DecodedProgram,
         config: MachineConfig,
         input: &'i [i64],
         scheduler: Scheduler,
         counters: Rc<HookCounters>,
+        plan: Option<&'i InstrPlan>,
     ) -> Self {
         let mut exec = Self {
             program,
+            decoded,
             config,
             input,
             input_pos: 0,
             heap: Heap::new(program),
             threads: Vec::new(),
-            locks: HashMap::new(),
+            locks: ShadowMap::new(LockState::default()),
             scheduler,
             next_frame: 0,
             steps: 0,
             outputs: Vec::new(),
             counters,
+            plan,
+            fast: crate::fastpath::enabled(),
+            regs_pool: Vec::new(),
+            argv_pool: Vec::new(),
         };
         let entry = program.entry();
         let frame = exec.make_frame(entry, Vec::new(), None);
@@ -504,18 +663,111 @@ impl<'p, 'i> Execution<'p, 'i> {
         args: Vec<Value>,
         ret_to: Option<(Option<Reg>, InstId)>,
     ) -> Frame {
-        let f = self.program.function(func);
-        let mut regs = vec![Value::default(); f.num_regs as usize];
+        let f = self.decoded.funcs[func.index()];
+        self.make_frame_at(func, f.entry, f.num_regs, args, ret_to)
+    }
+
+    /// Frame creation with pre-decoded entry/register facts (direct call
+    /// sites skip the function-table lookup entirely).
+    fn make_frame_at(
+        &mut self,
+        func: FuncId,
+        entry: BlockId,
+        num_regs: u32,
+        args: Vec<Value>,
+        ret_to: Option<(Option<Reg>, InstId)>,
+    ) -> Frame {
+        // Fast path: register storage comes from the pool of popped
+        // frames and the spent argument buffer goes back to its pool, so
+        // steady-state calls allocate nothing. Contents are identical to
+        // a fresh zeroed vector either way.
+        let mut regs = if self.fast {
+            let mut r = self.regs_pool.pop().unwrap_or_default();
+            r.clear();
+            r.resize(num_regs as usize, Value::default());
+            r
+        } else {
+            vec![Value::default(); num_regs as usize]
+        };
         regs[..args.len()].copy_from_slice(&args);
+        if self.fast {
+            let mut spent = args;
+            spent.clear();
+            self.argv_pool.push(spent);
+        }
         let frame_id = FrameId(self.next_frame);
         self.next_frame += 1;
         Frame {
             func,
             frame_id,
-            block: f.entry,
+            block: entry,
             pc: 0,
             regs,
             ret_to,
+        }
+    }
+
+    /// Whether the plan dispatches `bit` at `inst` (everything without a
+    /// plan): one array load and one branch.
+    #[inline]
+    fn wants(&self, inst: InstId, bit: u8) -> bool {
+        match self.plan {
+            None => true,
+            Some(p) => p.mask(inst) & bit != 0,
+        }
+    }
+
+    /// Whether block-enter events are dispatched.
+    #[inline]
+    fn block_enter_wanted(&self) -> bool {
+        self.plan.is_none_or(InstrPlan::block_enter)
+    }
+
+    /// Tallies one plan-skipped dispatch (no-op without a plan). The
+    /// matching hook counter is deliberately NOT bumped here — the run
+    /// loop flushes the tally into the hook counters in bulk at end of
+    /// run, keeping the skip path at one 8-byte RMW per event.
+    #[inline]
+    fn note_elided(&self, select: impl FnOnce(&ElisionCells) -> &Cell<u64>) {
+        if let Some(p) = self.plan {
+            p.note(select);
+        }
+    }
+
+    /// Dispatches or elides a block-enter event.
+    #[inline]
+    fn block_enter_event<T: Tracer>(
+        &self,
+        tracer: &mut T,
+        tid: ThreadId,
+        frame: FrameId,
+        block: BlockId,
+    ) {
+        if self.block_enter_wanted() {
+            tracer.on_block_enter(tid, frame, block);
+        } else {
+            self.note_elided(|e| &e.block_enters);
+        }
+    }
+
+    /// Dispatches or elides a compute event.
+    #[inline]
+    fn compute_event<T: Tracer>(
+        &self,
+        tracer: &mut T,
+        pmask: u8,
+        tid: ThreadId,
+        frame: FrameId,
+        inst: InstId,
+    ) {
+        if pmask & hooks::COMPUTE != 0 {
+            tracer.on_compute(EventCtx {
+                thread: tid,
+                frame,
+                inst,
+            });
+        } else {
+            self.note_elided(|e| &e.computes);
         }
     }
 
@@ -523,18 +775,24 @@ impl<'p, 'i> Execution<'p, 'i> {
         // The main thread enters its entry block.
         {
             let frame = &self.threads[0].stack[0];
-            tracer.on_block_enter(ThreadId::MAIN, frame.frame_id, frame.block);
+            let (frame_id, block) = (frame.frame_id, frame.block);
+            self.block_enter_event(tracer, ThreadId::MAIN, frame_id, block);
         }
 
+        // Reused across scheduling decisions: one decision fires every
+        // few steps, so a fresh `collect` here is an allocation on the
+        // hot path for nothing — the contents are identical either way.
+        let mut runnable: Vec<u32> = Vec::with_capacity(self.threads.len());
         let status = loop {
             // Collect runnable threads.
-            let runnable: Vec<u32> = self
-                .threads
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| t.state == ThreadState::Runnable)
-                .map(|(i, _)| i as u32)
-                .collect();
+            runnable.clear();
+            runnable.extend(
+                self.threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.state == ThreadState::Runnable)
+                    .map(|(i, _)| i as u32),
+            );
             if runnable.is_empty() {
                 if self.threads.iter().all(|t| t.state == ThreadState::Done) {
                     break Termination::Exited;
@@ -546,20 +804,28 @@ impl<'p, 'i> Execution<'p, 'i> {
 
             let mut fault = None;
             let mut yielded = false;
-            for _ in 0..slot {
-                if self.steps >= self.config.max_steps {
-                    fault = Some(Termination::StepLimit);
-                    break;
+            if self.fast {
+                match self.step_slot(tid, slot, tracer) {
+                    SlotOutcome::Done { yielded: y } => yielded = y,
+                    SlotOutcome::Fault(e) => fault = Some(Termination::Error(e)),
+                    SlotOutcome::StepLimit => fault = Some(Termination::StepLimit),
                 }
-                match self.step(tid, tracer) {
-                    StepOutcome::Continue => {}
-                    StepOutcome::Yield => {
-                        yielded = true;
+            } else {
+                for _ in 0..slot {
+                    if self.steps >= self.config.max_steps {
+                        fault = Some(Termination::StepLimit);
                         break;
                     }
-                    StepOutcome::Fault(e) => {
-                        fault = Some(Termination::Error(e));
-                        break;
+                    match self.step(tid, tracer) {
+                        StepOutcome::Continue => {}
+                        StepOutcome::Yield => {
+                            yielded = true;
+                            break;
+                        }
+                        StepOutcome::Fault(e) => {
+                            fault = Some(Termination::Error(e));
+                            break;
+                        }
                     }
                 }
             }
@@ -573,6 +839,24 @@ impl<'p, 'i> Execution<'p, 'i> {
             }
         };
 
+        // Bulk-flush the plan's elision tally into the hook counters, so
+        // the identity "hook counter = dispatched + elided" holds without
+        // a per-event counter bump on the skip path. The tally itself is
+        // left for the owning tool's `take_elisions`.
+        if let Some(p) = self.plan {
+            let e = p.peek_elisions();
+            self.counters.load.add(e.loads);
+            self.counters.store.add(e.stores);
+            self.counters.lock.add(e.locks);
+            self.counters.unlock.add(e.unlocks);
+            self.counters.compute.add(e.computes);
+            self.counters.call.add(e.calls);
+            self.counters.ret.add(e.returns);
+            self.counters.input.add(e.inputs);
+            self.counters.output.add(e.outputs);
+            self.counters.block_enter.add(e.block_enters);
+        }
+
         (
             RunResult {
                 status,
@@ -585,16 +869,29 @@ impl<'p, 'i> Execution<'p, 'i> {
         )
     }
 
+    /// The running thread's current frame.
+    #[inline]
+    fn cur_frame(&self, tid: ThreadId) -> &Frame {
+        self.threads[tid.index()]
+            .stack
+            .last()
+            .expect("running thread has a frame")
+    }
+
+    /// Operand evaluation against an already-resolved frame, so
+    /// multi-operand instructions resolve the frame once per visit.
+    #[inline]
+    fn eval_in(frame: &Frame, op: Operand) -> Value {
+        match op {
+            Operand::Const(c) => Value::Int(c),
+            Operand::Reg(r) => frame.regs[r.index()],
+        }
+    }
+
     fn eval(&self, tid: ThreadId, op: Operand) -> Value {
         match op {
             Operand::Const(c) => Value::Int(c),
-            Operand::Reg(r) => {
-                let frame = self.threads[tid.index()]
-                    .stack
-                    .last()
-                    .expect("running thread has a frame");
-                frame.regs[r.index()]
-            }
+            Operand::Reg(r) => self.cur_frame(tid).regs[r.index()],
         }
     }
 
@@ -642,21 +939,24 @@ impl<'p, 'i> Execution<'p, 'i> {
 
         let inst_id = block_data.insts[pc].id;
         let kind: &'p InstKind = &block_data.insts[pc].kind;
-        let ctx = EventCtx {
-            thread: tid,
-            frame: frame_id,
-            inst: inst_id,
+        // One array load decides what this site dispatches; a fully
+        // elided site never builds an `EventCtx` or calls the tracer.
+        let pmask = match self.plan {
+            None => hooks::ALL,
+            Some(p) => p.mask(inst_id),
         };
 
         match *kind {
             InstKind::Copy { dst, src } => {
                 let v = self.eval(tid, src);
                 self.set_reg(tid, dst, v);
-                tracer.on_compute(ctx);
+                self.compute_event(tracer, pmask, tid, frame_id, inst_id);
             }
             InstKind::BinOp { dst, op, lhs, rhs } => {
-                let a = self.eval(tid, lhs);
-                let b = self.eval(tid, rhs);
+                let (a, b) = {
+                    let frame = self.cur_frame(tid);
+                    (Self::eval_in(frame, lhs), Self::eval_in(frame, rhs))
+                };
                 let v = match (a, b) {
                     (Value::Int(x), Value::Int(y)) => Value::Int(op.eval(x, y)),
                     _ => match op {
@@ -666,20 +966,20 @@ impl<'p, 'i> Execution<'p, 'i> {
                     },
                 };
                 self.set_reg(tid, dst, v);
-                tracer.on_compute(ctx);
+                self.compute_event(tracer, pmask, tid, frame_id, inst_id);
             }
             InstKind::Alloc { dst, fields } => {
                 let obj = self.heap.alloc(fields, inst_id);
                 self.set_reg(tid, dst, Value::Ptr(Addr::new(obj, 0)));
-                tracer.on_compute(ctx);
+                self.compute_event(tracer, pmask, tid, frame_id, inst_id);
             }
             InstKind::AddrGlobal { dst, global } => {
                 self.set_reg(tid, dst, Value::Ptr(Addr::new(ObjId(global.raw()), 0)));
-                tracer.on_compute(ctx);
+                self.compute_event(tracer, pmask, tid, frame_id, inst_id);
             }
             InstKind::AddrFunc { dst, func } => {
                 self.set_reg(tid, dst, Value::Func(func));
-                tracer.on_compute(ctx);
+                self.compute_event(tracer, pmask, tid, frame_id, inst_id);
             }
             InstKind::Gep { dst, base, field } => {
                 let a = match self.ptr_operand(tid, inst_id, base) {
@@ -687,7 +987,7 @@ impl<'p, 'i> Execution<'p, 'i> {
                     Err(e) => return StepOutcome::Fault(e),
                 };
                 self.set_reg(tid, dst, Value::Ptr(a.offset(field)));
-                tracer.on_compute(ctx);
+                self.compute_event(tracer, pmask, tid, frame_id, inst_id);
             }
             InstKind::Load { dst, addr, field } => {
                 let a = match self.ptr_operand(tid, inst_id, addr) {
@@ -704,43 +1004,126 @@ impl<'p, 'i> Execution<'p, 'i> {
                     }
                 };
                 self.set_reg(tid, dst, v);
-                tracer.on_load(ctx, a, v);
+                if pmask & hooks::LOAD != 0 {
+                    tracer.on_load(ctx(tid, frame_id, inst_id), a, v);
+                } else {
+                    self.note_elided(|e| &e.loads);
+                }
             }
             InstKind::Store { addr, field, value } => {
-                let a = match self.ptr_operand(tid, inst_id, addr) {
-                    Ok(a) => a.offset(field),
-                    Err(e) => return StepOutcome::Fault(e),
+                let (av, v) = {
+                    let frame = self.cur_frame(tid);
+                    (Self::eval_in(frame, addr), Self::eval_in(frame, value))
                 };
-                let v = self.eval(tid, value);
+                let a = match av {
+                    Value::Ptr(a) => a.offset(field),
+                    _ => return StepOutcome::Fault(RuntimeError::NotAPointer { inst: inst_id }),
+                };
                 if !self.heap.store(a, v) {
                     return StepOutcome::Fault(RuntimeError::OutOfBounds {
                         inst: inst_id,
                         addr: a,
                     });
                 }
-                tracer.on_store(ctx, a, v);
+                if pmask & hooks::STORE != 0 {
+                    tracer.on_store(ctx(tid, frame_id, inst_id), a, v);
+                } else {
+                    self.note_elided(|e| &e.stores);
+                }
             }
+            InstKind::Call { .. }
+            | InstKind::Lock { .. }
+            | InstKind::Unlock { .. }
+            | InstKind::Spawn { .. }
+            | InstKind::Join { .. } => {
+                return self.step_cold(tid, tracer, frame_id, inst_id, kind, pmask)
+            }
+            InstKind::Input { dst } => {
+                let v = Value::Int(self.input.get(self.input_pos).copied().unwrap_or(0));
+                self.input_pos += 1;
+                self.set_reg(tid, dst, v);
+                if pmask & hooks::INPUT != 0 {
+                    tracer.on_input(ctx(tid, frame_id, inst_id), v);
+                } else {
+                    self.note_elided(|e| &e.inputs);
+                }
+            }
+            InstKind::Output { value } => {
+                let v = self.eval(tid, value);
+                self.outputs.push((inst_id, v));
+                if pmask & hooks::OUTPUT != 0 {
+                    tracer.on_output(ctx(tid, frame_id, inst_id), v);
+                } else {
+                    self.note_elided(|e| &e.outputs);
+                }
+            }
+        }
+        self.advance_pc(tid);
+        StepOutcome::Continue
+    }
+
+    /// Executes the rare control/sync instruction kinds (call, lock,
+    /// unlock, spawn, join). Shared verbatim by both step loops, so the
+    /// fast path cannot drift from the reference on the cold arms.
+    fn step_cold<T: Tracer>(
+        &mut self,
+        tid: ThreadId,
+        tracer: &mut T,
+        frame_id: FrameId,
+        inst_id: InstId,
+        kind: &InstKind,
+        pmask: u8,
+    ) -> StepOutcome {
+        match *kind {
             InstKind::Call {
                 dst,
                 ref callee,
                 ref args,
             } => {
-                let target = match self.resolve_callee(tid, inst_id, *callee) {
-                    Ok(t) => t,
-                    Err(e) => return StepOutcome::Fault(e),
+                let (target, entry, num_regs) = match self.decoded.calls[inst_id.index()] {
+                    // Direct call: callee facts pre-decoded, arity
+                    // pre-checked at machine construction.
+                    Some(d) => {
+                        if !d.arity_ok {
+                            return StepOutcome::Fault(RuntimeError::BadArity { inst: inst_id });
+                        }
+                        (d.func, d.entry, d.num_regs)
+                    }
+                    None => {
+                        let target = match self.resolve_callee(tid, inst_id, *callee) {
+                            Ok(t) => t,
+                            Err(e) => return StepOutcome::Fault(e),
+                        };
+                        let f = self.decoded.funcs[target.index()];
+                        if f.arity as usize != args.len() {
+                            return StepOutcome::Fault(RuntimeError::BadArity { inst: inst_id });
+                        }
+                        (target, f.entry, f.num_regs)
+                    }
                 };
-                if self.program.function(target).arity() != args.len() {
-                    return StepOutcome::Fault(RuntimeError::BadArity { inst: inst_id });
-                }
-                let argv: Vec<Value> = args.iter().map(|&a| self.eval(tid, a)).collect();
+                let argv: Vec<Value> = {
+                    // The fast path reuses a pooled buffer (returned by
+                    // `make_frame_at`); the reference allocates per call.
+                    let mut argv = if self.fast {
+                        self.argv_pool.pop().unwrap_or_default()
+                    } else {
+                        Vec::with_capacity(args.len())
+                    };
+                    let frame = self.cur_frame(tid);
+                    argv.extend(args.iter().map(|&a| Self::eval_in(frame, a)));
+                    argv
+                };
                 // Resume after the call on return.
                 self.advance_pc(tid);
-                let frame = self.make_frame(target, argv, Some((dst, inst_id)));
+                let frame = self.make_frame_at(target, entry, num_regs, argv, Some((dst, inst_id)));
                 let callee_frame = frame.frame_id;
-                let entry = frame.block;
                 self.threads[tid.index()].stack.push(frame);
-                tracer.on_call(ctx, target, callee_frame);
-                tracer.on_block_enter(tid, callee_frame, entry);
+                if pmask & hooks::CALL != 0 {
+                    tracer.on_call(ctx(tid, frame_id, inst_id), target, callee_frame);
+                } else {
+                    self.note_elided(|e| &e.calls);
+                }
+                self.block_enter_event(tracer, tid, callee_frame, entry);
                 return StepOutcome::Continue;
             }
             InstKind::Lock { addr } => {
@@ -748,11 +1131,15 @@ impl<'p, 'i> Execution<'p, 'i> {
                     Ok(a) => a,
                     Err(e) => return StepOutcome::Fault(e),
                 };
-                let lock = self.locks.entry(a).or_default();
+                let lock = self.locks.get_mut(a);
                 match lock.holder {
                     None => {
                         lock.holder = Some(tid);
-                        tracer.on_lock(ctx, a);
+                        if pmask & hooks::LOCK != 0 {
+                            tracer.on_lock(ctx(tid, frame_id, inst_id), a);
+                        } else {
+                            self.note_elided(|e| &e.locks);
+                        }
                     }
                     Some(h) if h == tid => {
                         return StepOutcome::Fault(RuntimeError::RelockHeld {
@@ -775,14 +1162,19 @@ impl<'p, 'i> Execution<'p, 'i> {
                     Ok(a) => a,
                     Err(e) => return StepOutcome::Fault(e),
                 };
-                let lock = self.locks.entry(a).or_default();
-                if lock.holder != Some(tid) {
+                if self.locks.get(a).holder != Some(tid) {
                     return StepOutcome::Fault(RuntimeError::UnlockNotHeld {
                         inst: inst_id,
                         addr: a,
                     });
                 }
-                tracer.on_unlock(ctx, a);
+                // Dispatch before releasing, matching the original order.
+                if pmask & hooks::UNLOCK != 0 {
+                    tracer.on_unlock(ctx(tid, frame_id, inst_id), a);
+                } else {
+                    self.note_elided(|e| &e.unlocks);
+                }
+                let lock = self.locks.get_mut(a);
                 lock.holder = None;
                 let waiters = std::mem::take(&mut lock.waiters);
                 for w in waiters {
@@ -792,26 +1184,39 @@ impl<'p, 'i> Execution<'p, 'i> {
                 }
             }
             InstKind::Spawn { dst, ref func, arg } => {
-                let target = match self.resolve_callee(tid, inst_id, *func) {
-                    Ok(t) => t,
-                    Err(e) => return StepOutcome::Fault(e),
+                let (target, entry, num_regs) = match self.decoded.calls[inst_id.index()] {
+                    Some(d) => {
+                        if !d.arity_ok {
+                            return StepOutcome::Fault(RuntimeError::BadArity { inst: inst_id });
+                        }
+                        (d.func, d.entry, d.num_regs)
+                    }
+                    None => {
+                        let target = match self.resolve_callee(tid, inst_id, *func) {
+                            Ok(t) => t,
+                            Err(e) => return StepOutcome::Fault(e),
+                        };
+                        let f = self.decoded.funcs[target.index()];
+                        if f.arity != 1 {
+                            return StepOutcome::Fault(RuntimeError::BadArity { inst: inst_id });
+                        }
+                        (target, f.entry, f.num_regs)
+                    }
                 };
-                if self.program.function(target).arity() != 1 {
-                    return StepOutcome::Fault(RuntimeError::BadArity { inst: inst_id });
-                }
                 let argv = vec![self.eval(tid, arg)];
                 let child = ThreadId(self.threads.len() as u32);
-                let frame = self.make_frame(target, argv, None);
+                let frame = self.make_frame_at(target, entry, num_regs, argv, None);
                 let child_frame = frame.frame_id;
-                let entry = frame.block;
                 self.threads.push(ThreadCtx {
                     state: ThreadState::Runnable,
                     stack: vec![frame],
                     join_waiters: Vec::new(),
                 });
                 self.set_reg(tid, dst, Value::Thread(child));
-                tracer.on_spawn(ctx, child, target);
-                tracer.on_block_enter(child, child_frame, entry);
+                // Spawn/join/thread-exit are rare sync-skeleton events:
+                // always dispatched, never plan-elided.
+                tracer.on_spawn(ctx(tid, frame_id, inst_id), child, target);
+                self.block_enter_event(tracer, child, child_frame, entry);
             }
             InstKind::Join { thread } => {
                 let t = match self.eval(tid, thread) {
@@ -819,7 +1224,7 @@ impl<'p, 'i> Execution<'p, 'i> {
                     _ => return StepOutcome::Fault(RuntimeError::NotAThread { inst: inst_id }),
                 };
                 if self.threads[t.index()].state == ThreadState::Done {
-                    tracer.on_join(ctx, t);
+                    tracer.on_join(ctx(tid, frame_id, inst_id), t);
                 } else {
                     if !self.threads[t.index()].join_waiters.contains(&tid) {
                         self.threads[t.index()].join_waiters.push(tid);
@@ -829,19 +1234,587 @@ impl<'p, 'i> Execution<'p, 'i> {
                     return StepOutcome::Yield;
                 }
             }
+            _ => unreachable!("hot instruction kinds are handled by the step loops"),
+        }
+        self.advance_pc(tid);
+        StepOutcome::Continue
+    }
+
+    /// Runs one whole scheduling slot (up to `slot` steps of thread
+    /// `tid`) on the tuned path. Hot instructions — register computes,
+    /// loads/stores, jumps and branches — execute in a burst that keeps
+    /// the thread, frame, program and plan resolved across instructions
+    /// (the plan, program and decode-table borrows are independent of
+    /// `&mut self`, and every hot arm touches a disjoint field, so the
+    /// frame borrow can live across iterations). Returns-with-a-caller
+    /// and pre-decoded direct calls exit the burst just far enough for
+    /// the frame borrow to die, pop/push the frame inline, and re-enter.
+    /// Genuinely cold instructions — indirect calls, thread exits,
+    /// lock/unlock, spawn/join — fall back to [`Execution::step_fast`]
+    /// one instruction at a time. Step accounting, fault order, event
+    /// order and payloads are identical to running the slot through
+    /// `step` `slot` times, so executions are bit-for-bit identical.
+    fn step_slot<T: Tracer>(&mut self, tid: ThreadId, slot: u64, tracer: &mut T) -> SlotOutcome {
+        /// How a burst hands a frame-changing instruction to the code
+        /// after it (where the frame borrow is out of scope).
+        enum BurstExit {
+            /// A `Return` with a caller: pop the frame.
+            Ret(Option<Operand>),
+            /// A pre-decoded direct call: push the callee frame.
+            Call {
+                dst: Option<Reg>,
+                inst_id: InstId,
+                caller_frame: FrameId,
+                pmask: u8,
+                d: DecodedCallee,
+                argv: Vec<Value>,
+            },
+        }
+        let ti = tid.index();
+        let program: &'p Program = self.program;
+        let decoded = self.decoded;
+        let plan = self.plan;
+        let mut left = slot;
+        while left > 0 {
+            // The reference loop checks the step budget before every
+            // step; the burst below never exceeds it, so checking once
+            // per burst entry is equivalent.
+            if self.steps >= self.config.max_steps {
+                return SlotOutcome::StepLimit;
+            }
+            let budget = left.min(self.config.max_steps - self.steps);
+            let mut done: u64 = 0;
+            let mut fault = None;
+            let mut cold = false;
+            {
+                let Self {
+                    threads,
+                    heap,
+                    input,
+                    input_pos,
+                    outputs,
+                    next_frame,
+                    regs_pool,
+                    argv_pool,
+                    ..
+                } = self;
+                let thread = &mut threads[ti];
+                // Each `'frames` iteration runs one frame until it
+                // returns (inline pop, then re-resolve the caller), the
+                // budget runs out, a fault fires, or a cold instruction
+                // needs the per-instruction path.
+                'frames: while done < budget {
+                    let frame = thread.stack.last_mut().expect("running thread has a frame");
+                    let exit = 'burst: loop {
+                        if done >= budget {
+                            break 'frames;
+                        }
+                        let (frame_id, block, pc) = (frame.frame_id, frame.block, frame.pc);
+                        let block_data = program.block(block);
+                        if pc >= block_data.insts.len() {
+                            match block_data.terminator {
+                                Terminator::Jump(b) => {
+                                    done += 1;
+                                    frame.block = b;
+                                    frame.pc = 0;
+                                    if plan.is_none_or(InstrPlan::block_enter) {
+                                        tracer.on_block_enter(tid, frame_id, b);
+                                    } else if let Some(p) = plan {
+                                        p.note(|e| &e.block_enters);
+                                    }
+                                    continue 'burst;
+                                }
+                                Terminator::Branch {
+                                    cond,
+                                    then_bb,
+                                    else_bb,
+                                } => {
+                                    done += 1;
+                                    let b = if Self::eval_in(frame, cond).truthy() {
+                                        then_bb
+                                    } else {
+                                        else_bb
+                                    };
+                                    frame.block = b;
+                                    frame.pc = 0;
+                                    if plan.is_none_or(InstrPlan::block_enter) {
+                                        tracer.on_block_enter(tid, frame_id, b);
+                                    } else if let Some(p) = plan {
+                                        p.note(|e| &e.block_enters);
+                                    }
+                                    continue 'burst;
+                                }
+                                Terminator::Return(op) => {
+                                    // Thread exit (no caller): cold.
+                                    if frame.ret_to.is_none() {
+                                        cold = true;
+                                        break 'frames;
+                                    }
+                                    done += 1;
+                                    break 'burst BurstExit::Ret(op);
+                                }
+                            }
+                        }
+                        let inst_id = block_data.insts[pc].id;
+                        let pmask = match plan {
+                            None => hooks::ALL,
+                            Some(p) => p.mask(inst_id),
+                        };
+                        macro_rules! compute_event {
+                            () => {
+                                if pmask & hooks::COMPUTE != 0 {
+                                    tracer.on_compute(ctx(tid, frame_id, inst_id));
+                                } else if let Some(p) = plan {
+                                    p.note(|e| &e.computes);
+                                }
+                            };
+                        }
+                        match block_data.insts[pc].kind {
+                            InstKind::Copy { dst, src } => {
+                                done += 1;
+                                let v = Self::eval_in(frame, src);
+                                frame.regs[dst.index()] = v;
+                                frame.pc += 1;
+                                compute_event!();
+                            }
+                            InstKind::BinOp { dst, op, lhs, rhs } => {
+                                done += 1;
+                                let (a, b) = (Self::eval_in(frame, lhs), Self::eval_in(frame, rhs));
+                                let v = match (a, b) {
+                                    (Value::Int(x), Value::Int(y)) => Value::Int(op.eval(x, y)),
+                                    _ => match op {
+                                        oha_ir::BinOp::Cmp(CmpOp::Eq) => {
+                                            Value::Int(i64::from(a == b))
+                                        }
+                                        oha_ir::BinOp::Cmp(CmpOp::Ne) => {
+                                            Value::Int(i64::from(a != b))
+                                        }
+                                        _ => {
+                                            fault = Some(RuntimeError::NotAnInt { inst: inst_id });
+                                            break 'frames;
+                                        }
+                                    },
+                                };
+                                frame.regs[dst.index()] = v;
+                                frame.pc += 1;
+                                compute_event!();
+                            }
+                            InstKind::Alloc { dst, fields } => {
+                                done += 1;
+                                let obj = heap.alloc(fields, inst_id);
+                                frame.regs[dst.index()] = Value::Ptr(Addr::new(obj, 0));
+                                frame.pc += 1;
+                                compute_event!();
+                            }
+                            InstKind::AddrGlobal { dst, global } => {
+                                done += 1;
+                                frame.regs[dst.index()] =
+                                    Value::Ptr(Addr::new(ObjId(global.raw()), 0));
+                                frame.pc += 1;
+                                compute_event!();
+                            }
+                            InstKind::AddrFunc { dst, func } => {
+                                done += 1;
+                                frame.regs[dst.index()] = Value::Func(func);
+                                frame.pc += 1;
+                                compute_event!();
+                            }
+                            InstKind::Gep { dst, base, field } => {
+                                done += 1;
+                                let a = match Self::eval_in(frame, base) {
+                                    Value::Ptr(a) => a,
+                                    _ => {
+                                        fault = Some(RuntimeError::NotAPointer { inst: inst_id });
+                                        break 'frames;
+                                    }
+                                };
+                                frame.regs[dst.index()] = Value::Ptr(a.offset(field));
+                                frame.pc += 1;
+                                compute_event!();
+                            }
+                            InstKind::Load { dst, addr, field } => {
+                                done += 1;
+                                let a = match Self::eval_in(frame, addr) {
+                                    Value::Ptr(a) => a.offset(field),
+                                    _ => {
+                                        fault = Some(RuntimeError::NotAPointer { inst: inst_id });
+                                        break 'frames;
+                                    }
+                                };
+                                let v = match heap.load(a) {
+                                    Some(v) => v,
+                                    None => {
+                                        fault = Some(RuntimeError::OutOfBounds {
+                                            inst: inst_id,
+                                            addr: a,
+                                        });
+                                        break 'frames;
+                                    }
+                                };
+                                frame.regs[dst.index()] = v;
+                                frame.pc += 1;
+                                if pmask & hooks::LOAD != 0 {
+                                    tracer.on_load(ctx(tid, frame_id, inst_id), a, v);
+                                } else if let Some(p) = plan {
+                                    p.note(|e| &e.loads);
+                                }
+                            }
+                            InstKind::Store { addr, field, value } => {
+                                done += 1;
+                                let (av, v) =
+                                    (Self::eval_in(frame, addr), Self::eval_in(frame, value));
+                                let a = match av {
+                                    Value::Ptr(a) => a.offset(field),
+                                    _ => {
+                                        fault = Some(RuntimeError::NotAPointer { inst: inst_id });
+                                        break 'frames;
+                                    }
+                                };
+                                if !heap.store(a, v) {
+                                    fault = Some(RuntimeError::OutOfBounds {
+                                        inst: inst_id,
+                                        addr: a,
+                                    });
+                                    break 'frames;
+                                }
+                                frame.pc += 1;
+                                if pmask & hooks::STORE != 0 {
+                                    tracer.on_store(ctx(tid, frame_id, inst_id), a, v);
+                                } else if let Some(p) = plan {
+                                    p.note(|e| &e.stores);
+                                }
+                            }
+                            InstKind::Input { dst } => {
+                                done += 1;
+                                let v = Value::Int(input.get(*input_pos).copied().unwrap_or(0));
+                                *input_pos += 1;
+                                frame.regs[dst.index()] = v;
+                                frame.pc += 1;
+                                if pmask & hooks::INPUT != 0 {
+                                    tracer.on_input(ctx(tid, frame_id, inst_id), v);
+                                } else if let Some(p) = plan {
+                                    p.note(|e| &e.inputs);
+                                }
+                            }
+                            InstKind::Output { value } => {
+                                done += 1;
+                                let v = Self::eval_in(frame, value);
+                                frame.pc += 1;
+                                outputs.push((inst_id, v));
+                                if pmask & hooks::OUTPUT != 0 {
+                                    tracer.on_output(ctx(tid, frame_id, inst_id), v);
+                                } else if let Some(p) = plan {
+                                    p.note(|e| &e.outputs);
+                                }
+                            }
+                            InstKind::Call { dst, ref args, .. } => {
+                                // Indirect (undecoded) call sites take
+                                // the per-instruction path.
+                                let Some(d) = decoded.calls[inst_id.index()] else {
+                                    cold = true;
+                                    break 'frames;
+                                };
+                                done += 1;
+                                if !d.arity_ok {
+                                    fault = Some(RuntimeError::BadArity { inst: inst_id });
+                                    break 'frames;
+                                }
+                                let mut argv = argv_pool.pop().unwrap_or_default();
+                                argv.extend(args.iter().map(|&a| Self::eval_in(frame, a)));
+                                // Resume after the call on return.
+                                frame.pc += 1;
+                                break 'burst BurstExit::Call {
+                                    dst,
+                                    inst_id,
+                                    caller_frame: frame_id,
+                                    pmask,
+                                    d,
+                                    argv,
+                                };
+                            }
+                            InstKind::Lock { .. }
+                            | InstKind::Unlock { .. }
+                            | InstKind::Spawn { .. }
+                            | InstKind::Join { .. } => {
+                                cold = true;
+                                break 'frames;
+                            }
+                        }
+                    };
+                    match exit {
+                        // Inline return: same pops, writes, event payload
+                        // and register recycling as
+                        // `step_terminator_fast`.
+                        BurstExit::Ret(ret_op) => {
+                            let mut popped =
+                                thread.stack.pop().expect("running thread has a frame");
+                            let value = ret_op.map(|o| Self::eval_in(&popped, o));
+                            let (dst, call_inst) = popped.ret_to.expect("checked above");
+                            let caller = thread.stack.last_mut().expect("caller frame exists");
+                            let caller_frame = caller.frame_id;
+                            if let (Some(d), Some(v)) = (dst, value) {
+                                caller.regs[d.index()] = v;
+                            }
+                            let wants_call = match plan {
+                                None => true,
+                                Some(p) => p.mask(call_inst) & hooks::CALL != 0,
+                            };
+                            if wants_call {
+                                tracer.on_return(
+                                    tid,
+                                    popped.frame_id,
+                                    popped.func,
+                                    value,
+                                    ret_op,
+                                    caller_frame,
+                                    call_inst,
+                                );
+                            } else if let Some(p) = plan {
+                                p.note(|e| &e.returns);
+                            }
+                            let mut regs = std::mem::take(&mut popped.regs);
+                            regs.clear();
+                            regs_pool.push(regs);
+                        }
+                        // Inline call: same frame construction, pool
+                        // recycling and event payloads as `step_cold` +
+                        // `make_frame_at`.
+                        BurstExit::Call {
+                            dst,
+                            inst_id,
+                            caller_frame,
+                            pmask,
+                            d,
+                            argv,
+                        } => {
+                            let mut regs = regs_pool.pop().unwrap_or_default();
+                            regs.clear();
+                            regs.resize(d.num_regs as usize, Value::default());
+                            regs[..argv.len()].copy_from_slice(&argv);
+                            let mut spent = argv;
+                            spent.clear();
+                            argv_pool.push(spent);
+                            let callee_frame = FrameId(*next_frame);
+                            *next_frame += 1;
+                            thread.stack.push(Frame {
+                                func: d.func,
+                                frame_id: callee_frame,
+                                block: d.entry,
+                                pc: 0,
+                                regs,
+                                ret_to: Some((dst, inst_id)),
+                            });
+                            if pmask & hooks::CALL != 0 {
+                                tracer.on_call(
+                                    ctx(tid, caller_frame, inst_id),
+                                    d.func,
+                                    callee_frame,
+                                );
+                            } else if let Some(p) = plan {
+                                p.note(|e| &e.calls);
+                            }
+                            if plan.is_none_or(InstrPlan::block_enter) {
+                                tracer.on_block_enter(tid, callee_frame, d.entry);
+                            } else if let Some(p) = plan {
+                                p.note(|e| &e.block_enters);
+                            }
+                        }
+                    }
+                }
+            }
+            self.steps += done;
+            left -= done;
+            if let Some(e) = fault {
+                // `done` includes the faulting step, as in `step_fast`.
+                return SlotOutcome::Fault(e);
+            }
+            if cold {
+                // One cold instruction via the per-instruction path; the
+                // budget arithmetic above guarantees steps < max_steps.
+                match self.step_fast(tid, tracer) {
+                    StepOutcome::Continue => left -= 1,
+                    StepOutcome::Yield => return SlotOutcome::Done { yielded: true },
+                    StepOutcome::Fault(e) => return SlotOutcome::Fault(e),
+                }
+            }
+        }
+        SlotOutcome::Done { yielded: false }
+    }
+
+    /// Tuned step loop, selected when the fast path is enabled. Same
+    /// instruction semantics as [`Execution::step`], with the running
+    /// frame resolved once per instruction instead of once per
+    /// operand/register/pc access (the reference loop re-resolves it
+    /// through `eval`/`set_reg`/`advance_pc`). Fault checks happen in the
+    /// same order, events dispatch in the same order with identical
+    /// payloads, and the scheduler is untouched, so executions are
+    /// bit-for-bit identical across the two loops.
+    fn step_fast<T: Tracer>(&mut self, tid: ThreadId, tracer: &mut T) -> StepOutcome {
+        self.steps += 1;
+        let ti = tid.index();
+        let program: &'p Program = self.program;
+        // One mutable frame resolution serves fetch and execute alike;
+        // heap/input/output accesses below borrow disjoint fields.
+        let frame = self.threads[ti]
+            .stack
+            .last_mut()
+            .expect("running thread has a frame");
+        let (frame_id, block, pc) = (frame.frame_id, frame.block, frame.pc);
+        let block_data = program.block(block);
+
+        if pc >= block_data.insts.len() {
+            // Jump/Branch are the hot terminators (one per executed basic
+            // block): handled inline on the frame already in hand. Return
+            // and thread exit pop frames and go through the cold path.
+            match block_data.terminator {
+                Terminator::Jump(b) => {
+                    frame.block = b;
+                    frame.pc = 0;
+                    self.block_enter_event(tracer, tid, frame_id, b);
+                    return StepOutcome::Continue;
+                }
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let b = if Self::eval_in(frame, cond).truthy() {
+                        then_bb
+                    } else {
+                        else_bb
+                    };
+                    frame.block = b;
+                    frame.pc = 0;
+                    self.block_enter_event(tracer, tid, frame_id, b);
+                    return StepOutcome::Continue;
+                }
+                Terminator::Return(_) => return self.step_terminator_fast(tid, block, tracer),
+            }
+        }
+
+        let inst_id = block_data.insts[pc].id;
+        let kind: &'p InstKind = &block_data.insts[pc].kind;
+        let pmask = match self.plan {
+            None => hooks::ALL,
+            Some(p) => p.mask(inst_id),
+        };
+
+        match *kind {
+            InstKind::Copy { dst, src } => {
+                let v = Self::eval_in(frame, src);
+                frame.regs[dst.index()] = v;
+                frame.pc += 1;
+                self.compute_event(tracer, pmask, tid, frame_id, inst_id);
+            }
+            InstKind::BinOp { dst, op, lhs, rhs } => {
+                let (a, b) = (Self::eval_in(frame, lhs), Self::eval_in(frame, rhs));
+                let v = match (a, b) {
+                    (Value::Int(x), Value::Int(y)) => Value::Int(op.eval(x, y)),
+                    _ => match op {
+                        oha_ir::BinOp::Cmp(CmpOp::Eq) => Value::Int(i64::from(a == b)),
+                        oha_ir::BinOp::Cmp(CmpOp::Ne) => Value::Int(i64::from(a != b)),
+                        _ => return StepOutcome::Fault(RuntimeError::NotAnInt { inst: inst_id }),
+                    },
+                };
+                frame.regs[dst.index()] = v;
+                frame.pc += 1;
+                self.compute_event(tracer, pmask, tid, frame_id, inst_id);
+            }
+            InstKind::Alloc { dst, fields } => {
+                let obj = self.heap.alloc(fields, inst_id);
+                frame.regs[dst.index()] = Value::Ptr(Addr::new(obj, 0));
+                frame.pc += 1;
+                self.compute_event(tracer, pmask, tid, frame_id, inst_id);
+            }
+            InstKind::AddrGlobal { dst, global } => {
+                frame.regs[dst.index()] = Value::Ptr(Addr::new(ObjId(global.raw()), 0));
+                frame.pc += 1;
+                self.compute_event(tracer, pmask, tid, frame_id, inst_id);
+            }
+            InstKind::AddrFunc { dst, func } => {
+                frame.regs[dst.index()] = Value::Func(func);
+                frame.pc += 1;
+                self.compute_event(tracer, pmask, tid, frame_id, inst_id);
+            }
+            InstKind::Gep { dst, base, field } => {
+                let a = match Self::eval_in(frame, base) {
+                    Value::Ptr(a) => a,
+                    _ => return StepOutcome::Fault(RuntimeError::NotAPointer { inst: inst_id }),
+                };
+                frame.regs[dst.index()] = Value::Ptr(a.offset(field));
+                frame.pc += 1;
+                self.compute_event(tracer, pmask, tid, frame_id, inst_id);
+            }
+            InstKind::Load { dst, addr, field } => {
+                let a = match Self::eval_in(frame, addr) {
+                    Value::Ptr(a) => a.offset(field),
+                    _ => return StepOutcome::Fault(RuntimeError::NotAPointer { inst: inst_id }),
+                };
+                let v = match self.heap.load(a) {
+                    Some(v) => v,
+                    None => {
+                        return StepOutcome::Fault(RuntimeError::OutOfBounds {
+                            inst: inst_id,
+                            addr: a,
+                        })
+                    }
+                };
+                frame.regs[dst.index()] = v;
+                frame.pc += 1;
+                if pmask & hooks::LOAD != 0 {
+                    tracer.on_load(ctx(tid, frame_id, inst_id), a, v);
+                } else {
+                    self.note_elided(|e| &e.loads);
+                }
+            }
+            InstKind::Store { addr, field, value } => {
+                let (av, v) = (Self::eval_in(frame, addr), Self::eval_in(frame, value));
+                let a = match av {
+                    Value::Ptr(a) => a.offset(field),
+                    _ => return StepOutcome::Fault(RuntimeError::NotAPointer { inst: inst_id }),
+                };
+                if !self.heap.store(a, v) {
+                    return StepOutcome::Fault(RuntimeError::OutOfBounds {
+                        inst: inst_id,
+                        addr: a,
+                    });
+                }
+                frame.pc += 1;
+                if pmask & hooks::STORE != 0 {
+                    tracer.on_store(ctx(tid, frame_id, inst_id), a, v);
+                } else {
+                    self.note_elided(|e| &e.stores);
+                }
+            }
             InstKind::Input { dst } => {
                 let v = Value::Int(self.input.get(self.input_pos).copied().unwrap_or(0));
                 self.input_pos += 1;
-                self.set_reg(tid, dst, v);
-                tracer.on_input(ctx, v);
+                frame.regs[dst.index()] = v;
+                frame.pc += 1;
+                if pmask & hooks::INPUT != 0 {
+                    tracer.on_input(ctx(tid, frame_id, inst_id), v);
+                } else {
+                    self.note_elided(|e| &e.inputs);
+                }
             }
             InstKind::Output { value } => {
-                let v = self.eval(tid, value);
+                let v = Self::eval_in(frame, value);
+                frame.pc += 1;
                 self.outputs.push((inst_id, v));
-                tracer.on_output(ctx, v);
+                if pmask & hooks::OUTPUT != 0 {
+                    tracer.on_output(ctx(tid, frame_id, inst_id), v);
+                } else {
+                    self.note_elided(|e| &e.outputs);
+                }
+            }
+            InstKind::Call { .. }
+            | InstKind::Lock { .. }
+            | InstKind::Unlock { .. }
+            | InstKind::Spawn { .. }
+            | InstKind::Join { .. } => {
+                return self.step_cold(tid, tracer, frame_id, inst_id, kind, pmask)
             }
         }
-        self.advance_pc(tid);
         StepOutcome::Continue
     }
 
@@ -872,7 +1845,7 @@ impl<'p, 'i> Execution<'p, 'i> {
         match *terminator {
             Terminator::Jump(b) => {
                 self.goto(tid, b);
-                tracer.on_block_enter(tid, frame_id, b);
+                self.block_enter_event(tracer, tid, frame_id, b);
                 StepOutcome::Continue
             }
             Terminator::Branch {
@@ -886,7 +1859,7 @@ impl<'p, 'i> Execution<'p, 'i> {
                     else_bb
                 };
                 self.goto(tid, b);
-                tracer.on_block_enter(tid, frame_id, b);
+                self.block_enter_event(tracer, tid, frame_id, b);
                 StepOutcome::Continue
             }
             Terminator::Return(op) => {
@@ -906,15 +1879,21 @@ impl<'p, 'i> Execution<'p, 'i> {
                         if let (Some(d), Some(v)) = (dst, value) {
                             self.set_reg(tid, d, v);
                         }
-                        tracer.on_return(
-                            tid,
-                            frame.frame_id,
-                            frame.func,
-                            value,
-                            operand,
-                            caller_frame,
-                            call_inst,
-                        );
+                        // `on_return` is gated by the CALL bit of the
+                        // call site the frame returns to (see plan.rs).
+                        if self.wants(call_inst, hooks::CALL) {
+                            tracer.on_return(
+                                tid,
+                                frame.frame_id,
+                                frame.func,
+                                value,
+                                operand,
+                                caller_frame,
+                                call_inst,
+                            );
+                        } else {
+                            self.note_elided(|e| &e.returns);
+                        }
                         StepOutcome::Continue
                     }
                     None => {
@@ -941,6 +1920,78 @@ impl<'p, 'i> Execution<'p, 'i> {
             .expect("running thread has a frame");
         frame.block = b;
         frame.pc = 0;
+    }
+
+    /// Tuned terminator step used by [`Execution::step_fast`]: one frame
+    /// resolution per jump/branch, and popped frames return their
+    /// register storage to the pool. Same semantics, fault order and
+    /// event order as [`Execution::step_terminator`].
+    fn step_terminator_fast<T: Tracer>(
+        &mut self,
+        tid: ThreadId,
+        block: BlockId,
+        tracer: &mut T,
+    ) -> StepOutcome {
+        let program: &'p Program = self.program;
+        let terminator = &program.block(block).terminator;
+        let ti = tid.index();
+        match *terminator {
+            Terminator::Jump(_) | Terminator::Branch { .. } => {
+                unreachable!("jump/branch terminators are handled inline by step_fast")
+            }
+            Terminator::Return(op) => {
+                let mut frame = self.threads[ti]
+                    .stack
+                    .pop()
+                    .expect("running thread has a frame");
+                let value = op.map(|o| Self::eval_in(&frame, o));
+                let operand = op;
+                let out = match frame.ret_to {
+                    Some((dst, call_inst)) => {
+                        let caller = self.threads[ti]
+                            .stack
+                            .last_mut()
+                            .expect("caller frame exists");
+                        let caller_frame = caller.frame_id;
+                        if let (Some(d), Some(v)) = (dst, value) {
+                            caller.regs[d.index()] = v;
+                        }
+                        // `on_return` is gated by the CALL bit of the
+                        // call site the frame returns to (see plan.rs).
+                        if self.wants(call_inst, hooks::CALL) {
+                            tracer.on_return(
+                                tid,
+                                frame.frame_id,
+                                frame.func,
+                                value,
+                                operand,
+                                caller_frame,
+                                call_inst,
+                            );
+                        } else {
+                            self.note_elided(|e| &e.returns);
+                        }
+                        StepOutcome::Continue
+                    }
+                    None => {
+                        // Thread entry frame: the thread is done.
+                        self.threads[ti].state = ThreadState::Done;
+                        tracer.on_thread_exit(tid);
+                        let waiters = std::mem::take(&mut self.threads[ti].join_waiters);
+                        for w in waiters {
+                            if self.threads[w.index()].state == ThreadState::BlockedJoin(tid) {
+                                self.threads[w.index()].state = ThreadState::Runnable;
+                            }
+                        }
+                        StepOutcome::Yield
+                    }
+                };
+                let mut regs = std::mem::take(&mut frame.regs);
+                regs.clear();
+                self.regs_pool.push(regs);
+                out
+            }
+        }
     }
 }
 

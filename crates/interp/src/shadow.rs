@@ -1,0 +1,162 @@
+//! Dense addr-indexed shadow memory with a spill fallback.
+//!
+//! Dynamic analyses keep per-address metadata: FastTrack's variable and
+//! lock states, Giri's last-store event index, the interpreter's own
+//! mutex table. Address-keyed `HashMap`s pay a hash and a probe on every
+//! event; but the interpreter's [`Addr`] space is *dense by
+//! construction* — object ids count up from zero (globals first, heap
+//! allocations in order) and field offsets are small — so shadow state
+//! can live in flat arrays indexed directly by `(obj, field)`.
+//!
+//! [`ShadowMap`] stores one lazily-grown row of values per object
+//! ("pages" keyed off the `Addr` layout) and falls back to a spill
+//! `HashMap` for addresses outside the dense window (huge object ids or
+//! field offsets, which only adversarial programs produce). A map
+//! constructed in *spill-only* mode is exactly the pre-optimization
+//! representation; the equivalence suite runs both modes side by side.
+//!
+//! The map has value semantics: every address implicitly holds `empty`
+//! until written, and no operation observes whether a slot was
+//! materialized, so dense and spill-only layouts are indistinguishable
+//! to callers. There is deliberately no iteration — iteration order
+//! would differ between layouts.
+
+use std::collections::HashMap;
+
+use crate::value::Addr;
+
+/// Object ids at or above this spill to the fallback map.
+const MAX_DENSE_OBJECTS: usize = 1 << 20;
+/// Field offsets at or above this spill to the fallback map.
+const MAX_DENSE_FIELDS: usize = 1 << 12;
+
+/// Dense addr-indexed shadow memory (see the module docs).
+#[derive(Clone, Debug)]
+pub struct ShadowMap<V> {
+    /// The implicit value of every never-written address.
+    empty: V,
+    /// Whether the dense rows are in use (fast path) or everything goes
+    /// through `spill` (reference path).
+    dense: bool,
+    /// Per-object value rows, indexed by `Addr::obj` then `Addr::field`.
+    rows: Vec<Vec<V>>,
+    /// Fallback for addresses outside the dense window — and the entire
+    /// store in spill-only mode.
+    spill: HashMap<Addr, V>,
+}
+
+impl<V: Clone> ShadowMap<V> {
+    /// A shadow map whose layout follows the process-wide
+    /// [`fastpath`](crate::fastpath) toggle.
+    pub fn new(empty: V) -> Self {
+        Self::with_layout(empty, crate::fastpath::enabled())
+    }
+
+    /// A shadow map that keeps everything in the spill `HashMap` — the
+    /// reference representation the fast path is checked against.
+    pub fn spill_only(empty: V) -> Self {
+        Self::with_layout(empty, false)
+    }
+
+    /// A shadow map with an explicit layout choice.
+    pub fn with_layout(empty: V, dense: bool) -> Self {
+        Self {
+            empty,
+            dense,
+            rows: Vec::new(),
+            spill: HashMap::new(),
+        }
+    }
+
+    #[inline]
+    fn in_dense_window(&self, a: Addr) -> bool {
+        self.dense
+            && (a.obj.0 as usize) < MAX_DENSE_OBJECTS
+            && (a.field as usize) < MAX_DENSE_FIELDS
+    }
+
+    /// The value at `a` (`empty` if never written). Never allocates.
+    #[inline]
+    pub fn get(&self, a: Addr) -> &V {
+        if self.in_dense_window(a) {
+            self.rows
+                .get(a.obj.0 as usize)
+                .and_then(|row| row.get(a.field as usize))
+                .unwrap_or(&self.empty)
+        } else {
+            self.spill.get(&a).unwrap_or(&self.empty)
+        }
+    }
+
+    /// A mutable reference to the value at `a`, materializing `empty`
+    /// slots on demand.
+    #[inline]
+    pub fn get_mut(&mut self, a: Addr) -> &mut V {
+        if self.in_dense_window(a) {
+            let obj = a.obj.0 as usize;
+            if self.rows.len() <= obj {
+                self.rows.resize_with(obj + 1, Vec::new);
+            }
+            let row = &mut self.rows[obj];
+            let field = a.field as usize;
+            if row.len() <= field {
+                row.resize(field + 1, self.empty.clone());
+            }
+            &mut row[field]
+        } else {
+            let empty = &self.empty;
+            self.spill.entry(a).or_insert_with(|| empty.clone())
+        }
+    }
+
+    /// Replaces the value at `a`.
+    #[inline]
+    pub fn insert(&mut self, a: Addr, v: V) {
+        *self.get_mut(a) = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ObjId;
+
+    fn addr(obj: u32, field: u32) -> Addr {
+        Addr::new(ObjId(obj), field)
+    }
+
+    #[test]
+    fn dense_and_spill_layouts_agree() {
+        let probes = [
+            addr(0, 0),
+            addr(3, 7),
+            addr(3, 8),
+            addr(0x7fff_ffff, 5), // beyond the dense object window
+            addr(2, (MAX_DENSE_FIELDS + 9) as u32), // beyond the dense field window
+        ];
+        let mut dense = ShadowMap::with_layout(0u32, true);
+        let mut spill = ShadowMap::spill_only(0u32);
+        for (i, &a) in probes.iter().enumerate() {
+            assert_eq!(*dense.get(a), 0);
+            assert_eq!(*spill.get(a), 0);
+            dense.insert(a, i as u32 + 1);
+            spill.insert(a, i as u32 + 1);
+        }
+        for (i, &a) in probes.iter().enumerate() {
+            assert_eq!(*dense.get(a), i as u32 + 1);
+            assert_eq!(*spill.get(a), i as u32 + 1);
+            assert_eq!(*dense.get_mut(a), i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn empty_value_is_configurable() {
+        let mut m = ShadowMap::with_layout(u32::MAX, true);
+        assert_eq!(*m.get(addr(9, 9)), u32::MAX);
+        *m.get_mut(addr(9, 9)) = 0;
+        assert_eq!(*m.get(addr(9, 9)), 0);
+        // Materializing one slot fills earlier slots with `empty`, not a
+        // type default.
+        assert_eq!(*m.get(addr(9, 3)), u32::MAX);
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use oha_interp::{Addr, EventCtx, FrameId, ThreadId, Tracer};
+use oha_interp::{hooks, Addr, EventCtx, FrameId, InstrPlan, ThreadId, Tracer};
 use oha_ir::{BlockId, Callee, FuncId, InstId, InstKind, Program};
 
 use crate::bloom::Bloom;
@@ -303,6 +303,48 @@ impl<'a> InvariantChecker<'a> {
             self.stacks.resize(thread.index() + 1, Vec::new());
         }
         &mut self.stacks[thread.index()]
+    }
+
+    /// Compiles the checker's needs into an instrumentation plan (see
+    /// [`InstrPlan`]): block-enter iff LUC checks run, call hooks at
+    /// every call site when contexts are checked (plus indirect sites
+    /// for callee checks), lock hooks only at sites carrying a must- or
+    /// self-alias assumption. Spawn events are always dispatched by the
+    /// machine, so singleton checks need no plan bits. Running under
+    /// this plan is behaviourally identical to running without one.
+    pub fn plan_for(program: &Program, set: &InvariantSet, enabled: ChecksEnabled) -> InstrPlan {
+        let mut plan = InstrPlan::none(program.num_insts());
+        if enabled.luc {
+            plan.require_block_enter();
+        }
+        let mut lock_sites: BTreeSet<InstId> = BTreeSet::new();
+        if enabled.lock_alias {
+            lock_sites.extend(set.self_alias_locks.iter().copied());
+            for &(a, b) in &set.must_alias_locks {
+                lock_sites.insert(a);
+                lock_sites.insert(b);
+            }
+        }
+        for inst in program.insts() {
+            match inst.kind {
+                InstKind::Call { ref callee, .. } => {
+                    let indirect = matches!(callee, Callee::Indirect(_));
+                    if enabled.contexts || (enabled.callees && indirect) {
+                        plan.require(inst.id, hooks::CALL);
+                    }
+                }
+                InstKind::Lock { .. } if lock_sites.contains(&inst.id) => {
+                    plan.require(inst.id, hooks::LOCK);
+                }
+                _ => {}
+            }
+        }
+        plan
+    }
+
+    /// The plan matching this checker's own set and enabled checks.
+    pub fn plan(&self, program: &Program) -> InstrPlan {
+        Self::plan_for(program, self.set, self.enabled)
     }
 }
 

@@ -1,0 +1,226 @@
+//! Fast-path equivalence: the dynamic-phase fast path (compiled
+//! instrumentation plans + dense shadow memory) must be observationally
+//! invisible. Reference (spill-map-only, plan-off) and fast configurations
+//! are run side by side over the full workload suites and must produce
+//! byte-identical canonical JSON, identical race sets and slices, and
+//! identical `RunReport` counters — at 1 and 4 profiling threads, and with
+//! the artifact store cold and warm.
+
+use std::sync::{Mutex, OnceLock};
+
+use oha::core::{
+    optft_canonical_json, optslice_canonical_json, Pipeline, PipelineConfig, StoreConfig,
+};
+use oha::interp::fastpath;
+use oha::workloads::{c_suite, java_suite, Workload, WorkloadParams};
+
+/// The fast-path toggle is process-global state; every section that forces
+/// it must be serialized against the other tests in this binary.
+fn toggle_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Clears the override even if the measured closure panics.
+struct ResetOnDrop;
+impl Drop for ResetOnDrop {
+    fn drop(&mut self) {
+        fastpath::force(None);
+    }
+}
+
+/// Runs `f` with the fast path forced on or off, holding the toggle lock.
+fn with_mode<T>(fast: bool, f: impl FnOnce() -> T) -> T {
+    let _serial = toggle_lock().lock().unwrap_or_else(|e| e.into_inner());
+    let _reset = ResetOnDrop;
+    fastpath::force(Some(fast));
+    f()
+}
+
+fn all_workloads() -> Vec<Workload> {
+    let params = WorkloadParams::small();
+    java_suite::all(&params)
+        .into_iter()
+        .chain(c_suite::all(&params))
+        .collect()
+}
+
+fn with_threads(threads: usize) -> PipelineConfig {
+    PipelineConfig {
+        threads,
+        ..PipelineConfig::default()
+    }
+}
+
+/// One OptFT run in the given mode; returns everything the equivalence
+/// contract covers.
+fn optft_observables(
+    w: &Workload,
+    config: &PipelineConfig,
+    fast: bool,
+) -> (String, Vec<String>, std::collections::BTreeMap<String, u64>) {
+    with_mode(fast, || {
+        let outcome = Pipeline::new(w.program.clone())
+            .with_config(config.clone())
+            .run_optft(&w.profiling_inputs, &w.testing_inputs);
+        let races: Vec<String> = outcome
+            .runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{:?}|{:?}|{:?}|{}",
+                    r.races_full, r.races_hybrid, r.races_opt, r.violations
+                )
+            })
+            .collect();
+        (
+            optft_canonical_json(&outcome),
+            races,
+            outcome.report.counters.clone(),
+        )
+    })
+}
+
+fn optslice_observables(
+    w: &Workload,
+    config: &PipelineConfig,
+    fast: bool,
+) -> (String, Vec<String>, std::collections::BTreeMap<String, u64>) {
+    with_mode(fast, || {
+        let outcome = Pipeline::new(w.program.clone())
+            .with_config(config.clone())
+            .run_optslice(&w.profiling_inputs, &w.testing_inputs, &w.endpoints);
+        let slices: Vec<String> = outcome
+            .runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}|{}|{}|{}",
+                    r.hybrid_slice_len, r.opt_slice_len, r.slices_equal, r.rolled_back
+                )
+            })
+            .collect();
+        (
+            optslice_canonical_json(&outcome),
+            slices,
+            outcome.report.counters.clone(),
+        )
+    })
+}
+
+#[test]
+fn optft_fast_path_matches_reference_on_all_workloads() {
+    for w in all_workloads() {
+        for threads in [1, 4] {
+            let config = with_threads(threads);
+            let (json_ref, races_ref, counters_ref) = optft_observables(&w, &config, false);
+            let (json_fast, races_fast, counters_fast) = optft_observables(&w, &config, true);
+            assert_eq!(
+                json_ref, json_fast,
+                "{} (threads={threads}): canonical OptFT JSON diverged",
+                w.name
+            );
+            assert_eq!(
+                races_ref, races_fast,
+                "{} (threads={threads}): race sets diverged",
+                w.name
+            );
+            assert_eq!(
+                counters_ref, counters_fast,
+                "{} (threads={threads}): report counters diverged",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn optslice_fast_path_matches_reference_on_all_workloads() {
+    for w in all_workloads() {
+        for threads in [1, 4] {
+            let config = with_threads(threads);
+            let (json_ref, slices_ref, counters_ref) = optslice_observables(&w, &config, false);
+            let (json_fast, slices_fast, counters_fast) = optslice_observables(&w, &config, true);
+            assert_eq!(
+                json_ref, json_fast,
+                "{} (threads={threads}): canonical OptSlice JSON diverged",
+                w.name
+            );
+            assert_eq!(
+                slices_ref, slices_fast,
+                "{} (threads={threads}): dynamic slices diverged",
+                w.name
+            );
+            assert_eq!(
+                counters_ref, counters_fast,
+                "{} (threads={threads}): report counters diverged",
+                w.name
+            );
+        }
+    }
+}
+
+/// Cold and warm artifact-store passes agree across modes: each mode gets
+/// its own store directory (so hit/miss counters line up pass-for-pass),
+/// and the reference and fast results must match on both passes.
+#[test]
+fn fast_path_matches_reference_with_store_cold_and_warm() {
+    let params = WorkloadParams::small();
+    let workloads = [
+        java_suite::all(&params).swap_remove(0),
+        c_suite::all(&params).swap_remove(0),
+    ];
+    let root = std::env::temp_dir().join(format!("oha-dyn-equiv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+
+    for (i, w) in workloads.iter().enumerate() {
+        let config_for = |mode: &str| PipelineConfig {
+            store: Some(StoreConfig::new(root.join(format!("store-{i}-{mode}")))),
+            ..PipelineConfig::default()
+        };
+        for pass in ["cold", "warm"] {
+            let (json_ref, races_ref, counters_ref) =
+                optft_observables(w, &config_for("ref"), false);
+            let (json_fast, races_fast, counters_fast) =
+                optft_observables(w, &config_for("fast"), true);
+            assert_eq!(
+                json_ref, json_fast,
+                "{} ({pass} store): canonical OptFT JSON diverged",
+                w.name
+            );
+            assert_eq!(
+                races_ref, races_fast,
+                "{} ({pass} store): race sets diverged",
+                w.name
+            );
+            assert_eq!(
+                counters_ref, counters_fast,
+                "{} ({pass} store): report counters diverged",
+                w.name
+            );
+
+            let (sjson_ref, slices_ref, scounters_ref) =
+                optslice_observables(w, &config_for("ref"), false);
+            let (sjson_fast, slices_fast, scounters_fast) =
+                optslice_observables(w, &config_for("fast"), true);
+            assert_eq!(
+                sjson_ref, sjson_fast,
+                "{} ({pass} store): canonical OptSlice JSON diverged",
+                w.name
+            );
+            assert_eq!(
+                slices_ref, slices_fast,
+                "{} ({pass} store): dynamic slices diverged",
+                w.name
+            );
+            assert_eq!(
+                scounters_ref, scounters_fast,
+                "{} ({pass} store): report counters diverged",
+                w.name
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
