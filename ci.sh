@@ -6,6 +6,7 @@
 #   ./ci.sh           full gate (fmt, clippy, release build+tests, bench smoke)
 #   ./ci.sh --quick   pre-push loop: fmt, clippy, debug tests only
 #   ./ci.sh --chaos   fault-injection gate only (release build + chaos smoke)
+#   ./ci.sh --cluster cluster gate only (release build + cluster smoke)
 #
 # Each stage prints "==> name" when it starts and "<== name (Ns)" when it
 # finishes, so CI logs show where the time goes.
@@ -14,13 +15,15 @@ cd "$(dirname "$0")"
 
 QUICK=0
 CHAOS=0
+CLUSTER=0
 for arg in "$@"; do
     case "$arg" in
     --quick) QUICK=1 ;;
     --chaos) CHAOS=1 ;;
+    --cluster) CLUSTER=1 ;;
     *)
         echo "unknown argument: $arg" >&2
-        echo "usage: ./ci.sh [--quick|--chaos]" >&2
+        echo "usage: ./ci.sh [--quick|--chaos|--cluster]" >&2
         exit 2
         ;;
     esac
@@ -35,10 +38,12 @@ stage() {
     echo "<== $name ($((SECONDS - start))s)"
 }
 
-# Starts ./target/release/oha-serve and waits for the socket, leaving
-# the daemon's pid in $DAEMON (a global: command substitution would fork
-# a subshell and make the daemon unwaitable). Arguments: socket path,
-# log file, then extra daemon flags.
+# Starts ./target/release/oha-serve, leaving the daemon's pid in $DAEMON
+# (a global: command substitution would fork a subshell and make the
+# daemon unwaitable). No bind-wait loop: clients retry the connect until
+# their deadline, so a late-binding daemon is the client's problem to
+# absorb, not the harness's to poll for. Arguments: socket path, log
+# file, then extra daemon flags.
 DAEMON=""
 start_daemon() {
     local sock="$1" log="$2"
@@ -46,13 +51,6 @@ start_daemon() {
     rm -f "$sock"
     ./target/release/oha-serve --socket "$sock" "$@" >>"$log" 2>&1 &
     DAEMON=$!
-    local i
-    for i in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.05; done
-    if [ ! -S "$sock" ]; then
-        echo "daemon did not bind $sock (log: $log)" >&2
-        cat "$log" >&2
-        return 1
-    fi
 }
 
 # A tiny fig5 + table1 run on the small workload scale (OHA_SMOKE=1), each
@@ -166,12 +164,6 @@ store_smoke() {
     local daemon i pid
     ./target/release/oha-serve --socket "$sock" --store "$store" 2>"$out/serve1.log" &
     daemon=$!
-    for i in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.05; done
-    if [ ! -S "$sock" ]; then
-        echo "store-smoke: daemon did not bind $sock" >&2
-        cat "$out/serve1.log" >&2
-        return 1
-    fi
 
     local pids=()
     for i in $(seq 1 16); do
@@ -212,7 +204,6 @@ store_smoke() {
     # of the static phases.
     ./target/release/oha-serve --socket "$sock" --store "$store" 2>"$out/serve2.log" &
     daemon=$!
-    for i in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.05; done
     ./target/release/oha-client --socket "$sock" optft --program "$prog" >"$out/warm.json"
     if ! cmp -s "$out/cold.1.json" "$out/warm.json"; then
         echo "store-smoke: warm restart diverged from the cold result" >&2
@@ -272,12 +263,6 @@ print(f"    trace OK: {len(events)} events on {len(depth)} tracks")
     OHA_TRACE=1 ./target/release/oha-serve --socket "$sock" \
         --trace-out "$out/serve.trace.json" 2>"$out/serve.log" &
     daemon=$!
-    for i in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.05; done
-    if [ ! -S "$sock" ]; then
-        echo "trace-smoke: daemon did not bind $sock" >&2
-        cat "$out/serve.log" >&2
-        return 1
-    fi
     for i in 1 2; do
         ./target/release/oha-client --socket "$sock" optft --program "$prog" >/dev/null
     done
@@ -473,10 +458,167 @@ print(f"    fault counters: {faults}")
     done
 }
 
+# Cluster smoke: the sharded serving gate. A 3-worker oha-router fleet
+# must serve 16 concurrent clients bytes identical to a single-daemon
+# oracle; SIGKILLing the busiest worker must fail requests over (correct
+# bytes, failovers counted) and the supervisor must restart it; the
+# aggregated Prometheus exposition must parse and carry the cluster
+# families; shutdown must drain the fleet and remove the front socket.
+# Artifacts (router + worker logs, stats snapshots) land in
+# target/ci-cluster/ so CI can upload them.
+cluster_smoke() {
+    local out="target/ci-cluster"
+    rm -rf "$out"
+    mkdir -p "$out"
+    local prog="$out/zlib.ir"
+    ./target/release/print_workload zlib >"$prog"
+
+    # The oracle: one clean single-daemon round.
+    start_daemon "$out/oracle.sock" "$out/oracle-serve.log" --store "$out/store-oracle"
+    ./target/release/oha-client --socket "$out/oracle.sock" optft --program "$prog" \
+        >"$out/expected.json"
+    ./target/release/oha-client --socket "$out/oracle.sock" shutdown >/dev/null
+    wait "$DAEMON"
+    if [ ! -s "$out/expected.json" ]; then
+        echo "cluster-smoke: oracle run produced no output" >&2
+        return 1
+    fi
+
+    # The fleet: 3 workers behind one front socket. A 1s restart backoff
+    # keeps the killed worker down long enough that the failover path
+    # (not the supervisor's respawn) has to serve the post-kill requests.
+    local rsock="$out/router.sock"
+    ./target/release/oha-router --socket "$rsock" --workers 3 --dir "$out/fleet" \
+        --store "$out/store-cluster" --backoff-ms 1000 --health-ms 200 \
+        2>"$out/router.log" &
+    local router=$!
+
+    local pids=() i
+    for i in $(seq 1 16); do
+        ./target/release/oha-client --socket "$rsock" optft --program "$prog" \
+            >"$out/cluster.$i.json" 2>>"$out/cluster-client.log" &
+        pids+=("$!")
+    done
+    for i in $(seq 1 16); do
+        if ! wait "${pids[$((i - 1))]}"; then
+            echo "cluster-smoke: concurrent client $i failed" >&2
+            cat "$out/cluster-client.log" "$out/router.log" >&2
+            return 1
+        fi
+        if ! cmp -s "$out/expected.json" "$out/cluster.$i.json"; then
+            echo "cluster-smoke: client $i's bytes diverged from the oracle" >&2
+            return 1
+        fi
+    done
+
+    # Aim at the key's home worker: the shard that served the requests.
+    ./target/release/oha-client --socket "$rsock" stats --raw >"$out/stats-before.json"
+    local victim
+    victim=$(python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    cluster = json.load(f)["cluster"]
+shards = cluster["shard_requests"]
+home = shards.index(max(shards))
+pid = cluster["pids"][home]
+if max(shards) <= 0 or pid <= 0:
+    sys.exit(f"no busy shard to kill: {cluster}")
+print(pid)
+' "$out/stats-before.json") || {
+        echo "cluster-smoke: could not pick a kill target" >&2
+        cat "$out/stats-before.json" >&2
+        return 1
+    }
+    kill -9 "$victim"
+
+    # The same request must still return oracle bytes: the router fails
+    # over along the key's rendezvous ranking while the home is down.
+    ./target/release/oha-client --socket "$rsock" optft --program "$prog" \
+        >"$out/failover.json" 2>>"$out/cluster-client.log"
+    if ! cmp -s "$out/expected.json" "$out/failover.json"; then
+        echo "cluster-smoke: post-kill request diverged from the oracle" >&2
+        cat "$out/router.log" >&2
+        return 1
+    fi
+
+    # The supervisor must notice the death, restart the worker, and the
+    # router must have counted the failover.
+    local recovered=0
+    for i in $(seq 1 150); do
+        ./target/release/oha-client --socket "$rsock" stats --raw >"$out/stats-after.json"
+        if python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    cluster = json.load(f)["cluster"]
+ok = (cluster["live_workers"] == cluster["workers"]
+      and cluster["restarts"] >= 1 and cluster["failovers"] >= 1)
+sys.exit(0 if ok else 1)
+' "$out/stats-after.json"; then
+            recovered=1
+            break
+        fi
+        sleep 0.2
+    done
+    if [ "$recovered" -ne 1 ]; then
+        echo "cluster-smoke: fleet never recovered from the kill" >&2
+        cat "$out/stats-after.json" "$out/router.log" >&2
+        return 1
+    fi
+    echo "    cluster: 16/16 oracle-identical, worker $victim killed," \
+        "failover served, supervisor restarted it"
+
+    # The aggregated exposition parses as Prometheus text format and
+    # carries both the per-worker families and the cluster's own.
+    ./target/release/oha-client --socket "$rsock" metrics >"$out/metrics.prom"
+    python3 -c '
+import sys
+families = set()
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        name_part = line.split(" ", 1)
+        if len(name_part) != 2:
+            sys.exit(f"unparsable sample line: {line!r}")
+        float(name_part[1])  # value must be numeric
+        families.add(name_part[0].split("{", 1)[0])
+for needed in ("oha_requests_total", "oha_request_latency_seconds_bucket",
+               "oha_cluster_workers", "oha_cluster_live_workers",
+               "oha_cluster_worker_restarts_total", "oha_cluster_forwarded_total",
+               "oha_cluster_failovers_total", "oha_cluster_shard_requests_total"):
+    if needed not in families:
+        sys.exit(f"exposition missing family {needed}")
+print(f"    metrics: {len(families)} families parsed")
+' "$out/metrics.prom" || {
+        echo "cluster-smoke: aggregated exposition unparsable or incomplete" >&2
+        cat "$out/metrics.prom" >&2
+        return 1
+    }
+
+    ./target/release/oha-client --socket "$rsock" shutdown >/dev/null
+    if ! wait "$router"; then
+        echo "cluster-smoke: router did not drain cleanly" >&2
+        cat "$out/router.log" >&2
+        return 1
+    fi
+    if [ -S "$rsock" ]; then
+        echo "cluster-smoke: drained router left its socket behind" >&2
+        return 1
+    fi
+}
+
 if [ "$CHAOS" = 1 ]; then
     stage "cargo build --release (workspace)" cargo build --locked --release --workspace
     stage "chaos-smoke (fault plan + crash recovery)" chaos_smoke
     echo "CI green (chaos)."
+    exit 0
+fi
+
+if [ "$CLUSTER" = 1 ]; then
+    stage "cargo build --release (workspace)" cargo build --locked --release --workspace
+    stage "cluster-smoke (3-worker router, kill + failover + recovery)" cluster_smoke
+    echo "CI green (cluster)."
     exit 0
 fi
 
@@ -502,5 +644,6 @@ stage "store-smoke (16-client daemon round-trip + warm restart)" store_smoke
 stage "trace-smoke (Chrome trace export + live daemon metrics)" trace_smoke
 stage "bench-store-smoke (cold/warm + daemon, --json)" bench_store_smoke
 stage "chaos-smoke (fault plan + crash recovery)" chaos_smoke
+stage "cluster-smoke (3-worker router, kill + failover + recovery)" cluster_smoke
 
 echo "CI green."

@@ -1,0 +1,218 @@
+//! Cluster probe: warm-store throughput through `oha-router` at fleet
+//! size 1 vs 3, over one shared front socket. This is the driver behind
+//! `scripts/bench_cluster.sh` (which wraps repeated runs into
+//! `BENCH_cluster.json`).
+//!
+//! Workers are real `oha-serve` processes resolved from this binary's
+//! own directory, so run it from `target/release/` with `oha-serve`
+//! built alongside (the script does both). Every measured response is
+//! byte-compared against an in-process single-pipeline oracle — the
+//! throughput number only counts requests that honored the cluster's
+//! identity contract.
+//!
+//! Honesty note: the fleet multiplies *processes*, not cores. On a host
+//! where `available_parallelism` is 1 (the committed artifact's case),
+//! the 3-worker figure measures routing + supervision overhead under
+//! contention, not scaling — expect speedup near or below 1.0 there,
+//! and read the numbers together with the recorded `host` block.
+
+use std::path::Path;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use oha_bench::Reporter;
+use oha_cluster::{Router, RouterConfig, SupervisorConfig, WorkerSpec};
+use oha_core::{optft_canonical_json, Pipeline};
+use oha_ir::print_program;
+use oha_serve::{Client, Tool};
+use oha_workloads::c_suite;
+
+/// One distinct request corpus: its inputs and the oracle bytes any
+/// worker must return for them.
+struct Variant {
+    profiling: Vec<Vec<i64>>,
+    testing: Vec<Vec<i64>>,
+    expected: String,
+}
+
+struct FleetResult {
+    workers: usize,
+    requests: usize,
+    elapsed_s: f64,
+    rps: f64,
+}
+
+fn variants(smoke: bool) -> (String, Vec<Variant>) {
+    let params = oha_bench::params();
+    let workload = c_suite::all(&params).remove(0);
+    let text = print_program(&workload.program);
+    let count = if smoke { 4 } else { 8 };
+    let variants = (0..count as i64)
+        .map(|v| {
+            // Perturb the profiling corpus so each variant has a distinct
+            // cache key (and therefore its own home shard) while staying
+            // in-distribution for the analysis.
+            let mut profiling = workload.profiling_inputs.clone();
+            profiling.push(vec![1000 + v]);
+            let testing = workload.testing_inputs.clone();
+            let expected = optft_canonical_json(
+                &Pipeline::new(workload.program.clone()).run_optft(&profiling, &testing),
+            );
+            Variant {
+                profiling,
+                testing,
+                expected,
+            }
+        })
+        .collect();
+    (text, variants)
+}
+
+fn router_config(workers: usize, dir: &Path) -> RouterConfig {
+    RouterConfig {
+        socket: dir.join("router.sock"),
+        supervisor: SupervisorConfig {
+            workers,
+            dir: dir.join("fleet"),
+            spec: WorkerSpec {
+                store_dir: Some(dir.join("store")),
+                threads: 2,
+                ..WorkerSpec::default()
+            },
+            health_interval: Duration::from_millis(200),
+            ..SupervisorConfig::default()
+        },
+        ..RouterConfig::default()
+    }
+}
+
+fn measure_fleet(
+    workers: usize,
+    text: &str,
+    variants: &[Variant],
+    clients: usize,
+    requests_per_client: usize,
+) -> FleetResult {
+    let dir = std::env::temp_dir().join(format!(
+        "oha-bench-cluster-{}-{workers}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+
+    let config = router_config(workers, &dir);
+    let socket = config.socket.clone();
+    let router = Router::bind(config).expect("start cluster");
+    let router_thread = thread::spawn(move || router.run().expect("router loop"));
+
+    // Warm phase: one pass over the corpus fills the shared store and
+    // each home worker's LRU, so the timed loop measures the steady
+    // state a long-lived fleet serves from. Scoped so the connection
+    // closes before drain.
+    {
+        let mut warm = Client::connect(&socket).expect("connect");
+        for v in variants {
+            let response = warm
+                .analyze(Tool::OptFt, text, &v.profiling, &v.testing, &[])
+                .expect("warm request");
+            assert!(response.ok, "warm request failed: {}", response.body);
+            assert_eq!(&response.body, &v.expected, "warm bytes diverged");
+        }
+    }
+
+    let start = Instant::now();
+    thread::scope(|scope| {
+        for c in 0..clients {
+            let socket = &socket;
+            scope.spawn(move || {
+                let mut client = Client::connect(socket).expect("connect");
+                for i in 0..requests_per_client {
+                    let v = &variants[(c * requests_per_client + i) % variants.len()];
+                    let response = client
+                        .analyze(Tool::OptFt, text, &v.profiling, &v.testing, &[])
+                        .expect("request");
+                    assert!(response.ok, "request failed: {}", response.body);
+                    assert_eq!(
+                        &response.body, &v.expected,
+                        "cluster bytes diverged from the oracle"
+                    );
+                }
+            });
+        }
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    {
+        let mut client = Client::connect(&socket).expect("connect");
+        let shutdown = client.shutdown().expect("shutdown");
+        assert!(shutdown.ok);
+    }
+    let stats = router_thread.join().expect("router thread");
+    assert_eq!(stats.router_errors, 0, "router recorded errors");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let requests = clients * requests_per_client;
+    FleetResult {
+        workers,
+        requests,
+        elapsed_s,
+        rps: requests as f64 / elapsed_s,
+    }
+}
+
+fn main() {
+    let smoke = oha_bench::smoke_mode();
+    let (clients, requests_per_client) = if smoke { (4, 6) } else { (8, 40) };
+    let (text, variants) = variants(smoke);
+
+    let mut reporter = Reporter::new("bench_cluster");
+    reporter.meta("clients", clients);
+    reporter.meta("requests_per_client", requests_per_client);
+    reporter.meta("variants", variants.len());
+    reporter.meta(
+        "comparison",
+        "warm-store OptFT requests through oha-router, fleet of 1 vs 3 \
+         oha-serve workers over one shared store; every response is \
+         byte-compared against an in-process pipeline oracle",
+    );
+    reporter.meta(
+        "caveat",
+        format!(
+            "fleet size multiplies processes, not cores; with \
+             available_parallelism={} the 3-worker figure measures routing \
+             and supervision overhead under contention, not scaling",
+            oha_par::hardware_threads()
+        ),
+    );
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for workers in [1usize, 3] {
+        eprintln!("bench_cluster: fleet of {workers}");
+        let r = measure_fleet(workers, &text, &variants, clients, requests_per_client);
+        rows.push(vec![
+            r.workers.to_string(),
+            r.requests.to_string(),
+            format!("{:.4}", r.elapsed_s),
+            format!("{:.1}", r.rps),
+        ]);
+        results.push(r);
+    }
+
+    let (one, three) = (&results[0], &results[1]);
+    reporter.meta("cluster.one_worker_rps", format!("{:.1}", one.rps));
+    reporter.meta("cluster.three_worker_rps", format!("{:.1}", three.rps));
+    reporter.meta("cluster.speedup", format!("{:.3}", three.rps / one.rps));
+
+    let table = reporter.table(
+        "Warm-store throughput through oha-router",
+        &["workers", "requests", "elapsed_s", "rps"],
+        &rows,
+    );
+    print!("{table}");
+    println!(
+        "3-worker vs 1-worker speedup: {:.3}x (see the caveat meta)",
+        three.rps / one.rps
+    );
+    reporter.finish();
+}

@@ -163,7 +163,11 @@ fn main() {
             fast.dynamic_s,
         ));
     }
-    let report = format!("{{\n  \"samples\": [\n{}\n  ]\n}}", entries.join(",\n"));
+    let report = format!(
+        "{{\n  \"samples\": [\n{}\n  ],\n  \"host\": {}\n}}",
+        entries.join(",\n"),
+        oha_bench::host_json().to_string_compact()
+    );
     println!("{report}");
     // `--json` mirrors the stdout object to a file with the same
     // parent-dir creation and diagnostics as every Reporter-based bin.

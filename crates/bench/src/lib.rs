@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use oha_core::{Pipeline, PipelineConfig};
 use oha_interp::MachineConfig;
-use oha_obs::{RunReport, TableArtifact, TraceLog, DEFAULT_TRACE_CAPACITY};
+use oha_obs::{Json, RunReport, TableArtifact, TraceLog, DEFAULT_TRACE_CAPACITY};
 use oha_par::Pool;
 use oha_workloads::{Workload, WorkloadParams};
 
@@ -33,6 +33,47 @@ pub fn params() -> WorkloadParams {
     } else {
         WorkloadParams::benchmark()
     }
+}
+
+/// Host metadata recorded in every benchmark artifact, collected once
+/// here so the bench binaries and the `scripts/bench_*.sh` aggregators
+/// can never disagree: the thread budget
+/// [`std::thread::available_parallelism`] actually reports (the
+/// process's affinity mask, not the machine's raw core count), the
+/// OS/architecture pair, and the cargo profile this binary was built
+/// with — a `debug`-profile timing artifact is a bug worth catching.
+pub fn host_meta() -> Vec<(&'static str, String)> {
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    vec![
+        (
+            "available_parallelism",
+            oha_par::hardware_threads().to_string(),
+        ),
+        ("os", std::env::consts::OS.to_string()),
+        ("arch", std::env::consts::ARCH.to_string()),
+        ("cargo_profile", profile.to_string()),
+    ]
+}
+
+/// [`host_meta`] as the `"host"` object benchmark artifacts embed.
+/// `available_parallelism` stays numeric; the rest are strings.
+pub fn host_json() -> Json {
+    Json::Obj(
+        host_meta()
+            .into_iter()
+            .map(|(key, value)| {
+                let json = match value.parse::<f64>() {
+                    Ok(n) if key == "available_parallelism" => Json::num(n),
+                    _ => Json::str(value),
+                };
+                (key.to_string(), json)
+            })
+            .collect(),
+    )
 }
 
 /// The pipeline configuration used by the OptFT experiments.
@@ -219,8 +260,13 @@ impl Reporter {
         if args.trace_out.is_some() && !trace.is_enabled() {
             trace = TraceLog::enabled(DEFAULT_TRACE_CAPACITY);
         }
+        let mut report = RunReport::new(name);
+        // Every artifact self-describes the machine it ran on.
+        for (key, value) in host_meta() {
+            report.meta.insert(format!("host.{key}"), value);
+        }
         Self {
-            report: RunReport::new(name),
+            report,
             json: args.json.clone(),
             trace,
             trace_out: args.trace_out.clone(),
@@ -462,6 +508,48 @@ mod tests {
             names,
             "child report order must match the suite"
         );
+    }
+
+    #[test]
+    fn host_meta_names_the_machine_and_profile() {
+        let meta = host_meta();
+        let get = |key: &str| {
+            meta.iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("host_meta missing {key}"))
+        };
+        assert!(get("available_parallelism").parse::<usize>().unwrap() >= 1);
+        assert_eq!(get("os"), std::env::consts::OS);
+        assert_eq!(get("arch"), std::env::consts::ARCH);
+        // Tests build with debug assertions in every profile this repo's
+        // CI uses, so pin only the value set, not the value.
+        assert!(["debug", "release"].contains(&get("cargo_profile").as_str()));
+
+        let json = host_json();
+        assert_eq!(
+            json.get("available_parallelism").and_then(Json::as_u64),
+            Some(get("available_parallelism").parse().unwrap()),
+            "parallelism must stay numeric in the JSON form"
+        );
+        assert_eq!(
+            json.get("os").and_then(Json::as_str),
+            Some(std::env::consts::OS)
+        );
+        // The object round-trips through the parser.
+        assert_eq!(Json::parse(&json.to_string_compact()).unwrap(), json);
+    }
+
+    #[test]
+    fn reporter_records_host_meta_automatically() {
+        let rep = Reporter::with_args("t", &BenchArgs::default());
+        for (key, value) in host_meta() {
+            assert_eq!(
+                rep.report().meta.get(&format!("host.{key}")),
+                Some(&value),
+                "reporter must carry host.{key}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! The cluster router binary. See `--help`.
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Duration;
+
+use oha_cluster::{Router, RouterConfig};
+
+const USAGE: &str = "\
+oha-router: supervise an oha-serve worker fleet behind one socket
+
+USAGE:
+  oha-router [--socket PATH] [--workers N] [--dir DIR] [--store DIR]
+             [--serve-bin PATH] [--worker-threads N] [--worker-max-queue N]
+             [--worker-faults SPEC] [--retries N] [--retry-base-ms N]
+             [--forward-timeout-ms N] [--health-ms N] [--backoff-ms N]
+             [--faults SPEC]
+
+OPTIONS:
+  --socket PATH          Front socket clients connect to; speaks the ordinary
+                         daemon protocol, so oha-client works unchanged
+                         (default: oha-router.sock)
+  --workers N            Worker fleet size (default: 3)
+  --dir DIR              Directory for worker sockets and log files
+                         (default: oha-cluster)
+  --store DIR            Shared artifact-store directory passed to every
+                         worker (default: $OHA_STORE_DIR, else none)
+  --serve-bin PATH       Worker binary (default: $OHA_SERVE_BIN, else an
+                         oha-serve next to this executable)
+  --worker-threads N     Compute threads per worker (default: worker default)
+  --worker-max-queue N   Queue bound per worker (default: worker default)
+  --worker-faults SPEC   Fault plan exported to workers as OHA_FAULTS
+                         (default: none; the router's own $OHA_FAULTS never
+                         leaks into workers)
+  --retries N            Failover passes over a key's shard ranking beyond
+                         the first (default: 4)
+  --retry-base-ms N      Base backoff between failover attempts; doubles per
+                         attempt, capped at 1s, deterministic jitter
+                         (default: 25)
+  --forward-timeout-ms N Deadline on each forwarded response read
+                         (default: 150000)
+  --health-ms N          Worker health-probe interval (default: 500)
+  --backoff-ms N         First restart delay after a worker death; doubles
+                         per consecutive respawn, capped at 5s (default: 100)
+  --faults SPEC          Router-side fault plan: cluster.route.delay,
+                         cluster.worker.kill (default: $OHA_FAULTS, else
+                         disabled)
+
+Requests are routed by rendezvous hashing on the request's cache key: each
+key has a home worker (maximizing LRU hits) and a deterministic failover
+order. `stats` and `metrics` aggregate the whole fleet; `shutdown` drains
+workers in sequence, then the router itself.
+";
+
+fn main() {
+    let mut config = RouterConfig::default();
+    if let Ok(dir) = std::env::var(oha_core_store_env()) {
+        if !dir.trim().is_empty() {
+            config.supervisor.spec.store_dir = Some(PathBuf::from(dir.trim()));
+        }
+    }
+    config.faults = oha_faults::FaultPlan::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value\n\n{USAGE}");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--socket" => config.socket = PathBuf::from(value("--socket")),
+            "--workers" => config.supervisor.workers = parse(&value("--workers"), "--workers"),
+            "--dir" => config.supervisor.dir = PathBuf::from(value("--dir")),
+            "--store" => config.supervisor.spec.store_dir = Some(PathBuf::from(value("--store"))),
+            "--serve-bin" => {
+                config.supervisor.spec.serve_bin = Some(PathBuf::from(value("--serve-bin")))
+            }
+            "--worker-threads" => {
+                config.supervisor.spec.threads =
+                    parse(&value("--worker-threads"), "--worker-threads")
+            }
+            "--worker-max-queue" => {
+                config.supervisor.spec.max_queue =
+                    parse(&value("--worker-max-queue"), "--worker-max-queue")
+            }
+            "--worker-faults" => {
+                let spec = value("--worker-faults");
+                // Validate eagerly so a typo fails the launch, not the
+                // first worker spawn.
+                if let Err(e) = oha_faults::FaultPlan::parse(&spec) {
+                    eprintln!("error: --worker-faults: {e}\n\n{USAGE}");
+                    exit(2);
+                }
+                config.supervisor.spec.faults_spec = Some(spec);
+            }
+            "--retries" => config.retry.max_retries = parse(&value("--retries"), "--retries"),
+            "--retry-base-ms" => {
+                config.retry.base_delay =
+                    Duration::from_millis(parse(&value("--retry-base-ms"), "--retry-base-ms"))
+            }
+            "--forward-timeout-ms" => {
+                config.forward_read_timeout = Duration::from_millis(parse(
+                    &value("--forward-timeout-ms"),
+                    "--forward-timeout-ms",
+                ))
+            }
+            "--health-ms" => {
+                config.supervisor.health_interval =
+                    Duration::from_millis(parse(&value("--health-ms"), "--health-ms"))
+            }
+            "--backoff-ms" => {
+                config.supervisor.restart_backoff =
+                    Duration::from_millis(parse(&value("--backoff-ms"), "--backoff-ms"))
+            }
+            "--faults" => {
+                let spec = value("--faults");
+                config.faults = oha_faults::FaultPlan::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("error: --faults: {e}\n\n{USAGE}");
+                    exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?}\n\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+    config.supervisor.faults = config.faults.clone();
+
+    let router = match Router::bind(config.clone()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot start cluster: {e}");
+            exit(1);
+        }
+    };
+    eprintln!(
+        "oha-router: listening on {} ({} workers in {}, store: {})",
+        router.socket().display(),
+        config.supervisor.workers,
+        config.supervisor.dir.display(),
+        config
+            .supervisor
+            .spec
+            .store_dir
+            .as_ref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "none".to_string()),
+    );
+    match router.run() {
+        Ok(stats) => {
+            eprintln!(
+                "oha-router: drained after {} requests ({} forwarded, {} failovers, {} errors)",
+                stats.requests, stats.forwarded, stats.failovers, stats.router_errors
+            );
+        }
+        Err(e) => {
+            eprintln!("error: router loop failed: {e}");
+            exit(1);
+        }
+    }
+}
+
+/// The store-dir env var name, without linking all of `oha-core` into
+/// the router binary just for a constant.
+fn oha_core_store_env() -> &'static str {
+    "OHA_STORE_DIR"
+}
+
+fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} got unparsable value {text:?}\n\n{USAGE}");
+        exit(2);
+    })
+}

@@ -1,0 +1,37 @@
+//! `oha-cluster`: sharded multi-worker serving for the OHA daemon.
+//!
+//! The store (`oha-store`) amortizes one expensive predicated static
+//! analysis across *processes*; `oha-serve` amortizes it across
+//! *clients*; this crate amortizes it across *cores and failures*. An
+//! [`Router`] daemon supervises N `oha-serve` worker processes over one
+//! shared content-addressed store and speaks the ordinary daemon
+//! protocol on a single front socket, so `oha-client` (and any
+//! [`Client`](oha_serve::Client)) works against a fleet unchanged.
+//!
+//! The three layers:
+//!
+//! - [`topology`] — rendezvous hashing from a request's cache-key
+//!   fingerprint to a home shard plus a deterministic failover order,
+//! - [`supervisor`] — worker process lifecycle: spawn, `stats`-probe
+//!   health checks, restart with capped backoff, chaos kills, graceful
+//!   sequential drain,
+//! - [`router`] — the request loop: route to the home worker, fail
+//!   over along the ranking on transport errors and typed `busy`
+//!   sheds, and serve exact aggregated telemetry (`stats`/`metrics`
+//!   fan-out; histograms merge bucket-by-bucket, so cluster latency
+//!   distributions are identities, not estimates).
+//!
+//! The contract the integration suite enforces is the repo-wide one:
+//! with faults off, any request through the router returns bytes
+//! identical to a single-daemon oracle; with workers dying mid-run,
+//! clients see correct bytes or typed errors — never corrupt frames.
+
+#![warn(missing_docs)]
+
+pub mod router;
+pub mod supervisor;
+pub mod topology;
+
+pub use router::{Router, RouterConfig, RouterStats};
+pub use supervisor::{Supervisor, SupervisorConfig, WorkerSpec, SERVE_BIN_ENV};
+pub use topology::Topology;

@@ -1,0 +1,515 @@
+//! Worker-process supervision: spawn N `oha-serve` daemons, watch them,
+//! restart crashes with capped backoff, and drain them in sequence on
+//! shutdown.
+//!
+//! Each worker slot moves through a small state machine driven by a
+//! single tick thread:
+//!
+//! ```text
+//! Starting ──(stats probe answers)──▶ Up
+//!    ▲                                │
+//!    │                    (process exits, or a
+//!    │ (backoff elapsed,   health probe fails — the
+//!    │  respawn)           worker is then killed)
+//!    │                                ▼
+//!    └────────────────────────── Backoff
+//! ```
+//!
+//! The health probe is the daemon's own `stats` op over its socket —
+//! the same request any client could send — so "healthy" means "serving
+//! the protocol", not merely "process alive". Each respawn doubles the
+//! slot's backoff up to a cap; a probe success resets it, so a
+//! crash-looping worker cannot hot-spin the supervisor while a healthy
+//! fleet restarts quickly.
+//!
+//! Chaos: when the supervisor's [`FaultPlan`] arms
+//! [`sites::CLUSTER_WORKER_KILL`], a firing tick SIGKILLs one live
+//! worker, rotating deterministically through the slots — the recovery
+//! path is exercised on demand by CI, not only by real crashes.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use oha_faults::{sites, FaultPlan};
+use oha_serve::{Client, ClientConfig, RetryPolicy};
+
+/// Environment variable naming the `oha-serve` binary workers run as,
+/// consulted when [`WorkerSpec::serve_bin`] is unset.
+pub const SERVE_BIN_ENV: &str = "OHA_SERVE_BIN";
+
+/// How each worker process is launched.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerSpec {
+    /// Explicit `oha-serve` binary path. Unset falls back to
+    /// `$OHA_SERVE_BIN`, then an `oha-serve` next to (or one directory
+    /// above) the current executable — which finds the sibling target
+    /// binary both for installed routers and for `cargo test` runners
+    /// living in `target/<profile>/deps/`.
+    pub serve_bin: Option<PathBuf>,
+    /// Shared artifact-store directory passed to every worker; the
+    /// store is multi-process safe, so one expensive analysis computed
+    /// by any worker warms the whole fleet.
+    pub store_dir: Option<PathBuf>,
+    /// Worker compute threads (`0` = the worker's own default).
+    pub threads: usize,
+    /// Worker queue bound (`0` = the worker's own default).
+    pub max_queue: usize,
+    /// Fault-injection spec exported to workers as `OHA_FAULTS`. `None`
+    /// explicitly *clears* the variable in the child environment, so a
+    /// chaos plan armed on the router never leaks into workers
+    /// implicitly.
+    pub faults_spec: Option<String>,
+}
+
+/// Supervision knobs.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Fleet size.
+    pub workers: usize,
+    /// Directory for worker sockets (`worker-<i>.sock`) and log files
+    /// (`worker-<i>.log`, stdout+stderr appended). Created if missing.
+    pub dir: PathBuf,
+    /// Launch parameters shared by every worker.
+    pub spec: WorkerSpec,
+    /// First restart delay after a worker dies; doubles per consecutive
+    /// respawn of the same slot.
+    pub restart_backoff: Duration,
+    /// Ceiling on the per-slot restart delay.
+    pub max_backoff: Duration,
+    /// How often an `Up` worker is health-probed via its `stats` op.
+    pub health_interval: Duration,
+    /// Supervision loop period (exit detection latency).
+    pub tick: Duration,
+    /// Router-side fault plan; the supervisor consults
+    /// [`sites::CLUSTER_WORKER_KILL`] once per tick.
+    pub faults: FaultPlan,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            workers: 3,
+            dir: PathBuf::from("oha-cluster"),
+            spec: WorkerSpec::default(),
+            restart_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(5),
+            health_interval: Duration::from_millis(500),
+            tick: Duration::from_millis(20),
+            faults: FaultPlan::disabled(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Spawned; not yet confirmed serving the protocol.
+    Starting,
+    /// Health-probed and serving.
+    Up,
+    /// Dead; respawn once the deadline passes.
+    Backoff { until: Instant },
+}
+
+struct Slot {
+    child: Option<Child>,
+    phase: Phase,
+    /// Next restart delay for this slot (doubles per respawn, reset by
+    /// a passing health probe).
+    backoff: Duration,
+    last_health: Instant,
+}
+
+struct Inner {
+    dir: PathBuf,
+    spec: WorkerSpec,
+    serve_bin: PathBuf,
+    slots: Vec<Mutex<Slot>>,
+    /// Lock-free liveness mirror of each slot's phase, read by the
+    /// router on every request.
+    up: Vec<AtomicBool>,
+    restarts: AtomicU64,
+    chaos_kills: AtomicU64,
+    kill_rotation: AtomicU64,
+    stopping: AtomicBool,
+    restart_backoff: Duration,
+    max_backoff: Duration,
+    health_interval: Duration,
+    tick: Duration,
+    faults: FaultPlan,
+}
+
+impl Inner {
+    fn socket(&self, worker: usize) -> PathBuf {
+        self.dir.join(format!("worker-{worker}.sock"))
+    }
+
+    fn log(&self, worker: usize) -> PathBuf {
+        self.dir.join(format!("worker-{worker}.log"))
+    }
+
+    fn spawn(&self, worker: usize) -> io::Result<Child> {
+        // The previous incarnation's socket file would make the probe
+        // see ConnectionRefused until the new process rebinds; removing
+        // it first keeps NotFound (clean "not yet") the common case.
+        let _ = std::fs::remove_file(self.socket(worker));
+        let log = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.log(worker))?;
+        let mut command = Command::new(&self.serve_bin);
+        command
+            .arg("--socket")
+            .arg(self.socket(worker))
+            .arg("--worker-id")
+            .arg(worker.to_string())
+            .stdin(Stdio::null())
+            .stdout(log.try_clone()?)
+            .stderr(log);
+        if let Some(store) = &self.spec.store_dir {
+            command.arg("--store").arg(store);
+        }
+        if self.spec.threads > 0 {
+            command.arg("--threads").arg(self.spec.threads.to_string());
+        }
+        if self.spec.max_queue > 0 {
+            command
+                .arg("--max-queue")
+                .arg(self.spec.max_queue.to_string());
+        }
+        match &self.spec.faults_spec {
+            Some(spec) => {
+                command.env("OHA_FAULTS", spec);
+            }
+            None => {
+                command.env_remove("OHA_FAULTS");
+            }
+        }
+        command.spawn()
+    }
+
+    /// A worker is healthy iff its `stats` op answers over the socket.
+    fn probe(&self, worker: usize) -> bool {
+        let config = ClientConfig {
+            read_timeout: Some(Duration::from_secs(2)),
+            retry: RetryPolicy::none(),
+            // The tick thread must not park in connect retries; a
+            // worker that is not accepting yet simply fails this probe
+            // and gets the next tick.
+            connect_timeout: Duration::ZERO,
+        };
+        match Client::connect_with(self.socket(worker), config) {
+            Ok(mut client) => matches!(client.stats(), Ok(response) if response.ok),
+            Err(_) => false,
+        }
+    }
+
+    fn mark_down(&self, worker: usize, slot: &mut Slot, now: Instant) {
+        self.up[worker].store(false, Ordering::Relaxed);
+        slot.phase = Phase::Backoff {
+            until: now + slot.backoff,
+        };
+        slot.backoff = (slot.backoff * 2).min(self.max_backoff);
+    }
+
+    fn tick_slot(&self, worker: usize) {
+        let Ok(mut slot) = self.slots[worker].lock() else {
+            return;
+        };
+        let now = Instant::now();
+        // Exit detection first: a dead child trumps whatever phase the
+        // slot thought it was in.
+        if let Some(child) = slot.child.as_mut() {
+            if matches!(child.try_wait(), Ok(Some(_))) {
+                slot.child = None;
+                self.mark_down(worker, &mut slot, now);
+                return;
+            }
+        }
+        match slot.phase {
+            Phase::Backoff { until } => {
+                if now >= until {
+                    match self.spawn(worker) {
+                        Ok(child) => {
+                            slot.child = Some(child);
+                            slot.phase = Phase::Starting;
+                            self.restarts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            // Spawn failure (fd pressure, unlinked
+                            // binary): back off again rather than spin.
+                            self.mark_down(worker, &mut slot, now);
+                        }
+                    }
+                }
+            }
+            Phase::Starting => {
+                if self.probe(worker) {
+                    slot.phase = Phase::Up;
+                    slot.backoff = self.restart_backoff;
+                    slot.last_health = now;
+                    self.up[worker].store(true, Ordering::Relaxed);
+                }
+            }
+            Phase::Up => {
+                if now.duration_since(slot.last_health) >= self.health_interval {
+                    if self.probe(worker) {
+                        slot.last_health = now;
+                        slot.backoff = self.restart_backoff;
+                    } else {
+                        // Alive but not serving (wedged accept loop,
+                        // deleted socket): kill it and let the restart
+                        // path bring a fresh one up.
+                        if let Some(child) = slot.child.as_mut() {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                        }
+                        slot.child = None;
+                        self.mark_down(worker, &mut slot, now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn kill(&self, worker: usize) -> bool {
+        let Ok(mut slot) = self.slots[worker].lock() else {
+            return false;
+        };
+        let Some(child) = slot.child.as_mut() else {
+            return false;
+        };
+        let _ = child.kill();
+        let _ = child.wait();
+        slot.child = None;
+        self.mark_down(worker, &mut slot, Instant::now());
+        true
+    }
+
+    fn run_ticks(&self) {
+        while !self.stopping.load(Ordering::SeqCst) {
+            if self.faults.should_inject(sites::CLUSTER_WORKER_KILL) {
+                let victim = (self.kill_rotation.fetch_add(1, Ordering::Relaxed) as usize)
+                    % self.slots.len();
+                if self.kill(victim) {
+                    self.chaos_kills.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            for worker in 0..self.slots.len() {
+                self.tick_slot(worker);
+            }
+            std::thread::sleep(self.tick);
+        }
+    }
+}
+
+/// Resolves the worker binary: explicit path → `$OHA_SERVE_BIN` → an
+/// `oha-serve` next to the current executable or one directory above it
+/// (test runners live in `target/<profile>/deps/`).
+fn resolve_serve_bin(explicit: Option<&Path>) -> io::Result<PathBuf> {
+    if let Some(path) = explicit {
+        return Ok(path.to_path_buf());
+    }
+    if let Ok(env) = std::env::var(SERVE_BIN_ENV) {
+        if !env.trim().is_empty() {
+            return Ok(PathBuf::from(env.trim()));
+        }
+    }
+    let exe = std::env::current_exe()?;
+    let mut dirs = Vec::new();
+    if let Some(dir) = exe.parent() {
+        dirs.push(dir.to_path_buf());
+        if let Some(parent) = dir.parent() {
+            dirs.push(parent.to_path_buf());
+        }
+    }
+    for dir in &dirs {
+        let candidate = dir.join("oha-serve");
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("cannot locate the oha-serve worker binary (set ${SERVE_BIN_ENV} or --serve-bin)"),
+    ))
+}
+
+/// A running worker fleet. [`Supervisor::start`] spawns the workers and
+/// the tick thread; [`Supervisor::drain`] shuts the fleet down
+/// gracefully. Dropping an undrained supervisor kills any children it
+/// still owns, so a panicking test cannot leak daemon processes.
+pub struct Supervisor {
+    inner: Arc<Inner>,
+    tick: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Supervisor {
+    /// Creates the fleet directory, spawns every worker and starts the
+    /// supervision loop. Workers come up asynchronously — route through
+    /// [`Supervisor::is_up`] or rely on client connect retries.
+    pub fn start(config: SupervisorConfig) -> io::Result<Self> {
+        assert!(config.workers > 0, "a cluster needs at least one worker");
+        std::fs::create_dir_all(&config.dir)?;
+        let serve_bin = resolve_serve_bin(config.spec.serve_bin.as_deref())?;
+        let now = Instant::now();
+        let inner = Arc::new(Inner {
+            dir: config.dir,
+            spec: config.spec,
+            serve_bin,
+            slots: (0..config.workers)
+                .map(|_| {
+                    Mutex::new(Slot {
+                        child: None,
+                        phase: Phase::Backoff { until: now },
+                        backoff: config.restart_backoff,
+                        last_health: now,
+                    })
+                })
+                .collect(),
+            up: (0..config.workers)
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+            restarts: AtomicU64::new(0),
+            chaos_kills: AtomicU64::new(0),
+            kill_rotation: AtomicU64::new(0),
+            stopping: AtomicBool::new(false),
+            restart_backoff: config.restart_backoff,
+            max_backoff: config.max_backoff,
+            health_interval: config.health_interval,
+            tick: config.tick,
+            faults: config.faults,
+        });
+        // The initial spawns go through the same Backoff→Starting path
+        // as every respawn (one code path), but must not count as
+        // restarts.
+        for worker in 0..inner.slots.len() {
+            inner.tick_slot(worker);
+        }
+        inner.restarts.store(0, Ordering::Relaxed);
+        let tick_inner = Arc::clone(&inner);
+        let tick = std::thread::Builder::new()
+            .name("oha-supervisor".to_string())
+            .spawn(move || tick_inner.run_ticks())?;
+        Ok(Self {
+            inner,
+            tick: Mutex::new(Some(tick)),
+        })
+    }
+
+    /// Fleet size.
+    pub fn workers(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Socket path of worker `i`.
+    pub fn socket(&self, worker: usize) -> PathBuf {
+        self.inner.socket(worker)
+    }
+
+    /// Whether worker `i` last health-probed as serving.
+    pub fn is_up(&self, worker: usize) -> bool {
+        self.inner.up[worker].load(Ordering::Relaxed)
+    }
+
+    /// How many workers are currently up.
+    pub fn live_workers(&self) -> u64 {
+        self.inner
+            .up
+            .iter()
+            .filter(|up| up.load(Ordering::Relaxed))
+            .count() as u64
+    }
+
+    /// Respawns performed after worker deaths (initial spawns excluded).
+    pub fn restarts_total(&self) -> u64 {
+        self.inner.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Workers SIGKILLed by the [`sites::CLUSTER_WORKER_KILL`] chaos
+    /// site.
+    pub fn chaos_kills_total(&self) -> u64 {
+        self.inner.chaos_kills.load(Ordering::Relaxed)
+    }
+
+    /// Current PID per worker slot (`0` while a slot is down).
+    pub fn worker_pids(&self) -> Vec<u64> {
+        (0..self.workers())
+            .map(|w| {
+                self.inner.slots[w]
+                    .lock()
+                    .ok()
+                    .and_then(|slot| slot.child.as_ref().map(|c| u64::from(c.id())))
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// SIGKILLs worker `i` (tests and chaos harnesses); the supervision
+    /// loop restarts it after its backoff. Returns whether a live
+    /// process was killed.
+    pub fn kill_worker(&self, worker: usize) -> bool {
+        self.inner.kill(worker)
+    }
+
+    /// Graceful sequential drain: stop supervising (no more restarts),
+    /// then ask each worker in slot order to shut down and wait for it,
+    /// escalating to SIGKILL only if a worker ignores the request.
+    pub fn drain(&self) {
+        self.inner.stopping.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.tick.lock().ok().and_then(|mut t| t.take()) {
+            let _ = handle.join();
+        }
+        for worker in 0..self.workers() {
+            self.inner.up[worker].store(false, Ordering::Relaxed);
+            let Some(mut child) = self.inner.slots[worker]
+                .lock()
+                .ok()
+                .and_then(|mut slot| slot.child.take())
+            else {
+                continue;
+            };
+            let config = ClientConfig {
+                read_timeout: Some(Duration::from_secs(5)),
+                retry: RetryPolicy::none(),
+                connect_timeout: Duration::from_millis(250),
+            };
+            if let Ok(mut client) = Client::connect_with(self.inner.socket(worker), config) {
+                let _ = client.shutdown();
+            }
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.inner.stopping.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.tick.lock().ok().and_then(|mut t| t.take()) {
+            let _ = handle.join();
+        }
+        for slot in &self.inner.slots {
+            if let Some(mut child) = slot.lock().ok().and_then(|mut s| s.child.take()) {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}

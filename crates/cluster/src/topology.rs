@@ -1,0 +1,109 @@
+//! Rendezvous (highest-random-weight) shard topology.
+//!
+//! Every request key gets a full preference order over the workers:
+//! worker `i` scores `splitmix64(key ⊕ seed_i)` and the ranking is the
+//! descending sort of those scores. The first rank is the key's *home*
+//! shard — routing repeats of the same `(program, corpus)` request to
+//! the same worker maximizes that worker's LRU hit rate — and the rest
+//! of the ranking is the deterministic failover order.
+//!
+//! Rendezvous hashing gives minimal disruption by construction: a
+//! worker going down only remaps the keys homed on it (their rank-2
+//! worker takes over), because removing one candidate from a ranking
+//! never reorders the remaining candidates. The router exploits exactly
+//! that — it filters the static ranking by liveness instead of
+//! recomputing any topology.
+
+use oha_faults::splitmix64;
+
+/// Mixed into the per-worker seeds so shard scores are unrelated to any
+/// other `splitmix64` use of the same key (retry jitter, fault rolls).
+const TOPOLOGY_SALT: u64 = 0x4f48_415f_434c_5553; // "OHA_CLUS"
+
+/// A fixed-size rendezvous-hashing topology over `workers` shards.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    seeds: Vec<u64>,
+}
+
+impl Topology {
+    /// A topology over `workers` shards (at least one).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "a cluster needs at least one worker");
+        Self {
+            seeds: (0..workers as u64)
+                .map(|i| splitmix64(TOPOLOGY_SALT ^ i))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn workers(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// The rendezvous score of `key` on `worker`.
+    fn score(&self, key: u64, worker: usize) -> u64 {
+        splitmix64(key ^ self.seeds[worker])
+    }
+
+    /// The key's home shard: the worker with the highest score.
+    pub fn home(&self, key: u64) -> usize {
+        self.rank(key)[0]
+    }
+
+    /// The full preference order for `key`: every worker index, highest
+    /// score first. Ties (astronomically unlikely) break toward the
+    /// lower index so the order is total and deterministic.
+    pub fn rank(&self, key: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.workers()).collect();
+        order.sort_by_key(|&w| (std::cmp::Reverse(self.score(key, w)), w));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_is_a_deterministic_permutation_with_home_first() {
+        let topology = Topology::new(5);
+        for key in 0..200u64 {
+            let rank = topology.rank(key);
+            assert_eq!(rank[0], topology.home(key));
+            let mut sorted = rank.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..5).collect::<Vec<_>>());
+            assert_eq!(rank, topology.rank(key));
+        }
+    }
+
+    #[test]
+    fn keys_spread_over_every_shard() {
+        let topology = Topology::new(4);
+        let mut counts = [0usize; 4];
+        for key in 0..4000u64 {
+            counts[topology.home(splitmix64(key))] += 1;
+        }
+        // A uniform split is 1000 per shard; demand each shard holds at
+        // least half its fair share.
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(count >= 500, "shard {shard} got only {count}/4000 keys");
+        }
+    }
+
+    #[test]
+    fn removing_a_worker_only_remaps_keys_homed_on_it() {
+        let topology = Topology::new(4);
+        for key in 0..500u64 {
+            let rank = topology.rank(key);
+            let down = rank[2];
+            let filtered: Vec<usize> = rank.iter().copied().filter(|&w| w != down).collect();
+            // Filtering preserves order, so the home never changes when
+            // a non-home worker disappears.
+            assert_eq!(filtered[0], rank[0]);
+            assert_eq!(filtered.len(), 3);
+        }
+    }
+}

@@ -78,6 +78,13 @@ pub mod sites {
     pub const SERVE_WRITE_DISCONNECT: &str = "serve.write.disconnect";
     /// The compute job sleeps for the plan's delay before running.
     pub const SERVE_COMPUTE_DELAY: &str = "serve.compute.delay";
+    /// The router stalls for the plan's delay before forwarding a
+    /// request to its worker (models a congested fabric hop).
+    pub const CLUSTER_ROUTE_DELAY: &str = "cluster.route.delay";
+    /// The supervisor SIGKILLs a live worker on its next tick (the
+    /// chaos analogue of a worker OOM-kill); the victim rotates
+    /// deterministically through the worker slots.
+    pub const CLUSTER_WORKER_KILL: &str = "cluster.worker.kill";
 }
 
 /// How a matched rule decides whether the nth call at a site fires.

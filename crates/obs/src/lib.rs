@@ -32,6 +32,7 @@
 mod frame;
 mod hist;
 pub mod json;
+pub mod prom;
 mod registry;
 mod report;
 mod trace;

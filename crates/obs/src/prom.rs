@@ -1,0 +1,90 @@
+//! Prometheus text-exposition rendering, shared by every process that
+//! answers a `metrics` op (`oha-serve` per daemon, `oha-router` for the
+//! merged cluster view).
+//!
+//! Keeping the renderer here — next to [`Histogram`] — guarantees the
+//! single-daemon and aggregated expositions stay field-for-field
+//! compatible: a scraper pointed at a worker and one pointed at the
+//! router read the same families, and the router's histograms are exact
+//! because [`Histogram::merge`] is element-wise bucket addition, not an
+//! approximation.
+
+use std::fmt::Write as _;
+
+use crate::hist::{bucket_bound, Histogram};
+
+/// Writes one `# HELP`/`# TYPE`-prefixed sample line.
+/// `kind` is the Prometheus metric type (`counter` or `gauge`).
+pub fn sample(out: &mut String, kind: &str, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Writes one histogram in Prometheus text-exposition form, converting
+/// nanosecond samples to seconds. Bucket lines carry cumulative counts at
+/// each occupied log₂ bound, ending with the mandatory `+Inf` bucket.
+pub fn histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (index, count) in h.nonzero_buckets() {
+        cumulative += count;
+        let le = bucket_bound(index) as f64 / 1e9;
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{name}_sum {}", h.sum() as f64 / 1e9);
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_renders_help_type_and_value() {
+        let mut out = String::new();
+        sample(&mut out, "counter", "x_total", "things.", 7);
+        assert_eq!(
+            out,
+            "# HELP x_total things.\n# TYPE x_total counter\nx_total 7\n"
+        );
+    }
+
+    #[test]
+    fn histogram_ends_with_inf_bucket_and_count() {
+        let mut h = Histogram::new();
+        h.record(1_000);
+        h.record(2_000_000);
+        let mut out = String::new();
+        histogram(&mut out, "lat_seconds", "latency.", &h);
+        assert!(out.contains("# TYPE lat_seconds histogram"));
+        assert!(out.contains("lat_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(out.contains("lat_seconds_count 2"));
+        // Cumulative: the second bucket line accounts for both samples.
+        let buckets: Vec<&str> = out
+            .lines()
+            .filter(|l| l.starts_with("lat_seconds_bucket") && !l.contains("+Inf"))
+            .collect();
+        assert_eq!(buckets.len(), 2);
+        assert!(buckets[1].ends_with(" 2"));
+    }
+
+    #[test]
+    fn merged_histograms_expose_exact_bucket_sums() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [10u64, 100, 1_000] {
+            a.record(v);
+            b.record(v * 3);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), a.count() + b.count());
+        assert_eq!(merged.sum(), a.sum() + b.sum());
+        let mut out = String::new();
+        histogram(&mut out, "m_seconds", "merged.", &merged);
+        assert!(out.contains("m_seconds_count 6"));
+    }
+}

@@ -29,6 +29,10 @@ OPTIONS:
   --retry-base-ms N Base backoff delay before the first retry; doubles
                     per attempt, capped at 1s, with deterministic jitter
                     (default: 25)
+  --connect-timeout-ms N
+                    How long to keep retrying a connect that fails with
+                    ConnectionRefused/NotFound — absorbs the daemon-startup
+                    race without sleep loops (default: 10000; 0 fails fast)
   --program FILE    Program in IR text form ('-' reads stdin)
   --profiling SPEC  Profiling corpus: runs split by ';', values by ','
                     e.g. \"1,2;3\" is two runs, [1,2] and [3] (default: \"1;2;3\")
@@ -72,6 +76,10 @@ fn main() {
                 config.read_timeout = (ms > 0).then(|| Duration::from_millis(ms));
             }
             "--retries" => config.retry.max_retries = parse(&value("--retries"), "--retries"),
+            "--connect-timeout-ms" => {
+                let ms: u64 = parse(&value("--connect-timeout-ms"), "--connect-timeout-ms");
+                config.connect_timeout = Duration::from_millis(ms);
+            }
             "--retry-base-ms" => {
                 config.retry.base_delay =
                     Duration::from_millis(parse(&value("--retry-base-ms"), "--retry-base-ms"))

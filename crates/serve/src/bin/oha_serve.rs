@@ -12,6 +12,7 @@ oha-serve: the OHA analysis daemon
 USAGE:
   oha-serve [--socket PATH] [--store DIR] [--threads N] [--timeout-ms N] [--lru N]
             [--max-queue N] [--io-timeout-ms N] [--faults SPEC] [--trace-out FILE]
+            [--worker-id N]
 
 OPTIONS:
   --socket PATH      Unix-domain socket to listen on (default: oha-serve.sock)
@@ -33,6 +34,9 @@ OPTIONS:
                      $OHA_TRACE also enables tracing (a number > 1 sets the
                      event-ring capacity); live telemetry is always available
                      through `oha-client metrics`.
+  --worker-id N      Shard identity when running as an oha-router worker;
+                     echoed as `worker_id` in stats/metrics snapshots
+                     (default: none, reported as null)
 
 Stop the daemon with `oha-client --socket PATH shutdown` (graceful drain).
 ";
@@ -80,6 +84,7 @@ fn main() {
                 });
             }
             "--trace-out" => config.trace_out = Some(PathBuf::from(value("--trace-out"))),
+            "--worker-id" => config.worker_id = Some(parse(&value("--worker-id"), "--worker-id")),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return;

@@ -16,7 +16,7 @@
 use std::io::{self, BufReader, BufWriter};
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use oha_faults::splitmix64;
 use oha_ir::Fingerprint;
@@ -80,6 +80,13 @@ pub struct ClientConfig {
     pub read_timeout: Option<Duration>,
     /// Retry schedule for idempotent requests.
     pub retry: RetryPolicy,
+    /// Deadline on establishing a connection. `ConnectionRefused` /
+    /// `NotFound` are retried with a short doubling backoff until the
+    /// deadline, so a client racing a daemon's startup (its socket not
+    /// yet bound, or a stale file still in place) waits the daemon out
+    /// instead of failing — scripts need no sleep-and-poll loops. Other
+    /// connect errors, and `Duration::ZERO`, fail immediately.
+    pub connect_timeout: Duration,
 }
 
 impl Default for ClientConfig {
@@ -87,6 +94,35 @@ impl Default for ClientConfig {
         Self {
             read_timeout: Some(Duration::from_secs(150)),
             retry: RetryPolicy::default(),
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Connects to a Unix socket, absorbing the startup race: while the
+/// error is `ConnectionRefused` (stale socket file) or `NotFound` (not
+/// bound yet) and the deadline has not passed, sleep briefly (5 ms
+/// doubling to a 100 ms cap) and try again. Every other error — and the
+/// deadline running out — surfaces to the caller.
+pub(crate) fn connect_with_deadline(
+    socket: &Path,
+    connect_timeout: Duration,
+) -> io::Result<UnixStream> {
+    let deadline = Instant::now() + connect_timeout;
+    let mut delay = Duration::from_millis(5);
+    loop {
+        match UnixStream::connect(socket) {
+            Ok(stream) => return Ok(stream),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionRefused | io::ErrorKind::NotFound
+                ) && Instant::now() + delay <= deadline =>
+            {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(100));
+            }
+            Err(e) => return Err(e),
         }
     }
 }
@@ -133,7 +169,7 @@ impl Client {
 
     fn reconnect(&mut self) -> io::Result<()> {
         self.conn = None;
-        let stream = UnixStream::connect(&self.socket)?;
+        let stream = connect_with_deadline(&self.socket, self.config.connect_timeout)?;
         stream.set_read_timeout(self.config.read_timeout)?;
         stream.set_write_timeout(self.config.read_timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
@@ -273,5 +309,37 @@ mod tests {
         for attempt in 6..40 {
             assert!(policy.backoff(1, attempt) < Duration::from_secs(1));
         }
+    }
+
+    #[test]
+    fn connect_deadline_zero_fails_immediately_on_a_missing_socket() {
+        let path = std::env::temp_dir().join(format!("oha-no-daemon-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let started = Instant::now();
+        let err = connect_with_deadline(&path, Duration::ZERO).unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            io::ErrorKind::NotFound | io::ErrorKind::ConnectionRefused
+        ));
+        assert!(started.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn connect_retry_waits_out_a_daemon_that_binds_late() {
+        use std::os::unix::net::UnixListener;
+        let path = std::env::temp_dir().join(format!("oha-late-bind-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let bind_path = path.clone();
+        let binder = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            let listener = UnixListener::bind(&bind_path).unwrap();
+            // Accept the probe so the connect fully completes.
+            let _ = listener.accept();
+        });
+        let stream = connect_with_deadline(&path, Duration::from_secs(10))
+            .expect("retry must absorb the startup race");
+        drop(stream);
+        binder.join().unwrap();
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -86,6 +86,11 @@ pub struct ServerConfig {
     /// handlers and the compute jobs. Disabled by default; the
     /// `oha-serve` binary arms it from `OHA_FAULTS`.
     pub faults: FaultPlan,
+    /// Shard identity when this daemon runs as a cluster worker under
+    /// `oha-router`; echoed as `worker_id` in `stats`/`metrics`
+    /// snapshots so aggregated telemetry can attribute each snapshot.
+    /// `None` (the default) reports `null` — a standalone daemon.
+    pub worker_id: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +106,7 @@ impl Default for ServerConfig {
             max_queue: 0,
             io_timeout: None,
             faults: FaultPlan::disabled(),
+            worker_id: None,
         }
     }
 }
@@ -142,6 +148,7 @@ struct Shared {
     io_timeout: Duration,
     max_queue: usize,
     faults: FaultPlan,
+    worker_id: Option<u64>,
     shutting: AtomicBool,
     socket: PathBuf,
     trace: TraceLog,
@@ -217,8 +224,13 @@ impl Shared {
             }
             None => "null".to_string(),
         };
+        let worker_id = match self.worker_id {
+            Some(id) => id.to_string(),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\"requests\":{},\"lru_hits\":{},\"lru_evictions\":{},\"timeouts\":{},\
+            "{{\"worker_id\":{worker_id},\"requests\":{},\"lru_hits\":{},\
+             \"lru_evictions\":{},\"timeouts\":{},\
              \"errors\":{},\"busy_rejections\":{},\"panicked_jobs\":{},\"queue_depth\":{},\
              \"in_flight\":{},\"open_connections\":{},\"lru_len\":{},\"store\":{store},\
              \"faults\":{}}}",
@@ -262,7 +274,12 @@ impl Shared {
     fn metrics_json(&self) -> Json {
         let s = self.stats();
         let num = |v: u64| Json::Num(v as f64);
+        let worker_id = match self.worker_id {
+            Some(id) => Json::Num(id as f64),
+            None => Json::Null,
+        };
         Json::Obj(vec![
+            ("worker_id".to_string(), worker_id),
             ("queue_depth".to_string(), num(s.queue_depth)),
             ("in_flight".to_string(), num(s.in_flight)),
             ("open_connections".to_string(), num(s.open_connections)),
@@ -294,15 +311,13 @@ impl Shared {
         ])
     }
 
-    /// The `metrics` op's Prometheus-style text exposition.
+    /// The `metrics` op's Prometheus-style text exposition, rendered by
+    /// the shared [`oha_obs::prom`] module so worker and router
+    /// expositions stay field-for-field compatible.
     fn metrics_prometheus(&self) -> String {
+        use oha_obs::prom::{histogram as prom_histogram, sample};
         let s = self.stats();
         let mut out = String::new();
-        let sample = |out: &mut String, kind: &str, name: &str, help: &str, v: u64| {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} {kind}");
-            let _ = writeln!(out, "{name} {v}");
-        };
         let counter = "counter";
         let gauge = "gauge";
         sample(
@@ -416,23 +431,6 @@ impl Shared {
     }
 }
 
-/// Writes one histogram in Prometheus text-exposition form, converting
-/// nanosecond samples to seconds. Bucket lines carry cumulative counts at
-/// each occupied log₂ bound, ending with the mandatory `+Inf` bucket.
-fn prom_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
-    let _ = writeln!(out, "# HELP {name} {help}");
-    let _ = writeln!(out, "# TYPE {name} histogram");
-    let mut cumulative = 0u64;
-    for (index, count) in h.nonzero_buckets() {
-        cumulative += count;
-        let le = oha_obs::bucket_bound(index) as f64 / 1e9;
-        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
-    }
-    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
-    let _ = writeln!(out, "{name}_sum {}", h.sum() as f64 / 1e9);
-    let _ = writeln!(out, "{name}_count {}", h.count());
-}
-
 /// The analysis daemon. [`Server::bind`], then [`Server::run`].
 pub struct Server {
     listener: UnixListener,
@@ -486,6 +484,7 @@ impl Server {
             io_timeout,
             max_queue,
             faults: config.faults.clone(),
+            worker_id: config.worker_id,
             shutting: AtomicBool::new(false),
             socket: config.socket.clone(),
             trace,

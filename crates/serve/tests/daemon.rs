@@ -442,6 +442,7 @@ fn client_read_deadline_unwedges_a_half_open_daemon() {
         oha_serve::ClientConfig {
             read_timeout: Some(Duration::from_millis(200)),
             retry: oha_serve::RetryPolicy::none(),
+            ..oha_serve::ClientConfig::default()
         },
     )
     .unwrap();

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Measures cluster serving: warm-store OptFT throughput through the
+# oha-router front socket at fleet size 1 vs 3 (`bench_cluster`, which
+# byte-checks every response against an in-process oracle), and writes
+# per-sample medians plus host metadata to BENCH_cluster.json at the
+# repo root.
+#
+# Usage: ./scripts/bench_cluster.sh [runs]   (default runs=3)
+# OHA_SMOKE=1 shrinks the request volume to unit-test scale (CI
+# validation); the committed BENCH_cluster.json is generated at full
+# benchmark scale. Read the artifact's "caveat" together with its
+# "host" block: a fleet multiplies processes, not cores.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${1:-3}"
+OUT="BENCH_cluster.json"
+
+# bench_cluster resolves its workers from its own directory, so the
+# oha-serve worker binary must be built alongside it.
+cargo build --locked --release -q -p oha-bench -p oha-serve
+
+TMPDIR_SAMPLES="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_SAMPLES"' EXIT
+for i in $(seq 1 "$RUNS"); do
+    echo "==> bench_cluster (run $i/$RUNS)" >&2
+    ./target/release/bench_cluster --json "$TMPDIR_SAMPLES/run$i.json" \
+        > /dev/null
+done
+
+python3 - "$OUT" "$RUNS" "$TMPDIR_SAMPLES" <<'EOF'
+import json, os, statistics, sys
+
+out, runs, tmpdir = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+metas = []
+for i in range(1, runs + 1):
+    with open(os.path.join(tmpdir, f"run{i}.json")) as f:
+        metas.append(json.load(f)["meta"])
+
+# Host metadata comes from the binary itself (oha_bench records host.*
+# meta in every --json report), so it reflects what the timed process
+# actually saw.
+host = {k.split(".", 1)[1]: v for k, v in metas[-1].items()
+        if k.startswith("host.")}
+host["available_parallelism"] = int(host["available_parallelism"])
+
+one = statistics.median(float(m["cluster.one_worker_rps"]) for m in metas)
+three = statistics.median(float(m["cluster.three_worker_rps"]) for m in metas)
+last = metas[-1]
+
+smoke = os.environ.get("OHA_SMOKE") == "1"
+report = {
+    "harness": "scripts/bench_cluster.sh",
+    "workload_scale": ("OHA_SMOKE=1 (WorkloadParams::small)" if smoke
+                       else "WorkloadParams::benchmark"),
+    "samples_per_point": runs,
+    "aggregate": "median",
+    "host": host,
+    "clients": int(last["clients"]),
+    "requests_per_client": int(last["requests_per_client"]),
+    "variants": int(last["variants"]),
+    "comparison": last["comparison"],
+    "caveat": last["caveat"],
+    "benches": {
+        "cluster.warm_throughput": {
+            "one_worker_rps": round(one, 1),
+            "three_worker_rps": round(three, 1),
+            "speedup": round(three / one, 3) if one else None,
+        },
+    },
+}
+with open(out, "w") as f:
+    json.dump(report, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(json.dumps(report["benches"], indent=2))
+EOF
+
+echo "wrote $OUT" >&2

@@ -34,15 +34,15 @@ import json, os, statistics, sys
 
 out, runs, tmpdir = sys.argv[1], int(sys.argv[2]), sys.argv[3]
 by_workload = {}
+host = None
 for i in range(1, runs + 1):
     with open(os.path.join(tmpdir, f"run{i}.json")) as f:
-        for s in json.load(f)["samples"]:
-            by_workload.setdefault(s["workload"], []).append(s)
-
-try:  # what Rust's available_parallelism sees: the affinity mask
-    cores = len(os.sched_getaffinity(0))
-except AttributeError:
-    cores = os.cpu_count()
+        doc = json.load(f)
+    # Host metadata comes from the binary itself (oha_bench::host_json),
+    # so it reflects what the timed process actually saw.
+    host = doc["host"]
+    for s in doc["samples"]:
+        by_workload.setdefault(s["workload"], []).append(s)
 
 benches = {}
 for workload, samples in sorted(by_workload.items()):
@@ -67,9 +67,7 @@ report = {
     "samples_per_point": runs,
     "reps_per_sample": int(os.environ.get("OHA_DYN_REPS", "5")),
     "aggregate": "median across invocations of min over interleaved reps",
-    "host": {
-        "available_parallelism": cores,
-    },
+    "host": host,
     "comparison": ("fast = compiled per-instruction instrumentation plans "
                    "+ dense addr-indexed shadow memory + zero-clone "
                    "FastTrack epoch path; reference = plan-off dispatch "

@@ -38,28 +38,33 @@ for bin in "${BINS[@]}"; do
     PARALLEL[$bin]="$(time_run "$bin" "$THREADS")"
 done
 
-python3 - "$THREADS" "$OUT" <<EOF
+# Host metadata comes from the harness itself (oha_bench records host.*
+# meta in every --json report), not a parallel python reimplementation.
+HOST_JSON="$(mktemp)"
+trap 'rm -f "$HOST_JSON"' EXIT
+OHA_SMOKE=1 OHA_THREADS=1 "./target/release/${BINS[0]}" --json "$HOST_JSON" \
+    > /dev/null
+
+python3 - "$THREADS" "$OUT" "$HOST_JSON" <<EOF
 import json, sys
 
 threads, out = int(sys.argv[1]), sys.argv[2]
+with open(sys.argv[3]) as f:
+    meta = json.load(f)["meta"]
+host = {k.split(".", 1)[1]: v for k, v in meta.items()
+        if k.startswith("host.")}
+host["available_parallelism"] = int(host["available_parallelism"])
 serial = {"fig5_optft_runtimes": ${SERIAL[fig5_optft_runtimes]},
           "fig8_slice_convergence": ${SERIAL[fig8_slice_convergence]}}
 parallel = {"fig5_optft_runtimes": ${PARALLEL[fig5_optft_runtimes]},
             "fig8_slice_convergence": ${PARALLEL[fig8_slice_convergence]}}
 
-import os
-try:  # what Rust's available_parallelism sees: the affinity mask, not raw cores
-    cores = len(os.sched_getaffinity(0))
-except AttributeError:
-    cores = os.cpu_count()
 report = {
     "harness": "scripts/bench_parallel.sh",
     "workload_scale": "OHA_SMOKE=1 (WorkloadParams::small)",
     "samples_per_point": 3,
     "aggregate": "median",
-    "host": {
-        "available_parallelism": cores,
-    },
+    "host": host,
     "threads_compared": [1, threads],
     "benches": {
         name: {

@@ -28,15 +28,15 @@ import json, os, statistics, sys
 
 out, runs, tmpdir = sys.argv[1], int(sys.argv[2]), sys.argv[3]
 by_key = {}
+host = None
 for i in range(1, runs + 1):
     with open(os.path.join(tmpdir, f"run{i}.json")) as f:
-        for s in json.load(f)["samples"]:
-            by_key.setdefault((s["workload"], s["config"]), []).append(s)
-
-try:  # what Rust's available_parallelism sees: the affinity mask
-    cores = len(os.sched_getaffinity(0))
-except AttributeError:
-    cores = os.cpu_count()
+        doc = json.load(f)
+    # Host metadata comes from the binary itself (oha_bench::host_json),
+    # so it reflects what the timed process actually saw.
+    host = doc["host"]
+    for s in doc["samples"]:
+        by_key.setdefault((s["workload"], s["config"]), []).append(s)
 
 benches = {}
 for (workload, config), samples in sorted(by_key.items()):
@@ -61,9 +61,7 @@ report = {
                        else "WorkloadParams::benchmark"),
     "samples_per_point": runs,
     "aggregate": "median",
-    "host": {
-        "available_parallelism": cores,
-    },
+    "host": host,
     "comparison": ("optimized = word-parallel difference propagation with "
                    "online cycle collapse; reference = naive per-bit "
                    "iterate-to-fixpoint engine (analyze_reference), both "
