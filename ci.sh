@@ -88,7 +88,8 @@ if not report["children"]:
 
 # A one-shot probe_solver run (small workload scale) through
 # scripts/bench_static.sh, which must leave a parsable BENCH_static.json
-# with optimized-vs-reference solver timings for every workload/config.
+# with optimized-vs-reference solver timings and a per-thread-count
+# width sweep for every workload/config.
 bench_static() {
     # Quick mode: without cargo-bench's --bench flag the vendored criterion
     # runs every bench body exactly once, so a broken bench fails the gate
@@ -105,9 +106,19 @@ for key in ("harness", "host", "benches"):
 if not report["benches"]:
     sys.exit("BENCH_static.json: no benches recorded")
 for name, b in report["benches"].items():
-    for field in ("optimized_s", "reference_s", "speedup", "solver_iterations"):
+    for field in ("optimized_s", "reference_s", "speedup", "solver_iterations",
+                  "by_threads", "parallel_speedup", "solver_path",
+                  "words_unioned"):
         if field not in b:
             sys.exit(f"BENCH_static.json: {name} missing {field!r}")
+    if not b["by_threads"]:
+        sys.exit(f"BENCH_static.json: {name} has an empty thread sweep")
+    if b["solver_path"] not in ("serial", "sharded"):
+        sys.exit(f"BENCH_static.json: {name} has a bogus solver_path")
+    # Regression guard: every engine accounts its word-parallel union
+    # work, so a zero here means a solver stopped reporting.
+    if b["words_unioned"] <= 0:
+        sys.exit(f"BENCH_static.json: {name} reports words_unioned == 0")
 ' || {
         echo "bench-static: BENCH_static.json unparsable or incomplete" >&2
         return 1
@@ -115,6 +126,21 @@ for name, b in report["benches"].items():
     # The smoke run just validated the harness; restore the committed
     # benchmark-scale measurements.
     git checkout -- BENCH_static.json 2>/dev/null || true
+}
+
+# Thread-sweep byte-equality gate for the parallel static phase: the
+# sharded Andersen solver, the sound/pred analysis DAG and the
+# per-function constraint fan-out must be unobservable in canonical
+# output. tests/static_parallel.rs sweeps explicit widths 1/2/4/8
+# in-process; running it under each OHA_THREADS value also covers the
+# env-resolved (threads = 0) pool path.
+static_parallel_smoke() {
+    for t in 1 2 4 8; do
+        OHA_THREADS=$t cargo test --locked --release -q --test static_parallel || {
+            echo "static-parallel: sweep failed at OHA_THREADS=$t" >&2
+            return 1
+        }
+    done
 }
 
 # Dynamic-phase fast-path smoke: the criterion suite must run, and
@@ -638,6 +664,7 @@ fi
 stage "cargo build --release (workspace)" cargo build --locked --release --workspace
 stage "cargo test (release)" cargo test --locked --release --workspace -q
 stage "bench-smoke (fig5 + table1, --json)" bench_smoke
+stage "static-parallel (thread-sweep byte-equality gate)" static_parallel_smoke
 stage "bench-static (probe_solver vs reference, BENCH_static.json)" bench_static
 stage "bench-dynamic-smoke (fast path vs reference, BENCH_dynamic.json)" bench_dynamic
 stage "store-smoke (16-client daemon round-trip + warm restart)" store_smoke

@@ -44,6 +44,7 @@ fn main() {
                     invariants: Some(&inv),
                     clone_budget: cfg.ctx_budget,
                     solver_budget: cfg.solver_budget,
+                    ..Default::default()
                 },
             )
             .expect("CI completes");
@@ -56,6 +57,7 @@ fn main() {
                     invariants: Some(&inv),
                     ctx_budget: cfg.ctx_budget,
                     visit_budget: cfg.visit_budget,
+                    ..Default::default()
                 },
             )
             .expect("CI completes");

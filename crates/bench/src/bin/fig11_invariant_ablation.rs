@@ -48,6 +48,7 @@ fn best_slice(
         invariants: inv,
         clone_budget: cfg.ctx_budget,
         solver_budget: cfg.solver_budget,
+        ..Default::default()
     };
     let (pt, _pt_at) = match analyze(program, &pt_cfg(Sensitivity::ContextSensitive)) {
         Ok(pt) => (pt, "CS"),
@@ -61,6 +62,7 @@ fn best_slice(
         invariants: inv,
         ctx_budget: cfg.ctx_budget,
         visit_budget: cfg.visit_budget,
+        ..Default::default()
     };
     match slice(
         program,
@@ -169,6 +171,7 @@ fn best_slice_ci(
             invariants: Some(inv),
             clone_budget: cfg.ctx_budget,
             solver_budget: cfg.solver_budget,
+            ..Default::default()
         },
     )
     .expect("CI completes");
@@ -181,6 +184,7 @@ fn best_slice_ci(
             invariants: Some(inv),
             ctx_budget: cfg.ctx_budget,
             visit_budget: cfg.visit_budget,
+            ..Default::default()
         },
     )
     .expect("CI completes");

@@ -28,6 +28,7 @@ fn pred_slice_size(w: &oha_workloads::Workload, inv: &InvariantSet) -> usize {
             invariants: Some(inv),
             clone_budget: cfg.ctx_budget,
             solver_budget: cfg.solver_budget,
+            ..Default::default()
         },
     )
     .or_else(|_| {
@@ -38,6 +39,7 @@ fn pred_slice_size(w: &oha_workloads::Workload, inv: &InvariantSet) -> usize {
                 invariants: Some(inv),
                 clone_budget: cfg.ctx_budget,
                 solver_budget: cfg.solver_budget,
+                ..Default::default()
             },
         )
     })
@@ -51,6 +53,7 @@ fn pred_slice_size(w: &oha_workloads::Workload, inv: &InvariantSet) -> usize {
             invariants: Some(inv),
             ctx_budget: cfg.ctx_budget,
             visit_budget: cfg.visit_budget,
+            ..Default::default()
         },
     )
     .or_else(|_| {
@@ -63,6 +66,7 @@ fn pred_slice_size(w: &oha_workloads::Workload, inv: &InvariantSet) -> usize {
                 invariants: Some(inv),
                 ctx_budget: cfg.ctx_budget,
                 visit_budget: cfg.visit_budget,
+                ..Default::default()
             },
         )
     })

@@ -23,6 +23,7 @@ fn main() {
                 invariants,
                 clone_budget: 1_000_000,
                 solver_budget: 200_000_000,
+                ..Default::default()
             },
         ) {
             Ok(pt) => pt.stats().contexts.to_string(),

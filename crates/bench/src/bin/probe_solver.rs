@@ -10,19 +10,32 @@
 //! * `pred_cs` — the predicated context-sensitive analysis (profile-derived
 //!   invariants), the phase the tentpole optimization targets.
 //!
-//! With `--reference`, each configuration is also solved by the naive
-//! iterate-to-fixpoint reference solver (`analyze_reference`) — the seed's
-//! per-bit propagation strategy — so the word-parallel speedup is measured
-//! against a live baseline rather than asserted from memory.
+//! Each configuration is probed once per pool width in `THREAD_SWEEP`, so
+//! the report carries per-thread-count rows (the `threads` field). The
+//! adaptive serial cutoff stays live: micro workloads route through the
+//! serial path at every width (`sharded_solves == 0`), which is exactly
+//! the regression guard the cutoff exists for.
+//!
+//! With `--reference`, the 1-thread row of each configuration is also
+//! solved by the naive iterate-to-fixpoint reference solver
+//! (`analyze_reference`) — the seed's per-bit propagation strategy — so
+//! the word-parallel speedup is measured against a live baseline rather
+//! than asserted from memory.
 
 use std::time::Instant;
 
 use oha_core::Pipeline;
+use oha_par::Pool;
 use oha_pointsto::{analyze, analyze_reference, PointsTo, PointsToConfig, Sensitivity};
 use oha_workloads::{c_suite, java_suite, Workload};
 
+/// Pool widths probed per configuration. The reference engine is serial,
+/// so it only accompanies the 1-thread row.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
 struct Sample {
     config: &'static str,
+    threads: usize,
     optimized_s: f64,
     reference_s: Option<f64>,
     iterations: u64,
@@ -30,6 +43,61 @@ struct Sample {
     scc_collapses: u64,
     words_unioned: u64,
     worklist_pops: u64,
+    serial_solves: u64,
+    sharded_solves: u64,
+    shard_rounds: u64,
+}
+
+/// Times `run` with adaptive repetition: slow calls are timed once, but a
+/// call that finishes in microseconds is re-run (warm) enough times to
+/// fill ~4 ms, each rep timed individually, and the *minimum* reported —
+/// single-shot timings at that scale measure allocator and cache luck,
+/// and block averages absorb scheduler/contention spikes wholesale. The
+/// fastest rep is the run least perturbed by the host, which is the
+/// estimator the optimized-vs-reference ratio needs on a shared machine.
+fn timed<T>(mut run: impl FnMut() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = run();
+    let first = start.elapsed().as_secs_f64();
+    if first >= 2e-3 {
+        return (first, out);
+    }
+    let reps = ((4e-3 / first.max(1e-7)) as u32).clamp(3, 500);
+    let mut best = first;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(run());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+/// Times the optimized and reference engines *interleaved*, rep by rep,
+/// each reported as its own minimum. Timing the two in separate blocks
+/// lets a host slowdown land entirely inside one engine's window and
+/// masquerade as a 10–20% engine difference; alternating reps makes both
+/// engines sample the same noise, so the ratio reflects the engines.
+fn timed_pair<T>(mut opt: impl FnMut() -> T, mut reference: impl FnMut() -> T) -> (f64, f64, T) {
+    let start = Instant::now();
+    let out = opt();
+    let mut best_opt = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    std::hint::black_box(reference());
+    let mut best_ref = start.elapsed().as_secs_f64();
+    let pair = best_opt + best_ref;
+    if pair >= 4e-3 {
+        return (best_opt, best_ref, out);
+    }
+    let reps = ((8e-3 / pair.max(1e-7)) as u32).clamp(3, 500);
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(opt());
+        best_opt = best_opt.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        std::hint::black_box(reference());
+        best_ref = best_ref.min(start.elapsed().as_secs_f64());
+    }
+    (best_opt, best_ref, out)
 }
 
 fn time_analyze(
@@ -37,38 +105,50 @@ fn time_analyze(
     config: &PointsToConfig<'_>,
     reference: bool,
 ) -> (f64, Option<f64>, PointsTo) {
-    let start = Instant::now();
-    let pt = analyze(&w.program, config).expect("solver budget");
-    let optimized_s = start.elapsed().as_secs_f64();
-    let reference_s = reference.then(|| {
-        let start = Instant::now();
-        let _ = analyze_reference(&w.program, config).expect("reference solver budget");
-        start.elapsed().as_secs_f64()
-    });
-    (optimized_s, reference_s, pt)
+    if reference {
+        let (optimized_s, reference_s, pt) = timed_pair(
+            || analyze(&w.program, config).expect("solver budget"),
+            || analyze_reference(&w.program, config).expect("reference solver budget"),
+        );
+        (optimized_s, Some(reference_s), pt)
+    } else {
+        let (optimized_s, pt) = timed(|| analyze(&w.program, config).expect("solver budget"));
+        (optimized_s, None, pt)
+    }
 }
 
 fn probe(w: &Workload, reference: bool) -> Vec<Sample> {
     let mut samples = Vec::new();
 
-    let sound = PointsToConfig::default();
-    let (optimized_s, reference_s, pt) = time_analyze(w, &sound, reference);
-    samples.push(sample("sound_ci", optimized_s, reference_s, &pt));
-
-    // The predicated phase: profile-derived invariants + bottom-up cloning.
+    // The predicated phase's inputs: profile-derived invariants.
     let (inv, _) = Pipeline::new(w.program.clone()).profile(&w.profiling_inputs);
-    let pred = PointsToConfig {
-        sensitivity: Sensitivity::ContextSensitive,
-        invariants: Some(&inv),
-        ..PointsToConfig::default()
-    };
-    let (optimized_s, reference_s, pt) = time_analyze(w, &pred, reference);
-    samples.push(sample("pred_cs", optimized_s, reference_s, &pt));
+
+    for threads in THREAD_SWEEP {
+        let pool = Pool::new(threads);
+
+        let sound = PointsToConfig {
+            pool,
+            ..PointsToConfig::default()
+        };
+        let (optimized_s, reference_s, pt) = time_analyze(w, &sound, reference && threads == 1);
+        samples.push(sample("sound_ci", threads, optimized_s, reference_s, &pt));
+
+        // The predicated phase: invariants + bottom-up cloning.
+        let pred = PointsToConfig {
+            sensitivity: Sensitivity::ContextSensitive,
+            invariants: Some(&inv),
+            pool,
+            ..PointsToConfig::default()
+        };
+        let (optimized_s, reference_s, pt) = time_analyze(w, &pred, reference && threads == 1);
+        samples.push(sample("pred_cs", threads, optimized_s, reference_s, &pt));
+    }
     samples
 }
 
 fn sample(
     config: &'static str,
+    threads: usize,
     optimized_s: f64,
     reference_s: Option<f64>,
     pt: &PointsTo,
@@ -76,6 +156,7 @@ fn sample(
     let stats = pt.stats();
     Sample {
         config,
+        threads,
         optimized_s,
         reference_s,
         iterations: stats.solver_iterations,
@@ -83,6 +164,9 @@ fn sample(
         scc_collapses: stats.scc_collapses,
         words_unioned: stats.words_unioned,
         worklist_pops: stats.worklist_pops,
+        serial_solves: stats.serial_solves,
+        sharded_solves: stats.sharded_solves,
+        shard_rounds: stats.shard_rounds,
     }
 }
 
@@ -106,13 +190,16 @@ fn main() {
             entries.push(format!(
                 concat!(
                     "    {{\"workload\": \"{}\", \"config\": \"{}\", ",
+                    "\"threads\": {}, ",
                     "\"optimized_s\": {:.6}, \"reference_s\": {}, ",
                     "\"iterations\": {}, \"cycle_collapses\": {}, ",
                     "\"scc_collapses\": {}, \"words_unioned\": {}, ",
-                    "\"worklist_pops\": {}}}"
+                    "\"worklist_pops\": {}, \"serial_solves\": {}, ",
+                    "\"sharded_solves\": {}, \"shard_rounds\": {}}}"
                 ),
                 w.name,
                 s.config,
+                s.threads,
                 s.optimized_s,
                 reference_s,
                 s.iterations,
@@ -120,6 +207,9 @@ fn main() {
                 s.scc_collapses,
                 s.words_unioned,
                 s.worklist_pops,
+                s.serial_solves,
+                s.sharded_solves,
+                s.shard_rounds,
             ));
         }
     }

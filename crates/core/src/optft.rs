@@ -271,20 +271,43 @@ impl<'a> OptFt<'a> {
             registry.trace_instant("store.optft.miss");
         }
 
-        // Phase 2a: sound static analysis (traditional hybrid's input).
+        // Phases 2a ∥ 2b: the sound and predicated static analyses are
+        // independent of each other (and neither touches the registry), so
+        // they run as a two-node task DAG on the pipeline's shared pool —
+        // serially, in sound-then-pred order, on a one-thread pool. Each
+        // branch times itself with a plain clock; the `static_sound` span
+        // wraps the whole fused section (the registry's span stack is
+        // single-threaded) and `static_pred` closes immediately after it,
+        // which keeps the span-tree shape — and any attached trace —
+        // identical at every pool width. Branch results and stats are
+        // consumed in a fixed order after the join, so the registry
+        // contents never depend on which branch finished first.
+        let pool = self.pipeline.pool();
+        let sound_cfg = self.pt_config(None);
+        let pred_cfg = self.pt_config(Some(&invariants));
         let span = registry.span("static_sound");
-        let pt_sound = analyze(program, &self.pt_config(None))
-            .expect("context-insensitive points-to always completes");
-        let races_sound = detect(program, &pt_sound, None);
-        let sound_static_time = span.finish();
+        let (sound_branch, pred_branch) = pool.join(
+            || {
+                let start = Instant::now();
+                let pt = analyze(program, &sound_cfg)
+                    .expect("context-insensitive points-to always completes");
+                let races = detect(program, &pt, None);
+                (pt, races, start.elapsed())
+            },
+            || {
+                let start = Instant::now();
+                let pt = analyze(program, &pred_cfg)
+                    .expect("context-insensitive points-to always completes");
+                let races = detect(program, &pt, pred_cfg.invariants);
+                (pt, races, start.elapsed())
+            },
+        );
+        let _ = span.finish();
+        let (pt_sound, races_sound, sound_static_time) = sound_branch;
         pt_sound.stats().record(registry, "optft.pointsto.sound");
-
-        // Phase 2b: predicated static analysis.
         let span = registry.span("static_pred");
-        let pt_pred = analyze(program, &self.pt_config(Some(&invariants)))
-            .expect("context-insensitive points-to always completes");
-        let races_pred = detect(program, &pt_pred, Some(&invariants));
-        let pred_static_time = span.finish();
+        let _ = span.finish();
+        let (pt_pred, races_pred, pred_static_time) = pred_branch;
         pt_pred.stats().record(registry, "optft.pointsto.pred");
 
         // No-custom-synchronization: propose elidable lock/unlock sites and
@@ -457,6 +480,9 @@ impl<'a> OptFt<'a> {
             invariants,
             clone_budget: self.pipeline.config().ctx_budget,
             solver_budget: self.pipeline.config().solver_budget,
+            pool: self.pipeline.pool(),
+            serial_cutoff: oha_pointsto::serial_cutoff_from_env(),
+            dense_cutoff: oha_pointsto::dense_cutoff_from_env(),
         }
     }
 

@@ -211,98 +211,24 @@ impl<'a> OptSlice<'a> {
         }
     }
 
-    /// Runs the most accurate analyses that complete within budget: CS
-    /// first, CI as the fallback — the paper's "most accurate static
-    /// analysis that will complete on that benchmark without exhausting
-    /// available computational resources" (§6.1.2).
-    fn static_side(&self, invariants: Option<&InvariantSet>, label: &str) -> StaticSide {
-        let program = self.pipeline.program();
-        let cfg = self.pipeline.config();
+    /// Replays one static side's span shape into the registry and records
+    /// its stats. The spans carry the tree shape (`static_<label>` >
+    /// `pointsto`/`slice`); the measured durations live in the side's
+    /// report, because the side may have been computed concurrently with
+    /// its sibling on another thread, where the registry's single span
+    /// stack cannot time it.
+    fn record_side(&self, side: &StaticSide, label: &str) {
         let registry = self.pipeline.metrics();
         let phase_span = registry.span(&format!("static_{label}"));
-
-        let span = registry.span("pointsto");
-        let (pt, pt_at): (PointsTo, Sensitivity) = {
-            let cs = analyze(
-                program,
-                &PointsToConfig {
-                    sensitivity: Sensitivity::ContextSensitive,
-                    invariants,
-                    clone_budget: cfg.ctx_budget,
-                    solver_budget: cfg.solver_budget,
-                },
-            );
-            match cs {
-                Ok(pt) => (pt, Sensitivity::ContextSensitive),
-                Err(_) => (
-                    analyze(
-                        program,
-                        &PointsToConfig {
-                            sensitivity: Sensitivity::ContextInsensitive,
-                            invariants,
-                            clone_budget: cfg.ctx_budget,
-                            solver_budget: cfg.solver_budget,
-                        },
-                    )
-                    .expect("context-insensitive points-to always completes"),
-                    Sensitivity::ContextInsensitive,
-                ),
-            }
-        };
-        let points_to_time = span.finish();
-        pt.stats()
+        let _ = registry.span("pointsto").finish();
+        let _ = registry.span("slice").finish();
+        let _ = phase_span.finish();
+        side.pt
+            .stats()
             .record(registry, &format!("optslice.pointsto.{label}"));
-
-        let span = registry.span("slice");
-        let (static_slice, slice_at) = {
-            let cs = slice(
-                program,
-                &pt,
-                &self.endpoints,
-                &SliceConfig {
-                    sensitivity: Sensitivity::ContextSensitive,
-                    invariants,
-                    ctx_budget: cfg.ctx_budget,
-                    visit_budget: cfg.visit_budget,
-                },
-            );
-            match cs {
-                Ok(s) => (s, Sensitivity::ContextSensitive),
-                Err(_) => (
-                    slice(
-                        program,
-                        &pt,
-                        &self.endpoints,
-                        &SliceConfig {
-                            sensitivity: Sensitivity::ContextInsensitive,
-                            invariants,
-                            ctx_budget: cfg.ctx_budget,
-                            visit_budget: cfg.visit_budget,
-                        },
-                    )
-                    .expect("context-insensitive slicing always completes"),
-                    Sensitivity::ContextInsensitive,
-                ),
-            }
-        };
-        let slice_time = span.finish();
-        static_slice
+        side.slice
             .stats()
             .record(registry, &format!("optslice.slice.{label}"));
-        phase_span.finish();
-
-        StaticSide {
-            report: StaticSideReport {
-                points_to_at: pt_at,
-                points_to_time,
-                slice_at,
-                slice_time,
-                slice_size: static_slice.len(),
-                alias_rate: pt.alias_rate(),
-            },
-            slice: static_slice,
-            pt,
-        }
     }
 
     /// Stable fingerprint of the slice endpoints (part of the cache
@@ -386,8 +312,45 @@ impl<'a> OptSlice<'a> {
             registry.trace_instant("store.optslice.miss");
         }
 
-        let mut sound = self.static_side(None, "sound");
-        let pred = self.static_side(Some(&invariants), "pred");
+        // The sound and predicated static sides are independent until the
+        // alias-rate fairness fixup below, so they run as a two-node task
+        // DAG on the pipeline's shared pool (serially, sound first, on a
+        // one-thread pool). The branches are registry-free — the
+        // single-threaded metrics registry stays on this thread — and
+        // their span shapes and stats are replayed in fixed sound-then-
+        // pred order after the join, so the registry contents never
+        // depend on thread count.
+        let pool = self.pipeline.pool();
+        let serial_cutoff = oha_pointsto::serial_cutoff_from_env();
+        let dense_cutoff = oha_pointsto::dense_cutoff_from_env();
+        let cfg = self.pipeline.config();
+        let endpoints = &self.endpoints;
+        let (mut sound, pred) = pool.join(
+            || {
+                compute_side(
+                    program,
+                    endpoints,
+                    cfg,
+                    pool,
+                    serial_cutoff,
+                    dense_cutoff,
+                    None,
+                )
+            },
+            || {
+                compute_side(
+                    program,
+                    endpoints,
+                    cfg,
+                    pool,
+                    serial_cutoff,
+                    dense_cutoff,
+                    Some(&invariants),
+                )
+            },
+        );
+        self.record_side(&sound, "sound");
+        self.record_side(&pred, "pred");
         // Figure 9's fairness rule: report the sound alias rate over the
         // accesses the predicated analysis still considers.
         sound.report.alias_rate = sound.pt.alias_rate_over(&pred.pt);
@@ -610,6 +573,86 @@ impl<'a> OptSlice<'a> {
             acc = merge(acc, s);
         }
         acc
+    }
+}
+
+/// Runs the most accurate analyses that complete within budget: CS first,
+/// CI as the fallback — the paper's "most accurate static analysis that
+/// will complete on that benchmark without exhausting available
+/// computational resources" (§6.1.2). Registry-free (each step times
+/// itself with a plain clock) so the sound and predicated sides can run
+/// concurrently; the caller replays the span shape and stats after the
+/// join.
+#[allow(clippy::too_many_arguments)]
+fn compute_side(
+    program: &Program,
+    endpoints: &[InstId],
+    cfg: &crate::pipeline::PipelineConfig,
+    pool: oha_par::Pool,
+    serial_cutoff: usize,
+    dense_cutoff: usize,
+    invariants: Option<&InvariantSet>,
+) -> StaticSide {
+    let pt_cfg = |sensitivity| PointsToConfig {
+        sensitivity,
+        invariants,
+        clone_budget: cfg.ctx_budget,
+        solver_budget: cfg.solver_budget,
+        pool,
+        serial_cutoff,
+        dense_cutoff,
+    };
+    let start = Instant::now();
+    let (pt, pt_at): (PointsTo, Sensitivity) =
+        match analyze(program, &pt_cfg(Sensitivity::ContextSensitive)) {
+            Ok(pt) => (pt, Sensitivity::ContextSensitive),
+            Err(_) => (
+                analyze(program, &pt_cfg(Sensitivity::ContextInsensitive))
+                    .expect("context-insensitive points-to always completes"),
+                Sensitivity::ContextInsensitive,
+            ),
+        };
+    let points_to_time = start.elapsed();
+
+    let sl_cfg = |sensitivity| SliceConfig {
+        sensitivity,
+        invariants,
+        ctx_budget: cfg.ctx_budget,
+        visit_budget: cfg.visit_budget,
+        pool,
+    };
+    let start = Instant::now();
+    let (static_slice, slice_at) = match slice(
+        program,
+        &pt,
+        endpoints,
+        &sl_cfg(Sensitivity::ContextSensitive),
+    ) {
+        Ok(s) => (s, Sensitivity::ContextSensitive),
+        Err(_) => (
+            slice(
+                program,
+                &pt,
+                endpoints,
+                &sl_cfg(Sensitivity::ContextInsensitive),
+            )
+            .expect("context-insensitive slicing always completes"),
+            Sensitivity::ContextInsensitive,
+        ),
+    };
+    let slice_time = start.elapsed();
+
+    StaticSide {
+        report: StaticSideReport {
+            points_to_at: pt_at,
+            points_to_time,
+            slice_at,
+            slice_time,
+            slice_size: static_slice.len(),
+            alias_rate: pt.alias_rate(),
+        },
+        slice: static_slice,
+        pt,
     }
 }
 

@@ -133,23 +133,46 @@ pub struct Pipeline {
     config: PipelineConfig,
     metrics: MetricsRegistry,
     store: Option<Arc<Store>>,
+    /// The one worker pool every phase shares, sized when the
+    /// configuration is set (see [`Pipeline::pool`]).
+    pool: Pool,
+}
+
+/// The pool sizing rule shared by every phase:
+/// [`PipelineConfig::threads`] when set, otherwise the `OHA_THREADS`
+/// environment override, otherwise
+/// [`std::thread::available_parallelism`].
+fn resolve_pool(config: &PipelineConfig) -> Pool {
+    if config.threads == 0 {
+        Pool::from_env()
+    } else {
+        Pool::new(config.threads)
+    }
 }
 
 impl Pipeline {
     /// A pipeline with default configuration and a fresh metrics registry.
     pub fn new(program: Program) -> Self {
-        Self {
+        let config = PipelineConfig::default();
+        let metrics = MetricsRegistry::new();
+        let pool = resolve_pool(&config);
+        let me = Self {
             program,
-            config: PipelineConfig::default(),
-            metrics: MetricsRegistry::new(),
+            config,
+            metrics,
             store: None,
-        }
+            pool,
+        };
+        me.record_pool_built();
+        me
     }
 
     /// Overrides the configuration. When [`PipelineConfig::store`] names a
     /// directory (and no store was injected via [`Pipeline::with_store`]),
     /// the on-disk store is opened here; an unopenable directory degrades
-    /// to running uncached rather than failing the pipeline.
+    /// to running uncached rather than failing the pipeline. The shared
+    /// worker pool is (re)sized here — phases only ever copy
+    /// [`Pipeline::pool`], they never construct their own.
     pub fn with_config(mut self, config: PipelineConfig) -> Self {
         if self.store.is_none() {
             if let Some(sc) = &config.store {
@@ -158,8 +181,19 @@ impl Pipeline {
                     .map(Arc::new);
             }
         }
+        self.pool = resolve_pool(&config);
         self.config = config;
+        self.record_pool_built();
         self
+    }
+
+    /// Counts pool constructions (and publishes the width) so tests can
+    /// assert that profiling and the static phases share one pool rather
+    /// than re-deriving their own.
+    fn record_pool_built(&self) {
+        self.metrics.add("pipeline.pool.built", 1);
+        self.metrics
+            .set_gauge("pipeline.pool.width", self.pool.threads() as f64);
     }
 
     /// Shares an already-open artifact store (the daemon opens one store
@@ -206,15 +240,15 @@ impl Pipeline {
         &self.metrics
     }
 
-    /// The profiling worker pool: [`PipelineConfig::threads`] when set,
-    /// otherwise the `OHA_THREADS` environment override, otherwise
-    /// [`std::thread::available_parallelism`].
+    /// The worker pool shared by the profiling *and* static phases. Sized
+    /// once when the configuration is set ([`PipelineConfig::threads`]
+    /// when non-zero, otherwise the `OHA_THREADS` environment override,
+    /// otherwise [`std::thread::available_parallelism`]); every call hands
+    /// out a copy of the same pool and bumps the `pipeline.pool.reuse`
+    /// counter so tests can assert the sharing.
     pub fn pool(&self) -> Pool {
-        if self.config.threads == 0 {
-            Pool::from_env()
-        } else {
-            Pool::new(self.config.threads)
-        }
+        self.metrics.add("pipeline.pool.reuse", 1);
+        self.pool
     }
 
     /// Phase 1: runs the profiling corpus and merges the likely invariants.

@@ -50,6 +50,16 @@ pub struct ReachingDefs {
 }
 
 impl ReachingDefs {
+    /// Computes reaching definitions for every function of `program`,
+    /// indexed by [`FuncId::index`], fanning the per-function fixpoints out
+    /// over `pool`. Each fixpoint is a pure function of one function's
+    /// body, so the result is identical to the serial loop at every pool
+    /// width.
+    pub fn compute_all(program: &Program, pool: oha_par::Pool) -> Vec<Self> {
+        let funcs: Vec<FuncId> = program.func_ids().collect();
+        pool.par_map(&funcs, |&f| Self::new(program, f, &Cfg::new(program, f)))
+    }
+
     /// Computes reaching definitions for `func`.
     pub fn new(program: &Program, func: FuncId, cfg: &Cfg) -> Self {
         let f = program.function(func);

@@ -159,6 +159,30 @@ impl Pool {
         })
     }
 
+    /// Runs two independent closures, potentially in parallel, and
+    /// returns both results. With a single-thread pool both run serially
+    /// on the calling thread (in `a`, `b` order); otherwise `b` runs on a
+    /// scoped worker while `a` runs on the caller. Either side's panic
+    /// propagates to the caller. The two closures must not communicate —
+    /// callers rely on the results being independent of which branch
+    /// finishes first.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        if self.threads <= 1 {
+            return (a(), b());
+        }
+        scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join())
+        })
+    }
+
     /// [`par_map`](Pool::par_map) with the item index passed to `f`
     /// (useful when workers need a per-item seed or label).
     pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
@@ -251,6 +275,28 @@ mod tests {
         .expect_err("worker panic must reach the caller");
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("boom at 17"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn join_returns_both_results_at_any_width() {
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let (a, b) = pool.join(|| 40, || "two");
+            assert_eq!((a, b), (40, "two"), "join broken at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn join_propagates_panics_from_either_branch() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                pool.join(|| 1, || panic!("right side"))
+            }))
+            .expect_err("branch panic must reach the caller");
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert!(msg.contains("right side"), "unexpected payload: {msg}");
+        }
     }
 
     #[test]

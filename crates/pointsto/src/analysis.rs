@@ -4,11 +4,14 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use oha_dataflow::BitSet;
 use oha_invariants::{InvariantSet, MAX_CONTEXT_DEPTH};
-use oha_ir::{Callee, FuncId, InstId, InstKind, Operand, Program, Reg, Terminator};
+use oha_ir::{Callee, FuncId, GlobalId, InstId, InstKind, Operand, Program, Reg, Terminator};
+use oha_par::Pool;
 
+use crate::dense::DenseSolver;
 use crate::model::{pointee_as_cell, pointee_of_cell, pointee_of_func, AbsObj, ObjRegistry};
 use crate::reference::ReferenceSolver;
 use crate::results::{PointsTo, PtStats};
@@ -21,6 +24,48 @@ pub enum Sensitivity {
     ContextInsensitive,
     /// Bottom-up cloning per calling context ("CS" in Table 2).
     ContextSensitive,
+}
+
+/// Environment variable overriding [`SERIAL_CUTOFF_DEFAULT`] (empty or
+/// unparsable values fall back to the default).
+pub const SERIAL_CUTOFF_ENV: &str = "OHA_SERIAL_CUTOFF";
+
+/// Default adaptive serial cutoff: constraint graphs with fewer than this
+/// many solver nodes + copy edges solve on the lean serial path — micro
+/// workloads lose more to sharding bookkeeping than they gain from extra
+/// cores (see DESIGN.md "Parallel static phase").
+pub const SERIAL_CUTOFF_DEFAULT: usize = 2048;
+
+/// [`SERIAL_CUTOFF_DEFAULT`], unless [`SERIAL_CUTOFF_ENV`] overrides it.
+pub fn serial_cutoff_from_env() -> usize {
+    std::env::var(SERIAL_CUTOFF_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(SERIAL_CUTOFF_DEFAULT)
+}
+
+/// Environment variable overriding [`DENSE_CUTOFF_DEFAULT`] (empty or
+/// unparsable values fall back to the default).
+pub const DENSE_CUTOFF_ENV: &str = "OHA_DENSE_CUTOFF";
+
+/// Default dense-engine cutoff, in *program instructions*: inputs below
+/// it solve on [`crate::dense::DenseSolver`], whose construction is as
+/// cheap as the naive reference engine and whose full-pass solve is
+/// word-parallel. Unlike [`SERIAL_CUTOFF_DEFAULT`] (a constraint-graph
+/// size, decided per solve round) this is decided once, before any
+/// constraints exist, from the input program alone — which keeps the
+/// choice identical for the sound and predicated runs of a workload
+/// only when both stay micro, and keeps programs whose
+/// context-sensitive graphs outgrow their instruction count (vim, go)
+/// on the adaptive worklist/sharded path.
+pub const DENSE_CUTOFF_DEFAULT: usize = 320;
+
+/// [`DENSE_CUTOFF_DEFAULT`], unless [`DENSE_CUTOFF_ENV`] overrides it.
+pub fn dense_cutoff_from_env() -> usize {
+    std::env::var(DENSE_CUTOFF_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(DENSE_CUTOFF_DEFAULT)
 }
 
 /// Configuration for [`analyze`].
@@ -36,6 +81,22 @@ pub struct PointsToConfig<'a> {
     /// Maximum solver iterations before the analysis reports resource
     /// exhaustion.
     pub solver_budget: u64,
+    /// Worker pool for the parallel sections: per-function constraint
+    /// planning and the sharded solve. Results are bit-identical at any
+    /// width; `Pool::new(1)` forces fully serial execution.
+    pub pool: Pool,
+    /// Constraint graphs below this size (solver nodes + copy edges) route
+    /// to the serial solve path regardless of pool width. The routing is a
+    /// pure function of problem size, never of thread count.
+    pub serial_cutoff: usize,
+    /// Programs below this many instructions run on the dense micro-graph
+    /// engine ([`crate::dense::DenseSolver`]) instead of the worklist
+    /// solver — reference-cheap construction plus word-parallel full
+    /// passes, the fastest shape for graphs too small to amortize
+    /// worklist bookkeeping. Decided once from the input program, so it
+    /// cannot vary with thread count; a zero `serial_cutoff` disables it
+    /// along with every other small-graph shortcut.
+    pub dense_cutoff: usize,
 }
 
 impl Default for PointsToConfig<'static> {
@@ -45,6 +106,9 @@ impl Default for PointsToConfig<'static> {
             invariants: None,
             clone_budget: 4096,
             solver_budget: 20_000_000,
+            pool: Pool::from_env(),
+            serial_cutoff: serial_cutoff_from_env(),
+            dense_cutoff: dense_cutoff_from_env(),
         }
     }
 }
@@ -132,7 +196,16 @@ struct SiteInstance {
 /// # Ok::<(), oha_pointsto::Exhausted>(())
 /// ```
 pub fn analyze(program: &Program, config: &PointsToConfig<'_>) -> Result<PointsTo, Exhausted> {
-    Builder::<Solver>::new(program, config).run()
+    // Engine routing, decided once from the input program (a pure
+    // function of the input, so identical at every `OHA_THREADS`):
+    // micro programs run the dense engine, everything else the adaptive
+    // worklist/sharded solver. `serial_cutoff == 0` means "no serial
+    // shortcuts at all" — used by tests to force the sharded loop.
+    if program.num_insts() < config.dense_cutoff && config.serial_cutoff > 0 {
+        Builder::<DenseSolver>::new(program, config).run()
+    } else {
+        Builder::<Solver>::new(program, config).run()
+    }
 }
 
 /// Runs the points-to analysis on the naive iterate-to-fixpoint reference
@@ -174,11 +247,247 @@ pub fn ctx_hash(func: FuncId, chain: &[InstId]) -> u64 {
     h
 }
 
+/// The call shape a planned call site resolved to at plan time.
+#[derive(Clone, Debug)]
+enum PlanCallee {
+    /// Statically known target.
+    Direct(FuncId),
+    /// Predicated indirect call, devirtualized to the arity-matching
+    /// likely-callee set (§5.2.3) while planning.
+    Devirt(Vec<FuncId>),
+    /// Sound indirect call: targets resolve on the fly from the points-to
+    /// set of this register.
+    Dynamic(Reg),
+    /// Sound indirect call through a constant operand — can never resolve;
+    /// only the destination/argument nodes are materialized.
+    Opaque,
+}
+
+/// One replayable constraint-generation step of a [`FuncPlan`]. Operands
+/// are pre-filtered: constant sources that generate nothing are dropped at
+/// plan time, so replay touches only ops that allocate nodes or emit
+/// constraints.
+#[derive(Clone, Debug)]
+enum PlanOp {
+    Copy {
+        dst: Reg,
+        src: Reg,
+    },
+    Alloc {
+        inst: InstId,
+        dst: Reg,
+        fields: u32,
+    },
+    AddrGlobal {
+        dst: Reg,
+        global: GlobalId,
+    },
+    AddrFunc {
+        dst: Reg,
+        target: FuncId,
+    },
+    Gep {
+        dst: Reg,
+        base: Reg,
+        offset: u32,
+    },
+    Load {
+        inst: InstId,
+        dst: Reg,
+        addr: Reg,
+        offset: u32,
+    },
+    Store {
+        inst: InstId,
+        addr: Reg,
+        offset: u32,
+        value: Option<Reg>,
+    },
+    /// A lock or unlock site (both record a [`AccessKind::Lock`] access).
+    Access {
+        inst: InstId,
+        addr: Reg,
+    },
+    Call {
+        inst: InstId,
+        dst: Option<Reg>,
+        args: Vec<Option<Reg>>,
+        callee: PlanCallee,
+        is_spawn: bool,
+    },
+    /// `Return(reg)` at the end of a block.
+    Ret {
+        src: Reg,
+    },
+}
+
+/// A function's constraint-generation recipe: the context-independent
+/// [`PlanOp`] sequence its instantiation replays, with pruned blocks
+/// dropped and indirect calls devirtualized up front. Building a plan is a
+/// pure function of `(program, invariants)` — it touches neither solver
+/// nor registry — so plans for all functions build in parallel while node
+/// and cell numbering stay artifacts of serial replay order alone.
+#[derive(Debug, Default)]
+struct FuncPlan {
+    ops: Vec<PlanOp>,
+}
+
+fn reg_of(op: Operand) -> Option<Reg> {
+    match op {
+        Operand::Reg(r) => Some(r),
+        Operand::Const(_) => None,
+    }
+}
+
+fn plan_callee(
+    program: &Program,
+    invariants: Option<&InvariantSet>,
+    inst: InstId,
+    callee: &Callee,
+    arity: usize,
+) -> PlanCallee {
+    match callee {
+        Callee::Direct(target) => PlanCallee::Direct(*target),
+        Callee::Indirect(op) => match invariants {
+            // Predicated: devirtualize to the likely callee set.
+            Some(inv) => PlanCallee::Devirt(
+                inv.callee_sets
+                    .get(&inst)
+                    .map(|s| {
+                        s.iter()
+                            .copied()
+                            .filter(|&t| program.function(t).arity() == arity)
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            ),
+            None => match reg_of(*op) {
+                Some(r) => PlanCallee::Dynamic(r),
+                None => PlanCallee::Opaque,
+            },
+        },
+    }
+}
+
+fn plan_inst(
+    program: &Program,
+    invariants: Option<&InvariantSet>,
+    inst: InstId,
+    kind: &InstKind,
+    ops: &mut Vec<PlanOp>,
+) {
+    match kind {
+        InstKind::Copy { dst, src } => {
+            if let Some(src) = reg_of(*src) {
+                ops.push(PlanOp::Copy { dst: *dst, src });
+            }
+        }
+        InstKind::BinOp { .. }
+        | InstKind::Input { .. }
+        | InstKind::Output { .. }
+        | InstKind::Join { .. } => {}
+        InstKind::Alloc { dst, fields } => ops.push(PlanOp::Alloc {
+            inst,
+            dst: *dst,
+            fields: *fields,
+        }),
+        InstKind::AddrGlobal { dst, global } => ops.push(PlanOp::AddrGlobal {
+            dst: *dst,
+            global: *global,
+        }),
+        InstKind::AddrFunc { dst, func: target } => ops.push(PlanOp::AddrFunc {
+            dst: *dst,
+            target: *target,
+        }),
+        InstKind::Gep { dst, base, field } => {
+            if let Some(base) = reg_of(*base) {
+                ops.push(PlanOp::Gep {
+                    dst: *dst,
+                    base,
+                    offset: *field,
+                });
+            }
+        }
+        InstKind::Load { dst, addr, field } => {
+            if let Some(addr) = reg_of(*addr) {
+                ops.push(PlanOp::Load {
+                    inst,
+                    dst: *dst,
+                    addr,
+                    offset: *field,
+                });
+            }
+        }
+        InstKind::Store { addr, field, value } => {
+            if let Some(addr) = reg_of(*addr) {
+                ops.push(PlanOp::Store {
+                    inst,
+                    addr,
+                    offset: *field,
+                    value: reg_of(*value),
+                });
+            }
+        }
+        InstKind::Lock { addr } | InstKind::Unlock { addr } => {
+            if let Some(addr) = reg_of(*addr) {
+                ops.push(PlanOp::Access { inst, addr });
+            }
+        }
+        InstKind::Call { dst, callee, args } => {
+            let args: Vec<Option<Reg>> = args.iter().map(|&a| reg_of(a)).collect();
+            let callee = plan_callee(program, invariants, inst, callee, args.len());
+            ops.push(PlanOp::Call {
+                inst,
+                dst: *dst,
+                args,
+                callee,
+                is_spawn: false,
+            });
+        }
+        InstKind::Spawn {
+            func: target, arg, ..
+        } => {
+            let args = vec![reg_of(*arg)];
+            let callee = plan_callee(program, invariants, inst, target, args.len());
+            ops.push(PlanOp::Call {
+                inst,
+                dst: None,
+                args,
+                callee,
+                is_spawn: true,
+            });
+        }
+    }
+}
+
+fn build_plan(program: &Program, invariants: Option<&InvariantSet>, func: FuncId) -> FuncPlan {
+    let mut ops = Vec::new();
+    let f = program.function(func);
+    for &bid in &f.blocks {
+        if invariants.is_some_and(|inv| !inv.is_visited(bid)) {
+            continue;
+        }
+        let block = program.block(bid);
+        for inst in &block.insts {
+            plan_inst(program, invariants, inst.id, &inst.kind, &mut ops);
+        }
+        if let Terminator::Return(Some(op)) = block.terminator {
+            if let Some(src) = reg_of(op) {
+                ops.push(PlanOp::Ret { src });
+            }
+        }
+    }
+    FuncPlan { ops }
+}
+
 struct Builder<'p, 'c, S: ConstraintSolver> {
     program: &'p Program,
     config: &'c PointsToConfig<'c>,
     registry: ObjRegistry,
     solver: S,
+    /// Per-function constraint plans, indexed by `FuncId::raw`, built in
+    /// parallel at the start of [`Builder::run`].
+    plans: Vec<Arc<FuncPlan>>,
     ctxs: Vec<CtxInfo>,
     var_nodes: HashMap<(u32, u32, u32), u32>,
     ret_nodes: HashMap<(u32, u32), u32>,
@@ -199,6 +508,7 @@ impl<'p, 'c, S: ConstraintSolver> Builder<'p, 'c, S> {
             config,
             registry,
             solver: S::default(),
+            plans: Vec::new(),
             ctxs: Vec::new(),
             var_nodes: HashMap::new(),
             ret_nodes: HashMap::new(),
@@ -216,12 +526,6 @@ impl<'p, 'c, S: ConstraintSolver> Builder<'p, 'c, S> {
         self.config.sensitivity == Sensitivity::ContextSensitive
     }
 
-    fn pruned(&self, block: oha_ir::BlockId) -> bool {
-        self.config
-            .invariants
-            .is_some_and(|inv| !inv.is_visited(block))
-    }
-
     fn var(&mut self, ctx: u32, func: FuncId, reg: Reg) -> u32 {
         *self
             .var_nodes
@@ -234,13 +538,6 @@ impl<'p, 'c, S: ConstraintSolver> Builder<'p, 'c, S> {
             .ret_nodes
             .entry((ctx, func.raw()))
             .or_insert_with(|| self.solver.add_node())
-    }
-
-    fn operand_node(&mut self, ctx: u32, func: FuncId, op: Operand) -> Option<u32> {
-        match op {
-            Operand::Reg(r) => Some(self.var(ctx, func, r)),
-            Operand::Const(_) => None,
-        }
     }
 
     /// Resolves the context a call into `callee` should use, creating it if
@@ -327,6 +624,26 @@ impl<'p, 'c, S: ConstraintSolver> Builder<'p, 'c, S> {
     }
 
     fn run(mut self) -> Result<PointsTo, Exhausted> {
+        // Fan constraint planning out per function over the shared pool;
+        // par_map returns in input order, so the plan table is merged in
+        // function order no matter how wide the pool is. Everything
+        // order-sensitive (node/cell numbering) happens at replay time, on
+        // this thread, in the same instantiation order as ever.
+        let funcs: Vec<FuncId> = self.program.func_ids().collect();
+        let program = self.program;
+        let invariants = self.config.invariants;
+        self.plans = self
+            .config
+            .pool
+            .par_map(&funcs, |&f| Arc::new(build_plan(program, invariants, f)));
+
+        // Capacity hint: roughly one node per planned op for a single
+        // instantiation of every function — about exact for the
+        // context-insensitive graphs, a harmless lower bound once
+        // cloning multiplies contexts.
+        let hint: usize = self.plans.iter().map(|p| p.ops.len()).sum();
+        self.solver.reserve(hint + 16);
+
         let main = self.program.entry();
         let root = self.new_root(main)?;
         self.enqueue(root, main);
@@ -341,9 +658,12 @@ impl<'p, 'c, S: ConstraintSolver> Builder<'p, 'c, S> {
             // not depend on the solver's internal propagation order —
             // that is what lets the reference engine reproduce the
             // optimized engine's results bit for bit.
-            let mut discovered = self
-                .solver
-                .solve(&self.registry, self.config.solver_budget)?;
+            let mut discovered = self.solver.solve_tuned(
+                &self.registry,
+                self.config.solver_budget,
+                self.config.pool,
+                self.config.serial_cutoff,
+            )?;
             if discovered.is_empty() && self.queue.is_empty() {
                 break;
             }
@@ -356,195 +676,143 @@ impl<'p, 'c, S: ConstraintSolver> Builder<'p, 'c, S> {
         self.extract()
     }
 
+    /// Replays `func`'s plan in context `ctx`. Node allocation order — and
+    /// with it every downstream id — is identical to what direct traversal
+    /// produced before plans existed.
     fn instantiate(&mut self, ctx: u32, func: FuncId) -> Result<(), Exhausted> {
-        let f = self.program.function(func).clone();
-        for &bid in &f.blocks {
-            if self.pruned(bid) {
-                continue;
-            }
-            let block = self.program.block(bid).clone();
-            for inst in &block.insts {
-                self.gen_inst(ctx, func, inst.id, &inst.kind)?;
-            }
-            if let Terminator::Return(Some(op)) = block.terminator {
-                if let Some(n) = self.operand_node(ctx, func, op) {
-                    let r = self.ret(ctx, func);
-                    self.solver.add_copy(n, r);
-                }
-            }
+        let plan = Arc::clone(&self.plans[func.raw() as usize]);
+        for op in &plan.ops {
+            self.apply_op(ctx, func, op)?;
         }
         Ok(())
     }
 
-    fn gen_inst(
-        &mut self,
-        ctx: u32,
-        func: FuncId,
-        inst: InstId,
-        kind: &InstKind,
-    ) -> Result<(), Exhausted> {
-        match kind {
-            InstKind::Copy { dst, src } => {
-                if let Some(s) = self.operand_node(ctx, func, *src) {
-                    let d = self.var(ctx, func, *dst);
-                    self.solver.add_copy(s, d);
-                }
+    fn apply_op(&mut self, ctx: u32, func: FuncId, op: &PlanOp) -> Result<(), Exhausted> {
+        match *op {
+            PlanOp::Copy { dst, src } => {
+                let s = self.var(ctx, func, src);
+                let d = self.var(ctx, func, dst);
+                self.solver.add_copy(s, d);
             }
-            InstKind::BinOp { .. } | InstKind::Input { .. } | InstKind::Output { .. } => {}
-            InstKind::Alloc { dst, fields } => {
+            PlanOp::Alloc { inst, dst, fields } => {
                 let heap_ctx = if self.cs() { ctx } else { 0 };
                 let obj = self.registry.intern(
                     AbsObj::Heap {
                         site: inst,
                         ctx: heap_ctx,
                     },
-                    *fields,
+                    fields,
                 );
                 let cell = self.registry.cell(obj, 0).expect("field 0 exists");
-                let d = self.var(ctx, func, *dst);
+                let d = self.var(ctx, func, dst);
                 self.solver.add_pointee(d, pointee_of_cell(cell));
             }
-            InstKind::AddrGlobal { dst, global } => {
+            PlanOp::AddrGlobal { dst, global } => {
                 let cell = self
                     .registry
                     .cell(global.raw(), 0)
                     .expect("globals are interned first");
-                let d = self.var(ctx, func, *dst);
+                let d = self.var(ctx, func, dst);
                 self.solver.add_pointee(d, pointee_of_cell(cell));
             }
-            InstKind::AddrFunc { dst, func: target } => {
-                let d = self.var(ctx, func, *dst);
-                self.solver.add_pointee(d, pointee_of_func(*target));
+            PlanOp::AddrFunc { dst, target } => {
+                let d = self.var(ctx, func, dst);
+                self.solver.add_pointee(d, pointee_of_func(target));
             }
-            InstKind::Gep { dst, base, field } => {
-                if let Some(b) = self.operand_node(ctx, func, *base) {
-                    let d = self.var(ctx, func, *dst);
-                    self.solver.add_complex(
-                        b,
-                        Complex::Offset {
-                            dst: d,
-                            offset: *field,
-                        },
-                    );
+            PlanOp::Gep { dst, base, offset } => {
+                let b = self.var(ctx, func, base);
+                let d = self.var(ctx, func, dst);
+                self.solver
+                    .add_complex(b, Complex::Offset { dst: d, offset });
+            }
+            PlanOp::Load {
+                inst,
+                dst,
+                addr,
+                offset,
+            } => {
+                let a = self.var(ctx, func, addr);
+                let d = self.var(ctx, func, dst);
+                self.solver.add_complex(a, Complex::Load { dst: d, offset });
+                self.accesses.push(AccessRec {
+                    inst,
+                    kind: AccessKind::Load,
+                    node: a,
+                    offset,
+                    ctx,
+                });
+            }
+            PlanOp::Store {
+                inst,
+                addr,
+                offset,
+                value,
+            } => {
+                let a = self.var(ctx, func, addr);
+                if let Some(v) = value {
+                    let v = self.var(ctx, func, v);
+                    self.solver
+                        .add_complex(a, Complex::Store { src: v, offset });
                 }
+                self.accesses.push(AccessRec {
+                    inst,
+                    kind: AccessKind::Store,
+                    node: a,
+                    offset,
+                    ctx,
+                });
             }
-            InstKind::Load { dst, addr, field } => {
-                if let Some(a) = self.operand_node(ctx, func, *addr) {
-                    let d = self.var(ctx, func, *dst);
-                    self.solver.add_complex(
-                        a,
-                        Complex::Load {
-                            dst: d,
-                            offset: *field,
-                        },
-                    );
-                    self.accesses.push(AccessRec {
-                        inst,
-                        kind: AccessKind::Load,
-                        node: a,
-                        offset: *field,
-                        ctx,
-                    });
-                }
+            PlanOp::Access { inst, addr } => {
+                let a = self.var(ctx, func, addr);
+                self.accesses.push(AccessRec {
+                    inst,
+                    kind: AccessKind::Lock,
+                    node: a,
+                    offset: 0,
+                    ctx,
+                });
             }
-            InstKind::Store { addr, field, value } => {
-                if let Some(a) = self.operand_node(ctx, func, *addr) {
-                    if let Some(v) = self.operand_node(ctx, func, *value) {
-                        self.solver.add_complex(
-                            a,
-                            Complex::Store {
-                                src: v,
-                                offset: *field,
-                            },
-                        );
-                    }
-                    self.accesses.push(AccessRec {
-                        inst,
-                        kind: AccessKind::Store,
-                        node: a,
-                        offset: *field,
-                        ctx,
-                    });
-                }
-            }
-            InstKind::Lock { addr } | InstKind::Unlock { addr } => {
-                if let Some(a) = self.operand_node(ctx, func, *addr) {
-                    self.accesses.push(AccessRec {
-                        inst,
-                        kind: AccessKind::Lock,
-                        node: a,
-                        offset: 0,
-                        ctx,
-                    });
-                }
-            }
-            InstKind::Call { dst, callee, args } => {
+            PlanOp::Call {
+                inst,
+                dst,
+                ref args,
+                ref callee,
+                is_spawn,
+            } => {
                 let dst_node = dst.map(|d| self.var(ctx, func, d));
                 let arg_nodes: Vec<Option<u32>> = args
                     .iter()
-                    .map(|&a| self.operand_node(ctx, func, a))
+                    .map(|a| a.map(|r| self.var(ctx, func, r)))
                     .collect();
-                self.gen_call(ctx, func, inst, callee, arg_nodes, dst_node, false)?;
-            }
-            InstKind::Spawn {
-                func: target, arg, ..
-            } => {
-                let arg_node = self.operand_node(ctx, func, *arg);
-                self.gen_call(ctx, func, inst, target, vec![arg_node], None, true)?;
-            }
-            InstKind::Join { .. } => {}
-        }
-        Ok(())
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn gen_call(
-        &mut self,
-        ctx: u32,
-        func: FuncId,
-        inst: InstId,
-        callee: &Callee,
-        args: Vec<Option<u32>>,
-        dst: Option<u32>,
-        is_spawn: bool,
-    ) -> Result<(), Exhausted> {
-        match callee {
-            Callee::Direct(target) => {
-                self.wire_call(ctx, inst, *target, &args, dst, is_spawn)?;
-            }
-            Callee::Indirect(op) => {
-                let targets: Option<Vec<FuncId>> = self.config.invariants.map(|inv| {
-                    inv.callee_sets
-                        .get(&inst)
-                        .map(|s| s.iter().copied().collect())
-                        .unwrap_or_default()
-                });
-                match targets {
-                    Some(targets) => {
-                        // Predicated: devirtualize to the likely callee set.
-                        for t in targets {
-                            if self.program.function(t).arity() == args.len() {
-                                self.wire_call(ctx, inst, t, &args, dst, is_spawn)?;
-                            }
+                match *callee {
+                    PlanCallee::Direct(target) => {
+                        self.wire_call(ctx, inst, target, &arg_nodes, dst_node, is_spawn)?;
+                    }
+                    PlanCallee::Devirt(ref targets) => {
+                        for &t in targets {
+                            self.wire_call(ctx, inst, t, &arg_nodes, dst_node, is_spawn)?;
                         }
                     }
-                    None => {
-                        // Sound: resolve on the fly from the points-to set
-                        // of the target operand.
-                        if let Some(n) = self.operand_node(ctx, func, *op) {
-                            let key = self.site_instances.len() as u32;
-                            self.site_instances.push(SiteInstance {
-                                inst,
-                                ctx,
-                                args,
-                                dst,
-                                is_spawn,
-                            });
-                            self.solver
-                                .add_complex(n, Complex::CallTarget { site_key: key });
-                        }
+                    PlanCallee::Dynamic(r) => {
+                        let n = self.var(ctx, func, r);
+                        let key = self.site_instances.len() as u32;
+                        self.site_instances.push(SiteInstance {
+                            inst,
+                            ctx,
+                            args: arg_nodes,
+                            dst: dst_node,
+                            is_spawn,
+                        });
+                        self.solver
+                            .add_complex(n, Complex::CallTarget { site_key: key });
                     }
+                    PlanCallee::Opaque => {}
                 }
+            }
+            PlanOp::Ret { src } => {
+                let n = self.var(ctx, func, src);
+                let r = self.ret(ctx, func);
+                self.solver.add_copy(n, r);
             }
         }
         Ok(())
@@ -637,6 +905,10 @@ impl<'p, 'c, S: ConstraintSolver> Builder<'p, 'c, S> {
             scc_collapses: solver_stats.scc_collapses,
             words_unioned: solver_stats.words_unioned,
             worklist_pops: solver_stats.worklist_pops,
+            shard_rounds: solver_stats.shard_rounds,
+            shard_merge_ns: solver_stats.shard_merge_ns,
+            serial_solves: solver_stats.serial_solves,
+            sharded_solves: solver_stats.sharded_solves,
             num_cells: self.registry.num_cells(),
         };
         Ok(PointsTo::new(

@@ -1,0 +1,210 @@
+//! The dense micro-graph solver.
+//!
+//! Third production engine beside the worklist [`crate::solver::Solver`]
+//! and its sharded loop, selected upfront by [`crate::analyze`] for
+//! programs below the dense-engine cutoff (see
+//! [`crate::analysis::DENSE_CUTOFF_DEFAULT`]). On micro constraint
+//! graphs the worklist machinery loses before solving starts: every
+//! `add_copy` pays a binary search plus an eager word union, every
+//! `add_pointee` stages a delta and a queue entry, and six per-node
+//! parallel vectors are allocated, grown and dropped — all to avoid
+//! re-propagation that a graph of a few hundred constraints never
+//! amortizes. This engine keeps construction as cheap as the naive
+//! [`crate::reference::ReferenceSolver`] — push a constraint, nothing
+//! else — and solves with full passes whose inner loop is one
+//! word-parallel [`BitSet::union_with`] per edge instead of the
+//! reference's clone-and-insert per bit. Same pass structure, strictly
+//! less work per pass: the measured floor against the reference engine
+//! on micro workloads is what `scripts/bench_static.sh` guards.
+//!
+//! Entirely serial and chosen by a pure function of the input program,
+//! so results and counters cannot vary with `OHA_THREADS`. The least
+//! solution of an inclusion constraint system is unique, so the fixpoint
+//! is bit-identical to both other engines'.
+
+use std::collections::HashSet;
+
+use oha_dataflow::BitSet;
+use oha_ir::FuncId;
+
+use crate::analysis::Exhausted;
+use crate::model::{pointee_as_cell, pointee_as_func, pointee_of_cell, ObjRegistry};
+use crate::solver::{Complex, ConstraintSolver, SolverStats};
+
+#[derive(Debug, Default)]
+pub(crate) struct DenseSolver {
+    pts: Vec<BitSet>,
+    /// Copy edges in insertion order, deduplicated by linear scan —
+    /// cheaper than any index at the graph sizes this engine accepts.
+    copies: Vec<(u32, u32)>,
+    complex: Vec<(u32, Complex)>,
+    /// Solver node per registry cell (created lazily).
+    cell_nodes: Vec<u32>,
+    /// `(site_key, func)` resolutions already returned to the builder.
+    /// Full-set reinterpretation would re-report every resolution each
+    /// pass; the gate keeps the builder's solve/wire loop convergent.
+    reported: HashSet<(u32, u32)>,
+    iterations: u64,
+    words_unioned: u64,
+    serial_solves: u64,
+}
+
+impl DenseSolver {
+    fn cell_node(&mut self, cell: u32) -> u32 {
+        while self.cell_nodes.len() <= cell as usize {
+            self.cell_nodes.push(u32::MAX);
+        }
+        if self.cell_nodes[cell as usize] == u32::MAX {
+            let n = self.add_node();
+            self.cell_nodes[cell as usize] = n;
+        }
+        self.cell_nodes[cell as usize]
+    }
+
+    fn add_edge(&mut self, from: u32, to: u32) -> bool {
+        if from == to || self.copies.contains(&(from, to)) {
+            return false;
+        }
+        self.copies.push((from, to));
+        true
+    }
+}
+
+impl ConstraintSolver for DenseSolver {
+    fn add_node(&mut self) -> u32 {
+        let id = self.pts.len() as u32;
+        self.pts.push(BitSet::new());
+        id
+    }
+
+    fn add_pointee(&mut self, node: u32, pointee: usize) {
+        if self.pts[node as usize].insert(pointee) {
+            self.words_unioned += 1;
+        }
+    }
+
+    fn add_copy(&mut self, from: u32, to: u32) {
+        self.add_edge(from, to);
+    }
+
+    fn add_complex(&mut self, node: u32, c: Complex) {
+        self.complex.push((node, c));
+    }
+
+    fn pts(&self, node: u32) -> &BitSet {
+        &self.pts[node as usize]
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.pts.len()
+    }
+
+    fn num_copy_edges(&self) -> usize {
+        self.copies.len()
+    }
+
+    fn solve(
+        &mut self,
+        registry: &ObjRegistry,
+        budget: u64,
+    ) -> Result<Vec<(u32, FuncId)>, Exhausted> {
+        self.serial_solves += 1;
+        let mut found: Vec<(u32, FuncId)> = Vec::new();
+        // Reusable buffer for per-node set snapshots in the complex pass:
+        // interpretation may grow `pts`, which would invalidate a borrow.
+        let mut snapshot = BitSet::new();
+        loop {
+            let mut changed = false;
+            // The budget is a runaway guard, not a precise meter: checking
+            // once per pass keeps the per-edge loop branch-free.
+            self.iterations += (self.copies.len() + self.complex.len()) as u64;
+            if self.iterations > budget {
+                return Err(Exhausted {
+                    reason: format!("dense solver exceeded {budget} iterations"),
+                });
+            }
+            // Copy pass: one word-parallel union per edge. `add_edge`
+            // rejects self-loops, so take-and-restore of the source set
+            // is safe.
+            for i in 0..self.copies.len() {
+                let (from, to) = self.copies[i];
+                if self.pts[from as usize].is_empty() {
+                    continue;
+                }
+                let src = std::mem::take(&mut self.pts[from as usize]);
+                self.words_unioned += (src.capacity() / 64) as u64;
+                changed |= self.pts[to as usize].union_with(&src);
+                self.pts[from as usize] = src;
+            }
+            // Complex pass, against full-set snapshots. New edges wait
+            // for the next pass (flagged through `changed`), exactly
+            // like the reference engine.
+            for i in 0..self.complex.len() {
+                let (node, c) = self.complex[i];
+                if self.pts[node as usize].is_empty() {
+                    continue;
+                }
+                snapshot.clone_from(&self.pts[node as usize]);
+                match c {
+                    Complex::Load { dst, offset } => {
+                        for p in snapshot.iter() {
+                            if let Some(cell) = pointee_as_cell(p) {
+                                if let Some(shifted) = registry.cell_offset(cell, offset) {
+                                    let cn = self.cell_node(shifted);
+                                    changed |= self.add_edge(cn, dst);
+                                }
+                            }
+                        }
+                    }
+                    Complex::Store { src, offset } => {
+                        for p in snapshot.iter() {
+                            if let Some(cell) = pointee_as_cell(p) {
+                                if let Some(shifted) = registry.cell_offset(cell, offset) {
+                                    let cn = self.cell_node(shifted);
+                                    changed |= self.add_edge(src, cn);
+                                }
+                            }
+                        }
+                    }
+                    Complex::Offset { dst, offset } => {
+                        for p in snapshot.iter() {
+                            if let Some(cell) = pointee_as_cell(p) {
+                                if let Some(shifted) = registry.cell_offset(cell, offset) {
+                                    if self.pts[dst as usize].insert(pointee_of_cell(shifted)) {
+                                        self.words_unioned += 1;
+                                        changed = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Complex::CallTarget { site_key } => {
+                        for p in snapshot.iter() {
+                            if let Some(f) = pointee_as_func(p) {
+                                if self.reported.insert((site_key, f.raw())) {
+                                    found.push((site_key, f));
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return Ok(found);
+            }
+        }
+    }
+
+    fn stats(&self) -> SolverStats {
+        SolverStats {
+            iterations: self.iterations,
+            words_unioned: self.words_unioned,
+            // Constraint applications are this engine's unit of work —
+            // the closest analogue of a worklist pop.
+            worklist_pops: self.iterations,
+            serial_solves: self.serial_solves,
+            ..SolverStats::default()
+        }
+    }
+}

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod dense;
 mod model;
 #[cfg(test)]
 mod proptests;
@@ -34,6 +35,10 @@ mod reference;
 mod results;
 mod solver;
 
-pub use analysis::{analyze, analyze_reference, ctx_hash, Exhausted, PointsToConfig, Sensitivity};
+pub use analysis::{
+    analyze, analyze_reference, ctx_hash, dense_cutoff_from_env, serial_cutoff_from_env, Exhausted,
+    PointsToConfig, Sensitivity, DENSE_CUTOFF_DEFAULT, DENSE_CUTOFF_ENV, SERIAL_CUTOFF_DEFAULT,
+    SERIAL_CUTOFF_ENV,
+};
 pub use model::{AbsObj, ObjRegistry};
 pub use results::{PointsTo, PtStats};

@@ -1,13 +1,17 @@
-//! Property test: the optimized difference-propagation solver computes
-//! exactly the same fixpoint as the naive [`ReferenceSolver`].
+//! Property tests: the optimized difference-propagation solver computes
+//! exactly the same fixpoint as the naive [`ReferenceSolver`], the dense
+//! full-pass loop (the adaptive cutoff's micro-graph path) matches both,
+//! and the bulk-synchronous sharded loop computes exactly the same
+//! fixpoint at every pool width.
 //!
 //! An inclusion constraint system has a unique least solution, so any
-//! divergence between the two engines — missed propagation after a cycle
+//! divergence between the engines — missed propagation after a cycle
 //! collapse, a dropped delta during take-and-restore, a stale successor
-//! list — shows up as a points-to set or discovered-callee mismatch on
-//! some random constraint graph.
+//! list, a shard buffer merged out of order — shows up as a points-to
+//! set or discovered-callee mismatch on some random constraint graph.
 
 use oha_ir::{FuncId, GlobalId, ProgramBuilder};
+use oha_par::Pool;
 use proptest::prelude::*;
 
 use crate::model::{pointee_of_cell, pointee_of_func, AbsObj, ObjRegistry};
@@ -121,7 +125,7 @@ proptest! {
             .into_iter()
             .filter(|p| !opt_first.contains(p))
             .collect();
-        prop_assert_eq!(opt_new, naive_second);
+        prop_assert_eq!(&opt_new, &naive_second);
 
         // The original nodes must agree exactly; cell nodes are created
         // lazily in engine-specific order, so they are compared through
@@ -133,6 +137,65 @@ proptest! {
                 "points-to sets diverge at node {}",
                 n
             );
+        }
+
+        // Third engine: the dense full-pass loop that the adaptive serial
+        // cutoff routes micro graphs to. Same incremental two-round
+        // protocol; its `reported` gate means repeat resolutions are
+        // filtered at the source, exactly like the reference engine.
+        let mut dense = Solver::default();
+        for _ in 0..num_nodes {
+            dense.add_node();
+        }
+        apply(&mut dense, num_nodes, &ops[..split]);
+        let dense_first = normalize(dense.solve_dense(&reg, 1_000_000).unwrap());
+        prop_assert_eq!(&dense_first, &naive_first);
+
+        apply(&mut dense, num_nodes, &ops[split..]);
+        let dense_second = normalize(dense.solve_dense(&reg, 1_000_000).unwrap());
+        let dense_new: Vec<(u32, u32)> = dense_second
+            .into_iter()
+            .filter(|p| !dense_first.contains(p))
+            .collect();
+        prop_assert_eq!(&dense_new, &naive_second);
+
+        for n in 0..num_nodes {
+            prop_assert_eq!(
+                dense.pts(n),
+                naive.pts(n),
+                "dense points-to diverges at node {}",
+                n
+            );
+        }
+
+        // Fourth engine: the sharded bulk-synchronous loop, at several pool
+        // widths, must match the serial optimized solver bit for bit —
+        // same new resolutions per round and same final points-to sets.
+        for width in [1usize, 2, 3] {
+            let pool = Pool::new(width);
+            let mut sharded = Solver::default();
+            for _ in 0..num_nodes {
+                sharded.add_node();
+            }
+            apply(&mut sharded, num_nodes, &ops[..split]);
+            let first = normalize(sharded.solve_sharded(&reg, 1_000_000, pool).unwrap());
+            prop_assert_eq!(&first, &naive_first, "sharded first round, width {}", width);
+
+            apply(&mut sharded, num_nodes, &ops[split..]);
+            let second = normalize(sharded.solve_sharded(&reg, 1_000_000, pool).unwrap());
+            let new: Vec<(u32, u32)> =
+                second.into_iter().filter(|p| !first.contains(p)).collect();
+            prop_assert_eq!(&new, &naive_second, "sharded second round, width {}", width);
+
+            for n in 0..num_nodes {
+                prop_assert_eq!(
+                    sharded.pts(n),
+                    naive.pts(n),
+                    "sharded points-to diverges at node {}, width {}",
+                    n,
+                    width
+                );
+            }
         }
     }
 }

@@ -32,6 +32,15 @@ pub struct PtStats {
     pub words_unioned: u64,
     /// Worklist entries popped by the solver.
     pub worklist_pops: u64,
+    /// Bulk-synchronous rounds executed by the sharded solve loop (0 when
+    /// every solve ran serially).
+    pub shard_rounds: u64,
+    /// Nanoseconds spent serially merging shard change buffers.
+    pub shard_merge_ns: u64,
+    /// Solve calls routed to the lean serial path by the adaptive cutoff.
+    pub serial_solves: u64,
+    /// Solve calls routed to the sharded bulk-synchronous path.
+    pub sharded_solves: u64,
     /// Memory cells tracked.
     pub num_cells: u32,
 }
@@ -57,6 +66,19 @@ impl PtStats {
             &format!("{prefix}.worklist_pops"),
             self.worklist_pops as f64,
         );
+        // Sharded-solve telemetry: once per-prefix, and once under the
+        // global `pt.` names aggregated across every analysis in the run.
+        registry.set_gauge(&format!("{prefix}.shard.rounds"), self.shard_rounds as f64);
+        registry.set_gauge(
+            &format!("{prefix}.shard.merge_ns"),
+            self.shard_merge_ns as f64,
+        );
+        registry.add("pt.shard.rounds", self.shard_rounds);
+        // Merge time is wall clock, so it rides a histogram — counters
+        // must stay bit-identical across `OHA_THREADS`.
+        registry.observe("pt.shard.merge_ns", self.shard_merge_ns);
+        registry.add("pt.solver.path.serial", self.serial_solves);
+        registry.add("pt.solver.path.sharded", self.sharded_solves);
         registry.set_gauge(&format!("{prefix}.nodes"), self.nodes as f64);
         registry.set_gauge(&format!("{prefix}.contexts"), self.contexts as f64);
         registry.set_gauge(&format!("{prefix}.copy_edges"), self.copy_edges as f64);

@@ -17,9 +17,28 @@
 //! larger strongly connected components by a periodic iterative Tarjan pass
 //! over the copy graph ([`Solver::collapse_sccs`]), triggered by an
 //! edge-growth heuristic and feeding the same union-find.
+//!
+//! Three solve loops share that machinery. [`Solver::solve`] is the plain
+//! serial worklist. [`Solver::solve_dense`] drops the worklist entirely
+//! and runs full word-parallel passes to fixpoint — the cheapest shape
+//! for micro graphs, where per-pop bookkeeping outweighs the work it
+//! avoids. [`Solver::solve_sharded`] is a bulk-synchronous variant for
+//! large constraint graphs: each round drains the worklist into a
+//! canonically ordered ready list, fans copy propagation out over an
+//! [`oha_par::Pool`] into private per-shard change buffers, merges the
+//! buffers in deterministic shard order, and only then interprets complex
+//! constraints (and collapses SCCs) serially. [`Solver::solve_tuned`]
+//! picks the dense or sharded loop from the constraint-graph size alone —
+//! never from the thread count — so budget exhaustion and every
+//! externally visible result are identical at any `OHA_THREADS` setting
+//! (see DESIGN.md "Parallel static phase").
+
+use std::collections::{BTreeMap, HashSet};
+use std::time::Instant;
 
 use oha_dataflow::BitSet;
 use oha_ir::FuncId;
+use oha_par::Pool;
 
 use crate::analysis::Exhausted;
 use crate::model::{pointee_as_cell, pointee_as_func, pointee_of_cell, ObjRegistry};
@@ -47,6 +66,14 @@ pub(crate) struct SolverStats {
     pub(crate) scc_collapses: u64,
     pub(crate) words_unioned: u64,
     pub(crate) worklist_pops: u64,
+    /// Bulk-synchronous rounds executed by the sharded solve loop.
+    pub(crate) shard_rounds: u64,
+    /// Nanoseconds spent serially merging shard change buffers.
+    pub(crate) shard_merge_ns: u64,
+    /// `solve_tuned` calls routed to the serial path.
+    pub(crate) serial_solves: u64,
+    /// `solve_tuned` calls routed to the sharded path.
+    pub(crate) sharded_solves: u64,
 }
 
 /// The constraint-solver surface the analysis builder drives.
@@ -58,6 +85,10 @@ pub(crate) struct SolverStats {
 pub(crate) trait ConstraintSolver: Default {
     /// Allocates a fresh solver node and returns its id.
     fn add_node(&mut self) -> u32;
+    /// Capacity hint: about `extra` more nodes are coming. Purely an
+    /// allocation optimization — the default (and the naive reference
+    /// engine) ignores it.
+    fn reserve(&mut self, _extra: usize) {}
     /// Adds a pointee to a node's set, scheduling propagation if new.
     fn add_pointee(&mut self, node: u32, pointee: usize);
     /// Adds the copy edge `from → to`.
@@ -81,6 +112,28 @@ pub(crate) trait ConstraintSolver: Default {
         registry: &ObjRegistry,
         budget: u64,
     ) -> Result<Vec<(u32, FuncId)>, Exhausted>;
+    /// [`solve`](ConstraintSolver::solve) with an execution-strategy hint:
+    /// implementations may shard large constraint graphs over `pool` and
+    /// keep graphs below `serial_cutoff` (nodes + copy edges) on a lean
+    /// serial path. The default ignores the hint and runs serially — the
+    /// reference engine stays a naive single-threaded oracle.
+    ///
+    /// The contract is strict: results, iteration counts and budget
+    /// exhaustion must not depend on `pool`'s width, only on the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Exhausted`] if the iteration budget is exceeded.
+    fn solve_tuned(
+        &mut self,
+        registry: &ObjRegistry,
+        budget: u64,
+        pool: Pool,
+        serial_cutoff: usize,
+    ) -> Result<Vec<(u32, FuncId)>, Exhausted> {
+        let _ = (pool, serial_cutoff);
+        self.solve(registry, budget)
+    }
     /// Aggregate counters for reporting.
     fn stats(&self) -> SolverStats;
 }
@@ -110,14 +163,42 @@ pub(crate) struct Solver {
     num_edges: usize,
     /// `num_edges` as of the last Tarjan pass, for the growth heuristic.
     edges_at_last_collapse: usize,
+    /// `(site_key, func)` resolutions already returned to the builder.
+    /// The dense solve loop interprets `CallTarget` constraints against
+    /// *full* points-to sets every pass, so without this gate it would
+    /// re-report the same resolution forever and the builder's
+    /// solve/wire loop could never observe quiescence. The delta-driven
+    /// loops are gated too, which only suppresses the harmless
+    /// duplicates a cycle collapse could restage. Membership-only use —
+    /// discovery order still follows the deterministic interpretation
+    /// order, never hash order.
+    reported: HashSet<(u32, u32)>,
     pub(crate) iterations: u64,
     pub(crate) cycle_collapses: u64,
     pub(crate) scc_collapses: u64,
     pub(crate) words_unioned: u64,
     pub(crate) worklist_pops: u64,
+    pub(crate) shard_rounds: u64,
+    pub(crate) shard_merge_ns: u64,
+    pub(crate) serial_solves: u64,
+    pub(crate) sharded_solves: u64,
 }
 
 impl Solver {
+    /// Pre-sizes the six per-node parallel vectors for `extra` more
+    /// nodes. One call from the builder (which knows the planned op
+    /// count) replaces dozens of interleaved doubling reallocations —
+    /// on micro graphs that growth churn is a measurable slice of the
+    /// whole analysis.
+    pub(crate) fn reserve(&mut self, extra: usize) {
+        self.pts.reserve(extra);
+        self.delta.reserve(extra);
+        self.copy_succs.reserve(extra);
+        self.complex.reserve(extra);
+        self.queued.reserve(extra);
+        self.repr.reserve(extra);
+    }
+
     pub(crate) fn num_nodes(&self) -> usize {
         self.pts.len()
     }
@@ -142,6 +223,16 @@ impl Solver {
         while self.repr[n as usize] != n {
             let parent = self.repr[n as usize];
             self.repr[n as usize] = self.repr[parent as usize];
+            n = self.repr[n as usize];
+        }
+        n
+    }
+
+    /// Read-only representative lookup (no path compression) — safe for
+    /// shard workers to call concurrently while `repr` is frozen between
+    /// bulk-synchronous rounds.
+    fn rep_of(&self, mut n: u32) -> u32 {
+        while self.repr[n as usize] != n {
             n = self.repr[n as usize];
         }
         n
@@ -199,6 +290,8 @@ impl Solver {
     pub(crate) fn add_pointee(&mut self, node: u32, pointee: usize) {
         let node = self.find(node);
         if self.pts[node as usize].insert(pointee) {
+            // A single-bit insert touches one word in each set.
+            self.words_unioned += 1;
             self.delta[node as usize].insert(pointee);
             self.enqueue(node);
         }
@@ -241,6 +334,7 @@ impl Solver {
         // taken out for the duration of the in-place union).
         let pts = std::mem::take(&mut self.pts[node as usize]);
         if !pts.is_empty() {
+            self.words_unioned += (pts.capacity() / 64) as u64;
             self.delta[node as usize].union_with(&pts);
             self.enqueue(node);
         }
@@ -248,11 +342,7 @@ impl Solver {
     }
 
     pub(crate) fn pts(&self, node: u32) -> &BitSet {
-        let mut n = node;
-        while self.repr[n as usize] != n {
-            n = self.repr[n as usize];
-        }
-        &self.pts[n as usize]
+        &self.pts[self.rep_of(node) as usize]
     }
 
     /// Growth heuristic for the periodic Tarjan pass: fire once the copy
@@ -392,6 +482,76 @@ impl Solver {
         self.edges_at_last_collapse = total;
     }
 
+    /// Interprets one complex constraint against a freshly drained delta.
+    /// May create cell nodes, add copy edges (and thereby unify cycles) or
+    /// stage new pointees.
+    fn interpret(
+        &mut self,
+        registry: &ObjRegistry,
+        c: Complex,
+        delta: &BitSet,
+        discovered: &mut Vec<(u32, FuncId)>,
+    ) {
+        match c {
+            Complex::Load { dst, offset } => {
+                for p in delta.iter() {
+                    if let Some(cell) = pointee_as_cell(p) {
+                        if let Some(shifted) = registry.cell_offset(cell, offset) {
+                            let cn = self.cell_node(shifted);
+                            self.add_copy(cn, dst);
+                        }
+                    }
+                }
+            }
+            Complex::Store { src, offset } => {
+                for p in delta.iter() {
+                    if let Some(cell) = pointee_as_cell(p) {
+                        if let Some(shifted) = registry.cell_offset(cell, offset) {
+                            let cn = self.cell_node(shifted);
+                            self.add_copy(src, cn);
+                        }
+                    }
+                }
+            }
+            Complex::Offset { dst, offset } => {
+                for p in delta.iter() {
+                    if let Some(cell) = pointee_as_cell(p) {
+                        if let Some(shifted) = registry.cell_offset(cell, offset) {
+                            self.add_pointee(dst, pointee_of_cell(shifted));
+                        }
+                    }
+                }
+            }
+            Complex::CallTarget { site_key } => {
+                for p in delta.iter() {
+                    if let Some(f) = pointee_as_func(p) {
+                        if self.reported.insert((site_key, f.raw())) {
+                            discovered.push((site_key, f));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Puts a taken-out constraint list back after interpretation.
+    /// Interpreting can unify `node` away as a cycle loser (re-attach at
+    /// the representative, restaging against the merged set) or make it a
+    /// cycle *winner* (the loser's constraints landed in `node`'s in-place
+    /// list while ours was out — append rather than overwrite, so they
+    /// survive).
+    fn restore_complexes(&mut self, node: u32, mut complexes: Vec<Complex>) {
+        let rep = self.find(node);
+        if rep == node {
+            complexes.append(&mut self.complex[node as usize]);
+            self.complex[node as usize] = complexes;
+        } else {
+            for c in complexes {
+                self.add_complex(rep, c);
+            }
+        }
+    }
+
     /// Runs to quiescence; returns newly discovered `(site_key, func)`
     /// indirect-call resolutions (deduplicated across calls by the caller's
     /// wiring state).
@@ -405,6 +565,15 @@ impl Solver {
         budget: u64,
     ) -> Result<Vec<(u32, FuncId)>, Exhausted> {
         let mut discovered = Vec::new();
+        // The popped delta is swapped through this scratch set instead of
+        // `mem::take`n: a take frees the node's word vector on every pop
+        // and re-grows it from empty on the next enqueue, and on micro
+        // graphs that malloc/free pair per pop costs more than the actual
+        // propagation. The swap hands the previous pop's (zeroed)
+        // allocation to the current node's slot, so delta vectors are
+        // recycled instead of churned. Invariant: `scratch` is all-zero at
+        // the top of every iteration.
+        let mut scratch = BitSet::new();
         while let Some(node) = self.worklist.pop() {
             self.queued[node as usize] = false;
             self.worklist_pops += 1;
@@ -420,84 +589,298 @@ impl Solver {
             // The popped id may have been unified away since it was queued;
             // its pending delta lives at the representative.
             let node = self.find(node);
-            let delta = std::mem::take(&mut self.delta[node as usize]);
+            std::mem::swap(&mut scratch, &mut self.delta[node as usize]);
+            let delta = &scratch;
             if delta.is_empty() {
                 continue;
             }
 
             // Copy edges: one word-parallel union per successor. The list
             // is taken, not cloned — nothing on this path can touch
-            // `copy_succs[node]`, so restoring it directly is safe.
-            let succs = std::mem::take(&mut self.copy_succs[node as usize]);
-            for &s in &succs {
-                let s = self.find(s);
-                if s == node {
+            // `copy_succs[node]`, so restoring it directly is safe. Nodes
+            // without successors (most cell nodes) skip the take entirely.
+            if !self.copy_succs[node as usize].is_empty() {
+                let succs = std::mem::take(&mut self.copy_succs[node as usize]);
+                for &s in &succs {
+                    let s = self.find(s);
+                    if s == node {
+                        continue;
+                    }
+                    self.words_unioned += (delta.capacity() / 64) as u64;
+                    if delta.union_into(&mut self.pts[s as usize], &mut self.delta[s as usize]) {
+                        self.enqueue(s);
+                    }
+                }
+                self.copy_succs[node as usize] = succs;
+            }
+
+            // Complex constraints, also by take-and-restore (skipped
+            // outright for the constraint-free majority of nodes).
+            if !self.complex[node as usize].is_empty() {
+                let complexes = std::mem::take(&mut self.complex[node as usize]);
+                for &c in &complexes {
+                    self.interpret(registry, c, delta, &mut discovered);
+                }
+                self.restore_complexes(node, complexes);
+            }
+            // Restore the scratch invariant; the allocation is handed to
+            // the next popped node's slot by the swap above.
+            scratch.clear();
+        }
+        Ok(discovered)
+    }
+
+    /// Drains scheduling state staged for the worklist engines: clears
+    /// queue flags and folds pending deltas away (every delta bit is
+    /// already in its representative's full set, which is what the dense
+    /// loop propagates). Returns whether any drained entry carried a
+    /// non-empty delta — i.e. whether the constraint-side entry points
+    /// recorded a real set change since the last drain.
+    fn drain_pending(&mut self) -> bool {
+        let mut changed = false;
+        while let Some(node) = self.worklist.pop() {
+            self.queued[node as usize] = false;
+            self.worklist_pops += 1;
+            let rep = self.find(node);
+            if !self.delta[rep as usize].is_empty() {
+                self.delta[rep as usize].clear();
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Dense word-parallel fixpoint for graphs below the serial cutoff.
+    ///
+    /// The worklist engine's per-pop bookkeeping — delta staging, queue
+    /// flags, take-and-restore of successor lists — only pays for itself
+    /// once the graph is large enough that full passes would mostly
+    /// revisit quiescent edges. Micro graphs are the opposite regime:
+    /// the whole constraint set fits in a few cache lines, so the
+    /// cheapest strategy is the reference engine's shape — full passes
+    /// to fixpoint — with its per-bit clone-and-insert inner loop
+    /// replaced by one word-parallel [`BitSet::union_with`] per edge and
+    /// its linear-scan edge set replaced by the shared per-node sorted
+    /// lists. Cycle handling rides along unchanged: the two-node
+    /// fast path fires inside [`Solver::add_copy`], and larger cycles
+    /// simply iterate to the same least fixpoint (a Tarjan pass costs
+    /// more than it saves at this size).
+    ///
+    /// Pending deltas and the worklist are drained up front and after
+    /// every pass, so at fixpoint both are empty and a later
+    /// [`Solver::solve_tuned`] round that routes to a worklist engine
+    /// (the graph may outgrow the cutoff between wiring rounds) starts
+    /// from a consistent state. Entirely serial and size-routed, so its
+    /// choice and its counters cannot vary with the pool width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Exhausted`] if the iteration budget is exceeded.
+    pub(crate) fn solve_dense(
+        &mut self,
+        registry: &ObjRegistry,
+        budget: u64,
+    ) -> Result<Vec<(u32, FuncId)>, Exhausted> {
+        let mut discovered = Vec::new();
+        self.drain_pending();
+        // Reusable buffer for per-node set snapshots in the complex pass.
+        let mut snapshot = BitSet::new();
+        loop {
+            let mut changed = false;
+            // Copy pass, ascending node order. Nothing here can unify
+            // nodes or touch the taken slots, so take-and-restore of the
+            // source set and successor list is safe.
+            for node in 0..self.pts.len() as u32 {
+                if self.repr[node as usize] != node || self.copy_succs[node as usize].is_empty() {
                     continue;
                 }
-                self.words_unioned += (delta.capacity() / 64) as u64;
-                if delta.union_into(&mut self.pts[s as usize], &mut self.delta[s as usize]) {
-                    self.enqueue(s);
+                self.iterations += 1;
+                if self.iterations > budget {
+                    return Err(Exhausted {
+                        reason: format!("solver exceeded {budget} iterations"),
+                    });
                 }
+                let src = std::mem::take(&mut self.pts[node as usize]);
+                let succs = std::mem::take(&mut self.copy_succs[node as usize]);
+                for &s in &succs {
+                    let s = self.find(s);
+                    if s == node {
+                        continue;
+                    }
+                    self.words_unioned += (src.capacity() / 64) as u64;
+                    changed |= self.pts[s as usize].union_with(&src);
+                }
+                self.copy_succs[node as usize] = succs;
+                self.pts[node as usize] = src;
             }
-            self.copy_succs[node as usize] = succs;
+            // Complex pass: interpret every constraint against the full
+            // set (the `reported` gate keeps call-target discovery
+            // convergent). The set is *copied* into a reusable snapshot
+            // buffer rather than taken: interpretation can add an edge
+            // back into `node` itself, and the eager propagation in
+            // [`Solver::add_copy`] must see the real set — against a
+            // temporarily emptied slot every incoming bit would look
+            // new, restage forever and livelock the changed test. New
+            // nodes created here wait for the next pass, whose entry
+            // points flag any real change through the worklist.
+            for node in 0..self.pts.len() as u32 {
+                if self.repr[node as usize] != node || self.complex[node as usize].is_empty() {
+                    continue;
+                }
+                self.iterations += 1;
+                if self.iterations > budget {
+                    return Err(Exhausted {
+                        reason: format!("solver exceeded {budget} iterations"),
+                    });
+                }
+                let complexes = std::mem::take(&mut self.complex[node as usize]);
+                snapshot.clone_from(&self.pts[node as usize]);
+                for &c in &complexes {
+                    self.interpret(registry, c, &snapshot, &mut discovered);
+                }
+                self.restore_complexes(node, complexes);
+            }
+            changed |= self.drain_pending();
+            if !changed {
+                return Ok(discovered);
+            }
+        }
+    }
 
-            // Complex constraints, also by take-and-restore. Interpreting
-            // them can add edges and thereby unify `node` away as a cycle
-            // loser, so the restore must route through the representative.
-            let complexes = std::mem::take(&mut self.complex[node as usize]);
-            for &c in &complexes {
-                match c {
-                    Complex::Load { dst, offset } => {
-                        for p in delta.iter() {
-                            if let Some(cell) = pointee_as_cell(p) {
-                                if let Some(shifted) = registry.cell_offset(cell, offset) {
-                                    let cn = self.cell_node(shifted);
-                                    self.add_copy(cn, dst);
-                                }
-                            }
+    /// Bulk-synchronous sharded solve over `pool`. Each round:
+    ///
+    /// 1. collapses SCCs if the growth heuristic fired — round boundaries
+    ///    only, so the union-find is frozen for the rest of the round;
+    /// 2. drains the worklist into a ready list of `(node, delta)` pairs
+    ///    and sorts it by node id (the canonical round order — worklist
+    ///    push order varies with the previous round's chunking);
+    /// 3. fans the ready list out over the pool in contiguous chunks; each
+    ///    shard resolves copy successors through the frozen union-find and
+    ///    accumulates per-successor deltas into a private change buffer,
+    ///    touching no shared mutable state;
+    /// 4. merges the buffers serially, in shard order then ascending node
+    ///    order within each shard — set union is commutative and
+    ///    associative, so the merged `pts`/`delta` state (and with it every
+    ///    later round) is independent of the chunking;
+    /// 5. interprets complex constraints serially in canonical ready
+    ///    order. This phase may create cell nodes, add edges and unify
+    ///    cycles, which is why it cannot overlap the shard phase.
+    ///
+    /// Reaches the same least fixpoint as [`Solver::solve`]; iteration
+    /// counts — and therefore budget exhaustion — are identical at every
+    /// pool width, including width 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Exhausted`] if the iteration budget is exceeded.
+    pub(crate) fn solve_sharded(
+        &mut self,
+        registry: &ObjRegistry,
+        budget: u64,
+        pool: Pool,
+    ) -> Result<Vec<(u32, FuncId)>, Exhausted> {
+        let mut discovered = Vec::new();
+        while !self.worklist.is_empty() {
+            self.shard_rounds += 1;
+            if self.should_collapse() {
+                self.collapse_sccs();
+            }
+            // Phase 1: drain into the ready list. Entries folded into the
+            // same representative see an empty delta on the second take
+            // and drop out, so representatives appear at most once.
+            let mut ready: Vec<(u32, BitSet)> = Vec::new();
+            while let Some(node) = self.worklist.pop() {
+                self.queued[node as usize] = false;
+                self.worklist_pops += 1;
+                self.iterations += 1;
+                if self.iterations > budget {
+                    return Err(Exhausted {
+                        reason: format!("solver exceeded {budget} iterations"),
+                    });
+                }
+                let rep = self.find(node);
+                let delta = std::mem::take(&mut self.delta[rep as usize]);
+                if delta.is_empty() {
+                    continue;
+                }
+                ready.push((rep, delta));
+            }
+            ready.sort_unstable_by_key(|&(n, _)| n);
+
+            // Phase 2: sharded copy propagation into private buffers.
+            let chunk = ready.len().div_ceil(pool.threads()).max(1);
+            let chunks: Vec<&[(u32, BitSet)]> = ready.chunks(chunk).collect();
+            let frozen = &*self;
+            let buffers: Vec<(BTreeMap<u32, BitSet>, u64)> = pool.par_map(&chunks, |entries| {
+                let mut buf: BTreeMap<u32, BitSet> = BTreeMap::new();
+                let mut words = 0u64;
+                for &(node, ref delta) in entries.iter() {
+                    for &s in &frozen.copy_succs[node as usize] {
+                        let s = frozen.rep_of(s);
+                        if s == node {
+                            continue;
                         }
+                        words += (delta.capacity() / 64) as u64;
+                        buf.entry(s).or_default().union_with(delta);
                     }
-                    Complex::Store { src, offset } => {
-                        for p in delta.iter() {
-                            if let Some(cell) = pointee_as_cell(p) {
-                                if let Some(shifted) = registry.cell_offset(cell, offset) {
-                                    let cn = self.cell_node(shifted);
-                                    self.add_copy(src, cn);
-                                }
-                            }
-                        }
-                    }
-                    Complex::Offset { dst, offset } => {
-                        for p in delta.iter() {
-                            if let Some(cell) = pointee_as_cell(p) {
-                                if let Some(shifted) = registry.cell_offset(cell, offset) {
-                                    self.add_pointee(dst, pointee_of_cell(shifted));
-                                }
-                            }
-                        }
-                    }
-                    Complex::CallTarget { site_key } => {
-                        for p in delta.iter() {
-                            if let Some(f) = pointee_as_func(p) {
-                                discovered.push((site_key, f));
-                            }
-                        }
+                }
+                (buf, words)
+            });
+
+            // Phase 3: serial merge in deterministic shard order.
+            let merge_start = Instant::now();
+            for (buf, words) in buffers {
+                self.words_unioned += words;
+                for (succ, bits) in buf {
+                    if bits.union_into(&mut self.pts[succ as usize], &mut self.delta[succ as usize])
+                    {
+                        self.enqueue(succ);
                     }
                 }
             }
-            let rep = self.find(node);
-            if rep == node {
-                self.complex[node as usize] = complexes;
-            } else {
-                // `node` lost a unification while its list was out:
-                // re-attach through the public entry point, which also
-                // reschedules interpretation against the merged set.
-                for c in complexes {
-                    self.add_complex(rep, c);
+            self.shard_merge_ns += merge_start.elapsed().as_nanos() as u64;
+
+            // Phase 4: complex constraints, serially in canonical order.
+            for (node, delta) in &ready {
+                // Earlier entries' constraints may have unified this node
+                // away; its list lives at the current representative.
+                let node = self.find(*node);
+                if self.complex[node as usize].is_empty() {
+                    continue;
                 }
+                let complexes = std::mem::take(&mut self.complex[node as usize]);
+                for &c in &complexes {
+                    self.interpret(registry, c, delta, &mut discovered);
+                }
+                self.restore_complexes(node, complexes);
             }
         }
         Ok(discovered)
+    }
+
+    /// Size-adaptive solve: constraint graphs below `serial_cutoff`
+    /// (nodes + copy edges) run [`Solver::solve_dense`]; larger graphs
+    /// run [`Solver::solve_sharded`] over `pool`. The routing decision
+    /// is a pure function of problem size so it cannot vary with
+    /// `OHA_THREADS`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Exhausted`] if the iteration budget is exceeded.
+    pub(crate) fn solve_tuned(
+        &mut self,
+        registry: &ObjRegistry,
+        budget: u64,
+        pool: Pool,
+        serial_cutoff: usize,
+    ) -> Result<Vec<(u32, FuncId)>, Exhausted> {
+        if self.num_nodes() + self.num_edges < serial_cutoff {
+            self.serial_solves += 1;
+            self.solve_dense(registry, budget)
+        } else {
+            self.sharded_solves += 1;
+            self.solve_sharded(registry, budget, pool)
+        }
     }
 
     pub(crate) fn stats(&self) -> SolverStats {
@@ -507,6 +890,10 @@ impl Solver {
             scc_collapses: self.scc_collapses,
             words_unioned: self.words_unioned,
             worklist_pops: self.worklist_pops,
+            shard_rounds: self.shard_rounds,
+            shard_merge_ns: self.shard_merge_ns,
+            serial_solves: self.serial_solves,
+            sharded_solves: self.sharded_solves,
         }
     }
 }
@@ -514,6 +901,9 @@ impl Solver {
 impl ConstraintSolver for Solver {
     fn add_node(&mut self) -> u32 {
         Solver::add_node(self)
+    }
+    fn reserve(&mut self, extra: usize) {
+        Solver::reserve(self, extra);
     }
     fn add_pointee(&mut self, node: u32, pointee: usize) {
         Solver::add_pointee(self, node, pointee);
@@ -539,6 +929,15 @@ impl ConstraintSolver for Solver {
         budget: u64,
     ) -> Result<Vec<(u32, FuncId)>, Exhausted> {
         Solver::solve(self, registry, budget)
+    }
+    fn solve_tuned(
+        &mut self,
+        registry: &ObjRegistry,
+        budget: u64,
+        pool: Pool,
+        serial_cutoff: usize,
+    ) -> Result<Vec<(u32, FuncId)>, Exhausted> {
+        Solver::solve_tuned(self, registry, budget, pool, serial_cutoff)
     }
     fn stats(&self) -> SolverStats {
         Solver::stats(self)
@@ -627,6 +1026,53 @@ mod tests {
     }
 
     #[test]
+    fn dense_call_targets_reported_once() {
+        // The dense loop reinterprets CallTarget against the *full* set
+        // every pass; the `reported` gate must keep both the pass loop
+        // and repeat solve rounds convergent.
+        let reg = empty_registry();
+        let mut s = Solver::default();
+        let t = s.add_node();
+        s.add_complex(t, Complex::CallTarget { site_key: 3 });
+        s.add_pointee(t, crate::model::pointee_of_func(oha_ir::FuncId::new(2)));
+        let found = s.solve_dense(&reg, 1_000).unwrap();
+        assert_eq!(found, vec![(3, oha_ir::FuncId::new(2))]);
+        let found = s.solve_dense(&reg, 1_000).unwrap();
+        assert!(found.is_empty(), "full-set reinterpretation is gated");
+    }
+
+    #[test]
+    fn dense_converges_when_interpretation_feeds_the_interpreted_node() {
+        let mut reg = empty_registry();
+        reg.intern(AbsObj::Global(GlobalId::new(9)), 1); // cell 0
+        reg.intern(
+            AbsObj::Heap {
+                site: InstId::new(1),
+                ctx: 0,
+            },
+            1,
+        ); // cell 1
+        let mut s = Solver::default();
+        let p = s.add_node();
+        let q = s.add_node();
+        s.add_pointee(p, pointee_of_cell(0));
+        s.add_pointee(q, pointee_of_cell(1));
+        s.add_complex(p, Complex::Store { src: q, offset: 0 });
+        // The load writes back into `p` itself: interpreting it adds a
+        // copy edge cell→p whose eager propagation targets the node
+        // under interpretation. If the dense loop took `p`'s set out
+        // instead of snapshotting it, every incoming bit would hit an
+        // emptied slot, restage as new and livelock (hence the tight
+        // budget here).
+        s.add_complex(p, Complex::Load { dst: p, offset: 0 });
+        s.solve_dense(&reg, 1_000).unwrap();
+        assert!(
+            s.pts(p).contains(pointee_of_cell(1)),
+            "loaded value flows back into p"
+        );
+    }
+
+    #[test]
     fn two_node_cycles_collapse() {
         let reg = empty_registry();
         let mut s = Solver::default();
@@ -704,5 +1150,136 @@ mod tests {
         }
         s.add_pointee(nodes[0], pointee_of_cell(0));
         assert!(s.solve(&reg, 5).is_err());
+    }
+
+    /// A constraint soup exercising every constraint kind: a copy chain, a
+    /// cycle, loads/stores through cells, offsets and a call target.
+    fn build_soup(s: &mut impl ConstraintSolver) {
+        let nodes: Vec<u32> = (0..24).map(|_| s.add_node()).collect();
+        for w in nodes.windows(2) {
+            s.add_copy(w[0], w[1]);
+        }
+        s.add_copy(nodes[7], nodes[2]); // cycle 2..=7
+        s.add_pointee(nodes[0], pointee_of_cell(0));
+        s.add_pointee(nodes[12], pointee_of_cell(2));
+        s.add_complex(
+            nodes[3],
+            Complex::Store {
+                src: nodes[12],
+                offset: 0,
+            },
+        );
+        s.add_complex(
+            nodes[5],
+            Complex::Load {
+                dst: nodes[20],
+                offset: 0,
+            },
+        );
+        s.add_complex(
+            nodes[9],
+            Complex::Offset {
+                dst: nodes[21],
+                offset: 1,
+            },
+        );
+        s.add_pointee(nodes[22], crate::model::pointee_of_func(FuncId::new(4)));
+        s.add_complex(nodes[22], Complex::CallTarget { site_key: 7 });
+    }
+
+    fn soup_registry() -> ObjRegistry {
+        let mut reg = empty_registry();
+        reg.intern(AbsObj::Global(GlobalId::new(9)), 2); // cells 0,1
+        reg.intern(
+            AbsObj::Heap {
+                site: InstId::new(1),
+                ctx: 0,
+            },
+            1,
+        ); // cell 2
+        reg
+    }
+
+    #[test]
+    fn sharded_solve_matches_serial_at_every_width() {
+        let reg = soup_registry();
+        let mut serial = Solver::default();
+        build_soup(&mut serial);
+        let mut found_serial = serial.solve(&reg, 100_000).unwrap();
+        found_serial.sort_unstable();
+        found_serial.dedup();
+        for threads in [1, 2, 4, 8] {
+            let mut sharded = Solver::default();
+            build_soup(&mut sharded);
+            let mut found = sharded
+                .solve_sharded(&reg, 100_000, Pool::new(threads))
+                .unwrap();
+            found.sort_unstable();
+            found.dedup();
+            assert_eq!(found, found_serial, "discoveries diverge at {threads}");
+            for n in 0..24 {
+                assert_eq!(
+                    sharded.pts(n),
+                    serial.pts(n),
+                    "pts({n}) diverges at {threads} threads"
+                );
+            }
+            assert!(sharded.shard_rounds > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_iteration_counts_are_width_invariant() {
+        let reg = soup_registry();
+        let mut baseline = None;
+        for threads in [1, 2, 4, 8] {
+            let mut s = Solver::default();
+            build_soup(&mut s);
+            s.solve_sharded(&reg, 100_000, Pool::new(threads)).unwrap();
+            let key = (s.iterations, s.worklist_pops, s.shard_rounds);
+            match baseline {
+                None => baseline = Some(key),
+                Some(b) => assert_eq!(key, b, "counters diverge at {threads} threads"),
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_budget_exhaustion_is_width_invariant() {
+        let reg = empty_registry();
+        for threads in [1, 2, 4, 8] {
+            let mut s = Solver::default();
+            let nodes: Vec<u32> = (0..100).map(|_| s.add_node()).collect();
+            for w in nodes.windows(2) {
+                s.add_copy(w[0], w[1]);
+            }
+            s.add_pointee(nodes[0], pointee_of_cell(0));
+            assert!(
+                s.solve_sharded(&reg, 5, Pool::new(threads)).is_err(),
+                "budget must exhaust at {threads} threads too"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_tuned_routes_by_problem_size() {
+        let reg = empty_registry();
+        let mut small = Solver::default();
+        let a = small.add_node();
+        let b = small.add_node();
+        small.add_copy(a, b);
+        small.add_pointee(a, pointee_of_cell(0));
+        small.solve_tuned(&reg, 1_000, Pool::new(4), 1_000).unwrap();
+        assert_eq!((small.serial_solves, small.sharded_solves), (1, 0));
+        assert!(small.pts(b).contains(pointee_of_cell(0)));
+
+        let mut big = Solver::default();
+        let a = big.add_node();
+        let b = big.add_node();
+        big.add_copy(a, b);
+        big.add_pointee(a, pointee_of_cell(0));
+        big.solve_tuned(&reg, 1_000, Pool::new(4), 0).unwrap();
+        assert_eq!((big.serial_solves, big.sharded_solves), (0, 1));
+        assert!(big.pts(b).contains(pointee_of_cell(0)));
     }
 }

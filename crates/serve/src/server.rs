@@ -149,6 +149,12 @@ struct Shared {
     max_queue: usize,
     faults: FaultPlan,
     worker_id: Option<u64>,
+    /// Worker threads each request's pipeline may use for its own
+    /// parallel phases (profiling fan-out, sharded static solve). Capped
+    /// at `host threads / compute workers` so concurrent requests never
+    /// oversubscribe the host; results are width-invariant, so the cap
+    /// only affects latency.
+    pipeline_threads: usize,
     shutting: AtomicBool,
     socket: PathBuf,
     trace: TraceLog,
@@ -485,6 +491,7 @@ impl Server {
             max_queue,
             faults: config.faults.clone(),
             worker_id: config.worker_id,
+            pipeline_threads: (oha_par::thread_count() / threads).max(1),
             shutting: AtomicBool::new(false),
             socket: config.socket.clone(),
             trace,
@@ -696,8 +703,16 @@ fn analyze_inner(
     let store = shared.store.clone();
     let trace = shared.trace.clone();
     let faults = shared.faults.clone();
+    let pipeline_threads = shared.pipeline_threads;
     let submitted = shared.work.submit(move || {
-        let _ = tx.send(compute(request, store, trace, trace_id, &faults));
+        let _ = tx.send(compute(
+            request,
+            store,
+            trace,
+            trace_id,
+            &faults,
+            pipeline_threads,
+        ));
     });
     if !submitted {
         shared.errors.fetch_add(1, Ordering::Relaxed);
@@ -739,6 +754,7 @@ fn compute(
     trace: TraceLog,
     trace_id: u64,
     faults: &FaultPlan,
+    pipeline_threads: usize,
 ) -> Result<String, String> {
     // A slow analysis, injected: exercises the request deadline and the
     // client's retry budget without needing a pathological input.
@@ -758,7 +774,15 @@ fn compute(
     };
     let program = parse_program(&program).map_err(|e| format!("parse error: {e}"))?;
     let endpoints = resolve_endpoints(&program, &endpoints)?;
-    let mut pipeline = Pipeline::new(program).with_config(PipelineConfig::default());
+    // Nested-parallelism cap: the request already runs on a compute-pool
+    // thread, so its pipeline only gets the host's leftover share. The
+    // canonical output is identical at any width (tests/determinism.rs),
+    // so this is purely a scheduling decision.
+    let config = PipelineConfig {
+        threads: pipeline_threads.max(1),
+        ..PipelineConfig::default()
+    };
+    let mut pipeline = Pipeline::new(program).with_config(config);
     if let Some(store) = store {
         pipeline = pipeline.with_store(store);
     }

@@ -2,9 +2,10 @@
 
 use std::collections::{HashMap, HashSet};
 
-use oha_dataflow::{BitSet, Cfg, DefSite, ReachingDefs};
+use oha_dataflow::{BitSet, DefSite, ReachingDefs};
 use oha_invariants::{InvariantSet, MAX_CONTEXT_DEPTH};
 use oha_ir::{FuncId, InstId, InstKind, Program, Reg};
+use oha_par::Pool;
 use oha_pointsto::{ctx_hash, Exhausted, PointsTo, Sensitivity};
 
 use crate::icfg::Icfg;
@@ -21,6 +22,10 @@ pub struct SliceConfig<'a> {
     pub ctx_budget: u32,
     /// Maximum worklist visits.
     pub visit_budget: u64,
+    /// Pool for the per-function reaching-definitions fixpoints (the
+    /// slicing worklist itself is serial; results are identical at every
+    /// pool width).
+    pub pool: Pool,
 }
 
 impl Default for SliceConfig<'static> {
@@ -30,6 +35,7 @@ impl Default for SliceConfig<'static> {
             invariants: None,
             ctx_budget: 4096,
             visit_budget: 5_000_000,
+            pool: Pool::from_env(),
         }
     }
 }
@@ -194,10 +200,7 @@ impl<'p, 'c> Slicer<'p, 'c> {
         config: &'c SliceConfig<'c>,
     ) -> Result<Self, Exhausted> {
         let icfg = Icfg::new(program, pt, config.invariants);
-        let rds: Vec<ReachingDefs> = program
-            .func_ids()
-            .map(|f| ReachingDefs::new(program, f, &Cfg::new(program, f)))
-            .collect();
+        let rds = ReachingDefs::compute_all(program, config.pool);
         let mut stores_by_cell: HashMap<usize, Vec<InstId>> = HashMap::new();
         for s in pt.store_sites() {
             for c in pt.store_cells(s).iter() {

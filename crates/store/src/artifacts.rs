@@ -129,6 +129,10 @@ fn put_pt_stats(w: &mut Writer, s: &PtStats) {
     w.put_u64(s.scc_collapses);
     w.put_u64(s.words_unioned);
     w.put_u64(s.worklist_pops);
+    w.put_u64(s.shard_rounds);
+    w.put_u64(s.shard_merge_ns);
+    w.put_u64(s.serial_solves);
+    w.put_u64(s.sharded_solves);
     w.put_u32(s.num_cells);
 }
 
@@ -143,6 +147,10 @@ fn get_pt_stats(r: &mut Reader<'_>) -> Result<PtStats, CodecError> {
         scc_collapses: r.get_u64()?,
         words_unioned: r.get_u64()?,
         worklist_pops: r.get_u64()?,
+        shard_rounds: r.get_u64()?,
+        shard_merge_ns: r.get_u64()?,
+        serial_solves: r.get_u64()?,
+        sharded_solves: r.get_u64()?,
         num_cells: r.get_u32()?,
     })
 }

@@ -32,7 +32,8 @@ use crate::artifacts::{
 
 /// Bump when the header or any artifact wire layout changes. Old files
 /// then read as misses and are overwritten by the re-analysis.
-pub const FORMAT_VERSION: u32 = 1;
+/// v2: `PtStats` gained the sharded-solver counters.
+pub const FORMAT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 8] = b"OHASTORE";
 /// magic + version + kind + length.

@@ -8,8 +8,12 @@ use oha::ir::{Operand, ProgramBuilder};
 use oha::workloads::{c_suite, WorkloadParams};
 
 /// A program whose pointer copies form a two-node cycle (`r1 ⇄ r2`), so
-/// the solver's on-the-fly cycle collapse provably fires.
-fn cyclic_program() -> oha::ir::Program {
+/// the solver's on-the-fly cycle collapse provably fires. `padding`
+/// pointer-free instructions are appended: zero keeps the program under
+/// the dense-engine cutoff (the micro path), while a padding above
+/// [`oha::pointsto::DENSE_CUTOFF_DEFAULT`] forces the worklist engine,
+/// whose cycle-collapse counters this file asserts on.
+fn cyclic_program(padding: usize) -> oha::ir::Program {
     let mut pb = ProgramBuilder::new();
     let mut f = pb.function("main", 0);
     let r1 = f.alloc(1);
@@ -18,6 +22,9 @@ fn cyclic_program() -> oha::ir::Program {
     f.store(Operand::Reg(r1), 0, Operand::Const(7));
     let v = f.load(Operand::Reg(r2), 0);
     f.output(Operand::Reg(v));
+    for _ in 0..padding {
+        f.copy(Operand::Const(0));
+    }
     f.ret(None);
     let main = pb.finish_function(f);
     pb.finish(main).unwrap()
@@ -25,7 +32,10 @@ fn cyclic_program() -> oha::ir::Program {
 
 #[test]
 fn optft_report_carries_solver_counters_and_gauges() {
-    let outcome = oha::core::Pipeline::new(cyclic_program()).run_optft(&[vec![]], &[vec![]]);
+    // Padded above the dense-engine cutoff: cycle collapse is a worklist-
+    // engine feature, so the program must route there to exercise it.
+    let program = cyclic_program(oha::pointsto::DENSE_CUTOFF_DEFAULT);
+    let outcome = oha::core::Pipeline::new(program).run_optft(&[vec![]], &[vec![]]);
     let report = &outcome.report;
 
     for prefix in ["optft.pointsto.sound", "optft.pointsto.pred"] {
@@ -70,4 +80,75 @@ fn workload_reports_show_solver_progress() {
     assert!(report.counter("optft.pointsto.sound.solver_iterations") > 0);
     assert!(report.counter("optft.pointsto.pred.solver_iterations") > 0);
     assert!(report.gauges["optft.pointsto.sound.words_unioned"] > 0.0);
+}
+
+#[test]
+fn micro_runs_take_the_serial_solver_path() {
+    // The cyclic program is far below the adaptive cutoff, so every solve
+    // must route through the serial path — and the report must say so.
+    let outcome = oha::core::Pipeline::new(cyclic_program(0)).run_optft(&[vec![]], &[vec![]]);
+    let report = &outcome.report;
+    assert!(
+        report.counter("pt.solver.path.serial") > 0,
+        "micro workload should register serial solves"
+    );
+    assert_eq!(
+        report.counter("pt.solver.path.sharded"),
+        0,
+        "micro workload must not pay the sharded machinery"
+    );
+    assert_eq!(
+        report.counter("pt.shard.rounds"),
+        0,
+        "serial solves run no bulk-synchronous rounds"
+    );
+    // Merge time is wall clock: it must never surface as a counter, or the
+    // determinism contract (bit-identical counters across `OHA_THREADS`)
+    // would break. It rides a histogram instead.
+    assert!(
+        !report.counters.contains_key("pt.shard.merge_ns"),
+        "pt.shard.merge_ns must not be a counter"
+    );
+}
+
+#[test]
+fn forced_sharded_solves_report_rounds() {
+    // Zeroing the cutoff forces the bulk-synchronous sharded loop even on a
+    // small program; its round counter must land in `PtStats`.
+    let params = WorkloadParams::small();
+    let w = c_suite::all(&params).swap_remove(0);
+    let config = oha::pointsto::PointsToConfig {
+        pool: oha::par::Pool::new(2),
+        serial_cutoff: 0,
+        ..Default::default()
+    };
+    let pt = oha::pointsto::analyze(&w.program, &config).expect("CI analysis always completes");
+    let stats = pt.stats();
+    assert!(stats.sharded_solves >= 1, "cutoff 0 must route sharded");
+    assert_eq!(stats.serial_solves, 0, "cutoff 0 must never route serial");
+    assert!(stats.shard_rounds >= 1, "sharded solve runs >= 1 round");
+
+    // Same program through the serial path: identical points-to relation.
+    let serial_cfg = oha::pointsto::PointsToConfig {
+        pool: oha::par::Pool::new(1),
+        serial_cutoff: usize::MAX,
+        ..Default::default()
+    };
+    let serial =
+        oha::pointsto::analyze(&w.program, &serial_cfg).expect("CI analysis always completes");
+    assert!(serial.stats().serial_solves >= 1);
+    for (inst, cells) in pt.load_entries() {
+        assert_eq!(
+            cells,
+            serial.load_cells(inst),
+            "load pts diverge at {inst:?}"
+        );
+    }
+    for (inst, cells) in pt.store_entries() {
+        assert_eq!(
+            cells,
+            serial.store_cells(inst),
+            "store pts diverge at {inst:?}"
+        );
+    }
 }
